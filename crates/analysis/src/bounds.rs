@@ -1,0 +1,256 @@
+//! Theorem-level bound curves: the paper's new bounds (Theorem 1.1, 2.1,
+//! 2.2, 2.6, 2.7) and the prior-work bounds that Figure 1(a) displays
+//! (\[GL18\] + \[BCEKMN17\]).
+//!
+//! All curves drop the unknown leading constants — they are *shape*
+//! predictions (`k log n`, `√n log² n`, …) used as overlays for measured
+//! data, and for locating crossovers.
+
+use crate::Dynamics;
+
+/// Theorem 1.1 upper-bound shape for the consensus time.
+///
+/// * 3-Majority: `min{k·log n, √n·(log n)²}` (Theorems 2.1 + 2.2);
+/// * 2-Choices: `min{k·log n, n·(log n)³}`.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `k < 2`.
+#[must_use]
+pub fn consensus_time_upper(dynamics: Dynamics, n: u64, k: usize) -> f64 {
+    assert!(n >= 2 && k >= 2, "consensus_time_upper: need n, k >= 2");
+    let nf = n as f64;
+    let kf = k as f64;
+    let ln = nf.ln();
+    match dynamics {
+        Dynamics::ThreeMajority => (kf * ln).min(nf.sqrt() * ln * ln),
+        Dynamics::TwoChoices => (kf * ln).min(nf * ln * ln * ln),
+    }
+}
+
+/// The paper's lower-bound shape (Theorem 2.7 + Theorem 1.1):
+/// `min{k, √(n/log n)}` for 3-Majority, `min{k, n/log n}` for 2-Choices,
+/// starting from the balanced configuration.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `k < 2`.
+#[must_use]
+pub fn consensus_time_lower(dynamics: Dynamics, n: u64, k: usize) -> f64 {
+    assert!(n >= 2 && k >= 2, "consensus_time_lower: need n, k >= 2");
+    let nf = n as f64;
+    let kf = k as f64;
+    match dynamics {
+        Dynamics::ThreeMajority => kf.min((nf / nf.ln()).sqrt()),
+        Dynamics::TwoChoices => kf.min(nf / nf.ln()),
+    }
+}
+
+/// Prior-work upper-bound shape displayed in Figure 1(a).
+///
+/// * 3-Majority (\[GL18\]+\[BCEKMN17\]): `k·log n` for
+///   `k ≤ n^{1/3}/√(log n)`, else `n^{2/3}·(log n)^{3/2}`;
+/// * 2-Choices (\[GL18\]): `k·log n` for `k ≤ √(n/log n)`, `+∞` beyond
+///   (no bound was known).
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `k < 2`.
+#[must_use]
+pub fn consensus_time_upper_prior(dynamics: Dynamics, n: u64, k: usize) -> f64 {
+    assert!(n >= 2 && k >= 2, "consensus_time_upper_prior: need n, k >= 2");
+    let nf = n as f64;
+    let kf = k as f64;
+    let ln = nf.ln();
+    match dynamics {
+        Dynamics::ThreeMajority => {
+            if kf <= nf.powf(1.0 / 3.0) / ln.sqrt() {
+                kf * ln
+            } else {
+                nf.powf(2.0 / 3.0) * ln.powf(1.5)
+            }
+        }
+        Dynamics::TwoChoices => {
+            if kf <= (nf / ln).sqrt() {
+                kf * ln
+            } else {
+                f64::INFINITY
+            }
+        }
+    }
+}
+
+/// Theorem 2.1: with `γ₀` above its threshold, consensus within
+/// `O(log n / γ₀)` rounds. Returns the shape `log n / γ₀`.
+///
+/// # Panics
+///
+/// Panics if `γ₀ ∉ (0, 1]` or `n < 2`.
+#[must_use]
+pub fn consensus_time_from_gamma(n: u64, gamma0: f64) -> f64 {
+    assert!(n >= 2, "consensus_time_from_gamma: need n >= 2");
+    assert!(
+        gamma0 > 0.0 && gamma0 <= 1.0,
+        "consensus_time_from_gamma: γ₀ must be in (0, 1], got {gamma0}"
+    );
+    (n as f64).ln() / gamma0
+}
+
+/// The `γ₀` threshold of Theorem 2.1 (shape, constant dropped):
+/// `log n/√n` for 3-Majority, `(log n)²/n` for 2-Choices.
+#[must_use]
+pub fn gamma_threshold(dynamics: Dynamics, n: u64) -> f64 {
+    let nf = n as f64;
+    match dynamics {
+        Dynamics::ThreeMajority => nf.ln() / nf.sqrt(),
+        Dynamics::TwoChoices => nf.ln() * nf.ln() / nf,
+    }
+}
+
+/// Theorem 2.2: the time for `γ_t` to reach the Theorem 2.1 threshold from
+/// any configuration (shape): `√n·(log n)²` for 3-Majority,
+/// `n·(log n)³` for 2-Choices.
+#[must_use]
+pub fn gamma_growth_time(dynamics: Dynamics, n: u64) -> f64 {
+    let nf = n as f64;
+    let ln = nf.ln();
+    match dynamics {
+        Dynamics::ThreeMajority => nf.sqrt() * ln * ln,
+        Dynamics::TwoChoices => nf * ln * ln * ln,
+    }
+}
+
+/// Theorem 2.6 plurality-consensus margin threshold (shape):
+/// `√(log n/n)` for 3-Majority and `√(α₁·log n/n)` for 2-Choices, where
+/// `α₁` is the leader's fraction.
+///
+/// # Panics
+///
+/// Panics for `n < 2` or (2-Choices) `α₁ ∉ (0, 1]`.
+#[must_use]
+pub fn plurality_margin(dynamics: Dynamics, n: u64, alpha1: f64) -> f64 {
+    assert!(n >= 2, "plurality_margin: need n >= 2");
+    let nf = n as f64;
+    match dynamics {
+        Dynamics::ThreeMajority => (nf.ln() / nf).sqrt(),
+        Dynamics::TwoChoices => {
+            assert!(
+                alpha1 > 0.0 && alpha1 <= 1.0,
+                "plurality_margin: α₁ must be in (0, 1], got {alpha1}"
+            );
+            (alpha1 * nf.ln() / nf).sqrt()
+        }
+    }
+}
+
+/// The asynchronous consensus-time shape of \[CMRSS25\] for 3-Majority, in
+/// ticks: `min{k·n, n^{3/2}}` (polylogs dropped).
+#[must_use]
+pub fn async_three_majority_ticks(n: u64, k: usize) -> f64 {
+    let nf = n as f64;
+    (k as f64 * nf).min(nf.powf(1.5))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_bound_crossover_is_at_sqrt_n() {
+        let n = 1_000_000u64;
+        // Below √n the k-term dominates; above, the √n-term.
+        let small = consensus_time_upper(Dynamics::ThreeMajority, n, 10);
+        let big = consensus_time_upper(Dynamics::ThreeMajority, n, 100_000);
+        let nf = n as f64;
+        assert!((small - 10.0 * nf.ln()).abs() < 1e-9);
+        assert!((big - nf.sqrt() * nf.ln() * nf.ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn new_bounds_dominate_prior_bounds() {
+        // Theorem 1.1 improves on prior work for every k (Figure 1).
+        let n = 1_000_000u64;
+        for k in [2usize, 10, 100, 1000, 10_000, 100_000, 1_000_000] {
+            for d in [Dynamics::ThreeMajority, Dynamics::TwoChoices] {
+                let new = consensus_time_upper(d, n, k);
+                let old = consensus_time_upper_prior(d, n, k);
+                assert!(
+                    new <= old * 1.000_001,
+                    "{d} at k={k}: new {new} > prior {old}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prior_two_choices_bound_is_void_for_large_k() {
+        let n = 10_000u64;
+        assert!(consensus_time_upper_prior(Dynamics::TwoChoices, n, 5_000).is_infinite());
+        assert!(consensus_time_upper_prior(Dynamics::TwoChoices, n, 10).is_finite());
+    }
+
+    #[test]
+    fn lower_bounds_stay_below_upper_bounds() {
+        for n in [1_000u64, 100_000, 10_000_000] {
+            for k in [2usize, 50, 1000] {
+                for d in [Dynamics::ThreeMajority, Dynamics::TwoChoices] {
+                    assert!(
+                        consensus_time_lower(d, n, k) <= consensus_time_upper(d, n, k),
+                        "{d} n={n} k={k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn theorem_2_1_shape() {
+        let n = 10_000u64;
+        let t = consensus_time_from_gamma(n, 0.5);
+        assert!((t - (n as f64).ln() / 0.5).abs() < 1e-12);
+        // Larger γ₀ means faster consensus.
+        assert!(consensus_time_from_gamma(n, 0.9) < consensus_time_from_gamma(n, 0.1));
+    }
+
+    #[test]
+    fn gamma_thresholds_ordering() {
+        // The 2-Choices threshold (log n)²/n is far below the 3-Majority
+        // log n/√n for large n.
+        let n = 1_000_000u64;
+        assert!(
+            gamma_threshold(Dynamics::TwoChoices, n) < gamma_threshold(Dynamics::ThreeMajority, n)
+        );
+        // Both are below 1 for large n and above 1/n.
+        for d in [Dynamics::ThreeMajority, Dynamics::TwoChoices] {
+            let g = gamma_threshold(d, n);
+            assert!(g < 1.0 && g > 1.0 / n as f64);
+        }
+    }
+
+    #[test]
+    fn plurality_margins() {
+        let n = 10_000u64;
+        let m3 = plurality_margin(Dynamics::ThreeMajority, n, 1.0);
+        assert!((m3 - ((n as f64).ln() / n as f64).sqrt()).abs() < 1e-15);
+        // 2-Choices margin shrinks with the leader's fraction — the paper's
+        // improvement over requiring a universal √(log n/n).
+        let weak_leader = plurality_margin(Dynamics::TwoChoices, n, 0.01);
+        assert!(weak_leader < m3);
+    }
+
+    #[test]
+    fn async_shape_crossover() {
+        let n = 10_000u64;
+        // k below √n: kn dominates; above: n^{3/2}.
+        assert!((async_three_majority_ticks(n, 10) - 10.0 * n as f64).abs() < 1e-6);
+        assert!(
+            (async_three_majority_ticks(n, 1000) - (n as f64).powf(1.5)).abs() < 1e-6
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "need n, k >= 2")]
+    fn rejects_degenerate_k() {
+        let _ = consensus_time_upper(Dynamics::ThreeMajority, 100, 1);
+    }
+}

@@ -1,0 +1,52 @@
+//! The paper's analytical machinery, implemented as an executable library.
+//!
+//! Every formula that *"3-Majority and 2-Choices with Many Opinions"*
+//! (Shimizu & Shiraga, PODC 2025) proves or relies on is available here as
+//! code, so that the experiment harness can compare simulated behaviour
+//! against theory line by line:
+//!
+//! * [`quantities`] — the exact conditional drifts and variance bounds of
+//!   **Lemma 4.1** and the non-weak-opinion inequalities of **Lemma 4.6**;
+//! * [`bernstein`] — the `(D, s)`-Bernstein parameters of **Lemmas 4.2 and
+//!   4.3**, plus an empirical moment-generating-function checker for
+//!   **Definition 3.3**;
+//! * [`constants`] — the universal constants of **Definition 4.4** and the
+//!   derived constants `C_{4.5(·)}`, `C_{4.6}`, `C_δ`;
+//! * [`bounds`] — theorem-level predictions (**Theorems 1.1, 2.1, 2.2, 2.6,
+//!   2.7**) and the prior-work bound curves of **Figure 1(a)**;
+//! * [`freedman`] — the additive drift lemma (**Lemma 3.5**) and the
+//!   bounded decrease of `γ` (**Lemma 4.7**);
+//! * [`drift`] — Monte-Carlo one-step drift estimation used to regenerate
+//!   **Table 1**.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bernstein;
+pub mod bounds;
+pub mod constants;
+pub mod drift;
+pub mod freedman;
+pub mod quantities;
+
+/// Which of the two dynamics a formula refers to (the paper proves each
+/// statement with different parameters for the two).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dynamics {
+    /// The 3-Majority dynamics.
+    ThreeMajority,
+    /// The 2-Choices dynamics.
+    TwoChoices,
+}
+
+impl std::fmt::Display for Dynamics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::ThreeMajority => write!(f, "3-Majority"),
+            Self::TwoChoices => write!(f, "2-Choices"),
+        }
+    }
+}
+
+pub use bernstein::{BernsteinParams, MgfCheck};
+pub use drift::{DriftComparison, DriftEstimator};

@@ -1,0 +1,216 @@
+//! The basic-quantity drift formulas of Lemma 4.1 and the non-weak-opinion
+//! inequalities of Lemma 4.6, as executable functions.
+//!
+//! All functions take fractions `α ∈ [0,1]` and the norm `γ = ‖α‖₂²`;
+//! variance bounds additionally take the population size `n`.
+
+use crate::Dynamics;
+use od_core::OpinionCounts;
+
+/// Lemma 4.1(i), expectation (both dynamics):
+/// `E_{t−1}[α_t(i)] = α(i)·(1 + α(i) − γ)`.
+#[must_use]
+pub fn expected_alpha_next(alpha_i: f64, gamma: f64) -> f64 {
+    alpha_i * (1.0 + alpha_i - gamma)
+}
+
+/// Lemma 4.1(i), variance upper bound:
+/// `α/n` for 3-Majority, `α(α + γ)/n` for 2-Choices.
+#[must_use]
+pub fn var_alpha_upper(dynamics: Dynamics, alpha_i: f64, gamma: f64, n: u64) -> f64 {
+    match dynamics {
+        Dynamics::ThreeMajority => alpha_i / n as f64,
+        Dynamics::TwoChoices => alpha_i * (alpha_i + gamma) / n as f64,
+    }
+}
+
+/// The *exact* one-round variance of `α_t(i)` for 3-Majority
+/// (eq. (22) with eq. (5)): `f(1−f)/n` with `f = α(1+α−γ)`.
+#[must_use]
+pub fn var_alpha_exact_three_majority(alpha_i: f64, gamma: f64, n: u64) -> f64 {
+    let f = expected_alpha_next(alpha_i, gamma);
+    f * (1.0 - f) / n as f64
+}
+
+/// The *exact* one-round variance of `α_t(i)` for 2-Choices (eq. (25)):
+/// `[α(1−γ+α²)(γ−α²) + (1−α)α²(1−α²)]/n`.
+#[must_use]
+pub fn var_alpha_exact_two_choices(alpha_i: f64, gamma: f64, n: u64) -> f64 {
+    let a = alpha_i;
+    (a * (1.0 - gamma + a * a) * (gamma - a * a) + (1.0 - a) * a * a * (1.0 - a * a)) / n as f64
+}
+
+/// Lemma 4.1(ii), expectation (both dynamics):
+/// `E_{t−1}[δ_t(i,j)] = δ·(1 + α(i) + α(j) − γ)`.
+#[must_use]
+pub fn expected_delta_next(delta: f64, alpha_i: f64, alpha_j: f64, gamma: f64) -> f64 {
+    delta * (1.0 + alpha_i + alpha_j - gamma)
+}
+
+/// Lemma 4.1(ii), variance upper bound:
+/// `2(α(i)+α(j))/n` for 3-Majority,
+/// `(α(i)+α(j))(α(i)+α(j)+γ)/n` for 2-Choices.
+#[must_use]
+pub fn var_delta_upper(dynamics: Dynamics, alpha_i: f64, alpha_j: f64, gamma: f64, n: u64) -> f64 {
+    let s = alpha_i + alpha_j;
+    match dynamics {
+        Dynamics::ThreeMajority => 2.0 * s / n as f64,
+        Dynamics::TwoChoices => s * (s + gamma) / n as f64,
+    }
+}
+
+/// Lemma 4.1(iii), lower bound on the conditional expectation of `γ_t`:
+/// `γ + (1−γ)/n` for 3-Majority, `γ + (1−√γ)(1−γ)γ/n` for 2-Choices.
+/// In particular `E[γ_t] ≥ γ_{t−1}` — `γ` is a submartingale.
+#[must_use]
+pub fn expected_gamma_lower(dynamics: Dynamics, gamma: f64, n: u64) -> f64 {
+    match dynamics {
+        Dynamics::ThreeMajority => gamma + (1.0 - gamma) / n as f64,
+        Dynamics::TwoChoices => {
+            gamma + (1.0 - gamma.sqrt()) * (1.0 - gamma) * gamma / n as f64
+        }
+    }
+}
+
+/// Lemma 4.6(i): for two non-weak opinions,
+/// `α(i) + α(j) − γ ≥ (1 − 2c_weak)/(1 − c_weak) · max{α(i), α(j)}`.
+/// Returns the right-hand side (the guaranteed lower bound).
+#[must_use]
+pub fn bias_growth_rate_lower(alpha_i: f64, alpha_j: f64, c_weak: f64) -> f64 {
+    (1.0 - 2.0 * c_weak) / (1.0 - c_weak) * alpha_i.max(alpha_j)
+}
+
+/// Lemma 4.6(ii): variance lower bound for the bias of two non-weak
+/// opinions: `C₄.₆³·(α(i)+α(j))/n` for 3-Majority,
+/// `C₄.₆²·(α(i)²+α(j)²)/n` for 2-Choices.
+#[must_use]
+pub fn var_delta_lower(
+    dynamics: Dynamics,
+    alpha_i: f64,
+    alpha_j: f64,
+    n: u64,
+    c_weak: f64,
+) -> f64 {
+    let c46 = crate::constants::c_4_6(c_weak);
+    match dynamics {
+        Dynamics::ThreeMajority => c46.powi(3) * (alpha_i + alpha_j) / n as f64,
+        Dynamics::TwoChoices => c46.powi(2) * (alpha_i * alpha_i + alpha_j * alpha_j) / n as f64,
+    }
+}
+
+/// The full expected next-round fraction vector for either dynamics
+/// (identical in expectation, eq. (1)).
+#[must_use]
+pub fn expected_next_fractions(counts: &OpinionCounts) -> Vec<f64> {
+    let gamma = counts.gamma();
+    counts
+        .fractions()
+        .iter()
+        .map(|&a| expected_alpha_next(a, gamma))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expected_alpha_fixed_points() {
+        // Consensus (α = 1, γ = 1) and extinction (α = 0) are fixed points.
+        assert_eq!(expected_alpha_next(1.0, 1.0), 1.0);
+        assert_eq!(expected_alpha_next(0.0, 0.3), 0.0);
+        // Balanced k=2: α = 1/2, γ = 1/2 is a fixed point in expectation.
+        assert!((expected_alpha_next(0.5, 0.5) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn expected_next_fractions_sum_to_one() {
+        let c = OpinionCounts::from_counts(vec![11, 23, 66]).unwrap();
+        let e = expected_next_fractions(&c);
+        assert!((e.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weak_opinion_shrinks_in_expectation() {
+        // α < γ ⇒ E[α'] < α (the heuristic behind Lemma 2.3).
+        let (a, gamma) = (0.05, 0.3);
+        assert!(expected_alpha_next(a, gamma) < a);
+        // α > γ ⇒ grows.
+        assert!(expected_alpha_next(0.5, 0.3) > 0.5);
+    }
+
+    #[test]
+    fn delta_drift_is_multiplicative() {
+        // E[δ'] / δ = 1 + α_i + α_j − γ, independent of δ.
+        let rate = expected_delta_next(1.0, 0.3, 0.2, 0.25);
+        for d in [0.01, 0.1, -0.2] {
+            assert!((expected_delta_next(d, 0.3, 0.2, 0.25) - rate * d).abs() < 1e-15);
+        }
+        assert!(rate > 1.0, "strong opinions give expansion");
+    }
+
+    #[test]
+    fn gamma_is_a_submartingale() {
+        for d in [Dynamics::ThreeMajority, Dynamics::TwoChoices] {
+            for g in [0.01, 0.1, 0.5, 0.9, 1.0] {
+                assert!(
+                    expected_gamma_lower(d, g, 1000) >= g,
+                    "{d}: γ = {g} decreased"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_variances_respect_upper_bounds() {
+        let n = 1000;
+        for (a, g) in [(0.1, 0.2), (0.3, 0.3), (0.6, 0.5), (0.01, 0.05)] {
+            let exact3 = var_alpha_exact_three_majority(a, g, n);
+            assert!(
+                exact3 <= var_alpha_upper(Dynamics::ThreeMajority, a, g, n) + 1e-15,
+                "3maj exact {exact3} above bound at α={a}, γ={g}"
+            );
+            let exact2 = var_alpha_exact_two_choices(a, g, n);
+            assert!(
+                exact2 <= var_alpha_upper(Dynamics::TwoChoices, a, g, n) + 1e-15,
+                "2ch exact {exact2} above bound at α={a}, γ={g}"
+            );
+        }
+    }
+
+    #[test]
+    fn two_choices_variance_is_smaller() {
+        // The paper's laziness intuition: for α ≤ γ ≤ something, the
+        // 2-Choices variance bound α(α+γ)/n is below the 3-Majority α/n
+        // whenever α + γ < 1.
+        let n = 100;
+        let (a, g) = (0.1, 0.2);
+        assert!(
+            var_alpha_upper(Dynamics::TwoChoices, a, g, n)
+                < var_alpha_upper(Dynamics::ThreeMajority, a, g, n)
+        );
+    }
+
+    #[test]
+    fn lemma_4_6_lower_bounds_are_consistent() {
+        // For non-weak i, j the drift rate bound must be non-negative and
+        // the variance floors positive.
+        let rate = bias_growth_rate_lower(0.3, 0.2, 0.1);
+        assert!((rate - (0.8 / 0.9) * 0.3).abs() < 1e-15);
+        for d in [Dynamics::ThreeMajority, Dynamics::TwoChoices] {
+            assert!(var_delta_lower(d, 0.3, 0.2, 1000, 0.1) > 0.0);
+        }
+    }
+
+    #[test]
+    fn variance_lower_bounds_stay_below_upper_bounds() {
+        let n = 500;
+        for (ai, aj, g) in [(0.3, 0.25, 0.2), (0.4, 0.35, 0.35)] {
+            for d in [Dynamics::ThreeMajority, Dynamics::TwoChoices] {
+                let lo = var_delta_lower(d, ai, aj, n, 0.1);
+                let hi = var_delta_upper(d, ai, aj, g, n);
+                assert!(lo <= hi, "{d}: lower {lo} above upper {hi}");
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! E9 / \[CMRSS25\] kernel: asynchronous 3-Majority to consensus.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use od_bench::rng_for;
+use od_core::protocol::ThreeMajority;
+use od_core::{AsyncSimulation, OpinionCounts};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_async(c: &mut Criterion) {
+    let mut group = c.benchmark_group("asynchronous");
+    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+    for k in [2usize, 32] {
+        let start = OpinionCounts::balanced(1_024, k).unwrap();
+        group.bench_with_input(BenchmarkId::new("3-majority", k), &start, |b, start| {
+            let mut trial = 0u64;
+            b.iter(|| {
+                trial += 1;
+                let mut rng = rng_for(13, trial);
+                black_box(
+                    AsyncSimulation::new(ThreeMajority)
+                        .run(start, &mut rng)
+                        .ticks,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_async);
+criterion_main!(benches);

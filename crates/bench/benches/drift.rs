@@ -1,0 +1,29 @@
+//! E6 / Table 1 kernel: the one-round population step whose drift the
+//! table verifies, for both dynamics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use od_bench::{one_round, rng_for};
+use od_core::protocol::{ThreeMajority, TwoChoices};
+use od_core::OpinionCounts;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_drift(c: &mut Criterion) {
+    let mut group = c.benchmark_group("drift_one_round");
+    group.sample_size(20).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2));
+    for k in [16usize, 256, 4_096] {
+        let start = OpinionCounts::balanced(100_000, k).unwrap();
+        group.bench_with_input(BenchmarkId::new("3-majority", k), &start, |b, start| {
+            let mut rng = rng_for(9, 0);
+            b.iter(|| black_box(one_round(&ThreeMajority, start, &mut rng)));
+        });
+        group.bench_with_input(BenchmarkId::new("2-choices", k), &start, |b, start| {
+            let mut rng = rng_for(10, 0);
+            b.iter(|| black_box(one_round(&TwoChoices, start, &mut rng)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_drift);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! E13 kernel: population vs agent engine throughput for the same round
+//! (the engine-equivalence measurement), plus the raw samplers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use od_bench::rng_for;
+use od_core::protocol::{expand, SyncProtocol, ThreeMajority, TwoChoices};
+use od_core::OpinionCounts;
+use od_sampling::{sample_binomial, sample_multinomial};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engines");
+    group.sample_size(20).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2));
+    let n = 10_000u64;
+    let start = OpinionCounts::balanced(n, 64).unwrap();
+
+    group.bench_function(BenchmarkId::new("population", "3maj"), |b| {
+        let mut rng = rng_for(17, 0);
+        b.iter(|| black_box(ThreeMajority.step_population(&start, &mut rng)));
+    });
+    group.bench_function(BenchmarkId::new("population", "2choices"), |b| {
+        let mut rng = rng_for(17, 1);
+        b.iter(|| black_box(TwoChoices.step_population(&start, &mut rng)));
+    });
+    group.bench_function(BenchmarkId::new("agents", "3maj"), |b| {
+        let mut rng = rng_for(17, 2);
+        let base = expand(&start);
+        b.iter(|| {
+            let mut ops = base.clone();
+            ThreeMajority.step_agents(&mut ops, &mut rng);
+            black_box(ops)
+        });
+    });
+
+    group.bench_function(BenchmarkId::new("sampler", "binomial"), |b| {
+        let mut rng = rng_for(17, 3);
+        b.iter(|| black_box(sample_binomial(&mut rng, 1_000_000, 0.3)));
+    });
+    let probs: Vec<f64> = (0..256).map(|_| 1.0 / 256.0).collect();
+    group.bench_function(BenchmarkId::new("sampler", "multinomial_k256"), |b| {
+        let mut rng = rng_for(17, 4);
+        b.iter(|| black_box(sample_multinomial(&mut rng, 1_000_000, &probs)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

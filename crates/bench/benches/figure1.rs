@@ -1,0 +1,35 @@
+//! E1 / Figure 1 kernel: time-to-consensus from the balanced
+//! configuration across the k sweep, both dynamics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use od_bench::{consensus_rounds, rng_for, BENCH_N};
+use od_core::protocol::{ThreeMajority, TwoChoices};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_figure1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure1_consensus");
+    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+    for k in [16usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::new("3-majority", k), &k, |b, &k| {
+            let mut trial = 0u64;
+            b.iter(|| {
+                trial += 1;
+                let mut rng = rng_for(1, trial);
+                black_box(consensus_rounds(&ThreeMajority, BENCH_N, k, &mut rng))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("2-choices", k), &k, |b, &k| {
+            let mut trial = 0u64;
+            b.iter(|| {
+                trial += 1;
+                let mut rng = rng_for(2, trial);
+                black_box(consensus_rounds(&TwoChoices, BENCH_N, k, &mut rng))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure1);
+criterion_main!(benches);

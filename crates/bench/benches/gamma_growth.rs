@@ -1,0 +1,43 @@
+//! E3 / Theorem 2.2 kernel: rounds until gamma reaches log n / sqrt n
+//! starting from k = n.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use od_bench::rng_for;
+use od_core::protocol::{SyncProtocol, ThreeMajority};
+use od_core::OpinionCounts;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn gamma_hit(n: u64, seed: u64) -> u64 {
+    let target = (n as f64).ln() / (n as f64).sqrt();
+    let mut rng = rng_for(4, seed);
+    let mut counts = OpinionCounts::balanced(n, n as usize).unwrap();
+    let mut round = 0u64;
+    while counts.gamma() < target {
+        counts = ThreeMajority.step_population(&counts, &mut rng);
+        round += 1;
+        if round.is_multiple_of(64) {
+            let nonzero: Vec<u64> = counts.counts().iter().copied().filter(|&c| c > 0).collect();
+            counts = OpinionCounts::from_counts(nonzero).unwrap();
+        }
+    }
+    round
+}
+
+fn bench_gamma_growth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gamma_growth");
+    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+    for n in [1_024u64, 4_096] {
+        group.bench_with_input(BenchmarkId::new("3-majority", n), &n, |b, &n| {
+            let mut trial = 0u64;
+            b.iter(|| {
+                trial += 1;
+                black_box(gamma_hit(n, trial))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gamma_growth);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! E11 / Section 2.5 kernel: h-Majority consensus across h.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use od_bench::{consensus_rounds, rng_for};
+use od_core::protocol::HMajority;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_hmajority(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hmajority");
+    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+    for h in [3usize, 7] {
+        let proto = HMajority::new(h).unwrap();
+        group.bench_with_input(BenchmarkId::new("balanced_k16", h), &proto, |b, proto| {
+            let mut trial = 0u64;
+            b.iter(|| {
+                trial += 1;
+                let mut rng = rng_for(15, trial);
+                black_box(consensus_rounds(proto, 2_048, 16, &mut rng))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hmajority);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! E7 / Figure 2 kernel: weak-opinion vanishing (Lemma 5.2) tracked by the
+//! stopping-time machinery.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use od_bench::rng_for;
+use od_core::protocol::{SyncProtocol, ThreeMajority};
+use od_core::{Observer, OpinionCounts, StoppingTracker};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn weak_vanish(seed: u64) -> Option<u64> {
+    let n = 10_000u64;
+    let weak = n / 200;
+    let lead = 3 * n / 10;
+    let rest = n - lead - weak;
+    let start =
+        OpinionCounts::from_counts(vec![lead, weak, rest / 2, rest - rest / 2]).unwrap();
+    let mut rng = rng_for(11, seed);
+    let mut tracker = StoppingTracker::new(1, 0, 1.0, 1.0, 1.0);
+    let mut counts = start;
+    tracker.observe(0, &counts);
+    for round in 1..=20_000u64 {
+        counts = ThreeMajority.step_population(&counts, &mut rng);
+        tracker.observe(round, &counts);
+        if tracker.times().tau_vanish_i.is_some() || counts.is_consensus() {
+            break;
+        }
+    }
+    tracker.times().tau_vanish_i
+}
+
+fn bench_lemmas(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lemma_pipeline");
+    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+    group.bench_function("weak_vanish_5_2", |b| {
+        let mut trial = 0u64;
+        b.iter(|| {
+            trial += 1;
+            black_box(weak_vanish(trial))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lemmas);
+criterion_main!(benches);

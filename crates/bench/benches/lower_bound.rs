@@ -1,0 +1,35 @@
+//! E5 / Theorem 2.7 kernel: consensus from the balanced configuration in
+//! the Omega(k) regime.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use od_bench::{consensus_rounds, rng_for, BENCH_N};
+use od_core::protocol::{ThreeMajority, TwoChoices};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_lower_bound(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lower_bound_balanced");
+    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+    for k in [32usize, 64] {
+        group.bench_with_input(BenchmarkId::new("3-majority", k), &k, |b, &k| {
+            let mut trial = 0u64;
+            b.iter(|| {
+                trial += 1;
+                let mut rng = rng_for(7, trial);
+                black_box(consensus_rounds(&ThreeMajority, BENCH_N, k, &mut rng))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("2-choices", k), &k, |b, &k| {
+            let mut trial = 0u64;
+            b.iter(|| {
+                trial += 1;
+                let mut rng = rng_for(8, trial);
+                black_box(consensus_rounds(&TwoChoices, BENCH_N, k, &mut rng))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lower_bound);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Shared helpers for the Criterion benchmark harness.
+//!
+//! Each bench target under `benches/` regenerates the measurement kernel
+//! of one paper artefact (see `DESIGN.md` §4): the benchmarked function is
+//! exactly the code the corresponding `od-experiments` module runs, at a
+//! bench-friendly scale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use od_core::protocol::SyncProtocol;
+use od_core::{OpinionCounts, Simulation};
+use rand::rngs::StdRng;
+
+pub use od_sampling::rng_for;
+
+/// The bench-scale population size.
+pub const BENCH_N: u64 = 4_096;
+
+/// Runs a protocol to consensus from the balanced configuration and
+/// returns the round count (the Figure 1 kernel).
+pub fn consensus_rounds<P: SyncProtocol>(protocol: &P, n: u64, k: usize, rng: &mut StdRng) -> u64 {
+    let start = OpinionCounts::balanced(n, k).expect("k <= n");
+    Simulation::new(ProtocolRef(protocol))
+        .with_max_rounds(50_000_000)
+        .run(&start, rng)
+        .rounds
+}
+
+/// Runs one synchronous population round (the drift/validation kernel).
+pub fn one_round<P: SyncProtocol>(
+    protocol: &P,
+    counts: &OpinionCounts,
+    rng: &mut StdRng,
+) -> OpinionCounts {
+    protocol.step_population(counts, rng)
+}
+
+/// A by-reference protocol adapter.
+pub struct ProtocolRef<'a, P: SyncProtocol>(pub &'a P);
+
+impl<P: SyncProtocol> SyncProtocol for ProtocolRef<'_, P> {
+    fn name(&self) -> &str {
+        self.0.name()
+    }
+
+    fn update_one(
+        &self,
+        own: u32,
+        source: &dyn od_core::protocol::OpinionSource,
+        rng: &mut dyn rand::RngCore,
+    ) -> u32 {
+        self.0.update_one(own, source, rng)
+    }
+
+    fn step_population(
+        &self,
+        counts: &OpinionCounts,
+        rng: &mut dyn rand::RngCore,
+    ) -> OpinionCounts {
+        self.0.step_population(counts, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use od_core::protocol::ThreeMajority;
+
+    #[test]
+    fn consensus_rounds_terminates() {
+        let mut rng = rng_for(1, 0);
+        let rounds = consensus_rounds(&ThreeMajority, 512, 4, &mut rng);
+        assert!(rounds > 0);
+    }
+}

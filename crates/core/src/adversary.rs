@@ -1,0 +1,180 @@
+//! Adversarial corruption (Section 2.5): an adversary may corrupt the
+//! opinions of `F = o(n)` vertices each round. \[GL18\] showed 3-Majority
+//! tolerates `F = O(√n/k^{1.5})`; the harness probes this threshold.
+
+use crate::config::OpinionCounts;
+use rand::{Rng, RngCore};
+
+/// An adversary that rewrites up to `F` vertices' opinions after each
+/// protocol round.
+pub trait Adversary {
+    /// Corrupts the configuration in place after round `round`.
+    fn corrupt(&mut self, round: u64, counts: &mut OpinionCounts, rng: &mut dyn RngCore);
+
+    /// The per-round corruption budget `F`.
+    fn budget(&self) -> u64;
+}
+
+/// Moves `F` vertices per round from the current plurality opinion to the
+/// runner-up — the canonical strategy for delaying consensus, since it
+/// directly fights the bias amplification of Lemma 5.4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoostRunnerUp {
+    budget: u64,
+}
+
+impl BoostRunnerUp {
+    /// Creates the adversary with per-round budget `f`.
+    #[must_use]
+    pub fn new(f: u64) -> Self {
+        Self { budget: f }
+    }
+}
+
+impl Adversary for BoostRunnerUp {
+    fn corrupt(&mut self, _round: u64, counts: &mut OpinionCounts, rng: &mut dyn RngCore) {
+        let _ = rng;
+        let lead = counts.plurality();
+        if let Some(second) = counts.runner_up() {
+            // Never invert the order: moving more than half the gap would
+            // make the runner-up the new plurality, wasting budget. The
+            // "keep it tied" strategy caps at equalising.
+            let gap = counts.count(lead).saturating_sub(counts.count(second));
+            counts.transfer(lead, second, self.budget.min(gap / 2));
+        }
+    }
+
+    fn budget(&self) -> u64 {
+        self.budget
+    }
+}
+
+/// Keeps weak opinions alive: each round moves up to `F` vertices from the
+/// plurality to the currently *smallest surviving* opinion, directly
+/// fighting weak-opinion vanishing (Lemma 5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupportWeakest {
+    budget: u64,
+}
+
+impl SupportWeakest {
+    /// Creates the adversary with per-round budget `f`.
+    #[must_use]
+    pub fn new(f: u64) -> Self {
+        Self { budget: f }
+    }
+}
+
+impl Adversary for SupportWeakest {
+    fn corrupt(&mut self, _round: u64, counts: &mut OpinionCounts, rng: &mut dyn RngCore) {
+        let _ = rng;
+        let lead = counts.plurality();
+        let weakest = counts
+            .support()
+            .filter(|&i| i != lead)
+            .min_by_key(|&i| counts.count(i));
+        if let Some(w) = weakest {
+            counts.transfer(lead, w, self.budget);
+        }
+    }
+
+    fn budget(&self) -> u64 {
+        self.budget
+    }
+}
+
+/// Moves `F` uniformly chosen vertices to uniformly random opinion slots —
+/// an oblivious noise baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RandomNoise {
+    budget: u64,
+}
+
+impl RandomNoise {
+    /// Creates the adversary with per-round budget `f`.
+    #[must_use]
+    pub fn new(f: u64) -> Self {
+        Self { budget: f }
+    }
+}
+
+impl Adversary for RandomNoise {
+    fn corrupt(&mut self, _round: u64, counts: &mut OpinionCounts, rng: &mut dyn RngCore) {
+        let k = counts.k();
+        for _ in 0..self.budget {
+            // Choose a uniformly random vertex by choosing its opinion
+            // proportionally to counts, then re-assign it uniformly.
+            let r = rng.random_range(0..counts.n());
+            let mut acc = 0u64;
+            let mut from = 0usize;
+            for (i, &c) in counts.counts().iter().enumerate() {
+                acc += c;
+                if r < acc {
+                    from = i;
+                    break;
+                }
+            }
+            let to = rng.random_range(0..k);
+            counts.transfer(from, to, 1);
+        }
+    }
+
+    fn budget(&self) -> u64 {
+        self.budget
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use od_sampling::rng_for;
+
+    #[test]
+    fn boost_runner_up_narrows_the_gap() {
+        let mut adv = BoostRunnerUp::new(10);
+        let mut c = OpinionCounts::from_counts(vec![80, 20]).unwrap();
+        let mut rng = rng_for(160, 0);
+        adv.corrupt(1, &mut c, &mut rng);
+        assert_eq!(c.n(), 100);
+        assert!(c.count(0) < 80);
+        assert!(c.count(1) > 20);
+    }
+
+    #[test]
+    fn boost_runner_up_never_inverts_order() {
+        let mut adv = BoostRunnerUp::new(1000);
+        let mut c = OpinionCounts::from_counts(vec![55, 45]).unwrap();
+        let mut rng = rng_for(161, 0);
+        adv.corrupt(1, &mut c, &mut rng);
+        assert!(c.count(0) >= c.count(1), "order inverted: {c}");
+    }
+
+    #[test]
+    fn support_weakest_feeds_smallest_survivor() {
+        let mut adv = SupportWeakest::new(5);
+        let mut c = OpinionCounts::from_counts(vec![90, 7, 3, 0]).unwrap();
+        let mut rng = rng_for(162, 0);
+        adv.corrupt(1, &mut c, &mut rng);
+        assert_eq!(c.count(2), 8);
+        assert_eq!(c.count(3), 0, "vanished opinions are not resurrected");
+        assert_eq!(c.n(), 100);
+    }
+
+    #[test]
+    fn random_noise_preserves_population() {
+        let mut adv = RandomNoise::new(20);
+        let mut c = OpinionCounts::from_counts(vec![50, 30, 20]).unwrap();
+        let mut rng = rng_for(163, 0);
+        for round in 0..50 {
+            adv.corrupt(round, &mut c, &mut rng);
+            assert_eq!(c.n(), 100);
+        }
+    }
+
+    #[test]
+    fn budgets_are_reported() {
+        assert_eq!(BoostRunnerUp::new(7).budget(), 7);
+        assert_eq!(SupportWeakest::new(8).budget(), 8);
+        assert_eq!(RandomNoise::new(9).budget(), 9);
+    }
+}

@@ -1,0 +1,294 @@
+//! The synchronous simulation engine.
+
+use crate::adversary::Adversary;
+use crate::config::OpinionCounts;
+use crate::observer::Observer;
+use crate::protocol::SyncProtocol;
+use rand::RngCore;
+
+/// Why a run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum StopReason {
+    /// All vertices agree on one opinion (`τ_cons` reached).
+    Consensus,
+    /// The round cap was hit first.
+    RoundLimit,
+    /// A caller-supplied predicate requested the stop.
+    Predicate,
+}
+
+/// Outcome of one simulated run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutcome {
+    /// Number of rounds executed.
+    pub rounds: u64,
+    /// The consensus opinion, when consensus was reached.
+    pub winner: Option<usize>,
+    /// Why the run stopped.
+    pub reason: StopReason,
+    /// The final configuration.
+    pub final_counts: OpinionCounts,
+}
+
+impl RunOutcome {
+    /// True if the run ended in consensus.
+    #[must_use]
+    pub fn reached_consensus(&self) -> bool {
+        self.reason == StopReason::Consensus
+    }
+}
+
+/// A configured synchronous simulation of one protocol.
+///
+/// # Examples
+///
+/// ```
+/// use od_core::{OpinionCounts, Simulation, protocol::ThreeMajority};
+/// let sim = Simulation::new(ThreeMajority).with_max_rounds(10_000);
+/// let start = OpinionCounts::balanced(1000, 4).unwrap();
+/// let mut rng = od_sampling::rng_for(1, 0);
+/// let outcome = sim.run(&start, &mut rng);
+/// assert!(outcome.reached_consensus());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulation<P> {
+    protocol: P,
+    max_rounds: u64,
+}
+
+/// Default round cap — generous enough for every regime the paper covers
+/// (`Θ̃(n)` for 2-Choices at `k = n`), small enough to catch runaway loops.
+const DEFAULT_MAX_ROUNDS: u64 = 100_000_000;
+
+impl<P: SyncProtocol> Simulation<P> {
+    /// Creates a simulation of `protocol` with the default round cap.
+    #[must_use]
+    pub fn new(protocol: P) -> Self {
+        Self {
+            protocol,
+            max_rounds: DEFAULT_MAX_ROUNDS,
+        }
+    }
+
+    /// Sets the maximum number of rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_rounds == 0`.
+    #[must_use]
+    pub fn with_max_rounds(mut self, max_rounds: u64) -> Self {
+        assert!(max_rounds > 0, "with_max_rounds: cap must be positive");
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// The protocol under simulation.
+    #[must_use]
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// Runs until consensus or the round cap.
+    pub fn run(&self, initial: &OpinionCounts, rng: &mut dyn RngCore) -> RunOutcome {
+        self.run_observed(initial, rng, &mut crate::observer::NullObserver)
+    }
+
+    /// Runs until consensus or the round cap, reporting every round
+    /// (including round 0) to `observer`.
+    pub fn run_observed(
+        &self,
+        initial: &OpinionCounts,
+        rng: &mut dyn RngCore,
+        observer: &mut dyn Observer,
+    ) -> RunOutcome {
+        self.run_internal(initial, rng, observer, &mut |_, _| false, None)
+    }
+
+    /// Runs until consensus, the round cap, or `stop(round, counts)`
+    /// returning `true` (checked after each round, including round 0).
+    pub fn run_until(
+        &self,
+        initial: &OpinionCounts,
+        rng: &mut dyn RngCore,
+        stop: &mut dyn FnMut(u64, &OpinionCounts) -> bool,
+    ) -> RunOutcome {
+        self.run_internal(initial, rng, &mut crate::observer::NullObserver, stop, None)
+    }
+
+    /// Runs with an adversary corrupting the configuration after every
+    /// protocol round (the model of \[GL18\], discussed in Section 2.5).
+    ///
+    /// Because the adversary re-corrupts `F` vertices every round, *strict*
+    /// consensus is unreachable against most strategies; the run therefore
+    /// also stops (with [`StopReason::Predicate`]) at **near-consensus**:
+    /// when the plurality holds at least `n − 2F` vertices, the \[GL18\]
+    /// success notion. Use [`Simulation::run_until`] composed manually for
+    /// other criteria.
+    pub fn run_with_adversary(
+        &self,
+        initial: &OpinionCounts,
+        rng: &mut dyn RngCore,
+        adversary: &mut dyn Adversary,
+    ) -> RunOutcome {
+        let threshold = initial.n().saturating_sub(2 * adversary.budget()).max(1);
+        self.run_internal(
+            initial,
+            rng,
+            &mut crate::observer::NullObserver,
+            &mut |_, c| c.plurality_count() >= threshold,
+            Some(adversary),
+        )
+    }
+
+    fn run_internal(
+        &self,
+        initial: &OpinionCounts,
+        rng: &mut dyn RngCore,
+        observer: &mut dyn Observer,
+        stop: &mut dyn FnMut(u64, &OpinionCounts) -> bool,
+        mut adversary: Option<&mut dyn Adversary>,
+    ) -> RunOutcome {
+        let mut counts = initial.clone();
+        let mut round: u64 = 0;
+        observer.observe(0, &counts);
+        loop {
+            if let Some(winner) = counts.consensus_opinion() {
+                return RunOutcome {
+                    rounds: round,
+                    winner: Some(winner),
+                    reason: StopReason::Consensus,
+                    final_counts: counts,
+                };
+            }
+            if stop(round, &counts) {
+                return RunOutcome {
+                    rounds: round,
+                    winner: None,
+                    reason: StopReason::Predicate,
+                    final_counts: counts,
+                };
+            }
+            if round >= self.max_rounds {
+                return RunOutcome {
+                    rounds: round,
+                    winner: None,
+                    reason: StopReason::RoundLimit,
+                    final_counts: counts,
+                };
+            }
+            counts = self.protocol.step_population(&counts, rng);
+            if let Some(adv) = adversary.as_deref_mut() {
+                adv.corrupt(round + 1, &mut counts, rng);
+            }
+            round += 1;
+            observer.observe(round, &counts);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observer::{GammaTrace, SupportTrace};
+    use crate::protocol::{ThreeMajority, TwoChoices};
+    use od_sampling::rng_for;
+
+    #[test]
+    fn consensus_from_biased_start() {
+        let sim = Simulation::new(ThreeMajority);
+        let start = OpinionCounts::from_counts(vec![800, 200]).unwrap();
+        let mut rng = rng_for(150, 0);
+        let out = sim.run(&start, &mut rng);
+        assert!(out.reached_consensus());
+        assert_eq!(out.winner, Some(0));
+        assert_eq!(out.final_counts.consensus_opinion(), Some(0));
+    }
+
+    #[test]
+    fn already_consensus_takes_zero_rounds() {
+        let sim = Simulation::new(TwoChoices);
+        let start = OpinionCounts::consensus(100, 3, 2).unwrap();
+        let mut rng = rng_for(151, 0);
+        let out = sim.run(&start, &mut rng);
+        assert_eq!(out.rounds, 0);
+        assert_eq!(out.winner, Some(2));
+    }
+
+    #[test]
+    fn round_limit_stops_the_run() {
+        let sim = Simulation::new(ThreeMajority).with_max_rounds(3);
+        let start = OpinionCounts::balanced(100_000, 1000).unwrap();
+        let mut rng = rng_for(152, 0);
+        let out = sim.run(&start, &mut rng);
+        assert_eq!(out.reason, StopReason::RoundLimit);
+        assert_eq!(out.rounds, 3);
+        assert_eq!(out.winner, None);
+    }
+
+    #[test]
+    fn predicate_stop_fires() {
+        // Stop once the plurality holds 90% — this is always crossed before
+        // consensus (the remaining 10% of vertices cannot all vanish in one
+        // round at this scale).
+        let sim = Simulation::new(ThreeMajority);
+        let start = OpinionCounts::balanced(10_000, 10).unwrap();
+        let mut rng = rng_for(153, 0);
+        let out = sim.run_until(&start, &mut rng, &mut |_, c| c.max_fraction() >= 0.9);
+        assert_eq!(out.reason, StopReason::Predicate);
+        assert!(out.final_counts.max_fraction() >= 0.9);
+        assert!(!out.final_counts.is_consensus());
+    }
+
+    #[test]
+    fn observer_sees_every_round() {
+        let sim = Simulation::new(ThreeMajority).with_max_rounds(10);
+        let start = OpinionCounts::balanced(1000, 100).unwrap();
+        let mut rng = rng_for(154, 0);
+        let mut trace = GammaTrace::new();
+        let out = sim.run_observed(&start, &mut rng, &mut trace);
+        assert_eq!(trace.values().len() as u64, out.rounds + 1);
+        // Round 0 is the initial configuration.
+        assert!((trace.values()[0] - start.gamma()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn support_never_increases_for_three_majority() {
+        // Validity: vanished opinions never return, so support is
+        // non-increasing along any run.
+        let sim = Simulation::new(ThreeMajority).with_max_rounds(2000);
+        let start = OpinionCounts::balanced(2000, 50).unwrap();
+        let mut rng = rng_for(155, 0);
+        let mut trace = SupportTrace::new();
+        let _ = sim.run_observed(&start, &mut rng, &mut trace);
+        for pair in trace.values().windows(2) {
+            assert!(pair[1] <= pair[0], "support increased: {pair:?}");
+        }
+    }
+
+    #[test]
+    fn adversary_run_stops_at_near_consensus() {
+        use crate::adversary::BoostRunnerUp;
+        let sim = Simulation::new(ThreeMajority).with_max_rounds(100_000);
+        let start = OpinionCounts::from_counts(vec![700, 300]).unwrap();
+        let mut rng = rng_for(157, 0);
+        let mut adv = BoostRunnerUp::new(3);
+        let out = sim.run_with_adversary(&start, &mut rng, &mut adv);
+        // Strict consensus is impossible (the adversary resurrects the
+        // runner-up every round), but near-consensus must be reached.
+        assert_eq!(out.reason, StopReason::Predicate);
+        assert!(out.final_counts.plurality_count() >= 1000 - 6);
+    }
+
+    #[test]
+    fn winner_is_initially_supported() {
+        // The validity condition of consensus dynamics.
+        let sim = Simulation::new(TwoChoices).with_max_rounds(100_000);
+        let start = OpinionCounts::from_counts(vec![0, 500, 0, 500, 0]).unwrap();
+        let mut rng = rng_for(156, 0);
+        let out = sim.run(&start, &mut rng);
+        if let Some(w) = out.winner {
+            assert!(w == 1 || w == 3, "winner {w} was not initially supported");
+        }
+    }
+}

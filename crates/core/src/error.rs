@@ -1,0 +1,62 @@
+//! Error types for configuration construction.
+
+use std::fmt;
+
+/// Error constructing an [`crate::OpinionCounts`] configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The counts vector was empty (there must be at least one opinion slot).
+    NoOpinions,
+    /// The total population was zero.
+    ZeroPopulation,
+    /// A balanced/biased constructor was asked for more opinions than
+    /// vertices, so the validity condition (every opinion initially
+    /// supported) cannot hold.
+    MoreOpinionsThanVertices {
+        /// Requested number of opinions.
+        k: usize,
+        /// Number of vertices.
+        n: u64,
+    },
+    /// An opinion index was out of range.
+    OpinionOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// The number of opinion slots.
+        k: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NoOpinions => write!(f, "configuration must have at least one opinion slot"),
+            Self::ZeroPopulation => write!(f, "configuration must have at least one vertex"),
+            Self::MoreOpinionsThanVertices { k, n } => {
+                write!(f, "cannot support {k} opinions with only {n} vertices")
+            }
+            Self::OpinionOutOfRange { index, k } => {
+                write!(f, "opinion index {index} out of range for k = {k}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(ConfigError::NoOpinions.to_string().contains("at least one opinion"));
+        assert!(ConfigError::ZeroPopulation.to_string().contains("at least one vertex"));
+        assert!(ConfigError::MoreOpinionsThanVertices { k: 5, n: 3 }
+            .to_string()
+            .contains("5 opinions"));
+        assert!(ConfigError::OpinionOutOfRange { index: 9, k: 3 }
+            .to_string()
+            .contains("index 9"));
+    }
+}

@@ -1,0 +1,240 @@
+//! Agent-level dynamics on arbitrary graphs (Section 2.5: "it would be
+//! interesting to analyze 3-Majority or 2-Choices with many opinions on
+//! graphs other than the complete graph").
+//!
+//! Here "choose a random neighbor" samples from the actual neighborhood of
+//! the updating vertex, so the configuration alone is no longer a
+//! sufficient state and we track per-vertex opinions.
+
+use crate::config::OpinionCounts;
+use crate::engine::StopReason;
+use crate::protocol::{tally, OpinionSource, SyncProtocol};
+use od_graphs::Graph;
+use rand::RngCore;
+
+/// Outcome of a run on a general graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphRunOutcome {
+    /// Number of synchronous rounds executed.
+    pub rounds: u64,
+    /// The consensus opinion, when reached.
+    pub winner: Option<usize>,
+    /// Why the run stopped.
+    pub reason: StopReason,
+    /// Final per-vertex opinions.
+    pub final_opinions: Vec<u32>,
+}
+
+struct NeighborSource<'a, G: Graph> {
+    graph: &'a G,
+    vertex: usize,
+    opinions: &'a [u32],
+}
+
+impl<G: Graph> OpinionSource for NeighborSource<'_, G> {
+    fn draw(&self, rng: &mut dyn RngCore) -> u32 {
+        self.opinions[self.graph.sample_neighbor(self.vertex, rng)]
+    }
+}
+
+/// Synchronous dynamics of `protocol` on `graph`.
+///
+/// # Examples
+///
+/// ```
+/// use od_core::{GraphSimulation, protocol::ThreeMajority};
+/// use od_graphs::CompleteWithSelfLoops;
+/// let g = CompleteWithSelfLoops::new(200);
+/// let sim = GraphSimulation::new(ThreeMajority, g).with_max_rounds(10_000);
+/// let opinions: Vec<u32> = (0..200).map(|v| (v % 2) as u32).collect();
+/// let mut rng = od_sampling::rng_for(3, 0);
+/// let out = sim.run(&opinions, &mut rng);
+/// assert!(out.rounds > 0 || out.winner.is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphSimulation<P, G> {
+    protocol: P,
+    graph: G,
+    max_rounds: u64,
+}
+
+const DEFAULT_MAX_ROUNDS: u64 = 1_000_000;
+
+impl<P: SyncProtocol, G: Graph> GraphSimulation<P, G> {
+    /// Creates a simulation of `protocol` on `graph`.
+    #[must_use]
+    pub fn new(protocol: P, graph: G) -> Self {
+        Self {
+            protocol,
+            graph,
+            max_rounds: DEFAULT_MAX_ROUNDS,
+        }
+    }
+
+    /// Sets the round cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_rounds == 0`.
+    #[must_use]
+    pub fn with_max_rounds(mut self, max_rounds: u64) -> Self {
+        assert!(max_rounds > 0, "with_max_rounds: cap must be positive");
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// The underlying graph.
+    #[must_use]
+    pub fn graph(&self) -> &G {
+        &self.graph
+    }
+
+    /// Performs one synchronous round in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `opinions.len() != graph.n()`.
+    pub fn step(&self, opinions: &mut [u32], rng: &mut dyn RngCore) {
+        assert_eq!(
+            opinions.len(),
+            self.graph.n(),
+            "step: opinions length must equal the number of vertices"
+        );
+        let old = opinions.to_vec();
+        for (v, slot) in opinions.iter_mut().enumerate() {
+            let source = NeighborSource {
+                graph: &self.graph,
+                vertex: v,
+                opinions: &old,
+            };
+            *slot = self.protocol.update_one(old[v], &source, rng);
+        }
+    }
+
+    /// Runs until all vertices agree or the round cap is reached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial.len() != graph.n()` or `initial` is empty.
+    pub fn run(&self, initial: &[u32], rng: &mut dyn RngCore) -> GraphRunOutcome {
+        assert!(!initial.is_empty(), "run: initial opinions must be non-empty");
+        let mut opinions = initial.to_vec();
+        let mut rounds: u64 = 0;
+        loop {
+            if let Some(&first) = opinions.first() {
+                if opinions.iter().all(|&o| o == first) {
+                    return GraphRunOutcome {
+                        rounds,
+                        winner: Some(first as usize),
+                        reason: StopReason::Consensus,
+                        final_opinions: opinions,
+                    };
+                }
+            }
+            if rounds >= self.max_rounds {
+                return GraphRunOutcome {
+                    rounds,
+                    winner: None,
+                    reason: StopReason::RoundLimit,
+                    final_opinions: opinions,
+                };
+            }
+            self.step(&mut opinions, rng);
+            rounds += 1;
+        }
+    }
+
+    /// Tallies per-vertex opinions into a configuration with `k` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an opinion index is `>= k`.
+    #[must_use]
+    pub fn tally(&self, opinions: &[u32], k: usize) -> OpinionCounts {
+        tally(opinions, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{ThreeMajority, TwoChoices};
+    use od_graphs::{cycle, random_regular, CompleteWithSelfLoops};
+    use od_sampling::rng_for;
+
+    #[test]
+    fn complete_graph_agrees_with_population_engine_in_expectation() {
+        // On the complete graph with self-loops, the graph engine is the
+        // same process as the population engine: compare mean one-round
+        // fractions.
+        let n = 300usize;
+        let g = CompleteWithSelfLoops::new(n);
+        let sim = GraphSimulation::new(ThreeMajority, g);
+        let initial: Vec<u32> = (0..n).map(|v| u32::from(v >= 180)).collect(); // 60/40
+        let trials = 2000;
+        let mut rng = rng_for(180, 0);
+        let mut mean0 = 0.0;
+        for _ in 0..trials {
+            let mut ops = initial.clone();
+            sim.step(&mut ops, &mut rng);
+            mean0 += ops.iter().filter(|&&o| o == 0).count() as f64 / n as f64;
+        }
+        mean0 /= trials as f64;
+        // E[α'(0)] = α(1 + α − γ) with α = 0.6, γ = 0.52.
+        let want = 0.6 * (1.0 + 0.6 - 0.52);
+        assert!((mean0 - want).abs() < 5e-3, "{mean0} vs {want}");
+    }
+
+    #[test]
+    fn expander_reaches_consensus_fast_with_bias() {
+        let mut rng = rng_for(181, 0);
+        let g = random_regular(200, 6, &mut rng).unwrap();
+        let sim = GraphSimulation::new(ThreeMajority, g).with_max_rounds(5_000);
+        let initial: Vec<u32> = (0..200).map(|v| u32::from(v >= 140)).collect(); // 70/30
+        let out = sim.run(&initial, &mut rng);
+        assert_eq!(out.reason, StopReason::Consensus);
+        assert_eq!(out.winner, Some(0));
+    }
+
+    #[test]
+    fn cycle_is_slow_two_choices_often_stalls() {
+        // 2-Choices on a cycle: a vertex changes only when both sampled
+        // neighbors agree against it; alternating blocks are very stable.
+        // We only assert the engine runs and respects the cap.
+        let g = cycle(100);
+        let mut rng = rng_for(182, 0);
+        let sim = GraphSimulation::new(TwoChoices, g).with_max_rounds(50);
+        let initial: Vec<u32> = (0..100).map(|v| ((v / 10) % 2) as u32).collect();
+        let out = sim.run(&initial, &mut rng);
+        assert!(out.rounds <= 50);
+        assert_eq!(out.final_opinions.len(), 100);
+    }
+
+    #[test]
+    fn consensus_is_detected_immediately() {
+        let g = CompleteWithSelfLoops::new(10);
+        let sim = GraphSimulation::new(ThreeMajority, g);
+        let mut rng = rng_for(183, 0);
+        let out = sim.run(&[3u32; 10], &mut rng);
+        assert_eq!(out.rounds, 0);
+        assert_eq!(out.winner, Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "length must equal")]
+    fn step_validates_length() {
+        let g = CompleteWithSelfLoops::new(10);
+        let sim = GraphSimulation::new(ThreeMajority, g);
+        let mut rng = rng_for(184, 0);
+        let mut ops = vec![0u32; 5];
+        sim.step(&mut ops, &mut rng);
+    }
+
+    #[test]
+    fn tally_helper_counts() {
+        let g = CompleteWithSelfLoops::new(4);
+        let sim = GraphSimulation::new(ThreeMajority, g);
+        let c = sim.tally(&[0, 1, 1, 2], 4);
+        assert_eq!(c.counts(), &[1, 2, 1, 0]);
+    }
+}

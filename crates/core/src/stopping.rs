@@ -1,0 +1,330 @@
+//! The stopping-time zoo of Definition 4.4 (and the vanishing time of
+//! Definition 5.1), implemented as an online tracker.
+//!
+//! Experiments attach a [`StoppingTracker`] to a run and read off the first
+//! hitting times `τ↑ᵢ, τ↓ᵢ, τ±_δ, τ±_γ, τ_weak, τ_active, τ_vanish` that the
+//! paper's lemmas reason about.
+
+use crate::config::OpinionCounts;
+use crate::observer::Observer;
+
+/// The universal constants of Definition 4.4 (the values suggested in the
+/// paper: `c↑_α = c↓_α = c_weak = 1/10`, `c↑_δ = c↓_δ = c_active = 1/20`,
+/// `c↑_γ = c↓_γ = 1/30`, plus `c↑_η = 1/1000` from Definition 5.3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct StoppingConstants {
+    /// `c↑_α`: threshold factor for `τ↑ᵢ` (`α` grows by `1 + c↑_α`).
+    pub c_up_alpha: f64,
+    /// `c↓_α`: threshold factor for `τ↓ᵢ` (`α` drops by `1 − c↓_α`).
+    pub c_down_alpha: f64,
+    /// `c↑_δ`: threshold factor for `τ↑_δ`.
+    pub c_up_delta: f64,
+    /// `c↓_δ`: threshold factor for `τ↓_δ`.
+    pub c_down_delta: f64,
+    /// `c↑_γ`: threshold factor for `τ↑_γ`.
+    pub c_up_gamma: f64,
+    /// `c↓_γ`: threshold factor for `τ↓_γ`.
+    pub c_down_gamma: f64,
+    /// `c_weak`: opinion `i` is *weak* at `t` if `α_t(i) ≤ (1 − c_weak)·γ_t`.
+    pub c_weak: f64,
+    /// `c_active`: opinion `i` is *active* at `t` if
+    /// `α_t(i) ≥ (1 − c_active)·γ_0`.
+    pub c_active: f64,
+    /// `c↑_η`: threshold factor for `τ↑_η` (2-Choices scaled bias).
+    pub c_up_eta: f64,
+}
+
+impl Default for StoppingConstants {
+    fn default() -> Self {
+        Self {
+            c_up_alpha: 0.1,
+            c_down_alpha: 0.1,
+            c_up_delta: 0.05,
+            c_down_delta: 0.05,
+            c_up_gamma: 1.0 / 30.0,
+            c_down_gamma: 1.0 / 30.0,
+            c_weak: 0.1,
+            c_active: 0.05,
+            c_up_eta: 0.001,
+        }
+    }
+}
+
+impl StoppingConstants {
+    /// True if opinion `i` is **weak** at the given configuration
+    /// (Definition 4.4(iv)): `α(i) ≤ (1 − c_weak)·γ`.
+    #[must_use]
+    pub fn is_weak(&self, counts: &OpinionCounts, i: usize) -> bool {
+        counts.fraction(i) <= (1.0 - self.c_weak) * counts.gamma()
+    }
+
+    /// True if opinion `i` is **active** at the given configuration
+    /// relative to the initial norm `gamma0` (Definition 4.4(v)):
+    /// `α(i) ≥ (1 − c_active)·γ₀`.
+    #[must_use]
+    pub fn is_active(&self, counts: &OpinionCounts, i: usize, gamma0: f64) -> bool {
+        counts.fraction(i) >= (1.0 - self.c_active) * gamma0
+    }
+}
+
+/// First hitting times recorded by a [`StoppingTracker`]; `None` means the
+/// event has not occurred yet.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct HittingTimes {
+    /// `τ↑ᵢ`: `α_t(i) ≥ (1 + c↑_α)·α_0(i)`.
+    pub tau_up_i: Option<u64>,
+    /// `τ↓ᵢ`: `α_t(i) ≤ (1 − c↓_α)·α_0(i)`.
+    pub tau_down_i: Option<u64>,
+    /// `τ↑ⱼ` for the second tracked opinion.
+    pub tau_up_j: Option<u64>,
+    /// `τ↓ⱼ` for the second tracked opinion.
+    pub tau_down_j: Option<u64>,
+    /// `τ↑_δ`: `δ_t(i,j) ≥ (1 + c↑_δ)·δ_0(i,j)`.
+    pub tau_up_delta: Option<u64>,
+    /// `τ↓_δ`: `δ_t(i,j) ≤ (1 − c↓_δ)·δ_0(i,j)`.
+    pub tau_down_delta: Option<u64>,
+    /// `τ⁺_δ`: `|δ_t(i,j)| ≥ x_δ`.
+    pub tau_plus_delta: Option<u64>,
+    /// `τ↑_η`: `η_t(i,j) ≥ (1 + c↑_η)·η_0(i,j)`.
+    pub tau_up_eta: Option<u64>,
+    /// `τ⁺_η`: `|η_t(i,j)| ≥ x_η`.
+    pub tau_plus_eta: Option<u64>,
+    /// `τ↑_γ`: `γ_t ≥ (1 + c↑_γ)·γ_0`.
+    pub tau_up_gamma: Option<u64>,
+    /// `τ↓_γ`: `γ_t ≤ (1 − c↓_γ)·γ_0`.
+    pub tau_down_gamma: Option<u64>,
+    /// `τ⁺_γ`: `γ_t ≥ x_γ`.
+    pub tau_plus_gamma: Option<u64>,
+    /// `τ_weak(i)`: opinion `i` becomes weak.
+    pub tau_weak_i: Option<u64>,
+    /// `τ_weak(j)`: opinion `j` becomes weak.
+    pub tau_weak_j: Option<u64>,
+    /// `τ_active(i)`: opinion `i` becomes active.
+    pub tau_active_i: Option<u64>,
+    /// `τ_vanish(i)`: opinion `i` reaches zero support (Definition 5.1).
+    pub tau_vanish_i: Option<u64>,
+    /// `τ_vanish(j)`.
+    pub tau_vanish_j: Option<u64>,
+}
+
+/// Watches a run and records the Definition 4.4 stopping times for one
+/// ordered pair of opinions `(i, j)`.
+///
+/// Implements [`Observer`], so it plugs into
+/// [`crate::Simulation::run_observed`].
+#[derive(Debug, Clone)]
+pub struct StoppingTracker {
+    constants: StoppingConstants,
+    i: usize,
+    j: usize,
+    x_delta: f64,
+    x_eta: f64,
+    x_gamma: f64,
+    alpha0_i: Option<f64>,
+    alpha0_j: Option<f64>,
+    delta0: Option<f64>,
+    eta0: Option<f64>,
+    gamma0: Option<f64>,
+    times: HittingTimes,
+}
+
+impl StoppingTracker {
+    /// Creates a tracker for the opinion pair `(i, j)` with the paper's
+    /// default constants and thresholds `x_δ`, `x_η`, `x_γ`.
+    #[must_use]
+    pub fn new(i: usize, j: usize, x_delta: f64, x_eta: f64, x_gamma: f64) -> Self {
+        Self::with_constants(StoppingConstants::default(), i, j, x_delta, x_eta, x_gamma)
+    }
+
+    /// Creates a tracker with explicit constants.
+    #[must_use]
+    pub fn with_constants(
+        constants: StoppingConstants,
+        i: usize,
+        j: usize,
+        x_delta: f64,
+        x_eta: f64,
+        x_gamma: f64,
+    ) -> Self {
+        Self {
+            constants,
+            i,
+            j,
+            x_delta,
+            x_eta,
+            x_gamma,
+            alpha0_i: None,
+            alpha0_j: None,
+            delta0: None,
+            eta0: None,
+            gamma0: None,
+            times: HittingTimes::default(),
+        }
+    }
+
+    /// The recorded hitting times so far.
+    #[must_use]
+    pub fn times(&self) -> &HittingTimes {
+        &self.times
+    }
+
+    /// The round-0 norm `γ₀` (set on the first observation).
+    #[must_use]
+    pub fn gamma0(&self) -> Option<f64> {
+        self.gamma0
+    }
+
+    fn set_if_unset(slot: &mut Option<u64>, t: u64, hit: bool) {
+        if slot.is_none() && hit {
+            *slot = Some(t);
+        }
+    }
+}
+
+impl Observer for StoppingTracker {
+    fn observe(&mut self, round: u64, counts: &OpinionCounts) {
+        let (i, j) = (self.i, self.j);
+        let ai = counts.fraction(i);
+        let aj = counts.fraction(j);
+        let delta = counts.bias(i, j);
+        let eta = counts.scaled_bias(i, j);
+        let gamma = counts.gamma();
+
+        let (a0i, a0j, d0, e0, g0) = match (
+            self.alpha0_i,
+            self.alpha0_j,
+            self.delta0,
+            self.eta0,
+            self.gamma0,
+        ) {
+            (Some(a), Some(b), Some(d), Some(e), Some(g)) => (a, b, d, e, g),
+            _ => {
+                self.alpha0_i = Some(ai);
+                self.alpha0_j = Some(aj);
+                self.delta0 = Some(delta);
+                self.eta0 = Some(eta);
+                self.gamma0 = Some(gamma);
+                (ai, aj, delta, eta, gamma)
+            }
+        };
+
+        let c = &self.constants;
+        let t = &mut self.times;
+        Self::set_if_unset(&mut t.tau_up_i, round, ai >= (1.0 + c.c_up_alpha) * a0i);
+        Self::set_if_unset(&mut t.tau_down_i, round, ai <= (1.0 - c.c_down_alpha) * a0i);
+        Self::set_if_unset(&mut t.tau_up_j, round, aj >= (1.0 + c.c_up_alpha) * a0j);
+        Self::set_if_unset(&mut t.tau_down_j, round, aj <= (1.0 - c.c_down_alpha) * a0j);
+        Self::set_if_unset(
+            &mut t.tau_up_delta,
+            round,
+            delta >= (1.0 + c.c_up_delta) * d0 && round > 0,
+        );
+        Self::set_if_unset(
+            &mut t.tau_down_delta,
+            round,
+            delta <= (1.0 - c.c_down_delta) * d0,
+        );
+        Self::set_if_unset(&mut t.tau_plus_delta, round, delta.abs() >= self.x_delta);
+        Self::set_if_unset(
+            &mut t.tau_up_eta,
+            round,
+            eta >= (1.0 + c.c_up_eta) * e0 && round > 0,
+        );
+        Self::set_if_unset(&mut t.tau_plus_eta, round, eta.abs() >= self.x_eta);
+        Self::set_if_unset(&mut t.tau_up_gamma, round, gamma >= (1.0 + c.c_up_gamma) * g0);
+        Self::set_if_unset(
+            &mut t.tau_down_gamma,
+            round,
+            gamma <= (1.0 - c.c_down_gamma) * g0,
+        );
+        Self::set_if_unset(&mut t.tau_plus_gamma, round, gamma >= self.x_gamma);
+        Self::set_if_unset(&mut t.tau_weak_i, round, c.is_weak(counts, i));
+        Self::set_if_unset(&mut t.tau_weak_j, round, c.is_weak(counts, j));
+        Self::set_if_unset(&mut t.tau_active_i, round, c.is_active(counts, i, g0));
+        Self::set_if_unset(&mut t.tau_vanish_i, round, counts.count(i) == 0);
+        Self::set_if_unset(&mut t.tau_vanish_j, round, counts.count(j) == 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(counts: Vec<u64>) -> OpinionCounts {
+        OpinionCounts::from_counts(counts).unwrap()
+    }
+
+    #[test]
+    fn default_constants_match_the_paper() {
+        let c = StoppingConstants::default();
+        assert_eq!(c.c_up_alpha, 0.1);
+        assert_eq!(c.c_weak, 0.1);
+        assert_eq!(c.c_up_delta, 0.05);
+        assert_eq!(c.c_active, 0.05);
+        assert!((c.c_up_gamma - 1.0 / 30.0).abs() < 1e-15);
+        assert_eq!(c.c_up_eta, 0.001);
+    }
+
+    #[test]
+    fn weak_classification() {
+        let c = StoppingConstants::default();
+        // γ = (0.8² + 0.2²) = 0.68; weak threshold 0.612.
+        let counts = cfg(vec![80, 20]);
+        assert!(c.is_weak(&counts, 1));
+        assert!(!c.is_weak(&counts, 0));
+        // The plurality is never weak (max α ≥ γ > (1-c)γ).
+        for counts in [cfg(vec![50, 30, 20]), cfg(vec![97, 1, 1, 1])] {
+            assert!(!c.is_weak(&counts, counts.plurality()));
+        }
+    }
+
+    #[test]
+    fn tracker_records_vanish_and_weak() {
+        let mut tr = StoppingTracker::new(1, 0, 0.5, 0.5, 0.9);
+        tr.observe(0, &cfg(vec![50, 50]));
+        tr.observe(1, &cfg(vec![80, 20]));
+        tr.observe(2, &cfg(vec![100, 0]));
+        let t = tr.times();
+        assert_eq!(t.tau_vanish_i, Some(2));
+        assert_eq!(t.tau_weak_i, Some(1));
+        assert_eq!(t.tau_down_i, Some(1)); // 0.2 <= 0.9 * 0.5
+        assert_eq!(t.tau_up_j, Some(1)); // 0.8 >= 1.1 * 0.5
+        assert_eq!(t.tau_plus_gamma, Some(2)); // γ = 1.0 >= 0.9
+        assert_eq!(t.tau_vanish_j, None);
+    }
+
+    #[test]
+    fn gamma_down_hit() {
+        let mut tr = StoppingTracker::new(0, 1, 1.0, 1.0, 1.0);
+        tr.observe(0, &cfg(vec![90, 10])); // γ0 = 0.82
+        tr.observe(1, &cfg(vec![50, 50])); // γ = 0.5 <= (1 - 1/30)·0.82
+        assert_eq!(tr.times().tau_down_gamma, Some(1));
+        assert_eq!(tr.times().tau_up_gamma, None);
+    }
+
+    #[test]
+    fn round_zero_initialises_baselines() {
+        // x_δ slightly below 0.2 to stay clear of float round-off in
+        // 0.6 − 0.4.
+        let mut tr = StoppingTracker::new(0, 1, 0.199, 10.0, 10.0);
+        tr.observe(0, &cfg(vec![60, 40]));
+        // δ0 ≈ 0.2 hits the x_δ threshold already at round 0.
+        assert_eq!(tr.times().tau_plus_delta, Some(0));
+        // Relative thresholds never fire at round 0 (δ = δ0 exactly);
+        // the multiplicative τ↑ are explicitly gated to round > 0.
+        assert_eq!(tr.times().tau_up_delta, None);
+        assert_eq!(tr.times().tau_down_delta, None);
+    }
+
+    #[test]
+    fn active_uses_initial_gamma() {
+        let mut tr = StoppingTracker::new(0, 1, 1.0, 1.0, 1.0);
+        tr.observe(0, &cfg(vec![10, 10, 80])); // γ0 = 0.66, active ⇔ α ≥ 0.627
+        assert_eq!(tr.gamma0(), Some(0.66));
+        assert_eq!(tr.times().tau_active_i, None);
+        tr.observe(1, &cfg(vec![70, 10, 20]));
+        assert_eq!(tr.times().tau_active_i, Some(1));
+    }
+}

@@ -1,0 +1,103 @@
+//! CLI for the experiment harness.
+//!
+//! ```text
+//! run_experiments [--all] [--exp E1[,E4,...]] [--quick] [--seed N] [--out DIR] [--list]
+//! ```
+//!
+//! Each experiment prints its tables to stdout and writes one CSV per
+//! table under the output directory (default `results/`).
+
+use od_experiments::{registry, ExpConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage: run_experiments [--all] [--exp E1[,E2,...]] [--quick] [--seed N] [--out DIR] [--list]"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = ExpConfig::default();
+    let mut selected: Vec<String> = Vec::new();
+    let mut all = false;
+    let mut list = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--all" => all = true,
+            "--quick" => cfg.quick = true,
+            "--list" => list = true,
+            "--exp" => match it.next() {
+                Some(v) => selected.extend(v.split(',').map(|s| s.trim().to_uppercase())),
+                None => {
+                    eprintln!("--exp needs a value\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--seed" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(v) => cfg.seed = v,
+                None => {
+                    eprintln!("--seed needs an integer\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match it.next() {
+                Some(v) => cfg.out_dir = PathBuf::from(v),
+                None => {
+                    eprintln!("--out needs a directory\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument: {other}\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let registry = registry();
+    if list {
+        for (id, title, _) in &registry {
+            println!("{id}: {title}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    if !all && selected.is_empty() {
+        eprintln!("nothing selected; use --all, --exp, or --list\n{}", usage());
+        return ExitCode::FAILURE;
+    }
+
+    let mut unknown: Vec<&String> = selected
+        .iter()
+        .filter(|id| !registry.iter().any(|(rid, _, _)| *rid == id.as_str()))
+        .collect();
+    if !unknown.is_empty() {
+        unknown.sort();
+        eprintln!("unknown experiment id(s): {unknown:?}; try --list");
+        return ExitCode::FAILURE;
+    }
+
+    for (id, title, runner) in &registry {
+        if !all && !selected.iter().any(|s| s == id) {
+            continue;
+        }
+        println!("\n######## {id}: {title} ########");
+        let started = std::time::Instant::now();
+        let tables = runner(&cfg);
+        for table in &tables {
+            println!("{}", table.render());
+            let path = cfg.out_dir.join(format!("{id}_{}.csv", table.slug()));
+            match table.write_csv(&path) {
+                Ok(()) => println!("  csv: {}", path.display()),
+                Err(e) => eprintln!("  csv write failed for {}: {e}", path.display()),
+            }
+        }
+        println!("  elapsed: {:.1?}", started.elapsed());
+    }
+    ExitCode::SUCCESS
+}

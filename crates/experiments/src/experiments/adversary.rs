@@ -1,0 +1,100 @@
+//! **E10 — Section 2.5**: adversarial corruption.
+//!
+//! \[GL18\] showed 3-Majority still reaches consensus when an adversary
+//! corrupts `F = O(√n/k^{1.5})` vertices per round. We sweep the budget
+//! `F` in multiples of `√n/k^{1.5}` with the strongest simple strategy
+//! (keep the top two tied) and watch the consensus time blow up past a
+//! threshold.
+
+use crate::report::{fmt_f, Table};
+use crate::sweep::{ExpConfig, par_trials};
+use od_core::adversary::BoostRunnerUp;
+use od_core::protocol::ThreeMajority;
+use od_core::{OpinionCounts, Simulation, StopReason};
+use od_sampling::rng_for;
+use od_stats::RunningStats;
+
+/// Runs E10.
+#[must_use]
+pub fn run(cfg: &ExpConfig) -> Vec<Table> {
+    let n: u64 = cfg.pick(10_000, 2_000);
+    let trials: u64 = cfg.pick(10, 4);
+    let max_rounds: u64 = cfg.pick(30_000, 8_000);
+    let ks = [4usize, 16];
+    let multipliers = [0.0f64, 1.0, 4.0, 16.0, 64.0];
+
+    let mut tables = Vec::new();
+    for (ki, &k) in ks.iter().enumerate() {
+        let f_ref = (n as f64).sqrt() / (k as f64).powf(1.5);
+        let initial = OpinionCounts::balanced(n, k).expect("valid");
+        let mut table = Table::new(
+            format!("Adversarial 3-Majority, n = {n}, k = {k} (F_ref = sqrt(n)/k^1.5 = {f_ref:.1})"),
+            &["F multiplier", "F (vertices)", "mean rounds", "stderr", "stalled"],
+        );
+        for (mi, &m) in multipliers.iter().enumerate() {
+            let f = (m * f_ref).round() as u64;
+            let results = par_trials(trials, |trial| {
+                let mut rng = rng_for(cfg.seed + 5000 + (ki * 100 + mi) as u64, trial);
+                let sim = Simulation::new(ThreeMajority).with_max_rounds(max_rounds);
+                let mut adv = BoostRunnerUp::new(f);
+                sim.run_with_adversary(&initial, &mut rng, &mut adv)
+            });
+            let mut stats = RunningStats::new();
+            let mut stalled = 0u64;
+            for o in &results {
+                // Success = consensus, or [GL18] near-consensus (all but
+                // 2F vertices agree) signalled as a predicate stop.
+                if o.reason == StopReason::RoundLimit {
+                    stalled += 1;
+                } else {
+                    stats.push(o.rounds as f64);
+                }
+            }
+            table.push_row(vec![
+                fmt_f(m),
+                f.to_string(),
+                fmt_f(stats.mean()),
+                fmt_f(stats.std_error()),
+                stalled.to_string(),
+            ]);
+        }
+        table.push_note(format!(
+            "success = plurality holds >= n - 2F vertices ([GL18] near-consensus); \
+             stalled = not achieved within {max_rounds} rounds"
+        ));
+        tables.push(table);
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_budgets_do_not_stall_consensus() {
+        let cfg = ExpConfig::quick_for_tests();
+        let tables = run(&cfg);
+        for t in &tables {
+            // The F = 0 row must never stall.
+            let zero_row = &t.rows[0];
+            assert_eq!(zero_row[4], "0", "{}: F = 0 stalled", t.title);
+        }
+    }
+
+    #[test]
+    fn huge_budgets_stall_consensus() {
+        let cfg = ExpConfig::quick_for_tests();
+        let tables = run(&cfg);
+        // At 64× the threshold with k = 4, the tie-keeping adversary should
+        // stall at least one trial.
+        let t = &tables[0];
+        let last = t.rows.last().unwrap();
+        let stalled: u64 = last[4].parse().unwrap();
+        assert!(
+            stalled > 0,
+            "{}: no stall even at 64x the threshold: {last:?}",
+            t.title
+        );
+    }
+}

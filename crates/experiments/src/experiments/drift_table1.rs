@@ -1,0 +1,208 @@
+//! **E6 — Table 1 / Lemma 4.1**: the one-step drift table.
+//!
+//! Table 1 of the paper summarises the conditional drifts used by
+//! Lemma 4.5. For each row we construct a configuration satisfying the
+//! row's stopping-time condition, Monte-Carlo-estimate the one-step drift,
+//! and verify the stated inequality (with the constants of Lemma 4.5's
+//! proof).
+
+use crate::report::{fmt_f, Table};
+use crate::sweep::ExpConfig;
+use od_analysis::constants::{C_ALPHA, C_DELTA, C_WEAK};
+use od_analysis::{quantities, DriftEstimator, Dynamics};
+use od_core::protocol::{SyncProtocol, ThreeMajority, TwoChoices};
+use od_core::OpinionCounts;
+use od_sampling::rng_for;
+
+struct Row {
+    condition: &'static str,
+    quantity: &'static str,
+    empirical: f64,
+    std_error: f64,
+    bound: f64,
+    direction: Direction,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    AtMost,
+    AtLeast,
+}
+
+impl Row {
+    fn passes(&self, z: f64) -> bool {
+        match self.direction {
+            Direction::AtMost => self.empirical - z * self.std_error <= self.bound,
+            Direction::AtLeast => self.empirical + z * self.std_error >= self.bound,
+        }
+    }
+}
+
+fn rows_for<P: SyncProtocol + Sync>(
+    protocol: &P,
+    dynamics: Dynamics,
+    cfg: &ExpConfig,
+    seed_shift: u64,
+) -> Vec<Row> {
+    let n: u64 = cfg.pick(100_000, 10_000);
+    let trials: usize = cfg.pick(20_000, 4_000);
+
+    // A configuration with two strong (non-weak) opinions i = 0, j = 1 and
+    // a positive bias: α = (0.35, 0.30, rest split). γ ≈ 0.2245 + small.
+    let rest = n - (35 * n / 100) - (30 * n / 100);
+    let start = OpinionCounts::from_counts(vec![
+        35 * n / 100,
+        30 * n / 100,
+        rest / 2,
+        rest - rest / 2,
+    ])
+    .expect("valid configuration");
+    let mut rng = rng_for(cfg.seed + seed_shift, 0);
+    let est = DriftEstimator::estimate(protocol, dynamics, &start, 0, 1, trials, &mut rng);
+
+    let a0 = start.fraction(0);
+    let delta0 = start.bias(0, 1);
+    let gamma0 = start.gamma();
+
+    // Table 1 constants: C = (1+c↑_α)² for the α rows; the δ row constant
+    // from Lemma 4.5(v).
+    let c_alpha_row = (1.0 + C_ALPHA) * (1.0 + C_ALPHA);
+    let c_delta_row =
+        (1.0 - 2.0 * C_WEAK) * (1.0 - C_ALPHA) * (1.0 - C_DELTA) / (1.0 - C_WEAK);
+
+    vec![
+        Row {
+            condition: "t-1 < tau_up_i",
+            quantity: "E[alpha' - alpha]",
+            empirical: est.alpha.empirical_mean - a0,
+            std_error: est.alpha.mean_std_error,
+            bound: c_alpha_row * a0 * a0,
+            direction: Direction::AtMost,
+        },
+        Row {
+            condition: "t-1 < min(tau_weak_i, tau_up_i)",
+            quantity: "E[alpha' - alpha]",
+            empirical: est.alpha.empirical_mean - a0,
+            std_error: est.alpha.mean_std_error,
+            bound: -c_alpha_row * a0 * a0 * C_WEAK / (1.0 - C_WEAK),
+            direction: Direction::AtLeast,
+        },
+        Row {
+            condition: "t-1 < min(tau_weak_j, tau_down_delta)",
+            quantity: "E[delta' - delta]",
+            empirical: est.delta.empirical_mean - delta0,
+            std_error: est.delta.mean_std_error,
+            bound: 0.0,
+            direction: Direction::AtLeast,
+        },
+        Row {
+            condition: "t-1 < min(tau_weak_j, tau_down_delta, tau_down_i)",
+            quantity: "E[delta' - delta]",
+            empirical: est.delta.empirical_mean - delta0,
+            std_error: est.delta.mean_std_error,
+            bound: c_delta_row * a0 * delta0,
+            direction: Direction::AtLeast,
+        },
+        Row {
+            condition: "always",
+            quantity: "E[gamma' - gamma]",
+            empirical: est.gamma.empirical_mean - gamma0,
+            std_error: est.gamma.mean_std_error,
+            bound: 0.0,
+            direction: Direction::AtLeast,
+        },
+        Row {
+            condition: "always (Lemma 4.1(iii))",
+            quantity: "E[gamma' - gamma]",
+            empirical: est.gamma.empirical_mean - gamma0,
+            std_error: est.gamma.mean_std_error,
+            bound: quantities::expected_gamma_lower(dynamics, gamma0, n) - gamma0,
+            direction: Direction::AtLeast,
+        },
+        Row {
+            condition: "variance (Lemma 4.1(i))",
+            quantity: "Var[alpha']",
+            empirical: est.alpha.empirical_var,
+            std_error: est.alpha.empirical_var * (2.0 / trials as f64).sqrt(),
+            bound: quantities::var_alpha_upper(dynamics, a0, gamma0, n),
+            direction: Direction::AtMost,
+        },
+        Row {
+            condition: "variance (Lemma 4.1(ii))",
+            quantity: "Var[delta']",
+            empirical: est.delta.empirical_var,
+            std_error: est.delta.empirical_var * (2.0 / trials as f64).sqrt(),
+            bound: quantities::var_delta_upper(dynamics, a0, start.fraction(1), gamma0, n),
+            direction: Direction::AtMost,
+        },
+    ]
+}
+
+fn table_for<P: SyncProtocol + Sync>(
+    protocol: &P,
+    dynamics: Dynamics,
+    cfg: &ExpConfig,
+    seed_shift: u64,
+) -> Table {
+    let rows = rows_for(protocol, dynamics, cfg, seed_shift);
+    let mut table = Table::new(
+        format!("Table 1 ({dynamics}): one-step drift vs Lemma 4.1 bounds"),
+        &["condition", "quantity", "empirical", "stderr", "bound", "verdict"],
+    );
+    for r in rows {
+        let verdict = if r.passes(4.0) { "PASS" } else { "FAIL" };
+        let sign = match r.direction {
+            Direction::AtMost => "<=",
+            Direction::AtLeast => ">=",
+        };
+        table.push_row(vec![
+            r.condition.to_string(),
+            format!("{} {sign}", r.quantity),
+            fmt_f(r.empirical),
+            fmt_f(r.std_error),
+            fmt_f(r.bound),
+            verdict.to_string(),
+        ]);
+    }
+    table.push_note(
+        "start: alpha = (0.35, 0.30, rest); both tracked opinions are strong (non-weak)"
+            .to_string(),
+    );
+    table
+}
+
+/// Runs E6 for both dynamics.
+#[must_use]
+pub fn run(cfg: &ExpConfig) -> Vec<Table> {
+    vec![
+        table_for(&ThreeMajority, Dynamics::ThreeMajority, cfg, 1000),
+        table_for(&TwoChoices, Dynamics::TwoChoices, cfg, 1100),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_table_rows_pass() {
+        let cfg = ExpConfig::quick_for_tests();
+        for t in run(&cfg) {
+            for row in &t.rows {
+                assert_eq!(row[5], "PASS", "{}: failing row {row:?}", t.title);
+            }
+        }
+    }
+
+    #[test]
+    fn bias_drift_is_strictly_positive_between_strong_opinions() {
+        let cfg = ExpConfig::quick_for_tests();
+        let rows = rows_for(&ThreeMajority, Dynamics::ThreeMajority, &cfg, 1);
+        let delta_row = &rows[2];
+        assert!(
+            delta_row.empirical > 0.0,
+            "bias drift {} not positive",
+            delta_row.empirical
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! **E12 — Section 2.5**: dynamics on graphs other than the complete
+//! graph (the paper's final open question).
+//!
+//! We run agent-level 3-Majority with `k ≥ 3` opinions on several graph
+//! families and report consensus times: expanders behave like the
+//! complete graph; the cycle and the barbell stall.
+
+use crate::report::{fmt_f, Table};
+use crate::sweep::{par_trials, ExpConfig};
+use od_core::protocol::ThreeMajority;
+use od_core::{GraphSimulation, StopReason};
+use od_graphs::{barbell, cycle, random_regular, torus_2d, CompleteWithSelfLoops, Graph};
+use od_sampling::rng_for;
+use od_stats::RunningStats;
+
+fn measure<G: Graph + Sync>(
+    graph: &G,
+    name: &str,
+    k: usize,
+    trials: u64,
+    max_rounds: u64,
+    seed: u64,
+) -> (String, RunningStats, u64) {
+    let n = graph.n();
+    let initial: Vec<u32> = (0..n).map(|v| (v % k) as u32).collect();
+    let results = par_trials(trials, |trial| {
+        let mut rng = rng_for(seed, trial);
+        let sim = GraphSimulation::new(ThreeMajority, RefGraph(graph)).with_max_rounds(max_rounds);
+        sim.run(&initial, &mut rng)
+    });
+    let mut stats = RunningStats::new();
+    let mut capped = 0u64;
+    for o in &results {
+        if o.reason == StopReason::Consensus {
+            stats.push(o.rounds as f64);
+        } else {
+            capped += 1;
+        }
+    }
+    (name.to_string(), stats, capped)
+}
+
+/// Borrow adapter so one graph can be shared across parallel trials.
+struct RefGraph<'a, G: Graph>(&'a G);
+
+impl<G: Graph> Graph for RefGraph<'_, G> {
+    fn n(&self) -> usize {
+        self.0.n()
+    }
+    fn degree(&self, v: usize) -> usize {
+        self.0.degree(v)
+    }
+    fn sample_neighbor<R: rand::Rng + ?Sized>(&self, v: usize, rng: &mut R) -> usize {
+        self.0.sample_neighbor(v, rng)
+    }
+    fn neighbors(&self, v: usize) -> Vec<usize> {
+        self.0.neighbors(v)
+    }
+}
+
+/// Runs E12.
+#[must_use]
+pub fn run(cfg: &ExpConfig) -> Vec<Table> {
+    let n: usize = cfg.pick(2_048, 512);
+    let k: usize = 8;
+    let trials: u64 = cfg.pick(5, 2);
+    let max_rounds: u64 = cfg.pick(20_000, 4_000);
+    let side = (n as f64).sqrt() as usize;
+
+    let mut rng = rng_for(cfg.seed + 7000, 0);
+    let complete = CompleteWithSelfLoops::new(n);
+    let regular = random_regular(n, 8, &mut rng).expect("feasible regular graph");
+    let torus = torus_2d(side, side);
+    let ring = cycle(n);
+    let bar = barbell(n / 2);
+
+    let results = vec![
+        measure(&complete, "complete+loops", k, trials, max_rounds, cfg.seed + 7001),
+        measure(&regular, "random 8-regular", k, trials, max_rounds, cfg.seed + 7002),
+        measure(
+            &torus,
+            "torus (sqrt(n) x sqrt(n))",
+            k,
+            trials,
+            max_rounds,
+            cfg.seed + 7003,
+        ),
+        measure(&ring, "cycle", k, trials, max_rounds, cfg.seed + 7004),
+        measure(&bar, "barbell", k, trials, max_rounds, cfg.seed + 7005),
+    ];
+
+    let mut table = Table::new(
+        format!("3-Majority with k = {k} opinions on graph families, n ~ {n}"),
+        &["graph", "mean rounds", "stderr", "capped", "trials"],
+    );
+    for (name, stats, capped) in results {
+        table.push_row(vec![
+            name,
+            fmt_f(stats.mean()),
+            fmt_f(stats.std_error()),
+            capped.to_string(),
+            trials.to_string(),
+        ]);
+    }
+    table.push_note(
+        "expanders track the complete graph; cycle/barbell are expected to stall (capped)"
+            .to_string(),
+    );
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expander_tracks_complete_graph() {
+        let cfg = ExpConfig::quick_for_tests();
+        let tables = run(&cfg);
+        let rows = &tables[0].rows;
+        let complete_capped: u64 = rows[0][3].parse().unwrap();
+        let regular_capped: u64 = rows[1][3].parse().unwrap();
+        assert_eq!(complete_capped, 0, "complete graph must reach consensus");
+        assert_eq!(regular_capped, 0, "8-regular expander must reach consensus");
+        let t_complete: f64 = rows[0][1].parse().unwrap();
+        let t_regular: f64 = rows[1][1].parse().unwrap();
+        assert!(
+            t_regular < 50.0 * t_complete.max(1.0),
+            "expander time {t_regular} far from complete-graph time {t_complete}"
+        );
+    }
+}

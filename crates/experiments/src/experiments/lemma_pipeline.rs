@@ -1,0 +1,249 @@
+//! **E7 — Figure 2**: the proof-pipeline lemmas, measured.
+//!
+//! Figure 2 charts how Theorem 2.1 decomposes into Lemma 5.2 (weak
+//! opinions vanish), Lemma 5.5 (an initial bias makes the trailing opinion
+//! weak) and Lemma 5.10 (bias amplification from zero). Each box of the
+//! figure becomes a measured event: we report how often the event happens
+//! within the lemma's `O(log n/γ₀)`-scale horizon.
+
+use crate::report::{fmt_f, Table};
+use crate::sweep::{par_trials, ExpConfig};
+use od_core::protocol::{SyncProtocol, ThreeMajority};
+use od_core::{Observer, OpinionCounts, StoppingConstants, StoppingTracker};
+use od_sampling::rng_for;
+use od_stats::RunningStats;
+
+/// Runs the dynamics while feeding a tracker, until `stop` reports a hit
+/// or `max_rounds`.
+fn run_tracked(
+    protocol: &ThreeMajority,
+    initial: &OpinionCounts,
+    tracker: &mut StoppingTracker,
+    max_rounds: u64,
+    rng: &mut dyn rand::RngCore,
+    hit: impl Fn(&StoppingTracker) -> Option<u64>,
+) -> Option<u64> {
+    let mut counts = initial.clone();
+    tracker.observe(0, &counts);
+    if let Some(t) = hit(tracker) {
+        return Some(t);
+    }
+    for round in 1..=max_rounds {
+        counts = protocol.step_population(&counts, rng);
+        tracker.observe(round, &counts);
+        if let Some(t) = hit(tracker) {
+            return Some(t);
+        }
+        if counts.is_consensus() {
+            break;
+        }
+    }
+    hit(tracker)
+}
+
+/// Lemma 5.2: a weak opinion vanishes within `O(log n / γ₀)` rounds.
+fn lemma_5_2(cfg: &ExpConfig) -> Table {
+    let n: u64 = cfg.pick(100_000, 10_000);
+    let trials: u64 = cfg.pick(50, 15);
+
+    // Leader at 0.3 (strong), weak opinion at 0.005 << (1-c_weak)·γ, rest
+    // spread over two medium opinions.
+    let weak_count = n / 200;
+    let lead = 3 * n / 10;
+    let rest = n - lead - weak_count;
+    let initial = OpinionCounts::from_counts(vec![lead, weak_count, rest / 2, rest - rest / 2])
+        .expect("valid configuration");
+    let gamma0 = initial.gamma();
+    let constants = StoppingConstants::default();
+    assert!(
+        constants.is_weak(&initial, 1),
+        "test configuration must make opinion 1 weak"
+    );
+    let horizon = ((n as f64).ln() / gamma0) as u64 * 20;
+
+    let results = par_trials(trials, |trial| {
+        let mut rng = rng_for(cfg.seed + 2000, trial);
+        let mut tracker = StoppingTracker::new(1, 0, 1.0, 1.0, 1.0);
+        run_tracked(&ThreeMajority, &initial, &mut tracker, horizon, &mut rng, |tr| {
+            tr.times().tau_vanish_i
+        })
+    });
+    let mut stats = RunningStats::new();
+    let mut misses = 0u64;
+    for r in &results {
+        match r {
+            Some(t) => stats.push(*t as f64),
+            None => misses += 1,
+        }
+    }
+    let mut table = Table::new(
+        format!("Lemma 5.2 (3-Majority), n = {n}: weak opinion vanishing time"),
+        &["gamma0", "log n/gamma0", "mean vanish time", "stderr", "missed", "trials"],
+    );
+    table.push_row(vec![
+        fmt_f(gamma0),
+        fmt_f((n as f64).ln() / gamma0),
+        fmt_f(stats.mean()),
+        fmt_f(stats.std_error()),
+        misses.to_string(),
+        trials.to_string(),
+    ]);
+    table.push_note(format!(
+        "weak opinion starts at fraction {}, threshold (1-c_weak)*gamma0 = {}",
+        fmt_f(weak_count as f64 / n as f64),
+        fmt_f(0.9 * gamma0)
+    ));
+    table
+}
+
+/// Lemma 5.5: with an initial bias `≥ C√(log n/n)`, the trailing opinion
+/// becomes weak within `O(log n/γ₀)` rounds.
+fn lemma_5_5(cfg: &ExpConfig) -> Table {
+    let n: u64 = cfg.pick(100_000, 10_000);
+    let k: usize = cfg.pick(10, 5);
+    let trials: u64 = cfg.pick(50, 15);
+
+    let margin = (4.0 * ((n as f64).ln() * n as f64).sqrt()).round() as u64;
+    let initial = OpinionCounts::with_leader_margin(n, k, margin).expect("margin fits");
+    let gamma0 = initial.gamma();
+    let horizon = ((n as f64).ln() / gamma0) as u64 * 20;
+
+    let results = par_trials(trials, |trial| {
+        let mut rng = rng_for(cfg.seed + 2100, trial);
+        // Track (i, j) = (0 = leader, 1 = a trailing strong opinion).
+        let mut tracker = StoppingTracker::new(0, 1, 1.0, 1.0, 1.0);
+        run_tracked(&ThreeMajority, &initial, &mut tracker, horizon, &mut rng, |tr| {
+            tr.times().tau_weak_j
+        })
+    });
+    let mut stats = RunningStats::new();
+    let mut misses = 0u64;
+    for r in &results {
+        match r {
+            Some(t) => stats.push(*t as f64),
+            None => misses += 1,
+        }
+    }
+    let mut table = Table::new(
+        format!("Lemma 5.5 (3-Majority), n = {n}, k = {k}: initial bias makes the runner-up weak"),
+        &[
+            "margin (vertices)",
+            "gamma0",
+            "mean tau_weak(j)",
+            "stderr",
+            "missed",
+            "trials",
+        ],
+    );
+    table.push_row(vec![
+        margin.to_string(),
+        fmt_f(gamma0),
+        fmt_f(stats.mean()),
+        fmt_f(stats.std_error()),
+        misses.to_string(),
+        trials.to_string(),
+    ]);
+    table.push_note(format!(
+        "horizon = 20 log n/gamma0 = {horizon}; margin = 4 sqrt(n log n)"
+    ));
+    table
+}
+
+/// Lemma 5.10: from zero bias, `|δ|` between two strong opinions grows to
+/// `√(log n/n)` within `O(log n/γ₀)` rounds.
+fn lemma_5_10(cfg: &ExpConfig) -> Table {
+    let n: u64 = cfg.pick(100_000, 10_000);
+    let k: usize = cfg.pick(10, 5);
+    let trials: u64 = cfg.pick(50, 15);
+
+    let initial = OpinionCounts::balanced(n, k).expect("valid");
+    let gamma0 = initial.gamma();
+    let x_delta = ((n as f64).ln() / n as f64).sqrt();
+    let horizon = ((n as f64).ln() / gamma0) as u64 * 20;
+
+    let results = par_trials(trials, |trial| {
+        let mut rng = rng_for(cfg.seed + 2200, trial);
+        let mut tracker = StoppingTracker::new(0, 1, x_delta, 1.0, 1.0);
+        run_tracked(&ThreeMajority, &initial, &mut tracker, horizon, &mut rng, |tr| {
+            // The lemma's event: |δ| reaches x_δ or one of the pair becomes
+            // weak — whichever first.
+            tr.times()
+                .tau_plus_delta
+                .or(tr.times().tau_weak_i)
+                .or(tr.times().tau_weak_j)
+        })
+    });
+    let mut stats = RunningStats::new();
+    let mut misses = 0u64;
+    for r in &results {
+        match r {
+            Some(t) => stats.push(*t as f64),
+            None => misses += 1,
+        }
+    }
+    let mut table = Table::new(
+        format!("Lemma 5.10 (3-Majority), n = {n}, k = {k}: bias amplification from zero"),
+        &[
+            "x_delta",
+            "log n/gamma0",
+            "mean hitting time",
+            "stderr",
+            "missed",
+            "trials",
+        ],
+    );
+    table.push_row(vec![
+        fmt_f(x_delta),
+        fmt_f((n as f64).ln() / gamma0),
+        fmt_f(stats.mean()),
+        fmt_f(stats.std_error()),
+        misses.to_string(),
+        trials.to_string(),
+    ]);
+    table.push_note(
+        "event: |delta(0,1)| >= sqrt(log n/n) or one of {0,1} becomes weak (min of Lemma 5.10)"
+            .to_string(),
+    );
+    table
+}
+
+/// Runs E7 (the Figure 2 pipeline).
+#[must_use]
+pub fn run(cfg: &ExpConfig) -> Vec<Table> {
+    vec![lemma_5_2(cfg), lemma_5_5(cfg), lemma_5_10(cfg)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_lemma_events_fire_within_horizon() {
+        let cfg = ExpConfig::quick_for_tests();
+        for t in run(&cfg) {
+            for row in &t.rows {
+                let missed: u64 = row[row.len() - 2].parse().unwrap();
+                let trials: u64 = row[row.len() - 1].parse().unwrap();
+                // W.h.p. statements: allow a small minority of misses at
+                // quick scale.
+                assert!(
+                    missed * 5 <= trials,
+                    "{}: {missed}/{trials} misses",
+                    t.title
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weak_opinion_vanishes_quickly_compared_to_horizon() {
+        let cfg = ExpConfig::quick_for_tests();
+        let t = lemma_5_2(&cfg);
+        let mean: f64 = t.rows[0][2].parse().unwrap();
+        let scale: f64 = t.rows[0][1].parse().unwrap();
+        assert!(
+            mean < 20.0 * scale,
+            "vanish time {mean} outside the O(log n/gamma0) band (scale {scale})"
+        );
+    }
+}

@@ -1,0 +1,16 @@
+//! One module per reproduced figure/table/theorem. See the crate docs for
+//! the index.
+
+pub mod adversary;
+pub mod asynchronous;
+pub mod concentration;
+pub mod drift_table1;
+pub mod figure1;
+pub mod gamma_growth;
+pub mod graphs;
+pub mod hmajority;
+pub mod lemma_pipeline;
+pub mod lower_bound;
+pub mod plurality;
+pub mod theorem21;
+pub mod validation;

@@ -1,0 +1,176 @@
+//! **E13 — eqs. (5)/(6) and Lemma 4.2**: engine equivalence and empirical
+//! Bernstein-condition validation.
+//!
+//! The population engine must sample the *same* one-round distribution as
+//! the literal agent-level protocol of Definition 3.1; and the one-step
+//! fluctuations must satisfy the `(D, s)`-Bernstein conditions that power
+//! the whole proof. Both are checked here, as tables.
+
+use crate::report::{fmt_f, Table};
+use crate::sweep::ExpConfig;
+use od_analysis::bernstein::{check_mgf, BernsteinParams};
+use od_analysis::{quantities, Dynamics};
+use od_core::protocol::{expand, tally, SyncProtocol, ThreeMajority, TwoChoices};
+use od_core::OpinionCounts;
+use od_sampling::rng_for;
+use od_stats::{ks_two_sample, RunningStats};
+
+fn engine_equivalence<P: SyncProtocol>(
+    protocol: &P,
+    cfg: &ExpConfig,
+    seed_shift: u64,
+) -> Table {
+    let n: u64 = cfg.pick(5_000, 1_000);
+    let trials: usize = cfg.pick(4_000, 800);
+    let start =
+        OpinionCounts::from_counts(vec![n / 2, 3 * n / 10, n - n / 2 - 3 * n / 10]).unwrap();
+    let k = start.k();
+
+    let mut rng = rng_for(cfg.seed + seed_shift, 0);
+    let mut pop_alpha = RunningStats::new();
+    let mut pop_gamma = RunningStats::new();
+    let mut pop_alpha_samples = Vec::with_capacity(trials);
+    for _ in 0..trials {
+        let next = protocol.step_population(&start, &mut rng);
+        pop_alpha.push(next.fraction(0));
+        pop_alpha_samples.push(next.fraction(0));
+        pop_gamma.push(next.gamma());
+    }
+    let mut ag_alpha = RunningStats::new();
+    let mut ag_gamma = RunningStats::new();
+    let mut ag_alpha_samples = Vec::with_capacity(trials);
+    for _ in 0..trials {
+        let mut opinions = expand(&start);
+        protocol.step_agents(&mut opinions, &mut rng);
+        let next = tally(&opinions, k);
+        ag_alpha.push(next.fraction(0));
+        ag_alpha_samples.push(next.fraction(0));
+        ag_gamma.push(next.gamma());
+    }
+
+    let z = |a: &RunningStats, b: &RunningStats| -> f64 {
+        let se = (a.std_error().powi(2) + b.std_error().powi(2)).sqrt();
+        if se == 0.0 {
+            0.0
+        } else {
+            (a.mean() - b.mean()) / se
+        }
+    };
+    let mut table = Table::new(
+        format!("Engine equivalence ({}), n = {n}", protocol.name()),
+        &["quantity", "population mean", "agent mean", "z", "verdict"],
+    );
+    for (name, pa, aa) in [
+        ("alpha'(0)", &pop_alpha, &ag_alpha),
+        ("gamma'", &pop_gamma, &ag_gamma),
+    ] {
+        let zval = z(pa, aa);
+        table.push_row(vec![
+            name.to_string(),
+            fmt_f(pa.mean()),
+            fmt_f(aa.mean()),
+            fmt_f(zval),
+            if zval.abs() < 4.0 { "PASS" } else { "FAIL" }.to_string(),
+        ]);
+    }
+    // Whole-distribution check: two-sample Kolmogorov-Smirnov on alpha'(0).
+    let ks = ks_two_sample(&pop_alpha_samples, &ag_alpha_samples);
+    table.push_row(vec![
+        "alpha'(0) KS".to_string(),
+        fmt_f(ks.statistic),
+        "-".to_string(),
+        fmt_f(ks.p_value),
+        if ks.accepts_at(1e-4) { "PASS" } else { "FAIL" }.to_string(),
+    ]);
+    // Variances should agree too (same distribution).
+    let var_ratio = pop_alpha.sample_variance() / ag_alpha.sample_variance();
+    table.push_note(format!(
+        "Var ratio population/agent for alpha'(0): {var_ratio:.3} (expect ~1); \
+         KS row shows (statistic, -, p-value)"
+    ));
+    table
+}
+
+fn bernstein_table(cfg: &ExpConfig) -> Table {
+    let n: u64 = cfg.pick(2_000, 500);
+    let samples: usize = cfg.pick(20_000, 5_000);
+    let start =
+        OpinionCounts::from_counts(vec![n / 2, 3 * n / 10, n - n / 2 - 3 * n / 10]).unwrap();
+    let gamma = start.gamma();
+    let (a0, a1) = (start.fraction(0), start.fraction(1));
+    let e_alpha = quantities::expected_alpha_next(a0, gamma);
+    let e_delta = quantities::expected_delta_next(start.bias(0, 1), a0, a1, gamma);
+
+    let mut table = Table::new(
+        format!("Lemma 4.2 Bernstein conditions (empirical MGF check), n = {n}"),
+        &["dynamics", "quantity", "(D, s)", "worst MGF ratio", "verdict"],
+    );
+    for (dynamics, name) in [
+        (Dynamics::ThreeMajority, "3-Majority"),
+        (Dynamics::TwoChoices, "2-Choices"),
+    ] {
+        let mut rng = rng_for(cfg.seed + 8000, u64::from(dynamics == Dynamics::TwoChoices));
+        let step = |rng: &mut dyn rand::RngCore| -> OpinionCounts {
+            match dynamics {
+                Dynamics::ThreeMajority => ThreeMajority.step_population(&start, rng),
+                Dynamics::TwoChoices => TwoChoices.step_population(&start, rng),
+            }
+        };
+        let mut alpha_dev = Vec::with_capacity(samples);
+        let mut delta_dev = Vec::with_capacity(samples);
+        let mut gamma_dec = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let next = step(&mut rng);
+            alpha_dev.push(next.fraction(0) - e_alpha);
+            delta_dev.push(next.bias(0, 1) - e_delta);
+            gamma_dec.push(gamma - next.gamma());
+        }
+        let checks = [
+            ("alpha - E[alpha]", BernsteinParams::alpha(dynamics, a0, gamma, n), &alpha_dev),
+            ("delta - E[delta]", BernsteinParams::delta(dynamics, a0, a1, gamma, n), &delta_dev),
+            ("gamma_dec", BernsteinParams::gamma_decrease(dynamics, gamma, n), &gamma_dec),
+        ];
+        for (qname, params, data) in checks {
+            let check = check_mgf(data, &params, 8);
+            table.push_row(vec![
+                name.to_string(),
+                qname.to_string(),
+                format!("({}, {})", fmt_f(params.d), fmt_f(params.s)),
+                fmt_f(check.worst_ratio),
+                if check.holds_with_slack(0.1) { "PASS" } else { "FAIL" }.to_string(),
+            ]);
+        }
+    }
+    table.push_note("worst ratio <= 1 (+ sampling slack) certifies the (D, s) condition".to_string());
+    table
+}
+
+/// Runs E13.
+#[must_use]
+pub fn run(cfg: &ExpConfig) -> Vec<Table> {
+    vec![
+        engine_equivalence(&ThreeMajority, cfg, 8100),
+        engine_equivalence(&TwoChoices, cfg, 8200),
+        bernstein_table(cfg),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_validation_rows_pass() {
+        let cfg = ExpConfig::quick_for_tests();
+        for t in run(&cfg) {
+            for row in &t.rows {
+                assert_eq!(
+                    row.last().unwrap(),
+                    "PASS",
+                    "{}: failing row {row:?}",
+                    t.title
+                );
+            }
+        }
+    }
+}

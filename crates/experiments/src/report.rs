@@ -1,0 +1,213 @@
+//! ASCII tables and CSV output for the experiment harness.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A rendered experiment result: a titled table with aligned columns,
+/// printable to the terminal and exportable as CSV.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Table title (one line).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (already formatted as strings).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form footnotes displayed under the table.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table with the given title and headers.
+    #[must_use]
+    pub fn new<S: Into<String>>(title: S, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|h| (*h).to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from the header length.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "Table::push_row: row has {} cells, table has {} columns",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Appends a footnote line.
+    pub fn push_note<S: Into<String>>(&mut self, note: S) {
+        self.notes.push(note.into());
+    }
+
+    /// Renders the table with aligned columns.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let sep: String = widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("+");
+        let fmt_row = |cells: &[String]| -> String {
+            (0..cols)
+                .map(|c| format!(" {:>width$} ", cells[c], width = widths[c]))
+                .collect::<Vec<_>>()
+                .join("|")
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers));
+        let _ = writeln!(out, "{sep}");
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row));
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "  note: {note}");
+        }
+        out
+    }
+
+    /// Writes the table as CSV (headers + rows; notes as trailing `#`
+    /// comments).
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating or writing the file.
+    pub fn write_csv(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let mut out = String::new();
+        let escape = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "# {note}");
+        }
+        fs::write(path, out)
+    }
+
+    /// A file-system friendly slug of the title.
+    #[must_use]
+    pub fn slug(&self) -> String {
+        self.title
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+            .collect::<String>()
+            .split('_')
+            .filter(|s| !s.is_empty())
+            .collect::<Vec<_>>()
+            .join("_")
+    }
+}
+
+/// Formats a float compactly for table cells.
+#[must_use]
+pub fn fmt_f(x: f64) -> String {
+    if x.is_nan() {
+        "-".to_string()
+    } else if x.is_infinite() {
+        "inf".to_string()
+    } else if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() >= 10_000.0 || x.abs() < 0.001 {
+        format!("{x:.3e}")
+    } else if x.abs() >= 100.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("demo", &["k", "time"]);
+        t.push_row(vec!["2".into(), "10.5".into()]);
+        t.push_row(vec!["1024".into(), "3.2".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("1024"));
+        let lines: Vec<&str> = s.lines().collect();
+        // Title, header, separator, two rows.
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "row has 1 cells")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push_row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn csv_roundtrip_and_escaping() {
+        let dir = std::env::temp_dir().join("od_report_test");
+        let mut t = Table::new("csv demo", &["name", "value"]);
+        t.push_row(vec!["plain".into(), "1".into()]);
+        t.push_row(vec!["with,comma".into(), "quote\"d".into()]);
+        t.push_note("a note");
+        let path = dir.join("out.csv");
+        t.write_csv(&path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("name,value\n"));
+        assert!(content.contains("\"with,comma\""));
+        assert!(content.contains("\"quote\"\"d\""));
+        assert!(content.contains("# a note"));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn slug_is_filesystem_friendly() {
+        let t = Table::new("Figure 1(b): 3-Majority", &["x"]);
+        assert_eq!(t.slug(), "figure_1_b_3_majority");
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f(f64::NAN), "-");
+        assert_eq!(fmt_f(f64::INFINITY), "inf");
+        assert_eq!(fmt_f(0.0), "0");
+        assert_eq!(fmt_f(12_345.0), "1.234e4");
+        assert_eq!(fmt_f(0.5), "0.5000");
+        assert_eq!(fmt_f(123.45), "123.5");
+    }
+}

@@ -1,0 +1,281 @@
+//! Seeded, parallel Monte-Carlo sweep helpers.
+//!
+//! All experiments derive per-trial RNGs from `(master seed, trial index)`
+//! via [`od_sampling::seeds`], so results are bit-reproducible regardless
+//! of the rayon thread schedule.
+
+use od_core::protocol::SyncProtocol;
+use od_core::{OpinionCounts, RunOutcome, Simulation};
+use od_sampling::rng_for;
+use od_stats::RunningStats;
+use rayon::prelude::*;
+use std::path::PathBuf;
+
+/// Shared configuration for every experiment run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExpConfig {
+    /// Reduced problem sizes / trial counts for smoke runs.
+    pub quick: bool,
+    /// Master seed; every trial derives from it deterministically.
+    pub seed: u64,
+    /// Directory for CSV exports.
+    pub out_dir: PathBuf,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        Self {
+            quick: false,
+            seed: 20_250_304, // the paper's arXiv date
+            out_dir: PathBuf::from("results"),
+        }
+    }
+}
+
+impl ExpConfig {
+    /// A quick-mode configuration (used by tests).
+    #[must_use]
+    pub fn quick_for_tests() -> Self {
+        Self {
+            quick: true,
+            out_dir: std::env::temp_dir().join("od_experiments_test"),
+            ..Self::default()
+        }
+    }
+
+    /// Picks `full` or `quick` depending on the mode.
+    #[must_use]
+    pub fn pick<T: Copy>(&self, full: T, quick: T) -> T {
+        if self.quick {
+            quick
+        } else {
+            full
+        }
+    }
+}
+
+/// Runs `trials` independent simulations of `protocol` from `initial`
+/// (stopping at `max_rounds`) in parallel; returns the outcomes in trial
+/// order.
+pub fn run_trials<P: SyncProtocol + Sync>(
+    protocol: &P,
+    initial: &OpinionCounts,
+    trials: u64,
+    master_seed: u64,
+    max_rounds: u64,
+) -> Vec<RunOutcome> {
+    (0..trials)
+        .into_par_iter()
+        .map(|trial| {
+            let mut rng = rng_for(master_seed, trial);
+            Simulation::new(ProtocolRef(protocol))
+                .with_max_rounds(max_rounds)
+                .run(initial, &mut rng)
+        })
+        .collect()
+}
+
+/// Summary statistics of the consensus times among `outcomes` (trials that
+/// hit the round cap are excluded; the count of such trials is returned
+/// separately).
+#[must_use]
+pub fn consensus_time_stats(outcomes: &[RunOutcome]) -> (RunningStats, u64) {
+    let mut stats = RunningStats::new();
+    let mut capped = 0u64;
+    for o in outcomes {
+        if o.reached_consensus() {
+            stats.push(o.rounds as f64);
+        } else {
+            capped += 1;
+        }
+    }
+    (stats, capped)
+}
+
+/// Fraction of `outcomes` whose winner equals `opinion`.
+#[must_use]
+pub fn winner_rate(outcomes: &[RunOutcome], opinion: usize) -> f64 {
+    if outcomes.is_empty() {
+        return 0.0;
+    }
+    outcomes
+        .iter()
+        .filter(|o| o.winner == Some(opinion))
+        .count() as f64
+        / outcomes.len() as f64
+}
+
+/// Generic parallel map over trial indices with derived RNG seeds: calls
+/// `f(trial_index, rng_seed)` for each trial.
+pub fn par_trials<T: Send, F: Fn(u64) -> T + Sync + Send>(trials: u64, f: F) -> Vec<T> {
+    (0..trials).into_par_iter().map(f).collect()
+}
+
+/// Drops empty opinion slots from a configuration (opinion identity is
+/// irrelevant once an opinion has vanished — it can never return).
+#[must_use]
+pub fn compact(counts: &OpinionCounts) -> OpinionCounts {
+    let nonzero: Vec<u64> = counts.counts().iter().copied().filter(|&c| c > 0).collect();
+    OpinionCounts::from_counts(nonzero).expect("a live configuration stays non-empty")
+}
+
+/// How often the compacted runners drop empty slots. Support only shrinks,
+/// so the slot count lags the true support by at most this many rounds.
+const COMPACT_EVERY: u64 = 32;
+
+/// Runs `protocol` from `initial` until consensus or `max_rounds`,
+/// periodically compacting vanished opinion slots so the per-round cost
+/// tracks the surviving support instead of the initial `k`. Returns the
+/// consensus round, or `None` if the cap was hit.
+///
+/// Only usable when opinion *identity* does not matter (e.g. consensus
+/// times from symmetric starts).
+pub fn run_to_consensus_compacted<P: SyncProtocol>(
+    protocol: &P,
+    initial: &OpinionCounts,
+    rng: &mut dyn rand::RngCore,
+    max_rounds: u64,
+) -> Option<u64> {
+    run_compacted_until(protocol, initial, rng, max_rounds, |_| false).0
+}
+
+/// Like [`run_to_consensus_compacted`], but also stops (returning the
+/// round and `true`) as soon as `stop(&counts)` holds.
+pub fn run_compacted_until<P: SyncProtocol>(
+    protocol: &P,
+    initial: &OpinionCounts,
+    rng: &mut dyn rand::RngCore,
+    max_rounds: u64,
+    mut stop: impl FnMut(&OpinionCounts) -> bool,
+) -> (Option<u64>, bool) {
+    let mut counts = compact(initial);
+    let mut round = 0u64;
+    loop {
+        if stop(&counts) {
+            return (Some(round), true);
+        }
+        if counts.is_consensus() {
+            return (Some(round), false);
+        }
+        if round >= max_rounds {
+            return (None, false);
+        }
+        counts = protocol.step_population(&counts, rng);
+        round += 1;
+        if round.is_multiple_of(COMPACT_EVERY) {
+            counts = compact(&counts);
+        }
+    }
+}
+
+/// A by-reference [`SyncProtocol`] adapter so sweeps can share one
+/// protocol value across parallel trials.
+struct ProtocolRef<'a, P: SyncProtocol>(&'a P);
+
+impl<P: SyncProtocol> SyncProtocol for ProtocolRef<'_, P> {
+    fn name(&self) -> &str {
+        self.0.name()
+    }
+
+    fn update_one(
+        &self,
+        own: u32,
+        source: &dyn od_core::protocol::OpinionSource,
+        rng: &mut dyn rand::RngCore,
+    ) -> u32 {
+        self.0.update_one(own, source, rng)
+    }
+
+    fn step_population(
+        &self,
+        counts: &OpinionCounts,
+        rng: &mut dyn rand::RngCore,
+    ) -> OpinionCounts {
+        self.0.step_population(counts, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use od_core::protocol::ThreeMajority;
+
+    #[test]
+    fn trials_are_reproducible() {
+        let start = OpinionCounts::from_counts(vec![700, 300]).unwrap();
+        let a = run_trials(&ThreeMajority, &start, 8, 42, 10_000);
+        let b = run_trials(&ThreeMajority, &start, 8, 42, 10_000);
+        assert_eq!(
+            a.iter().map(|o| o.rounds).collect::<Vec<_>>(),
+            b.iter().map(|o| o.rounds).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let start = OpinionCounts::from_counts(vec![700, 300]).unwrap();
+        let a = run_trials(&ThreeMajority, &start, 8, 42, 10_000);
+        let b = run_trials(&ThreeMajority, &start, 8, 43, 10_000);
+        assert_ne!(
+            a.iter().map(|o| o.rounds).collect::<Vec<_>>(),
+            b.iter().map(|o| o.rounds).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn stats_exclude_capped_runs() {
+        let start = OpinionCounts::balanced(100_000, 1000).unwrap();
+        let outcomes = run_trials(&ThreeMajority, &start, 4, 7, 2);
+        let (stats, capped) = consensus_time_stats(&outcomes);
+        assert_eq!(capped, 4);
+        assert_eq!(stats.count(), 0);
+    }
+
+    #[test]
+    fn winner_rate_counts() {
+        let start = OpinionCounts::from_counts(vec![900, 100]).unwrap();
+        let outcomes = run_trials(&ThreeMajority, &start, 16, 11, 100_000);
+        let rate = winner_rate(&outcomes, 0);
+        assert!(rate > 0.9, "leader should win almost always, rate {rate}");
+    }
+
+    #[test]
+    fn compact_drops_zero_slots() {
+        let c = OpinionCounts::from_counts(vec![0, 5, 0, 3]).unwrap();
+        let d = compact(&c);
+        assert_eq!(d.counts(), &[5, 3]);
+        assert_eq!(d.n(), 8);
+    }
+
+    #[test]
+    fn compacted_run_reaches_consensus() {
+        let start = OpinionCounts::balanced(2000, 200).unwrap();
+        let mut rng = rng_for(99, 0);
+        let rounds = run_to_consensus_compacted(&ThreeMajority, &start, &mut rng, 1_000_000)
+            .expect("should reach consensus");
+        assert!(rounds > 0);
+    }
+
+    #[test]
+    fn compacted_run_honours_stop_predicate() {
+        let start = OpinionCounts::balanced(2000, 200).unwrap();
+        let mut rng = rng_for(100, 0);
+        let (round, stopped) = run_compacted_until(
+            &ThreeMajority,
+            &start,
+            &mut rng,
+            1_000_000,
+            |c| c.gamma() >= 0.5,
+        );
+        assert!(stopped);
+        assert!(round.is_some());
+    }
+
+    #[test]
+    fn config_pick_switches_on_quick() {
+        let mut cfg = ExpConfig::default();
+        assert_eq!(cfg.pick(10, 2), 10);
+        cfg.quick = true;
+        assert_eq!(cfg.pick(10, 2), 2);
+    }
+}

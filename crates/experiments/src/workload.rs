@@ -1,0 +1,193 @@
+//! Initial-configuration workloads used across the experiments.
+
+use od_core::{ConfigError, OpinionCounts};
+use od_sampling::zipf::zipf_weights;
+
+/// A named family of initial configurations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Workload {
+    /// The balanced configuration (`Θ(n/k)` per opinion) — the hardest
+    /// start, used by the lower bound (Theorem 2.7).
+    Balanced {
+        /// Vertices.
+        n: u64,
+        /// Opinions.
+        k: usize,
+    },
+    /// Opinion 0 leads every other opinion by `margin` vertices, the rest
+    /// balanced (Theorem 2.6's plurality setting).
+    LeaderMargin {
+        /// Vertices.
+        n: u64,
+        /// Opinions.
+        k: usize,
+        /// Lead of opinion 0 over each other opinion, in vertices.
+        margin: u64,
+    },
+    /// One opinion holds `leader_fraction` of the vertices; the rest are
+    /// balanced across the remaining `k − 1` opinions. Controls `γ₀ ≈
+    /// leader_fraction²` for the Theorem 2.1 experiments.
+    OneStrong {
+        /// Vertices.
+        n: u64,
+        /// Opinions.
+        k: usize,
+        /// Fraction held by opinion 0 (in `(0, 1]`).
+        leader_fraction: f64,
+    },
+    /// Zipf-distributed opinion sizes with exponent `s` (heavy-tailed
+    /// support, a realistic plurality workload).
+    Zipf {
+        /// Vertices.
+        n: u64,
+        /// Opinions.
+        k: usize,
+        /// Zipf exponent (`0` = uniform).
+        s: f64,
+    },
+    /// Two equal blocks (`k = 2` tie) — the classic symmetric start.
+    TwoBlocks {
+        /// Vertices.
+        n: u64,
+    },
+    /// An explicit counts vector.
+    Custom(Vec<u64>),
+}
+
+impl Workload {
+    /// Builds the initial configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ConfigError`] when the parameters are infeasible.
+    pub fn build(&self) -> Result<OpinionCounts, ConfigError> {
+        match self {
+            Self::Balanced { n, k } => OpinionCounts::balanced(*n, *k),
+            Self::LeaderMargin { n, k, margin } => {
+                OpinionCounts::with_leader_margin(*n, *k, *margin)
+            }
+            Self::OneStrong {
+                n,
+                k,
+                leader_fraction,
+            } => {
+                if !(*leader_fraction > 0.0 && *leader_fraction <= 1.0) {
+                    return Err(ConfigError::ZeroPopulation);
+                }
+                let lead = (*n as f64 * leader_fraction).round() as u64;
+                let lead = lead.clamp(1, *n);
+                let rest = *n - lead;
+                if *k == 1 {
+                    return OpinionCounts::from_counts(vec![*n]);
+                }
+                let mut counts = vec![0u64; *k];
+                counts[0] = lead;
+                let others = *k - 1;
+                for (idx, slot) in counts.iter_mut().skip(1).enumerate() {
+                    let lo = rest * idx as u64 / others as u64;
+                    let hi = rest * (idx as u64 + 1) / others as u64;
+                    *slot = hi - lo;
+                }
+                OpinionCounts::from_counts(counts)
+            }
+            Self::Zipf { n, k, s } => OpinionCounts::from_weights(*n, &zipf_weights(*k, *s)),
+            Self::TwoBlocks { n } => {
+                OpinionCounts::from_counts(vec![n / 2 + n % 2, n / 2])
+            }
+            Self::Custom(counts) => OpinionCounts::from_counts(counts.clone()),
+        }
+    }
+
+    /// Short identifier for reports.
+    #[must_use]
+    pub fn name(&self) -> String {
+        match self {
+            Self::Balanced { n, k } => format!("balanced(n={n},k={k})"),
+            Self::LeaderMargin { n, k, margin } => {
+                format!("leader-margin(n={n},k={k},m={margin})")
+            }
+            Self::OneStrong {
+                n,
+                k,
+                leader_fraction,
+            } => format!("one-strong(n={n},k={k},a={leader_fraction})"),
+            Self::Zipf { n, k, s } => format!("zipf(n={n},k={k},s={s})"),
+            Self::TwoBlocks { n } => format!("two-blocks(n={n})"),
+            Self::Custom(c) => format!("custom(k={})", c.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_builds() {
+        let c = Workload::Balanced { n: 100, k: 10 }.build().unwrap();
+        assert_eq!(c.n(), 100);
+        assert_eq!(c.support_size(), 10);
+    }
+
+    #[test]
+    fn one_strong_leader_fraction() {
+        let c = Workload::OneStrong {
+            n: 1000,
+            k: 10,
+            leader_fraction: 0.4,
+        }
+        .build()
+        .unwrap();
+        assert_eq!(c.count(0), 400);
+        assert_eq!(c.n(), 1000);
+        // Rest spread over 9 opinions.
+        assert_eq!(c.support_size(), 10);
+        // γ₀ = 0.4² + 9·(600/9/1000)² = 0.16 + 0.04 = 0.2.
+        assert!((c.gamma() - 0.2).abs() < 0.01);
+    }
+
+    #[test]
+    fn one_strong_rejects_bad_fraction() {
+        assert!(Workload::OneStrong {
+            n: 100,
+            k: 2,
+            leader_fraction: 0.0
+        }
+        .build()
+        .is_err());
+        assert!(Workload::OneStrong {
+            n: 100,
+            k: 2,
+            leader_fraction: 1.5
+        }
+        .build()
+        .is_err());
+    }
+
+    #[test]
+    fn zipf_is_heavy_tailed() {
+        let c = Workload::Zipf {
+            n: 10_000,
+            k: 100,
+            s: 1.0,
+        }
+        .build()
+        .unwrap();
+        assert!(c.count(0) > 10 * c.count(99));
+        assert_eq!(c.n(), 10_000);
+    }
+
+    #[test]
+    fn two_blocks_handles_odd_n() {
+        let c = Workload::TwoBlocks { n: 101 }.build().unwrap();
+        assert_eq!(c.counts(), &[51, 50]);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let a = Workload::Balanced { n: 10, k: 2 }.name();
+        let b = Workload::TwoBlocks { n: 10 }.name();
+        assert_ne!(a, b);
+        assert!(a.contains("balanced"));
+    }
+}

@@ -1,0 +1,166 @@
+//! Explicit adjacency-list graph backing the generated graph families.
+
+use crate::{Graph, Vertex};
+use rand::Rng;
+
+/// An undirected graph stored as flattened adjacency lists (CSR layout).
+///
+/// Construction normalises the edge set: duplicate edges are kept only once,
+/// and self-loops are allowed when requested by the generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdjacencyGraph {
+    /// `offsets[v]..offsets[v+1]` indexes `targets` for vertex `v`.
+    offsets: Vec<usize>,
+    targets: Vec<Vertex>,
+}
+
+impl AdjacencyGraph {
+    /// Builds a graph on `n` vertices from an undirected edge list.
+    /// Each `(u, v)` pair is inserted in both directions (once for a
+    /// self-loop). Duplicate edges are deduplicated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or any endpoint is out of range.
+    #[must_use]
+    pub fn from_edges(n: usize, edges: &[(Vertex, Vertex)]) -> Self {
+        assert!(n > 0, "AdjacencyGraph: n must be positive");
+        let mut adj: Vec<Vec<Vertex>> = vec![Vec::new(); n];
+        for &(u, v) in edges {
+            assert!(u < n && v < n, "AdjacencyGraph: edge ({u},{v}) out of range");
+            adj[u].push(v);
+            if u != v {
+                adj[v].push(u);
+            }
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+            list.dedup();
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::new();
+        offsets.push(0);
+        for list in &adj {
+            targets.extend_from_slice(list);
+            offsets.push(targets.len());
+        }
+        Self { offsets, targets }
+    }
+
+    /// True if the edge `(u, v)` is present.
+    #[must_use]
+    pub fn has_edge(&self, u: Vertex, v: Vertex) -> bool {
+        self.neighbor_slice(u).binary_search(&v).is_ok()
+    }
+
+    fn neighbor_slice(&self, v: Vertex) -> &[Vertex] {
+        assert!(v + 1 < self.offsets.len(), "vertex {v} out of range");
+        &self.targets[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// True if the graph is connected (ignoring self-loops).
+    #[must_use]
+    pub fn is_connected(&self) -> bool {
+        let n = self.n();
+        if n == 0 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut visited = 1;
+        while let Some(v) = stack.pop() {
+            for &w in self.neighbor_slice(v) {
+                if !seen[w] {
+                    seen[w] = true;
+                    visited += 1;
+                    stack.push(w);
+                }
+            }
+        }
+        visited == n
+    }
+}
+
+impl Graph for AdjacencyGraph {
+    fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    fn degree(&self, v: Vertex) -> usize {
+        self.neighbor_slice(v).len()
+    }
+
+    fn sample_neighbor<R: Rng + ?Sized>(&self, v: Vertex, rng: &mut R) -> Vertex {
+        let nbrs = self.neighbor_slice(v);
+        assert!(!nbrs.is_empty(), "vertex {v} has no neighbors");
+        nbrs[rng.random_range(0..nbrs.len())]
+    }
+
+    fn neighbors(&self, v: Vertex) -> Vec<Vertex> {
+        self.neighbor_slice(v).to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use od_sampling::rng_for;
+
+    #[test]
+    fn builds_triangle() {
+        let g = AdjacencyGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.degree(0), 2);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 0));
+        assert!(g.is_connected());
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn dedupes_parallel_edges() {
+        let g = AdjacencyGraph::from_edges(2, &[(0, 1), (1, 0), (0, 1)]);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn self_loops_counted_once() {
+        let g = AdjacencyGraph::from_edges(2, &[(0, 0), (0, 1)]);
+        assert_eq!(g.degree(0), 2); // {0, 1}
+        assert!(g.has_edge(0, 0));
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn detects_disconnection() {
+        let g = AdjacencyGraph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn sampling_stays_in_neighborhood() {
+        let g = AdjacencyGraph::from_edges(4, &[(0, 1), (0, 2)]);
+        let mut rng = rng_for(61, 0);
+        for _ in 0..1000 {
+            let w = g.sample_neighbor(0, &mut rng);
+            assert!(w == 1 || w == 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no neighbors")]
+    fn sampling_isolated_vertex_panics() {
+        let g = AdjacencyGraph::from_edges(2, &[(0, 0)]);
+        let mut rng = rng_for(62, 0);
+        let _ = g.sample_neighbor(1, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_edge() {
+        let _ = AdjacencyGraph::from_edges(2, &[(0, 2)]);
+    }
+}

@@ -1,0 +1,90 @@
+//! Graph substrate for the `opinion-dynamics` workspace.
+//!
+//! The paper analyses dynamics on the **complete graph with self-loops**
+//! (choosing a random neighbor = choosing a uniformly random vertex); its
+//! Section 2.5 lists dynamics on other graph classes as open directions, and
+//! the related-work baselines ([CER14; CERRS15; SS19; CNNS18]) run on
+//! expanders, stochastic block models and core–periphery graphs. This crate
+//! provides all of those as implementations of a single [`Graph`] trait whose
+//! essential operation is *sampling a uniformly random neighbor*.
+//!
+//! # Examples
+//!
+//! ```
+//! use od_graphs::{CompleteWithSelfLoops, Graph};
+//! let g = CompleteWithSelfLoops::new(100);
+//! let mut rng = od_sampling::rng_for(1, 0);
+//! let w = g.sample_neighbor(7, &mut rng);
+//! assert!(w < 100);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adjacency;
+mod complete;
+mod random_graphs;
+mod structured;
+
+pub use adjacency::AdjacencyGraph;
+pub use complete::CompleteWithSelfLoops;
+pub use random_graphs::{erdos_renyi, random_regular, stochastic_block_model, GraphBuildError};
+pub use structured::{barbell, core_periphery, cycle, star, torus_2d};
+
+use rand::Rng;
+
+/// A vertex identifier in `0..n`.
+pub type Vertex = usize;
+
+/// An undirected graph (possibly with self-loops) that supports uniform
+/// neighbor sampling — the only primitive the consensus dynamics need.
+pub trait Graph {
+    /// Number of vertices.
+    fn n(&self) -> usize;
+
+    /// Degree of vertex `v` (self-loops count once).
+    fn degree(&self, v: Vertex) -> usize;
+
+    /// Samples a uniformly random neighbor of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `v >= n()` or if `v` has no neighbors.
+    fn sample_neighbor<R: Rng + ?Sized>(&self, v: Vertex, rng: &mut R) -> Vertex;
+
+    /// Returns the neighbors of `v` as a vector (diagnostic use; the
+    /// dynamics only use [`Graph::sample_neighbor`]).
+    fn neighbors(&self, v: Vertex) -> Vec<Vertex>;
+
+    /// Total number of edges (self-loops count once).
+    fn edge_count(&self) -> usize {
+        let loops = (0..self.n())
+            .filter(|&v| self.neighbors(v).contains(&v))
+            .count();
+        let sum_deg: usize = (0..self.n()).map(|v| self.degree(v)).sum();
+        (sum_deg - loops) / 2 + loops
+    }
+
+    /// True if every vertex has at least one neighbor.
+    fn has_no_isolated_vertices(&self) -> bool {
+        (0..self.n()).all(|v| self.degree(v) > 0)
+    }
+}
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+
+    #[test]
+    fn edge_count_complete_graph() {
+        let g = CompleteWithSelfLoops::new(4);
+        // C(4,2) + 4 self loops = 6 + 4 = 10.
+        assert_eq!(g.edge_count(), 10);
+    }
+
+    #[test]
+    fn no_isolated_vertices_in_cycle() {
+        let g = cycle(5);
+        assert!(g.has_no_isolated_vertices());
+    }
+}

@@ -1,0 +1,345 @@
+//! Random graph generators: Erdős–Rényi, random regular (expanders with
+//! high probability), and the stochastic block model.
+
+use crate::{AdjacencyGraph, Vertex};
+use rand::Rng;
+use std::fmt;
+
+/// Error returned when a random-graph generator cannot produce a graph with
+/// the requested parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphBuildError {
+    /// The `(n, d)` pair is infeasible for a simple `d`-regular graph
+    /// (`d >= n` or `n·d` odd).
+    InfeasibleRegular {
+        /// Requested number of vertices.
+        n: usize,
+        /// Requested degree.
+        d: usize,
+    },
+    /// The pairing procedure failed to produce a simple graph within the
+    /// retry budget.
+    RetriesExhausted,
+    /// A parameter was out of its valid domain.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for GraphBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InfeasibleRegular { n, d } => {
+                write!(f, "no simple {d}-regular graph on {n} vertices exists")
+            }
+            Self::RetriesExhausted => write!(f, "graph generation retries exhausted"),
+            Self::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphBuildError {}
+
+/// Samples `G(n, p)`: each of the `C(n,2)` possible edges appears
+/// independently with probability `p`. No self-loops.
+///
+/// Uses geometric edge skipping, so the cost is `O(n + m)` rather than
+/// `O(n²)` for sparse graphs.
+///
+/// # Errors
+///
+/// Returns [`GraphBuildError::InvalidParameter`] if `n == 0` or `p` is not
+/// in `[0, 1]`.
+pub fn erdos_renyi<R: Rng + ?Sized>(
+    n: usize,
+    p: f64,
+    rng: &mut R,
+) -> Result<AdjacencyGraph, GraphBuildError> {
+    if n == 0 {
+        return Err(GraphBuildError::InvalidParameter("n must be positive".into()));
+    }
+    if !(0.0..=1.0).contains(&p) || p.is_nan() {
+        return Err(GraphBuildError::InvalidParameter(format!(
+            "p must be in [0,1], got {p}"
+        )));
+    }
+    let mut edges: Vec<(Vertex, Vertex)> = Vec::new();
+    if p > 0.0 {
+        if p >= 1.0 {
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    edges.push((u, v));
+                }
+            }
+        } else {
+            // Enumerate pairs lexicographically, skipping geometrically.
+            let total_pairs = n as u64 * (n as u64 - 1) / 2;
+            let mut idx: u64 = 0;
+            let log_q = (1.0 - p).ln();
+            loop {
+                let u: f64 = rng.random();
+                let skip = ((1.0 - u).ln() / log_q).floor() as u64;
+                idx = idx.saturating_add(skip);
+                if idx >= total_pairs {
+                    break;
+                }
+                edges.push(pair_from_index(n as u64, idx));
+                idx += 1;
+            }
+        }
+    }
+    Ok(AdjacencyGraph::from_edges(n, &edges))
+}
+
+/// Maps a lexicographic pair index to the `(u, v)` pair with `u < v`.
+fn pair_from_index(n: u64, idx: u64) -> (Vertex, Vertex) {
+    // Row u contributes (n-1-u) pairs. Find u by walking rows; O(n) worst
+    // case across all calls amortises to O(n + m) because idx is increasing
+    // per call sequence — here we just solve directly.
+    let mut u = 0u64;
+    let mut before = 0u64;
+    loop {
+        let row = n - 1 - u;
+        if idx < before + row {
+            let v = u + 1 + (idx - before);
+            return (u as Vertex, v as Vertex);
+        }
+        before += row;
+        u += 1;
+    }
+}
+
+/// Samples a simple `d`-regular graph via the configuration model followed
+/// by degree-preserving edge-swap repair of self-loops and multi-edges
+/// (for `d ≥ 3` the result is an expander with high probability).
+///
+/// The swap repair makes the distribution *approximately* uniform over
+/// simple `d`-regular graphs — the standard practical compromise, since
+/// whole-pairing rejection has acceptance probability
+/// `≈ exp(−(d−1)/2 − (d−1)²/4)`, which is already `≈ 10⁻⁴` at `d = 6`.
+///
+/// # Errors
+///
+/// Returns [`GraphBuildError::InfeasibleRegular`] if `d >= n` or `n·d` is
+/// odd, and [`GraphBuildError::RetriesExhausted`] if the repair fails to
+/// converge (vanishingly unlikely for `d < n/2`).
+pub fn random_regular<R: Rng + ?Sized>(
+    n: usize,
+    d: usize,
+    rng: &mut R,
+) -> Result<AdjacencyGraph, GraphBuildError> {
+    if n == 0 || d == 0 || d >= n || !(n * d).is_multiple_of(2) {
+        return Err(GraphBuildError::InfeasibleRegular { n, d });
+    }
+    // Random pairing of stubs.
+    let mut stubs: Vec<Vertex> = Vec::with_capacity(n * d);
+    for v in 0..n {
+        for _ in 0..d {
+            stubs.push(v);
+        }
+    }
+    for i in (1..stubs.len()).rev() {
+        let j = rng.random_range(0..=i);
+        stubs.swap(i, j);
+    }
+    let mut edges: Vec<(Vertex, Vertex)> = stubs
+        .chunks_exact(2)
+        .map(|p| (p[0].min(p[1]), p[0].max(p[1])))
+        .collect();
+
+    // Repair: repeatedly pick a defective edge (self-loop or duplicate) and
+    // a uniformly random partner edge, and swap endpoints; accept the swap
+    // only if both replacement edges are new simple edges. Each accepted
+    // swap strictly reduces the defect count.
+    let mut seen: std::collections::HashMap<(Vertex, Vertex), usize> =
+        std::collections::HashMap::with_capacity(edges.len());
+    for &e in &edges {
+        *seen.entry(e).or_insert(0) += 1;
+    }
+    let is_bad = |e: (Vertex, Vertex), seen: &std::collections::HashMap<(Vertex, Vertex), usize>| {
+        e.0 == e.1 || seen[&e] > 1
+    };
+    let mut attempts: u64 = 0;
+    let max_attempts: u64 = 10_000 * edges.len() as u64 + 1_000_000;
+    loop {
+        let bad_idx = match edges.iter().position(|&e| is_bad(e, &seen)) {
+            None => break,
+            Some(i) => i,
+        };
+        let mut fixed = false;
+        while !fixed {
+            attempts += 1;
+            if attempts > max_attempts {
+                return Err(GraphBuildError::RetriesExhausted);
+            }
+            let other_idx = rng.random_range(0..edges.len());
+            if other_idx == bad_idx {
+                continue;
+            }
+            let (a, b) = edges[bad_idx];
+            let (c, e) = edges[other_idx];
+            // Two possible rewirings; pick one at random.
+            let (p, q) = if rng.random::<bool>() { (c, e) } else { (e, c) };
+            let new1 = (a.min(p), a.max(p));
+            let new2 = (b.min(q), b.max(q));
+            if new1.0 == new1.1 || new2.0 == new2.1 {
+                continue;
+            }
+            if seen.contains_key(&new1) || seen.contains_key(&new2) || new1 == new2 {
+                continue;
+            }
+            // Apply the swap.
+            for old in [edges[bad_idx], edges[other_idx]] {
+                match seen.get_mut(&old) {
+                    Some(cnt) if *cnt > 1 => *cnt -= 1,
+                    _ => {
+                        seen.remove(&old);
+                    }
+                }
+            }
+            edges[bad_idx] = new1;
+            edges[other_idx] = new2;
+            *seen.entry(new1).or_insert(0) += 1;
+            *seen.entry(new2).or_insert(0) += 1;
+            fixed = true;
+        }
+    }
+    Ok(AdjacencyGraph::from_edges(n, &edges))
+}
+
+/// Samples a two-community stochastic block model: vertices `0..n/2` form
+/// community A and the rest community B; intra-community edges appear with
+/// probability `p_in`, inter-community edges with probability `p_out`.
+///
+/// # Errors
+///
+/// Returns [`GraphBuildError::InvalidParameter`] if `n < 2` or either
+/// probability is outside `[0, 1]`.
+pub fn stochastic_block_model<R: Rng + ?Sized>(
+    n: usize,
+    p_in: f64,
+    p_out: f64,
+    rng: &mut R,
+) -> Result<AdjacencyGraph, GraphBuildError> {
+    if n < 2 {
+        return Err(GraphBuildError::InvalidParameter("n must be at least 2".into()));
+    }
+    for p in [p_in, p_out] {
+        if !(0.0..=1.0).contains(&p) || p.is_nan() {
+            return Err(GraphBuildError::InvalidParameter(format!(
+                "probability must be in [0,1], got {p}"
+            )));
+        }
+    }
+    let half = n / 2;
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let same = (u < half) == (v < half);
+            let p = if same { p_in } else { p_out };
+            if rng.random::<f64>() < p {
+                edges.push((u, v));
+            }
+        }
+    }
+    Ok(AdjacencyGraph::from_edges(n, &edges))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+    use od_sampling::rng_for;
+
+    #[test]
+    fn erdos_renyi_edge_density() {
+        let mut rng = rng_for(70, 0);
+        let n = 200;
+        let p = 0.1;
+        let g = erdos_renyi(n, p, &mut rng).unwrap();
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let got = g.edge_count() as f64;
+        let sd = (expected * (1.0 - p)).sqrt();
+        assert!(
+            (got - expected).abs() < 6.0 * sd,
+            "edges {got} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn erdos_renyi_extremes() {
+        let mut rng = rng_for(71, 0);
+        let empty = erdos_renyi(10, 0.0, &mut rng).unwrap();
+        assert_eq!(empty.edge_count(), 0);
+        let full = erdos_renyi(10, 1.0, &mut rng).unwrap();
+        assert_eq!(full.edge_count(), 45);
+    }
+
+    #[test]
+    fn erdos_renyi_rejects_bad_p() {
+        let mut rng = rng_for(72, 0);
+        assert!(erdos_renyi(10, 1.5, &mut rng).is_err());
+        assert!(erdos_renyi(0, 0.5, &mut rng).is_err());
+    }
+
+    #[test]
+    fn pair_index_enumeration_is_lexicographic() {
+        let n = 5u64;
+        let mut idx = 0;
+        for u in 0..5usize {
+            for v in (u + 1)..5 {
+                assert_eq!(pair_from_index(n, idx), (u, v));
+                idx += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn random_regular_is_regular_and_connected() {
+        let mut rng = rng_for(73, 0);
+        let g = random_regular(50, 4, &mut rng).unwrap();
+        for v in 0..50 {
+            assert_eq!(g.degree(v), 4, "vertex {v}");
+        }
+        assert!(g.is_connected(), "4-regular on 50 vertices should be connected");
+    }
+
+    #[test]
+    fn random_regular_infeasible_cases() {
+        let mut rng = rng_for(74, 0);
+        assert!(matches!(
+            random_regular(5, 3, &mut rng),
+            Err(GraphBuildError::InfeasibleRegular { .. })
+        ));
+        assert!(random_regular(10, 10, &mut rng).is_err());
+        assert!(random_regular(10, 0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn sbm_respects_community_densities() {
+        let mut rng = rng_for(75, 0);
+        let n = 100;
+        let g = stochastic_block_model(n, 0.5, 0.01, &mut rng).unwrap();
+        let half = n / 2;
+        let mut intra = 0usize;
+        let mut inter = 0usize;
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if g.has_edge(u, v) {
+                    if (u < half) == (v < half) {
+                        intra += 1;
+                    } else {
+                        inter += 1;
+                    }
+                }
+            }
+        }
+        // 2·C(50,2) = 2450 intra pairs, 2500 inter pairs.
+        assert!(intra > 1000, "intra {intra}");
+        assert!(inter < 100, "inter {inter}");
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = GraphBuildError::InfeasibleRegular { n: 5, d: 3 };
+        assert!(e.to_string().contains("3-regular"));
+    }
+}

@@ -1,0 +1,179 @@
+//! Walker alias method for `O(1)` sampling from a fixed categorical
+//! distribution.
+//!
+//! Used for static distributions (workload generators, agent-level update
+//! rules with a fixed per-round probability vector). For distributions whose
+//! weights change between draws, use [`crate::fenwick::FenwickSampler`].
+
+use rand::Rng;
+
+/// A preprocessed categorical distribution supporting `O(1)` draws.
+///
+/// # Examples
+///
+/// ```
+/// use od_sampling::AliasTable;
+/// let table = AliasTable::new(&[1.0, 2.0, 7.0]);
+/// let mut rng = od_sampling::rng_for(5, 0);
+/// let i = table.sample(&mut rng);
+/// assert!(i < 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl AliasTable {
+    /// Builds an alias table from non-negative `weights` (not necessarily
+    /// normalised).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, contains a negative or non-finite
+    /// weight, or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "AliasTable: weights must be non-empty");
+        let total: f64 = weights
+            .iter()
+            .map(|&w| {
+                assert!(
+                    w.is_finite() && w >= 0.0,
+                    "AliasTable: weights must be finite and non-negative, got {w}"
+                );
+                w
+            })
+            .sum();
+        assert!(total > 0.0, "AliasTable: weights must not all be zero");
+
+        let n = weights.len();
+        let scale = n as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|&w| w * scale).collect();
+        let mut alias = vec![0usize; n];
+
+        let mut small: Vec<usize> = Vec::with_capacity(n);
+        let mut large: Vec<usize> = Vec::with_capacity(n);
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            alias[s] = l;
+            prob[l] = (prob[l] + prob[s]) - 1.0;
+            if prob[l] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Residual entries are 1 up to round-off.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i] = 1.0;
+            alias[i] = i;
+        }
+        Self { prob, alias }
+    }
+
+    /// Number of categories.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Returns `true` if the table has no categories (never true for a
+    /// constructed table; provided for API completeness).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one category index in `0..len()`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.random_range(0..self.prob.len());
+        if rng.random::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeds::rng_for;
+
+    #[test]
+    fn frequencies_match_weights() {
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let table = AliasTable::new(&weights);
+        let mut rng = rng_for(20, 0);
+        let draws = 100_000;
+        let mut counts = [0u64; 4];
+        for _ in 0..draws {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        let total: f64 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate() {
+            let p = w / total;
+            let freq = counts[i] as f64 / draws as f64;
+            let se = (p * (1.0 - p) / draws as f64).sqrt();
+            assert!(
+                (freq - p).abs() < 6.0 * se,
+                "category {i}: freq {freq} vs {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_category() {
+        let table = AliasTable::new(&[3.5]);
+        let mut rng = rng_for(21, 0);
+        for _ in 0..100 {
+            assert_eq!(table.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn zero_weight_categories_never_sampled() {
+        let table = AliasTable::new(&[0.0, 1.0, 0.0]);
+        let mut rng = rng_for(22, 0);
+        for _ in 0..10_000 {
+            assert_eq!(table.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn handles_extreme_weight_ratios() {
+        let table = AliasTable::new(&[1e-12, 1.0]);
+        let mut rng = rng_for(23, 0);
+        let mut ones = 0;
+        for _ in 0..10_000 {
+            if table.sample(&mut rng) == 1 {
+                ones += 1;
+            }
+        }
+        assert!(ones >= 9_990);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_empty() {
+        let _ = AliasTable::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not all be zero")]
+    fn rejects_all_zero() {
+        let _ = AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn rejects_negative() {
+        let _ = AliasTable::new(&[1.0, -1.0]);
+    }
+}

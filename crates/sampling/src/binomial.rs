@@ -1,0 +1,267 @@
+//! Exact binomial sampling.
+//!
+//! One synchronous round of a consensus dynamic on the complete graph is a
+//! multinomial draw, which we decompose into `k` conditional binomial draws
+//! (see [`crate::multinomial`]). Those binomials range from `Bin(n, p)` with
+//! `n ≈ 10^7` down to tiny tail buckets, so the sampler must be exact and
+//! `O(1)` in both regimes:
+//!
+//! * `n·min(p, 1−p) < 10` — **BINV** sequential inversion (expected `O(np)`
+//!   but `np` is bounded by 10 here);
+//! * otherwise — **BTRD**, Hörmann's transformed-rejection algorithm
+//!   (W. Hörmann, *The generation of binomial random variates*, J. Stat.
+//!   Comput. Simul. 46 (1993)), with the triangular fast-accept region and a
+//!   full log-space acceptance test.
+
+use crate::math::ln_factorial;
+use rand::Rng;
+
+/// Threshold on `n·min(p, 1−p)` below which sequential inversion is used.
+const INVERSION_THRESHOLD: f64 = 10.0;
+
+/// Draws one sample from the binomial distribution `Bin(n, p)`.
+///
+/// The sampler is exact (not a normal approximation) for all `n` and `p`.
+///
+/// # Panics
+///
+/// Panics if `p` is NaN or outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use od_sampling::binomial::sample_binomial;
+/// let mut rng = od_sampling::rng_for(7, 0);
+/// let x = sample_binomial(&mut rng, 100, 0.5);
+/// assert!(x <= 100);
+/// ```
+pub fn sample_binomial<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
+    assert!(
+        !p.is_nan() && (0.0..=1.0).contains(&p),
+        "sample_binomial: p must be in [0,1], got {p}"
+    );
+    if n == 0 || p == 0.0 {
+        return 0;
+    }
+    if p == 1.0 {
+        return n;
+    }
+    // Reduce to p <= 1/2 by symmetry.
+    if p > 0.5 {
+        return n - sample_binomial_half(rng, n, 1.0 - p);
+    }
+    sample_binomial_half(rng, n, p)
+}
+
+/// Samples `Bin(n, p)` for `0 < p <= 1/2`.
+fn sample_binomial_half<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
+    if (n as f64) * p < INVERSION_THRESHOLD {
+        binv(rng, n, p)
+    } else {
+        btrd(rng, n, p)
+    }
+}
+
+/// Sequential inversion (BINV). Requires `np < INVERSION_THRESHOLD` so the
+/// starting mass `(1-p)^n >= e^{-n p / (1-p)}` cannot underflow.
+fn binv<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
+    let q = 1.0 - p;
+    let s = p / q;
+    let a = (n as f64 + 1.0) * s;
+    loop {
+        let mut r = q.powf(n as f64);
+        let mut u: f64 = rng.random();
+        let mut x: u64 = 0;
+        let mut ok = true;
+        while u > r {
+            u -= r;
+            x += 1;
+            if x > n {
+                // Float round-off pushed us past the support; retry.
+                ok = false;
+                break;
+            }
+            r *= a / (x as f64) - s;
+        }
+        if ok {
+            return x;
+        }
+    }
+}
+
+/// Hörmann's BTRD transformed rejection. Requires `p <= 1/2`, `np >= 10`.
+fn btrd<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
+    let nf = n as f64;
+    let q = 1.0 - p;
+    let npq = nf * p * q;
+    let spq = npq.sqrt();
+
+    let b = 1.15 + 2.53 * spq;
+    let a = -0.0873 + 0.0248 * b + 0.01 * p;
+    let c = nf * p + 0.5;
+    let v_r = 0.92 - 4.2 / b;
+    let u_rv_r = 0.86 * v_r;
+
+    let alpha = (2.83 + 5.1 / b) * spq;
+    let lpq = (p / q).ln();
+    let m = ((nf + 1.0) * p).floor(); // mode
+    let h = ln_factorial(m as u64) + ln_factorial(n - m as u64);
+
+    loop {
+        let mut v: f64 = rng.random();
+        let u: f64;
+        if v <= u_rv_r {
+            // Triangular region: accept immediately.
+            u = v / v_r - 0.43;
+            let k = ((2.0 * a / (0.5 - u.abs()) + b) * u + c).floor();
+            // The triangular region lies inside the support by construction,
+            // but guard against float edge cases anyway.
+            if k >= 0.0 && k <= nf {
+                return k as u64;
+            }
+            continue;
+        }
+        if v >= v_r {
+            u = rng.random::<f64>() - 0.5;
+        } else {
+            let w = v / v_r - 0.93;
+            u = if w < 0.0 { -0.5 - w } else { 0.5 - w };
+            v = rng.random::<f64>() * v_r;
+        }
+
+        let us = 0.5 - u.abs();
+        let kf = ((2.0 * a / us + b) * u + c).floor();
+        if kf < 0.0 || kf > nf {
+            continue;
+        }
+        let k = kf as u64;
+        let v_scaled = v * alpha / (a / (us * us) + b);
+        // Full log-space acceptance test (Hörmann step 3.3, skipping the
+        // squeeze steps; correctness is unaffected, only speed).
+        let accept_bound =
+            h - ln_factorial(k) - ln_factorial(n - k) + (kf - m) * lpq;
+        if v_scaled.ln() <= accept_bound {
+            return k;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::math::binomial_pmf;
+    use crate::seeds::rng_for;
+
+    /// Empirical mean/variance of many draws must match `np` / `npq` within
+    /// a generous multiple of the standard error.
+    fn check_moments(n: u64, p: f64, draws: usize, seed: u64) {
+        let mut rng = rng_for(seed, 0);
+        let mut sum = 0.0f64;
+        let mut sumsq = 0.0f64;
+        for _ in 0..draws {
+            let x = sample_binomial(&mut rng, n, p) as f64;
+            assert!(x <= n as f64);
+            sum += x;
+            sumsq += x * x;
+        }
+        let mean = sum / draws as f64;
+        let var = sumsq / draws as f64 - mean * mean;
+        let true_mean = n as f64 * p;
+        let true_var = n as f64 * p * (1.0 - p);
+        let se_mean = (true_var / draws as f64).sqrt();
+        assert!(
+            (mean - true_mean).abs() < 6.0 * se_mean + 1e-9,
+            "Bin({n},{p}): mean {mean} vs {true_mean} (se {se_mean})"
+        );
+        // Variance of the sample variance ~ 2σ⁴/draws for near-normal data;
+        // allow a wide band.
+        assert!(
+            (var - true_var).abs() < 0.1 * true_var + 6.0 * true_var * (2.0 / draws as f64).sqrt() + 1e-9,
+            "Bin({n},{p}): var {var} vs {true_var}"
+        );
+    }
+
+    #[test]
+    fn moments_small_np_inversion_regime() {
+        check_moments(100, 0.01, 40_000, 1);
+        check_moments(20, 0.3, 40_000, 2);
+        check_moments(1_000_000, 0.000_001, 40_000, 3);
+    }
+
+    #[test]
+    fn moments_btrd_regime() {
+        check_moments(100, 0.5, 40_000, 4);
+        check_moments(1_000, 0.3, 40_000, 5);
+        check_moments(1_000_000, 0.001, 40_000, 6);
+        check_moments(10_000_000, 0.5, 10_000, 7);
+    }
+
+    #[test]
+    fn moments_symmetry_branch() {
+        check_moments(1_000, 0.9, 40_000, 8);
+        check_moments(50, 0.99, 40_000, 9);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let mut rng = rng_for(0, 0);
+        assert_eq!(sample_binomial(&mut rng, 0, 0.5), 0);
+        assert_eq!(sample_binomial(&mut rng, 100, 0.0), 0);
+        assert_eq!(sample_binomial(&mut rng, 100, 1.0), 100);
+        assert!(sample_binomial(&mut rng, 1, 0.5) <= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in [0,1]")]
+    fn rejects_invalid_p() {
+        let mut rng = rng_for(0, 0);
+        let _ = sample_binomial(&mut rng, 10, 1.5);
+    }
+
+    /// Goodness-of-fit: compare the empirical CDF to the exact CDF at several
+    /// quantiles, in both sampling regimes. The DKW inequality bounds the sup
+    /// deviation of the empirical CDF by sqrt(ln(2/δ)/(2N)); we use a 6σ-ish
+    /// budget.
+    fn check_cdf(n: u64, p: f64, draws: usize, seed: u64) {
+        let mut rng = rng_for(seed, 0);
+        let mut counts = vec![0u64; n as usize + 1];
+        for _ in 0..draws {
+            counts[sample_binomial(&mut rng, n, p) as usize] += 1;
+        }
+        let mut ecdf = 0.0;
+        let mut tcdf = 0.0;
+        let tol = 4.0 * (1.0 / (2.0 * draws as f64) * (2.0f64 / 1e-9).ln()).sqrt();
+        for k in 0..=n {
+            ecdf += counts[k as usize] as f64 / draws as f64;
+            tcdf += binomial_pmf(n, p, k);
+            assert!(
+                (ecdf - tcdf).abs() < tol,
+                "Bin({n},{p}) CDF at {k}: {ecdf} vs {tcdf} (tol {tol})"
+            );
+        }
+    }
+
+    #[test]
+    fn cdf_matches_exact_inversion_regime() {
+        check_cdf(30, 0.2, 60_000, 11);
+    }
+
+    #[test]
+    fn cdf_matches_exact_btrd_regime() {
+        check_cdf(80, 0.4, 60_000, 12);
+        check_cdf(200, 0.5, 60_000, 13);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a: Vec<u64> = {
+            let mut rng = rng_for(99, 1);
+            (0..32).map(|_| sample_binomial(&mut rng, 1000, 0.3)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = rng_for(99, 1);
+            (0..32).map(|_| sample_binomial(&mut rng, 1000, 0.3)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,265 @@
+//! Fenwick-tree dynamic categorical sampler.
+//!
+//! The asynchronous scheduler repeatedly (a) samples a vertex by current
+//! opinion — i.e. a category proportional to integer counts — and (b)
+//! moves one unit of weight between categories. A Fenwick (binary indexed)
+//! tree supports both in `O(log k)`.
+
+use rand::Rng;
+
+/// Dynamic categorical distribution over integer weights with `O(log k)`
+/// update and sampling.
+///
+/// # Examples
+///
+/// ```
+/// use od_sampling::FenwickSampler;
+/// let mut s = FenwickSampler::from_weights(&[5, 0, 5]);
+/// let mut rng = od_sampling::rng_for(3, 0);
+/// let i = s.sample(&mut rng).unwrap();
+/// assert!(i == 0 || i == 2);
+/// s.add(1, 10);
+/// assert_eq!(s.total(), 20);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FenwickSampler {
+    /// 1-based Fenwick array of partial sums.
+    tree: Vec<u64>,
+    /// Raw weights, kept for O(1) reads and for subtraction checks.
+    weights: Vec<u64>,
+    total: u64,
+}
+
+impl FenwickSampler {
+    /// Creates a sampler over `len` categories, all with weight zero.
+    #[must_use]
+    pub fn new(len: usize) -> Self {
+        Self {
+            tree: vec![0; len + 1],
+            weights: vec![0; len],
+            total: 0,
+        }
+    }
+
+    /// Creates a sampler initialised with the given weights.
+    #[must_use]
+    pub fn from_weights(weights: &[u64]) -> Self {
+        let mut s = Self::new(weights.len());
+        for (i, &w) in weights.iter().enumerate() {
+            if w > 0 {
+                s.add(i, w);
+            }
+        }
+        s
+    }
+
+    /// Number of categories.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Returns `true` if there are no categories.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Total weight across all categories.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Current weight of category `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[must_use]
+    pub fn weight(&self, i: usize) -> u64 {
+        self.weights[i]
+    }
+
+    /// Adds `delta` to the weight of category `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn add(&mut self, i: usize, delta: u64) {
+        assert!(i < self.weights.len(), "FenwickSampler::add: index {i} out of bounds");
+        self.weights[i] += delta;
+        self.total += delta;
+        let mut j = i + 1;
+        while j < self.tree.len() {
+            self.tree[j] += delta;
+            j += j & j.wrapping_neg();
+        }
+    }
+
+    /// Subtracts `delta` from the weight of category `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds or the weight would go negative.
+    pub fn sub(&mut self, i: usize, delta: u64) {
+        assert!(i < self.weights.len(), "FenwickSampler::sub: index {i} out of bounds");
+        assert!(
+            self.weights[i] >= delta,
+            "FenwickSampler::sub: weight {} at {i} smaller than delta {delta}",
+            self.weights[i]
+        );
+        self.weights[i] -= delta;
+        self.total -= delta;
+        let mut j = i + 1;
+        while j < self.tree.len() {
+            self.tree[j] -= delta;
+            j += j & j.wrapping_neg();
+        }
+    }
+
+    /// Moves one unit of weight from category `from` to category `to`
+    /// (the asynchronous-update primitive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` has zero weight or either index is out of bounds.
+    pub fn move_unit(&mut self, from: usize, to: usize) {
+        if from == to {
+            return;
+        }
+        self.sub(from, 1);
+        self.add(to, 1);
+    }
+
+    /// Samples a category with probability proportional to its weight.
+    /// Returns `None` if the total weight is zero.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<usize> {
+        if self.total == 0 {
+            return None;
+        }
+        let target = rng.random_range(0..self.total);
+        Some(self.rank(target))
+    }
+
+    /// Returns the smallest index `i` such that the prefix sum through `i`
+    /// exceeds `target` (requires `target < total`).
+    fn rank(&self, mut target: u64) -> usize {
+        let n = self.weights.len();
+        let mut pos = 0usize; // 1-based position accumulator
+        let mut step = n.next_power_of_two();
+        while step > 0 {
+            let next = pos + step;
+            if next < self.tree.len() && self.tree[next] <= target {
+                target -= self.tree[next];
+                pos = next;
+            }
+            step >>= 1;
+        }
+        pos // pos is the 0-based category index
+    }
+
+    /// Returns a snapshot of all weights.
+    #[must_use]
+    pub fn weights(&self) -> &[u64] {
+        &self.weights
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeds::rng_for;
+
+    #[test]
+    fn sampling_frequencies_match_weights() {
+        let weights = [1u64, 0, 3, 6];
+        let s = FenwickSampler::from_weights(&weights);
+        let mut rng = rng_for(30, 0);
+        let draws = 100_000;
+        let mut counts = [0u64; 4];
+        for _ in 0..draws {
+            counts[s.sample(&mut rng).unwrap()] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let total: u64 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate() {
+            let p = w as f64 / total as f64;
+            let freq = counts[i] as f64 / draws as f64;
+            let se = (p * (1.0 - p) / draws as f64).sqrt().max(1e-9);
+            assert!((freq - p).abs() < 6.0 * se, "cat {i}: {freq} vs {p}");
+        }
+    }
+
+    #[test]
+    fn updates_are_reflected() {
+        let mut s = FenwickSampler::from_weights(&[10, 0]);
+        let mut rng = rng_for(31, 0);
+        for _ in 0..100 {
+            assert_eq!(s.sample(&mut rng), Some(0));
+        }
+        for _ in 0..10 {
+            s.move_unit(0, 1);
+        }
+        assert_eq!(s.weight(0), 0);
+        assert_eq!(s.weight(1), 10);
+        for _ in 0..100 {
+            assert_eq!(s.sample(&mut rng), Some(1));
+        }
+    }
+
+    #[test]
+    fn empty_total_returns_none() {
+        let s = FenwickSampler::new(4);
+        let mut rng = rng_for(32, 0);
+        assert_eq!(s.sample(&mut rng), None);
+    }
+
+    #[test]
+    fn move_unit_to_self_is_noop() {
+        let mut s = FenwickSampler::from_weights(&[2, 3]);
+        s.move_unit(0, 0);
+        assert_eq!(s.weights(), &[2, 3]);
+        assert_eq!(s.total(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than delta")]
+    fn sub_below_zero_panics() {
+        let mut s = FenwickSampler::from_weights(&[1, 1]);
+        s.sub(0, 2);
+    }
+
+    #[test]
+    fn rank_boundaries_are_exact() {
+        // With weights [2,3,5], prefix sums 2,5,10: targets 0,1 → 0;
+        // 2,3,4 → 1; 5..9 → 2.
+        let s = FenwickSampler::from_weights(&[2, 3, 5]);
+        let expect = [0, 0, 1, 1, 1, 2, 2, 2, 2, 2];
+        for (t, &want) in expect.iter().enumerate() {
+            assert_eq!(s.rank(t as u64), want, "target {t}");
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_lengths() {
+        for len in [1usize, 3, 5, 7, 13] {
+            let weights: Vec<u64> = (0..len).map(|i| (i + 1) as u64).collect();
+            let s = FenwickSampler::from_weights(&weights);
+            let total: u64 = weights.iter().sum();
+            // Exhaustively check rank against a linear scan.
+            for t in 0..total {
+                let mut acc = 0;
+                let mut want = 0;
+                for (i, &w) in weights.iter().enumerate() {
+                    if t < acc + w {
+                        want = i;
+                        break;
+                    }
+                    acc += w;
+                }
+                assert_eq!(s.rank(t), want, "len {len}, target {t}");
+            }
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Geometric sampling (number of failures before the first success).
+
+use rand::Rng;
+
+/// Draws from the geometric distribution with success probability `p`:
+/// the number of independent Bernoulli(`p`) failures before the first
+/// success, supported on `{0, 1, 2, …}`.
+///
+/// Uses the inversion formula `⌊ln(1−U)/ln(1−p)⌋`.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `(0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use od_sampling::geometric::sample_geometric;
+/// let mut rng = od_sampling::rng_for(4, 0);
+/// let _failures = sample_geometric(&mut rng, 0.25);
+/// ```
+pub fn sample_geometric<R: Rng + ?Sized>(rng: &mut R, p: f64) -> u64 {
+    assert!(
+        p > 0.0 && p <= 1.0,
+        "sample_geometric: p must be in (0,1], got {p}"
+    );
+    if p == 1.0 {
+        return 0;
+    }
+    let u: f64 = rng.random();
+    // 1 - u is in (0, 1]; ln(1-u) <= 0 and ln(1-p) < 0.
+    let x = (1.0 - u).ln() / (1.0 - p).ln();
+    x.floor() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeds::rng_for;
+
+    #[test]
+    fn mean_matches_q_over_p() {
+        let mut rng = rng_for(50, 0);
+        let p = 0.2;
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| sample_geometric(&mut rng, p) as f64).sum::<f64>() / n as f64;
+        let want = (1.0 - p) / p;
+        assert!((mean - want).abs() < 0.1, "{mean} vs {want}");
+    }
+
+    #[test]
+    fn p_one_is_always_zero() {
+        let mut rng = rng_for(51, 0);
+        for _ in 0..100 {
+            assert_eq!(sample_geometric(&mut rng, 1.0), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in (0,1]")]
+    fn rejects_zero_p() {
+        let mut rng = rng_for(52, 0);
+        let _ = sample_geometric(&mut rng, 0.0);
+    }
+}

@@ -1,0 +1,46 @@
+//! Random-variate substrate for the `opinion-dynamics` workspace.
+//!
+//! The offline dependency set provides [`rand`] (uniform variates and RNG
+//! plumbing) but no distribution crate, so everything non-uniform that the
+//! consensus-dynamics engines need is implemented here from scratch:
+//!
+//! * [`binomial`] — exact binomial sampling (inversion + Hörmann's BTRD
+//!   transformed rejection), the workhorse of the population-level engines;
+//! * [`multinomial`] — multinomial via conditional binomials;
+//! * [`alias`] — Walker alias tables for static categorical distributions;
+//! * [`fenwick`] — Fenwick-tree dynamic categorical sampler used by the
+//!   asynchronous scheduler;
+//! * [`normal`], [`geometric`], [`zipf`] — auxiliary distributions for
+//!   statistics and workload generation;
+//! * [`math`] — `ln Γ`, `ln n!` and friends (Lanczos + Stirling);
+//! * [`seeds`] — reproducible seed-stream derivation (SplitMix64).
+//!
+//! # Examples
+//!
+//! ```
+//! use od_sampling::{binomial::sample_binomial, seeds::rng_for};
+//!
+//! let mut rng = rng_for(42, 0);
+//! let x = sample_binomial(&mut rng, 1000, 0.25);
+//! assert!(x <= 1000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alias;
+pub mod binomial;
+pub mod fenwick;
+pub mod geometric;
+pub mod math;
+pub mod multinomial;
+pub mod normal;
+pub mod seeds;
+pub mod zipf;
+
+pub use alias::AliasTable;
+pub use binomial::sample_binomial;
+pub use fenwick::FenwickSampler;
+pub use multinomial::{sample_multinomial, sample_multinomial_into};
+pub use normal::standard_normal;
+pub use seeds::{rng_for, SeedStream};

@@ -1,0 +1,221 @@
+//! Special-function helpers: `ln Γ(x)`, `ln n!`, `ln C(n, k)`.
+//!
+//! The binomial sampler's acceptance tests and the concentration-bound
+//! evaluators need logarithms of factorials for arguments up to `n ≈ 10^9`.
+//! We use a cached table for small arguments and a Stirling series beyond it;
+//! `ln Γ` uses the Lanczos approximation (g = 7, 9 coefficients), accurate to
+//! roughly 15 significant digits over the positive reals.
+
+use std::sync::OnceLock;
+
+/// Natural log of `2π`.
+pub const LN_2PI: f64 = 1.837_877_066_409_345_5;
+
+const LANCZOS_G: f64 = 7.0;
+const LANCZOS_COEF: [f64; 9] = [
+    0.999_999_999_999_809_9,
+    676.520_368_121_885_1,
+    -1_259.139_216_722_402_8,
+    771.323_428_777_653_1,
+    -176.615_029_162_140_6,
+    12.507_343_278_686_905,
+    -0.138_571_095_265_720_12,
+    9.984_369_578_019_572e-6,
+    1.505_632_735_149_311_6e-7,
+];
+
+/// Natural logarithm of the gamma function `ln Γ(x)` for `x > 0`.
+///
+/// Uses the Lanczos approximation with reflection for `x < 0.5`.
+///
+/// # Panics
+///
+/// Panics if `x <= 0` and `x` is an integer (where `Γ` has poles), or if `x`
+/// is NaN.
+///
+/// # Examples
+///
+/// ```
+/// use od_sampling::math::ln_gamma;
+/// // Γ(5) = 24
+/// assert!((ln_gamma(5.0) - 24.0_f64.ln()).abs() < 1e-12);
+/// ```
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(!x.is_nan(), "ln_gamma: x must not be NaN");
+    if x < 0.5 {
+        assert!(
+            x != x.floor() || x > 0.0,
+            "ln_gamma: pole at non-positive integer {x}"
+        );
+        // Reflection: Γ(x)Γ(1-x) = π / sin(πx).
+        let s = (std::f64::consts::PI * x).sin();
+        return std::f64::consts::PI.ln() - s.abs().ln() - ln_gamma(1.0 - x);
+    }
+    let z = x - 1.0;
+    let mut acc = LANCZOS_COEF[0];
+    for (i, c) in LANCZOS_COEF.iter().enumerate().skip(1) {
+        acc += c / (z + i as f64);
+    }
+    let t = z + LANCZOS_G + 0.5;
+    0.5 * LN_2PI + (z + 0.5) * t.ln() - t + acc.ln()
+}
+
+const LN_FACT_TABLE_LEN: usize = 1024;
+
+fn ln_fact_table() -> &'static [f64; LN_FACT_TABLE_LEN] {
+    static TABLE: OnceLock<[f64; LN_FACT_TABLE_LEN]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0.0f64; LN_FACT_TABLE_LEN];
+        let mut acc = 0.0f64;
+        for (i, slot) in t.iter_mut().enumerate() {
+            if i > 0 {
+                acc += (i as f64).ln();
+            }
+            *slot = acc;
+        }
+        t
+    })
+}
+
+/// Natural logarithm of the factorial, `ln n!`.
+///
+/// Exact summation is cached for `n < 1024`; a Stirling series with four
+/// correction terms (absolute error below `1e-14` in this range) is used
+/// beyond that.
+///
+/// # Examples
+///
+/// ```
+/// use od_sampling::math::ln_factorial;
+/// assert!((ln_factorial(10) - 3628800.0_f64.ln()).abs() < 1e-10);
+/// ```
+pub fn ln_factorial(n: u64) -> f64 {
+    if (n as usize) < LN_FACT_TABLE_LEN {
+        return ln_fact_table()[n as usize];
+    }
+    let x = n as f64;
+    let inv = 1.0 / x;
+    let inv2 = inv * inv;
+    // Stirling: ln n! = n ln n − n + ½ ln(2πn) + 1/(12n) − 1/(360n³) + …
+    x * x.ln() - x
+        + 0.5 * (LN_2PI + x.ln())
+        + inv * (1.0 / 12.0 - inv2 * (1.0 / 360.0 - inv2 * (1.0 / 1260.0 - inv2 / 1680.0)))
+}
+
+/// Natural logarithm of the binomial coefficient `ln C(n, k)`.
+///
+/// Returns `f64::NEG_INFINITY` when `k > n`.
+///
+/// # Examples
+///
+/// ```
+/// use od_sampling::math::ln_binomial;
+/// assert!((ln_binomial(10, 3) - 120.0_f64.ln()).abs() < 1e-10);
+/// ```
+pub fn ln_binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// The binomial probability mass `Pr[Bin(n, p) = k]`, computed in log space.
+///
+/// Intended for test oracles and bound evaluation rather than hot loops.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]`.
+pub fn binomial_pmf(n: u64, p: f64, k: u64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "binomial_pmf: p must be in [0,1]");
+    if k > n {
+        return 0.0;
+    }
+    if p == 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    if p == 1.0 {
+        return if k == n { 1.0 } else { 0.0 };
+    }
+    (ln_binomial(n, k) + k as f64 * p.ln() + (n - k) as f64 * (1.0 - p).ln()).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        let mut fact = 1.0f64;
+        for n in 1..20u32 {
+            if n > 1 {
+                fact *= (n - 1) as f64;
+            }
+            let got = ln_gamma(n as f64);
+            let want = fact.ln();
+            assert!(
+                (got - want).abs() < 1e-10 * want.abs().max(1.0),
+                "Γ({n}) mismatch: {got} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half_integer() {
+        // Γ(1/2) = √π.
+        let want = std::f64::consts::PI.sqrt().ln();
+        assert!((ln_gamma(0.5) - want).abs() < 1e-12);
+        // Γ(3/2) = √π / 2.
+        let want = (std::f64::consts::PI.sqrt() / 2.0).ln();
+        assert!((ln_gamma(1.5) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ln_factorial_table_and_stirling_agree_at_boundary() {
+        // Compare the Stirling branch against direct summation around the
+        // table boundary.
+        for n in [1024u64, 1500, 5000] {
+            let direct: f64 = (1..=n).map(|i| (i as f64).ln()).sum();
+            let got = ln_factorial(n);
+            assert!(
+                (got - direct).abs() < 1e-8,
+                "ln {n}! mismatch: {got} vs {direct}"
+            );
+        }
+    }
+
+    #[test]
+    fn ln_factorial_small_values() {
+        assert_eq!(ln_factorial(0), 0.0);
+        assert_eq!(ln_factorial(1), 0.0);
+        assert!((ln_factorial(5) - 120.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ln_binomial_symmetry_and_edges() {
+        assert_eq!(ln_binomial(10, 0), 0.0);
+        assert_eq!(ln_binomial(10, 10), 0.0);
+        assert_eq!(ln_binomial(3, 5), f64::NEG_INFINITY);
+        for k in 0..=20u64 {
+            let a = ln_binomial(20, k);
+            let b = ln_binomial(20, 20 - k);
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn binomial_pmf_sums_to_one() {
+        let n = 50;
+        let p = 0.3;
+        let total: f64 = (0..=n).map(|k| binomial_pmf(n, p, k)).sum();
+        assert!((total - 1.0).abs() < 1e-10, "pmf sum = {total}");
+    }
+
+    #[test]
+    fn binomial_pmf_degenerate() {
+        assert_eq!(binomial_pmf(10, 0.0, 0), 1.0);
+        assert_eq!(binomial_pmf(10, 0.0, 3), 0.0);
+        assert_eq!(binomial_pmf(10, 1.0, 10), 1.0);
+        assert_eq!(binomial_pmf(10, 1.0, 9), 0.0);
+    }
+}

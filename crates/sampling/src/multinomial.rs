@@ -1,0 +1,217 @@
+//! Multinomial sampling via the conditional-binomial decomposition.
+//!
+//! A draw from `Multinomial(n, p₁..p_k)` is produced by sampling
+//! `X₁ ~ Bin(n, p₁)`, then `X₂ ~ Bin(n − X₁, p₂/(1 − p₁))`, and so on. Each
+//! conditional binomial uses the exact sampler in [`crate::binomial`], so the
+//! joint draw is exact and costs `O(k)` binomial draws. This is the kernel of
+//! the population-level (mean-field) engines for the consensus dynamics.
+
+use crate::binomial::sample_binomial;
+use rand::Rng;
+
+/// Relative slack allowed when validating that `probs` sums to 1.
+const SUM_TOLERANCE: f64 = 1e-9;
+
+/// Draws `counts ~ Multinomial(n, probs)` into a fresh vector.
+///
+/// `probs` must be non-negative and sum to 1 within a small tolerance
+/// (round-off from upstream computation of the probability vector is
+/// absorbed by renormalising the conditional probabilities).
+///
+/// # Panics
+///
+/// Panics if any probability is negative or NaN, or if the probabilities do
+/// not sum to 1 within `1e-9` relative tolerance.
+///
+/// # Examples
+///
+/// ```
+/// use od_sampling::multinomial::sample_multinomial;
+/// let mut rng = od_sampling::rng_for(1, 0);
+/// let counts = sample_multinomial(&mut rng, 100, &[0.2, 0.3, 0.5]);
+/// assert_eq!(counts.iter().sum::<u64>(), 100);
+/// ```
+pub fn sample_multinomial<R: Rng + ?Sized>(rng: &mut R, n: u64, probs: &[f64]) -> Vec<u64> {
+    let mut out = vec![0u64; probs.len()];
+    sample_multinomial_into(rng, n, probs, &mut out);
+    out
+}
+
+/// Draws `counts ~ Multinomial(n, probs)` into a caller-provided buffer,
+/// avoiding allocation in hot loops.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`sample_multinomial`], and if
+/// `out.len() != probs.len()`.
+pub fn sample_multinomial_into<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: u64,
+    probs: &[f64],
+    out: &mut [u64],
+) {
+    assert_eq!(
+        out.len(),
+        probs.len(),
+        "sample_multinomial_into: output buffer length mismatch"
+    );
+    let total: f64 = probs
+        .iter()
+        .map(|&p| {
+            assert!(
+                !p.is_nan() && p >= 0.0,
+                "sample_multinomial: probabilities must be non-negative, got {p}"
+            );
+            p
+        })
+        .sum();
+    assert!(
+        (total - 1.0).abs() <= SUM_TOLERANCE,
+        "sample_multinomial: probabilities must sum to 1, got {total}"
+    );
+
+    let mut remaining_n = n;
+    let mut remaining_mass = total;
+    for (slot, &p) in out.iter_mut().zip(probs.iter()) {
+        if remaining_n == 0 {
+            *slot = 0;
+            continue;
+        }
+        if remaining_mass <= 0.0 {
+            // All residual mass consumed by round-off: dump the remainder
+            // into this bucket only if it carries the leftover probability.
+            *slot = 0;
+            continue;
+        }
+        let cond = (p / remaining_mass).clamp(0.0, 1.0);
+        let x = sample_binomial(rng, remaining_n, cond);
+        *slot = x;
+        remaining_n -= x;
+        remaining_mass -= p;
+    }
+    if remaining_n > 0 {
+        // Round-off left a few units unassigned; give them to the largest
+        // bucket (probability-proportional correction of measure-zero mass).
+        let argmax = probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("probs are not NaN"))
+            .map(|(i, _)| i)
+            .expect("probs is non-empty because the sum check passed");
+        out[argmax] += remaining_n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeds::rng_for;
+
+    #[test]
+    fn counts_sum_to_n() {
+        let mut rng = rng_for(10, 0);
+        for _ in 0..200 {
+            let counts = sample_multinomial(&mut rng, 1234, &[0.1, 0.2, 0.3, 0.4]);
+            assert_eq!(counts.iter().sum::<u64>(), 1234);
+        }
+    }
+
+    #[test]
+    fn marginal_means_match() {
+        let probs = [0.05, 0.15, 0.30, 0.50];
+        let n = 1000u64;
+        let trials = 20_000;
+        let mut rng = rng_for(11, 0);
+        let mut sums = [0f64; 4];
+        for _ in 0..trials {
+            let c = sample_multinomial(&mut rng, n, &probs);
+            for (s, &x) in sums.iter_mut().zip(c.iter()) {
+                *s += x as f64;
+            }
+        }
+        for (i, &p) in probs.iter().enumerate() {
+            let mean = sums[i] / trials as f64;
+            let want = n as f64 * p;
+            let se = (n as f64 * p * (1.0 - p) / trials as f64).sqrt();
+            assert!(
+                (mean - want).abs() < 6.0 * se,
+                "bucket {i}: mean {mean} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn handles_zero_probability_buckets() {
+        let mut rng = rng_for(12, 0);
+        for _ in 0..100 {
+            let c = sample_multinomial(&mut rng, 500, &[0.0, 0.5, 0.0, 0.5, 0.0]);
+            assert_eq!(c[0], 0);
+            assert_eq!(c[2], 0);
+            assert_eq!(c[4], 0);
+            assert_eq!(c.iter().sum::<u64>(), 500);
+        }
+    }
+
+    #[test]
+    fn handles_degenerate_point_mass() {
+        let mut rng = rng_for(13, 0);
+        let c = sample_multinomial(&mut rng, 42, &[0.0, 1.0, 0.0]);
+        assert_eq!(c, vec![0, 42, 0]);
+    }
+
+    #[test]
+    fn n_zero_gives_all_zero() {
+        let mut rng = rng_for(14, 0);
+        let c = sample_multinomial(&mut rng, 0, &[0.3, 0.7]);
+        assert_eq!(c, vec![0, 0]);
+    }
+
+    #[test]
+    fn tolerates_tiny_roundoff_in_sum() {
+        let mut rng = rng_for(15, 0);
+        // Sum is 1 up to float noise typical of computing α(1+α−γ).
+        let k = 1000usize;
+        let probs: Vec<f64> = (0..k).map(|_| 1.0 / k as f64).collect();
+        let c = sample_multinomial(&mut rng, 10_000, &probs);
+        assert_eq!(c.iter().sum::<u64>(), 10_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "must sum to 1")]
+    fn rejects_bad_sum() {
+        let mut rng = rng_for(16, 0);
+        let _ = sample_multinomial(&mut rng, 10, &[0.3, 0.3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_probability() {
+        let mut rng = rng_for(17, 0);
+        let _ = sample_multinomial(&mut rng, 10, &[-0.5, 1.5]);
+    }
+
+    #[test]
+    fn pairwise_covariance_is_negative() {
+        // Multinomial coordinates are negatively correlated:
+        // Cov(X_i, X_j) = −n p_i p_j.
+        let probs = [0.5, 0.5];
+        let n = 100u64;
+        let trials = 30_000;
+        let mut rng = rng_for(18, 0);
+        let (mut sx, mut sy, mut sxy) = (0f64, 0f64, 0f64);
+        for _ in 0..trials {
+            let c = sample_multinomial(&mut rng, n, &probs);
+            let (x, y) = (c[0] as f64, c[1] as f64);
+            sx += x;
+            sy += y;
+            sxy += x * y;
+        }
+        let t = trials as f64;
+        let cov = sxy / t - (sx / t) * (sy / t);
+        let want = -(n as f64) * probs[0] * probs[1];
+        assert!(
+            (cov - want).abs() < 0.15 * want.abs(),
+            "cov {cov} vs {want}"
+        );
+    }
+}

@@ -1,0 +1,103 @@
+//! Standard-normal sampling (Marsaglia polar method) and the normal CDF.
+
+use rand::Rng;
+
+/// Draws one standard-normal variate using the Marsaglia polar method.
+///
+/// # Examples
+///
+/// ```
+/// use od_sampling::normal::standard_normal;
+/// let mut rng = od_sampling::rng_for(2, 0);
+/// let z = standard_normal(&mut rng);
+/// assert!(z.is_finite());
+/// ```
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u = 2.0 * rng.random::<f64>() - 1.0;
+        let v = 2.0 * rng.random::<f64>() - 1.0;
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// The standard normal cumulative distribution function `Φ(x)`.
+///
+/// Uses `Φ(x) = ½ erfc(−x/√2)` with an Abramowitz–Stegun 7.1.26-style
+/// rational approximation of `erf` (absolute error below `1.5e-7`, adequate
+/// for confidence intervals and goodness-of-fit tolerances).
+#[must_use]
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Error function approximation (Abramowitz & Stegun 7.1.26).
+#[must_use]
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let y = 1.0
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
+            * t
+            + 0.254_829_592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeds::rng_for;
+
+    #[test]
+    fn moments_of_standard_normal() {
+        let mut rng = rng_for(40, 0);
+        let n = 200_000;
+        let (mut s, mut s2) = (0.0, 0.0);
+        for _ in 0..n {
+            let z = standard_normal(&mut rng);
+            s += z;
+            s2 += z * z;
+        }
+        let mean = s / n as f64;
+        let var = s2 / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn cdf_known_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.959_964) - 0.975).abs() < 1e-4);
+        assert!((normal_cdf(-1.959_964) - 0.025).abs() < 1e-4);
+        assert!(normal_cdf(6.0) > 0.999_999);
+        assert!(normal_cdf(-6.0) < 1e-6);
+    }
+
+    #[test]
+    fn erf_is_odd_and_bounded() {
+        for x in [-3.0, -1.0, -0.3, 0.3, 1.0, 3.0] {
+            assert!((erf(x) + erf(-x)).abs() < 1e-7);
+            assert!(erf(x).abs() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn empirical_cdf_matches_normal_cdf() {
+        let mut rng = rng_for(41, 0);
+        let n = 100_000;
+        let mut below_one = 0u64;
+        for _ in 0..n {
+            if standard_normal(&mut rng) < 1.0 {
+                below_one += 1;
+            }
+        }
+        let freq = below_one as f64 / n as f64;
+        let want = normal_cdf(1.0);
+        assert!((freq - want).abs() < 0.01, "{freq} vs {want}");
+    }
+}

@@ -1,0 +1,147 @@
+//! Two-sample Kolmogorov–Smirnov test.
+//!
+//! Used by the engine-equivalence validation (E13) to compare the *whole
+//! distribution* of one-round outcomes across engines, not just means and
+//! variances.
+
+/// Result of a two-sample Kolmogorov–Smirnov test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsTest {
+    /// The KS statistic: the supremum distance between the two empirical
+    /// CDFs.
+    pub statistic: f64,
+    /// Asymptotic p-value (Kolmogorov distribution approximation).
+    pub p_value: f64,
+}
+
+impl KsTest {
+    /// True when the test does **not** reject equality at level `alpha`.
+    #[must_use]
+    pub fn accepts_at(&self, alpha: f64) -> bool {
+        self.p_value >= alpha
+    }
+}
+
+/// Performs a two-sample KS test on `a` and `b`.
+///
+/// The p-value uses the asymptotic Kolmogorov distribution
+/// `Q(λ) = 2 Σ_{j≥1} (−1)^{j−1} e^{−2 j² λ²}` with the effective sample
+/// size `m = |a|·|b|/(|a|+|b|)`, accurate for `m ≳ 35`. Heavily tied data
+/// (e.g. lattice-valued fractions) makes the test conservative, which is
+/// the safe direction for an equivalence check.
+///
+/// # Panics
+///
+/// Panics if either sample is empty or contains NaN.
+#[must_use]
+pub fn ks_two_sample(a: &[f64], b: &[f64]) -> KsTest {
+    assert!(!a.is_empty() && !b.is_empty(), "ks_two_sample: samples must be non-empty");
+    let mut xs: Vec<f64> = a.to_vec();
+    let mut ys: Vec<f64> = b.to_vec();
+    let sort = |v: &mut Vec<f64>| {
+        v.sort_by(|p, q| p.partial_cmp(q).expect("ks_two_sample: NaN in sample"));
+    };
+    sort(&mut xs);
+    sort(&mut ys);
+
+    let (na, nb) = (xs.len(), ys.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    while i < na && j < nb {
+        let x = xs[i];
+        let y = ys[j];
+        let t = x.min(y);
+        while i < na && xs[i] <= t {
+            i += 1;
+        }
+        while j < nb && ys[j] <= t {
+            j += 1;
+        }
+        let fa = i as f64 / na as f64;
+        let fb = j as f64 / nb as f64;
+        d = d.max((fa - fb).abs());
+    }
+
+    let m = (na as f64 * nb as f64) / (na as f64 + nb as f64);
+    let lambda = (m.sqrt() + 0.12 + 0.11 / m.sqrt()) * d;
+    KsTest {
+        statistic: d,
+        p_value: kolmogorov_q(lambda),
+    }
+}
+
+/// The Kolmogorov survival function `Q(λ)`.
+fn kolmogorov_q(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0f64;
+    let mut sign = 1.0f64;
+    for j in 1..=100u32 {
+        let term = (-2.0 * (j as f64) * (j as f64) * lambda * lambda).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-12 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use od_sampling::normal::standard_normal;
+    use od_sampling::rng_for;
+
+    #[test]
+    fn identical_samples_have_statistic_zero() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let t = ks_two_sample(&a, &a);
+        assert_eq!(t.statistic, 0.0);
+        assert!(t.p_value > 0.99);
+    }
+
+    #[test]
+    fn same_distribution_usually_accepted() {
+        let mut rng = rng_for(700, 0);
+        let a: Vec<f64> = (0..2000).map(|_| standard_normal(&mut rng)).collect();
+        let b: Vec<f64> = (0..2000).map(|_| standard_normal(&mut rng)).collect();
+        let t = ks_two_sample(&a, &b);
+        assert!(t.accepts_at(0.001), "p = {}", t.p_value);
+    }
+
+    #[test]
+    fn shifted_distribution_rejected() {
+        let mut rng = rng_for(701, 0);
+        let a: Vec<f64> = (0..2000).map(|_| standard_normal(&mut rng)).collect();
+        let b: Vec<f64> = (0..2000).map(|_| standard_normal(&mut rng) + 0.3).collect();
+        let t = ks_two_sample(&a, &b);
+        assert!(!t.accepts_at(0.001), "p = {} should reject", t.p_value);
+        assert!(t.statistic > 0.05);
+    }
+
+    #[test]
+    fn disjoint_supports_have_statistic_one() {
+        let a = [0.0, 1.0, 2.0];
+        let b = [10.0, 11.0, 12.0];
+        let t = ks_two_sample(&a, &b);
+        assert_eq!(t.statistic, 1.0);
+        assert!(t.p_value < 0.1);
+    }
+
+    #[test]
+    fn kolmogorov_q_boundaries() {
+        assert_eq!(kolmogorov_q(0.0), 1.0);
+        assert!(kolmogorov_q(0.3) > 0.99);
+        assert!(kolmogorov_q(2.0) < 0.001);
+        // Known value: Q(1.0) ≈ 0.27.
+        assert!((kolmogorov_q(1.0) - 0.27).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_empty_sample() {
+        let _ = ks_two_sample(&[], &[1.0]);
+    }
+}

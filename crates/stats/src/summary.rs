@@ -1,0 +1,313 @@
+//! Running summaries, confidence intervals and quantiles.
+
+use od_sampling::normal::normal_cdf;
+
+/// Numerically stable (Welford) accumulator of mean and variance.
+///
+/// # Examples
+///
+/// ```
+/// use od_stats::RunningStats;
+/// let mut s = RunningStats::new();
+/// for x in [1.0, 2.0, 3.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.mean(), 2.0);
+/// assert_eq!(s.sample_variance(), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 when fewer than two observations).
+    #[must_use]
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    #[must_use]
+    pub fn std_error(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Minimum observation (`+∞` when empty).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation (`−∞` when empty).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Normal-approximation confidence half-width at the given `z` value
+    /// (e.g. `z = 1.96` for 95%).
+    #[must_use]
+    pub fn ci_half_width(&self, z: f64) -> f64 {
+        z * self.std_error()
+    }
+
+    /// Snapshot into an owned [`Summary`].
+    #[must_use]
+    pub fn summary(&self) -> Summary {
+        Summary {
+            count: self.count,
+            mean: self.mean(),
+            std_dev: self.std_dev(),
+            std_error: self.std_error(),
+            min: self.min,
+            max: self.max,
+        }
+    }
+}
+
+impl FromIterator<f64> for RunningStats {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Self::new();
+        for x in iter {
+            s.push(x);
+        }
+        s
+    }
+}
+
+impl Extend<f64> for RunningStats {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+/// An owned snapshot of distribution summary statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Summary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sample mean.
+    pub mean: f64,
+    /// Unbiased sample standard deviation.
+    pub std_dev: f64,
+    /// Standard error of the mean.
+    pub std_error: f64,
+    /// Minimum observation.
+    pub min: f64,
+    /// Maximum observation.
+    pub max: f64,
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} ± {:.4} (sd {:.4}, range [{:.4}, {:.4}])",
+            self.count, self.mean, self.std_error, self.std_dev, self.min, self.max
+        )
+    }
+}
+
+/// Returns the `q`-quantile (`0 ≤ q ≤ 1`) of `data` by linear interpolation
+/// on the sorted sample (type-7, the R/numpy default).
+///
+/// # Panics
+///
+/// Panics if `data` is empty or `q` is outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use od_stats::quantile;
+/// let med = quantile(&[1.0, 2.0, 3.0, 4.0], 0.5);
+/// assert_eq!(med, 2.5);
+/// ```
+#[must_use]
+pub fn quantile(data: &[f64], q: f64) -> f64 {
+    assert!(!data.is_empty(), "quantile: data must be non-empty");
+    assert!((0.0..=1.0).contains(&q), "quantile: q must be in [0,1]");
+    let mut sorted: Vec<f64> = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("quantile: data must not contain NaN"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Two-sided p-value for the hypothesis `mean == mu0` under the normal
+/// approximation (used by statistical assertions in tests).
+#[must_use]
+pub fn z_test_p_value(stats: &RunningStats, mu0: f64) -> f64 {
+    let se = stats.std_error();
+    if se == 0.0 {
+        return if (stats.mean() - mu0).abs() < f64::EPSILON {
+            1.0
+        } else {
+            0.0
+        };
+    }
+    let z = (stats.mean() - mu0) / se;
+    2.0 * (1.0 - normal_cdf(z.abs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_direct_formulas() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s: RunningStats = data.iter().copied().collect();
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Sample variance with n-1 = 32/7.
+        assert!((s.sample_variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let whole: RunningStats = data.iter().copied().collect();
+        let mut left: RunningStats = data[..37].iter().copied().collect();
+        let right: RunningStats = data[37..].iter().copied().collect();
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-10);
+        assert!((left.sample_variance() - whole.sample_variance()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s: RunningStats = [1.0, 2.0].iter().copied().collect();
+        let before = s;
+        s.merge(&RunningStats::new());
+        assert_eq!(s, before);
+        let mut e = RunningStats::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = RunningStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.sample_variance(), 0.0);
+        assert_eq!(s.std_error(), 0.0);
+    }
+
+    #[test]
+    fn quantile_interpolation() {
+        let data = [3.0, 1.0, 4.0, 1.0, 5.0];
+        assert_eq!(quantile(&data, 0.0), 1.0);
+        assert_eq!(quantile(&data, 1.0), 5.0);
+        assert_eq!(quantile(&data, 0.5), 3.0);
+        assert_eq!(quantile(&[1.0, 2.0], 0.25), 1.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn quantile_rejects_empty() {
+        let _ = quantile(&[], 0.5);
+    }
+
+    #[test]
+    fn z_test_detects_deviation() {
+        let mut s = RunningStats::new();
+        for i in 0..1000 {
+            s.push(5.0 + 0.01 * ((i % 7) as f64 - 3.0));
+        }
+        assert!(z_test_p_value(&s, 5.0) > 0.05);
+        assert!(z_test_p_value(&s, 6.0) < 1e-6);
+    }
+
+    #[test]
+    fn summary_display_contains_fields() {
+        let s: RunningStats = [1.0, 2.0, 3.0].iter().copied().collect();
+        let text = s.summary().to_string();
+        assert!(text.contains("n=3"));
+        assert!(text.contains("mean=2.0000"));
+    }
+}

@@ -1,0 +1,63 @@
+//! Quickstart: simulate 3-Majority with many opinions and watch the
+//! central quantities of the paper evolve.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use opinion_dynamics::core::observer::{GammaTrace, SupportTrace};
+use opinion_dynamics::core::observer::MultiObserver;
+use opinion_dynamics::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 100 000 vertices, 300 opinions, balanced start — well inside the
+    // k < √n regime where Theorem 1.1 predicts Θ̃(k) rounds.
+    let n = 100_000u64;
+    let k = 300usize;
+    let start = OpinionCounts::balanced(n, k)?;
+    println!("initial: {start}");
+
+    let mut gamma = GammaTrace::new();
+    let mut support = SupportTrace::new();
+    let outcome = {
+        let mut observers = MultiObserver::new();
+        // Observe through mutable references so we keep the traces.
+        struct Tap<'a>(&'a mut GammaTrace, &'a mut SupportTrace);
+        impl Observer for Tap<'_> {
+            fn observe(&mut self, round: u64, counts: &OpinionCounts) {
+                self.0.observe(round, counts);
+                self.1.observe(round, counts);
+            }
+        }
+        let mut tap = Tap(&mut gamma, &mut support);
+        let _ = &mut observers; // MultiObserver shown for API discovery
+        let sim = Simulation::new(ThreeMajority).with_max_rounds(1_000_000);
+        let mut rng = rng_for(2025, 0);
+        sim.run_observed(&start, &mut rng, &mut tap)
+    };
+
+    println!(
+        "consensus on opinion {:?} after {} rounds (k log n ≈ {:.0})",
+        outcome.winner,
+        outcome.rounds,
+        k as f64 * (n as f64).ln()
+    );
+
+    // Print a compressed view of the trajectory.
+    println!("\nround    gamma     support");
+    let stride = (gamma.values().len() / 12).max(1);
+    for t in (0..gamma.values().len()).step_by(stride) {
+        println!(
+            "{t:>6}  {:>8.5}  {:>7}",
+            gamma.values()[t],
+            support.values()[t]
+        );
+    }
+    let last = gamma.values().len() - 1;
+    println!(
+        "{last:>6}  {:>8.5}  {:>7}",
+        gamma.values()[last],
+        support.values()[last]
+    );
+    Ok(())
+}

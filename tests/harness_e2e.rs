@@ -1,0 +1,66 @@
+//! Integration: the experiment harness end-to-end in quick mode, including
+//! CSV export.
+
+use opinion_dynamics::experiments::{registry, ExpConfig, Table};
+
+fn quick_cfg(sub: &str) -> ExpConfig {
+    let mut cfg = ExpConfig::quick_for_tests();
+    cfg.out_dir = std::env::temp_dir().join(format!("od_e2e_{sub}"));
+    cfg
+}
+
+#[test]
+fn registry_lists_all_thirteen_experiments() {
+    let reg = registry();
+    assert_eq!(reg.len(), 13);
+    let ids: Vec<&str> = reg.iter().map(|(id, _, _)| *id).collect();
+    for want in ["E1", "E6", "E13"] {
+        assert!(ids.contains(&want), "missing {want}");
+    }
+    // Ids are unique.
+    let mut sorted = ids.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), ids.len());
+}
+
+#[test]
+fn drift_and_validation_experiments_run_and_export() {
+    let cfg = quick_cfg("drift");
+    let reg = registry();
+    for target in ["E6", "E13"] {
+        let (_, _, runner) = reg
+            .iter()
+            .find(|(id, _, _)| *id == target)
+            .expect("experiment exists");
+        let tables = runner(&cfg);
+        assert!(!tables.is_empty(), "{target} produced no tables");
+        for t in &tables {
+            assert!(!t.rows.is_empty(), "{target}: empty table {}", t.title);
+            let path = cfg.out_dir.join(format!("{target}_{}.csv", t.slug()));
+            t.write_csv(&path).expect("csv written");
+            let text = std::fs::read_to_string(&path).unwrap();
+            assert!(text.lines().count() > t.rows.len(), "csv lost rows");
+        }
+    }
+    let _ = std::fs::remove_dir_all(cfg.out_dir);
+}
+
+#[test]
+fn figure1_quick_export_has_both_dynamics() {
+    let cfg = quick_cfg("fig1");
+    let reg = registry();
+    let (_, _, runner) = reg.iter().find(|(id, _, _)| *id == "E1").unwrap();
+    let tables: Vec<Table> = runner(&cfg);
+    assert_eq!(tables.len(), 2);
+    assert!(tables[0].title.contains("3-Majority"));
+    assert!(tables[1].title.contains("2-Choices"));
+    // Every k row has a finite bound and a measured mean.
+    for t in &tables {
+        for row in &t.rows {
+            let mean: f64 = row[1].parse().unwrap_or(f64::NAN);
+            assert!(mean.is_finite(), "{}: unmeasured row {row:?}", t.title);
+        }
+    }
+    let _ = std::fs::remove_dir_all(cfg.out_dir);
+}

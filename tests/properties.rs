@@ -1,0 +1,158 @@
+//! Property-based integration tests (proptest) for the cross-crate
+//! invariants of the system.
+
+use opinion_dynamics::core::protocol::{expand, tally, SyncProtocol};
+use opinion_dynamics::prelude::*;
+use proptest::prelude::*;
+
+/// Arbitrary small configurations: 1..=6 opinions, counts 0..=60, at least
+/// one vertex.
+fn arb_counts() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..60, 1..=6)
+        .prop_filter("population must be positive", |v| v.iter().sum::<u64>() > 0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn population_is_preserved_by_every_protocol(counts in arb_counts(), seed in 0u64..1000) {
+        let start = OpinionCounts::from_counts(counts).unwrap();
+        let mut rng = rng_for(seed, 0);
+        for step in [
+            ThreeMajority.step_population(&start, &mut rng),
+            TwoChoices.step_population(&start, &mut rng),
+            Voter.step_population(&start, &mut rng),
+            MedianRule.step_population(&start, &mut rng),
+            HMajority::new(5).unwrap().step_population(&start, &mut rng),
+        ] {
+            prop_assert_eq!(step.n(), start.n());
+            prop_assert_eq!(step.k(), start.k());
+        }
+    }
+
+    #[test]
+    fn validity_vanished_opinions_never_return(counts in arb_counts(), seed in 0u64..1000) {
+        let start = OpinionCounts::from_counts(counts).unwrap();
+        let dead: Vec<usize> = (0..start.k()).filter(|&i| start.count(i) == 0).collect();
+        let mut rng = rng_for(seed, 1);
+        let mut c3 = start.clone();
+        let mut c2 = start.clone();
+        for _ in 0..10 {
+            c3 = ThreeMajority.step_population(&c3, &mut rng);
+            c2 = TwoChoices.step_population(&c2, &mut rng);
+            for &i in &dead {
+                prop_assert_eq!(c3.count(i), 0);
+                prop_assert_eq!(c2.count(i), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn gamma_respects_cauchy_schwarz_bounds(counts in arb_counts()) {
+        let c = OpinionCounts::from_counts(counts).unwrap();
+        let g = c.gamma();
+        prop_assert!(g <= 1.0 + 1e-12);
+        prop_assert!(g >= 1.0 / c.k() as f64 - 1e-12);
+        // γ = 1 iff consensus.
+        prop_assert_eq!((g - 1.0).abs() < 1e-12, c.is_consensus());
+    }
+
+    #[test]
+    fn expand_tally_roundtrip(counts in arb_counts()) {
+        let c = OpinionCounts::from_counts(counts).unwrap();
+        let roundtrip = tally(&expand(&c), c.k());
+        prop_assert_eq!(roundtrip, c);
+    }
+
+    #[test]
+    fn relabelling_invariance_in_expectation(counts in arb_counts(), seed in 0u64..200) {
+        // Reversing the opinion labels and running one round is the same
+        // process: compare the reversed outcome's population invariants.
+        let start = OpinionCounts::from_counts(counts.clone()).unwrap();
+        let reversed = {
+            let mut r = counts;
+            r.reverse();
+            OpinionCounts::from_counts(r).unwrap()
+        };
+        let mut rng_a = rng_for(seed, 2);
+        let mut rng_b = rng_for(seed, 3);
+        let a = ThreeMajority.step_population(&start, &mut rng_a);
+        let b = ThreeMajority.step_population(&reversed, &mut rng_b);
+        prop_assert_eq!(a.n(), b.n());
+        // γ is label-invariant, and both stay within the lawful range.
+        prop_assert!(a.gamma() <= 1.0 && b.gamma() <= 1.0);
+    }
+
+    #[test]
+    fn consensus_is_absorbing_for_all_protocols(
+        k in 1usize..6,
+        winner_raw in 0usize..6,
+        n in 1u64..500,
+        seed in 0u64..1000,
+    ) {
+        let winner = winner_raw % k;
+        let start = OpinionCounts::consensus(n, k, winner).unwrap();
+        let mut rng = rng_for(seed, 4);
+        for next in [
+            ThreeMajority.step_population(&start, &mut rng),
+            TwoChoices.step_population(&start, &mut rng),
+            Voter.step_population(&start, &mut rng),
+            MedianRule.step_population(&start, &mut rng),
+        ] {
+            prop_assert_eq!(next.consensus_opinion(), Some(winner));
+        }
+    }
+
+    #[test]
+    fn binomial_sampler_stays_in_support(n in 0u64..10_000, p in 0.0f64..=1.0, seed in 0u64..500) {
+        let mut rng = rng_for(seed, 5);
+        let x = opinion_dynamics::sampling::sample_binomial(&mut rng, n, p);
+        prop_assert!(x <= n);
+    }
+
+    #[test]
+    fn multinomial_sums_to_n(n in 0u64..5_000, weights in proptest::collection::vec(0.0f64..10.0, 1..8), seed in 0u64..500) {
+        let total: f64 = weights.iter().sum();
+        prop_assume!(total > 1e-6);
+        let probs: Vec<f64> = weights.iter().map(|w| w / total).collect();
+        let mut rng = rng_for(seed, 6);
+        let counts = opinion_dynamics::sampling::sample_multinomial(&mut rng, n, &probs);
+        prop_assert_eq!(counts.iter().sum::<u64>(), n);
+    }
+
+    #[test]
+    fn stopping_tracker_times_are_monotone_consistent(counts in arb_counts(), seed in 0u64..200) {
+        prop_assume!(counts.len() >= 2);
+        let start = OpinionCounts::from_counts(counts).unwrap();
+        let mut tracker = StoppingTracker::new(0, 1, 0.5, 0.5, 0.9);
+        let mut rng = rng_for(seed, 7);
+        let mut c = start;
+        for round in 0..20 {
+            tracker.observe(round, &c);
+            c = ThreeMajority.step_population(&c, &mut rng);
+        }
+        let t = tracker.times();
+        // A vanish implies weak first or simultaneously.
+        if let (Some(v), Some(w)) = (t.tau_vanish_i, t.tau_weak_i) {
+            prop_assert!(w <= v, "weak {w} after vanish {v}");
+        }
+        // All recorded times are within the observed horizon.
+        for x in [t.tau_up_i, t.tau_down_i, t.tau_vanish_i, t.tau_weak_i, t.tau_plus_gamma].into_iter().flatten() {
+            prop_assert!(x < 20);
+        }
+    }
+
+    #[test]
+    fn transfer_preserves_population(counts in arb_counts(), from in 0usize..6, to in 0usize..6, amount in 0u64..100) {
+        let mut c = OpinionCounts::from_counts(counts).unwrap();
+        let n = c.n();
+        let from = from % c.k();
+        let to = to % c.k();
+        let before_from = c.count(from);
+        let moved = c.transfer(from, to, amount);
+        prop_assert_eq!(c.n(), n);
+        prop_assert!(moved <= amount);
+        prop_assert!(moved <= before_from);
+    }
+}
