@@ -279,14 +279,20 @@ mod tests {
     fn check_mgf_detects_violations() {
         // Samples with jumps far beyond D and huge variance must violate a
         // tiny Bernstein bound.
-        let samples: Vec<f64> = (0..1000).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let samples: Vec<f64> = (0..1000)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let params = BernsteinParams {
             d: 0.001,
             s: 1e-9,
             one_sided: false,
         };
         let check = check_mgf(&samples, &params, 4);
-        assert!(!check.holds_with_slack(0.5), "should violate: {}", check.worst_ratio);
+        assert!(
+            !check.holds_with_slack(0.5),
+            "should violate: {}",
+            check.worst_ratio
+        );
     }
 
     #[test]

@@ -58,7 +58,10 @@ pub fn consensus_time_lower(dynamics: Dynamics, n: u64, k: usize) -> f64 {
 /// Panics if `n < 2` or `k < 2`.
 #[must_use]
 pub fn consensus_time_upper_prior(dynamics: Dynamics, n: u64, k: usize) -> f64 {
-    assert!(n >= 2 && k >= 2, "consensus_time_upper_prior: need n, k >= 2");
+    assert!(
+        n >= 2 && k >= 2,
+        "consensus_time_upper_prior: need n, k >= 2"
+    );
     let nf = n as f64;
     let kf = k as f64;
     let ln = nf.ln();
@@ -243,9 +246,7 @@ mod tests {
         let n = 10_000u64;
         // k below √n: kn dominates; above: n^{3/2}.
         assert!((async_three_majority_ticks(n, 10) - 10.0 * n as f64).abs() < 1e-6);
-        assert!(
-            (async_three_majority_ticks(n, 1000) - (n as f64).powf(1.5)).abs() < 1e-6
-        );
+        assert!((async_three_majority_ticks(n, 1000) - (n as f64).powf(1.5)).abs() < 1e-6);
     }
 
     #[test]

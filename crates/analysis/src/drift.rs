@@ -134,23 +134,13 @@ mod tests {
     use od_core::protocol::{ThreeMajority, TwoChoices};
     use od_sampling::rng_for;
 
-    fn estimate(
-        dynamics: Dynamics,
-        counts: Vec<u64>,
-        seed: u64,
-    ) -> DriftEstimator {
+    fn estimate(dynamics: Dynamics, counts: Vec<u64>, seed: u64) -> DriftEstimator {
         let start = OpinionCounts::from_counts(counts).unwrap();
         let mut rng = rng_for(seed, 0);
         match dynamics {
-            Dynamics::ThreeMajority => DriftEstimator::estimate(
-                &ThreeMajority,
-                dynamics,
-                &start,
-                0,
-                1,
-                5000,
-                &mut rng,
-            ),
+            Dynamics::ThreeMajority => {
+                DriftEstimator::estimate(&ThreeMajority, dynamics, &start, 0, 1, 5000, &mut rng)
+            }
             Dynamics::TwoChoices => {
                 DriftEstimator::estimate(&TwoChoices, dynamics, &start, 0, 1, 5000, &mut rng)
             }

@@ -140,7 +140,10 @@ mod tests {
         let p_small = gamma_decrease_probability(Dynamics::ThreeMajority, 100_000, g, t);
         let p_large = gamma_decrease_probability(Dynamics::ThreeMajority, 1_000_000_000, g, t);
         assert!(p_large < p_small, "{p_large} !< {p_small}");
-        assert!(p_large < 1e-9, "bound at n = 1e9 should be negligible, got {p_large}");
+        assert!(
+            p_large < 1e-9,
+            "bound at n = 1e9 should be negligible, got {p_large}"
+        );
     }
 
     #[test]
@@ -178,7 +181,10 @@ mod tests {
         // Empirically γ grows strongly from this configuration (drift
         // ≈ +0.013/round vs per-round σ ≈ 2e-3), so a c↓_γ-factor drop
         // never materialises.
-        assert_eq!(drops, 0, "gamma dropped below (1-c)γ0 in {drops}/{trials} runs");
+        assert_eq!(
+            drops, 0,
+            "gamma dropped below (1-c)γ0 in {drops}/{trials} runs"
+        );
         // The Lemma 4.7 *bound* is valid (a probability) but loose at this
         // small scale — record that honestly rather than over-claim.
         let bound = gamma_decrease_probability(Dynamics::ThreeMajority, n, gamma0, t as f64);

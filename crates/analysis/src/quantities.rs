@@ -66,9 +66,7 @@ pub fn var_delta_upper(dynamics: Dynamics, alpha_i: f64, alpha_j: f64, gamma: f6
 pub fn expected_gamma_lower(dynamics: Dynamics, gamma: f64, n: u64) -> f64 {
     match dynamics {
         Dynamics::ThreeMajority => gamma + (1.0 - gamma) / n as f64,
-        Dynamics::TwoChoices => {
-            gamma + (1.0 - gamma.sqrt()) * (1.0 - gamma) * gamma / n as f64
-        }
+        Dynamics::TwoChoices => gamma + (1.0 - gamma.sqrt()) * (1.0 - gamma) * gamma / n as f64,
     }
 }
 
@@ -84,13 +82,7 @@ pub fn bias_growth_rate_lower(alpha_i: f64, alpha_j: f64, c_weak: f64) -> f64 {
 /// opinions: `C₄.₆³·(α(i)+α(j))/n` for 3-Majority,
 /// `C₄.₆²·(α(i)²+α(j)²)/n` for 2-Choices.
 #[must_use]
-pub fn var_delta_lower(
-    dynamics: Dynamics,
-    alpha_i: f64,
-    alpha_j: f64,
-    n: u64,
-    c_weak: f64,
-) -> f64 {
+pub fn var_delta_lower(dynamics: Dynamics, alpha_i: f64, alpha_j: f64, n: u64, c_weak: f64) -> f64 {
     let c46 = crate::constants::c_4_6(c_weak);
     match dynamics {
         Dynamics::ThreeMajority => c46.powi(3) * (alpha_i + alpha_j) / n as f64,

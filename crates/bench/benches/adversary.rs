@@ -10,7 +10,10 @@ use std::time::Duration;
 
 fn bench_adversary(c: &mut Criterion) {
     let mut group = c.benchmark_group("adversary");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
     let n = 4_096u64;
     let k = 8usize;
     let start = OpinionCounts::balanced(n, k).unwrap();

@@ -9,7 +9,10 @@ use std::time::Duration;
 
 fn bench_async(c: &mut Criterion) {
     let mut group = c.benchmark_group("asynchronous");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
     for k in [2usize, 32] {
         let start = OpinionCounts::balanced(1_024, k).unwrap();
         group.bench_with_input(BenchmarkId::new("3-majority", k), &start, |b, start| {

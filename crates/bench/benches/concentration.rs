@@ -10,22 +10,29 @@ use std::time::Duration;
 
 fn bench_concentration(c: &mut Criterion) {
     let mut group = c.benchmark_group("concentration_trajectory");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
     let k = 256usize;
     let start = OpinionCounts::balanced(65_536, k).unwrap();
     for horizon in [16u64, 64] {
-        group.bench_with_input(BenchmarkId::new("3-majority", horizon), &horizon, |b, &t| {
-            let mut trial = 0u64;
-            b.iter(|| {
-                trial += 1;
-                let mut rng = rng_for(12, trial);
-                let mut counts = start.clone();
-                for _ in 0..t {
-                    counts = ThreeMajority.step_population(&counts, &mut rng);
-                }
-                black_box(counts.fraction(0))
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("3-majority", horizon),
+            &horizon,
+            |b, &t| {
+                let mut trial = 0u64;
+                b.iter(|| {
+                    trial += 1;
+                    let mut rng = rng_for(12, trial);
+                    let mut counts = start.clone();
+                    for _ in 0..t {
+                        counts = ThreeMajority.step_population(&counts, &mut rng);
+                    }
+                    black_box(counts.fraction(0))
+                });
+            },
+        );
     }
     group.finish();
 }

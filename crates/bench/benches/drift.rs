@@ -10,7 +10,10 @@ use std::time::Duration;
 
 fn bench_drift(c: &mut Criterion) {
     let mut group = c.benchmark_group("drift_one_round");
-    group.sample_size(20).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
     for k in [16usize, 256, 4_096] {
         let start = OpinionCounts::balanced(100_000, k).unwrap();
         group.bench_with_input(BenchmarkId::new("3-majority", k), &start, |b, start| {

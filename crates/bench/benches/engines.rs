@@ -11,7 +11,10 @@ use std::time::Duration;
 
 fn bench_engines(c: &mut Criterion) {
     let mut group = c.benchmark_group("engines");
-    group.sample_size(20).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
     let n = 10_000u64;
     let start = OpinionCounts::balanced(n, 64).unwrap();
 

@@ -9,7 +9,10 @@ use std::time::Duration;
 
 fn bench_figure1(c: &mut Criterion) {
     let mut group = c.benchmark_group("figure1_consensus");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
     for k in [16usize, 64, 256] {
         group.bench_with_input(BenchmarkId::new("3-majority", k), &k, |b, &k| {
             let mut trial = 0u64;

@@ -26,7 +26,10 @@ fn gamma_hit(n: u64, seed: u64) -> u64 {
 
 fn bench_gamma_growth(c: &mut Criterion) {
     let mut group = c.benchmark_group("gamma_growth");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
     for n in [1_024u64, 4_096] {
         group.bench_with_input(BenchmarkId::new("3-majority", n), &n, |b, &n| {
             let mut trial = 0u64;

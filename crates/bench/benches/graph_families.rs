@@ -11,7 +11,10 @@ use std::time::Duration;
 
 fn bench_graph_families(c: &mut Criterion) {
     let mut group = c.benchmark_group("graph_families_one_round");
-    group.sample_size(20).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
     let n = 1_024usize;
     let initial: Vec<u32> = (0..n).map(|v| (v % 8) as u32).collect();
 

@@ -8,7 +8,10 @@ use std::time::Duration;
 
 fn bench_hmajority(c: &mut Criterion) {
     let mut group = c.benchmark_group("hmajority");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
     for h in [3usize, 7] {
         let proto = HMajority::new(h).unwrap();
         group.bench_with_input(BenchmarkId::new("balanced_k16", h), &proto, |b, proto| {

@@ -13,8 +13,7 @@ fn weak_vanish(seed: u64) -> Option<u64> {
     let weak = n / 200;
     let lead = 3 * n / 10;
     let rest = n - lead - weak;
-    let start =
-        OpinionCounts::from_counts(vec![lead, weak, rest / 2, rest - rest / 2]).unwrap();
+    let start = OpinionCounts::from_counts(vec![lead, weak, rest / 2, rest - rest / 2]).unwrap();
     let mut rng = rng_for(11, seed);
     let mut tracker = StoppingTracker::new(1, 0, 1.0, 1.0, 1.0);
     let mut counts = start;
@@ -31,7 +30,10 @@ fn weak_vanish(seed: u64) -> Option<u64> {
 
 fn bench_lemmas(c: &mut Criterion) {
     let mut group = c.benchmark_group("lemma_pipeline");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("weak_vanish_5_2", |b| {
         let mut trial = 0u64;
         b.iter(|| {

@@ -9,7 +9,10 @@ use std::time::Duration;
 
 fn bench_lower_bound(c: &mut Criterion) {
     let mut group = c.benchmark_group("lower_bound_balanced");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
     for k in [32usize, 64] {
         group.bench_with_input(BenchmarkId::new("3-majority", k), &k, |b, &k| {
             let mut trial = 0u64;

@@ -10,7 +10,10 @@ use std::time::Duration;
 
 fn bench_plurality(c: &mut Criterion) {
     let mut group = c.benchmark_group("plurality_with_margin");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
     let n = BENCH_N;
     let k = 16usize;
     let margin = (2.0 * ((n as f64) * (n as f64).ln()).sqrt()) as u64;

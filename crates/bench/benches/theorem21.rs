@@ -9,7 +9,10 @@ use std::time::Duration;
 
 fn bench_theorem21(c: &mut Criterion) {
     let mut group = c.benchmark_group("theorem21_large_gamma0");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
     for leader_pct in [10u64, 40] {
         let lead = BENCH_N * leader_pct / 100;
         let k = 64usize;

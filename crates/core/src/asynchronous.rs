@@ -46,9 +46,7 @@ struct FenwickSource<'a> {
 
 impl OpinionSource for FenwickSource<'_> {
     fn draw(&self, rng: &mut dyn RngCore) -> u32 {
-        self.weights
-            .sample(rng)
-            .expect("population is non-empty") as u32
+        self.weights.sample(rng).expect("population is non-empty") as u32
     }
 }
 
@@ -124,9 +122,7 @@ impl<P: SyncProtocol> AsyncSimulation<P> {
             // The updating vertex is uniform over vertices; by
             // exchangeability we only need its opinion, distributed
             // proportionally to the counts.
-            let own = weights
-                .sample(rng)
-                .expect("population is non-empty") as u32;
+            let own = weights.sample(rng).expect("population is non-empty") as u32;
             let new = {
                 let source = FenwickSource { weights: &weights };
                 self.protocol.update_one(own, &source, rng)
@@ -221,7 +217,10 @@ mod tests {
         let _ = sim.run_sampled(&start, &mut rng, 250, &mut |t, c| {
             seen.push((t, c.n()));
         });
-        assert_eq!(seen.iter().map(|&(t, _)| t).collect::<Vec<_>>(), vec![250, 500, 750, 1000]);
+        assert_eq!(
+            seen.iter().map(|&(t, _)| t).collect::<Vec<_>>(),
+            vec![250, 500, 750, 1000]
+        );
         assert!(seen.iter().all(|&(_, n)| n == 1000));
     }
 

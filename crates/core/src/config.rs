@@ -69,9 +69,7 @@ impl OpinionCounts {
         }
         let base = n / k as u64;
         let extra = (n % k as u64) as usize;
-        let counts = (0..k)
-            .map(|i| base + u64::from(i < extra))
-            .collect();
+        let counts = (0..k).map(|i| base + u64::from(i < extra)).collect();
         Ok(Self { counts, n })
     }
 
@@ -95,10 +93,7 @@ impl OpinionCounts {
             return Err(ConfigError::MoreOpinionsThanVertices { k, n });
         }
         if k == 1 {
-            return Ok(Self {
-                counts: vec![n],
-                n,
-            });
+            return Ok(Self { counts: vec![n], n });
         }
         let rest = n
             .checked_sub(margin)
@@ -408,10 +403,7 @@ mod tests {
         let c = OpinionCounts::with_leader_margin(100, 4, 20).unwrap();
         assert_eq!(c.n(), 100);
         for j in 1..4 {
-            assert!(
-                c.count(0) >= c.count(j) + 20,
-                "margin violated against {j}"
-            );
+            assert!(c.count(0) >= c.count(j) + 20, "margin violated against {j}");
         }
     }
 

@@ -125,13 +125,30 @@ impl<P: SyncProtocol> Simulation<P> {
     /// when the plurality holds at least `n − 2F` vertices, the \[GL18\]
     /// success notion. Use [`Simulation::run_until`] composed manually for
     /// other criteria.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `2 * F >= n`: the near-consensus threshold `n − 2F` would
+    /// then saturate at (or below) a single vertex, a condition every
+    /// non-empty configuration satisfies, so the run would stop at round 0
+    /// and report vacuous success. The \[GL18\] model assumes `F = o(n)`;
+    /// callers probing larger budgets must choose their own stopping rule
+    /// via [`Simulation::run_until`].
     pub fn run_with_adversary(
         &self,
         initial: &OpinionCounts,
         rng: &mut dyn RngCore,
         adversary: &mut dyn Adversary,
     ) -> RunOutcome {
-        let threshold = initial.n().saturating_sub(2 * adversary.budget()).max(1);
+        let budget = adversary.budget();
+        let doubled = budget.checked_mul(2).filter(|&d| d < initial.n());
+        assert!(
+            doubled.is_some(),
+            "run_with_adversary: budget F = {budget} requires 2F < n = {} — \
+             the near-consensus threshold n - 2F would be vacuous",
+            initial.n()
+        );
+        let threshold = initial.n() - doubled.expect("asserted above");
         self.run_internal(
             initial,
             rng,
@@ -278,6 +295,20 @@ mod tests {
         // runner-up every round), but near-consensus must be reached.
         assert_eq!(out.reason, StopReason::Predicate);
         assert!(out.final_counts.plurality_count() >= 1000 - 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "near-consensus threshold")]
+    fn adversary_budget_half_of_n_is_rejected() {
+        // With 2F >= n the threshold n - 2F saturates to 1, which any
+        // non-empty configuration satisfies at round 0 — a vacuous "win"
+        // that must be rejected instead of silently reported.
+        use crate::adversary::BoostRunnerUp;
+        let sim = Simulation::new(ThreeMajority);
+        let start = OpinionCounts::from_counts(vec![50, 50]).unwrap();
+        let mut rng = rng_for(158, 0);
+        let mut adv = BoostRunnerUp::new(50);
+        let _ = sim.run_with_adversary(&start, &mut rng, &mut adv);
     }
 
     #[test]

@@ -1,6 +1,64 @@
-//! Error types for configuration construction.
+//! Error types for configuration construction and protocol registry
+//! lookups.
 
 use std::fmt;
+
+/// Error from the protocol registry or other fallible `od-core`
+/// construction paths.
+///
+/// [`crate::registry::build_protocol`] returns this instead of panicking so
+/// data-driven callers (the `od-runtime` job runtime, config-file parsers)
+/// can surface bad job specs as ordinary errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// The protocol name is not in the registry.
+    UnknownProtocol {
+        /// The requested name.
+        name: String,
+    },
+    /// A protocol parameter was missing, unknown, or out of range.
+    InvalidParams {
+        /// The protocol being constructed.
+        protocol: String,
+        /// What was wrong.
+        reason: String,
+    },
+    /// An invalid opinion configuration.
+    Config(ConfigError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownProtocol { name } => {
+                write!(
+                    f,
+                    "unknown protocol '{name}' (known: {})",
+                    crate::registry::registered_protocols().join(", ")
+                )
+            }
+            Self::InvalidParams { protocol, reason } => {
+                write!(f, "invalid parameters for protocol '{protocol}': {reason}")
+            }
+            Self::Config(e) => write!(f, "invalid configuration: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for Error {
+    fn from(e: ConfigError) -> Self {
+        Self::Config(e)
+    }
+}
 
 /// Error constructing an [`crate::OpinionCounts`] configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -50,8 +108,12 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(ConfigError::NoOpinions.to_string().contains("at least one opinion"));
-        assert!(ConfigError::ZeroPopulation.to_string().contains("at least one vertex"));
+        assert!(ConfigError::NoOpinions
+            .to_string()
+            .contains("at least one opinion"));
+        assert!(ConfigError::ZeroPopulation
+            .to_string()
+            .contains("at least one vertex"));
         assert!(ConfigError::MoreOpinionsThanVertices { k: 5, n: 3 }
             .to_string()
             .contains("5 opinions"));

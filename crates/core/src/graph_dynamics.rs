@@ -117,7 +117,10 @@ impl<P: SyncProtocol, G: Graph> GraphSimulation<P, G> {
     ///
     /// Panics if `initial.len() != graph.n()` or `initial` is empty.
     pub fn run(&self, initial: &[u32], rng: &mut dyn RngCore) -> GraphRunOutcome {
-        assert!(!initial.is_empty(), "run: initial opinions must be non-empty");
+        assert!(
+            !initial.is_empty(),
+            "run: initial opinions must be non-empty"
+        );
         let mut opinions = initial.to_vec();
         let mut rounds: u64 = 0;
         loop {

@@ -45,18 +45,22 @@
 
 pub mod adversary;
 mod asynchronous;
+pub mod compacted;
 mod config;
 mod engine;
 mod error;
 mod graph_dynamics;
 pub mod observer;
 pub mod protocol;
+pub mod registry;
 pub mod stopping;
 
 pub use asynchronous::{AsyncOutcome, AsyncSimulation, AsyncStopReason};
+pub use compacted::{compact, run_compacted_until, run_to_consensus_compacted};
 pub use config::OpinionCounts;
 pub use engine::{RunOutcome, Simulation, StopReason};
-pub use error::ConfigError;
+pub use error::{ConfigError, Error};
 pub use graph_dynamics::{GraphRunOutcome, GraphSimulation};
 pub use observer::Observer;
+pub use registry::{build_protocol, DynProtocol, ParamValue, ProtocolParams};
 pub use stopping::{HittingTimes, StoppingConstants, StoppingTracker};

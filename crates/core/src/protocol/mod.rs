@@ -57,7 +57,10 @@ impl<'a> SliceSource<'a> {
     /// Panics if the slice is empty.
     #[must_use]
     pub fn new(opinions: &'a [u32]) -> Self {
-        assert!(!opinions.is_empty(), "SliceSource: opinions must be non-empty");
+        assert!(
+            !opinions.is_empty(),
+            "SliceSource: opinions must be non-empty"
+        );
         Self { opinions }
     }
 }
@@ -121,8 +124,7 @@ pub trait SyncProtocol {
                 next[new as usize] += 1;
             }
         }
-        OpinionCounts::from_counts(next)
-            .expect("population step preserves a non-empty population")
+        OpinionCounts::from_counts(next).expect("population step preserves a non-empty population")
     }
 
     /// Performs one synchronous round at the agent level on the complete
@@ -134,12 +136,57 @@ pub trait SyncProtocol {
     /// protocol's configuration space (enforced by `update_one`
     /// implementations indexing out of range).
     fn step_agents(&self, opinions: &mut Vec<u32>, rng: &mut dyn RngCore) {
-        assert!(!opinions.is_empty(), "step_agents: opinions must be non-empty");
+        assert!(
+            !opinions.is_empty(),
+            "step_agents: opinions must be non-empty"
+        );
         let old = opinions.clone();
         let source = SliceSource::new(&old);
         for (v, slot) in opinions.iter_mut().enumerate() {
             *slot = self.update_one(old[v], &source, rng);
         }
+    }
+}
+
+// Delegating impls so protocols compose by reference and by box (e.g. the
+// registry's `Box<dyn SyncProtocol + Send + Sync>` driving a `Simulation`).
+// Every method delegates explicitly: falling back to the trait defaults
+// would silently replace a protocol's O(k) closed-form sampler with the
+// generic O(n) path — a different RNG consumption pattern, breaking
+// bit-reproducibility between generic and boxed callers.
+impl<P: SyncProtocol + ?Sized> SyncProtocol for &P {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn update_one(&self, own: u32, source: &dyn OpinionSource, rng: &mut dyn RngCore) -> u32 {
+        (**self).update_one(own, source, rng)
+    }
+
+    fn step_population(&self, counts: &OpinionCounts, rng: &mut dyn RngCore) -> OpinionCounts {
+        (**self).step_population(counts, rng)
+    }
+
+    fn step_agents(&self, opinions: &mut Vec<u32>, rng: &mut dyn RngCore) {
+        (**self).step_agents(opinions, rng);
+    }
+}
+
+impl<P: SyncProtocol + ?Sized> SyncProtocol for Box<P> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn update_one(&self, own: u32, source: &dyn OpinionSource, rng: &mut dyn RngCore) -> u32 {
+        (**self).update_one(own, source, rng)
+    }
+
+    fn step_population(&self, counts: &OpinionCounts, rng: &mut dyn RngCore) -> OpinionCounts {
+        (**self).step_population(counts, rng)
+    }
+
+    fn step_agents(&self, opinions: &mut Vec<u32>, rng: &mut dyn RngCore) {
+        (**self).step_agents(opinions, rng);
     }
 }
 
@@ -153,7 +200,10 @@ pub trait SyncProtocol {
 pub fn tally(opinions: &[u32], k: usize) -> OpinionCounts {
     let mut counts = vec![0u64; k];
     for &o in opinions {
-        assert!((o as usize) < k, "tally: opinion {o} out of range for k = {k}");
+        assert!(
+            (o as usize) < k,
+            "tally: opinion {o} out of range for k = {k}"
+        );
         counts[o as usize] += 1;
     }
     OpinionCounts::from_counts(counts).expect("non-empty opinions tally to a valid configuration")

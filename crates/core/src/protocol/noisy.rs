@@ -161,7 +161,10 @@ mod tests {
             mean += noisy.step_population(&start, &mut rng).fraction(1);
         }
         mean /= trials as f64;
-        assert!((mean - 0.5).abs() < 0.02, "vanished opinion revived to {mean}");
+        assert!(
+            (mean - 0.5).abs() < 0.02,
+            "vanished opinion revived to {mean}"
+        );
     }
 
     #[test]

@@ -44,13 +44,7 @@ impl TwoChoices {
         fractions
             .iter()
             .enumerate()
-            .map(|(i, &a)| {
-                if i == own {
-                    1.0 - gamma + a * a
-                } else {
-                    a * a
-                }
-            })
+            .map(|(i, &a)| if i == own { 1.0 - gamma + a * a } else { a * a })
             .collect()
     }
 }
@@ -210,19 +204,10 @@ mod tests {
         fn name(&self) -> &str {
             "3maj"
         }
-        fn update_one(
-            &self,
-            own: u32,
-            source: &dyn OpinionSource,
-            rng: &mut dyn RngCore,
-        ) -> u32 {
+        fn update_one(&self, own: u32, source: &dyn OpinionSource, rng: &mut dyn RngCore) -> u32 {
             crate::protocol::ThreeMajority.update_one(own, source, rng)
         }
-        fn step_population(
-            &self,
-            counts: &OpinionCounts,
-            rng: &mut dyn RngCore,
-        ) -> OpinionCounts {
+        fn step_population(&self, counts: &OpinionCounts, rng: &mut dyn RngCore) -> OpinionCounts {
             crate::protocol::ThreeMajority.step_population(counts, rng)
         }
     }

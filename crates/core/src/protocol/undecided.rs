@@ -46,7 +46,10 @@ impl UndecidedDynamics {
     /// Panics if `num_opinions == 0`.
     #[must_use]
     pub fn new(num_opinions: usize) -> Self {
-        assert!(num_opinions > 0, "UndecidedDynamics: need at least one opinion");
+        assert!(
+            num_opinions > 0,
+            "UndecidedDynamics: need at least one opinion"
+        );
         Self { num_opinions }
     }
 

@@ -233,7 +233,11 @@ impl Observer for StoppingTracker {
             eta >= (1.0 + c.c_up_eta) * e0 && round > 0,
         );
         Self::set_if_unset(&mut t.tau_plus_eta, round, eta.abs() >= self.x_eta);
-        Self::set_if_unset(&mut t.tau_up_gamma, round, gamma >= (1.0 + c.c_up_gamma) * g0);
+        Self::set_if_unset(
+            &mut t.tau_up_gamma,
+            round,
+            gamma >= (1.0 + c.c_up_gamma) * g0,
+        );
         Self::set_if_unset(
             &mut t.tau_down_gamma,
             round,

@@ -7,7 +7,7 @@
 //! threshold.
 
 use crate::report::{fmt_f, Table};
-use crate::sweep::{ExpConfig, par_trials};
+use crate::sweep::{par_trials, ExpConfig};
 use od_core::adversary::BoostRunnerUp;
 use od_core::protocol::ThreeMajority;
 use od_core::{OpinionCounts, Simulation, StopReason};
@@ -28,8 +28,16 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
         let f_ref = (n as f64).sqrt() / (k as f64).powf(1.5);
         let initial = OpinionCounts::balanced(n, k).expect("valid");
         let mut table = Table::new(
-            format!("Adversarial 3-Majority, n = {n}, k = {k} (F_ref = sqrt(n)/k^1.5 = {f_ref:.1})"),
-            &["F multiplier", "F (vertices)", "mean rounds", "stderr", "stalled"],
+            format!(
+                "Adversarial 3-Majority, n = {n}, k = {k} (F_ref = sqrt(n)/k^1.5 = {f_ref:.1})"
+            ),
+            &[
+                "F multiplier",
+                "F (vertices)",
+                "mean rounds",
+                "stderr",
+                "stalled",
+            ],
         );
         for (mi, &m) in multipliers.iter().enumerate() {
             let f = (m * f_ref).round() as u64;

@@ -48,8 +48,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
 
         let async_results = par_trials(trials, |trial| {
             let mut rng = rng_for(cfg.seed + 4100 + i as u64, trial);
-            let sim =
-                AsyncSimulation::new(ThreeMajority).with_max_ticks(max_sync_rounds * n);
+            let sim = AsyncSimulation::new(ThreeMajority).with_max_ticks(max_sync_rounds * n);
             sim.run(&initial, &mut rng)
         });
         let mut ticks = RunningStats::new();
@@ -71,9 +70,8 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
             fmt_f(ticks.mean() / shape),
         ]);
     }
-    table.push_note(
-        "async/sync should be Theta(1); ticks/shape should not grow with k".to_string(),
-    );
+    table
+        .push_note("async/sync should be Theta(1); ticks/shape should not grow with k".to_string());
     vec![table]
 }
 

@@ -93,8 +93,7 @@ mod tests {
         let tables = run(&cfg);
         let t = &tables[0];
         assert!(t.rows.len() >= 3);
-        let freedman_ratios: Vec<f64> =
-            t.rows.iter().map(|r| r[4].parse().unwrap()).collect();
+        let freedman_ratios: Vec<f64> = t.rows.iter().map(|r| r[4].parse().unwrap()).collect();
         let naive_ratios: Vec<f64> = t.rows.iter().map(|r| r[5].parse().unwrap()).collect();
         // The Freedman-normalised ratio stays within a constant band…
         let spread = freedman_ratios.iter().copied().fold(f64::MIN, f64::max)

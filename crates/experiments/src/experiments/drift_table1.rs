@@ -50,13 +50,9 @@ fn rows_for<P: SyncProtocol + Sync>(
     // A configuration with two strong (non-weak) opinions i = 0, j = 1 and
     // a positive bias: α = (0.35, 0.30, rest split). γ ≈ 0.2245 + small.
     let rest = n - (35 * n / 100) - (30 * n / 100);
-    let start = OpinionCounts::from_counts(vec![
-        35 * n / 100,
-        30 * n / 100,
-        rest / 2,
-        rest - rest / 2,
-    ])
-    .expect("valid configuration");
+    let start =
+        OpinionCounts::from_counts(vec![35 * n / 100, 30 * n / 100, rest / 2, rest - rest / 2])
+            .expect("valid configuration");
     let mut rng = rng_for(cfg.seed + seed_shift, 0);
     let est = DriftEstimator::estimate(protocol, dynamics, &start, 0, 1, trials, &mut rng);
 
@@ -67,8 +63,7 @@ fn rows_for<P: SyncProtocol + Sync>(
     // Table 1 constants: C = (1+c↑_α)² for the α rows; the δ row constant
     // from Lemma 4.5(v).
     let c_alpha_row = (1.0 + C_ALPHA) * (1.0 + C_ALPHA);
-    let c_delta_row =
-        (1.0 - 2.0 * C_WEAK) * (1.0 - C_ALPHA) * (1.0 - C_DELTA) / (1.0 - C_WEAK);
+    let c_delta_row = (1.0 - 2.0 * C_WEAK) * (1.0 - C_ALPHA) * (1.0 - C_DELTA) / (1.0 - C_WEAK);
 
     vec![
         Row {
@@ -147,7 +142,14 @@ fn table_for<P: SyncProtocol + Sync>(
     let rows = rows_for(protocol, dynamics, cfg, seed_shift);
     let mut table = Table::new(
         format!("Table 1 ({dynamics}): one-step drift vs Lemma 4.1 bounds"),
-        &["condition", "quantity", "empirical", "stderr", "bound", "verdict"],
+        &[
+            "condition",
+            "quantity",
+            "empirical",
+            "stderr",
+            "bound",
+            "verdict",
+        ],
     );
     for r in rows {
         let verdict = if r.passes(4.0) { "PASS" } else { "FAIL" };

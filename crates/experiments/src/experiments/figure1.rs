@@ -9,17 +9,19 @@
 //! bounds of Figure 1(a).
 
 use crate::report::{fmt_f, Table};
-use crate::sweep::{par_trials, run_to_consensus_compacted, ExpConfig};
+use crate::sweep::ExpConfig;
 use od_analysis::bounds;
 use od_analysis::Dynamics;
-use od_core::protocol::{SyncProtocol, ThreeMajority, TwoChoices};
-use od_core::OpinionCounts;
-use od_sampling::rng_for;
+use od_runtime::{run_job_simple, ExecutionMode, InitialSpec, JobSpec};
 use od_stats::RunningStats;
 
-/// Measured mean consensus time from the balanced configuration, per `k`.
-pub(crate) fn consensus_vs_k<P: SyncProtocol + Sync>(
-    protocol: &P,
+/// Measured mean consensus time from the balanced configuration, per `k`,
+/// submitted as support-compacted jobs through the `od-runtime` sharded
+/// executor. The per-trial RNG derivation (`rng_for(master ^ k·0x9E37,
+/// trial)`) matches the historical hand-rolled sweep, so the measured
+/// values are bit-identical to it.
+pub(crate) fn consensus_vs_k(
+    protocol: &str,
     n: u64,
     ks: &[usize],
     trials: u64,
@@ -28,20 +30,21 @@ pub(crate) fn consensus_vs_k<P: SyncProtocol + Sync>(
 ) -> Vec<(usize, RunningStats, u64)> {
     ks.iter()
         .map(|&k| {
-            let initial = OpinionCounts::balanced(n, k).expect("k <= n by construction");
-            let results = par_trials(trials, |trial| {
-                let mut rng = rng_for(master_seed ^ (k as u64).wrapping_mul(0x9E37), trial);
-                run_to_consensus_compacted(protocol, &initial, &mut rng, max_rounds)
-            });
-            let mut stats = RunningStats::new();
-            let mut capped = 0u64;
-            for r in results {
-                match r {
-                    Some(t) => stats.push(t as f64),
-                    None => capped += 1,
-                }
-            }
-            (k, stats, capped)
+            let spec = JobSpec {
+                max_rounds,
+                mode: ExecutionMode::Compacted,
+                // One trial per shard: full rayon parallelism across trials.
+                shard_size: 1,
+                ..JobSpec::new(
+                    &format!("figure1 {protocol} n={n} k={k}"),
+                    protocol,
+                    InitialSpec::Balanced { n, k },
+                    trials,
+                    master_seed ^ (k as u64).wrapping_mul(0x9E37),
+                )
+            };
+            let report = run_job_simple(&spec).expect("figure1 specs are valid by construction");
+            (k, report.summary.round_stats(), report.summary.capped)
         })
         .collect()
 }
@@ -72,10 +75,10 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
     ] {
         let data = match dynamics {
             Dynamics::ThreeMajority => {
-                consensus_vs_k(&ThreeMajority, n, &ks, trials, max_rounds, cfg.seed)
+                consensus_vs_k("three-majority", n, &ks, trials, max_rounds, cfg.seed)
             }
             Dynamics::TwoChoices => {
-                consensus_vs_k(&TwoChoices, n, &ks, trials, max_rounds, cfg.seed + 1)
+                consensus_vs_k("two-choices", n, &ks, trials, max_rounds, cfg.seed + 1)
             }
         };
         let mut table = Table::new(
@@ -164,7 +167,7 @@ mod tests {
         // small factor of the time at k = 256 — not 16× larger.
         let n = 4096u64;
         let ks = [16usize, 256, 4096];
-        let data = consensus_vs_k(&ThreeMajority, n, &ks, 3, 1_000_000, 77);
+        let data = consensus_vs_k("three-majority", n, &ks, 3, 1_000_000, 77);
         let t16 = data[0].1.mean();
         let t256 = data[1].1.mean();
         let t4096 = data[2].1.mean();
@@ -179,7 +182,7 @@ mod tests {
     fn two_choices_keeps_growing_linearly() {
         let n = 2048u64;
         let ks = [32usize, 128, 512];
-        let data = consensus_vs_k(&TwoChoices, n, &ks, 3, 1_000_000, 78);
+        let data = consensus_vs_k("two-choices", n, &ks, 3, 1_000_000, 78);
         let t32 = data[0].1.mean();
         let t512 = data[2].1.mean();
         // 16× more opinions should take at least ~4× longer (generous).

@@ -51,7 +51,9 @@ fn table_for<P: SyncProtocol + Sync>(
 ) -> Table {
     let trials: u64 = cfg.pick(5, 2);
     let mut table = Table::new(
-        format!("Theorem 2.2 ({dynamics}): rounds until gamma reaches its threshold (start: k = n)"),
+        format!(
+            "Theorem 2.2 ({dynamics}): rounds until gamma reaches its threshold (start: k = n)"
+        ),
         &[
             "n",
             "target gamma",
@@ -131,7 +133,9 @@ fn trajectory_table(cfg: &ExpConfig) -> Table {
             bundle.count_at(t).to_string(),
         ]);
     }
-    table.push_note("gamma is a submartingale (Lemma 4.1(iii)): the series should be increasing".to_string());
+    table.push_note(
+        "gamma is a submartingale (Lemma 4.1(iii)): the series should be increasing".to_string(),
+    );
     table
 }
 

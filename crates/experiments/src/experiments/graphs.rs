@@ -75,8 +75,22 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
     let bar = barbell(n / 2);
 
     let results = vec![
-        measure(&complete, "complete+loops", k, trials, max_rounds, cfg.seed + 7001),
-        measure(&regular, "random 8-regular", k, trials, max_rounds, cfg.seed + 7002),
+        measure(
+            &complete,
+            "complete+loops",
+            k,
+            trials,
+            max_rounds,
+            cfg.seed + 7001,
+        ),
+        measure(
+            &regular,
+            "random 8-regular",
+            k,
+            trials,
+            max_rounds,
+            cfg.seed + 7002,
+        ),
         measure(
             &torus,
             "torus (sqrt(n) x sqrt(n))",

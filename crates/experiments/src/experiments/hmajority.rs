@@ -6,11 +6,13 @@
 //! `h ≥ 3` has plurality drift, and larger `h` amplifies it.
 
 use crate::report::{fmt_f, Table};
-use crate::sweep::{consensus_time_stats, run_trials, ExpConfig};
-use od_core::protocol::{HMajority, Voter};
-use od_core::OpinionCounts;
+use crate::sweep::ExpConfig;
+use od_core::ProtocolParams;
+use od_runtime::{run_job_simple, InitialSpec, JobSpec};
 
-/// Runs E11.
+/// Runs E11. Each `h` is one job submitted through the `od-runtime`
+/// sharded executor; per-trial RNGs derive exactly as the historical
+/// `run_trials` sweep did, so the measured outcomes are unchanged.
 #[must_use]
 pub fn run(cfg: &ExpConfig) -> Vec<Table> {
     let n: u64 = cfg.pick(10_000, 2_000);
@@ -19,25 +21,38 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
     let max_rounds: u64 = cfg.pick(500_000, 100_000);
     let hs = [1usize, 3, 5, 7, 9];
 
-    let initial = OpinionCounts::balanced(n, k).expect("valid");
     let mut table = Table::new(
         format!("h-Majority, n = {n}, k = {k}: consensus time vs h"),
         &["h", "mean rounds", "stderr", "capped"],
     );
     for (i, &h) in hs.iter().enumerate() {
-        let outcomes = if h == 1 {
-            // h = 1 is the voter model; use its O(k) population sampler.
-            run_trials(&Voter, &initial, trials, cfg.seed + 6000 + i as u64, max_rounds)
+        // h = 1 is the voter model; its registry entry has the O(k)
+        // population sampler.
+        let (protocol, params) = if h == 1 {
+            ("voter", ProtocolParams::new())
         } else {
-            let proto = HMajority::new(h).expect("h >= 1");
-            run_trials(&proto, &initial, trials, cfg.seed + 6000 + i as u64, max_rounds)
+            ("h-majority", ProtocolParams::new().with_int("h", h as u64))
         };
-        let (stats, capped) = consensus_time_stats(&outcomes);
+        let spec = JobSpec {
+            params,
+            max_rounds,
+            // One trial per shard: full rayon parallelism across trials.
+            shard_size: 1,
+            ..JobSpec::new(
+                &format!("hmajority h={h} n={n} k={k}"),
+                protocol,
+                InitialSpec::Balanced { n, k },
+                trials,
+                cfg.seed + 6000 + i as u64,
+            )
+        };
+        let report = run_job_simple(&spec).expect("hmajority specs are valid by construction");
+        let stats = report.summary.round_stats();
         table.push_row(vec![
             h.to_string(),
             fmt_f(stats.mean()),
             fmt_f(stats.std_error()),
-            capped.to_string(),
+            report.summary.capped.to_string(),
         ]);
     }
     table.push_note(
@@ -58,7 +73,13 @@ mod tests {
         let t1: f64 = rows[0][1].parse().unwrap();
         let t3: f64 = rows[1][1].parse().unwrap();
         let t9: f64 = rows[4][1].parse().unwrap();
-        assert!(t1 > t3, "voter ({t1}) should be slower than 3-majority ({t3})");
-        assert!(t3 >= t9, "h = 9 ({t9}) should not be slower than h = 3 ({t3})");
+        assert!(
+            t1 > t3,
+            "voter ({t1}) should be slower than 3-majority ({t3})"
+        );
+        assert!(
+            t3 >= t9,
+            "h = 9 ({t9}) should not be slower than h = 3 ({t3})"
+        );
     }
 }

@@ -64,9 +64,14 @@ fn lemma_5_2(cfg: &ExpConfig) -> Table {
     let results = par_trials(trials, |trial| {
         let mut rng = rng_for(cfg.seed + 2000, trial);
         let mut tracker = StoppingTracker::new(1, 0, 1.0, 1.0, 1.0);
-        run_tracked(&ThreeMajority, &initial, &mut tracker, horizon, &mut rng, |tr| {
-            tr.times().tau_vanish_i
-        })
+        run_tracked(
+            &ThreeMajority,
+            &initial,
+            &mut tracker,
+            horizon,
+            &mut rng,
+            |tr| tr.times().tau_vanish_i,
+        )
     });
     let mut stats = RunningStats::new();
     let mut misses = 0u64;
@@ -78,7 +83,14 @@ fn lemma_5_2(cfg: &ExpConfig) -> Table {
     }
     let mut table = Table::new(
         format!("Lemma 5.2 (3-Majority), n = {n}: weak opinion vanishing time"),
-        &["gamma0", "log n/gamma0", "mean vanish time", "stderr", "missed", "trials"],
+        &[
+            "gamma0",
+            "log n/gamma0",
+            "mean vanish time",
+            "stderr",
+            "missed",
+            "trials",
+        ],
     );
     table.push_row(vec![
         fmt_f(gamma0),
@@ -112,9 +124,14 @@ fn lemma_5_5(cfg: &ExpConfig) -> Table {
         let mut rng = rng_for(cfg.seed + 2100, trial);
         // Track (i, j) = (0 = leader, 1 = a trailing strong opinion).
         let mut tracker = StoppingTracker::new(0, 1, 1.0, 1.0, 1.0);
-        run_tracked(&ThreeMajority, &initial, &mut tracker, horizon, &mut rng, |tr| {
-            tr.times().tau_weak_j
-        })
+        run_tracked(
+            &ThreeMajority,
+            &initial,
+            &mut tracker,
+            horizon,
+            &mut rng,
+            |tr| tr.times().tau_weak_j,
+        )
     });
     let mut stats = RunningStats::new();
     let mut misses = 0u64;
@@ -164,14 +181,21 @@ fn lemma_5_10(cfg: &ExpConfig) -> Table {
     let results = par_trials(trials, |trial| {
         let mut rng = rng_for(cfg.seed + 2200, trial);
         let mut tracker = StoppingTracker::new(0, 1, x_delta, 1.0, 1.0);
-        run_tracked(&ThreeMajority, &initial, &mut tracker, horizon, &mut rng, |tr| {
-            // The lemma's event: |δ| reaches x_δ or one of the pair becomes
-            // weak — whichever first.
-            tr.times()
-                .tau_plus_delta
-                .or(tr.times().tau_weak_i)
-                .or(tr.times().tau_weak_j)
-        })
+        run_tracked(
+            &ThreeMajority,
+            &initial,
+            &mut tracker,
+            horizon,
+            &mut rng,
+            |tr| {
+                // The lemma's event: |δ| reaches x_δ or one of the pair becomes
+                // weak — whichever first.
+                tr.times()
+                    .tau_plus_delta
+                    .or(tr.times().tau_weak_i)
+                    .or(tr.times().tau_weak_j)
+            },
+        )
     });
     let mut stats = RunningStats::new();
     let mut misses = 0u64;

@@ -30,9 +30,7 @@ fn margin_sweep<P: SyncProtocol + Sync>(
     let unit_vertices = (unit_fraction * n as f64).ceil() as u64;
 
     let mut table = Table::new(
-        format!(
-            "Theorem 2.6 ({dynamics}), n = {n}, k = {k}: plurality success vs initial margin"
-        ),
+        format!("Theorem 2.6 ({dynamics}), n = {n}, k = {k}: plurality success vs initial margin"),
         &[
             "margin multiplier",
             "margin (vertices)",
@@ -43,8 +41,7 @@ fn margin_sweep<P: SyncProtocol + Sync>(
     );
     for (i, &m) in multipliers.iter().enumerate() {
         let margin = (m * unit_vertices as f64).round() as u64;
-        let initial =
-            OpinionCounts::with_leader_margin(n, k, margin).expect("margin fits in n");
+        let initial = OpinionCounts::with_leader_margin(n, k, margin).expect("margin fits in n");
         let outcomes = run_trials(
             protocol,
             &initial,

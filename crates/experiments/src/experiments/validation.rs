@@ -15,11 +15,7 @@ use od_core::OpinionCounts;
 use od_sampling::rng_for;
 use od_stats::{ks_two_sample, RunningStats};
 
-fn engine_equivalence<P: SyncProtocol>(
-    protocol: &P,
-    cfg: &ExpConfig,
-    seed_shift: u64,
-) -> Table {
+fn engine_equivalence<P: SyncProtocol>(protocol: &P, cfg: &ExpConfig, seed_shift: u64) -> Table {
     let n: u64 = cfg.pick(5_000, 1_000);
     let trials: usize = cfg.pick(4_000, 800);
     let start =
@@ -103,7 +99,13 @@ fn bernstein_table(cfg: &ExpConfig) -> Table {
 
     let mut table = Table::new(
         format!("Lemma 4.2 Bernstein conditions (empirical MGF check), n = {n}"),
-        &["dynamics", "quantity", "(D, s)", "worst MGF ratio", "verdict"],
+        &[
+            "dynamics",
+            "quantity",
+            "(D, s)",
+            "worst MGF ratio",
+            "verdict",
+        ],
     );
     for (dynamics, name) in [
         (Dynamics::ThreeMajority, "3-Majority"),
@@ -126,9 +128,21 @@ fn bernstein_table(cfg: &ExpConfig) -> Table {
             gamma_dec.push(gamma - next.gamma());
         }
         let checks = [
-            ("alpha - E[alpha]", BernsteinParams::alpha(dynamics, a0, gamma, n), &alpha_dev),
-            ("delta - E[delta]", BernsteinParams::delta(dynamics, a0, a1, gamma, n), &delta_dev),
-            ("gamma_dec", BernsteinParams::gamma_decrease(dynamics, gamma, n), &gamma_dec),
+            (
+                "alpha - E[alpha]",
+                BernsteinParams::alpha(dynamics, a0, gamma, n),
+                &alpha_dev,
+            ),
+            (
+                "delta - E[delta]",
+                BernsteinParams::delta(dynamics, a0, a1, gamma, n),
+                &delta_dev,
+            ),
+            (
+                "gamma_dec",
+                BernsteinParams::gamma_decrease(dynamics, gamma, n),
+                &gamma_dec,
+            ),
         ];
         for (qname, params, data) in checks {
             let check = check_mgf(data, &params, 8);
@@ -137,11 +151,18 @@ fn bernstein_table(cfg: &ExpConfig) -> Table {
                 qname.to_string(),
                 format!("({}, {})", fmt_f(params.d), fmt_f(params.s)),
                 fmt_f(check.worst_ratio),
-                if check.holds_with_slack(0.1) { "PASS" } else { "FAIL" }.to_string(),
+                if check.holds_with_slack(0.1) {
+                    "PASS"
+                } else {
+                    "FAIL"
+                }
+                .to_string(),
             ]);
         }
     }
-    table.push_note("worst ratio <= 1 (+ sampling slack) certifies the (D, s) condition".to_string());
+    table.push_note(
+        "worst ratio <= 1 (+ sampling slack) certifies the (D, s) condition".to_string(),
+    );
     table
 }
 

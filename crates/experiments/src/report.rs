@@ -107,7 +107,11 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(",")
+            self.headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(
@@ -127,7 +131,13 @@ impl Table {
     pub fn slug(&self) -> String {
         self.title
             .chars()
-            .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+            .map(|c| {
+                if c.is_ascii_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '_'
+                }
+            })
             .collect::<String>()
             .split('_')
             .filter(|s| !s.is_empty())

@@ -91,9 +91,7 @@ impl Workload {
                 OpinionCounts::from_counts(counts)
             }
             Self::Zipf { n, k, s } => OpinionCounts::from_weights(*n, &zipf_weights(*k, *s)),
-            Self::TwoBlocks { n } => {
-                OpinionCounts::from_counts(vec![n / 2 + n % 2, n / 2])
-            }
+            Self::TwoBlocks { n } => OpinionCounts::from_counts(vec![n / 2 + n % 2, n / 2]),
             Self::Custom(counts) => OpinionCounts::from_counts(counts.clone()),
         }
     }

@@ -1,0 +1,90 @@
+//! The `od-runtime` sharded executor must be **bit-identical** to the
+//! direct `od_experiments::sweep::run_trials` path for a fixed spec and
+//! seed: same per-trial RNG derivation, same engine, same statistics —
+//! regardless of shard size.
+
+use od_core::protocol::{HMajority, ThreeMajority};
+use od_core::{OpinionCounts, ProtocolParams};
+use od_experiments::sweep::{consensus_time_stats, run_trials};
+use od_runtime::{run_job_simple, InitialSpec, JobSpec, ShardSummary};
+
+const TRIALS: u64 = 24;
+const SEED: u64 = 90_210;
+const MAX_ROUNDS: u64 = 300_000;
+
+#[test]
+fn three_majority_runtime_matches_run_trials_bitwise() {
+    let initial = OpinionCounts::balanced(600, 12).unwrap();
+    let outcomes = run_trials(&ThreeMajority, &initial, TRIALS, SEED, MAX_ROUNDS);
+    let direct = ShardSummary::from_outcomes(outcomes.iter());
+
+    for shard_size in [1u64, 7, TRIALS] {
+        let spec = JobSpec {
+            max_rounds: MAX_ROUNDS,
+            shard_size,
+            ..JobSpec::new(
+                "equivalence 3maj",
+                "three-majority",
+                InitialSpec::Counts(initial.counts().to_vec()),
+                TRIALS,
+                SEED,
+            )
+        };
+        let report = run_job_simple(&spec).unwrap();
+        assert_eq!(report.summary, direct, "shard size {shard_size}");
+        assert_eq!(
+            report.summary.to_json().to_string_compact(),
+            direct.to_json().to_string_compact(),
+            "shard size {shard_size}: byte-identical summaries"
+        );
+
+        // Derived statistics match to the bit as well.
+        let (stats, capped) = consensus_time_stats(&outcomes);
+        assert_eq!(report.summary.capped, capped);
+        assert_eq!(report.summary.rounds.count(), stats.count());
+        assert_eq!(
+            report.summary.consensus_rate().to_bits(),
+            (outcomes.iter().filter(|o| o.reached_consensus()).count() as f64
+                / outcomes.len() as f64)
+                .to_bits()
+        );
+        let sum: u64 = outcomes
+            .iter()
+            .filter(|o| o.reached_consensus())
+            .map(|o| o.rounds)
+            .sum();
+        assert_eq!(report.summary.rounds.sum(), u128::from(sum));
+    }
+}
+
+#[test]
+fn h_majority_runtime_matches_run_trials_bitwise() {
+    let initial = OpinionCounts::balanced(500, 10).unwrap();
+    let proto = HMajority::new(5).unwrap();
+    let outcomes = run_trials(&proto, &initial, TRIALS, SEED + 1, MAX_ROUNDS);
+    let direct = ShardSummary::from_outcomes(outcomes.iter());
+
+    let spec = JobSpec {
+        params: ProtocolParams::new().with_int("h", 5),
+        max_rounds: MAX_ROUNDS,
+        shard_size: 5,
+        ..JobSpec::new(
+            "equivalence hmaj",
+            "h-majority",
+            InitialSpec::Balanced { n: 500, k: 10 },
+            TRIALS,
+            SEED + 1,
+        )
+    };
+    let report = run_job_simple(&spec).unwrap();
+    assert_eq!(report.summary, direct);
+
+    // Winner identities agree trial by trial in aggregate.
+    for (winner, count) in report.summary.winners.iter() {
+        let direct_count = outcomes
+            .iter()
+            .filter(|o| o.winner == Some(winner as usize))
+            .count() as u64;
+        assert_eq!(count, direct_count, "winner {winner}");
+    }
+}

@@ -27,7 +27,10 @@ impl AdjacencyGraph {
         assert!(n > 0, "AdjacencyGraph: n must be positive");
         let mut adj: Vec<Vec<Vertex>> = vec![Vec::new(); n];
         for &(u, v) in edges {
-            assert!(u < n && v < n, "AdjacencyGraph: edge ({u},{v}) out of range");
+            assert!(
+                u < n && v < n,
+                "AdjacencyGraph: edge ({u},{v}) out of range"
+            );
             adj[u].push(v);
             if u != v {
                 adj[v].push(u);

@@ -54,7 +54,9 @@ pub fn erdos_renyi<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<AdjacencyGraph, GraphBuildError> {
     if n == 0 {
-        return Err(GraphBuildError::InvalidParameter("n must be positive".into()));
+        return Err(GraphBuildError::InvalidParameter(
+            "n must be positive".into(),
+        ));
     }
     if !(0.0..=1.0).contains(&p) || p.is_nan() {
         return Err(GraphBuildError::InvalidParameter(format!(
@@ -154,7 +156,8 @@ pub fn random_regular<R: Rng + ?Sized>(
     for &e in &edges {
         *seen.entry(e).or_insert(0) += 1;
     }
-    let is_bad = |e: (Vertex, Vertex), seen: &std::collections::HashMap<(Vertex, Vertex), usize>| {
+    let is_bad = |e: (Vertex, Vertex),
+                  seen: &std::collections::HashMap<(Vertex, Vertex), usize>| {
         e.0 == e.1 || seen[&e] > 1
     };
     let mut attempts: u64 = 0;
@@ -220,7 +223,9 @@ pub fn stochastic_block_model<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<AdjacencyGraph, GraphBuildError> {
     if n < 2 {
-        return Err(GraphBuildError::InvalidParameter("n must be at least 2".into()));
+        return Err(GraphBuildError::InvalidParameter(
+            "n must be at least 2".into(),
+        ));
     }
     for p in [p_in, p_out] {
         if !(0.0..=1.0).contains(&p) || p.is_nan() {
@@ -299,7 +304,10 @@ mod tests {
         for v in 0..50 {
             assert_eq!(g.degree(v), 4, "vertex {v}");
         }
-        assert!(g.is_connected(), "4-regular on 50 vertices should be connected");
+        assert!(
+            g.is_connected(),
+            "4-regular on 50 vertices should be connected"
+        );
     }
 
     #[test]

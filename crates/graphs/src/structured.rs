@@ -22,7 +22,10 @@ pub fn cycle(n: usize) -> AdjacencyGraph {
 /// Panics if `w < 3` or `h < 3` (smaller sizes create parallel edges).
 #[must_use]
 pub fn torus_2d(w: usize, h: usize) -> AdjacencyGraph {
-    assert!(w >= 3 && h >= 3, "torus_2d: both dimensions must be at least 3");
+    assert!(
+        w >= 3 && h >= 3,
+        "torus_2d: both dimensions must be at least 3"
+    );
     let idx = |x: usize, y: usize| y * w + x;
     let mut edges = Vec::with_capacity(2 * w * h);
     for y in 0..h {

@@ -1,0 +1,224 @@
+//! `od-run` — execute simulation job files through the `od-runtime`
+//! sharded executor.
+//!
+//! ```text
+//! od-run <job.json|job.toml|directory> [options]
+//!
+//! Options:
+//!   --checkpoint <path>   checkpoint file (default: <job file>.checkpoint.json)
+//!   --no-checkpoint       run without persistence (no resume)
+//!   --fresh               delete an existing checkpoint before running
+//!   --max-trials <n>      override the spec's trial count (smoke runs;
+//!                         implies --no-checkpoint unless --checkpoint is given)
+//!   --quiet               print only the final summary
+//!   --help                this text
+//! ```
+//!
+//! A directory argument drains every `*.json`/`*.toml` job in it (sorted
+//! by name), each with its own sibling checkpoint. Checkpoints are
+//! written after every completed shard, so a killed run — `kill -9`
+//! included — resumes from the last finished shard when re-invoked.
+
+use od_runtime::{
+    default_checkpoint_path, load_job_file, run_job, run_queue, JobReport, JobSpec, RunOptions,
+    RuntimeError,
+};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    target: PathBuf,
+    checkpoint: Option<PathBuf>,
+    no_checkpoint: bool,
+    fresh: bool,
+    max_trials: Option<u64>,
+    quiet: bool,
+}
+
+const USAGE: &str = "usage: od-run <job.json|job.toml|directory> \
+[--checkpoint <path>] [--no-checkpoint] [--fresh] [--max-trials <n>] [--quiet]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut target = None;
+    let mut checkpoint = None;
+    let mut no_checkpoint = false;
+    let mut fresh = false;
+    let mut max_trials = None;
+    let mut quiet = false;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            "--checkpoint" => {
+                let value = argv.next().ok_or("--checkpoint needs a path")?;
+                checkpoint = Some(PathBuf::from(value));
+            }
+            "--no-checkpoint" => no_checkpoint = true,
+            "--fresh" => fresh = true,
+            "--max-trials" => {
+                let value = argv.next().ok_or("--max-trials needs a number")?;
+                max_trials = Some(value.parse().map_err(|_| "--max-trials needs a number")?);
+            }
+            "--quiet" | "-q" => quiet = true,
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option '{other}'\n{USAGE}"));
+            }
+            other => {
+                if target.replace(PathBuf::from(other)).is_some() {
+                    return Err(format!("more than one target given\n{USAGE}"));
+                }
+            }
+        }
+    }
+    Ok(Args {
+        target: target.ok_or(USAGE)?,
+        checkpoint,
+        no_checkpoint,
+        fresh,
+        max_trials,
+        quiet,
+    })
+}
+
+fn print_report(name: &str, report: &JobReport, quiet: bool) {
+    if !quiet {
+        println!(
+            "shards: {}/{} completed ({} resumed from checkpoint){}",
+            report.completed_shards,
+            report.total_shards,
+            report.resumed_shards,
+            if report.interrupted {
+                ", interrupted"
+            } else {
+                ""
+            }
+        );
+    }
+    println!("== {name} ==");
+    print!("{}", report.summary.render());
+}
+
+fn run_single(args: &Args) -> Result<bool, RuntimeError> {
+    let mut spec: JobSpec = load_job_file(&args.target)?;
+    let mut smoke_override = false;
+    if let Some(trials) = args.max_trials {
+        smoke_override = trials < spec.trials;
+        spec.trials = trials.min(spec.trials);
+    }
+    // A --max-trials smoke run hashes differently from the real job; if it
+    // wrote the default sibling checkpoint it would make the later full
+    // run fail with a mismatch. Smoke runs therefore skip persistence
+    // unless an explicit --checkpoint says otherwise.
+    let checkpoint_path = if args.no_checkpoint || (smoke_override && args.checkpoint.is_none()) {
+        None
+    } else {
+        Some(
+            args.checkpoint
+                .clone()
+                .unwrap_or_else(|| default_checkpoint_path(&args.target)),
+        )
+    };
+    if args.fresh {
+        if let Some(path) = &checkpoint_path {
+            match std::fs::remove_file(path) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(RuntimeError::io("removing checkpoint", e)),
+            }
+        }
+    }
+    if !args.quiet {
+        println!(
+            "job '{}': protocol {}, {} trials in {} shards (spec {})",
+            spec.name,
+            spec.protocol,
+            spec.trials,
+            spec.shard_count(),
+            spec.content_hash()
+        );
+        if let Some(path) = &checkpoint_path {
+            println!("checkpoint: {}", path.display());
+        }
+    }
+    let options = RunOptions {
+        checkpoint_path,
+        cancel: od_runtime::CancelToken::new(),
+    };
+    let report = run_job(&spec, &options)?;
+    print_report(&spec.name, &report, args.quiet);
+    Ok(!report.interrupted)
+}
+
+fn run_directory(args: &Args) -> Result<bool, RuntimeError> {
+    // Queue jobs always use per-job sibling checkpoints: a single
+    // --checkpoint path would be ambiguous across jobs, and skipping
+    // persistence entirely would silently drop resumability — reject
+    // both instead of ignoring them.
+    if args.checkpoint.is_some() || args.no_checkpoint {
+        return Err(RuntimeError::Spec(
+            "--checkpoint/--no-checkpoint do not apply to directory queues \
+             (each job uses its sibling <job file>.checkpoint.json)"
+                .to_string(),
+        ));
+    }
+    if args.fresh {
+        for job in od_runtime::queue::queue_files(&args.target)? {
+            let checkpoint = default_checkpoint_path(&job);
+            match std::fs::remove_file(&checkpoint) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(RuntimeError::io("removing checkpoint", e)),
+            }
+        }
+    }
+    let options = RunOptions {
+        checkpoint_path: None,
+        cancel: od_runtime::CancelToken::new(),
+    };
+    let entries = run_queue(&args.target, &options)?;
+    if entries.is_empty() {
+        eprintln!("no job files in {}", args.target.display());
+        return Ok(false);
+    }
+    let mut all_ok = true;
+    for entry in &entries {
+        match &entry.result {
+            Ok(report) => {
+                let name = entry.job_name.as_deref().unwrap_or("unnamed");
+                print_report(name, report, args.quiet);
+                all_ok &= !report.interrupted;
+            }
+            Err(e) => {
+                eprintln!("{}: error: {e}", entry.path.display());
+                all_ok = false;
+            }
+        }
+        if !args.quiet {
+            println!();
+        }
+    }
+    Ok(all_ok)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+    let outcome = if args.target.is_dir() {
+        run_directory(&args)
+    } else {
+        run_single(&args)
+    };
+    match outcome {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("od-run: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Error type for the job runtime.
+
+use std::fmt;
+
+/// Anything that can go wrong parsing, validating, or executing a job.
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// A typed error from `od-core` (unknown protocol, invalid params,
+    /// invalid configuration).
+    Core(od_core::Error),
+    /// The job file could not be parsed (JSON/TOML syntax).
+    Parse(String),
+    /// The spec parsed but its fields are invalid or inconsistent.
+    Spec(String),
+    /// A checkpoint file exists but does not match the spec.
+    CheckpointMismatch {
+        /// Hash recorded in the checkpoint.
+        found: String,
+        /// Hash of the spec being run.
+        expected: String,
+    },
+    /// Filesystem failure (reading job files, writing checkpoints).
+    Io {
+        /// What was being done.
+        context: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Core(e) => write!(f, "{e}"),
+            Self::Parse(msg) => write!(f, "parse error: {msg}"),
+            Self::Spec(msg) => write!(f, "invalid job spec: {msg}"),
+            Self::CheckpointMismatch { found, expected } => write!(
+                f,
+                "checkpoint belongs to spec {found}, but this job hashes to {expected} \
+                 (delete the checkpoint or restore the original spec)"
+            ),
+            Self::Io { context, source } => write!(f, "{context}: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Core(e) => Some(e),
+            Self::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<od_core::Error> for RuntimeError {
+    fn from(e: od_core::Error) -> Self {
+        Self::Core(e)
+    }
+}
+
+impl RuntimeError {
+    /// Wraps an I/O error with context.
+    #[must_use]
+    pub fn io(context: &str, source: std::io::Error) -> Self {
+        Self::Io {
+            context: context.to_string(),
+            source,
+        }
+    }
+}

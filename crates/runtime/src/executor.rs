@@ -1,0 +1,388 @@
+//! The sharded job executor.
+//!
+//! A job's `trials` split into fixed-size shards ([`JobSpec::shard_size`]).
+//! Shards run in parallel on rayon; **every trial derives its RNG as
+//! `rng_for(master_seed, trial_index)`**, so results are bit-identical to
+//! the direct `od_experiments::sweep::run_trials` path and independent of
+//! shard size and thread schedule. Each shard folds its trials into a
+//! [`ShardSummary`]; completed shards stream into the checkpoint (when
+//! configured) and merge associatively into the job summary, keeping
+//! memory `O(shards)`.
+//!
+//! Cancellation is cooperative: a [`CancelToken`] is checked between
+//! trials, a cancelled shard is discarded (never partially recorded), and
+//! the job returns with `interrupted = true` and whatever shards
+//! completed — exactly the state a resume picks up from.
+
+use crate::checkpoint::Checkpoint;
+use crate::error::RuntimeError;
+use crate::spec::{ExecutionMode, JobSpec, StopRule};
+use crate::summary::{ShardSummary, TrialResult};
+use od_core::registry::DynProtocol;
+use od_core::{run_compacted_until, OpinionCounts, Simulation};
+use od_sampling::rng_for;
+use rayon::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Cooperative cancellation handle, shareable across threads.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// Creates a token in the not-cancelled state.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation; running shards stop at the next trial
+    /// boundary.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// True once cancellation has been requested.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
+
+/// Execution options for [`run_job`].
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Persist completed shards here and resume from it when present.
+    pub checkpoint_path: Option<PathBuf>,
+    /// Cooperative cancellation handle.
+    pub cancel: CancelToken,
+}
+
+/// What a job run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobReport {
+    /// Merged summary over every *completed* shard.
+    pub summary: ShardSummary,
+    /// Shards completed over the job's lifetime (including resumed ones).
+    pub completed_shards: u64,
+    /// Total shards in the job.
+    pub total_shards: u64,
+    /// Shards restored from the checkpoint rather than executed now.
+    pub resumed_shards: u64,
+    /// True when cancellation stopped the job before all shards finished.
+    pub interrupted: bool,
+}
+
+/// Runs a job with default options (no checkpoint, no cancellation).
+///
+/// # Errors
+///
+/// Returns spec/validation errors before executing anything.
+pub fn run_job_simple(spec: &JobSpec) -> Result<JobReport, RuntimeError> {
+    run_job(spec, &RunOptions::default())
+}
+
+/// Runs a job: validates, plans shards, resumes from the checkpoint if one
+/// matches, executes pending shards on rayon, and merges the summaries.
+///
+/// # Errors
+///
+/// Returns spec/validation errors, checkpoint mismatches, and I/O errors
+/// from checkpoint persistence.
+pub fn run_job(spec: &JobSpec, options: &RunOptions) -> Result<JobReport, RuntimeError> {
+    let protocol: DynProtocol = spec.validate()?;
+    let initial = spec.initial.build()?;
+    let spec_hash = spec.content_hash();
+    let total_shards = spec.shard_count();
+
+    // Load or create the checkpoint.
+    let checkpoint = match &options.checkpoint_path {
+        Some(path) => match Checkpoint::load(path)? {
+            Some(existing) => {
+                if existing.spec_hash != spec_hash {
+                    return Err(RuntimeError::CheckpointMismatch {
+                        found: existing.spec_hash,
+                        expected: spec_hash,
+                    });
+                }
+                existing
+            }
+            None => Checkpoint::new(spec_hash.clone(), total_shards),
+        },
+        None => Checkpoint::new(spec_hash.clone(), total_shards),
+    };
+    let resumed_shards = checkpoint.shards.len() as u64;
+
+    let pending: Vec<u64> = (0..total_shards)
+        .filter(|index| !checkpoint.shards.contains_key(index))
+        .collect();
+
+    // Completed shards stream into the checkpoint under a mutex; the
+    // simulation work itself runs lock-free.
+    let shared = Mutex::new((checkpoint, None::<RuntimeError>));
+    let cancel = &options.cancel;
+    let executed: Vec<Option<u64>> = pending
+        .into_par_iter()
+        .map(|shard_index| {
+            let summary = run_shard(spec, &protocol, &initial, shard_index, cancel)?;
+            let mut guard = shared.lock().expect("checkpoint lock poisoned");
+            let (checkpoint, first_error) = &mut *guard;
+            checkpoint.record(shard_index, summary);
+            if let Some(path) = &options.checkpoint_path {
+                if first_error.is_none() {
+                    if let Err(e) = checkpoint.save(path) {
+                        // Persistence is broken: stop scheduling more work
+                        // instead of burning hours of compute that could
+                        // not be checkpointed anyway.
+                        *first_error = Some(e);
+                        cancel.cancel();
+                    }
+                }
+            }
+            Some(shard_index)
+        })
+        .collect();
+
+    let (checkpoint, save_error) = shared.into_inner().expect("checkpoint lock poisoned");
+    if let Some(e) = save_error {
+        return Err(e);
+    }
+    let interrupted = executed.iter().any(Option::is_none);
+
+    // Merge in shard order. The merge is associative and commutative, so
+    // the order is cosmetic; the *content* is partition-invariant.
+    let mut summary = ShardSummary::new();
+    for shard_summary in checkpoint.shards.values() {
+        summary.merge(shard_summary);
+    }
+
+    Ok(JobReport {
+        summary,
+        completed_shards: checkpoint.shards.len() as u64,
+        total_shards,
+        resumed_shards,
+        interrupted,
+    })
+}
+
+/// Executes one shard, or returns `None` when cancelled (partial shards
+/// are discarded, never recorded).
+fn run_shard(
+    spec: &JobSpec,
+    protocol: &DynProtocol,
+    initial: &OpinionCounts,
+    shard_index: u64,
+    cancel: &CancelToken,
+) -> Option<ShardSummary> {
+    let (start, end) = spec.shard_range(shard_index);
+    let mut summary = ShardSummary::new();
+    for trial in start..end {
+        if cancel.is_cancelled() {
+            return None;
+        }
+        summary.push(run_trial(spec, protocol, initial, trial));
+    }
+    Some(summary)
+}
+
+/// Executes one trial with the canonical per-trial RNG derivation.
+fn run_trial(
+    spec: &JobSpec,
+    protocol: &DynProtocol,
+    initial: &OpinionCounts,
+    trial: u64,
+) -> TrialResult {
+    let mut rng = rng_for(spec.master_seed, trial);
+    match spec.mode {
+        ExecutionMode::Compacted => {
+            let (rounds, stopped_by_rule) = match spec.stop {
+                StopRule::Consensus => (
+                    od_core::run_to_consensus_compacted(
+                        protocol,
+                        initial,
+                        &mut rng,
+                        spec.max_rounds,
+                    ),
+                    false,
+                ),
+                StopRule::MaxFraction(threshold) => {
+                    let (rounds, hit) =
+                        run_compacted_until(protocol, initial, &mut rng, spec.max_rounds, |c| {
+                            c.max_fraction() >= threshold
+                        });
+                    (rounds, hit)
+                }
+                StopRule::Gamma(threshold) => {
+                    let (rounds, hit) =
+                        run_compacted_until(protocol, initial, &mut rng, spec.max_rounds, |c| {
+                            c.gamma() >= threshold
+                        });
+                    (rounds, hit)
+                }
+            };
+            match rounds {
+                None => TrialResult::Capped,
+                Some(rounds) if stopped_by_rule => TrialResult::Stopped { rounds },
+                Some(rounds) => TrialResult::Consensus {
+                    rounds,
+                    winner: None,
+                },
+            }
+        }
+        ExecutionMode::Full => {
+            let simulation = Simulation::new(protocol).with_max_rounds(spec.max_rounds);
+            let outcome = if let Some(adversary_spec) = &spec.adversary {
+                let mut adversary = adversary_spec
+                    .build()
+                    .expect("adversary kind validated before execution");
+                simulation.run_with_adversary(initial, &mut rng, &mut *adversary)
+            } else {
+                match spec.stop {
+                    StopRule::Consensus => simulation.run(initial, &mut rng),
+                    StopRule::MaxFraction(threshold) => {
+                        simulation
+                            .run_until(initial, &mut rng, &mut |_, c| c.max_fraction() >= threshold)
+                    }
+                    StopRule::Gamma(threshold) => {
+                        simulation.run_until(initial, &mut rng, &mut |_, c| c.gamma() >= threshold)
+                    }
+                }
+            };
+            TrialResult::from_outcome(&outcome)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::InitialSpec;
+
+    fn base_spec() -> JobSpec {
+        JobSpec {
+            max_rounds: 200_000,
+            shard_size: 4,
+            ..JobSpec::new(
+                "executor smoke",
+                "three-majority",
+                InitialSpec::Balanced { n: 500, k: 8 },
+                12,
+                4242,
+            )
+        }
+    }
+
+    #[test]
+    fn runs_all_trials_and_reaches_consensus() {
+        let report = run_job_simple(&base_spec()).unwrap();
+        assert_eq!(report.total_shards, 3);
+        assert_eq!(report.completed_shards, 3);
+        assert!(!report.interrupted);
+        assert_eq!(report.summary.trials, 12);
+        assert_eq!(report.summary.consensus, 12);
+        assert_eq!(report.summary.winners.total(), 12);
+        assert!(report.summary.rounds.mean() > 0.0);
+    }
+
+    #[test]
+    fn shard_size_does_not_change_the_summary() {
+        // Shard sizes 1, 7, and `trials` must produce byte-identical
+        // merged summaries: trial RNGs derive from the global trial index
+        // and the aggregation layer merges exact integer accumulators.
+        let mut summaries = vec![];
+        for shard_size in [1u64, 7, 12] {
+            let spec = JobSpec {
+                shard_size,
+                ..base_spec()
+            };
+            summaries.push(run_job_simple(&spec).unwrap().summary);
+        }
+        let reference_bytes = summaries[0].to_json().to_string_compact();
+        for summary in &summaries[1..] {
+            assert_eq!(*summary, summaries[0]);
+            assert_eq!(summary.to_json().to_string_compact(), reference_bytes);
+        }
+    }
+
+    #[test]
+    fn matches_direct_run_trials_bit_for_bit() {
+        let spec = base_spec();
+        let report = run_job_simple(&spec).unwrap();
+        let protocol = spec.validate().unwrap();
+        let initial = spec.initial.build().unwrap();
+        // The direct path: one simulation per trial, rng_for(seed, trial).
+        let outcomes: Vec<od_core::RunOutcome> = (0..spec.trials)
+            .map(|trial| {
+                let mut rng = rng_for(spec.master_seed, trial);
+                Simulation::new(&protocol)
+                    .with_max_rounds(spec.max_rounds)
+                    .run(&initial, &mut rng)
+            })
+            .collect();
+        let direct = ShardSummary::from_outcomes(outcomes.iter());
+        assert_eq!(report.summary, direct);
+    }
+
+    #[test]
+    fn cancellation_interrupts_cleanly() {
+        let spec = JobSpec {
+            trials: 64,
+            shard_size: 4,
+            ..base_spec()
+        };
+        let options = RunOptions::default();
+        options.cancel.cancel();
+        let report = run_job(&spec, &options).unwrap();
+        assert!(report.interrupted);
+        assert_eq!(report.completed_shards, 0);
+        assert_eq!(report.summary.trials, 0);
+    }
+
+    #[test]
+    fn compacted_mode_counts_consensus_without_winners() {
+        let spec = JobSpec {
+            mode: ExecutionMode::Compacted,
+            ..base_spec()
+        };
+        let report = run_job_simple(&spec).unwrap();
+        assert_eq!(report.summary.consensus, 12);
+        assert!(report.summary.winners.is_empty());
+        assert!(report.summary.rounds.count() == 12);
+    }
+
+    #[test]
+    fn gamma_stop_rule_stops_early() {
+        let consensus = run_job_simple(&base_spec()).unwrap();
+        let spec = JobSpec {
+            stop: StopRule::Gamma(0.5),
+            ..base_spec()
+        };
+        let report = run_job_simple(&spec).unwrap();
+        assert_eq!(report.summary.stopped, 12);
+        assert!(
+            report.summary.rounds.mean() < consensus.summary.rounds.mean(),
+            "gamma-stopped runs must be shorter"
+        );
+    }
+
+    #[test]
+    fn adversary_jobs_run_to_near_consensus() {
+        let spec = JobSpec {
+            adversary: Some(crate::spec::AdversarySpec {
+                kind: "boost-runner-up".to_string(),
+                budget: 3,
+            }),
+            initial: InitialSpec::Counts(vec![350, 150]),
+            trials: 4,
+            ..base_spec()
+        };
+        let report = run_job_simple(&spec).unwrap();
+        // The adversary resurrects the runner-up every round: trials end by
+        // near-consensus (Stopped), not strict consensus.
+        assert_eq!(report.summary.stopped, 4);
+        assert_eq!(report.summary.capped, 0);
+    }
+}

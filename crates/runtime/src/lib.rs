@@ -1,0 +1,61 @@
+//! `od-runtime` — the data-driven simulation job runtime.
+//!
+//! The compile-time sweeps in `od-experiments` answer *one* question each;
+//! this crate turns simulations into **described-and-served jobs**:
+//!
+//! * [`spec`] — a serialisable [`JobSpec`]: protocol by registry name and
+//!   parameters (via [`od_core::registry`]), initial configuration,
+//!   stopping rule, optional adversary, trial count, master seed, round
+//!   cap, shard size. JSON natively, a TOML subset via [`toml_compat`].
+//! * [`executor`] — the sharded executor: trials split into fixed-size
+//!   shards run on rayon, each trial deriving its RNG as
+//!   `rng_for(master_seed, trial)`, so results are **bit-identical** to
+//!   the direct `od_experiments::sweep::run_trials` path regardless of
+//!   shard size or thread schedule. Cooperative cancellation via
+//!   [`CancelToken`].
+//! * [`summary`] — streaming aggregation: shards fold into
+//!   [`ShardSummary`]s built on exactly-mergeable integer accumulators
+//!   ([`od_stats::exact`]), so merged results are byte-identical for any
+//!   shard partition and memory stays `O(shards)`.
+//! * [`checkpoint`] — completed shards persist to a JSON checkpoint keyed
+//!   by the spec's content hash; an interrupted job resumes from the last
+//!   finished shard.
+//! * [`queue`] — run a single job file or drain a directory of them.
+//!
+//! The `od-run` binary wraps all of this as a CLI.
+//!
+//! # Quick start
+//!
+//! ```
+//! use od_runtime::{run_job_simple, InitialSpec, JobSpec};
+//!
+//! let spec = JobSpec::new(
+//!     "smoke",
+//!     "three-majority",
+//!     InitialSpec::Balanced { n: 500, k: 4 },
+//!     8,      // trials
+//!     2025,   // master seed
+//! );
+//! let report = run_job_simple(&spec).unwrap();
+//! assert_eq!(report.summary.trials, 8);
+//! assert!(report.summary.consensus_rate() > 0.99);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+mod error;
+pub mod executor;
+pub mod json;
+pub mod queue;
+pub mod spec;
+pub mod summary;
+pub mod toml_compat;
+
+pub use checkpoint::Checkpoint;
+pub use error::RuntimeError;
+pub use executor::{run_job, run_job_simple, CancelToken, JobReport, RunOptions};
+pub use queue::{default_checkpoint_path, load_job_file, run_queue};
+pub use spec::{AdversarySpec, ExecutionMode, InitialSpec, JobSpec, StopRule};
+pub use summary::{ShardSummary, TrialResult};

@@ -1,0 +1,203 @@
+//! Loading job files and draining directory queues.
+
+use crate::error::RuntimeError;
+use crate::executor::{run_job, JobReport, RunOptions};
+use crate::spec::JobSpec;
+use crate::toml_compat::toml_to_json;
+use std::path::{Path, PathBuf};
+
+/// Loads a job spec from a `.json` or `.toml` file (by extension; files
+/// without a recognised extension are tried as JSON).
+///
+/// # Errors
+///
+/// Returns I/O, parse, or spec errors.
+pub fn load_job_file(path: &Path) -> Result<JobSpec, RuntimeError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| RuntimeError::io(&format!("reading {}", path.display()), e))?;
+    let is_toml = path
+        .extension()
+        .and_then(|e| e.to_str())
+        .is_some_and(|e| e.eq_ignore_ascii_case("toml"));
+    if is_toml {
+        JobSpec::from_json(&toml_to_json(&text)?)
+    } else {
+        JobSpec::from_json_text(&text)
+    }
+}
+
+/// The default checkpoint path for a job file: sibling
+/// `<file name>.checkpoint.json` (the full name, extension included, so
+/// `a.json` and `a.toml` never share a checkpoint).
+#[must_use]
+pub fn default_checkpoint_path(job_path: &Path) -> PathBuf {
+    let name = job_path
+        .file_name()
+        .and_then(|s| s.to_str())
+        .unwrap_or("job");
+    job_path.with_file_name(format!("{name}.checkpoint.json"))
+}
+
+/// One entry of a queue run.
+#[derive(Debug)]
+pub struct QueueEntry {
+    /// The job file.
+    pub path: PathBuf,
+    /// The loaded spec's name (when it loaded).
+    pub job_name: Option<String>,
+    /// The run result.
+    pub result: Result<JobReport, RuntimeError>,
+}
+
+/// Lists the job files (`*.json` / `*.toml`, excluding
+/// `*.checkpoint.json`) in a directory, sorted by file name for a
+/// deterministic queue order.
+///
+/// # Errors
+///
+/// Returns I/O errors from reading the directory.
+pub fn queue_files(dir: &Path) -> Result<Vec<PathBuf>, RuntimeError> {
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| RuntimeError::io(&format!("reading {}", dir.display()), e))?;
+    let mut files: Vec<PathBuf> = entries
+        .filter_map(Result::ok)
+        .map(|entry| entry.path())
+        .filter(|path| {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name.ends_with(".checkpoint.json") {
+                return false;
+            }
+            path.extension()
+                .and_then(|e| e.to_str())
+                .is_some_and(|e| e.eq_ignore_ascii_case("json") || e.eq_ignore_ascii_case("toml"))
+        })
+        .collect();
+    files.sort();
+    Ok(files)
+}
+
+/// Runs every job file in a directory queue, in sorted order, each with
+/// its default sibling checkpoint. A failing job is recorded and the
+/// queue continues; cancellation stops the queue after the current job.
+///
+/// # Errors
+///
+/// Returns I/O errors from listing the directory, and a spec error when
+/// `options.checkpoint_path` is set — one checkpoint file cannot serve
+/// several jobs, so per-job sibling checkpoints are not overridable
+/// (per-job errors are captured in the returned entries).
+pub fn run_queue(dir: &Path, options: &RunOptions) -> Result<Vec<QueueEntry>, RuntimeError> {
+    if options.checkpoint_path.is_some() {
+        return Err(RuntimeError::Spec(
+            "run_queue: checkpoint_path does not apply to a queue; \
+             each job uses its sibling <job file>.checkpoint.json"
+                .to_string(),
+        ));
+    }
+    let mut entries = Vec::new();
+    for path in queue_files(dir)? {
+        if options.cancel.is_cancelled() {
+            break;
+        }
+        let (job_name, result) = match load_job_file(&path) {
+            Ok(spec) => {
+                let job_options = RunOptions {
+                    checkpoint_path: Some(default_checkpoint_path(&path)),
+                    cancel: options.cancel.clone(),
+                };
+                (Some(spec.name.clone()), run_job(&spec, &job_options))
+            }
+            Err(e) => (None, Err(e)),
+        };
+        entries.push(QueueEntry {
+            path,
+            job_name,
+            result,
+        });
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("od_runtime_queue_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn small_job(name: &str, seed: u64) -> String {
+        format!(
+            r#"{{
+  "name": "{name}",
+  "protocol": {{"name": "three-majority"}},
+  "initial": {{"kind": "balanced", "n": 200, "k": 4}},
+  "trials": 6,
+  "master_seed": {seed},
+  "max_rounds": 100000,
+  "shard_size": 2
+}}"#
+        )
+    }
+
+    #[test]
+    fn queue_runs_jobs_in_name_order_with_checkpoints() {
+        let dir = temp_dir("order");
+        std::fs::write(dir.join("b_second.json"), small_job("second", 2)).unwrap();
+        std::fs::write(dir.join("a_first.json"), small_job("first", 1)).unwrap();
+        std::fs::write(dir.join("notes.txt"), "not a job").unwrap();
+        let entries = run_queue(&dir, &RunOptions::default()).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].job_name.as_deref(), Some("first"));
+        assert_eq!(entries[1].job_name.as_deref(), Some("second"));
+        for entry in &entries {
+            let report = entry.result.as_ref().unwrap();
+            assert_eq!(report.summary.trials, 6);
+            assert!(default_checkpoint_path(&entry.path).exists());
+        }
+        // Checkpoints are not picked up as jobs on a second pass.
+        assert_eq!(queue_files(&dir).unwrap().len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn toml_jobs_load_like_json() {
+        let dir = temp_dir("toml");
+        let toml = r#"
+name = "toml job"
+trials = 4
+master_seed = 3
+max_rounds = 100000
+shard_size = 2
+
+[protocol]
+name = "voter"
+
+[initial]
+kind = "counts"
+counts = [150, 50]
+"#;
+        std::fs::write(dir.join("job.toml"), toml).unwrap();
+        let spec = load_job_file(&dir.join("job.toml")).unwrap();
+        assert_eq!(spec.name, "toml job");
+        assert_eq!(spec.protocol, "voter");
+        assert!(spec.validate().is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bad_job_files_are_recorded_not_fatal() {
+        let dir = temp_dir("bad");
+        std::fs::write(dir.join("broken.json"), "{ nope").unwrap();
+        std::fs::write(dir.join("good.json"), small_job("good", 5)).unwrap();
+        let entries = run_queue(&dir, &RunOptions::default()).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert!(entries[0].result.is_err());
+        assert!(entries[1].result.is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,724 @@
+//! Job specifications: simulations as data.
+//!
+//! A [`JobSpec`] fully describes a Monte-Carlo simulation job — protocol
+//! (by registry name and parameters), initial configuration, stopping
+//! rule, optional adversary, trial count, master seed, round cap, and the
+//! shard size of the executor. Specs serialise to and from JSON (see
+//! [`crate::json`]) and hash to a stable content id that keys
+//! checkpoints.
+//!
+//! Trial `t` of a job always derives its RNG as
+//! `od_sampling::rng_for(master_seed, t)`, so results are bit-identical
+//! to the hand-written sweeps in `od-experiments` regardless of shard
+//! size or thread schedule.
+
+use crate::error::RuntimeError;
+use crate::json::{self, Json};
+use od_core::registry::{build_protocol, DynProtocol, ParamValue, ProtocolParams};
+use od_core::OpinionCounts;
+
+/// How the initial opinion configuration is constructed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InitialSpec {
+    /// `n` vertices spread (near-)evenly over `k` opinions.
+    Balanced {
+        /// Number of vertices.
+        n: u64,
+        /// Number of opinions.
+        k: usize,
+    },
+    /// Opinion 0 leads every other opinion by `margin` vertices.
+    LeaderMargin {
+        /// Number of vertices.
+        n: u64,
+        /// Number of opinions.
+        k: usize,
+        /// The leader's margin.
+        margin: u64,
+    },
+    /// Explicit per-opinion counts.
+    Counts(
+        /// The counts vector.
+        Vec<u64>,
+    ),
+}
+
+impl InitialSpec {
+    /// Builds the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors as [`RuntimeError::Core`].
+    pub fn build(&self) -> Result<OpinionCounts, RuntimeError> {
+        let counts = match self {
+            Self::Balanced { n, k } => OpinionCounts::balanced(*n, *k),
+            Self::LeaderMargin { n, k, margin } => {
+                OpinionCounts::with_leader_margin(*n, *k, *margin)
+            }
+            Self::Counts(counts) => OpinionCounts::from_counts(counts.clone()),
+        };
+        counts.map_err(|e| RuntimeError::Core(od_core::Error::Config(e)))
+    }
+
+    fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        match self {
+            Self::Balanced { n, k } => {
+                obj.insert("kind", Json::Str("balanced".into()));
+                obj.insert("n", json_u64(*n));
+                obj.insert("k", Json::Int(*k as i64));
+            }
+            Self::LeaderMargin { n, k, margin } => {
+                obj.insert("kind", Json::Str("leader-margin".into()));
+                obj.insert("n", json_u64(*n));
+                obj.insert("k", Json::Int(*k as i64));
+                obj.insert("margin", json_u64(*margin));
+            }
+            Self::Counts(counts) => {
+                obj.insert("kind", Json::Str("counts".into()));
+                obj.insert(
+                    "counts",
+                    Json::Arr(counts.iter().map(|&c| json_u64(c)).collect()),
+                );
+            }
+        }
+        obj
+    }
+
+    fn from_json(value: &Json) -> Result<Self, RuntimeError> {
+        let kind = require_str(value, "kind", "initial")?;
+        match kind {
+            "balanced" => reject_unknown_keys(value, "initial", &["kind", "n", "k"]),
+            "leader-margin" => reject_unknown_keys(value, "initial", &["kind", "n", "k", "margin"]),
+            "counts" => reject_unknown_keys(value, "initial", &["kind", "counts"]),
+            _ => Ok(()),
+        }?;
+        match kind {
+            "balanced" => Ok(Self::Balanced {
+                n: require_u64(value, "n", "initial")?,
+                k: require_u64(value, "k", "initial")? as usize,
+            }),
+            "leader-margin" => Ok(Self::LeaderMargin {
+                n: require_u64(value, "n", "initial")?,
+                k: require_u64(value, "k", "initial")? as usize,
+                margin: require_u64(value, "margin", "initial")?,
+            }),
+            "counts" => {
+                let items = value
+                    .get("counts")
+                    .and_then(Json::as_array)
+                    .ok_or_else(|| spec_err("initial.counts must be an array of integers"))?;
+                let counts = items
+                    .iter()
+                    .map(|item| {
+                        u64_of(item).ok_or_else(|| {
+                            spec_err("initial.counts entries must be non-negative integers")
+                        })
+                    })
+                    .collect::<Result<Vec<u64>, _>>()?;
+                Ok(Self::Counts(counts))
+            }
+            other => Err(spec_err(&format!("unknown initial kind '{other}'"))),
+        }
+    }
+}
+
+/// When a trial stops (besides the round cap).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StopRule {
+    /// Run until full consensus (the default).
+    Consensus,
+    /// Stop once the plurality fraction reaches `threshold`.
+    MaxFraction(
+        /// The fraction threshold in `(0, 1]`.
+        f64,
+    ),
+    /// Stop once `γ = Σ α_i²` reaches `threshold`.
+    Gamma(
+        /// The γ threshold in `(0, 1]`.
+        f64,
+    ),
+}
+
+impl StopRule {
+    fn to_json(self) -> Json {
+        let mut obj = Json::object();
+        match self {
+            Self::Consensus => obj.insert("kind", Json::Str("consensus".into())),
+            Self::MaxFraction(t) => {
+                obj.insert("kind", Json::Str("max-fraction".into()));
+                obj.insert("threshold", Json::Float(t));
+            }
+            Self::Gamma(t) => {
+                obj.insert("kind", Json::Str("gamma".into()));
+                obj.insert("threshold", Json::Float(t));
+            }
+        }
+        obj
+    }
+
+    fn from_json(value: &Json) -> Result<Self, RuntimeError> {
+        reject_unknown_keys(value, "stop", &["kind", "threshold"])?;
+        let kind = require_str(value, "kind", "stop")?;
+        let threshold = || {
+            value
+                .get("threshold")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| spec_err("stop.threshold must be a number"))
+        };
+        match kind {
+            "consensus" => Ok(Self::Consensus),
+            "max-fraction" => Ok(Self::MaxFraction(threshold()?)),
+            "gamma" => Ok(Self::Gamma(threshold()?)),
+            other => Err(spec_err(&format!("unknown stop kind '{other}'"))),
+        }
+    }
+
+    fn validate(&self) -> Result<(), RuntimeError> {
+        let threshold = match self {
+            Self::Consensus => return Ok(()),
+            Self::MaxFraction(t) | Self::Gamma(t) => *t,
+        };
+        if threshold > 0.0 && threshold <= 1.0 {
+            Ok(())
+        } else {
+            Err(spec_err("stop.threshold must be in (0, 1]"))
+        }
+    }
+}
+
+/// The executor's per-trial engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionMode {
+    /// Track full outcomes: winner, final support, stop reason.
+    Full,
+    /// Support-compacted runs: faster for symmetric starts, records
+    /// rounds only (opinion identity is lost by compaction).
+    Compacted,
+}
+
+/// The adversary corrupting the configuration each round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdversarySpec {
+    /// Adversary strategy: `boost-runner-up`, `support-weakest`, or
+    /// `random-noise`.
+    pub kind: String,
+    /// Per-round corruption budget `F`.
+    pub budget: u64,
+}
+
+impl AdversarySpec {
+    /// Instantiates the adversary.
+    ///
+    /// # Errors
+    ///
+    /// Returns a spec error for unknown kinds.
+    pub fn build(&self) -> Result<Box<dyn od_core::adversary::Adversary + Send>, RuntimeError> {
+        use od_core::adversary::{BoostRunnerUp, RandomNoise, SupportWeakest};
+        match self.kind.as_str() {
+            "boost-runner-up" => Ok(Box::new(BoostRunnerUp::new(self.budget))),
+            "support-weakest" => Ok(Box::new(SupportWeakest::new(self.budget))),
+            "random-noise" => Ok(Box::new(RandomNoise::new(self.budget))),
+            other => Err(spec_err(&format!(
+                "unknown adversary kind '{other}' (known: boost-runner-up, support-weakest, random-noise)"
+            ))),
+        }
+    }
+}
+
+/// Default shard size when a spec does not set one.
+pub const DEFAULT_SHARD_SIZE: u64 = 64;
+
+/// A complete, serialisable description of a simulation job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Human-readable job name.
+    pub name: String,
+    /// Protocol registry name.
+    pub protocol: String,
+    /// Protocol parameters.
+    pub params: ProtocolParams,
+    /// Initial configuration.
+    pub initial: InitialSpec,
+    /// Number of independent trials.
+    pub trials: u64,
+    /// Master seed; trial `t` uses `rng_for(master_seed, t)`.
+    pub master_seed: u64,
+    /// Per-trial round cap.
+    pub max_rounds: u64,
+    /// Trials per shard (the checkpointing granularity).
+    pub shard_size: u64,
+    /// Engine selection.
+    pub mode: ExecutionMode,
+    /// Stopping rule.
+    pub stop: StopRule,
+    /// Optional adversary.
+    pub adversary: Option<AdversarySpec>,
+}
+
+impl JobSpec {
+    /// A minimal full-mode consensus job; customise via struct update.
+    #[must_use]
+    pub fn new(
+        name: &str,
+        protocol: &str,
+        initial: InitialSpec,
+        trials: u64,
+        master_seed: u64,
+    ) -> Self {
+        Self {
+            name: name.to_string(),
+            protocol: protocol.to_string(),
+            params: ProtocolParams::new(),
+            initial,
+            trials,
+            master_seed,
+            max_rounds: 1_000_000,
+            shard_size: DEFAULT_SHARD_SIZE,
+            mode: ExecutionMode::Full,
+            stop: StopRule::Consensus,
+            adversary: None,
+        }
+    }
+
+    /// Validates the spec and constructs the protocol it names.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed error for invalid field combinations, unknown
+    /// protocol names, or invalid parameters. Never panics on bad data.
+    pub fn validate(&self) -> Result<DynProtocol, RuntimeError> {
+        if self.trials == 0 {
+            return Err(spec_err("trials must be at least 1"));
+        }
+        if self.max_rounds == 0 {
+            return Err(spec_err("max_rounds must be at least 1"));
+        }
+        if self.shard_size == 0 {
+            return Err(spec_err("shard_size must be at least 1"));
+        }
+        self.stop.validate()?;
+        let initial = self.initial.build()?;
+        if let Some(adv) = &self.adversary {
+            if self.mode == ExecutionMode::Compacted {
+                return Err(spec_err("adversary jobs require \"mode\": \"full\""));
+            }
+            if self.stop != StopRule::Consensus {
+                return Err(spec_err(
+                    "adversary jobs use the built-in near-consensus stop; remove the stop rule",
+                ));
+            }
+            if adv.budget.checked_mul(2).is_none_or(|d| d >= initial.n()) {
+                return Err(spec_err(&format!(
+                    "adversary budget {} requires 2F < n = {}",
+                    adv.budget,
+                    initial.n()
+                )));
+            }
+            adv.build()?;
+        }
+        build_protocol(&self.protocol, &self.params).map_err(RuntimeError::Core)
+    }
+
+    /// Serialises to a JSON value.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut protocol = Json::object();
+        protocol.insert("name", Json::Str(self.protocol.clone()));
+        let mut params = Json::object();
+        for (key, value) in self.params.iter() {
+            let json_value = match value {
+                ParamValue::Int(v) => Json::Int(v as i64),
+                ParamValue::Float(v) => Json::Float(v),
+            };
+            params.insert(key, json_value);
+        }
+        protocol.insert("params", params);
+
+        let mut obj = Json::object();
+        obj.insert("name", Json::Str(self.name.clone()));
+        obj.insert("protocol", protocol);
+        obj.insert("initial", self.initial.to_json());
+        obj.insert("trials", json_u64(self.trials));
+        obj.insert("master_seed", json_u64(self.master_seed));
+        obj.insert("max_rounds", json_u64(self.max_rounds));
+        obj.insert("shard_size", json_u64(self.shard_size));
+        obj.insert(
+            "mode",
+            Json::Str(
+                match self.mode {
+                    ExecutionMode::Full => "full",
+                    ExecutionMode::Compacted => "compacted",
+                }
+                .into(),
+            ),
+        );
+        obj.insert("stop", self.stop.to_json());
+        if let Some(adv) = &self.adversary {
+            let mut adv_obj = Json::object();
+            adv_obj.insert("kind", Json::Str(adv.kind.clone()));
+            adv_obj.insert("budget", json_u64(adv.budget));
+            obj.insert("adversary", adv_obj);
+        }
+        obj
+    }
+
+    /// Deserialises from a JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed error for missing or ill-typed fields.
+    pub fn from_json(value: &Json) -> Result<Self, RuntimeError> {
+        reject_unknown_keys(
+            value,
+            "job",
+            &[
+                "name",
+                "protocol",
+                "initial",
+                "trials",
+                "master_seed",
+                "max_rounds",
+                "shard_size",
+                "mode",
+                "stop",
+                "adversary",
+            ],
+        )?;
+        let protocol_obj = value
+            .get("protocol")
+            .ok_or_else(|| spec_err("missing 'protocol' object"))?;
+        reject_unknown_keys(protocol_obj, "protocol", &["name", "params"])?;
+        let protocol = require_str(protocol_obj, "name", "protocol")?.to_string();
+        let mut params = ProtocolParams::new();
+        if let Some(params_json) = protocol_obj.get("params") {
+            let map = params_json
+                .as_object()
+                .ok_or_else(|| spec_err("protocol.params must be an object"))?;
+            for (key, param) in map {
+                let parsed = match param {
+                    Json::Int(v) if *v >= 0 => ParamValue::Int(*v as u64),
+                    Json::Float(v) => ParamValue::Float(*v),
+                    _ => {
+                        return Err(spec_err(&format!(
+                            "protocol.params.{key} must be a non-negative integer or a float"
+                        )))
+                    }
+                };
+                params.set(key, parsed);
+            }
+        }
+
+        let initial = InitialSpec::from_json(
+            value
+                .get("initial")
+                .ok_or_else(|| spec_err("missing 'initial' object"))?,
+        )?;
+        let stop = match value.get("stop") {
+            Some(stop_json) => StopRule::from_json(stop_json)?,
+            None => StopRule::Consensus,
+        };
+        let mode = match value.get("mode").and_then(Json::as_str) {
+            None | Some("full") => ExecutionMode::Full,
+            Some("compacted") => ExecutionMode::Compacted,
+            Some(other) => return Err(spec_err(&format!("unknown mode '{other}'"))),
+        };
+        let adversary = match value.get("adversary") {
+            None | Some(Json::Null) => None,
+            Some(adv_json) => {
+                reject_unknown_keys(adv_json, "adversary", &["kind", "budget"])?;
+                Some(AdversarySpec {
+                    kind: require_str(adv_json, "kind", "adversary")?.to_string(),
+                    budget: require_u64(adv_json, "budget", "adversary")?,
+                })
+            }
+        };
+
+        Ok(Self {
+            name: value
+                .get("name")
+                .and_then(Json::as_str)
+                .unwrap_or("unnamed job")
+                .to_string(),
+            protocol,
+            params,
+            initial,
+            trials: require_u64(value, "trials", "job")?,
+            master_seed: require_u64(value, "master_seed", "job")?,
+            max_rounds: value
+                .get("max_rounds")
+                .map(|v| {
+                    u64_of(v).ok_or_else(|| spec_err("max_rounds must be a non-negative integer"))
+                })
+                .transpose()?
+                .unwrap_or(1_000_000),
+            shard_size: value
+                .get("shard_size")
+                .map(|v| {
+                    u64_of(v).ok_or_else(|| spec_err("shard_size must be a non-negative integer"))
+                })
+                .transpose()?
+                .unwrap_or(DEFAULT_SHARD_SIZE),
+            mode,
+            stop,
+            adversary,
+        })
+    }
+
+    /// Parses a spec from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns parse or spec errors.
+    pub fn from_json_text(text: &str) -> Result<Self, RuntimeError> {
+        let value = json::parse(text).map_err(|e| RuntimeError::Parse(e.to_string()))?;
+        Self::from_json(&value)
+    }
+
+    /// Stable content hash of the spec (FNV-1a 64 over canonical JSON),
+    /// as a fixed-width hex string. Keys checkpoint files: a checkpoint
+    /// resumes only the exact spec that wrote it.
+    #[must_use]
+    pub fn content_hash(&self) -> String {
+        let canonical = self.to_json().to_string_compact();
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in canonical.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        format!("{h:016x}")
+    }
+
+    /// Number of shards the job splits into.
+    #[must_use]
+    pub fn shard_count(&self) -> u64 {
+        self.trials.div_ceil(self.shard_size)
+    }
+
+    /// The trial index range `[start, end)` of shard `shard_index`.
+    #[must_use]
+    pub fn shard_range(&self, shard_index: u64) -> (u64, u64) {
+        let start = shard_index * self.shard_size;
+        let end = (start + self.shard_size).min(self.trials);
+        (start, end)
+    }
+}
+
+fn spec_err(message: &str) -> RuntimeError {
+    RuntimeError::Spec(message.to_string())
+}
+
+/// Typed error when `value` (an object) carries keys outside `allowed` —
+/// a misspelled field must fail loudly, not silently change what is
+/// simulated.
+fn reject_unknown_keys(value: &Json, context: &str, allowed: &[&str]) -> Result<(), RuntimeError> {
+    if let Some(map) = value.as_object() {
+        for key in map.keys() {
+            if !allowed.contains(&key.as_str()) {
+                return Err(spec_err(&format!(
+                    "unknown field '{context}.{key}' (allowed: {})",
+                    allowed.join(", ")
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Encodes a `u64` as a JSON integer when it fits `i64`, else as a
+/// decimal string ([`u64_of`] accepts both, so round-trips are lossless
+/// even for high-bit seeds).
+fn json_u64(v: u64) -> Json {
+    match i64::try_from(v) {
+        Ok(i) => Json::Int(i),
+        Err(_) => Json::Str(v.to_string()),
+    }
+}
+
+/// Decodes a `u64` from a non-negative JSON integer or a decimal string.
+fn u64_of(value: &Json) -> Option<u64> {
+    match value {
+        Json::Str(s) => s.parse().ok(),
+        other => other.as_u64(),
+    }
+}
+
+fn require_str<'j>(value: &'j Json, key: &str, context: &str) -> Result<&'j str, RuntimeError> {
+    value
+        .get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| spec_err(&format!("{context}.{key} must be a string")))
+}
+
+fn require_u64(value: &Json, key: &str, context: &str) -> Result<u64, RuntimeError> {
+    value
+        .get(key)
+        .and_then(u64_of)
+        .ok_or_else(|| spec_err(&format!("{context}.{key} must be a non-negative integer")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_spec() -> JobSpec {
+        JobSpec {
+            params: ProtocolParams::new().with_int("h", 5),
+            protocol: "h-majority".to_string(),
+            shard_size: 7,
+            max_rounds: 50_000,
+            ..JobSpec::new(
+                "hmaj smoke",
+                "h-majority",
+                InitialSpec::Balanced { n: 1000, k: 8 },
+                20,
+                99,
+            )
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_spec() {
+        let spec = sample_spec();
+        let text = spec.to_json().to_string_pretty();
+        let back = JobSpec::from_json_text(&text).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.content_hash(), spec.content_hash());
+    }
+
+    #[test]
+    fn defaults_are_applied() {
+        let text = r#"{
+            "protocol": {"name": "three-majority"},
+            "initial": {"kind": "balanced", "n": 100, "k": 4},
+            "trials": 5,
+            "master_seed": 1
+        }"#;
+        let spec = JobSpec::from_json_text(text).unwrap();
+        assert_eq!(spec.name, "unnamed job");
+        assert_eq!(spec.shard_size, DEFAULT_SHARD_SIZE);
+        assert_eq!(spec.mode, ExecutionMode::Full);
+        assert_eq!(spec.stop, StopRule::Consensus);
+        assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn high_bit_u64_fields_roundtrip() {
+        // Values above i64::MAX serialise as decimal strings and reparse.
+        let spec = JobSpec {
+            master_seed: u64::MAX - 1,
+            trials: 3,
+            ..sample_spec()
+        };
+        let text = spec.to_json().to_string_compact();
+        let back = JobSpec::from_json_text(&text).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn oversized_adversary_budget_is_rejected_not_overflowed() {
+        let mut spec = sample_spec();
+        spec.adversary = Some(AdversarySpec {
+            kind: "boost-runner-up".to_string(),
+            budget: u64::MAX,
+        });
+        // checked_mul keeps this a typed error instead of a debug-build
+        // multiply overflow.
+        assert!(matches!(spec.validate(), Err(RuntimeError::Spec(_))));
+    }
+
+    #[test]
+    fn content_hash_tracks_every_field() {
+        let spec = sample_spec();
+        let mut changed = spec.clone();
+        changed.master_seed += 1;
+        assert_ne!(spec.content_hash(), changed.content_hash());
+        let mut changed = spec.clone();
+        changed.shard_size = 8;
+        assert_ne!(spec.content_hash(), changed.content_hash());
+        let mut changed = spec.clone();
+        changed.params = ProtocolParams::new().with_int("h", 7);
+        assert_ne!(spec.content_hash(), changed.content_hash());
+    }
+
+    #[test]
+    fn shard_planning_covers_all_trials() {
+        let spec = sample_spec();
+        assert_eq!(spec.shard_count(), 3);
+        assert_eq!(spec.shard_range(0), (0, 7));
+        assert_eq!(spec.shard_range(1), (7, 14));
+        assert_eq!(spec.shard_range(2), (14, 20));
+    }
+
+    #[test]
+    fn validation_rejects_bad_specs() {
+        let mut spec = sample_spec();
+        spec.trials = 0;
+        assert!(matches!(spec.validate(), Err(RuntimeError::Spec(_))));
+
+        let mut spec = sample_spec();
+        spec.protocol = "gossip".to_string();
+        assert!(matches!(spec.validate(), Err(RuntimeError::Core(_))));
+
+        let mut spec = sample_spec();
+        spec.adversary = Some(AdversarySpec {
+            kind: "boost-runner-up".to_string(),
+            budget: 600,
+        });
+        // 2 * 600 >= n = 1000.
+        assert!(matches!(spec.validate(), Err(RuntimeError::Spec(_))));
+
+        let mut spec = sample_spec();
+        spec.mode = ExecutionMode::Compacted;
+        spec.adversary = Some(AdversarySpec {
+            kind: "boost-runner-up".to_string(),
+            budget: 3,
+        });
+        assert!(matches!(spec.validate(), Err(RuntimeError::Spec(_))));
+    }
+
+    #[test]
+    fn misspelled_fields_are_rejected() {
+        // A typo'd field must not silently change what is simulated.
+        let text = r#"{
+            "protocol": {"name": "three-majority"},
+            "initial": {"kind": "balanced", "n": 100, "k": 4},
+            "trials": 5,
+            "master_seed": 1,
+            "adverserys": {"kind": "boost-runner-up", "budget": 3}
+        }"#;
+        let err = match JobSpec::from_json_text(text) {
+            Err(e) => e,
+            Ok(_) => panic!("typo'd adversary key must fail"),
+        };
+        assert!(err.to_string().contains("adverserys"), "{err}");
+        let text = r#"{
+            "protocol": {"name": "three-majority"},
+            "initial": {"kind": "balanced", "n": 100, "k": 4, "margin": 5},
+            "trials": 5,
+            "master_seed": 1
+        }"#;
+        assert!(matches!(
+            JobSpec::from_json_text(text),
+            Err(RuntimeError::Spec(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_fields_error_cleanly() {
+        assert!(matches!(
+            JobSpec::from_json_text("{ nope }"),
+            Err(RuntimeError::Parse(_))
+        ));
+        let text = r#"{
+            "protocol": {"name": "three-majority"},
+            "initial": {"kind": "mystery"},
+            "trials": 5,
+            "master_seed": 1
+        }"#;
+        assert!(matches!(
+            JobSpec::from_json_text(text),
+            Err(RuntimeError::Spec(_))
+        ));
+    }
+}

@@ -1,0 +1,123 @@
+//! Integration tests for the checkpoint/resume cycle of the sharded
+//! executor: interrupted jobs resume from completed shards, finish with
+//! the same bytes as an uninterrupted run, and refuse foreign checkpoints.
+
+use od_runtime::{
+    run_job, run_job_simple, CancelToken, Checkpoint, InitialSpec, JobSpec, RunOptions,
+    RuntimeError,
+};
+use std::path::PathBuf;
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("od_runtime_it_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn spec() -> JobSpec {
+    JobSpec {
+        max_rounds: 200_000,
+        shard_size: 5,
+        ..JobSpec::new(
+            "resume test",
+            "two-choices",
+            InitialSpec::Balanced { n: 400, k: 8 },
+            30,
+            777,
+        )
+    }
+}
+
+#[test]
+fn interrupted_job_resumes_without_rerunning_shards() {
+    let dir = temp_dir("resume");
+    let path = dir.join("job.checkpoint.json");
+    let spec = spec();
+
+    // Phase 1: run with a pre-cancelled-after-some-work token. To make the
+    // interruption deterministic, cancel after the first shard completes by
+    // running a 1-shard "budget": simulate by running the full job once,
+    // then rebuilding a checkpoint containing only shards 0 and 2.
+    let full = run_job_simple(&spec).unwrap();
+    assert_eq!(full.total_shards, 6);
+
+    let options = RunOptions {
+        checkpoint_path: Some(path.clone()),
+        cancel: CancelToken::new(),
+    };
+    let complete = run_job(&spec, &options).unwrap();
+    assert!(!complete.interrupted);
+    let saved = Checkpoint::load(&path).unwrap().unwrap();
+    assert!(saved.is_complete());
+
+    // Keep only shards 0 and 2 — the state a killed run leaves behind.
+    let mut partial = Checkpoint::new(saved.spec_hash.clone(), saved.total_shards);
+    partial.record(0, saved.shards[&0].clone());
+    partial.record(2, saved.shards[&2].clone());
+    partial.save(&path).unwrap();
+
+    // Phase 2: resume. Four shards execute, two come from the checkpoint,
+    // and the merged summary is byte-identical to the uninterrupted run.
+    let resumed = run_job(&spec, &options).unwrap();
+    assert!(!resumed.interrupted);
+    assert_eq!(resumed.resumed_shards, 2);
+    assert_eq!(resumed.completed_shards, 6);
+    assert_eq!(resumed.summary, full.summary);
+    assert_eq!(
+        resumed.summary.to_json().to_string_compact(),
+        full.summary.to_json().to_string_compact()
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cancelled_run_checkpoints_completed_shards_only() {
+    let dir = temp_dir("cancel");
+    let path = dir.join("job.checkpoint.json");
+    let spec = spec();
+
+    // Cancel before anything runs: zero shards recorded, then a clean
+    // resume finishes the job.
+    let cancelled = CancelToken::new();
+    cancelled.cancel();
+    let options = RunOptions {
+        checkpoint_path: Some(path.clone()),
+        cancel: cancelled,
+    };
+    let report = run_job(&spec, &options).unwrap();
+    assert!(report.interrupted);
+    assert_eq!(report.completed_shards, 0);
+
+    let options = RunOptions {
+        checkpoint_path: Some(path.clone()),
+        cancel: CancelToken::new(),
+    };
+    let finished = run_job(&spec, &options).unwrap();
+    assert!(!finished.interrupted);
+    assert_eq!(finished.summary, run_job_simple(&spec).unwrap().summary);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn foreign_checkpoints_are_refused() {
+    let dir = temp_dir("foreign");
+    let path = dir.join("job.checkpoint.json");
+    let spec_a = spec();
+    let spec_b = JobSpec {
+        master_seed: spec_a.master_seed + 1,
+        ..spec_a.clone()
+    };
+
+    let options = RunOptions {
+        checkpoint_path: Some(path.clone()),
+        cancel: CancelToken::new(),
+    };
+    run_job(&spec_a, &options).unwrap();
+    let err = run_job(&spec_b, &options).expect_err("must refuse");
+    assert!(matches!(err, RuntimeError::CheckpointMismatch { .. }));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,126 @@
+//! Every protocol in the `od-core` registry must round-trip through the
+//! job-spec serialisation layer — serialize → parse → construct →
+//! simulate — and bad names/params must surface as typed errors, never
+//! panics.
+
+use od_core::registry::registered_protocols;
+use od_core::ProtocolParams;
+use od_runtime::{run_job_simple, InitialSpec, JobSpec, RuntimeError, StopRule};
+
+/// A runnable spec for each registered protocol name.
+fn spec_for(name: &str) -> JobSpec {
+    let mut spec = JobSpec {
+        max_rounds: 300_000,
+        shard_size: 3,
+        ..JobSpec::new(
+            &format!("roundtrip {name}"),
+            name,
+            InitialSpec::Balanced { n: 200, k: 4 },
+            6,
+            515,
+        )
+    };
+    match name {
+        "h-majority" => spec.params = ProtocolParams::new().with_int("h", 5),
+        "undecided" => {
+            // k real opinions plus the blank slot as the last index.
+            spec.params = ProtocolParams::new().with_int("k", 3);
+            spec.initial = InitialSpec::Counts(vec![60, 60, 60, 20]);
+        }
+        "noisy-three-majority" => {
+            spec.params = ProtocolParams::new()
+                .with_float("epsilon", 0.02)
+                .with_int("k", 4);
+            // Noise keeps resurrecting opinions, so strict consensus is
+            // not an absorbing stop; use a plurality threshold instead.
+            spec.stop = StopRule::MaxFraction(0.9);
+        }
+        _ => {}
+    }
+    spec
+}
+
+#[test]
+fn every_registered_protocol_roundtrips_serialize_construct_simulate() {
+    for name in registered_protocols() {
+        let spec = spec_for(name);
+        // serialize → parse…
+        let text = spec.to_json().to_string_pretty();
+        let parsed = JobSpec::from_json_text(&text)
+            .unwrap_or_else(|e| panic!("{name}: reparse failed: {e}"));
+        assert_eq!(parsed, spec, "{name}: serialisation round-trip");
+        // …→ construct…
+        let protocol = parsed
+            .validate()
+            .unwrap_or_else(|e| panic!("{name}: construction failed: {e}"));
+        assert!(!protocol.name().is_empty());
+        // …→ simulate.
+        let report =
+            run_job_simple(&parsed).unwrap_or_else(|e| panic!("{name}: execution failed: {e}"));
+        assert_eq!(report.summary.trials, 6, "{name}: all trials accounted");
+        assert_eq!(
+            report.summary.consensus + report.summary.stopped + report.summary.capped,
+            6,
+            "{name}: outcome counters consistent"
+        );
+    }
+}
+
+#[test]
+fn unknown_protocol_name_is_a_typed_error() {
+    let spec = JobSpec::new(
+        "bad",
+        "quantum-gossip",
+        InitialSpec::Balanced { n: 100, k: 4 },
+        2,
+        1,
+    );
+    let err = spec.validate().err().expect("unknown names must fail");
+    match err {
+        RuntimeError::Core(od_core::Error::UnknownProtocol { name }) => {
+            assert_eq!(name, "quantum-gossip");
+        }
+        other => panic!("expected UnknownProtocol, got {other:?}"),
+    }
+}
+
+#[test]
+fn invalid_params_are_typed_errors() {
+    // Missing required parameter.
+    let spec = spec_with_params("h-majority", ProtocolParams::new());
+    assert!(matches!(
+        spec.validate(),
+        Err(RuntimeError::Core(od_core::Error::InvalidParams { .. }))
+    ));
+    // Out-of-range parameter.
+    let spec = spec_with_params("h-majority", ProtocolParams::new().with_int("h", 0));
+    assert!(matches!(
+        spec.validate(),
+        Err(RuntimeError::Core(od_core::Error::InvalidParams { .. }))
+    ));
+    // Unknown extra parameter.
+    let spec = spec_with_params("voter", ProtocolParams::new().with_int("h", 3));
+    assert!(matches!(
+        spec.validate(),
+        Err(RuntimeError::Core(od_core::Error::InvalidParams { .. }))
+    ));
+    // The same spec arriving as JSON text stays a typed error end to end.
+    let text = r#"{
+        "protocol": {"name": "h-majority", "params": {"h": 0}},
+        "initial": {"kind": "balanced", "n": 100, "k": 4},
+        "trials": 2,
+        "master_seed": 9
+    }"#;
+    let parsed = JobSpec::from_json_text(text).unwrap();
+    assert!(matches!(
+        parsed.validate(),
+        Err(RuntimeError::Core(od_core::Error::InvalidParams { .. }))
+    ));
+}
+
+fn spec_with_params(name: &str, params: ProtocolParams) -> JobSpec {
+    JobSpec {
+        params,
+        ..JobSpec::new("p", name, InitialSpec::Balanced { n: 100, k: 4 }, 2, 1)
+    }
+}

@@ -138,8 +138,7 @@ fn btrd<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
         let v_scaled = v * alpha / (a / (us * us) + b);
         // Full log-space acceptance test (Hörmann step 3.3, skipping the
         // squeeze steps; correctness is unaffected, only speed).
-        let accept_bound =
-            h - ln_factorial(k) - ln_factorial(n - k) + (kf - m) * lpq;
+        let accept_bound = h - ln_factorial(k) - ln_factorial(n - k) + (kf - m) * lpq;
         if v_scaled.ln() <= accept_bound {
             return k;
         }
@@ -176,7 +175,8 @@ mod tests {
         // Variance of the sample variance ~ 2σ⁴/draws for near-normal data;
         // allow a wide band.
         assert!(
-            (var - true_var).abs() < 0.1 * true_var + 6.0 * true_var * (2.0 / draws as f64).sqrt() + 1e-9,
+            (var - true_var).abs()
+                < 0.1 * true_var + 6.0 * true_var * (2.0 / draws as f64).sqrt() + 1e-9,
             "Bin({n},{p}): var {var} vs {true_var}"
         );
     }
@@ -256,11 +256,15 @@ mod tests {
     fn deterministic_given_seed() {
         let a: Vec<u64> = {
             let mut rng = rng_for(99, 1);
-            (0..32).map(|_| sample_binomial(&mut rng, 1000, 0.3)).collect()
+            (0..32)
+                .map(|_| sample_binomial(&mut rng, 1000, 0.3))
+                .collect()
         };
         let b: Vec<u64> = {
             let mut rng = rng_for(99, 1);
-            (0..32).map(|_| sample_binomial(&mut rng, 1000, 0.3)).collect()
+            (0..32)
+                .map(|_| sample_binomial(&mut rng, 1000, 0.3))
+                .collect()
         };
         assert_eq!(a, b);
     }

@@ -87,7 +87,10 @@ impl FenwickSampler {
     ///
     /// Panics if `i` is out of bounds.
     pub fn add(&mut self, i: usize, delta: u64) {
-        assert!(i < self.weights.len(), "FenwickSampler::add: index {i} out of bounds");
+        assert!(
+            i < self.weights.len(),
+            "FenwickSampler::add: index {i} out of bounds"
+        );
         self.weights[i] += delta;
         self.total += delta;
         let mut j = i + 1;
@@ -103,7 +106,10 @@ impl FenwickSampler {
     ///
     /// Panics if `i` is out of bounds or the weight would go negative.
     pub fn sub(&mut self, i: usize, delta: u64) {
-        assert!(i < self.weights.len(), "FenwickSampler::sub: index {i} out of bounds");
+        assert!(
+            i < self.weights.len(),
+            "FenwickSampler::sub: index {i} out of bounds"
+        );
         assert!(
             self.weights[i] >= delta,
             "FenwickSampler::sub: weight {} at {i} smaller than delta {delta}",

@@ -43,7 +43,10 @@ mod tests {
         let mut rng = rng_for(50, 0);
         let p = 0.2;
         let n = 100_000;
-        let mean: f64 = (0..n).map(|_| sample_geometric(&mut rng, p) as f64).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| sample_geometric(&mut rng, p) as f64)
+            .sum::<f64>()
+            / n as f64;
         let want = (1.0 - p) / p;
         assert!((mean - want).abs() < 0.1, "{mean} vs {want}");
     }

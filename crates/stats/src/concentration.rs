@@ -35,7 +35,10 @@ pub fn chernoff_tail(mean: f64, z: f64) -> Option<f64> {
 /// Panics if `v < 0`, `d < 0` or `z < 0`.
 #[must_use]
 pub fn bernstein_tail(v: f64, d: f64, z: f64) -> f64 {
-    assert!(v >= 0.0 && d >= 0.0 && z >= 0.0, "bernstein_tail: arguments must be non-negative");
+    assert!(
+        v >= 0.0 && d >= 0.0 && z >= 0.0,
+        "bernstein_tail: arguments must be non-negative"
+    );
     if z == 0.0 {
         return 1.0;
     }

@@ -1,0 +1,376 @@
+//! Exactly-mergeable accumulators for integer-valued observations.
+//!
+//! The Welford accumulator in [`crate::summary::RunningStats`] merges in
+//! floating point, so the merged result depends (in the last bits) on how
+//! the observations were partitioned. The sharded job executor in
+//! `od-runtime` needs *partition-invariant* aggregation: a job split into
+//! shards of size 1, 7, or `trials` must produce **byte-identical** merged
+//! summaries. For integer observations (consensus rounds, winner indices)
+//! this is achievable by accumulating exact integer power sums and only
+//! converting to floating point at query time.
+
+use crate::summary::RunningStats;
+use std::collections::BTreeMap;
+
+/// Exact integer moment accumulator: count, Σx, Σx² (in `u128`), min, max.
+///
+/// Merging is exactly associative and commutative, so any shard partition
+/// of the same observation multiset yields byte-identical state.
+///
+/// # Examples
+///
+/// ```
+/// use od_stats::ExactMoments;
+/// let mut a = ExactMoments::new();
+/// let mut b = ExactMoments::new();
+/// for x in [3u64, 5] { a.push(x); }
+/// for x in [4u64] { b.push(x); }
+/// a.merge(&b);
+/// assert_eq!(a.count(), 3);
+/// assert_eq!(a.mean(), 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExactMoments {
+    count: u64,
+    sum: u128,
+    sum_sq: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for ExactMoments {
+    /// The empty accumulator (`min` starts at `u64::MAX`, not 0 — a
+    /// derived `Default` would poison every subsequent `min`).
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ExactMoments {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            sum: 0,
+            sum_sq: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Reconstructs an accumulator from raw state (deserialisation).
+    ///
+    /// The caller asserts the parts came from a valid accumulator; an
+    /// empty accumulator must use `count = 0`, `min = u64::MAX`, `max = 0`.
+    #[must_use]
+    pub fn from_raw_parts(count: u64, sum: u128, sum_sq: u128, min: u64, max: u64) -> Self {
+        Self {
+            count,
+            sum,
+            sum_sq,
+            min,
+            max,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: u64) {
+        self.count += 1;
+        self.sum += u128::from(x);
+        self.sum_sq += u128::from(x) * u128::from(x);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator into this one (exact, associative).
+    pub fn merge(&mut self, other: &Self) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.sum_sq += other.sum_sq;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of observations.
+    #[must_use]
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Exact sum of squared observations.
+    #[must_use]
+    pub fn sum_sq(&self) -> u128 {
+        self.sum_sq
+    }
+
+    /// Minimum observation (`u64::MAX` when empty).
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    /// Maximum observation (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Sample mean (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Unbiased sample variance (0 when fewer than two observations).
+    #[must_use]
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            return 0.0;
+        }
+        let n = self.count as f64;
+        // Centered second moment from exact power sums; clamp tiny negative
+        // rounding residue.
+        let m2 = self.sum_sq as f64 - (self.sum as f64) * (self.sum as f64) / n;
+        (m2 / (n - 1.0)).max(0.0)
+    }
+
+    /// Sample standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    #[must_use]
+    pub fn std_error(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Converts into a floating-point [`RunningStats`] snapshot (for
+    /// callers built around the Welford API).
+    #[must_use]
+    pub fn to_running_stats(&self) -> RunningStats {
+        if self.count == 0 {
+            return RunningStats::new();
+        }
+        let n = self.count as f64;
+        let m2 = (self.sum_sq as f64 - (self.sum as f64) * (self.sum as f64) / n).max(0.0);
+        RunningStats::from_moments(
+            self.count,
+            self.mean(),
+            m2,
+            self.min as f64,
+            self.max as f64,
+        )
+    }
+}
+
+/// A sparse, exactly-mergeable histogram over `u64` keys.
+///
+/// Used by the job runtime for winner and consensus-round histograms:
+/// recording is O(log distinct), merging is exact and associative, and the
+/// canonical (sorted) iteration order makes serialised forms byte-stable.
+///
+/// # Examples
+///
+/// ```
+/// use od_stats::CountHistogram;
+/// let mut h = CountHistogram::new();
+/// h.record(7);
+/// h.record(7);
+/// h.record(2);
+/// assert_eq!(h.count(7), 2);
+/// assert_eq!(h.total(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CountHistogram {
+    counts: BTreeMap<u64, u64>,
+}
+
+impl CountHistogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation of `key`.
+    pub fn record(&mut self, key: u64) {
+        self.record_n(key, 1);
+    }
+
+    /// Records `n` observations of `key`.
+    pub fn record_n(&mut self, key: u64, n: u64) {
+        if n > 0 {
+            *self.counts.entry(key).or_insert(0) += n;
+        }
+    }
+
+    /// Merges another histogram into this one (exact, associative).
+    pub fn merge(&mut self, other: &Self) {
+        for (&key, &n) in &other.counts {
+            self.record_n(key, n);
+        }
+    }
+
+    /// Observations recorded for `key`.
+    #[must_use]
+    pub fn count(&self, key: u64) -> u64 {
+        self.counts.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Total observations.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Number of distinct keys.
+    #[must_use]
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The most frequent key (smallest on ties); `None` when empty.
+    #[must_use]
+    pub fn mode(&self) -> Option<u64> {
+        self.counts
+            .iter()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+            .map(|(&k, _)| k)
+    }
+
+    /// Iterates `(key, count)` in ascending key order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts.iter().map(|(&k, &c)| (k, c))
+    }
+
+    /// True when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moments_match_direct_formulas() {
+        let data = [2u64, 4, 4, 4, 5, 5, 7, 9];
+        let mut m = ExactMoments::new();
+        for x in data {
+            m.push(x);
+        }
+        assert_eq!(m.count(), 8);
+        assert_eq!(m.mean(), 5.0);
+        assert!((m.sample_variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(m.min(), 2);
+        assert_eq!(m.max(), 9);
+    }
+
+    #[test]
+    fn merge_is_partition_invariant_bitwise() {
+        let data: Vec<u64> = (0..1000)
+            .map(|i| (i * i * 2_654_435_761) % 100_000)
+            .collect();
+        let whole = {
+            let mut m = ExactMoments::new();
+            data.iter().for_each(|&x| m.push(x));
+            m
+        };
+        for shard in [1usize, 7, 1000] {
+            let mut merged = ExactMoments::new();
+            for chunk in data.chunks(shard) {
+                let mut part = ExactMoments::new();
+                chunk.iter().for_each(|&x| part.push(x));
+                merged.merge(&part);
+            }
+            // Byte-identical state, hence bit-identical derived statistics.
+            assert_eq!(merged, whole, "shard size {shard}");
+            assert_eq!(merged.mean().to_bits(), whole.mean().to_bits());
+            assert_eq!(
+                merged.sample_variance().to_bits(),
+                whole.sample_variance().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn to_running_stats_agrees_with_welford() {
+        let data = [10u64, 20, 20, 40, 80];
+        let mut m = ExactMoments::new();
+        let mut w = RunningStats::new();
+        for x in data {
+            m.push(x);
+            w.push(x as f64);
+        }
+        let r = m.to_running_stats();
+        assert_eq!(r.count(), w.count());
+        assert!((r.mean() - w.mean()).abs() < 1e-9);
+        assert!((r.sample_variance() - w.sample_variance()).abs() < 1e-9);
+        assert_eq!(r.min(), w.min());
+        assert_eq!(r.max(), w.max());
+    }
+
+    #[test]
+    fn default_is_the_empty_accumulator() {
+        // A derived Default would start min at 0 and poison merged minima.
+        let mut m = ExactMoments::default();
+        m.push(12);
+        assert_eq!(m.min(), 12);
+        assert_eq!(ExactMoments::default(), ExactMoments::new());
+    }
+
+    #[test]
+    fn empty_moments_are_safe() {
+        let m = ExactMoments::new();
+        assert_eq!(m.mean(), 0.0);
+        assert_eq!(m.sample_variance(), 0.0);
+        assert_eq!(m.std_error(), 0.0);
+        assert_eq!(m.to_running_stats().count(), 0);
+    }
+
+    #[test]
+    fn histogram_merge_is_exact() {
+        let mut a = CountHistogram::new();
+        let mut b = CountHistogram::new();
+        a.record(1);
+        a.record(2);
+        b.record_n(2, 3);
+        b.record(9);
+        a.merge(&b);
+        assert_eq!(a.count(1), 1);
+        assert_eq!(a.count(2), 4);
+        assert_eq!(a.count(9), 1);
+        assert_eq!(a.total(), 6);
+        assert_eq!(a.mode(), Some(2));
+        let keys: Vec<u64> = a.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![1, 2, 9]);
+    }
+
+    #[test]
+    fn histogram_mode_breaks_ties_low() {
+        let mut h = CountHistogram::new();
+        h.record(5);
+        h.record(3);
+        assert_eq!(h.mode(), Some(3));
+        assert_eq!(CountHistogram::new().mode(), None);
+    }
+}

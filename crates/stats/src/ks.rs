@@ -35,7 +35,10 @@ impl KsTest {
 /// Panics if either sample is empty or contains NaN.
 #[must_use]
 pub fn ks_two_sample(a: &[f64], b: &[f64]) -> KsTest {
-    assert!(!a.is_empty() && !b.is_empty(), "ks_two_sample: samples must be non-empty");
+    assert!(
+        !a.is_empty() && !b.is_empty(),
+        "ks_two_sample: samples must be non-empty"
+    );
     let mut xs: Vec<f64> = a.to_vec();
     let mut ys: Vec<f64> = b.to_vec();
     let sort = |v: &mut Vec<f64>| {

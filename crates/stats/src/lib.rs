@@ -5,6 +5,10 @@
 //!
 //! * [`summary`] — Welford running statistics, normal-approximation
 //!   confidence intervals, quantiles;
+//! * [`exact`] — exactly-mergeable integer accumulators
+//!   ([`ExactMoments`], [`CountHistogram`]) whose merges are associative
+//!   and partition-invariant (the substrate of `od-runtime` sharded
+//!   aggregation);
 //! * [`histogram`] — linear and logarithmic histograms;
 //! * [`regression`] — least squares and log–log power-law fits (scaling
 //!   exponent estimation, the key tool for checking `Θ̃(k)` vs `Θ̃(√n)`);
@@ -18,12 +22,14 @@
 #![warn(missing_docs)]
 
 pub mod concentration;
+pub mod exact;
 pub mod histogram;
 pub mod ks;
 pub mod regression;
 pub mod summary;
 pub mod timeseries;
 
+pub use exact::{CountHistogram, ExactMoments};
 pub use histogram::Histogram;
 pub use ks::{ks_two_sample, KsTest};
 pub use regression::{power_law_fit, LinearFit};

@@ -47,6 +47,24 @@ impl RunningStats {
         self.max = self.max.max(x);
     }
 
+    /// Reconstructs an accumulator from explicit moments: `count`
+    /// observations with the given `mean`, centered second moment `m2`
+    /// (`Σ(x − mean)²`), and range. Used to convert exactly-accumulated
+    /// integer summaries ([`crate::ExactMoments`]) into the Welford API.
+    #[must_use]
+    pub fn from_moments(count: u64, mean: f64, m2: f64, min: f64, max: f64) -> Self {
+        if count == 0 {
+            return Self::new();
+        }
+        Self {
+            count,
+            mean,
+            m2: m2.max(0.0),
+            min,
+            max,
+        }
+    }
+
     /// Merges another accumulator into this one (parallel reduction).
     pub fn merge(&mut self, other: &RunningStats) {
         if other.count == 0 {
@@ -203,7 +221,10 @@ pub fn quantile(data: &[f64], q: f64) -> f64 {
     assert!(!data.is_empty(), "quantile: data must be non-empty");
     assert!((0.0..=1.0).contains(&q), "quantile: q must be in [0,1]");
     let mut sorted: Vec<f64> = data.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("quantile: data must not contain NaN"));
+    sorted.sort_by(|a, b| {
+        a.partial_cmp(b)
+            .expect("quantile: data must not contain NaN")
+    });
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;

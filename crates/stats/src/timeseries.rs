@@ -69,7 +69,10 @@ impl TrajectoryBundle {
     /// Mean across trials at index `t`, if any trial reached it.
     #[must_use]
     pub fn mean_at(&self, t: usize) -> Option<f64> {
-        self.points.get(t).filter(|s| s.count() > 0).map(RunningStats::mean)
+        self.points
+            .get(t)
+            .filter(|s| s.count() > 0)
+            .map(RunningStats::mean)
     }
 
     /// Number of trials contributing at index `t`.

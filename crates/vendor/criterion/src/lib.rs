@@ -1,0 +1,257 @@
+//! Offline in-tree stand-in for the
+//! [`criterion`](https://crates.io/crates/criterion) benchmark harness.
+//!
+//! Implements the API slice this workspace's `benches/` targets use
+//! (`benchmark_group`, `bench_function`, `bench_with_input`,
+//! [`Bencher::iter`], the [`criterion_group!`]/[`criterion_main!`] macros)
+//! with a simple wall-clock sampler: each benchmark runs `sample_size`
+//! timed samples after a warm-up and prints mean/min per-iteration times.
+//! No statistical analysis, plots, or baselines — just honest timings so
+//! `cargo bench` works offline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver, passed to every `criterion_group!` target.
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+    default_warm_up: Duration,
+    default_measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            default_sample_size: 10,
+            default_warm_up: Duration::from_millis(300),
+            default_measurement: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Begins a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== bench group: {name} ==");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: None,
+            warm_up: None,
+            measurement: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    warm_up: Option<Duration>,
+    measurement: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = Some(d);
+        self
+    }
+
+    /// Sets the target measurement duration.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = Some(d);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(&id.to_string(), &mut f);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_one(&id.to_string(), &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+
+    fn run_one(&self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let sample_size = self
+            .sample_size
+            .unwrap_or(self._criterion.default_sample_size);
+        let warm_up = self.warm_up.unwrap_or(self._criterion.default_warm_up);
+        let measurement = self
+            .measurement
+            .unwrap_or(self._criterion.default_measurement);
+        let mut bencher = Bencher {
+            mode: Mode::WarmUp { until: warm_up },
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.mode = Mode::Measure {
+            samples: sample_size,
+            budget: measurement,
+        };
+        bencher.samples.clear();
+        f(&mut bencher);
+        let samples = &bencher.samples;
+        if samples.is_empty() {
+            println!("  {}/{id}: no samples collected", self.name);
+            return;
+        }
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        let min = samples.iter().min().copied().unwrap_or_default();
+        println!(
+            "  {}/{id}: mean {mean:?}, min {min:?} over {} samples",
+            self.name,
+            samples.len()
+        );
+    }
+}
+
+enum Mode {
+    WarmUp { until: Duration },
+    Measure { samples: usize, budget: Duration },
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    mode: Mode,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times repeated executions of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        match self.mode {
+            Mode::WarmUp { until } => {
+                let start = Instant::now();
+                while start.elapsed() < until {
+                    black_box(f());
+                }
+            }
+            Mode::Measure { samples, budget } => {
+                let start = Instant::now();
+                for _ in 0..samples {
+                    let t0 = Instant::now();
+                    black_box(f());
+                    self.samples.push(t0.elapsed());
+                    if start.elapsed() > budget {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Identifier of a parameterised benchmark: `name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id of the form `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            text: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// Creates an id from the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+/// Declares the benchmark entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("test");
+        group
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(10));
+        let mut runs = 0u64;
+        group.bench_function("noop", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        group.finish();
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("alg", 42).to_string(), "alg/42");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

@@ -1,0 +1,218 @@
+//! Offline in-tree stand-in for the [`rayon`](https://crates.io/crates/rayon)
+//! data-parallelism crate.
+//!
+//! Implements the slice of the rayon API this workspace uses —
+//! `into_par_iter().map(f).collect()` over ranges and vectors, plus
+//! [`join`] — on top of [`std::thread::scope`]. Items are split into one
+//! contiguous chunk per available core; results are returned in input
+//! order, so any caller that is deterministic under rayon (derived
+//! per-item seeds) is deterministic here too.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+use std::ops::Range;
+
+/// Number of worker threads to use for a workload of `n` items.
+fn thread_count(n: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(n)
+        .max(1)
+}
+
+/// Maps `f` over `items` in parallel, preserving input order.
+fn parallel_map<T, U, F>(items: Vec<T>, f: &F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    let threads = thread_count(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut iter = items.into_iter();
+    loop {
+        let chunk: Vec<T> = iter.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let mut results: Vec<Vec<U>> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        for handle in handles {
+            results.push(handle.join().expect("rayon stub: worker thread panicked"));
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
+/// Runs `a` and `b`, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        let rb = hb.join().expect("rayon stub: join worker panicked");
+        (ra, rb)
+    })
+}
+
+/// A parallel iterator: a lazily chained computation over an eager item
+/// buffer, executed across threads at [`ParallelIterator::collect`] time.
+pub trait ParallelIterator: Sized {
+    /// The element type.
+    type Item: Send;
+
+    /// Executes the chain, returning the results in input order.
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Maps each element through `f` (applied in parallel).
+    fn map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        U: Send,
+        F: Fn(Self::Item) -> U + Sync + Send,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Executes and collects into any `FromIterator` container.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.run().into_iter().collect()
+    }
+
+    /// Executes and sums the elements.
+    fn sum<S: std::iter::Sum<Self::Item>>(self) -> S {
+        self.run().into_iter().sum()
+    }
+
+    /// Executes and applies `f` to each element (already parallelised by
+    /// the chain execution).
+    fn for_each<F: Fn(Self::Item) + Sync + Send>(self, f: F) {
+        for item in self.run() {
+            f(item);
+        }
+    }
+}
+
+/// Base parallel iterator over buffered items.
+pub struct IntoParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for IntoParIter<T> {
+    type Item = T;
+
+    fn run(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// The result of [`ParallelIterator::map`].
+pub struct Map<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<I, U, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    U: Send,
+    F: Fn(I::Item) -> U + Sync + Send,
+{
+    type Item = U;
+
+    fn run(self) -> Vec<U> {
+        parallel_map(self.inner.run(), &self.f)
+    }
+}
+
+/// Conversion into a [`ParallelIterator`].
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// The iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+macro_rules! impl_range_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            type Iter = IntoParIter<$t>;
+
+            fn into_par_iter(self) -> Self::Iter {
+                IntoParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+impl_range_par_iter!(u32, u64, usize, i32, i64);
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = IntoParIter<T>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        IntoParIter { items: self }
+    }
+}
+
+/// Commonly used items.
+pub mod prelude {
+    pub use super::{IntoParallelIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<u64> = (0..1000u64).into_par_iter().map(|x| x * x).collect();
+        let expect: Vec<u64> = (0..1000u64).map(|x| x * x).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u64> = (0..0u64).into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn vec_par_iter_works() {
+        let out: Vec<String> = vec![1, 2, 3]
+            .into_par_iter()
+            .map(|x| format!("v{x}"))
+            .collect();
+        assert_eq!(out, vec!["v1", "v2", "v3"]);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+}

@@ -20,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let start = OpinionCounts::balanced(n, k)?;
 
     println!("n = {n}, k = {k}; [GL18] threshold F_ref = √n/k^1.5 ≈ {f_ref:.0}\n");
-    println!("{:<18} {:>10} {:>12} {:>9}", "adversary", "F", "mean rounds", "stalled");
+    println!(
+        "{:<18} {:>10} {:>12} {:>9}",
+        "adversary", "F", "mean rounds", "stalled"
+    );
 
     for (name, mult) in [
         ("none", 0.0f64),

@@ -19,13 +19,22 @@ fn time_to_consensus<P: SyncProtocol>(
     let mut done = 0u64;
     for trial in 0..trials {
         let mut rng = rng_for(7, trial);
-        let out = Simulation::new(ProtoRef(proto)).with_max_rounds(cap).run(start, &mut rng);
+        let out = Simulation::new(ProtoRef(proto))
+            .with_max_rounds(cap)
+            .run(start, &mut rng);
         if out.reached_consensus() {
             total += out.rounds as f64;
             done += 1;
         }
     }
-    (if done > 0 { total / done as f64 } else { f64::NAN }, done)
+    (
+        if done > 0 {
+            total / done as f64
+        } else {
+            f64::NAN
+        },
+        done,
+    )
 }
 
 struct ProtoRef<'a, P: SyncProtocol>(&'a P);
@@ -57,7 +66,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cap = 500_000u64;
     let start = OpinionCounts::balanced(n, k)?;
     println!("n = {n}, k = {k}, balanced start, {trials} trials\n");
-    println!("{:<22} {:>12} {:>10}", "protocol", "mean rounds", "finished");
+    println!(
+        "{:<22} {:>12} {:>10}",
+        "protocol", "mean rounds", "finished"
+    );
 
     let report = |name: &str, mean: f64, done: u64| {
         println!("{name:<22} {mean:>12.1} {done:>9}/{trials}");

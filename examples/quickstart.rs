@@ -5,8 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use opinion_dynamics::core::observer::{GammaTrace, SupportTrace};
 use opinion_dynamics::core::observer::MultiObserver;
+use opinion_dynamics::core::observer::{GammaTrace, SupportTrace};
 use opinion_dynamics::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

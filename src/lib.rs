@@ -14,6 +14,9 @@
 //!   theorem-level bound curves;
 //! * [`experiments`] (`od-experiments`) — the figure/table regeneration
 //!   harness;
+//! * [`runtime`] (`od-runtime`) — the data-driven job runtime: sharded
+//!   execution, streaming aggregation, checkpoint/resume, the `od-run`
+//!   CLI;
 //! * [`graphs`], [`stats`], [`sampling`] — the substrates.
 //!
 //! # Quick start
@@ -40,6 +43,7 @@ pub use od_analysis as analysis;
 pub use od_core as core;
 pub use od_experiments as experiments;
 pub use od_graphs as graphs;
+pub use od_runtime as runtime;
 pub use od_sampling as sampling;
 pub use od_stats as stats;
 
@@ -47,7 +51,8 @@ pub use od_stats as stats;
 pub mod prelude {
     pub use od_analysis::Dynamics;
     pub use od_core::protocol::{
-        HMajority, MedianRule, Noisy, SyncProtocol, ThreeMajority, TwoChoices, UndecidedDynamics, Voter,
+        HMajority, MedianRule, Noisy, SyncProtocol, ThreeMajority, TwoChoices, UndecidedDynamics,
+        Voter,
     };
     pub use od_core::{
         AsyncSimulation, GraphSimulation, Observer, OpinionCounts, RunOutcome, Simulation,

@@ -36,7 +36,10 @@ fn error_messages_are_lowercase_without_trailing_punctuation() {
     for m in messages {
         let first = m.chars().next().unwrap();
         assert!(first.is_lowercase(), "message should start lowercase: {m}");
-        assert!(!m.ends_with('.'), "message should not end with a period: {m}");
+        assert!(
+            !m.ends_with('.'),
+            "message should not end with a period: {m}"
+        );
     }
 }
 

@@ -104,9 +104,7 @@ fn async_parallel_rounds_match_sync_rounds_scale() {
     let mut async_mean = 0f64;
     for trial in 0..trials {
         let mut rng = rng_for(6, trial);
-        sync_mean += Simulation::new(ThreeMajority)
-            .run(&start, &mut rng)
-            .rounds as f64;
+        sync_mean += Simulation::new(ThreeMajority).run(&start, &mut rng).rounds as f64;
         let mut rng = rng_for(7, trial);
         async_mean += AsyncSimulation::new(ThreeMajority)
             .run(&start, &mut rng)

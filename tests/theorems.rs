@@ -100,11 +100,9 @@ fn theorem_2_2_gamma_growth() {
     let budget = (5.0 * bounds::gamma_growth_time(Dynamics::ThreeMajority, n)) as u64;
     let start = OpinionCounts::balanced(n, n as usize).unwrap();
     let mut rng = rng_for(500, 0);
-    let out = Simulation::new(ThreeMajority).with_max_rounds(budget).run_until(
-        &start,
-        &mut rng,
-        &mut |_, c| c.gamma() >= target,
-    );
+    let out = Simulation::new(ThreeMajority)
+        .with_max_rounds(budget)
+        .run_until(&start, &mut rng, &mut |_, c| c.gamma() >= target);
     assert!(
         out.reason == StopReason::Predicate || out.reached_consensus(),
         "gamma never reached {target} within {budget} rounds"
