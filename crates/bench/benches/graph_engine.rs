@@ -1,0 +1,222 @@
+//! The graph-engine trajectory bench, across graph families and sizes:
+//!
+//! * `old`    — a faithful reproduction of the seed's
+//!   `GraphSimulation::step`: `usize` adjacency arrays, per-draw
+//!   rejection sampling through `&mut dyn RngCore`, a `dyn
+//!   OpinionSource` per vertex, and a full `to_vec()` per round;
+//! * `stream` — the retained stream-seeded API on the new u32 CSR;
+//! * `seq`    — the cell-seeded monomorphized engine, sequential;
+//! * `par`    — the same engine on rayon (bit-identical to `seq`,
+//!   asserted here every run).
+//!
+//! Besides printing timings it writes machine-readable results to
+//! `BENCH_graph.json` at the workspace root (override with
+//! `OD_BENCH_OUT=<path>`), so the perf trajectory is tracked in-repo.
+//! `OD_BENCH_QUICK=1` shrinks sizes for smoke runs.
+
+use od_bench::record::{measure, write_json, BenchRecord};
+use od_bench::rng_for;
+use od_core::protocol::ThreeMajority;
+use od_core::GraphSimulation;
+use od_graphs::{cycle, erdos_renyi, random_regular, torus_2d, CsrGraph, Graph};
+use std::hint::black_box;
+use std::path::PathBuf;
+
+/// Faithful reproduction of the seed's graph step, kept as the fixed
+/// baseline of the recorded trajectory (the live code no longer contains
+/// it: the refactor removed the `usize` layout and the `dyn` inner loop).
+mod seed_baseline {
+    use od_graphs::{CsrGraph, Graph};
+    use rand::{Rng, RngCore};
+
+    pub struct OldAdjacencyGraph {
+        offsets: Vec<usize>,
+        targets: Vec<usize>,
+    }
+
+    impl OldAdjacencyGraph {
+        pub fn from_csr(g: &CsrGraph) -> Self {
+            let mut offsets = Vec::with_capacity(g.n() + 1);
+            let mut targets = Vec::new();
+            offsets.push(0);
+            for v in 0..g.n() {
+                targets.extend(g.neighbors(v));
+                offsets.push(targets.len());
+            }
+            Self { offsets, targets }
+        }
+
+        fn neighbor_slice(&self, v: usize) -> &[usize] {
+            assert!(v + 1 < self.offsets.len(), "vertex {v} out of range");
+            &self.targets[self.offsets[v]..self.offsets[v + 1]]
+        }
+
+        fn sample_neighbor(&self, v: usize, rng: &mut dyn RngCore) -> usize {
+            let nbrs = self.neighbor_slice(v);
+            assert!(!nbrs.is_empty(), "vertex {v} has no neighbors");
+            nbrs[rng.random_range(0..nbrs.len())]
+        }
+    }
+
+    trait OpinionSource {
+        fn draw(&self, rng: &mut dyn RngCore) -> u32;
+    }
+
+    struct NeighborSource<'a> {
+        graph: &'a OldAdjacencyGraph,
+        vertex: usize,
+        opinions: &'a [u32],
+    }
+
+    impl OpinionSource for NeighborSource<'_> {
+        fn draw(&self, rng: &mut dyn RngCore) -> u32 {
+            self.opinions[self.graph.sample_neighbor(self.vertex, rng)]
+        }
+    }
+
+    fn update_one_3maj(source: &dyn OpinionSource, rng: &mut dyn RngCore) -> u32 {
+        let w1 = source.draw(rng);
+        let w2 = source.draw(rng);
+        if w1 == w2 {
+            w1
+        } else {
+            source.draw(rng)
+        }
+    }
+
+    pub fn step(graph: &OldAdjacencyGraph, opinions: &mut [u32], rng: &mut dyn RngCore) {
+        let old = opinions.to_vec();
+        for (v, slot) in opinions.iter_mut().enumerate() {
+            let source = NeighborSource {
+                graph,
+                vertex: v,
+                opinions: &old,
+            };
+            *slot = update_one_3maj(&source, rng);
+        }
+    }
+}
+
+fn build_family(name: &str, n: usize) -> CsrGraph {
+    let mut rng = rng_for(0xBE7C4, 0);
+    match name {
+        // Mean degree 10, plus a cycle backbone so no vertex is isolated.
+        "erdos_renyi" => {
+            let er = erdos_renyi(n, 10.0 / n as f64, &mut rng).unwrap();
+            let mut edges: Vec<(usize, usize)> = (0..n).map(|v| (v, (v + 1) % n)).collect();
+            for v in 0..n {
+                for w in er.neighbors(v) {
+                    if v < w {
+                        edges.push((v, w));
+                    }
+                }
+            }
+            CsrGraph::from_edges(n, &edges)
+        }
+        "random_regular" => random_regular(n, 8, &mut rng).unwrap(),
+        "torus" => {
+            let side = (n as f64).sqrt() as usize;
+            torus_2d(side, side)
+        }
+        "cycle" => cycle(n),
+        other => panic!("unknown family {other}"),
+    }
+}
+
+fn main() {
+    let quick = std::env::var("OD_BENCH_QUICK").is_ok();
+    let sizes: &[usize] = if quick { &[2_000] } else { &[10_000, 100_000] };
+    let samples = if quick { 3 } else { 10 };
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    println!("== bench group: graph_engine (one 3-Majority round) ==");
+    let mut results: Vec<BenchRecord> = Vec::new();
+    let mut er_speedup_at_100k: Option<f64> = None;
+
+    for &n in sizes {
+        for family in ["erdos_renyi", "random_regular", "torus", "cycle"] {
+            let graph = build_family(family, n);
+            let n = graph.n(); // torus rounds down to side²
+            let initial: Vec<u32> = (0..n).map(|v| (v % 8) as u32).collect();
+            let sim = GraphSimulation::new(ThreeMajority, &graph);
+
+            // The seed's engine, reproduced byte-for-byte in shape.
+            let old = {
+                let old_graph = seed_baseline::OldAdjacencyGraph::from_csr(&graph);
+                let mut rng = rng_for(0xBE7C4, 2);
+                let mut ops = initial.clone();
+                measure(format!("{family}/n={n}/old"), 1, samples, || {
+                    ops.copy_from_slice(&initial);
+                    seed_baseline::step(&old_graph, &mut ops, &mut rng);
+                    black_box(&ops);
+                })
+            };
+
+            // Retained stream-seeded API on the new CSR.
+            let stream = {
+                let mut rng = rng_for(0xBE7C4, 1);
+                let mut ops = initial.clone();
+                measure(format!("{family}/n={n}/stream"), 1, samples, || {
+                    ops.copy_from_slice(&initial);
+                    sim.step(&mut ops, &mut rng);
+                    black_box(&ops);
+                })
+            };
+
+            // Cell-seeded sequential engine (src is read-only: each
+            // sample re-steps a fresh round index from the same state).
+            let src = initial.clone();
+            let mut dst = vec![0u32; n];
+            let mut round = 0u64;
+            let seq = measure(format!("{family}/n={n}/seq"), 1, samples, || {
+                sim.step_seq(7, round, &src, &mut dst);
+                round += 1;
+                black_box(&dst);
+            });
+
+            // Cell-seeded rayon-parallel engine (+ a bit-identity check).
+            sim.step_seq(7, 0, &src, &mut dst);
+            let reference = dst.clone();
+            sim.step_par(7, 0, &src, &mut dst);
+            assert_eq!(reference, dst, "parallel round diverged from sequential");
+            let mut round = 0u64;
+            let par = measure(format!("{family}/n={n}/par"), 1, samples, || {
+                sim.step_par(7, round, &src, &mut dst);
+                round += 1;
+                black_box(&dst);
+            });
+
+            let single_thread_speedup = old.mean_ns / seq.mean_ns;
+            let parallel_speedup = old.mean_ns / par.mean_ns;
+            println!(
+                "  {family}/n={n}: old/seq = {single_thread_speedup:.2}x, \
+                 old/par = {parallel_speedup:.2}x ({threads} threads)"
+            );
+            if family == "erdos_renyi" && n == 100_000 {
+                er_speedup_at_100k = Some(single_thread_speedup);
+            }
+            results.extend([old, stream, seq, par]);
+        }
+    }
+
+    let out_path = std::env::var("OD_BENCH_OUT").map_or_else(
+        |_| {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join("BENCH_graph.json")
+        },
+        PathBuf::from,
+    );
+    let meta = vec![
+        ("threads", threads.to_string()),
+        ("protocol", "three-majority".to_string()),
+        ("quick", quick.to_string()),
+    ];
+    write_json(&out_path, "graph_engine", &meta, &results).expect("writing bench output");
+    println!("wrote {}", out_path.display());
+    if let Some(speedup) = er_speedup_at_100k {
+        println!("single-thread speedup at erdos_renyi n=100000: {speedup:.2}x");
+    }
+}

@@ -12,6 +12,8 @@ use od_core::protocol::SyncProtocol;
 use od_core::{OpinionCounts, Simulation};
 use rand::rngs::StdRng;
 
+pub mod record;
+
 pub use od_sampling::rng_for;
 
 /// The bench-scale population size.

@@ -1,0 +1,148 @@
+//! Machine-readable benchmark records.
+//!
+//! The criterion stand-in prints human-readable timings; benches that
+//! track a performance trajectory additionally emit a `BENCH_*.json`
+//! file through this module, so successive PRs can be compared without
+//! scraping stdout. The format is a flat, stable JSON document:
+//!
+//! ```json
+//! {
+//!   "bench": "graph_engine",
+//!   "meta": {"threads": "8"},
+//!   "results": [
+//!     {"id": "erdos_renyi/n=100000/seq", "mean_ns": 1.0, "min_ns": 1.0, "samples": 10}
+//!   ]
+//! }
+//! ```
+
+use std::io::Write as _;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// One measured case.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Stable case id, e.g. `erdos_renyi/n=100000/seq`.
+    pub id: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Minimum wall-clock nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Number of timed samples.
+    pub samples: u32,
+}
+
+/// Times `f` with `warmup` untimed and `samples` timed executions,
+/// returning the record (and printing it in the criterion stub's style).
+pub fn measure(
+    id: impl Into<String>,
+    warmup: u32,
+    samples: u32,
+    mut f: impl FnMut(),
+) -> BenchRecord {
+    assert!(samples > 0, "measure: need at least one sample");
+    for _ in 0..warmup {
+        f();
+    }
+    let mut total = Duration::ZERO;
+    let mut min = Duration::MAX;
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        f();
+        let dt = t0.elapsed();
+        total += dt;
+        min = min.min(dt);
+    }
+    let record = BenchRecord {
+        id: id.into(),
+        mean_ns: total.as_nanos() as f64 / f64::from(samples),
+        min_ns: min.as_nanos() as f64,
+        samples,
+    };
+    println!(
+        "  {}: mean {:?}, min {:?} over {} samples",
+        record.id,
+        Duration::from_nanos(record.mean_ns as u64),
+        Duration::from_nanos(record.min_ns as u64),
+        record.samples
+    );
+    record
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders the stable JSON document.
+#[must_use]
+pub fn render_json(bench: &str, meta: &[(&str, String)], results: &[BenchRecord]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"bench\": \"{}\",\n", escape(bench)));
+    out.push_str("  \"meta\": {");
+    for (i, (key, value)) in meta.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{}\": \"{}\"", escape(key), escape(value)));
+    }
+    out.push_str("},\n  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"samples\": {}}}{}\n",
+            escape(&r.id),
+            r.mean_ns,
+            r.min_ns,
+            r.samples,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes the document to `path`.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_json(
+    path: &Path,
+    bench: &str,
+    meta: &[(&str, String)],
+    results: &[BenchRecord],
+) -> std::io::Result<()> {
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(render_json(bench, meta, results).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_collects_samples() {
+        let mut runs = 0u32;
+        let r = measure("case", 1, 3, || runs += 1);
+        assert_eq!(runs, 4);
+        assert_eq!(r.samples, 3);
+        assert!(r.min_ns <= r.mean_ns);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let records = vec![BenchRecord {
+            id: "a/b".to_string(),
+            mean_ns: 1.5,
+            min_ns: 1.0,
+            samples: 2,
+        }];
+        let text = render_json("graph_engine", &[("threads", "8".to_string())], &records);
+        assert!(text.contains("\"bench\": \"graph_engine\""));
+        assert!(text.contains("\"id\": \"a/b\""));
+        assert!(text.contains("\"samples\": 2"));
+        // Balanced braces/brackets as a cheap sanity check.
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
+        assert_eq!(text.matches('[').count(), text.matches(']').count());
+    }
+}

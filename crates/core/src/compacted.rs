@@ -10,15 +10,23 @@
 //! are bit-identical across both callers for a fixed per-trial seed).
 
 use crate::config::OpinionCounts;
-use crate::protocol::SyncProtocol;
+use crate::protocol::{StepScratch, SyncProtocol};
 use rand::RngCore;
 
 /// Drops empty opinion slots from a configuration (opinion identity is
 /// irrelevant once an opinion has vanished — it can never return).
 #[must_use]
 pub fn compact(counts: &OpinionCounts) -> OpinionCounts {
-    let nonzero: Vec<u64> = counts.counts().iter().copied().filter(|&c| c > 0).collect();
-    OpinionCounts::from_counts(nonzero).expect("a live configuration stays non-empty")
+    let mut compacted = counts.clone();
+    compact_in_place(&mut compacted);
+    compacted
+}
+
+/// In-place [`compact`]: drops empty slots while keeping the existing
+/// allocation, so the periodic compaction of the round loop is free of
+/// reallocations.
+pub fn compact_in_place(counts: &mut OpinionCounts) {
+    counts.with_counts_mut(|v| v.retain(|&c| c > 0));
 }
 
 /// How often the compacted runners drop empty slots. Support only shrinks,
@@ -51,6 +59,8 @@ pub fn run_compacted_until<P: SyncProtocol>(
     mut stop: impl FnMut(&OpinionCounts) -> bool,
 ) -> (Option<u64>, bool) {
     let mut counts = compact(initial);
+    let mut next = counts.clone();
+    let mut scratch = StepScratch::new();
     let mut round = 0u64;
     loop {
         if stop(&counts) {
@@ -62,10 +72,11 @@ pub fn run_compacted_until<P: SyncProtocol>(
         if round >= max_rounds {
             return (None, false);
         }
-        counts = protocol.step_population(&counts, rng);
+        protocol.step_population_into(&counts, rng, &mut scratch, &mut next);
+        std::mem::swap(&mut counts, &mut next);
         round += 1;
         if round.is_multiple_of(COMPACT_EVERY) {
-            counts = compact(&counts);
+            compact_in_place(&mut counts);
         }
     }
 }

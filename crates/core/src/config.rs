@@ -181,6 +181,30 @@ impl OpinionCounts {
         self.counts
     }
 
+    /// Grants temporary mutable access to the raw counts vector — the
+    /// buffer-reuse hook of the in-place round steps
+    /// ([`crate::protocol::SyncProtocol::step_population_into`],
+    /// [`crate::compacted::compact_in_place`]) — and re-establishes the
+    /// invariants afterwards (`n` is recomputed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the closure leaves the configuration empty or with zero
+    /// population.
+    pub fn with_counts_mut<T>(&mut self, f: impl FnOnce(&mut Vec<u64>) -> T) -> T {
+        let result = f(&mut self.counts);
+        assert!(
+            !self.counts.is_empty(),
+            "with_counts_mut: configuration must keep at least one opinion slot"
+        );
+        self.n = self.counts.iter().sum();
+        assert!(
+            self.n > 0,
+            "with_counts_mut: configuration must keep a positive population"
+        );
+        result
+    }
+
     /// The fraction `α(i)` of vertices supporting opinion `i`.
     ///
     /// # Panics

@@ -3,7 +3,7 @@
 use crate::adversary::Adversary;
 use crate::config::OpinionCounts;
 use crate::observer::Observer;
-use crate::protocol::SyncProtocol;
+use crate::protocol::{StepScratch, SyncProtocol};
 use rand::RngCore;
 
 /// Why a run ended.
@@ -167,6 +167,10 @@ impl<P: SyncProtocol> Simulation<P> {
         mut adversary: Option<&mut dyn Adversary>,
     ) -> RunOutcome {
         let mut counts = initial.clone();
+        // Double-buffered configurations + shared scratch: steady-state
+        // rounds of the closed-form protocols allocate nothing.
+        let mut next = initial.clone();
+        let mut scratch = StepScratch::new();
         let mut round: u64 = 0;
         observer.observe(0, &counts);
         loop {
@@ -194,7 +198,9 @@ impl<P: SyncProtocol> Simulation<P> {
                     final_counts: counts,
                 };
             }
-            counts = self.protocol.step_population(&counts, rng);
+            self.protocol
+                .step_population_into(&counts, rng, &mut scratch, &mut next);
+            std::mem::swap(&mut counts, &mut next);
             if let Some(adv) = adversary.as_deref_mut() {
                 adv.corrupt(round + 1, &mut counts, rng);
             }

@@ -5,12 +5,31 @@
 //! Here "choose a random neighbor" samples from the actual neighborhood of
 //! the updating vertex, so the configuration alone is no longer a
 //! sufficient state and we track per-vertex opinions.
+//!
+//! # Two execution paths
+//!
+//! * **Cell-seeded** ([`GraphSimulation::step_seq`] /
+//!   [`GraphSimulation::step_par`] / [`GraphSimulation::run_seeded`]) —
+//!   the fast engine. Each *(round, vertex)* cell derives its randomness
+//!   independently via [`od_sampling::rng_at_cell`], the protocol's
+//!   [`GraphProtocol::pull_one`] kernel monomorphizes (no `dyn` in the
+//!   inner loop), and rounds double-buffer between two opinion arrays
+//!   (no per-round `to_vec`). Because a cell's randomness is a pure
+//!   function of `(trial_seed, round, vertex)`, the rayon-parallel round
+//!   is **bit-identical** to the sequential one for every thread count.
+//! * **Stream-seeded** ([`GraphSimulation::step`] /
+//!   [`GraphSimulation::run`]) — the original engine: one shared RNG
+//!   stream consumed vertex-by-vertex through `dyn` dispatch. Kept as the
+//!   baseline the `graph_engine` bench measures speedups against, and for
+//!   callers that want the literal Definition 3.1 sampling order.
 
 use crate::config::OpinionCounts;
 use crate::engine::StopReason;
-use crate::protocol::{tally, OpinionSource, SyncProtocol};
+use crate::protocol::{tally, GraphProtocol, OpinionSource, SyncProtocol};
 use od_graphs::Graph;
+use od_sampling::seeds::{round_key, CellRng};
 use rand::RngCore;
+use rayon::prelude::*;
 
 /// Outcome of a run on a general graph.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,6 +56,10 @@ impl<G: Graph> OpinionSource for NeighborSource<'_, G> {
     }
 }
 
+/// Vertices per parallel work unit of [`GraphSimulation::step_par`].
+/// Purely a scheduling granularity — results are independent of it.
+const PAR_CHUNK: usize = 4_096;
+
 /// Synchronous dynamics of `protocol` on `graph`.
 ///
 /// # Examples
@@ -47,8 +70,7 @@ impl<G: Graph> OpinionSource for NeighborSource<'_, G> {
 /// let g = CompleteWithSelfLoops::new(200);
 /// let sim = GraphSimulation::new(ThreeMajority, g).with_max_rounds(10_000);
 /// let opinions: Vec<u32> = (0..200).map(|v| (v % 2) as u32).collect();
-/// let mut rng = od_sampling::rng_for(3, 0);
-/// let out = sim.run(&opinions, &mut rng);
+/// let out = sim.run_seeded(&opinions, 3);
 /// assert!(out.rounds > 0 || out.winner.is_some());
 /// ```
 #[derive(Debug, Clone)]
@@ -60,7 +82,7 @@ pub struct GraphSimulation<P, G> {
 
 const DEFAULT_MAX_ROUNDS: u64 = 1_000_000;
 
-impl<P: SyncProtocol, G: Graph> GraphSimulation<P, G> {
+impl<P, G: Graph> GraphSimulation<P, G> {
     /// Creates a simulation of `protocol` on `graph`.
     #[must_use]
     pub fn new(protocol: P, graph: G) -> Self {
@@ -89,7 +111,175 @@ impl<P: SyncProtocol, G: Graph> GraphSimulation<P, G> {
         &self.graph
     }
 
-    /// Performs one synchronous round in place.
+    fn assert_lengths(&self, src: &[u32], dst: &[u32]) {
+        assert_eq!(
+            src.len(),
+            self.graph.n(),
+            "step: opinions length must equal the number of vertices"
+        );
+        assert_eq!(
+            src.len(),
+            dst.len(),
+            "step: source and destination buffers must have equal length"
+        );
+    }
+}
+
+impl<P: GraphProtocol, G: Graph> GraphSimulation<P, G> {
+    /// Computes round `round` of trial `trial_seed` sequentially:
+    /// `dst[v]` becomes the updated opinion of vertex `v` given the
+    /// round-start opinions `src`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.len() != graph.n()` or `src.len() != dst.len()`.
+    pub fn step_seq(&self, trial_seed: u64, round: u64, src: &[u32], dst: &mut [u32]) {
+        self.assert_lengths(src, dst);
+        let rk = round_key(trial_seed, round);
+        self.step_cells(rk, 0, src, dst);
+    }
+
+    /// The kernel shared by the sequential and parallel steps: updates
+    /// the cells `first_vertex..first_vertex + dst.len()` of one round.
+    fn step_cells(&self, rk: u64, first_vertex: usize, src: &[u32], dst: &mut [u32]) {
+        for (offset, slot) in dst.iter_mut().enumerate() {
+            let v = first_vertex + offset;
+            let mut rng = CellRng::for_cell(rk, v as u64);
+            *slot = self.protocol.pull_one(
+                src[v],
+                |rng: &mut CellRng| src[self.graph.sample_neighbor(v, rng)],
+                &mut rng,
+            );
+        }
+    }
+
+    /// Runs sequentially from `initial` until consensus or the round cap,
+    /// double-buffering the opinion arrays (no per-round allocation).
+    ///
+    /// Bit-identical to [`GraphSimulation::run_seeded_par`] for the same
+    /// `trial_seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is empty or `initial.len() != graph.n()`.
+    #[must_use]
+    pub fn run_seeded(&self, initial: &[u32], trial_seed: u64) -> GraphRunOutcome {
+        self.run_seeded_until(initial, trial_seed, |_, _| false)
+    }
+
+    /// Like [`GraphSimulation::run_seeded`], but also stops (with
+    /// [`StopReason::Predicate`]) as soon as `stop(round, opinions)`
+    /// holds. The check order mirrors the population engine's
+    /// `run_until`: consensus, predicate, round cap — all including
+    /// round 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is empty or `initial.len() != graph.n()`.
+    #[must_use]
+    pub fn run_seeded_until(
+        &self,
+        initial: &[u32],
+        trial_seed: u64,
+        stop: impl FnMut(u64, &[u32]) -> bool,
+    ) -> GraphRunOutcome {
+        self.run_buffered(initial, stop, |round, src, dst| {
+            self.step_seq(trial_seed, round, src, dst);
+        })
+    }
+
+    fn run_buffered(
+        &self,
+        initial: &[u32],
+        mut stop: impl FnMut(u64, &[u32]) -> bool,
+        mut step: impl FnMut(u64, &[u32], &mut [u32]),
+    ) -> GraphRunOutcome {
+        assert!(
+            !initial.is_empty(),
+            "run: initial opinions must be non-empty"
+        );
+        assert_eq!(
+            initial.len(),
+            self.graph.n(),
+            "run: opinions length must equal the number of vertices"
+        );
+        let mut current = initial.to_vec();
+        let mut next = vec![0u32; initial.len()];
+        let mut rounds: u64 = 0;
+        loop {
+            let first = current[0];
+            if current.iter().all(|&o| o == first) {
+                return GraphRunOutcome {
+                    rounds,
+                    winner: Some(first as usize),
+                    reason: StopReason::Consensus,
+                    final_opinions: current,
+                };
+            }
+            if stop(rounds, &current) {
+                return GraphRunOutcome {
+                    rounds,
+                    winner: None,
+                    reason: StopReason::Predicate,
+                    final_opinions: current,
+                };
+            }
+            if rounds >= self.max_rounds {
+                return GraphRunOutcome {
+                    rounds,
+                    winner: None,
+                    reason: StopReason::RoundLimit,
+                    final_opinions: current,
+                };
+            }
+            step(rounds, &current, &mut next);
+            std::mem::swap(&mut current, &mut next);
+            rounds += 1;
+        }
+    }
+}
+
+impl<P: GraphProtocol + Sync, G: Graph + Sync> GraphSimulation<P, G> {
+    /// Computes round `round` of trial `trial_seed` on rayon.
+    ///
+    /// Bit-identical to [`GraphSimulation::step_seq`] for every thread
+    /// count: each `(round, vertex)` cell derives its randomness
+    /// independently of scheduling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.len() != graph.n()` or `src.len() != dst.len()`.
+    pub fn step_par(&self, trial_seed: u64, round: u64, src: &[u32], dst: &mut [u32]) {
+        self.assert_lengths(src, dst);
+        let rk = round_key(trial_seed, round);
+        dst.par_chunks_mut(PAR_CHUNK)
+            .enumerate()
+            .for_each(|(chunk_index, chunk)| {
+                self.step_cells(rk, chunk_index * PAR_CHUNK, src, chunk);
+            });
+    }
+
+    /// Runs with parallel rounds from `initial` until consensus or the
+    /// round cap. Bit-identical to [`GraphSimulation::run_seeded`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is empty or `initial.len() != graph.n()`.
+    #[must_use]
+    pub fn run_seeded_par(&self, initial: &[u32], trial_seed: u64) -> GraphRunOutcome {
+        self.run_buffered(
+            initial,
+            |_, _| false,
+            |round, src, dst| {
+                self.step_par(trial_seed, round, src, dst);
+            },
+        )
+    }
+}
+
+impl<P: SyncProtocol, G: Graph> GraphSimulation<P, G> {
+    /// Performs one synchronous round in place, consuming the shared RNG
+    /// stream vertex-by-vertex (the original engine; see the module docs).
     ///
     /// # Panics
     ///
@@ -111,7 +301,8 @@ impl<P: SyncProtocol, G: Graph> GraphSimulation<P, G> {
         }
     }
 
-    /// Runs until all vertices agree or the round cap is reached.
+    /// Runs the stream-seeded engine until all vertices agree or the
+    /// round cap is reached.
     ///
     /// # Panics
     ///
@@ -189,6 +380,56 @@ mod tests {
     }
 
     #[test]
+    fn cell_seeded_step_agrees_with_population_engine_in_expectation() {
+        // The new engine must drive the same process: mean one-round
+        // fractions on the complete graph match eq. (5).
+        let n = 300usize;
+        let g = CompleteWithSelfLoops::new(n);
+        let sim = GraphSimulation::new(ThreeMajority, g);
+        let initial: Vec<u32> = (0..n).map(|v| u32::from(v >= 180)).collect(); // 60/40
+        let trials = 2000u64;
+        let mut mean0 = 0.0;
+        let mut dst = vec![0u32; n];
+        for trial in 0..trials {
+            sim.step_seq(trial, 0, &initial, &mut dst);
+            mean0 += dst.iter().filter(|&&o| o == 0).count() as f64 / n as f64;
+        }
+        mean0 /= trials as f64;
+        let want = 0.6 * (1.0 + 0.6 - 0.52);
+        assert!((mean0 - want).abs() < 5e-3, "{mean0} vs {want}");
+    }
+
+    #[test]
+    fn parallel_step_is_bit_identical_to_sequential() {
+        let mut rng = rng_for(185, 0);
+        let g = random_regular(1000, 8, &mut rng).unwrap();
+        let sim = GraphSimulation::new(ThreeMajority, g);
+        let initial: Vec<u32> = (0..1000).map(|v| (v % 7) as u32).collect();
+        let mut seq = vec![0u32; 1000];
+        let mut par = vec![0u32; 1000];
+        for round in 0..5 {
+            sim.step_seq(99, round, &initial, &mut seq);
+            sim.step_par(99, round, &initial, &mut par);
+            assert_eq!(seq, par, "round {round}");
+        }
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible_and_par_matches_seq() {
+        let mut rng = rng_for(186, 0);
+        let g = random_regular(300, 6, &mut rng).unwrap();
+        let sim = GraphSimulation::new(ThreeMajority, g).with_max_rounds(5_000);
+        let initial: Vec<u32> = (0..300).map(|v| u32::from(v >= 210)).collect(); // 70/30
+        let a = sim.run_seeded(&initial, 42);
+        let b = sim.run_seeded(&initial, 42);
+        let c = sim.run_seeded_par(&initial, 42);
+        assert_eq!(a, b, "sequential runs must be reproducible");
+        assert_eq!(a, c, "parallel run must be bit-identical to sequential");
+        assert_eq!(a.reason, StopReason::Consensus);
+        assert_eq!(a.winner, Some(0));
+    }
+
+    #[test]
     fn expander_reaches_consensus_fast_with_bias() {
         let mut rng = rng_for(181, 0);
         let g = random_regular(200, 6, &mut rng).unwrap();
@@ -205,10 +446,9 @@ mod tests {
         // neighbors agree against it; alternating blocks are very stable.
         // We only assert the engine runs and respects the cap.
         let g = cycle(100);
-        let mut rng = rng_for(182, 0);
         let sim = GraphSimulation::new(TwoChoices, g).with_max_rounds(50);
         let initial: Vec<u32> = (0..100).map(|v| ((v / 10) % 2) as u32).collect();
-        let out = sim.run(&initial, &mut rng);
+        let out = sim.run_seeded(&initial, 182);
         assert!(out.rounds <= 50);
         assert_eq!(out.final_opinions.len(), 100);
     }
@@ -217,8 +457,7 @@ mod tests {
     fn consensus_is_detected_immediately() {
         let g = CompleteWithSelfLoops::new(10);
         let sim = GraphSimulation::new(ThreeMajority, g);
-        let mut rng = rng_for(183, 0);
-        let out = sim.run(&[3u32; 10], &mut rng);
+        let out = sim.run_seeded(&[3u32; 10], 183);
         assert_eq!(out.rounds, 0);
         assert_eq!(out.winner, Some(3));
     }
@@ -231,6 +470,16 @@ mod tests {
         let mut rng = rng_for(184, 0);
         let mut ops = vec![0u32; 5];
         sim.step(&mut ops, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "length must equal")]
+    fn step_seq_validates_length() {
+        let g = CompleteWithSelfLoops::new(10);
+        let sim = GraphSimulation::new(ThreeMajority, g);
+        let src = vec![0u32; 5];
+        let mut dst = vec![0u32; 5];
+        sim.step_seq(0, 0, &src, &mut dst);
     }
 
     #[test]

@@ -56,11 +56,14 @@ pub mod registry;
 pub mod stopping;
 
 pub use asynchronous::{AsyncOutcome, AsyncSimulation, AsyncStopReason};
-pub use compacted::{compact, run_compacted_until, run_to_consensus_compacted};
+pub use compacted::{compact, compact_in_place, run_compacted_until, run_to_consensus_compacted};
 pub use config::OpinionCounts;
 pub use engine::{RunOutcome, Simulation, StopReason};
 pub use error::{ConfigError, Error};
 pub use graph_dynamics::{GraphRunOutcome, GraphSimulation};
 pub use observer::Observer;
-pub use registry::{build_protocol, DynProtocol, ParamValue, ProtocolParams};
+pub use registry::{
+    build_graph_protocol, build_protocol, required_opinion_slots, DynProtocol, GraphProtocolKind,
+    ParamValue, ProtocolParams,
+};
 pub use stopping::{HittingTimes, StoppingConstants, StoppingTracker};

@@ -8,8 +8,40 @@
 //! the three samples), but agrees with it in distribution — see
 //! `three_way_tie_matches_three_majority` below.
 
-use super::{OpinionSource, SyncProtocol};
+use super::{GraphProtocol, OpinionSource, SyncProtocol};
 use rand::{Rng, RngCore};
+
+/// Sorts `samples` and returns the majority value, breaking ties
+/// uniformly among the tied values (reservoir selection over the runs, so
+/// no allocation).
+fn majority_with_uniform_ties<R: Rng + ?Sized>(samples: &mut [u32], rng: &mut R) -> u32 {
+    samples.sort_unstable();
+    let mut best_count = 0usize;
+    let mut tied = 0u32;
+    let mut chosen = samples[0];
+    let mut idx = 0;
+    while idx < samples.len() {
+        let mut end = idx + 1;
+        while end < samples.len() && samples[end] == samples[idx] {
+            end += 1;
+        }
+        let run = end - idx;
+        if run > best_count {
+            best_count = run;
+            tied = 1;
+            chosen = samples[idx];
+        } else if run == best_count {
+            // The i-th tied run replaces the held value w.p. 1/i: each
+            // tied value ends up chosen w.p. 1/(number of tied values).
+            tied += 1;
+            if rng.random_range(0..tied) == 0 {
+                chosen = samples[idx];
+            }
+        }
+        idx = end;
+    }
+    chosen
+}
 
 /// The `h`-Majority protocol with uniform tie-breaking.
 ///
@@ -54,6 +86,14 @@ impl SyncProtocol for HMajority {
     fn update_one(&self, _own: u32, source: &dyn OpinionSource, rng: &mut dyn RngCore) -> u32 {
         // Draw h samples and find the mode; break ties uniformly among the
         // tied opinions. h is small (3, 5, 7, …) so a sort is cheap.
+        //
+        // Deliberately NOT routed through `majority_with_uniform_ties`:
+        // this historical path draws at most one tie-break value from the
+        // shared stream, and changing its consumption pattern would break
+        // bit-reproducibility of existing h-majority results and make old
+        // checkpoints resume into a different RNG regime. The cell-seeded
+        // graph kernel below has no such legacy and uses the
+        // allocation-free reservoir form.
         let mut samples: Vec<u32> = (0..self.h).map(|_| source.draw(rng)).collect();
         samples.sort_unstable();
         let mut best_count = 0usize;
@@ -80,6 +120,30 @@ impl SyncProtocol for HMajority {
             tied[0]
         } else {
             tied[rng.random_range(0..tied.len())]
+        }
+    }
+}
+
+/// Sample buffer capacity covering every practical `h` without heap
+/// allocation in the graph kernel.
+const STACK_SAMPLES: usize = 16;
+
+impl GraphProtocol for HMajority {
+    fn pull_one<R, F>(&self, _own: u32, mut draw: F, rng: &mut R) -> u32
+    where
+        R: Rng + ?Sized,
+        F: FnMut(&mut R) -> u32,
+    {
+        if self.h <= STACK_SAMPLES {
+            let mut buf = [0u32; STACK_SAMPLES];
+            let samples = &mut buf[..self.h];
+            for slot in samples.iter_mut() {
+                *slot = draw(rng);
+            }
+            majority_with_uniform_ties(samples, rng)
+        } else {
+            let mut samples: Vec<u32> = (0..self.h).map(|_| draw(rng)).collect();
+            majority_with_uniform_ties(&mut samples, rng)
         }
     }
 }

@@ -5,8 +5,8 @@
 //! and serves as a baseline with qualitatively different behaviour
 //! (it exploits the opinion ordering, which 3-Majority/2-Choices do not).
 
-use super::{OpinionSource, SyncProtocol};
-use rand::RngCore;
+use super::{GraphProtocol, OpinionSource, SyncProtocol};
+use rand::{Rng, RngCore};
 
 /// The median rule (opinions must be meaningfully ordered).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
@@ -25,6 +25,18 @@ impl SyncProtocol for MedianRule {
     fn update_one(&self, own: u32, source: &dyn OpinionSource, rng: &mut dyn RngCore) -> u32 {
         let a = source.draw(rng);
         let b = source.draw(rng);
+        median3(own, a, b)
+    }
+}
+
+impl GraphProtocol for MedianRule {
+    fn pull_one<R, F>(&self, own: u32, mut draw: F, rng: &mut R) -> u32
+    where
+        R: Rng + ?Sized,
+        F: FnMut(&mut R) -> u32,
+    {
+        let a = draw(rng);
+        let b = draw(rng);
         median3(own, a, b)
     }
 }

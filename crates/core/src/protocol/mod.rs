@@ -95,6 +95,24 @@ impl OpinionSource for CountsSource {
     }
 }
 
+/// Reusable buffers for [`SyncProtocol::step_population_into`], so the
+/// closed-form `O(k)` population steps run without per-round allocation.
+#[derive(Debug, Clone, Default)]
+pub struct StepScratch {
+    /// Probability vector of the round's multinomial/binomial draws.
+    pub(crate) probs: Vec<f64>,
+    /// Integer staging buffer (e.g. adopters per destination).
+    pub(crate) counts: Vec<u64>,
+}
+
+impl StepScratch {
+    /// Creates empty scratch buffers (they grow to `k` on first use).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// A synchronous consensus protocol on the complete graph with self-loops.
 ///
 /// Implementations must be *exchangeable*: the new opinion of a vertex may
@@ -125,6 +143,26 @@ pub trait SyncProtocol {
             }
         }
         OpinionCounts::from_counts(next).expect("population step preserves a non-empty population")
+    }
+
+    /// Performs one exact synchronous round into `out`, reusing `scratch`
+    /// and `out`'s existing allocation.
+    ///
+    /// Draws from the *same* joint distribution — with the same RNG
+    /// consumption — as [`SyncProtocol::step_population`]; the engines'
+    /// round loops call this form so steady-state rounds allocate
+    /// nothing. The default delegates to the allocating step; the `O(k)`
+    /// closed-form protocols override it with
+    /// [`od_sampling::sample_multinomial_into`]-style buffer reuse.
+    fn step_population_into(
+        &self,
+        counts: &OpinionCounts,
+        rng: &mut dyn RngCore,
+        scratch: &mut StepScratch,
+        out: &mut OpinionCounts,
+    ) {
+        let _ = scratch;
+        *out = self.step_population(counts, rng);
     }
 
     /// Performs one synchronous round at the agent level on the complete
@@ -167,6 +205,16 @@ impl<P: SyncProtocol + ?Sized> SyncProtocol for &P {
         (**self).step_population(counts, rng)
     }
 
+    fn step_population_into(
+        &self,
+        counts: &OpinionCounts,
+        rng: &mut dyn RngCore,
+        scratch: &mut StepScratch,
+        out: &mut OpinionCounts,
+    ) {
+        (**self).step_population_into(counts, rng, scratch, out);
+    }
+
     fn step_agents(&self, opinions: &mut Vec<u32>, rng: &mut dyn RngCore) {
         (**self).step_agents(opinions, rng);
     }
@@ -185,8 +233,47 @@ impl<P: SyncProtocol + ?Sized> SyncProtocol for Box<P> {
         (**self).step_population(counts, rng)
     }
 
+    fn step_population_into(
+        &self,
+        counts: &OpinionCounts,
+        rng: &mut dyn RngCore,
+        scratch: &mut StepScratch,
+        out: &mut OpinionCounts,
+    ) {
+        (**self).step_population_into(counts, rng, scratch, out);
+    }
+
     fn step_agents(&self, opinions: &mut Vec<u32>, rng: &mut dyn RngCore) {
         (**self).step_agents(opinions, rng);
+    }
+}
+
+/// The monomorphic per-vertex pull kernel driving the graph-dynamics
+/// engine.
+///
+/// Where [`SyncProtocol::update_one`] goes through two virtual calls per
+/// neighbor sample (`&dyn OpinionSource` and `&mut dyn RngCore`), this
+/// form is generic in both the RNG and the neighbor-drawing closure, so
+/// the whole (protocol × graph × RNG) inner loop monomorphizes and
+/// inlines. Every implementation draws from the same one-round
+/// distribution as its `update_one`.
+pub trait GraphProtocol: SyncProtocol {
+    /// Computes the next opinion of a vertex currently holding `own`;
+    /// each `draw(rng)` yields the opinion of one uniformly random
+    /// neighbor of that vertex.
+    fn pull_one<R, F>(&self, own: u32, draw: F, rng: &mut R) -> u32
+    where
+        R: Rng + ?Sized,
+        F: FnMut(&mut R) -> u32;
+}
+
+impl<P: GraphProtocol> GraphProtocol for &P {
+    fn pull_one<R, F>(&self, own: u32, draw: F, rng: &mut R) -> u32
+    where
+        R: Rng + ?Sized,
+        F: FnMut(&mut R) -> u32,
+    {
+        (**self).pull_one(own, draw, rng)
     }
 }
 

@@ -10,7 +10,7 @@
 //! metastable phase where the plurality holds a `1 − O(ε)` fraction, so
 //! runs should use a near-consensus stop criterion.
 
-use super::{OpinionSource, SyncProtocol};
+use super::{GraphProtocol, OpinionSource, SyncProtocol};
 use crate::config::OpinionCounts;
 use rand::{Rng, RngCore};
 
@@ -55,6 +55,13 @@ impl<P: SyncProtocol> Noisy<P> {
     #[must_use]
     pub fn epsilon(&self) -> f64 {
         self.epsilon
+    }
+
+    /// The opinion-space size `k` the noise channel draws from; every
+    /// configuration this wrapper steps must have exactly `k` slots.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
     }
 
     /// The wrapped protocol.
@@ -123,6 +130,28 @@ impl<P: SyncProtocol> SyncProtocol for Noisy<P> {
             }
         }
         OpinionCounts::from_counts(next).expect("noisy step preserves the population")
+    }
+}
+
+impl<P: GraphProtocol> GraphProtocol for Noisy<P> {
+    fn pull_one<R, F>(&self, own: u32, mut draw: F, rng: &mut R) -> u32
+    where
+        R: Rng + ?Sized,
+        F: FnMut(&mut R) -> u32,
+    {
+        let epsilon = self.epsilon;
+        let k = self.k;
+        self.inner.pull_one(
+            own,
+            move |rng: &mut R| {
+                if epsilon > 0.0 && rng.random::<f64>() < epsilon {
+                    rng.random_range(0..k) as u32
+                } else {
+                    draw(rng)
+                }
+            },
+            rng,
+        )
     }
 }
 

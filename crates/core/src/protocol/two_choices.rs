@@ -4,11 +4,11 @@
 //! replacement, self-loops included). If `opn(w₁) = opn(w₂)` the vertex
 //! adopts that opinion; otherwise it keeps its own opinion for the round.
 
-use super::{OpinionSource, SyncProtocol};
+use super::{GraphProtocol, OpinionSource, StepScratch, SyncProtocol};
 use crate::config::OpinionCounts;
 use od_sampling::binomial::sample_binomial;
-use od_sampling::multinomial::sample_multinomial;
-use rand::RngCore;
+use od_sampling::multinomial::{sample_multinomial, sample_multinomial_into};
+use rand::{Rng, RngCore};
 
 /// The 2-Choices protocol.
 ///
@@ -96,6 +96,55 @@ impl SyncProtocol for TwoChoices {
             }
         }
         OpinionCounts::from_counts(next).expect("2-Choices step preserves the population")
+    }
+
+    fn step_population_into(
+        &self,
+        counts: &OpinionCounts,
+        rng: &mut dyn RngCore,
+        scratch: &mut StepScratch,
+        out: &mut OpinionCounts,
+    ) {
+        let gamma = counts.gamma();
+        let n = counts.n() as f64;
+        out.with_counts_mut(|next| {
+            next.clear();
+            let mut adopters_total: u64 = 0;
+            for &c in counts.counts() {
+                let adopters = sample_binomial(rng, c, gamma);
+                adopters_total += adopters;
+                next.push(c - adopters); // stayers
+            }
+            if adopters_total > 0 {
+                scratch.probs.clear();
+                scratch.probs.extend(counts.counts().iter().map(|&c| {
+                    let a = c as f64 / n;
+                    a * a / gamma
+                }));
+                scratch.counts.clear();
+                scratch.counts.resize(counts.k(), 0);
+                sample_multinomial_into(rng, adopters_total, &scratch.probs, &mut scratch.counts);
+                for (slot, &d) in next.iter_mut().zip(scratch.counts.iter()) {
+                    *slot += d;
+                }
+            }
+        });
+    }
+}
+
+impl GraphProtocol for TwoChoices {
+    fn pull_one<R, F>(&self, own: u32, mut draw: F, rng: &mut R) -> u32
+    where
+        R: Rng + ?Sized,
+        F: FnMut(&mut R) -> u32,
+    {
+        let w1 = draw(rng);
+        let w2 = draw(rng);
+        if w1 == w2 {
+            w1
+        } else {
+            own
+        }
     }
 }
 

@@ -11,11 +11,11 @@
 //! * an undecided vertex adopts `u`'s state (an opinion if `u` is decided,
 //!   otherwise it stays undecided).
 
-use super::{OpinionSource, SyncProtocol};
+use super::{GraphProtocol, OpinionSource, StepScratch, SyncProtocol};
 use crate::config::OpinionCounts;
 use od_sampling::binomial::sample_binomial;
-use od_sampling::multinomial::sample_multinomial;
-use rand::RngCore;
+use od_sampling::multinomial::{sample_multinomial, sample_multinomial_into};
+use rand::{Rng, RngCore};
 
 /// The undecided-state dynamics over `num_opinions` real opinions.
 ///
@@ -132,6 +132,70 @@ impl SyncProtocol for UndecidedDynamics {
             }
         }
         OpinionCounts::from_counts(next).expect("undecided step preserves the population")
+    }
+
+    fn step_population_into(
+        &self,
+        counts: &OpinionCounts,
+        rng: &mut dyn RngCore,
+        scratch: &mut StepScratch,
+        out: &mut OpinionCounts,
+    ) {
+        assert_eq!(
+            counts.k(),
+            self.num_opinions + 1,
+            "UndecidedDynamics: configuration must have num_opinions + 1 slots"
+        );
+        let blank = self.num_opinions;
+        let n = counts.n();
+        scratch.probs.clear();
+        scratch
+            .probs
+            .extend(counts.counts().iter().map(|&c| c as f64 / n as f64));
+        let alpha_blank = scratch.probs[blank];
+        out.with_counts_mut(|next| {
+            next.clear();
+            next.resize(counts.k(), 0);
+            // Decided groups: keep w.p. α_j + α_blank, become blank else.
+            for j in 0..self.num_opinions {
+                let c = counts.count(j);
+                if c == 0 {
+                    continue;
+                }
+                let p_blank = (1.0 - scratch.probs[j] - alpha_blank).clamp(0.0, 1.0);
+                let to_blank = sample_binomial(rng, c, p_blank);
+                next[j] += c - to_blank;
+                next[blank] += to_blank;
+            }
+            // Undecided group: adopt the sampled vertex's state.
+            let undecided = counts.count(blank);
+            if undecided > 0 {
+                scratch.counts.clear();
+                scratch.counts.resize(counts.k(), 0);
+                sample_multinomial_into(rng, undecided, &scratch.probs, &mut scratch.counts);
+                for (slot, &a) in next.iter_mut().zip(scratch.counts.iter()) {
+                    *slot += a;
+                }
+            }
+        });
+    }
+}
+
+impl GraphProtocol for UndecidedDynamics {
+    fn pull_one<R, F>(&self, own: u32, mut draw: F, rng: &mut R) -> u32
+    where
+        R: Rng + ?Sized,
+        F: FnMut(&mut R) -> u32,
+    {
+        let blank = self.num_opinions as u32;
+        let u = draw(rng);
+        if own == blank {
+            u
+        } else if u == blank || u == own {
+            own
+        } else {
+            blank
+        }
     }
 }
 

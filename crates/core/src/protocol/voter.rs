@@ -1,10 +1,10 @@
 //! The voter model (1-choice): the natural baseline below 2-Choices and
 //! 3-Majority, and the `h = 1` member of the `h`-Majority family.
 
-use super::{OpinionSource, SyncProtocol};
+use super::{GraphProtocol, OpinionSource, StepScratch, SyncProtocol};
 use crate::config::OpinionCounts;
-use od_sampling::multinomial::sample_multinomial;
-use rand::RngCore;
+use od_sampling::multinomial::{sample_multinomial, sample_multinomial_into};
+use rand::{Rng, RngCore};
 
 /// The voter model: each vertex adopts the opinion of one uniformly random
 /// vertex. One synchronous round is a `Multinomial(n, α)` draw.
@@ -28,6 +28,35 @@ impl SyncProtocol for Voter {
     fn step_population(&self, counts: &OpinionCounts, rng: &mut dyn RngCore) -> OpinionCounts {
         let next = sample_multinomial(rng, counts.n(), &counts.fractions());
         OpinionCounts::from_counts(next).expect("voter step preserves the population")
+    }
+
+    fn step_population_into(
+        &self,
+        counts: &OpinionCounts,
+        rng: &mut dyn RngCore,
+        scratch: &mut StepScratch,
+        out: &mut OpinionCounts,
+    ) {
+        let n = counts.n();
+        scratch.probs.clear();
+        scratch
+            .probs
+            .extend(counts.counts().iter().map(|&c| c as f64 / n as f64));
+        out.with_counts_mut(|next| {
+            next.clear();
+            next.resize(counts.k(), 0);
+            sample_multinomial_into(rng, n, &scratch.probs, next);
+        });
+    }
+}
+
+impl GraphProtocol for Voter {
+    fn pull_one<R, F>(&self, _own: u32, mut draw: F, rng: &mut R) -> u32
+    where
+        R: Rng + ?Sized,
+        F: FnMut(&mut R) -> u32,
+    {
+        draw(rng)
     }
 }
 

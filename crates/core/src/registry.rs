@@ -253,6 +253,116 @@ pub fn build_protocol(name: &str, params: &ProtocolParams) -> Result<DynProtocol
     }
 }
 
+/// A registry-built protocol as a *concrete* enum, for callers that need
+/// monomorphized code paths (the graph-dynamics engine's inner loop must
+/// not go through `dyn`): match once, then run the generic engine on the
+/// concrete variant.
+///
+/// Every name accepted by [`build_protocol`] has a variant here, built by
+/// [`build_graph_protocol`] under the same validation.
+#[derive(Debug, Clone)]
+pub enum GraphProtocolKind {
+    /// 3-Majority.
+    ThreeMajority(ThreeMajority),
+    /// 2-Choices.
+    TwoChoices(TwoChoices),
+    /// The voter model.
+    Voter(Voter),
+    /// The median rule.
+    Median(MedianRule),
+    /// h-Majority.
+    HMajority(HMajority),
+    /// Undecided-state dynamics.
+    Undecided(UndecidedDynamics),
+    /// 3-Majority behind the uniform-noise channel.
+    NoisyThreeMajority(Noisy<ThreeMajority>),
+}
+
+impl GraphProtocolKind {
+    /// The protocol's human-readable name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        match self {
+            Self::ThreeMajority(p) => p.name(),
+            Self::TwoChoices(p) => p.name(),
+            Self::Voter(p) => p.name(),
+            Self::Median(p) => p.name(),
+            Self::HMajority(p) => p.name(),
+            Self::Undecided(p) => p.name(),
+            Self::NoisyThreeMajority(p) => p.name(),
+        }
+    }
+}
+
+/// Constructs the concrete [`GraphProtocolKind`] for a registry name —
+/// same names, aliases, and parameter validation as [`build_protocol`].
+///
+/// # Errors
+///
+/// Returns [`Error::UnknownProtocol`] / [`Error::InvalidParams`] exactly
+/// as [`build_protocol`] does.
+pub fn build_graph_protocol(
+    name: &str,
+    params: &ProtocolParams,
+) -> Result<GraphProtocolKind, Error> {
+    // Validate through the canonical constructor so the two builders can
+    // never drift apart, then rebuild the concrete value.
+    let _ = build_protocol(name, params)?;
+    let canon = canonical(name);
+    Ok(match canon.as_str() {
+        "three-majority" => GraphProtocolKind::ThreeMajority(ThreeMajority),
+        "two-choices" => GraphProtocolKind::TwoChoices(TwoChoices),
+        "voter" => GraphProtocolKind::Voter(Voter),
+        "median" => GraphProtocolKind::Median(MedianRule),
+        "h-majority" => {
+            let h = require_usize(params, &canon, "h")?;
+            GraphProtocolKind::HMajority(HMajority::new(h).expect("validated by build_protocol"))
+        }
+        "undecided" => {
+            let k = require_usize(params, &canon, "k")?;
+            GraphProtocolKind::Undecided(UndecidedDynamics::new(k))
+        }
+        "noisy-three-majority" => {
+            let epsilon = params.require_float(&canon, "epsilon")?;
+            let k = require_usize(params, &canon, "k")?;
+            GraphProtocolKind::NoisyThreeMajority(
+                Noisy::new(ThreeMajority, epsilon, k).expect("validated by build_protocol"),
+            )
+        }
+        other => {
+            // Every protocol currently has a kernel; this arm exists so a
+            // future population-only protocol degrades to a typed error
+            // instead of a panic.
+            return Err(Error::InvalidParams {
+                protocol: other.to_string(),
+                reason: "no graph-engine kernel is registered for this protocol".to_string(),
+            });
+        }
+    })
+}
+
+/// The exact opinion-slot count a protocol's configurations must have,
+/// when the protocol fixes one (`undecided`: `params.k + 1` — the blank
+/// state; `noisy-three-majority`: `params.k`). `None` for protocols that
+/// accept any opinion space.
+///
+/// Lets spec validators reject slot-count mismatches up front with a
+/// typed error instead of failing deep inside a trial.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParams`] when the protocol's sizing parameter
+/// is missing or ill-typed (the same condition [`build_protocol`]
+/// rejects).
+pub fn required_opinion_slots(name: &str, params: &ProtocolParams) -> Result<Option<usize>, Error> {
+    let canon = canonical(name);
+    Ok(match canon.as_str() {
+        "undecided" => Some(require_usize(params, &canon, "k")? + 1),
+        "noisy-three-majority" => Some(require_usize(params, &canon, "k")?),
+        _ => None,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,154 @@
+//! Determinism guarantees of the cell-seeded graph engine:
+//!
+//! * the rayon-parallel round is **bit-identical** to the sequential one
+//!   for every protocol × graph family (proptest over `n`, `k`, seeds);
+//! * the allocation-free `step_population_into` draws bit-identically to
+//!   the allocating `step_population` for every protocol.
+
+use od_core::protocol::{
+    GraphProtocol, HMajority, MedianRule, Noisy, StepScratch, SyncProtocol, ThreeMajority,
+    TwoChoices, UndecidedDynamics, Voter,
+};
+use od_core::{GraphSimulation, OpinionCounts};
+use od_graphs::{
+    barbell, core_periphery, cycle, erdos_renyi, random_regular, star, stochastic_block_model,
+    torus_2d, CompleteWithSelfLoops, CsrGraph, Graph,
+};
+use od_sampling::rng_for;
+use proptest::prelude::*;
+
+/// Asserts a full parallel run equals the sequential run bit-for-bit.
+fn check_par_eq_seq<P, G>(protocol: P, graph: &G, k: u32, trial_seed: u64)
+where
+    P: GraphProtocol + Sync,
+    G: Graph + Sync,
+{
+    let n = graph.n();
+    let initial: Vec<u32> = (0..n).map(|v| (v as u32) % k).collect();
+    let sim = GraphSimulation::new(protocol, graph).with_max_rounds(40);
+    let seq = sim.run_seeded(&initial, trial_seed);
+    let par = sim.run_seeded_par(&initial, trial_seed);
+    assert_eq!(seq, par, "par != seq on a {n}-vertex graph, k = {k}");
+}
+
+/// Runs the check for every registered protocol on one graph.
+fn check_all_protocols<G: Graph + Sync>(graph: &G, k: u32, trial_seed: u64) {
+    check_par_eq_seq(ThreeMajority, graph, k, trial_seed);
+    check_par_eq_seq(TwoChoices, graph, k, trial_seed);
+    check_par_eq_seq(Voter, graph, k, trial_seed);
+    check_par_eq_seq(MedianRule, graph, k, trial_seed);
+    check_par_eq_seq(HMajority::new(5).unwrap(), graph, k, trial_seed);
+    // Undecided: opinions 0..k are decided, k is the blank state; the
+    // striped initial above includes blanks when taken modulo k + 1.
+    check_par_eq_seq(UndecidedDynamics::new(k as usize), graph, k + 1, trial_seed);
+    check_par_eq_seq(
+        Noisy::new(ThreeMajority, 0.1, k as usize).unwrap(),
+        graph,
+        k,
+        trial_seed,
+    );
+}
+
+/// Every generated family at a feasible size, plus the complete graph.
+fn generated_families(n: usize, seed: u64) -> Vec<(&'static str, CsrGraph)> {
+    let mut rng = rng_for(seed, 0);
+    let even = n + n % 2; // feasibility for regular/barbell
+    vec![
+        ("erdos-renyi", {
+            // A cycle backbone keeps every vertex non-isolated (a
+            // degree-0 vertex has nothing to pull from).
+            let er = erdos_renyi(n, 4.0 / n as f64, &mut rng).unwrap();
+            let mut edges: Vec<(usize, usize)> = (0..n).map(|v| (v, (v + 1) % n)).collect();
+            for v in 0..er.n() {
+                for w in er.neighbors(v) {
+                    if v < w {
+                        edges.push((v, w));
+                    }
+                }
+            }
+            CsrGraph::from_edges(n, &edges)
+        }),
+        (
+            "random-regular",
+            random_regular(even.max(8), 6, &mut rng).unwrap(),
+        ),
+        (
+            "sbm",
+            stochastic_block_model(n.max(4), 0.5, 0.05, &mut rng).unwrap(),
+        ),
+        ("cycle", cycle(n.max(3))),
+        ("torus", torus_2d(4, 5)),
+        ("barbell", barbell(even.max(8) / 2)),
+        ("core-periphery", core_periphery(4, n)),
+        ("star", star(n.max(2))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn parallel_equals_sequential_everywhere(
+        n in 16usize..96,
+        k in 2u32..6,
+        trial_seed in 0u64..10_000,
+        graph_seed in 0u64..1_000,
+    ) {
+        for (_name, graph) in generated_families(n, graph_seed) {
+            check_all_protocols(&graph, k, trial_seed);
+        }
+        check_all_protocols(&CompleteWithSelfLoops::new(n), k, trial_seed);
+    }
+
+    #[test]
+    fn step_population_into_matches_step_population(
+        counts in proptest::collection::vec(0u64..80, 2..=6)
+            .prop_filter("positive population", |v| v.iter().sum::<u64>() > 0),
+        seed in 0u64..10_000,
+    ) {
+        let start = OpinionCounts::from_counts(counts).unwrap();
+        let k = start.k();
+        let protocols: Vec<Box<dyn SyncProtocol>> = vec![
+            Box::new(ThreeMajority),
+            Box::new(TwoChoices),
+            Box::new(Voter),
+            Box::new(MedianRule),
+            Box::new(HMajority::new(5).unwrap()),
+            Box::new(UndecidedDynamics::new(k - 1)),
+            Box::new(Noisy::new(ThreeMajority, 0.05, k).unwrap()),
+        ];
+        for protocol in &protocols {
+            let mut rng_a = rng_for(seed, 7);
+            let mut rng_b = rng_for(seed, 7);
+            let allocating = protocol.step_population(&start, &mut rng_a);
+            let mut scratch = StepScratch::new();
+            let mut into = start.clone();
+            protocol.step_population_into(&start, &mut rng_b, &mut scratch, &mut into);
+            prop_assert!(
+                allocating.counts() == into.counts(),
+                "protocol {} diverged: {:?} vs {:?}",
+                protocol.name(),
+                allocating.counts(),
+                into.counts()
+            );
+            // And the RNGs must have advanced identically.
+            prop_assert_eq!(
+                rand::Rng::random::<u64>(&mut rng_a),
+                rand::Rng::random::<u64>(&mut rng_b)
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_equals_sequential_at_scale() {
+    // One larger case so multiple rayon chunks are genuinely exercised
+    // (PAR_CHUNK is 4096 vertices).
+    let mut rng = rng_for(909, 0);
+    let g = random_regular(20_000, 8, &mut rng).unwrap();
+    let sim = GraphSimulation::new(ThreeMajority, &g).with_max_rounds(10);
+    let initial: Vec<u32> = (0..20_000).map(|v| (v % 5) as u32).collect();
+    let seq = sim.run_seeded(&initial, 123);
+    let par = sim.run_seeded_par(&initial, 123);
+    assert_eq!(seq, par);
+}

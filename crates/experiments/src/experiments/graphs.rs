@@ -4,103 +4,107 @@
 //! We run agent-level 3-Majority with `k ≥ 3` opinions on several graph
 //! families and report consensus times: expanders behave like the
 //! complete graph; the cycle and the barbell stall.
+//!
+//! Each family is submitted as a **graph job** through the `od-runtime`
+//! sharded executor (the same path `od-run` serves), so the workload
+//! checkpoints, resumes, and parallelises like every other experiment —
+//! and the per-trial randomness is the engine's counter-based
+//! `(trial, round, vertex)` cell derivation, bit-reproducible across
+//! thread schedules.
 
 use crate::report::{fmt_f, Table};
-use crate::sweep::{par_trials, ExpConfig};
-use od_core::protocol::ThreeMajority;
-use od_core::{GraphSimulation, StopReason};
-use od_graphs::{barbell, cycle, random_regular, torus_2d, CompleteWithSelfLoops, Graph};
-use od_sampling::rng_for;
+use crate::sweep::ExpConfig;
+use od_runtime::{run_job_simple, GraphFamily, GraphSpec, InitialSpec, JobSpec};
 use od_stats::RunningStats;
 
-fn measure<G: Graph + Sync>(
-    graph: &G,
+fn measure(
+    family: GraphFamily,
     name: &str,
+    n: u64,
     k: usize,
     trials: u64,
     max_rounds: u64,
     seed: u64,
 ) -> (String, RunningStats, u64) {
-    let n = graph.n();
-    let initial: Vec<u32> = (0..n).map(|v| (v % k) as u32).collect();
-    let results = par_trials(trials, |trial| {
-        let mut rng = rng_for(seed, trial);
-        let sim = GraphSimulation::new(ThreeMajority, RefGraph(graph)).with_max_rounds(max_rounds);
-        sim.run(&initial, &mut rng)
-    });
-    let mut stats = RunningStats::new();
-    let mut capped = 0u64;
-    for o in &results {
-        if o.reason == StopReason::Consensus {
-            stats.push(o.rounds as f64);
-        } else {
-            capped += 1;
-        }
-    }
-    (name.to_string(), stats, capped)
-}
-
-/// Borrow adapter so one graph can be shared across parallel trials.
-struct RefGraph<'a, G: Graph>(&'a G);
-
-impl<G: Graph> Graph for RefGraph<'_, G> {
-    fn n(&self) -> usize {
-        self.0.n()
-    }
-    fn degree(&self, v: usize) -> usize {
-        self.0.degree(v)
-    }
-    fn sample_neighbor<R: rand::Rng + ?Sized>(&self, v: usize, rng: &mut R) -> usize {
-        self.0.sample_neighbor(v, rng)
-    }
-    fn neighbors(&self, v: usize) -> Vec<usize> {
-        self.0.neighbors(v)
-    }
+    let spec = JobSpec {
+        max_rounds,
+        // One trial per shard: full rayon parallelism across trials.
+        shard_size: 1,
+        graph: Some(GraphSpec::new(family)),
+        ..JobSpec::new(
+            &format!("E12 {name} n={n} k={k}"),
+            "three-majority",
+            InitialSpec::Balanced { n, k },
+            trials,
+            seed,
+        )
+    };
+    let report = run_job_simple(&spec).expect("E12 specs are valid by construction");
+    (
+        name.to_string(),
+        report.summary.round_stats(),
+        report.summary.capped,
+    )
 }
 
 /// Runs E12.
 #[must_use]
 pub fn run(cfg: &ExpConfig) -> Vec<Table> {
-    let n: usize = cfg.pick(2_048, 512);
+    let n: u64 = cfg.pick(2_048, 512);
     let k: usize = 8;
     let trials: u64 = cfg.pick(5, 2);
     let max_rounds: u64 = cfg.pick(20_000, 4_000);
-    let side = (n as f64).sqrt() as usize;
-
-    let mut rng = rng_for(cfg.seed + 7000, 0);
-    let complete = CompleteWithSelfLoops::new(n);
-    let regular = random_regular(n, 8, &mut rng).expect("feasible regular graph");
-    let torus = torus_2d(side, side);
-    let ring = cycle(n);
-    let bar = barbell(n / 2);
+    let side = (n as f64).sqrt() as u64;
 
     let results = vec![
         measure(
-            &complete,
+            GraphFamily::Complete,
             "complete+loops",
+            n,
             k,
             trials,
             max_rounds,
             cfg.seed + 7001,
         ),
         measure(
-            &regular,
+            GraphFamily::RandomRegular { d: 8 },
             "random 8-regular",
+            n,
             k,
             trials,
             max_rounds,
             cfg.seed + 7002,
         ),
         measure(
-            &torus,
+            GraphFamily::Torus2d {
+                width: side,
+                height: side,
+            },
             "torus (sqrt(n) x sqrt(n))",
+            side * side,
             k,
             trials,
             max_rounds,
             cfg.seed + 7003,
         ),
-        measure(&ring, "cycle", k, trials, max_rounds, cfg.seed + 7004),
-        measure(&bar, "barbell", k, trials, max_rounds, cfg.seed + 7005),
+        measure(
+            GraphFamily::Cycle,
+            "cycle",
+            n,
+            k,
+            trials,
+            max_rounds,
+            cfg.seed + 7004,
+        ),
+        measure(
+            GraphFamily::Barbell,
+            "barbell",
+            n,
+            k,
+            trials,
+            max_rounds,
+            cfg.seed + 7005,
+        ),
     ];
 
     let mut table = Table::new(
@@ -119,6 +123,9 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
     table.push_note(
         "expanders track the complete graph; cycle/barbell are expected to stall (capped)"
             .to_string(),
+    );
+    table.push_note(
+        "submitted as od-runtime graph jobs (checkpointable; parallel across trials)".to_string(),
     );
     vec![table]
 }

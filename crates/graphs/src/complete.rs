@@ -54,6 +54,16 @@ impl Graph for CompleteWithSelfLoops {
         assert!(v < self.n, "vertex {v} out of range");
         (0..self.n).collect()
     }
+
+    fn has_self_loop(&self, v: Vertex) -> bool {
+        assert!(v < self.n, "vertex {v} out of range");
+        true
+    }
+
+    fn edge_count(&self) -> usize {
+        // C(n, 2) pair edges plus n self-loops, in O(1).
+        self.n * (self.n - 1) / 2 + self.n
+    }
 }
 
 #[cfg(test)]

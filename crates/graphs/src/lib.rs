@@ -21,13 +21,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod adjacency;
 mod complete;
+mod csr;
 mod random_graphs;
 mod structured;
 
-pub use adjacency::AdjacencyGraph;
 pub use complete::CompleteWithSelfLoops;
+pub use csr::CsrGraph;
+
+/// The former adjacency-list graph, now an alias of the canonical CSR
+/// representation every generator lowers into.
+pub type AdjacencyGraph = CsrGraph;
 pub use random_graphs::{erdos_renyi, random_regular, stochastic_block_model, GraphBuildError};
 pub use structured::{barbell, core_periphery, cycle, star, torus_2d};
 
@@ -56,18 +60,63 @@ pub trait Graph {
     /// dynamics only use [`Graph::sample_neighbor`]).
     fn neighbors(&self, v: Vertex) -> Vec<Vertex>;
 
+    /// True if `v` has an edge to itself.
+    ///
+    /// The default allocates via [`Graph::neighbors`]; implementations
+    /// should override it with a direct membership test.
+    fn has_self_loop(&self, v: Vertex) -> bool {
+        self.neighbors(v).contains(&v)
+    }
+
     /// Total number of edges (self-loops count once).
+    ///
+    /// The default is one pass over the vertices through
+    /// [`Graph::degree`]/[`Graph::has_self_loop`] — allocation-free
+    /// whenever `has_self_loop` is overridden. [`CsrGraph`] answers in
+    /// `O(1)` from its construction-time loop count.
     fn edge_count(&self) -> usize {
-        let loops = (0..self.n())
-            .filter(|&v| self.neighbors(v).contains(&v))
-            .count();
-        let sum_deg: usize = (0..self.n()).map(|v| self.degree(v)).sum();
+        let mut sum_deg = 0usize;
+        let mut loops = 0usize;
+        for v in 0..self.n() {
+            sum_deg += self.degree(v);
+            loops += usize::from(self.has_self_loop(v));
+        }
         (sum_deg - loops) / 2 + loops
     }
 
     /// True if every vertex has at least one neighbor.
     fn has_no_isolated_vertices(&self) -> bool {
         (0..self.n()).all(|v| self.degree(v) > 0)
+    }
+}
+
+impl<G: Graph + ?Sized> Graph for &G {
+    fn n(&self) -> usize {
+        (**self).n()
+    }
+
+    fn degree(&self, v: Vertex) -> usize {
+        (**self).degree(v)
+    }
+
+    fn sample_neighbor<R: Rng + ?Sized>(&self, v: Vertex, rng: &mut R) -> Vertex {
+        (**self).sample_neighbor(v, rng)
+    }
+
+    fn neighbors(&self, v: Vertex) -> Vec<Vertex> {
+        (**self).neighbors(v)
+    }
+
+    fn has_self_loop(&self, v: Vertex) -> bool {
+        (**self).has_self_loop(v)
+    }
+
+    fn edge_count(&self) -> usize {
+        (**self).edge_count()
+    }
+
+    fn has_no_isolated_vertices(&self) -> bool {
+        (**self).has_no_isolated_vertices()
     }
 }
 

@@ -1,0 +1,145 @@
+//! CSR-vs-trait equivalence for every generator: the fast CSR paths
+//! (`degree`, O(1) `edge_count`, `has_self_loop`, branch-free
+//! `sample_neighbor`) must agree with a naive adjacency-list reference
+//! built through the generic [`Graph`] facade.
+
+use od_graphs::{
+    barbell, core_periphery, cycle, erdos_renyi, random_regular, star, stochastic_block_model,
+    torus_2d, CsrGraph, Graph, Vertex,
+};
+use od_sampling::rng_for;
+
+/// A deliberately naive reference implementation backed by `Vec<Vec<_>>`,
+/// using only the trait's *default* method bodies where they exist.
+struct NaiveGraph {
+    adjacency: Vec<Vec<Vertex>>,
+}
+
+impl NaiveGraph {
+    fn from_graph<G: Graph>(graph: &G) -> Self {
+        Self {
+            adjacency: (0..graph.n()).map(|v| graph.neighbors(v)).collect(),
+        }
+    }
+}
+
+impl Graph for NaiveGraph {
+    fn n(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    fn degree(&self, v: Vertex) -> usize {
+        self.adjacency[v].len()
+    }
+
+    fn sample_neighbor<R: rand::Rng + ?Sized>(&self, v: Vertex, rng: &mut R) -> Vertex {
+        let nbrs = &self.adjacency[v];
+        nbrs[rng.random_range(0..nbrs.len())]
+    }
+
+    fn neighbors(&self, v: Vertex) -> Vec<Vertex> {
+        self.adjacency[v].clone()
+    }
+    // edge_count and has_self_loop use the trait defaults.
+}
+
+fn assert_equivalent(name: &str, csr: &CsrGraph) {
+    let naive = NaiveGraph::from_graph(csr);
+    assert_eq!(csr.n(), naive.n(), "{name}: n");
+    assert_eq!(
+        csr.edge_count(),
+        naive.edge_count(),
+        "{name}: O(1) edge_count vs trait default"
+    );
+    let mut loops = 0usize;
+    for v in 0..csr.n() {
+        assert_eq!(csr.degree(v), naive.degree(v), "{name}: degree({v})");
+        assert_eq!(
+            csr.has_self_loop(v),
+            naive.has_self_loop(v),
+            "{name}: has_self_loop({v})"
+        );
+        loops += usize::from(csr.has_self_loop(v));
+        // Symmetry through the facade.
+        for &w in &naive.adjacency[v] {
+            assert!(
+                naive.adjacency[w].contains(&v),
+                "{name}: edge ({v},{w}) not symmetric"
+            );
+        }
+        // Rows are sorted and deduplicated.
+        let row = csr.neighbor_slice(v);
+        assert!(
+            row.windows(2).all(|w| w[0] < w[1]),
+            "{name}: row {v} not strictly sorted"
+        );
+    }
+    assert_eq!(csr.num_self_loops(), loops, "{name}: loop count");
+    assert_eq!(
+        csr.has_no_isolated_vertices(),
+        (0..csr.n()).all(|v| naive.degree(v) > 0),
+        "{name}: isolated-vertex check"
+    );
+    // Sampling stays inside the neighborhood and touches every neighbor
+    // of a few probe vertices.
+    let mut rng = rng_for(0xC5A, 1);
+    for v in (0..csr.n()).step_by((csr.n() / 7).max(1)) {
+        if csr.degree(v) == 0 {
+            continue;
+        }
+        let nbrs = naive.neighbors(v);
+        let mut seen = vec![false; nbrs.len()];
+        for _ in 0..64 * nbrs.len() {
+            let w = csr.sample_neighbor(v, &mut rng);
+            let idx = nbrs
+                .iter()
+                .position(|&x| x == w)
+                .unwrap_or_else(|| panic!("{name}: sampled non-neighbor {w} of {v}"));
+            seen[idx] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "{name}: sampling missed a neighbor of {v}"
+        );
+    }
+}
+
+#[test]
+fn every_generator_lowers_to_an_equivalent_csr() {
+    let mut rng = rng_for(0xC5A, 0);
+    let cases: Vec<(&str, CsrGraph)> = vec![
+        ("erdos_renyi", erdos_renyi(120, 0.06, &mut rng).unwrap()),
+        ("random_regular", random_regular(90, 6, &mut rng).unwrap()),
+        (
+            "stochastic_block_model",
+            stochastic_block_model(80, 0.4, 0.05, &mut rng).unwrap(),
+        ),
+        ("cycle", cycle(57)),
+        ("torus_2d", torus_2d(7, 9)),
+        ("barbell", barbell(21)),
+        ("core_periphery", core_periphery(9, 40)),
+        ("star", star(33)),
+        (
+            "explicit_with_loops",
+            CsrGraph::from_edges(6, &[(0, 0), (0, 1), (1, 2), (2, 2), (3, 4), (4, 5), (5, 3)]),
+        ),
+    ];
+    for (name, csr) in &cases {
+        assert_equivalent(name, csr);
+    }
+}
+
+#[test]
+fn complete_graph_overrides_match_defaults() {
+    use od_graphs::CompleteWithSelfLoops;
+    let g = CompleteWithSelfLoops::new(9);
+    // O(1) overrides vs the generic one-pass default.
+    let mut sum_deg = 0usize;
+    let mut loops = 0usize;
+    for v in 0..g.n() {
+        sum_deg += g.degree(v);
+        loops += usize::from(g.has_self_loop(v));
+    }
+    assert_eq!(g.edge_count(), (sum_deg - loops) / 2 + loops);
+    assert_eq!(g.edge_count(), 9 * 8 / 2 + 9);
+}

@@ -16,11 +16,17 @@
 
 use crate::checkpoint::Checkpoint;
 use crate::error::RuntimeError;
-use crate::spec::{ExecutionMode, JobSpec, StopRule};
+use crate::spec::{ExecutionMode, GraphFamily, GraphSpec, JobSpec, OpinionAssignment, StopRule};
 use crate::summary::{ShardSummary, TrialResult};
-use od_core::registry::DynProtocol;
-use od_core::{run_compacted_until, OpinionCounts, Simulation};
+use od_core::protocol::GraphProtocol;
+use od_core::registry::{build_graph_protocol, DynProtocol, GraphProtocolKind};
+use od_core::{run_compacted_until, GraphSimulation, OpinionCounts, Simulation, StopReason};
+use od_graphs::{
+    barbell, core_periphery, cycle, erdos_renyi, random_regular, star, stochastic_block_model,
+    torus_2d, CompleteWithSelfLoops, CsrGraph, Graph,
+};
 use od_sampling::rng_for;
+use od_sampling::seeds::derive_seed;
 use rayon::prelude::*;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -120,6 +126,30 @@ pub fn run_job(spec: &JobSpec, options: &RunOptions) -> Result<JobReport, Runtim
         .filter(|index| !checkpoint.shards.contains_key(index))
         .collect();
 
+    // The trial engine is prepared only when shards actually run: a
+    // fully-resumed job must not pay graph generation again. Graph
+    // scenarios build the kernel, the graph, and the per-vertex start
+    // once per job; population jobs keep the boxed protocol.
+    let engine = if pending.is_empty() {
+        None
+    } else {
+        Some(match &spec.graph {
+            None => TrialEngine::Population(protocol),
+            Some(graph_spec) => {
+                let kernel = build_graph_protocol(&spec.protocol, &spec.params)
+                    .map_err(RuntimeError::Core)?;
+                let graph = build_graph(graph_spec, &initial, spec.master_seed)?;
+                let opinions = assign_opinions(&initial, graph_spec.assignment);
+                TrialEngine::Graph(GraphEngine {
+                    kernel,
+                    graph,
+                    opinions,
+                    k: initial.k(),
+                })
+            }
+        })
+    };
+
     // Completed shards stream into the checkpoint under a mutex; the
     // simulation work itself runs lock-free.
     let shared = Mutex::new((checkpoint, None::<RuntimeError>));
@@ -127,7 +157,10 @@ pub fn run_job(spec: &JobSpec, options: &RunOptions) -> Result<JobReport, Runtim
     let executed: Vec<Option<u64>> = pending
         .into_par_iter()
         .map(|shard_index| {
-            let summary = run_shard(spec, &protocol, &initial, shard_index, cancel)?;
+            let engine = engine
+                .as_ref()
+                .expect("engine is built when shards are pending");
+            let summary = run_shard(spec, engine, &initial, shard_index, cancel)?;
             let mut guard = shared.lock().expect("checkpoint lock poisoned");
             let (checkpoint, first_error) = &mut *guard;
             checkpoint.record(shard_index, summary);
@@ -168,11 +201,187 @@ pub fn run_job(spec: &JobSpec, options: &RunOptions) -> Result<JobReport, Runtim
     })
 }
 
+/// The per-trial execution strategy, prepared once per job.
+enum TrialEngine {
+    /// Population-level dynamics on the complete graph (the default).
+    Population(DynProtocol),
+    /// Agent-level dynamics on a generated graph.
+    Graph(GraphEngine),
+}
+
+/// Everything a graph trial shares across trials: the concrete kernel,
+/// the generated graph, and the per-vertex initial opinions.
+struct GraphEngine {
+    kernel: GraphProtocolKind,
+    graph: BuiltGraph,
+    opinions: Vec<u32>,
+    k: usize,
+}
+
+/// A generated graph: the complete graph stays implicit (`O(1)` memory);
+/// everything else lowers to CSR.
+enum BuiltGraph {
+    Complete(CompleteWithSelfLoops),
+    Csr(CsrGraph),
+}
+
+/// Reserved generator stream id, so graph construction never collides
+/// with the per-trial streams `0..trials`.
+const GRAPH_STREAM: u64 = 0x6f64_2d67_7261_7068; // "od-graph"
+
+/// Generates the job's graph from its reserved RNG stream.
+fn build_graph(
+    graph_spec: &GraphSpec,
+    initial: &OpinionCounts,
+    master_seed: u64,
+) -> Result<BuiltGraph, RuntimeError> {
+    let n = usize::try_from(initial.n())
+        .map_err(|_| RuntimeError::Spec("graph jobs require n to fit usize".to_string()))?;
+    let mut rng = rng_for(graph_spec.seed.unwrap_or(master_seed), GRAPH_STREAM);
+    let graph_err = |e: od_graphs::GraphBuildError| RuntimeError::Spec(format!("graph: {e}"));
+    let built = match graph_spec.family {
+        GraphFamily::Complete => BuiltGraph::Complete(CompleteWithSelfLoops::new(n)),
+        GraphFamily::ErdosRenyi { p, backbone } => {
+            let er = erdos_renyi(n, p, &mut rng).map_err(graph_err)?;
+            if backbone && n >= 3 {
+                // Splice the Hamiltonian cycle 0–1–…–(n−1)–0 under the
+                // random edges: no isolated vertices at any p.
+                let mut edges: Vec<(usize, usize)> = (0..n).map(|v| (v, (v + 1) % n)).collect();
+                for v in 0..n {
+                    for w in er.neighbors(v) {
+                        if v < w {
+                            edges.push((v, w));
+                        }
+                    }
+                }
+                BuiltGraph::Csr(CsrGraph::from_edges(n, &edges))
+            } else {
+                BuiltGraph::Csr(er)
+            }
+        }
+        GraphFamily::RandomRegular { d } => {
+            BuiltGraph::Csr(random_regular(n, d as usize, &mut rng).map_err(graph_err)?)
+        }
+        GraphFamily::StochasticBlockModel { p_in, p_out } => {
+            BuiltGraph::Csr(stochastic_block_model(n, p_in, p_out, &mut rng).map_err(graph_err)?)
+        }
+        GraphFamily::Cycle => BuiltGraph::Csr(cycle(n)),
+        GraphFamily::Torus2d { width, height } => {
+            BuiltGraph::Csr(torus_2d(width as usize, height as usize))
+        }
+        GraphFamily::Barbell => BuiltGraph::Csr(barbell(n / 2)),
+        GraphFamily::CorePeriphery { core } => {
+            BuiltGraph::Csr(core_periphery(core as usize, n - core as usize))
+        }
+        GraphFamily::Star => BuiltGraph::Csr(star(n)),
+    };
+    if let BuiltGraph::Csr(graph) = &built {
+        // A degree-0 vertex has no neighbor to pull from; fail the job
+        // with a typed error instead of panicking mid-trial.
+        if !graph.has_no_isolated_vertices() {
+            return Err(RuntimeError::Spec(
+                "graph: the generated graph has isolated vertices — increase the edge \
+                 density, change the seed, or (for erdos-renyi) set \"backbone\": true"
+                    .to_string(),
+            ));
+        }
+    }
+    Ok(built)
+}
+
+/// Lays the configuration out over vertex ids.
+fn assign_opinions(initial: &OpinionCounts, assignment: OpinionAssignment) -> Vec<u32> {
+    match assignment {
+        OpinionAssignment::Blocks => od_core::protocol::expand(initial),
+        OpinionAssignment::Striped => {
+            // Deal opinions round-robin: for balanced starts this is the
+            // classic `v % k` striping; skewed counts stay maximally
+            // interleaved until a class runs out.
+            let n = initial.n() as usize;
+            let mut remaining = initial.counts().to_vec();
+            let mut out = Vec::with_capacity(n);
+            while out.len() < n {
+                for (j, slot) in remaining.iter_mut().enumerate() {
+                    if *slot > 0 {
+                        *slot -= 1;
+                        out.push(j as u32);
+                    }
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Executes one graph trial: monomorphize over (graph representation ×
+/// protocol kernel), then run the cell-seeded engine.
+fn run_graph_trial(spec: &JobSpec, engine: &GraphEngine, trial: u64) -> TrialResult {
+    let trial_seed = derive_seed(spec.master_seed, trial);
+    match &engine.graph {
+        BuiltGraph::Complete(g) => dispatch_kernel(spec, engine, g, trial_seed),
+        BuiltGraph::Csr(g) => dispatch_kernel(spec, engine, g, trial_seed),
+    }
+}
+
+fn dispatch_kernel<G: Graph + Sync>(
+    spec: &JobSpec,
+    engine: &GraphEngine,
+    graph: &G,
+    trial_seed: u64,
+) -> TrialResult {
+    match &engine.kernel {
+        GraphProtocolKind::ThreeMajority(p) => run_graph_case(spec, p, graph, engine, trial_seed),
+        GraphProtocolKind::TwoChoices(p) => run_graph_case(spec, p, graph, engine, trial_seed),
+        GraphProtocolKind::Voter(p) => run_graph_case(spec, p, graph, engine, trial_seed),
+        GraphProtocolKind::Median(p) => run_graph_case(spec, p, graph, engine, trial_seed),
+        GraphProtocolKind::HMajority(p) => run_graph_case(spec, p, graph, engine, trial_seed),
+        GraphProtocolKind::Undecided(p) => run_graph_case(spec, p, graph, engine, trial_seed),
+        GraphProtocolKind::NoisyThreeMajority(p) => {
+            run_graph_case(spec, p, graph, engine, trial_seed)
+        }
+    }
+}
+
+fn run_graph_case<P: GraphProtocol, G: Graph>(
+    spec: &JobSpec,
+    protocol: &P,
+    graph: &G,
+    engine: &GraphEngine,
+    trial_seed: u64,
+) -> TrialResult {
+    let sim = GraphSimulation::new(protocol, graph).with_max_rounds(spec.max_rounds);
+    let k = engine.k;
+    // Threshold stops tally each round; the plain consensus run skips
+    // the tally entirely. Both go through the engine's single
+    // double-buffered loop (`run_seeded_until`).
+    let out = match spec.stop {
+        StopRule::Consensus => sim.run_seeded(&engine.opinions, trial_seed),
+        StopRule::MaxFraction(threshold) => {
+            sim.run_seeded_until(&engine.opinions, trial_seed, |_, opinions| {
+                od_core::protocol::tally(opinions, k).max_fraction() >= threshold
+            })
+        }
+        StopRule::Gamma(threshold) => {
+            sim.run_seeded_until(&engine.opinions, trial_seed, |_, opinions| {
+                od_core::protocol::tally(opinions, k).gamma() >= threshold
+            })
+        }
+    };
+    match out.reason {
+        StopReason::Consensus => TrialResult::Consensus {
+            rounds: out.rounds,
+            winner: out.winner.map(|w| w as u64),
+        },
+        StopReason::Predicate => TrialResult::Stopped { rounds: out.rounds },
+        StopReason::RoundLimit => TrialResult::Capped,
+    }
+}
+
 /// Executes one shard, or returns `None` when cancelled (partial shards
 /// are discarded, never recorded).
 fn run_shard(
     spec: &JobSpec,
-    protocol: &DynProtocol,
+    engine: &TrialEngine,
     initial: &OpinionCounts,
     shard_index: u64,
     cancel: &CancelToken,
@@ -183,7 +392,7 @@ fn run_shard(
         if cancel.is_cancelled() {
             return None;
         }
-        summary.push(run_trial(spec, protocol, initial, trial));
+        summary.push(run_trial(spec, engine, initial, trial));
     }
     Some(summary)
 }
@@ -191,10 +400,14 @@ fn run_shard(
 /// Executes one trial with the canonical per-trial RNG derivation.
 fn run_trial(
     spec: &JobSpec,
-    protocol: &DynProtocol,
+    engine: &TrialEngine,
     initial: &OpinionCounts,
     trial: u64,
 ) -> TrialResult {
+    let protocol = match engine {
+        TrialEngine::Graph(graph_engine) => return run_graph_trial(spec, graph_engine, trial),
+        TrialEngine::Population(protocol) => protocol,
+    };
     let mut rng = rng_for(spec.master_seed, trial);
     match spec.mode {
         ExecutionMode::Compacted => {

@@ -57,5 +57,8 @@ pub use checkpoint::Checkpoint;
 pub use error::RuntimeError;
 pub use executor::{run_job, run_job_simple, CancelToken, JobReport, RunOptions};
 pub use queue::{default_checkpoint_path, load_job_file, run_queue};
-pub use spec::{AdversarySpec, ExecutionMode, InitialSpec, JobSpec, StopRule};
+pub use spec::{
+    AdversarySpec, ExecutionMode, GraphFamily, GraphSpec, InitialSpec, JobSpec, OpinionAssignment,
+    StopRule,
+};
 pub use summary::{ShardSummary, TrialResult};

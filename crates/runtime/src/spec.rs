@@ -226,6 +226,313 @@ impl AdversarySpec {
     }
 }
 
+/// How the initial configuration is laid out over the graph's vertices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OpinionAssignment {
+    /// Deal opinions round-robin over vertex ids (`v % k` for balanced
+    /// starts) — the symmetric default.
+    #[default]
+    Striped,
+    /// Contiguous vertex blocks per opinion — correlates opinion with
+    /// community structure on block-structured graphs (SBM, barbell).
+    Blocks,
+}
+
+impl OpinionAssignment {
+    fn as_str(self) -> &'static str {
+        match self {
+            Self::Striped => "striped",
+            Self::Blocks => "blocks",
+        }
+    }
+}
+
+/// A graph family plus its parameters, as job data. The vertex count is
+/// always the job's `initial` population size `n`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphFamily {
+    /// The complete graph with self-loops (the paper's substrate), as an
+    /// *agent-level* workload.
+    Complete,
+    /// Erdős–Rényi `G(n, p)`, optionally over a Hamiltonian-cycle
+    /// backbone.
+    ErdosRenyi {
+        /// Edge probability.
+        p: f64,
+        /// Adds the cycle `0–1–…–(n−1)–0` under the random edges, so the
+        /// graph has no isolated vertices at any `p`. Sparse regimes
+        /// (`p` below `≈ ln n / n`) produce isolated vertices with high
+        /// probability and are otherwise rejected, because a degree-0
+        /// vertex has no neighbor to pull an opinion from.
+        backbone: bool,
+    },
+    /// Random `d`-regular graph (an expander w.h.p. for `d ≥ 3`).
+    RandomRegular {
+        /// Vertex degree.
+        d: u64,
+    },
+    /// Two-community stochastic block model.
+    StochasticBlockModel {
+        /// Intra-community edge probability.
+        p_in: f64,
+        /// Inter-community edge probability.
+        p_out: f64,
+    },
+    /// The cycle `C_n`.
+    Cycle,
+    /// The `width × height` torus grid (`width · height` must equal `n`).
+    Torus2d {
+        /// Grid width.
+        width: u64,
+        /// Grid height.
+        height: u64,
+    },
+    /// Two `n/2`-cliques joined by one bridge edge (`n` must be even).
+    Barbell,
+    /// Clique core of `core` vertices plus `n − core` degree-1 periphery
+    /// vertices.
+    CorePeriphery {
+        /// Core size.
+        core: u64,
+    },
+    /// The star `K_{1,n−1}`.
+    Star,
+}
+
+impl GraphFamily {
+    fn kind(&self) -> &'static str {
+        match self {
+            Self::Complete => "complete",
+            Self::ErdosRenyi { .. } => "erdos-renyi",
+            Self::RandomRegular { .. } => "random-regular",
+            Self::StochasticBlockModel { .. } => "stochastic-block-model",
+            Self::Cycle => "cycle",
+            Self::Torus2d { .. } => "torus",
+            Self::Barbell => "barbell",
+            Self::CorePeriphery { .. } => "core-periphery",
+            Self::Star => "star",
+        }
+    }
+}
+
+/// The graph scenario block of a job: runs the protocol agent-level on a
+/// generated graph instead of population-level on the complete graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphSpec {
+    /// Which graph to generate.
+    pub family: GraphFamily,
+    /// Seed of the graph generator (default: the job's `master_seed`).
+    /// The generator draws from a reserved stream, so graph construction
+    /// never interferes with trial randomness.
+    pub seed: Option<u64>,
+    /// Vertex layout of the initial configuration.
+    pub assignment: OpinionAssignment,
+}
+
+impl GraphSpec {
+    /// A spec for `family` with default seed and assignment.
+    #[must_use]
+    pub fn new(family: GraphFamily) -> Self {
+        Self {
+            family,
+            seed: None,
+            assignment: OpinionAssignment::default(),
+        }
+    }
+
+    /// Validates the family parameters against the population size `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a spec error for infeasible `(family, n)` combinations.
+    pub fn validate(&self, n: u64) -> Result<(), RuntimeError> {
+        if u32::try_from(n).is_err() {
+            return Err(spec_err(&format!(
+                "graph jobs require n <= u32::MAX, got {n}"
+            )));
+        }
+        let prob_ok = |p: f64| (0.0..=1.0).contains(&p) && !p.is_nan();
+        match &self.family {
+            GraphFamily::Complete => Ok(()),
+            GraphFamily::ErdosRenyi { p, .. } => {
+                if prob_ok(*p) {
+                    Ok(())
+                } else {
+                    Err(spec_err("graph.p must be in [0, 1]"))
+                }
+            }
+            GraphFamily::RandomRegular { d } => {
+                if *d == 0 || *d >= n || !(n * d).is_multiple_of(2) {
+                    Err(spec_err(&format!(
+                        "graph: no simple {d}-regular graph on {n} vertices exists"
+                    )))
+                } else {
+                    Ok(())
+                }
+            }
+            GraphFamily::StochasticBlockModel { p_in, p_out } => {
+                if n < 2 {
+                    Err(spec_err("graph: stochastic-block-model needs n >= 2"))
+                } else if prob_ok(*p_in) && prob_ok(*p_out) {
+                    Ok(())
+                } else {
+                    Err(spec_err("graph.p_in/p_out must be in [0, 1]"))
+                }
+            }
+            GraphFamily::Cycle => {
+                if n < 3 {
+                    Err(spec_err("graph: cycle needs n >= 3"))
+                } else {
+                    Ok(())
+                }
+            }
+            GraphFamily::Torus2d { width, height } => {
+                if *width < 3 || *height < 3 {
+                    Err(spec_err("graph: torus needs width >= 3 and height >= 3"))
+                } else if width.checked_mul(*height) != Some(n) {
+                    Err(spec_err(&format!(
+                        "graph: torus width * height = {} must equal n = {n}",
+                        width.saturating_mul(*height)
+                    )))
+                } else {
+                    Ok(())
+                }
+            }
+            GraphFamily::Barbell => {
+                if !n.is_multiple_of(2) || n < 4 {
+                    Err(spec_err("graph: barbell needs an even n >= 4"))
+                } else {
+                    Ok(())
+                }
+            }
+            GraphFamily::CorePeriphery { core } => {
+                if *core < 2 || *core > n {
+                    Err(spec_err("graph: core-periphery needs 2 <= core <= n"))
+                } else {
+                    Ok(())
+                }
+            }
+            GraphFamily::Star => {
+                if n < 2 {
+                    Err(spec_err("graph: star needs n >= 2"))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        obj.insert("family", Json::Str(self.family.kind().into()));
+        match &self.family {
+            GraphFamily::ErdosRenyi { p, backbone } => {
+                obj.insert("p", Json::Float(*p));
+                // Written only when set, keeping pre-existing spec hashes
+                // stable.
+                if *backbone {
+                    obj.insert("backbone", Json::Bool(true));
+                }
+            }
+            GraphFamily::RandomRegular { d } => obj.insert("d", json_u64(*d)),
+            GraphFamily::StochasticBlockModel { p_in, p_out } => {
+                obj.insert("p_in", Json::Float(*p_in));
+                obj.insert("p_out", Json::Float(*p_out));
+            }
+            GraphFamily::Torus2d { width, height } => {
+                obj.insert("width", json_u64(*width));
+                obj.insert("height", json_u64(*height));
+            }
+            GraphFamily::CorePeriphery { core } => obj.insert("core", json_u64(*core)),
+            GraphFamily::Complete
+            | GraphFamily::Cycle
+            | GraphFamily::Barbell
+            | GraphFamily::Star => {}
+        }
+        if let Some(seed) = self.seed {
+            obj.insert("seed", json_u64(seed));
+        }
+        if self.assignment != OpinionAssignment::default() {
+            obj.insert("assignment", Json::Str(self.assignment.as_str().into()));
+        }
+        obj
+    }
+
+    fn from_json(value: &Json) -> Result<Self, RuntimeError> {
+        let family_kind = require_str(value, "family", "graph")?;
+        let base_keys = ["family", "seed", "assignment"];
+        let allowed: Vec<&str> = match family_kind {
+            "erdos-renyi" => [&base_keys[..], &["p", "backbone"]].concat(),
+            "random-regular" => [&base_keys[..], &["d"]].concat(),
+            "stochastic-block-model" => [&base_keys[..], &["p_in", "p_out"]].concat(),
+            "torus" => [&base_keys[..], &["width", "height"]].concat(),
+            "core-periphery" => [&base_keys[..], &["core"]].concat(),
+            _ => base_keys.to_vec(),
+        };
+        reject_unknown_keys(value, "graph", &allowed)?;
+        let float_field = |key: &str| {
+            value
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| spec_err(&format!("graph.{key} must be a number")))
+        };
+        let family = match family_kind {
+            "complete" => GraphFamily::Complete,
+            "erdos-renyi" => GraphFamily::ErdosRenyi {
+                p: float_field("p")?,
+                backbone: match value.get("backbone") {
+                    None => false,
+                    Some(v) => v
+                        .as_bool()
+                        .ok_or_else(|| spec_err("graph.backbone must be a boolean"))?,
+                },
+            },
+            "random-regular" => GraphFamily::RandomRegular {
+                d: require_u64(value, "d", "graph")?,
+            },
+            "stochastic-block-model" => GraphFamily::StochasticBlockModel {
+                p_in: float_field("p_in")?,
+                p_out: float_field("p_out")?,
+            },
+            "cycle" => GraphFamily::Cycle,
+            "torus" => GraphFamily::Torus2d {
+                width: require_u64(value, "width", "graph")?,
+                height: require_u64(value, "height", "graph")?,
+            },
+            "barbell" => GraphFamily::Barbell,
+            "core-periphery" => GraphFamily::CorePeriphery {
+                core: require_u64(value, "core", "graph")?,
+            },
+            "star" => GraphFamily::Star,
+            other => {
+                return Err(spec_err(&format!(
+                    "unknown graph family '{other}' (known: complete, erdos-renyi, \
+                     random-regular, stochastic-block-model, cycle, torus, barbell, \
+                     core-periphery, star)"
+                )))
+            }
+        };
+        let seed = value
+            .get("seed")
+            .map(|v| u64_of(v).ok_or_else(|| spec_err("graph.seed must be a non-negative integer")))
+            .transpose()?;
+        let assignment = match value.get("assignment").and_then(Json::as_str) {
+            None | Some("striped") => OpinionAssignment::Striped,
+            Some("blocks") => OpinionAssignment::Blocks,
+            Some(other) => {
+                return Err(spec_err(&format!(
+                    "unknown graph.assignment '{other}' (known: striped, blocks)"
+                )))
+            }
+        };
+        Ok(Self {
+            family,
+            seed,
+            assignment,
+        })
+    }
+}
+
 /// Default shard size when a spec does not set one.
 pub const DEFAULT_SHARD_SIZE: u64 = 64;
 
@@ -254,6 +561,8 @@ pub struct JobSpec {
     pub stop: StopRule,
     /// Optional adversary.
     pub adversary: Option<AdversarySpec>,
+    /// Optional graph scenario: run agent-level on a generated graph.
+    pub graph: Option<GraphSpec>,
 }
 
 impl JobSpec {
@@ -278,6 +587,7 @@ impl JobSpec {
             mode: ExecutionMode::Full,
             stop: StopRule::Consensus,
             adversary: None,
+            graph: None,
         }
     }
 
@@ -317,7 +627,37 @@ impl JobSpec {
             }
             adv.build()?;
         }
-        build_protocol(&self.protocol, &self.params).map_err(RuntimeError::Core)
+        if let Some(graph) = &self.graph {
+            if self.adversary.is_some() {
+                return Err(spec_err("graph jobs do not support an adversary"));
+            }
+            if self.mode == ExecutionMode::Compacted {
+                return Err(spec_err("graph jobs require \"mode\": \"full\""));
+            }
+            graph.validate(initial.n())?;
+            // Graph jobs additionally need the monomorphizable kernel.
+            od_core::registry::build_graph_protocol(&self.protocol, &self.params)
+                .map_err(RuntimeError::Core)?;
+        }
+        let protocol = build_protocol(&self.protocol, &self.params).map_err(RuntimeError::Core)?;
+        // Protocols with a fixed opinion space must agree with the
+        // configuration's slot count up front: both engines would
+        // otherwise only fail (or, worse, record out-of-range winners on
+        // the graph path) deep inside a trial.
+        if let Some(required) =
+            od_core::registry::required_opinion_slots(&self.protocol, &self.params)
+                .map_err(RuntimeError::Core)?
+        {
+            if required != initial.k() {
+                return Err(spec_err(&format!(
+                    "protocol '{}' needs an initial configuration with {required} opinion \
+                     slots, got {}",
+                    self.protocol,
+                    initial.k()
+                )));
+            }
+        }
+        Ok(protocol)
     }
 
     /// Serialises to a JSON value.
@@ -360,6 +700,9 @@ impl JobSpec {
             adv_obj.insert("budget", json_u64(adv.budget));
             obj.insert("adversary", adv_obj);
         }
+        if let Some(graph) = &self.graph {
+            obj.insert("graph", graph.to_json());
+        }
         obj
     }
 
@@ -383,6 +726,7 @@ impl JobSpec {
                 "mode",
                 "stop",
                 "adversary",
+                "graph",
             ],
         )?;
         let protocol_obj = value
@@ -433,6 +777,10 @@ impl JobSpec {
                 })
             }
         };
+        let graph = match value.get("graph") {
+            None | Some(Json::Null) => None,
+            Some(graph_json) => Some(GraphSpec::from_json(graph_json)?),
+        };
 
         Ok(Self {
             name: value
@@ -462,6 +810,7 @@ impl JobSpec {
             mode,
             stop,
             adversary,
+            graph,
         })
     }
 

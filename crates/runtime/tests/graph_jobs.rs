@@ -1,0 +1,307 @@
+//! Graph-scenario jobs through the runtime: spec round-trips, executor
+//! equivalence with the direct engine, shard invariance, and validation.
+
+use od_core::protocol::ThreeMajority;
+use od_core::GraphSimulation;
+use od_graphs::CompleteWithSelfLoops;
+use od_runtime::{
+    run_job, run_job_simple, ExecutionMode, GraphFamily, GraphSpec, InitialSpec, JobSpec,
+    OpinionAssignment, RunOptions, StopRule,
+};
+use od_sampling::seeds::derive_seed;
+
+fn graph_spec(family: GraphFamily) -> JobSpec {
+    JobSpec {
+        max_rounds: 20_000,
+        shard_size: 3,
+        graph: Some(GraphSpec::new(family)),
+        ..JobSpec::new(
+            "graph smoke",
+            "three-majority",
+            InitialSpec::Counts(vec![140, 60]),
+            8,
+            777,
+        )
+    }
+}
+
+#[test]
+fn every_family_roundtrips_through_json() {
+    let families = [
+        GraphFamily::Complete,
+        GraphFamily::ErdosRenyi {
+            p: 0.05,
+            backbone: false,
+        },
+        GraphFamily::ErdosRenyi {
+            p: 0.0005,
+            backbone: true,
+        },
+        GraphFamily::RandomRegular { d: 8 },
+        GraphFamily::StochasticBlockModel {
+            p_in: 0.2,
+            p_out: 0.01,
+        },
+        GraphFamily::Cycle,
+        GraphFamily::Torus2d {
+            width: 10,
+            height: 20,
+        },
+        GraphFamily::Barbell,
+        GraphFamily::CorePeriphery { core: 10 },
+        GraphFamily::Star,
+    ];
+    for family in families {
+        let mut spec = graph_spec(family);
+        spec.graph = Some(GraphSpec {
+            family: spec.graph.unwrap().family,
+            seed: Some(12345),
+            assignment: OpinionAssignment::Blocks,
+        });
+        let text = spec.to_json().to_string_pretty();
+        let back = JobSpec::from_json_text(&text).unwrap();
+        assert_eq!(back, spec, "roundtrip failed for {text}");
+        assert_eq!(back.content_hash(), spec.content_hash());
+    }
+}
+
+#[test]
+fn graph_field_changes_the_content_hash() {
+    let base = graph_spec(GraphFamily::RandomRegular { d: 8 });
+    let mut other = base.clone();
+    other.graph = Some(GraphSpec::new(GraphFamily::RandomRegular { d: 6 }));
+    assert_ne!(base.content_hash(), other.content_hash());
+    let mut population = base.clone();
+    population.graph = None;
+    assert_ne!(base.content_hash(), population.content_hash());
+}
+
+#[test]
+fn graph_job_reaches_consensus_on_expander() {
+    let report = run_job_simple(&graph_spec(GraphFamily::RandomRegular { d: 8 })).unwrap();
+    assert_eq!(report.summary.trials, 8);
+    assert_eq!(report.summary.consensus, 8);
+    // 70/30 bias: the plurality should win essentially always.
+    assert!(report.summary.winners.count(0) >= 7);
+}
+
+#[test]
+fn graph_job_matches_direct_engine_bit_for_bit() {
+    // Complete-graph family: graph construction is deterministic, so the
+    // runtime result must equal a hand-rolled run_seeded loop exactly.
+    let spec = graph_spec(GraphFamily::Complete);
+    let report = run_job_simple(&spec).unwrap();
+    let n = 200usize;
+    // Striped layout of [140, 60]: opinion 1 interleaves until exhausted.
+    let initial = spec.initial.build().unwrap();
+    let mut remaining = initial.counts().to_vec();
+    let mut opinions: Vec<u32> = Vec::with_capacity(n);
+    while opinions.len() < n {
+        for (j, slot) in remaining.iter_mut().enumerate() {
+            if *slot > 0 {
+                *slot -= 1;
+                opinions.push(j as u32);
+            }
+        }
+    }
+    let sim = GraphSimulation::new(ThreeMajority, CompleteWithSelfLoops::new(n))
+        .with_max_rounds(spec.max_rounds);
+    let mut direct_rounds = Vec::new();
+    let mut direct_winners = Vec::new();
+    for trial in 0..spec.trials {
+        let out = sim.run_seeded(&opinions, derive_seed(spec.master_seed, trial));
+        direct_rounds.push(out.rounds);
+        direct_winners.push(out.winner.unwrap() as u64);
+    }
+    assert_eq!(report.summary.consensus, spec.trials);
+    assert_eq!(
+        report.summary.rounds.sum(),
+        direct_rounds.iter().map(|&r| u128::from(r)).sum::<u128>()
+    );
+    for winner in direct_winners {
+        assert!(report.summary.winners.count(winner) > 0);
+    }
+}
+
+#[test]
+fn shard_size_does_not_change_graph_summaries() {
+    let mut summaries = vec![];
+    for shard_size in [1u64, 3, 8] {
+        let spec = JobSpec {
+            shard_size,
+            ..graph_spec(GraphFamily::RandomRegular { d: 6 })
+        };
+        summaries.push(run_job_simple(&spec).unwrap().summary);
+    }
+    assert_eq!(summaries[0], summaries[1]);
+    assert_eq!(summaries[0], summaries[2]);
+}
+
+#[test]
+fn graph_jobs_support_threshold_stops() {
+    let spec = JobSpec {
+        stop: StopRule::MaxFraction(0.9),
+        ..graph_spec(GraphFamily::RandomRegular { d: 8 })
+    };
+    let report = run_job_simple(&spec).unwrap();
+    // Every trial either crossed the threshold early or consolidated in
+    // one hop past it; either way nothing capped.
+    assert_eq!(report.summary.capped, 0);
+    assert!(report.summary.stopped > 0, "threshold should fire first");
+}
+
+#[test]
+fn graph_jobs_checkpoint_and_resume() {
+    let dir = std::env::temp_dir().join("od_graph_job_ckpt_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let checkpoint = dir.join("job.checkpoint.json");
+    let spec = graph_spec(GraphFamily::Cycle);
+    let options = RunOptions {
+        checkpoint_path: Some(checkpoint.clone()),
+        ..RunOptions::default()
+    };
+    let first = run_job(&spec, &options).unwrap();
+    assert_eq!(first.resumed_shards, 0);
+    let second = run_job(&spec, &options).unwrap();
+    assert_eq!(second.resumed_shards, second.total_shards);
+    assert_eq!(first.summary, second.summary);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn invalid_graph_specs_are_rejected() {
+    // Infeasible regular graph (odd n * d).
+    let mut spec = graph_spec(GraphFamily::RandomRegular { d: 3 });
+    spec.initial = InitialSpec::Counts(vec![100, 101]);
+    assert!(spec.validate().is_err());
+
+    // Torus dimensions must multiply to n.
+    let spec = graph_spec(GraphFamily::Torus2d {
+        width: 10,
+        height: 10,
+    });
+    assert!(spec.validate().is_err(), "100 != 200");
+
+    // Graph + adversary is unsupported.
+    let mut spec = graph_spec(GraphFamily::Cycle);
+    spec.adversary = Some(od_runtime::AdversarySpec {
+        kind: "boost-runner-up".to_string(),
+        budget: 3,
+    });
+    assert!(spec.validate().is_err());
+
+    // Graph + compacted mode is unsupported.
+    let mut spec = graph_spec(GraphFamily::Cycle);
+    spec.mode = ExecutionMode::Compacted;
+    assert!(spec.validate().is_err());
+
+    // Unknown family name fails at parse time.
+    let text = r#"{
+        "protocol": {"name": "three-majority"},
+        "initial": {"kind": "balanced", "n": 100, "k": 4},
+        "trials": 2,
+        "master_seed": 1,
+        "graph": {"family": "hypercube"}
+    }"#;
+    assert!(JobSpec::from_json_text(text).is_err());
+
+    // Misspelled family parameter fails loudly.
+    let text = r#"{
+        "protocol": {"name": "three-majority"},
+        "initial": {"kind": "balanced", "n": 100, "k": 4},
+        "trials": 2,
+        "master_seed": 1,
+        "graph": {"family": "erdos-renyi", "prob": 0.1}
+    }"#;
+    assert!(JobSpec::from_json_text(text).is_err());
+}
+
+#[test]
+fn sparse_erdos_renyi_needs_the_backbone() {
+    // At mean degree ~2 on n=200, isolated vertices appear w.h.p.: the
+    // bare family is rejected with actionable advice, the backbone
+    // variant runs.
+    let bare = JobSpec {
+        trials: 2,
+        ..graph_spec(GraphFamily::ErdosRenyi {
+            p: 0.01,
+            backbone: false,
+        })
+    };
+    // (If the seed happens to produce no isolated vertex the bare job
+    // legitimately succeeds, so only the error content is asserted.)
+    if let Err(e) = run_job_simple(&bare) {
+        assert!(e.to_string().contains("backbone"), "{e}");
+    }
+    let with_backbone = JobSpec {
+        trials: 2,
+        ..graph_spec(GraphFamily::ErdosRenyi {
+            p: 0.01,
+            backbone: true,
+        })
+    };
+    let report = run_job_simple(&with_backbone).unwrap();
+    assert_eq!(report.summary.trials, 2);
+    assert_eq!(report.summary.capped, 0);
+}
+
+#[test]
+fn fixed_opinion_space_protocols_must_match_initial_k() {
+    // noisy-three-majority with params.k = 5 against a k = 3 start used
+    // to pass validation and blow up (or record out-of-range winners)
+    // mid-trial; it must be a typed spec error — for graph jobs and
+    // population jobs alike.
+    let text = r#"{
+        "protocol": {"name": "noisy-three-majority", "params": {"epsilon": 0.1, "k": 5}},
+        "initial": {"kind": "balanced", "n": 99, "k": 3},
+        "trials": 2,
+        "master_seed": 1,
+        "graph": {"family": "cycle"},
+        "stop": {"kind": "max-fraction", "threshold": 0.9}
+    }"#;
+    let spec = JobSpec::from_json_text(text).unwrap();
+    let err = spec.validate().err().expect("k mismatch must be rejected");
+    assert!(err.to_string().contains("opinion slots"), "{err}");
+    let mut population = spec.clone();
+    population.graph = None;
+    assert!(population.validate().is_err());
+
+    // undecided needs k + 1 slots (the blank state).
+    let text = r#"{
+        "protocol": {"name": "undecided", "params": {"k": 3}},
+        "initial": {"kind": "balanced", "n": 100, "k": 3},
+        "trials": 2,
+        "master_seed": 1
+    }"#;
+    assert!(JobSpec::from_json_text(text).unwrap().validate().is_err());
+    let text = r#"{
+        "protocol": {"name": "undecided", "params": {"k": 3}},
+        "initial": {"kind": "counts", "counts": [40, 30, 20, 10]},
+        "trials": 2,
+        "master_seed": 1
+    }"#;
+    assert!(JobSpec::from_json_text(text).unwrap().validate().is_ok());
+}
+
+#[test]
+fn blocks_assignment_stalls_on_the_barbell() {
+    // Two cliques, one bridge, one opinion per clique: 3-Majority cannot
+    // cross the bridge within a small cap — the classic metastable case.
+    let spec = JobSpec {
+        trials: 3,
+        max_rounds: 60,
+        graph: Some(GraphSpec {
+            family: GraphFamily::Barbell,
+            seed: None,
+            assignment: OpinionAssignment::Blocks,
+        }),
+        ..graph_spec(GraphFamily::Barbell)
+    };
+    let spec = JobSpec {
+        initial: InitialSpec::Counts(vec![100, 100]),
+        ..spec
+    };
+    let report = run_job_simple(&spec).unwrap();
+    assert_eq!(report.summary.capped, 3, "barbell blocks should stall");
+}

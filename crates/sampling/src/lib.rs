@@ -43,4 +43,4 @@ pub use binomial::sample_binomial;
 pub use fenwick::FenwickSampler;
 pub use multinomial::{sample_multinomial, sample_multinomial_into};
 pub use normal::standard_normal;
-pub use seeds::{rng_for, SeedStream};
+pub use seeds::{rng_at_cell, rng_for, CellRng, SeedStream};

@@ -110,6 +110,7 @@ impl StandardUniform for f32 {
 
 /// Uniform sampling over [0, span) without modulo bias (widening-multiply
 /// rejection, Lemire's method).
+#[inline]
 fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
     debug_assert!(span > 0);
     loop {
@@ -254,10 +255,12 @@ pub mod rngs {
     }
 
     impl RngCore for StdRng {
+        #[inline]
         fn next_u32(&mut self) -> u32 {
             (self.next_u64() >> 32) as u32
         }
 
+        #[inline]
         fn next_u64(&mut self) -> u64 {
             let result = self.s[0]
                 .wrapping_add(self.s[3])

@@ -92,6 +92,12 @@ pub trait ParallelIterator: Sized {
         Map { inner: self, f }
     }
 
+    /// Pairs each element with its index (rayon's
+    /// `IndexedParallelIterator::enumerate`).
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { inner: self }
+    }
+
     /// Executes and collects into any `FromIterator` container.
     fn collect<C: FromIterator<Self::Item>>(self) -> C {
         self.run().into_iter().collect()
@@ -102,12 +108,14 @@ pub trait ParallelIterator: Sized {
         self.run().into_iter().sum()
     }
 
-    /// Executes and applies `f` to each element (already parallelised by
-    /// the chain execution).
+    /// Applies `f` to each element in parallel.
+    ///
+    /// The items are materialised first (cheap: the chain's own maps run
+    /// in parallel inside [`ParallelIterator::run`]), then `f` is applied
+    /// across threads — so side-effecting `for_each` over e.g.
+    /// [`ParallelSliceMut::par_chunks_mut`] genuinely runs in parallel.
     fn for_each<F: Fn(Self::Item) + Sync + Send>(self, f: F) {
-        for item in self.run() {
-            f(item);
-        }
+        parallel_map(self.run(), &|item| f(item));
     }
 }
 
@@ -121,6 +129,19 @@ impl<T: Send> ParallelIterator for IntoParIter<T> {
 
     fn run(self) -> Vec<T> {
         self.items
+    }
+}
+
+/// The result of [`ParallelIterator::enumerate`].
+pub struct Enumerate<I> {
+    inner: I,
+}
+
+impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+
+    fn run(self) -> Vec<(usize, I::Item)> {
+        self.inner.run().into_iter().enumerate().collect()
     }
 }
 
@@ -178,9 +199,29 @@ impl<T: Send> IntoParallelIterator for Vec<T> {
     }
 }
 
+/// Parallel iteration over mutable slices, in the shape of rayon's
+/// `ParallelSliceMut`.
+pub trait ParallelSliceMut<T: Send> {
+    /// Splits the slice into non-overlapping mutable chunks of (up to)
+    /// `chunk_size` elements, iterated in parallel.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> IntoParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> IntoParIter<&mut [T]> {
+        assert!(
+            chunk_size > 0,
+            "par_chunks_mut: chunk size must be positive"
+        );
+        IntoParIter {
+            items: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
 /// Commonly used items.
 pub mod prelude {
-    pub use super::{IntoParallelIterator, ParallelIterator};
+    pub use super::{IntoParallelIterator, ParallelIterator, ParallelSliceMut};
 }
 
 #[cfg(test)]
@@ -214,5 +255,29 @@ mod tests {
         let (a, b) = super::join(|| 1 + 1, || "two");
         assert_eq!(a, 2);
         assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn par_chunks_mut_enumerate_covers_the_slice() {
+        let mut data = vec![0u64; 1000];
+        data.par_chunks_mut(128)
+            .enumerate()
+            .for_each(|(chunk_index, chunk)| {
+                for (i, slot) in chunk.iter_mut().enumerate() {
+                    *slot = (chunk_index * 128 + i) as u64;
+                }
+            });
+        let expect: Vec<u64> = (0..1000).collect();
+        assert_eq!(data, expect);
+    }
+
+    #[test]
+    fn for_each_runs_every_item() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let total = AtomicU64::new(0);
+        (0..100u64).into_par_iter().for_each(|x| {
+            total.fetch_add(x, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 4950);
     }
 }
