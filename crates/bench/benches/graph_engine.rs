@@ -7,17 +7,21 @@
 //! * `stream` — the retained stream-seeded API on the new u32 CSR;
 //! * `seq`    — the cell-seeded monomorphized engine, sequential;
 //! * `par`    — the same engine on rayon (bit-identical to `seq`,
-//!   asserted here every run).
+//!   asserted here every run);
+//! * `seq_batched` — the batched three-pass pipeline (bit-packed
+//!   multi-sample draws → gather → combine), sequential;
+//! * `par_batched` — the same pipeline on rayon (bit-identical to
+//!   `seq_batched`, asserted here every run).
 //!
 //! Besides printing timings it writes machine-readable results to
 //! `BENCH_graph.json` at the workspace root (override with
 //! `OD_BENCH_OUT=<path>`), so the perf trajectory is tracked in-repo.
 //! `OD_BENCH_QUICK=1` shrinks sizes for smoke runs.
 
-use od_bench::record::{measure, write_json, BenchRecord};
+use od_bench::record::{measure_interleaved, write_json, BenchRecord};
 use od_bench::rng_for;
 use od_core::protocol::ThreeMajority;
-use od_core::GraphSimulation;
+use od_core::{GraphSimulation, RoundScratch, ScratchPool};
 use od_graphs::{cycle, erdos_renyi, random_regular, torus_2d, CsrGraph, Graph};
 use std::hint::black_box;
 use std::path::PathBuf;
@@ -127,7 +131,12 @@ fn main() {
     let quick = std::env::var("OD_BENCH_QUICK").is_ok();
     let sizes: &[usize] = if quick { &[2_000] } else { &[10_000, 100_000] };
     let samples = if quick { 3 } else { 10 };
-    let threads = std::thread::available_parallelism()
+    // Both the effective rayon worker count and the raw detected core
+    // count go into the metadata: on pinned/cgroup-limited CI hosts the
+    // two can differ, and multi-core trajectory runs are uninterpretable
+    // without them.
+    let threads = rayon::current_num_threads();
+    let host_cores = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
 
@@ -141,63 +150,116 @@ fn main() {
             let n = graph.n(); // torus rounds down to side²
             let initial: Vec<u32> = (0..n).map(|v| (v % 8) as u32).collect();
             let sim = GraphSimulation::new(ThreeMajority, &graph);
-
-            // The seed's engine, reproduced byte-for-byte in shape.
-            let old = {
-                let old_graph = seed_baseline::OldAdjacencyGraph::from_csr(&graph);
-                let mut rng = rng_for(0xBE7C4, 2);
-                let mut ops = initial.clone();
-                measure(format!("{family}/n={n}/old"), 1, samples, || {
-                    ops.copy_from_slice(&initial);
-                    seed_baseline::step(&old_graph, &mut ops, &mut rng);
-                    black_box(&ops);
-                })
-            };
-
-            // Retained stream-seeded API on the new CSR.
-            let stream = {
-                let mut rng = rng_for(0xBE7C4, 1);
-                let mut ops = initial.clone();
-                measure(format!("{family}/n={n}/stream"), 1, samples, || {
-                    ops.copy_from_slice(&initial);
-                    sim.step(&mut ops, &mut rng);
-                    black_box(&ops);
-                })
-            };
-
-            // Cell-seeded sequential engine (src is read-only: each
-            // sample re-steps a fresh round index from the same state).
             let src = initial.clone();
-            let mut dst = vec![0u32; n];
-            let mut round = 0u64;
-            let seq = measure(format!("{family}/n={n}/seq"), 1, samples, || {
-                sim.step_seq(7, round, &src, &mut dst);
-                round += 1;
-                black_box(&dst);
-            });
 
-            // Cell-seeded rayon-parallel engine (+ a bit-identity check).
-            sim.step_seq(7, 0, &src, &mut dst);
-            let reference = dst.clone();
-            sim.step_par(7, 0, &src, &mut dst);
-            assert_eq!(reference, dst, "parallel round diverged from sequential");
-            let mut round = 0u64;
-            let par = measure(format!("{family}/n={n}/par"), 1, samples, || {
-                sim.step_par(7, round, &src, &mut dst);
-                round += 1;
-                black_box(&dst);
-            });
+            // Bit-identity checks before timing anything.
+            {
+                let mut dst = vec![0u32; n];
+                let mut other = vec![0u32; n];
+                sim.step_seq(7, 0, &src, &mut dst);
+                sim.step_par(7, 0, &src, &mut other);
+                assert_eq!(dst, other, "parallel round diverged from sequential");
+                sim.step_seq_batched(7, 0, &src, &mut dst, &mut RoundScratch::new());
+                sim.step_par_batched(7, 0, &src, &mut other, &ScratchPool::new());
+                assert_eq!(dst, other, "parallel batched round diverged");
+            }
 
-            let single_thread_speedup = old.mean_ns / seq.mean_ns;
-            let parallel_speedup = old.mean_ns / par.mean_ns;
+            // All six engines are timed with their samples interleaved,
+            // so host-load and frequency drift hit every series equally
+            // and the recorded ratios stay honest.
+            let old_graph = seed_baseline::OldAdjacencyGraph::from_csr(&graph);
+            let mut rng_old = rng_for(0xBE7C4, 2);
+            let mut ops_old = initial.clone();
+            let mut rng_stream = rng_for(0xBE7C4, 1);
+            let mut ops_stream = initial.clone();
+            let (mut dst_seq, mut round_seq) = (vec![0u32; n], 0u64);
+            let (mut dst_par, mut round_par) = (vec![0u32; n], 0u64);
+            let (mut dst_sb, mut round_sb) = (vec![0u32; n], 0u64);
+            let (mut dst_pb, mut round_pb) = (vec![0u32; n], 0u64);
+            let mut scratch = RoundScratch::new();
+            let pool = ScratchPool::new();
+            let id = |engine: &str| format!("{family}/n={n}/{engine}");
+            let family_results = measure_interleaved(
+                1,
+                samples,
+                vec![
+                    (
+                        // The seed's engine, reproduced byte-for-byte in
+                        // shape.
+                        id("old"),
+                        Box::new(|| {
+                            ops_old.copy_from_slice(&initial);
+                            seed_baseline::step(&old_graph, &mut ops_old, &mut rng_old);
+                            black_box(&ops_old);
+                        }),
+                    ),
+                    (
+                        // Retained stream-seeded API on the new CSR.
+                        id("stream"),
+                        Box::new(|| {
+                            ops_stream.copy_from_slice(&initial);
+                            sim.step(&mut ops_stream, &mut rng_stream);
+                            black_box(&ops_stream);
+                        }),
+                    ),
+                    (
+                        // Cell-seeded engines (src is read-only: each
+                        // sample steps a fresh round from the same state).
+                        id("seq"),
+                        Box::new(|| {
+                            sim.step_seq(7, round_seq, &src, &mut dst_seq);
+                            round_seq += 1;
+                            black_box(&dst_seq);
+                        }),
+                    ),
+                    (
+                        id("par"),
+                        Box::new(|| {
+                            sim.step_par(7, round_par, &src, &mut dst_par);
+                            round_par += 1;
+                            black_box(&dst_par);
+                        }),
+                    ),
+                    (
+                        // Batched three-pass pipeline.
+                        id("seq_batched"),
+                        Box::new(|| {
+                            sim.step_seq_batched(7, round_sb, &src, &mut dst_sb, &mut scratch);
+                            round_sb += 1;
+                            black_box(&dst_sb);
+                        }),
+                    ),
+                    (
+                        id("par_batched"),
+                        Box::new(|| {
+                            sim.step_par_batched(7, round_pb, &src, &mut dst_pb, &pool);
+                            round_pb += 1;
+                            black_box(&dst_pb);
+                        }),
+                    ),
+                ],
+            );
+            let mean_of = |engine: &str| {
+                family_results
+                    .iter()
+                    .find(|r| r.id == id(engine))
+                    .expect("measured engine")
+                    .mean_ns
+            };
+            let single_thread_speedup = mean_of("old") / mean_of("seq");
+            let batched_over_seq = mean_of("seq") / mean_of("seq_batched");
+            let batched_over_old = mean_of("old") / mean_of("seq_batched");
+            let parallel_speedup = mean_of("old") / mean_of("par_batched");
             println!(
                 "  {family}/n={n}: old/seq = {single_thread_speedup:.2}x, \
-                 old/par = {parallel_speedup:.2}x ({threads} threads)"
+                 seq/seq_batched = {batched_over_seq:.2}x, \
+                 old/seq_batched = {batched_over_old:.2}x, \
+                 old/par_batched = {parallel_speedup:.2}x ({threads} threads)"
             );
             if family == "erdos_renyi" && n == 100_000 {
-                er_speedup_at_100k = Some(single_thread_speedup);
+                er_speedup_at_100k = Some(batched_over_seq);
             }
-            results.extend([old, stream, seq, par]);
+            results.extend(family_results);
         }
     }
 
@@ -211,12 +273,13 @@ fn main() {
     );
     let meta = vec![
         ("threads", threads.to_string()),
+        ("host_cores", host_cores.to_string()),
         ("protocol", "three-majority".to_string()),
         ("quick", quick.to_string()),
     ];
     write_json(&out_path, "graph_engine", &meta, &results).expect("writing bench output");
     println!("wrote {}", out_path.display());
     if let Some(speedup) = er_speedup_at_100k {
-        println!("single-thread speedup at erdos_renyi n=100000: {speedup:.2}x");
+        println!("seq/seq_batched speedup at erdos_renyi n=100000: {speedup:.2}x");
     }
 }

@@ -69,6 +69,61 @@ pub fn measure(
     record
 }
 
+/// Times several cases with their samples interleaved round-robin —
+/// sample `i` of every case runs before sample `i + 1` of any case.
+///
+/// On shared or frequency-scaled hosts, sequential per-case measurement
+/// systematically favors whichever case runs first (turbo, thermals, and
+/// noisy neighbors drift over the run); interleaving spreads that drift
+/// evenly across the cases being compared, so the *ratios* stay honest
+/// even when absolute timings wander.
+pub fn measure_interleaved(
+    warmup: u32,
+    samples: u32,
+    mut cases: Vec<(String, Box<dyn FnMut() + '_>)>,
+) -> Vec<BenchRecord> {
+    assert!(samples > 0, "measure_interleaved: need at least one sample");
+    for _ in 0..warmup {
+        for (_, f) in &mut cases {
+            f();
+        }
+    }
+    let mut totals = vec![Duration::ZERO; cases.len()];
+    let mut minima = vec![Duration::MAX; cases.len()];
+    for _ in 0..samples {
+        for (case, (total, min)) in cases
+            .iter_mut()
+            .zip(totals.iter_mut().zip(minima.iter_mut()))
+        {
+            let t0 = Instant::now();
+            (case.1)();
+            let dt = t0.elapsed();
+            *total += dt;
+            *min = (*min).min(dt);
+        }
+    }
+    cases
+        .iter()
+        .zip(totals.iter().zip(minima.iter()))
+        .map(|((id, _), (total, min))| {
+            let record = BenchRecord {
+                id: id.clone(),
+                mean_ns: total.as_nanos() as f64 / f64::from(samples),
+                min_ns: min.as_nanos() as f64,
+                samples,
+            };
+            println!(
+                "  {}: mean {:?}, min {:?} over {} samples",
+                record.id,
+                Duration::from_nanos(record.mean_ns as u64),
+                Duration::from_nanos(record.min_ns as u64),
+                record.samples
+            );
+            record
+        })
+        .collect()
+}
+
 fn escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -127,6 +182,27 @@ mod tests {
         assert_eq!(runs, 4);
         assert_eq!(r.samples, 3);
         assert!(r.min_ns <= r.mean_ns);
+    }
+
+    #[test]
+    fn measure_interleaved_round_robins_all_cases() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let order: Rc<RefCell<Vec<u8>>> = Rc::default();
+        let (a, b) = (order.clone(), order.clone());
+        let records = measure_interleaved(
+            1,
+            2,
+            vec![
+                ("a".to_string(), Box::new(move || a.borrow_mut().push(0))),
+                ("b".to_string(), Box::new(move || b.borrow_mut().push(1))),
+            ],
+        );
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].id, "a");
+        assert_eq!(records[1].samples, 2);
+        // warmup a,b then samples a,b,a,b.
+        assert_eq!(*order.borrow(), vec![0, 1, 0, 1, 0, 1]);
     }
 
     #[test]

@@ -6,11 +6,30 @@
 //! the updating vertex, so the configuration alone is no longer a
 //! sufficient state and we track per-vertex opinions.
 //!
-//! # Two execution paths
+//! # Three execution paths
 //!
+//! * **Batched three-pass** ([`GraphSimulation::step_seq_batched`] /
+//!   [`GraphSimulation::step_par_batched`] / [`GraphSimulation::run_batched`])
+//!   — the fastest engine and the one the runtime dispatches. Each round
+//!   runs in cache-sized vertex chunks of three passes: **pass 1**
+//!   generates every neighbor index of the chunk into a reusable `u32`
+//!   scratch buffer using bit-packed multi-sample draws
+//!   ([`od_sampling::batched`]: one SplitMix64 word yields up to three
+//!   21-bit Lemire samples), **pass 2** gathers the sampled opinions with
+//!   no interleaved RNG work, and **pass 3** runs the monomorphized
+//!   [`GraphProtocol::combine_gathered`] kernel over the gathered values.
+//!   The per-cell sampling order is the *documented order* of
+//!   [`od_sampling::batched`]; combine-phase randomness (h-Majority tie
+//!   breaks, noise flips) comes from the independent per-cell stream
+//!   keyed by [`od_sampling::seeds::combine_key`]. Both streams are pure
+//!   functions of `(trial_seed, round, vertex)`, so any partition of a
+//!   round — sequential, sharded, or rayon at any thread count — is
+//!   **bit-identical** (proptest-enforced). Note the batched order
+//!   deliberately differs from the cell-seeded order below: the two
+//!   engines drive the same process but not the same sample paths.
 //! * **Cell-seeded** ([`GraphSimulation::step_seq`] /
 //!   [`GraphSimulation::step_par`] / [`GraphSimulation::run_seeded`]) —
-//!   the fast engine. Each *(round, vertex)* cell derives its randomness
+//!   the PR 2 engine. Each *(round, vertex)* cell derives its randomness
 //!   independently via [`od_sampling::rng_at_cell`], the protocol's
 //!   [`GraphProtocol::pull_one`] kernel monomorphizes (no `dyn` in the
 //!   inner loop), and rounds double-buffer between two opinion arrays
@@ -27,9 +46,11 @@ use crate::config::OpinionCounts;
 use crate::engine::StopReason;
 use crate::protocol::{tally, GraphProtocol, OpinionSource, SyncProtocol};
 use od_graphs::Graph;
-use od_sampling::seeds::{round_key, CellRng};
+use od_sampling::batched::{fill_packed, fill_wide, ThresholdMemo, MAX_PACKED_RANGE};
+use od_sampling::seeds::{combine_key, round_key, CellRng};
 use rand::RngCore;
 use rayon::prelude::*;
+use std::sync::Mutex;
 
 /// Outcome of a run on a general graph.
 #[derive(Debug, Clone, PartialEq)]
@@ -59,6 +80,80 @@ impl<G: Graph> OpinionSource for NeighborSource<'_, G> {
 /// Vertices per parallel work unit of [`GraphSimulation::step_par`].
 /// Purely a scheduling granularity — results are independent of it.
 const PAR_CHUNK: usize = 4_096;
+
+/// Vertices per three-pass sub-chunk of the batched pipeline. Sized so a
+/// chunk's index and gather buffers stay cache-resident for typical
+/// sample counts (1024 vertices × 3 samples × 4 B ≈ 12 KiB per buffer).
+/// Purely a blocking granularity — results are independent of it.
+const BATCH_CHUNK: usize = 1_024;
+
+/// Reusable buffers of one batched-round worker: the per-chunk index and
+/// gather scratch plus the memo of per-degree Lemire thresholds.
+///
+/// One scratch serves any number of rounds, trials, and graphs (the
+/// threshold memo is a pure function of the degree, so entries never go
+/// stale). The parallel step draws scratches from a [`ScratchPool`].
+#[derive(Debug, Clone, Default)]
+pub struct RoundScratch {
+    /// Row-local neighbor indices of the current chunk (pass 1 output).
+    indices: Vec<u32>,
+    /// Gathered neighbor opinions of the current chunk (pass 2 output).
+    gathered: Vec<u32>,
+    /// Lazily-filled `2²¹ mod degree` rejection thresholds.
+    thresholds: ThresholdMemo,
+}
+
+impl RoundScratch {
+    /// Creates empty scratch buffers (they grow on first use).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grows the index buffer to `slots` entries and the gather row to
+    /// `samples` entries.
+    fn ensure(&mut self, slots: usize, samples: usize) {
+        if self.indices.len() < slots {
+            self.indices.resize(slots, 0);
+        }
+        if self.gathered.len() < samples {
+            self.gathered.resize(samples, 0);
+        }
+    }
+}
+
+/// A shared pool of [`RoundScratch`] buffers for the parallel batched
+/// step: each rayon work unit checks one out, so steady-state rounds
+/// allocate nothing no matter how chunks are scheduled.
+#[derive(Debug, Default)]
+pub struct ScratchPool {
+    free: Mutex<Vec<RoundScratch>>,
+}
+
+impl ScratchPool {
+    /// Creates an empty pool.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Checks a scratch out of the pool (or creates a fresh one).
+    fn acquire(&self) -> RoundScratch {
+        self.free
+            .lock()
+            .expect("scratch pool lock poisoned")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Returns a scratch to the pool.
+    fn release(&self, scratch: RoundScratch) {
+        self.free
+            .lock()
+            .expect("scratch pool lock poisoned")
+            .push(scratch);
+    }
+}
 
 /// Synchronous dynamics of `protocol` on `graph`.
 ///
@@ -151,6 +246,198 @@ impl<P: GraphProtocol, G: Graph> GraphSimulation<P, G> {
                 &mut rng,
             );
         }
+    }
+
+    /// Computes round `round` of trial `trial_seed` through the batched
+    /// three-pass pipeline, sequentially.
+    ///
+    /// Bit-identical to [`GraphSimulation::step_par_batched`] and to any
+    /// sharded composition of [`GraphSimulation::step_batched_shard`] —
+    /// but **not** to the cell-seeded [`GraphSimulation::step_seq`],
+    /// whose per-cell sampling order differs (see the module docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.len() != graph.n()`, `src.len() != dst.len()`, or
+    /// a vertex has no neighbors.
+    pub fn step_seq_batched(
+        &self,
+        trial_seed: u64,
+        round: u64,
+        src: &[u32],
+        dst: &mut [u32],
+        scratch: &mut RoundScratch,
+    ) {
+        self.assert_lengths(src, dst);
+        self.step_batched_shard(trial_seed, round, 0, src, dst, scratch);
+    }
+
+    /// Computes the contiguous shard of cells
+    /// `first_vertex..first_vertex + dst.len()` of one batched round.
+    ///
+    /// This is the scheduling primitive behind both batched steps: a
+    /// round computed as any partition into shards — in any order, on any
+    /// number of threads, each shard with its own scratch — produces
+    /// bit-identical opinions, because every cell's randomness is a pure
+    /// function of `(trial_seed, round, vertex)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.len() != graph.n()`, the shard range exceeds `n`,
+    /// or a vertex in the shard has no neighbors.
+    pub fn step_batched_shard(
+        &self,
+        trial_seed: u64,
+        round: u64,
+        first_vertex: usize,
+        src: &[u32],
+        dst: &mut [u32],
+        scratch: &mut RoundScratch,
+    ) {
+        assert_eq!(
+            src.len(),
+            self.graph.n(),
+            "step: opinions length must equal the number of vertices"
+        );
+        assert!(
+            first_vertex + dst.len() <= src.len(),
+            "step: shard {first_vertex}..{} exceeds the vertex range",
+            first_vertex + dst.len()
+        );
+        let samples = self.protocol.samples_per_vertex();
+        assert!(samples > 0, "protocols must gather at least one sample");
+        // Dispatch over the common sample counts with literal constants:
+        // each arm inlines `run_batched_cells` with `samples` known at
+        // compile time, so the per-vertex slicing loops unroll and keep
+        // their bounds checks out of the hot path.
+        match samples {
+            1 => self.run_batched_cells(1, trial_seed, round, first_vertex, src, dst, scratch),
+            2 => self.run_batched_cells(2, trial_seed, round, first_vertex, src, dst, scratch),
+            3 => self.run_batched_cells(3, trial_seed, round, first_vertex, src, dst, scratch),
+            s => self.run_batched_cells(s, trial_seed, round, first_vertex, src, dst, scratch),
+        }
+    }
+
+    /// The three-pass chunk pipeline behind
+    /// [`GraphSimulation::step_batched_shard`]. `inline(always)` so the
+    /// literal-`samples` call sites above each monomorphize a
+    /// constant-stride copy.
+    #[allow(clippy::too_many_arguments)] // private hot-path kernel: the args are the loop state
+    #[inline(always)]
+    fn run_batched_cells(
+        &self,
+        samples: usize,
+        trial_seed: u64,
+        round: u64,
+        first_vertex: usize,
+        src: &[u32],
+        dst: &mut [u32],
+        scratch: &mut RoundScratch,
+    ) {
+        let rk = round_key(trial_seed, round);
+        let ck = combine_key(rk);
+        scratch.ensure(BATCH_CHUNK.min(dst.len()) * samples, samples);
+        let uniform = self.graph.uniform_degree();
+        for (chunk_index, chunk) in dst.chunks_mut(BATCH_CHUNK).enumerate() {
+            let base = first_vertex + chunk_index * BATCH_CHUNK;
+            let slots = chunk.len() * samples;
+            let indices = &mut scratch.indices[..slots];
+            let gathered = &mut scratch.gathered[..samples];
+
+            // Pass 1: all neighbor indices of the chunk, bit-packed
+            // multi-sample draws, no loads off the RNG's critical path.
+            match uniform {
+                Some(d) => {
+                    assert!(d > 0, "vertex {base} has no neighbors");
+                    if d <= MAX_PACKED_RANGE as usize {
+                        let range = d as u32;
+                        let threshold = scratch.thresholds.threshold(range);
+                        for (offset, row) in indices.chunks_exact_mut(samples).enumerate() {
+                            let mut cell = CellRng::for_cell(rk, (base + offset) as u64);
+                            fill_packed(&mut cell, range, threshold, row);
+                        }
+                    } else {
+                        for (offset, row) in indices.chunks_exact_mut(samples).enumerate() {
+                            let mut cell = CellRng::for_cell(rk, (base + offset) as u64);
+                            fill_wide(&mut cell, d as u64, row);
+                        }
+                    }
+                }
+                None => {
+                    // Degree-class handling for irregular graphs: the
+                    // Lemire threshold is a pure function of the degree,
+                    // memoized in a dense per-degree table — an L1-hot
+                    // load per vertex with no data-dependent branch on
+                    // the (unpredictable) degree sequence.
+                    for (offset, row) in indices.chunks_exact_mut(samples).enumerate() {
+                        let v = base + offset;
+                        let d = self.graph.degree(v);
+                        assert!(d > 0, "vertex {v} has no neighbors");
+                        let mut cell = CellRng::for_cell(rk, v as u64);
+                        if d <= MAX_PACKED_RANGE as usize {
+                            let threshold = scratch.thresholds.threshold(d as u32);
+                            fill_packed(&mut cell, d as u32, threshold, row);
+                        } else {
+                            fill_wide(&mut cell, d as u64, row);
+                        }
+                    }
+                }
+            }
+
+            // Passes 2 and 3, executed jointly per vertex: gather the
+            // sampled opinions (pure loads, no RNG — pass 1 already
+            // closed every RNG→load dependency), then run the
+            // monomorphized combine over them. The gather row lives in
+            // one L1-resident scratch line, so fusing the loops halves
+            // the scratch traffic without touching either pass's
+            // randomness: the combine stream is an independent per-cell
+            // stream, never a continuation of the gather.
+            for ((offset, slot), cell_indices) in chunk
+                .iter_mut()
+                .enumerate()
+                .zip(indices.chunks_exact(samples))
+            {
+                let v = base + offset;
+                self.graph.gather_opinions(v, cell_indices, src, gathered);
+                let mut crng = CellRng::for_cell(ck, v as u64);
+                *slot = self.protocol.combine_gathered(src[v], gathered, &mut crng);
+            }
+        }
+    }
+
+    /// Runs the batched pipeline from `initial` until consensus or the
+    /// round cap, double-buffering the opinion arrays and reusing one
+    /// [`RoundScratch`] across rounds.
+    ///
+    /// Bit-identical to [`GraphSimulation::run_batched_par`] for the same
+    /// `trial_seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is empty or `initial.len() != graph.n()`.
+    #[must_use]
+    pub fn run_batched(&self, initial: &[u32], trial_seed: u64) -> GraphRunOutcome {
+        self.run_batched_until(initial, trial_seed, |_, _| false)
+    }
+
+    /// Like [`GraphSimulation::run_batched`], but also stops (with
+    /// [`StopReason::Predicate`]) as soon as `stop(round, opinions)`
+    /// holds. Check order matches [`GraphSimulation::run_seeded_until`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is empty or `initial.len() != graph.n()`.
+    #[must_use]
+    pub fn run_batched_until(
+        &self,
+        initial: &[u32],
+        trial_seed: u64,
+        stop: impl FnMut(u64, &[u32]) -> bool,
+    ) -> GraphRunOutcome {
+        let mut scratch = RoundScratch::new();
+        self.run_buffered(initial, stop, |round, src, dst| {
+            self.step_seq_batched(trial_seed, round, src, dst, &mut scratch);
+        })
     }
 
     /// Runs sequentially from `initial` until consensus or the round cap,
@@ -272,6 +559,63 @@ impl<P: GraphProtocol + Sync, G: Graph + Sync> GraphSimulation<P, G> {
             |_, _| false,
             |round, src, dst| {
                 self.step_par(trial_seed, round, src, dst);
+            },
+        )
+    }
+
+    /// Computes round `round` of trial `trial_seed` through the batched
+    /// three-pass pipeline on rayon, drawing per-chunk scratch buffers
+    /// from `pool`.
+    ///
+    /// Bit-identical to [`GraphSimulation::step_seq_batched`] for every
+    /// thread count and chunk schedule: each work unit is a
+    /// [`GraphSimulation::step_batched_shard`] over an interval, and cell
+    /// randomness is independent of the partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.len() != graph.n()`, `src.len() != dst.len()`, or
+    /// a vertex has no neighbors.
+    pub fn step_par_batched(
+        &self,
+        trial_seed: u64,
+        round: u64,
+        src: &[u32],
+        dst: &mut [u32],
+        pool: &ScratchPool,
+    ) {
+        self.assert_lengths(src, dst);
+        dst.par_chunks_mut(PAR_CHUNK)
+            .enumerate()
+            .for_each(|(chunk_index, chunk)| {
+                let mut scratch = pool.acquire();
+                self.step_batched_shard(
+                    trial_seed,
+                    round,
+                    chunk_index * PAR_CHUNK,
+                    src,
+                    chunk,
+                    &mut scratch,
+                );
+                pool.release(scratch);
+            });
+    }
+
+    /// Runs the batched pipeline with rayon-parallel rounds from
+    /// `initial` until consensus or the round cap. Bit-identical to
+    /// [`GraphSimulation::run_batched`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is empty or `initial.len() != graph.n()`.
+    #[must_use]
+    pub fn run_batched_par(&self, initial: &[u32], trial_seed: u64) -> GraphRunOutcome {
+        let pool = ScratchPool::new();
+        self.run_buffered(
+            initial,
+            |_, _| false,
+            |round, src, dst| {
+                self.step_par_batched(trial_seed, round, src, dst, &pool);
             },
         )
     }
@@ -427,6 +771,97 @@ mod tests {
         assert_eq!(a, c, "parallel run must be bit-identical to sequential");
         assert_eq!(a.reason, StopReason::Consensus);
         assert_eq!(a.winner, Some(0));
+    }
+
+    #[test]
+    fn batched_step_agrees_with_population_engine_in_expectation() {
+        // The batched pipeline must drive the same process as eq. (5):
+        // mean one-round fractions on the complete graph.
+        let n = 300usize;
+        let g = CompleteWithSelfLoops::new(n);
+        let sim = GraphSimulation::new(ThreeMajority, g);
+        let initial: Vec<u32> = (0..n).map(|v| u32::from(v >= 180)).collect(); // 60/40
+        let trials = 2000u64;
+        let mut mean0 = 0.0;
+        let mut dst = vec![0u32; n];
+        let mut scratch = RoundScratch::new();
+        for trial in 0..trials {
+            sim.step_seq_batched(trial, 0, &initial, &mut dst, &mut scratch);
+            mean0 += dst.iter().filter(|&&o| o == 0).count() as f64 / n as f64;
+        }
+        mean0 /= trials as f64;
+        let want = 0.6 * (1.0 + 0.6 - 0.52);
+        assert!((mean0 - want).abs() < 5e-3, "{mean0} vs {want}");
+    }
+
+    #[test]
+    fn batched_parallel_and_shards_are_bit_identical_to_sequential() {
+        let mut rng = rng_for(187, 0);
+        let g = random_regular(1000, 8, &mut rng).unwrap();
+        let sim = GraphSimulation::new(ThreeMajority, g);
+        let initial: Vec<u32> = (0..1000).map(|v| (v % 7) as u32).collect();
+        let mut seq = vec![0u32; 1000];
+        let mut par = vec![0u32; 1000];
+        let mut scratch = RoundScratch::new();
+        let pool = ScratchPool::new();
+        for round in 0..5 {
+            sim.step_seq_batched(99, round, &initial, &mut seq, &mut scratch);
+            sim.step_par_batched(99, round, &initial, &mut par, &pool);
+            assert_eq!(seq, par, "round {round}");
+            // An uneven 3-shard partition with fresh scratches must also
+            // reproduce the same round.
+            let mut sharded = vec![0u32; 1000];
+            for (start, end) in [(0usize, 70), (70, 707), (707, 1000)] {
+                let mut shard_scratch = RoundScratch::new();
+                sim.step_batched_shard(
+                    99,
+                    round,
+                    start,
+                    &initial,
+                    &mut sharded[start..end],
+                    &mut shard_scratch,
+                );
+            }
+            assert_eq!(seq, sharded, "round {round} (sharded)");
+        }
+    }
+
+    #[test]
+    fn batched_runs_are_reproducible_and_par_matches_seq() {
+        let mut rng = rng_for(188, 0);
+        let g = random_regular(300, 6, &mut rng).unwrap();
+        let sim = GraphSimulation::new(ThreeMajority, g).with_max_rounds(5_000);
+        let initial: Vec<u32> = (0..300).map(|v| u32::from(v >= 210)).collect(); // 70/30
+        let a = sim.run_batched(&initial, 42);
+        let b = sim.run_batched(&initial, 42);
+        let c = sim.run_batched_par(&initial, 42);
+        assert_eq!(a, b, "batched runs must be reproducible");
+        assert_eq!(a, c, "parallel batched run must match sequential");
+        assert_eq!(a.reason, StopReason::Consensus);
+        assert_eq!(a.winner, Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "no neighbors")]
+    fn batched_step_rejects_isolated_vertices() {
+        use od_graphs::CsrGraph;
+        // Vertex 2 is isolated (self-loop-only vertex 0 keeps it legal
+        // at construction time).
+        let g = CsrGraph::from_edges(3, &[(0, 1)]);
+        let sim = GraphSimulation::new(ThreeMajority, g);
+        let src = vec![0u32, 1, 0];
+        let mut dst = vec![0u32; 3];
+        sim.step_seq_batched(0, 0, &src, &mut dst, &mut RoundScratch::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the vertex range")]
+    fn batched_shard_validates_range() {
+        let g = CompleteWithSelfLoops::new(10);
+        let sim = GraphSimulation::new(ThreeMajority, g);
+        let src = vec![0u32; 10];
+        let mut dst = vec![0u32; 5];
+        sim.step_batched_shard(0, 0, 6, &src, &mut dst, &mut RoundScratch::new());
     }
 
     #[test]

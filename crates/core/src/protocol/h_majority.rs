@@ -146,6 +146,17 @@ impl GraphProtocol for HMajority {
             majority_with_uniform_ties(&mut samples, rng)
         }
     }
+
+    fn samples_per_vertex(&self) -> usize {
+        self.h
+    }
+
+    fn combine_gathered<R>(&self, _own: u32, gathered: &mut [u32], rng: &mut R) -> u32
+    where
+        R: Rng + ?Sized,
+    {
+        majority_with_uniform_ties(gathered, rng)
+    }
 }
 
 #[cfg(test)]

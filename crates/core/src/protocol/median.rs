@@ -39,6 +39,17 @@ impl GraphProtocol for MedianRule {
         let b = draw(rng);
         median3(own, a, b)
     }
+
+    fn samples_per_vertex(&self) -> usize {
+        2
+    }
+
+    fn combine_gathered<R>(&self, own: u32, gathered: &mut [u32], _rng: &mut R) -> u32
+    where
+        R: Rng + ?Sized,
+    {
+        median3(own, gathered[0], gathered[1])
+    }
 }
 
 #[cfg(test)]

@@ -265,6 +265,27 @@ pub trait GraphProtocol: SyncProtocol {
     where
         R: Rng + ?Sized,
         F: FnMut(&mut R) -> u32;
+
+    /// Number of neighbor opinions the batched three-pass pipeline must
+    /// gather per vertex per round — a constant for every protocol (the
+    /// pipeline sizes its scratch buffers with it). Always `>= 1`.
+    fn samples_per_vertex(&self) -> usize;
+
+    /// The batched combine kernel: computes the next opinion of a vertex
+    /// holding `own` from its pre-gathered neighbor opinions.
+    ///
+    /// `gathered` holds exactly [`GraphProtocol::samples_per_vertex`]
+    /// opinions in draw order; the callee may permute or overwrite the
+    /// slice (it is scratch, never read again). `rng` is the cell's
+    /// *combine-phase* stream (`od_sampling::seeds::combine_key`) — only
+    /// protocols that need randomness beyond the samples themselves
+    /// (h-Majority tie breaks, the noise channel) consume it.
+    ///
+    /// Must realise the same conditional one-round distribution as
+    /// [`GraphProtocol::pull_one`] given uniform neighbor samples.
+    fn combine_gathered<R>(&self, own: u32, gathered: &mut [u32], rng: &mut R) -> u32
+    where
+        R: Rng + ?Sized;
 }
 
 impl<P: GraphProtocol> GraphProtocol for &P {
@@ -274,6 +295,17 @@ impl<P: GraphProtocol> GraphProtocol for &P {
         F: FnMut(&mut R) -> u32,
     {
         (**self).pull_one(own, draw, rng)
+    }
+
+    fn samples_per_vertex(&self) -> usize {
+        (**self).samples_per_vertex()
+    }
+
+    fn combine_gathered<R>(&self, own: u32, gathered: &mut [u32], rng: &mut R) -> u32
+    where
+        R: Rng + ?Sized,
+    {
+        (**self).combine_gathered(own, gathered, rng)
     }
 }
 

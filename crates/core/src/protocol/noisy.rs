@@ -153,6 +153,29 @@ impl<P: GraphProtocol> GraphProtocol for Noisy<P> {
             rng,
         )
     }
+
+    fn samples_per_vertex(&self) -> usize {
+        self.inner.samples_per_vertex()
+    }
+
+    fn combine_gathered<R>(&self, own: u32, gathered: &mut [u32], rng: &mut R) -> u32
+    where
+        R: Rng + ?Sized,
+    {
+        // The noise channel rewrites the gathered samples in place, in
+        // draw order, before the inner combine runs: per sample one
+        // `f64` noise flip and — when it fires — one bounded draw, all
+        // from the cell's combine stream (ε = 0 consumes nothing, so the
+        // noiseless decorator is bit-identical to the bare protocol).
+        if self.epsilon > 0.0 {
+            for slot in gathered.iter_mut() {
+                if rng.random::<f64>() < self.epsilon {
+                    *slot = rng.random_range(0..self.k) as u32;
+                }
+            }
+        }
+        self.inner.combine_gathered(own, gathered, rng)
+    }
 }
 
 #[cfg(test)]

@@ -108,6 +108,21 @@ impl GraphProtocol for ThreeMajority {
             w3
         }
     }
+
+    fn samples_per_vertex(&self) -> usize {
+        3
+    }
+
+    fn combine_gathered<R>(&self, _own: u32, gathered: &mut [u32], _rng: &mut R) -> u32
+    where
+        R: Rng + ?Sized,
+    {
+        if gathered[0] == gathered[1] {
+            gathered[0]
+        } else {
+            gathered[2]
+        }
+    }
 }
 
 #[cfg(test)]

@@ -146,6 +146,21 @@ impl GraphProtocol for TwoChoices {
             own
         }
     }
+
+    fn samples_per_vertex(&self) -> usize {
+        2
+    }
+
+    fn combine_gathered<R>(&self, own: u32, gathered: &mut [u32], _rng: &mut R) -> u32
+    where
+        R: Rng + ?Sized,
+    {
+        if gathered[0] == gathered[1] {
+            gathered[0]
+        } else {
+            own
+        }
+    }
 }
 
 #[cfg(test)]

@@ -197,6 +197,25 @@ impl GraphProtocol for UndecidedDynamics {
             blank
         }
     }
+
+    fn samples_per_vertex(&self) -> usize {
+        1
+    }
+
+    fn combine_gathered<R>(&self, own: u32, gathered: &mut [u32], _rng: &mut R) -> u32
+    where
+        R: Rng + ?Sized,
+    {
+        let blank = self.num_opinions as u32;
+        let u = gathered[0];
+        if own == blank {
+            u
+        } else if u == blank || u == own {
+            own
+        } else {
+            blank
+        }
+    }
 }
 
 #[cfg(test)]

@@ -58,6 +58,17 @@ impl GraphProtocol for Voter {
     {
         draw(rng)
     }
+
+    fn samples_per_vertex(&self) -> usize {
+        1
+    }
+
+    fn combine_gathered<R>(&self, _own: u32, gathered: &mut [u32], _rng: &mut R) -> u32
+    where
+        R: Rng + ?Sized,
+    {
+        gathered[0]
+    }
 }
 
 #[cfg(test)]

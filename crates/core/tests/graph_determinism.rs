@@ -1,7 +1,12 @@
-//! Determinism guarantees of the cell-seeded graph engine:
+//! Determinism guarantees of the cell-seeded and batched graph engines:
 //!
 //! * the rayon-parallel round is **bit-identical** to the sequential one
 //!   for every protocol × graph family (proptest over `n`, `k`, seeds);
+//! * the batched three-pass round is bit-identical across sequential,
+//!   rayon-parallel, and every explicit contiguous shard partition at
+//!   1, 2, 4, and 8 threads — the partition shapes any thread schedule
+//!   can produce (cell randomness is a pure function of the cell, so
+//!   shard composition covers arbitrary scheduling);
 //! * the allocation-free `step_population_into` draws bit-identically to
 //!   the allocating `step_population` for every protocol.
 
@@ -9,7 +14,7 @@ use od_core::protocol::{
     GraphProtocol, HMajority, MedianRule, Noisy, StepScratch, SyncProtocol, ThreeMajority,
     TwoChoices, UndecidedDynamics, Voter,
 };
-use od_core::{GraphSimulation, OpinionCounts};
+use od_core::{GraphSimulation, OpinionCounts, RoundScratch};
 use od_graphs::{
     barbell, core_periphery, cycle, erdos_renyi, random_regular, star, stochastic_block_model,
     torus_2d, CompleteWithSelfLoops, CsrGraph, Graph,
@@ -31,6 +36,54 @@ where
     assert_eq!(seq, par, "par != seq on a {n}-vertex graph, k = {k}");
 }
 
+/// Asserts the batched pipeline is bit-identical across sequential,
+/// rayon-parallel, and explicit contiguous shard partitions at 1, 2, 4,
+/// and 8 threads.
+fn check_batched_schedules<P, G>(protocol: P, graph: &G, k: u32, trial_seed: u64)
+where
+    P: GraphProtocol + Sync,
+    G: Graph + Sync,
+{
+    let n = graph.n();
+    let initial: Vec<u32> = (0..n).map(|v| (v as u32) % k).collect();
+    let sim = GraphSimulation::new(protocol, graph).with_max_rounds(40);
+    let seq = sim.run_batched(&initial, trial_seed);
+    let par = sim.run_batched_par(&initial, trial_seed);
+    assert_eq!(seq, par, "batched par != seq on a {n}-vertex graph");
+
+    // Replay the first rounds under every partition a 1/2/4/8-thread
+    // schedule could assign, each shard with its own scratch buffers.
+    let mut reference = vec![0u32; n];
+    let mut scratch = RoundScratch::new();
+    let mut src = initial;
+    for round in 0..3 {
+        sim.step_seq_batched(trial_seed, round, &src, &mut reference, &mut scratch);
+        for threads in [1usize, 2, 4, 8] {
+            let mut sharded = vec![0u32; n];
+            let shard_len = n.div_ceil(threads);
+            let mut start = 0usize;
+            while start < n {
+                let end = (start + shard_len).min(n);
+                let mut shard_scratch = RoundScratch::new();
+                sim.step_batched_shard(
+                    trial_seed,
+                    round,
+                    start,
+                    &src,
+                    &mut sharded[start..end],
+                    &mut shard_scratch,
+                );
+                start = end;
+            }
+            assert_eq!(
+                reference, sharded,
+                "round {round}: {threads}-thread partition diverged on a {n}-vertex graph"
+            );
+        }
+        src.copy_from_slice(&reference);
+    }
+}
+
 /// Runs the check for every registered protocol on one graph.
 fn check_all_protocols<G: Graph + Sync>(graph: &G, k: u32, trial_seed: u64) {
     check_par_eq_seq(ThreeMajority, graph, k, trial_seed);
@@ -42,6 +95,22 @@ fn check_all_protocols<G: Graph + Sync>(graph: &G, k: u32, trial_seed: u64) {
     // striped initial above includes blanks when taken modulo k + 1.
     check_par_eq_seq(UndecidedDynamics::new(k as usize), graph, k + 1, trial_seed);
     check_par_eq_seq(
+        Noisy::new(ThreeMajority, 0.1, k as usize).unwrap(),
+        graph,
+        k,
+        trial_seed,
+    );
+}
+
+/// Runs the batched-schedule check for every registered protocol.
+fn check_all_protocols_batched<G: Graph + Sync>(graph: &G, k: u32, trial_seed: u64) {
+    check_batched_schedules(ThreeMajority, graph, k, trial_seed);
+    check_batched_schedules(TwoChoices, graph, k, trial_seed);
+    check_batched_schedules(Voter, graph, k, trial_seed);
+    check_batched_schedules(MedianRule, graph, k, trial_seed);
+    check_batched_schedules(HMajority::new(5).unwrap(), graph, k, trial_seed);
+    check_batched_schedules(UndecidedDynamics::new(k as usize), graph, k + 1, trial_seed);
+    check_batched_schedules(
         Noisy::new(ThreeMajority, 0.1, k as usize).unwrap(),
         graph,
         k,
@@ -101,6 +170,19 @@ proptest! {
     }
 
     #[test]
+    fn batched_pipeline_is_schedule_invariant_everywhere(
+        n in 16usize..96,
+        k in 2u32..6,
+        trial_seed in 0u64..10_000,
+        graph_seed in 0u64..1_000,
+    ) {
+        for (_name, graph) in generated_families(n, graph_seed) {
+            check_all_protocols_batched(&graph, k, trial_seed);
+        }
+        check_all_protocols_batched(&CompleteWithSelfLoops::new(n), k, trial_seed);
+    }
+
+    #[test]
     fn step_population_into_matches_step_population(
         counts in proptest::collection::vec(0u64..80, 2..=6)
             .prop_filter("positive population", |v| v.iter().sum::<u64>() > 0),
@@ -138,6 +220,19 @@ proptest! {
             );
         }
     }
+}
+
+#[test]
+fn batched_equals_parallel_batched_at_scale() {
+    // Large enough that the parallel step spans multiple PAR_CHUNK work
+    // units and the sequential step spans many BATCH_CHUNK sub-chunks.
+    let mut rng = rng_for(910, 0);
+    let g = random_regular(20_000, 8, &mut rng).unwrap();
+    let sim = GraphSimulation::new(ThreeMajority, &g).with_max_rounds(10);
+    let initial: Vec<u32> = (0..20_000).map(|v| (v % 5) as u32).collect();
+    let seq = sim.run_batched(&initial, 123);
+    let par = sim.run_batched_par(&initial, 123);
+    assert_eq!(seq, par);
 }
 
 #[test]

@@ -55,6 +55,24 @@ impl Graph for CompleteWithSelfLoops {
         (0..self.n).collect()
     }
 
+    fn neighbor_at(&self, v: Vertex, index: usize) -> Vertex {
+        assert!(v < self.n, "vertex {v} out of range");
+        assert!(index < self.n, "neighbor index {index} out of range");
+        index
+    }
+
+    fn uniform_degree(&self) -> Option<usize> {
+        Some(self.n)
+    }
+
+    fn gather_opinions(&self, v: Vertex, indices: &[u32], opinions: &[u32], out: &mut [u32]) {
+        // Neighbor index == vertex id on the complete graph: one load.
+        assert!(v < self.n, "vertex {v} out of range");
+        for (slot, &index) in out.iter_mut().zip(indices) {
+            *slot = opinions[index as usize];
+        }
+    }
+
     fn has_self_loop(&self, v: Vertex) -> bool {
         assert!(v < self.n, "vertex {v} out of range");
         true

@@ -26,6 +26,9 @@ pub struct CsrGraph {
     neighbors: Vec<u32>,
     /// Number of vertices with a self-loop (each counts one edge).
     num_loops: u32,
+    /// The common degree when the graph is regular (cached at
+    /// construction so the batched kernels branch on it in `O(1)`).
+    uniform_degree: Option<u32>,
 }
 
 impl CsrGraph {
@@ -103,10 +106,16 @@ impl CsrGraph {
         offsets[n] = write as u32;
         neighbors.truncate(write);
         neighbors.shrink_to_fit();
+        let first_degree = offsets[1] - offsets[0];
+        let uniform_degree = offsets
+            .windows(2)
+            .all(|w| w[1] - w[0] == first_degree)
+            .then_some(first_degree);
         Self {
             offsets,
             neighbors,
             num_loops,
+            uniform_degree,
         }
     }
 
@@ -134,6 +143,24 @@ impl CsrGraph {
     #[must_use]
     pub fn num_self_loops(&self) -> usize {
         self.num_loops as usize
+    }
+
+    /// Iterates the maximal runs of consecutive vertices sharing one
+    /// degree, as `(start_vertex..end_vertex, degree)`. Regular families
+    /// yield a single run.
+    ///
+    /// This is the degree-class decomposition of the vertex order. The
+    /// batched round pipeline itself resolves per-degree Lemire
+    /// thresholds through a memo table (measured faster than run
+    /// detection on irregular degree sequences, whose run boundaries
+    /// mispredict); this view is for analysis and for future kernels
+    /// that want to batch work by degree class (e.g. SIMD lanes over a
+    /// constant-degree stretch).
+    pub fn degree_runs(&self) -> impl Iterator<Item = (std::ops::Range<usize>, u32)> + '_ {
+        DegreeRuns {
+            offsets: &self.offsets,
+            cursor: 0,
+        }
     }
 
     /// True if the edge `(u, v)` is present.
@@ -194,6 +221,23 @@ impl Graph for CsrGraph {
             .collect()
     }
 
+    fn neighbor_at(&self, v: Vertex, index: usize) -> Vertex {
+        self.neighbor_slice(v)[index] as Vertex
+    }
+
+    fn uniform_degree(&self) -> Option<usize> {
+        self.uniform_degree.map(|d| d as usize)
+    }
+
+    fn gather_opinions(&self, v: Vertex, indices: &[u32], opinions: &[u32], out: &mut [u32]) {
+        // Resolve the CSR row once; each sample is then two dependent
+        // loads (row entry, opinion) with no per-sample offset lookups.
+        let row = self.neighbor_slice(v);
+        for (slot, &index) in out.iter_mut().zip(indices) {
+            *slot = opinions[row[index as usize] as usize];
+        }
+    }
+
     fn edge_count(&self) -> usize {
         let loops = self.num_loops as usize;
         (self.neighbors.len() - loops) / 2 + loops
@@ -201,6 +245,31 @@ impl Graph for CsrGraph {
 
     fn has_self_loop(&self, v: Vertex) -> bool {
         u32::try_from(v).is_ok_and(|v32| self.neighbor_slice(v).binary_search(&v32).is_ok())
+    }
+}
+
+/// Iterator state of [`CsrGraph::degree_runs`].
+struct DegreeRuns<'a> {
+    offsets: &'a [u32],
+    cursor: usize,
+}
+
+impl Iterator for DegreeRuns<'_> {
+    type Item = (std::ops::Range<usize>, u32);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let n = self.offsets.len() - 1;
+        if self.cursor >= n {
+            return None;
+        }
+        let start = self.cursor;
+        let degree = self.offsets[start + 1] - self.offsets[start];
+        let mut end = start + 1;
+        while end < n && self.offsets[end + 1] - self.offsets[end] == degree {
+            end += 1;
+        }
+        self.cursor = end;
+        Some((start..end, degree))
     }
 }
 
@@ -257,6 +326,40 @@ mod tests {
             assert!(row.windows(2).all(|w| w[0] < w[1]), "row {v} not sorted");
         }
         assert_eq!(g.neighbor_slice(3), &[0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn uniform_degree_and_degree_runs() {
+        // Triangle: 2-regular, one run.
+        let tri = CsrGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(tri.uniform_degree(), Some(2));
+        let runs: Vec<_> = tri.degree_runs().collect();
+        assert_eq!(runs, vec![(0..3, 2)]);
+
+        // Path 0–1–2–3: degrees 1, 2, 2, 1 → three runs covering 0..4.
+        let path = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(path.uniform_degree(), None);
+        let runs: Vec<_> = path.degree_runs().collect();
+        assert_eq!(runs, vec![(0..1, 1), (1..3, 2), (3..4, 1)]);
+        let covered: usize = runs.iter().map(|(r, _)| r.len()).sum();
+        assert_eq!(covered, path.n());
+    }
+
+    #[test]
+    fn neighbor_at_matches_canonical_order() {
+        let g = CsrGraph::from_edges(5, &[(3, 1), (3, 0), (3, 4), (3, 3), (1, 0)]);
+        for v in 0..5 {
+            for (i, &w) in g.neighbor_slice(v).iter().enumerate() {
+                assert_eq!(g.neighbor_at(v, i), w as usize);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of bounds")]
+    fn neighbor_at_checks_bounds() {
+        let g = CsrGraph::from_edges(2, &[(0, 1)]);
+        let _ = g.neighbor_at(0, 1);
     }
 
     #[test]

@@ -60,6 +60,55 @@ pub trait Graph {
     /// dynamics only use [`Graph::sample_neighbor`]).
     fn neighbors(&self, v: Vertex) -> Vec<Vertex>;
 
+    /// The `index`-th neighbor of `v` in the graph's canonical neighbor
+    /// order — the order [`Graph::sample_neighbor`] indexes into. The
+    /// batched round pipeline generates row-local indices in
+    /// `[0, degree(v))` first and resolves them through this method in a
+    /// separate gather pass.
+    ///
+    /// The default allocates via [`Graph::neighbors`]; implementations on
+    /// the hot path must override it with a direct lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n()` or `index >= degree(v)`.
+    fn neighbor_at(&self, v: Vertex, index: usize) -> Vertex {
+        self.neighbors(v)[index]
+    }
+
+    /// The common degree when every vertex has the same one, else `None`.
+    ///
+    /// Regular families (complete, cycle, torus, random-regular) report
+    /// `Some`, letting the batched pipeline hoist its per-degree Lemire
+    /// threshold out of the vertex loop entirely. The default scans all
+    /// degrees; [`CsrGraph`] caches the answer at construction.
+    fn uniform_degree(&self) -> Option<usize> {
+        if self.n() == 0 {
+            return None;
+        }
+        let d = self.degree(0);
+        (1..self.n()).all(|v| self.degree(v) == d).then_some(d)
+    }
+
+    /// The batched pipeline's gather kernel: for each row-local neighbor
+    /// index `indices[i]` of vertex `v`, writes
+    /// `opinions[neighbor_at(v, indices[i])]` to `out[i]`.
+    ///
+    /// The default goes through [`Graph::neighbor_at`] per sample;
+    /// implementations should override it to resolve the neighbor row
+    /// once per vertex (this runs three times per vertex per round on
+    /// the hottest path of the engine).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n()`, an index is out of the row's range, or a
+    /// resolved neighbor is out of `opinions`' range.
+    fn gather_opinions(&self, v: Vertex, indices: &[u32], opinions: &[u32], out: &mut [u32]) {
+        for (slot, &index) in out.iter_mut().zip(indices) {
+            *slot = opinions[self.neighbor_at(v, index as usize)];
+        }
+    }
+
     /// True if `v` has an edge to itself.
     ///
     /// The default allocates via [`Graph::neighbors`]; implementations
@@ -105,6 +154,18 @@ impl<G: Graph + ?Sized> Graph for &G {
 
     fn neighbors(&self, v: Vertex) -> Vec<Vertex> {
         (**self).neighbors(v)
+    }
+
+    fn neighbor_at(&self, v: Vertex, index: usize) -> Vertex {
+        (**self).neighbor_at(v, index)
+    }
+
+    fn uniform_degree(&self) -> Option<usize> {
+        (**self).uniform_degree()
+    }
+
+    fn gather_opinions(&self, v: Vertex, indices: &[u32], opinions: &[u32], out: &mut [u32]) {
+        (**self).gather_opinions(v, indices, opinions, out);
     }
 
     fn has_self_loop(&self, v: Vertex) -> bool {

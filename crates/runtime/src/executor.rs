@@ -352,17 +352,19 @@ fn run_graph_case<P: GraphProtocol, G: Graph>(
     let sim = GraphSimulation::new(protocol, graph).with_max_rounds(spec.max_rounds);
     let k = engine.k;
     // Threshold stops tally each round; the plain consensus run skips
-    // the tally entirely. Both go through the engine's single
-    // double-buffered loop (`run_seeded_until`).
+    // the tally entirely. Both go through the batched three-pass
+    // pipeline's single double-buffered loop (`run_batched_until`) —
+    // trial results are a pure function of `(spec, trial)` there, so
+    // shard invariance and checkpoint/resume byte-identity carry over.
     let out = match spec.stop {
-        StopRule::Consensus => sim.run_seeded(&engine.opinions, trial_seed),
+        StopRule::Consensus => sim.run_batched(&engine.opinions, trial_seed),
         StopRule::MaxFraction(threshold) => {
-            sim.run_seeded_until(&engine.opinions, trial_seed, |_, opinions| {
+            sim.run_batched_until(&engine.opinions, trial_seed, |_, opinions| {
                 od_core::protocol::tally(opinions, k).max_fraction() >= threshold
             })
         }
         StopRule::Gamma(threshold) => {
-            sim.run_seeded_until(&engine.opinions, trial_seed, |_, opinions| {
+            sim.run_batched_until(&engine.opinions, trial_seed, |_, opinions| {
                 od_core::protocol::tally(opinions, k).gamma() >= threshold
             })
         }

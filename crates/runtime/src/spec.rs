@@ -829,7 +829,18 @@ impl JobSpec {
     /// resumes only the exact spec that wrote it.
     #[must_use]
     pub fn content_hash(&self) -> String {
-        let canonical = self.to_json().to_string_compact();
+        let mut canonical = self.to_json().to_string_compact();
+        if self.graph.is_some() {
+            // Trial results are a function of (spec, engine): graph jobs
+            // run the batched three-pass engine, whose sampling order
+            // deliberately differs from the PR 2 cell-seeded engine. The
+            // engine tag keyed into the hash makes a checkpoint written
+            // by one engine generation refuse to resume under another
+            // (a typed `CheckpointMismatch`), instead of silently merging
+            // shards computed from different sample paths. Bump the tag
+            // whenever a change alters graph trial results.
+            canonical.push_str("#graph-engine=batched-v1");
+        }
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for b in canonical.bytes() {
             h ^= u64::from(b);

@@ -77,6 +77,39 @@ fn graph_field_changes_the_content_hash() {
 }
 
 #[test]
+fn graph_hashes_are_salted_with_the_engine_generation() {
+    // A graph spec's content hash must not equal the bare FNV of its
+    // canonical JSON: the engine tag is keyed in, so checkpoints written
+    // by an older engine generation (different sample paths) refuse to
+    // resume instead of silently mixing shard results.
+    let spec = graph_spec(GraphFamily::Cycle);
+    let bare = {
+        let canonical = spec.to_json().to_string_compact();
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in canonical.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        format!("{h:016x}")
+    };
+    assert_ne!(spec.content_hash(), bare);
+
+    // Population jobs are untouched by the graph engine generation.
+    let mut population = spec;
+    population.graph = None;
+    let bare = {
+        let canonical = population.to_json().to_string_compact();
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in canonical.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        format!("{h:016x}")
+    };
+    assert_eq!(population.content_hash(), bare);
+}
+
+#[test]
 fn graph_job_reaches_consensus_on_expander() {
     let report = run_job_simple(&graph_spec(GraphFamily::RandomRegular { d: 8 })).unwrap();
     assert_eq!(report.summary.trials, 8);
@@ -88,7 +121,8 @@ fn graph_job_reaches_consensus_on_expander() {
 #[test]
 fn graph_job_matches_direct_engine_bit_for_bit() {
     // Complete-graph family: graph construction is deterministic, so the
-    // runtime result must equal a hand-rolled run_seeded loop exactly.
+    // runtime result must equal a hand-rolled batched-engine loop
+    // exactly (the executor dispatches the batched pipeline).
     let spec = graph_spec(GraphFamily::Complete);
     let report = run_job_simple(&spec).unwrap();
     let n = 200usize;
@@ -109,7 +143,7 @@ fn graph_job_matches_direct_engine_bit_for_bit() {
     let mut direct_rounds = Vec::new();
     let mut direct_winners = Vec::new();
     for trial in 0..spec.trials {
-        let out = sim.run_seeded(&opinions, derive_seed(spec.master_seed, trial));
+        let out = sim.run_batched(&opinions, derive_seed(spec.master_seed, trial));
         direct_rounds.push(out.rounds);
         direct_winners.push(out.winner.unwrap() as u64);
     }

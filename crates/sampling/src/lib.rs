@@ -13,7 +13,9 @@
 //! * [`normal`], [`geometric`], [`zipf`] — auxiliary distributions for
 //!   statistics and workload generation;
 //! * [`math`] — `ln Γ`, `ln n!` and friends (Lanczos + Stirling);
-//! * [`seeds`] — reproducible seed-stream derivation (SplitMix64).
+//! * [`seeds`] — reproducible seed-stream derivation (SplitMix64);
+//! * [`batched`] — bit-packed multi-sample bounded draws (three 21-bit
+//!   Lemire samples per RNG word) for the batched graph rounds.
 //!
 //! # Examples
 //!
@@ -29,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod alias;
+pub mod batched;
 pub mod binomial;
 pub mod fenwick;
 pub mod geometric;
@@ -39,6 +42,7 @@ pub mod seeds;
 pub mod zipf;
 
 pub use alias::AliasTable;
+pub use batched::{fill_indices_batched, BatchedCellRng, ThresholdMemo};
 pub use binomial::sample_binomial;
 pub use fenwick::FenwickSampler;
 pub use multinomial::{sample_multinomial, sample_multinomial_into};

@@ -55,6 +55,24 @@ pub fn rng_for(master: u64, stream_id: u64) -> StdRng {
 const ROUND_SALT: u64 = 0xA076_1D64_78BD_642F;
 const VERTEX_SALT: u64 = 0xE703_7ED1_A0B4_28DB;
 
+/// Salt separating a cell's combine-phase stream from its index stream.
+const COMBINE_SALT: u64 = 0x2545_F491_4F6C_DD1D;
+
+/// Derives the combine-phase key of a round from its [`round_key`].
+///
+/// The batched graph pipeline draws a cell's *neighbor indices* from
+/// `CellRng::for_cell(round_key, v)` and its *combine randomness* (tie
+/// breaks, noise flips) from `CellRng::for_cell(combine_key(round_key), v)`.
+/// Keeping the two streams independent means the index pass can consume a
+/// data-dependent number of words (Lemire rejection) without the combine
+/// pass needing to know where it stopped — each pass remains a pure
+/// function of `(trial_seed, round, vertex)`.
+#[must_use]
+#[inline]
+pub fn combine_key(round_key: u64) -> u64 {
+    round_key ^ COMBINE_SALT
+}
+
 /// Derives the per-round key of a trial: the partial mix of
 /// `(trial_seed, round)` that [`CellRng::for_cell`] completes per vertex.
 ///
@@ -227,6 +245,17 @@ mod tests {
             let mut other = rng_at_cell(t, r, v);
             assert_ne!(xs[0], other.next_u64(), "cell ({t},{r},{v}) collided");
         }
+    }
+
+    #[test]
+    fn combine_key_is_distinct_and_deterministic() {
+        let rk = round_key(11, 5);
+        assert_eq!(combine_key(rk), combine_key(rk));
+        assert_ne!(combine_key(rk), rk);
+        // The combine stream of a cell must differ from its index stream.
+        let mut index_stream = CellRng::for_cell(rk, 9);
+        let mut combine_stream = CellRng::for_cell(combine_key(rk), 9);
+        assert_ne!(index_stream.next_u64(), combine_stream.next_u64());
     }
 
     #[test]

@@ -1,0 +1,82 @@
+//! Differential proptests of the batched multi-sample draws: the packed
+//! production implementation must reproduce the naive scalar reference of
+//! the documented sampling order bit-for-bit, over ranges spanning both
+//! the 21-bit packed path (including its Lemire rejection and refill
+//! corners) and the 64-bit wide path.
+
+use od_sampling::batched::{fill_indices_scalar, BatchedCellRng, ThresholdMemo, MAX_PACKED_RANGE};
+use od_sampling::fill_indices_batched;
+use od_sampling::seeds::round_key;
+use proptest::prelude::*;
+
+fn assert_batched_matches_scalar(round_key: u64, vertex: u64, range: u64, count: usize) {
+    let mut batched = vec![0u32; count];
+    let mut scalar = vec![0u32; count];
+    fill_indices_batched(round_key, vertex, range, &mut batched);
+    fill_indices_scalar(round_key, vertex, range, &mut scalar);
+    assert_eq!(
+        batched, scalar,
+        "rk {round_key:#x}, vertex {vertex}, range {range}, count {count}"
+    );
+    assert!(
+        batched.iter().all(|&x| u64::from(x) < range),
+        "out-of-range sample for range {range}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn batched_matches_scalar_on_packed_ranges(
+        trial_seed in 0u64..1_000_000,
+        round in 0u64..1_000,
+        vertex in 0u64..1_000_000,
+        range in 1u64..=(MAX_PACKED_RANGE as u64),
+        count in 1usize..32,
+    ) {
+        assert_batched_matches_scalar(round_key(trial_seed, round), vertex, range, count);
+    }
+
+    #[test]
+    fn batched_matches_scalar_on_wide_ranges(
+        rk in 0u64..u64::MAX,
+        vertex in 0u64..1_000_000,
+        range in (MAX_PACKED_RANGE as u64 + 1)..=(1u64 << 32),
+        count in 1usize..16,
+    ) {
+        assert_batched_matches_scalar(rk, vertex, range, count);
+    }
+
+    #[test]
+    fn batched_matches_scalar_near_the_packing_boundary(
+        rk in 0u64..u64::MAX,
+        vertex in 0u64..10_000,
+        // 2²¹ ± a small offset: the exact-divisor, max-range, and
+        // first-wide cases plus their neighborhoods.
+        offset in 0u64..=16,
+        count in 1usize..10,
+    ) {
+        let range = u64::from(MAX_PACKED_RANGE) - 8 + offset;
+        assert_batched_matches_scalar(rk, vertex, range, count);
+    }
+
+    #[test]
+    fn memoized_thresholds_never_change_results(
+        rk in 0u64..u64::MAX,
+        vertex in 0u64..10_000,
+        range in 1u32..=MAX_PACKED_RANGE,
+    ) {
+        // A warm memo must hand the packed path the same threshold a
+        // fresh dispatch computes.
+        let mut memo = ThresholdMemo::new();
+        let warm = memo.threshold(range);
+        let again = memo.threshold(range);
+        prop_assert_eq!(warm, again);
+        let mut via_struct = [0u32; 6];
+        BatchedCellRng::for_cell(rk, vertex).fill_indices(u64::from(range), &mut via_struct);
+        let mut via_free = [0u32; 6];
+        fill_indices_batched(rk, vertex, u64::from(range), &mut via_free);
+        prop_assert_eq!(via_struct, via_free);
+    }
+}

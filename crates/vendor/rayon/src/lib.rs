@@ -58,6 +58,17 @@ where
     results.into_iter().flatten().collect()
 }
 
+/// Number of threads a saturating workload runs on — the analogue of
+/// rayon's `current_num_threads`. This stub has no persistent pool; it
+/// spawns up to one thread per available core per workload, so the
+/// effective count is the host's available parallelism.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
 /// Runs `a` and `b`, potentially in parallel, returning both results.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
@@ -255,6 +266,11 @@ mod tests {
         let (a, b) = super::join(|| 1 + 1, || "two");
         assert_eq!(a, 2);
         assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn current_num_threads_is_positive() {
+        assert!(super::current_num_threads() >= 1);
     }
 
     #[test]
