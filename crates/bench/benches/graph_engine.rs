@@ -11,7 +11,13 @@
 //! * `seq_batched` — the batched three-pass pipeline (bit-packed
 //!   multi-sample draws → gather → combine), sequential;
 //! * `par_batched` — the same pipeline on rayon (bit-identical to
-//!   `seq_batched`, asserted here every run).
+//!   `seq_batched`, asserted here every run);
+//! * `seq_weighted` / `par_weighted` — the weighted pipeline (weight
+//!   points + prefix resolution) over seeded per-edge weights in
+//!   `[1, 8]` on the same topology, measuring the resolution overhead;
+//! * `seq_temporal` — the batched pipeline through a two-snapshot
+//!   periodic `TemporalGraph` switching every round (maximal
+//!   schedule-switching overhead).
 //!
 //! Besides printing timings it writes machine-readable results to
 //! `BENCH_graph.json` at the workspace root (override with
@@ -22,7 +28,10 @@ use od_bench::record::{measure_interleaved, write_json, BenchRecord};
 use od_bench::rng_for;
 use od_core::protocol::ThreeMajority;
 use od_core::{GraphSimulation, RoundScratch, ScratchPool};
-use od_graphs::{cycle, erdos_renyi, random_regular, torus_2d, CsrGraph, Graph};
+use od_graphs::{
+    cycle, erdos_renyi, random_regular, torus_2d, CsrGraph, Graph, TemporalGraph, WeightedCsrGraph,
+};
+use od_sampling::seeds::derive_seed;
 use std::hint::black_box;
 use std::path::PathBuf;
 
@@ -102,7 +111,11 @@ mod seed_baseline {
 }
 
 fn build_family(name: &str, n: usize) -> CsrGraph {
-    let mut rng = rng_for(0xBE7C4, 0);
+    build_family_seeded(name, n, 0xBE7C4)
+}
+
+fn build_family_seeded(name: &str, n: usize, seed: u64) -> CsrGraph {
+    let mut rng = rng_for(seed, 0);
     match name {
         // Mean degree 10, plus a cycle backbone so no vertex is isolated.
         "erdos_renyi" => {
@@ -152,6 +165,21 @@ fn main() {
             let sim = GraphSimulation::new(ThreeMajority, &graph);
             let src = initial.clone();
 
+            // Weighted companion graph: same topology, seeded per-edge
+            // weights in [1, 8] — isolates the cost of weight points +
+            // prefix resolution against the unweighted pipeline.
+            let weighted = WeightedCsrGraph::from_csr_with(graph.clone(), |u, v| {
+                let pair = ((u.min(v) as u64) << 32) | u.max(v) as u64;
+                (derive_seed(0x5EED_BE7C4, pair) % 8) as u32 + 1
+            })
+            .expect("bench families have no isolated vertices");
+            let wsim = GraphSimulation::new(ThreeMajority, &weighted);
+            // Temporal companion: two snapshots of the same family
+            // switching every round — the maximal-churn schedule.
+            let alt = build_family_seeded(family, n, 0xA17E7);
+            let schedule = TemporalGraph::periodic(vec![graph.clone(), alt], 1)
+                .expect("snapshots share the vertex count");
+
             // Bit-identity checks before timing anything.
             {
                 let mut dst = vec![0u32; n];
@@ -162,6 +190,9 @@ fn main() {
                 sim.step_seq_batched(7, 0, &src, &mut dst, &mut RoundScratch::new());
                 sim.step_par_batched(7, 0, &src, &mut other, &ScratchPool::new());
                 assert_eq!(dst, other, "parallel batched round diverged");
+                wsim.step_seq_weighted(7, 0, &src, &mut dst, &mut RoundScratch::new());
+                wsim.step_par_weighted(7, 0, &src, &mut other, &ScratchPool::new());
+                assert_eq!(dst, other, "parallel weighted round diverged");
             }
 
             // All six engines are timed with their samples interleaved,
@@ -176,8 +207,15 @@ fn main() {
             let (mut dst_par, mut round_par) = (vec![0u32; n], 0u64);
             let (mut dst_sb, mut round_sb) = (vec![0u32; n], 0u64);
             let (mut dst_pb, mut round_pb) = (vec![0u32; n], 0u64);
+            let (mut dst_sw, mut round_sw) = (vec![0u32; n], 0u64);
+            let (mut dst_pw, mut round_pw) = (vec![0u32; n], 0u64);
+            let (mut dst_st, mut round_st) = (vec![0u32; n], 0u64);
             let mut scratch = RoundScratch::new();
             let pool = ScratchPool::new();
+            let mut scratch_w = RoundScratch::new();
+            let pool_w = ScratchPool::new();
+            let mut scratch_t = RoundScratch::new();
+            let mut tview = schedule.view();
             let id = |engine: &str| format!("{family}/n={n}/{engine}");
             let family_results = measure_interleaved(
                 1,
@@ -237,6 +275,35 @@ fn main() {
                             black_box(&dst_pb);
                         }),
                     ),
+                    (
+                        // Weighted pipeline: weight points + prefix
+                        // resolution over seeded [1, 8] edge weights.
+                        id("seq_weighted"),
+                        Box::new(|| {
+                            wsim.step_seq_weighted(7, round_sw, &src, &mut dst_sw, &mut scratch_w);
+                            round_sw += 1;
+                            black_box(&dst_sw);
+                        }),
+                    ),
+                    (
+                        id("par_weighted"),
+                        Box::new(|| {
+                            wsim.step_par_weighted(7, round_pw, &src, &mut dst_pw, &pool_w);
+                            round_pw += 1;
+                            black_box(&dst_pw);
+                        }),
+                    ),
+                    (
+                        // Temporal schedule, switching snapshots every
+                        // round (the worst case for snapshot locality).
+                        id("seq_temporal"),
+                        Box::new(|| {
+                            GraphSimulation::new(ThreeMajority, tview.at_round(round_st))
+                                .step_seq_batched(7, round_st, &src, &mut dst_st, &mut scratch_t);
+                            round_st += 1;
+                            black_box(&dst_st);
+                        }),
+                    ),
                 ],
             );
             let mean_of = |engine: &str| {
@@ -250,11 +317,15 @@ fn main() {
             let batched_over_seq = mean_of("seq") / mean_of("seq_batched");
             let batched_over_old = mean_of("old") / mean_of("seq_batched");
             let parallel_speedup = mean_of("old") / mean_of("par_batched");
+            let weighted_overhead = mean_of("seq_weighted") / mean_of("seq_batched");
+            let temporal_overhead = mean_of("seq_temporal") / mean_of("seq_batched");
             println!(
                 "  {family}/n={n}: old/seq = {single_thread_speedup:.2}x, \
                  seq/seq_batched = {batched_over_seq:.2}x, \
                  old/seq_batched = {batched_over_old:.2}x, \
-                 old/par_batched = {parallel_speedup:.2}x ({threads} threads)"
+                 old/par_batched = {parallel_speedup:.2}x, \
+                 weighted/batched = {weighted_overhead:.2}x, \
+                 temporal/batched = {temporal_overhead:.2}x ({threads} threads)"
             );
             if family == "erdos_renyi" && n == 100_000 {
                 er_speedup_at_100k = Some(batched_over_seq);

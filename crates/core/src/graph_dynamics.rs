@@ -41,12 +41,31 @@
 //!   stream consumed vertex-by-vertex through `dyn` dispatch. Kept as the
 //!   baseline the `graph_engine` bench measures speedups against, and for
 //!   callers that want the literal Definition 3.1 sampling order.
+//!
+//! # Scenario extensions
+//!
+//! * **Weighted graphs** ([`GraphSimulation::step_seq_weighted`] /
+//!   [`GraphSimulation::step_par_weighted`] /
+//!   [`GraphSimulation::run_weighted`], over any
+//!   [`od_graphs::WeightedGraph`]) — the batched pipeline with pass 1
+//!   drawing *weight points* in `[0, W_v)` (documented batched order,
+//!   `range` = the row's total weight) and resolving them through the
+//!   graph's prefix sums; all-one weights reproduce the unweighted
+//!   pipeline bit-for-bit. Same [`RoundScratch`]/[`ScratchPool`] reuse,
+//!   same partition invariance.
+//! * **Temporal graphs** ([`TemporalSimulation`]) — each round runs the
+//!   batched pipeline on the snapshot an [`od_graphs::TemporalGraph`]
+//!   schedules for it (periodic switching or seeded per-epoch
+//!   rewiring); the snapshot is a pure function of the round, so
+//!   schedule invariance is preserved.
 
 use crate::config::OpinionCounts;
 use crate::engine::StopReason;
 use crate::protocol::{tally, GraphProtocol, OpinionSource, SyncProtocol};
-use od_graphs::Graph;
-use od_sampling::batched::{fill_packed, fill_wide, ThresholdMemo, MAX_PACKED_RANGE};
+use od_graphs::{Graph, TemporalGraph, WeightedGraph};
+use od_sampling::batched::{
+    fill_packed, fill_wide, packed_threshold, ThresholdMemo, MAX_PACKED_RANGE,
+};
 use od_sampling::seeds::{combine_key, round_key, CellRng};
 use rand::RngCore;
 use rayon::prelude::*;
@@ -478,51 +497,309 @@ impl<P: GraphProtocol, G: Graph> GraphSimulation<P, G> {
     fn run_buffered(
         &self,
         initial: &[u32],
-        mut stop: impl FnMut(u64, &[u32]) -> bool,
-        mut step: impl FnMut(u64, &[u32], &mut [u32]),
+        stop: impl FnMut(u64, &[u32]) -> bool,
+        step: impl FnMut(u64, &[u32], &mut [u32]),
     ) -> GraphRunOutcome {
-        assert!(
-            !initial.is_empty(),
-            "run: initial opinions must be non-empty"
-        );
-        assert_eq!(
-            initial.len(),
-            self.graph.n(),
-            "run: opinions length must equal the number of vertices"
-        );
-        let mut current = initial.to_vec();
-        let mut next = vec![0u32; initial.len()];
-        let mut rounds: u64 = 0;
-        loop {
-            let first = current[0];
-            if current.iter().all(|&o| o == first) {
-                return GraphRunOutcome {
-                    rounds,
-                    winner: Some(first as usize),
-                    reason: StopReason::Consensus,
-                    final_opinions: current,
-                };
-            }
-            if stop(rounds, &current) {
-                return GraphRunOutcome {
-                    rounds,
-                    winner: None,
-                    reason: StopReason::Predicate,
-                    final_opinions: current,
-                };
-            }
-            if rounds >= self.max_rounds {
-                return GraphRunOutcome {
-                    rounds,
-                    winner: None,
-                    reason: StopReason::RoundLimit,
-                    final_opinions: current,
-                };
-            }
-            step(rounds, &current, &mut next);
-            std::mem::swap(&mut current, &mut next);
-            rounds += 1;
+        run_buffered_dynamics(self.graph.n(), self.max_rounds, initial, stop, step)
+    }
+}
+
+/// The double-buffered round loop shared by every seeded engine — static
+/// graphs ([`GraphSimulation`]) and temporal schedules
+/// ([`TemporalSimulation`]) alike. Check order per round: consensus,
+/// stop predicate, round cap — all including round 0.
+fn run_buffered_dynamics(
+    n: usize,
+    max_rounds: u64,
+    initial: &[u32],
+    mut stop: impl FnMut(u64, &[u32]) -> bool,
+    mut step: impl FnMut(u64, &[u32], &mut [u32]),
+) -> GraphRunOutcome {
+    assert!(
+        !initial.is_empty(),
+        "run: initial opinions must be non-empty"
+    );
+    assert_eq!(
+        initial.len(),
+        n,
+        "run: opinions length must equal the number of vertices"
+    );
+    let mut current = initial.to_vec();
+    let mut next = vec![0u32; initial.len()];
+    let mut rounds: u64 = 0;
+    loop {
+        let first = current[0];
+        if current.iter().all(|&o| o == first) {
+            return GraphRunOutcome {
+                rounds,
+                winner: Some(first as usize),
+                reason: StopReason::Consensus,
+                final_opinions: current,
+            };
         }
+        if stop(rounds, &current) {
+            return GraphRunOutcome {
+                rounds,
+                winner: None,
+                reason: StopReason::Predicate,
+                final_opinions: current,
+            };
+        }
+        if rounds >= max_rounds {
+            return GraphRunOutcome {
+                rounds,
+                winner: None,
+                reason: StopReason::RoundLimit,
+                final_opinions: current,
+            };
+        }
+        step(rounds, &current, &mut next);
+        std::mem::swap(&mut current, &mut next);
+        rounds += 1;
+    }
+}
+
+impl<P: GraphProtocol, G: WeightedGraph> GraphSimulation<P, G> {
+    /// Computes round `round` of trial `trial_seed` through the
+    /// **weighted** batched three-pass pipeline, sequentially: pass 1
+    /// draws *weight points* in `[0, W_v)` (the documented batched order
+    /// with `range = W_v`, the row's total weight) and resolves them to
+    /// row-local neighbor indices through the graph's prefix sums
+    /// ([`WeightedGraph::resolve_points`]); passes 2 and 3 are the
+    /// unweighted gather + combine, untouched.
+    ///
+    /// With all-one weights (`W_v = degree(v)`) this is bit-identical to
+    /// [`GraphSimulation::step_seq_batched`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.len() != graph.n()` or `src.len() != dst.len()`.
+    pub fn step_seq_weighted(
+        &self,
+        trial_seed: u64,
+        round: u64,
+        src: &[u32],
+        dst: &mut [u32],
+        scratch: &mut RoundScratch,
+    ) {
+        self.assert_lengths(src, dst);
+        self.step_weighted_shard(trial_seed, round, 0, src, dst, scratch);
+    }
+
+    /// Computes the contiguous shard of cells
+    /// `first_vertex..first_vertex + dst.len()` of one weighted batched
+    /// round — the scheduling primitive of the weighted engine, with the
+    /// same partition-invariance contract as
+    /// [`GraphSimulation::step_batched_shard`]: any shard composition,
+    /// thread count, or scratch assignment is bit-identical, because a
+    /// cell's point stream and the point → index map are both pure
+    /// functions of `(trial_seed, round, vertex)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.len() != graph.n()` or the shard range exceeds `n`
+    /// (zero-weight rows cannot exist on a validly constructed weighted
+    /// graph).
+    pub fn step_weighted_shard(
+        &self,
+        trial_seed: u64,
+        round: u64,
+        first_vertex: usize,
+        src: &[u32],
+        dst: &mut [u32],
+        scratch: &mut RoundScratch,
+    ) {
+        assert_eq!(
+            src.len(),
+            self.graph.n(),
+            "step: opinions length must equal the number of vertices"
+        );
+        assert!(
+            first_vertex + dst.len() <= src.len(),
+            "step: shard {first_vertex}..{} exceeds the vertex range",
+            first_vertex + dst.len()
+        );
+        let samples = self.protocol.samples_per_vertex();
+        assert!(samples > 0, "protocols must gather at least one sample");
+        match samples {
+            1 => self.run_weighted_cells(1, trial_seed, round, first_vertex, src, dst, scratch),
+            2 => self.run_weighted_cells(2, trial_seed, round, first_vertex, src, dst, scratch),
+            3 => self.run_weighted_cells(3, trial_seed, round, first_vertex, src, dst, scratch),
+            s => self.run_weighted_cells(s, trial_seed, round, first_vertex, src, dst, scratch),
+        }
+    }
+
+    /// The weighted three-pass chunk pipeline behind
+    /// [`GraphSimulation::step_weighted_shard`] — structurally the
+    /// unweighted kernel with the pass-1 range swapped from the degree
+    /// to the row weight, plus the in-place point resolution.
+    #[allow(clippy::too_many_arguments)] // private hot-path kernel: the args are the loop state
+    #[inline(always)]
+    fn run_weighted_cells(
+        &self,
+        samples: usize,
+        trial_seed: u64,
+        round: u64,
+        first_vertex: usize,
+        src: &[u32],
+        dst: &mut [u32],
+        scratch: &mut RoundScratch,
+    ) {
+        let rk = round_key(trial_seed, round);
+        let ck = combine_key(rk);
+        scratch.ensure(BATCH_CHUNK.min(dst.len()) * samples, samples);
+        let uniform_weight = self.graph.uniform_row_weight();
+        for (chunk_index, chunk) in dst.chunks_mut(BATCH_CHUNK).enumerate() {
+            let base = first_vertex + chunk_index * BATCH_CHUNK;
+            let slots = chunk.len() * samples;
+            let indices = &mut scratch.indices[..slots];
+            let gathered = &mut scratch.gathered[..samples];
+
+            // Pass 1: weight points for every cell of the chunk, resolved
+            // to row-local neighbor indices in place. Resolution happens
+            // per row while the freshly drawn points are still in
+            // registers/L1, before the next cell's RNG work.
+            match uniform_weight {
+                Some(w) => {
+                    debug_assert!(w > 0, "weighted rows are validated positive");
+                    if w <= u64::from(MAX_PACKED_RANGE) {
+                        // Row weights range up to 2²¹, so the dense
+                        // per-range memo the degree path uses would
+                        // allocate megabytes to cache single divisions;
+                        // the hoisted (uniform) and per-vertex
+                        // (irregular) thresholds are computed directly.
+                        let range = w as u32;
+                        let threshold = packed_threshold(range);
+                        for (offset, row) in indices.chunks_exact_mut(samples).enumerate() {
+                            let v = base + offset;
+                            let mut cell = CellRng::for_cell(rk, v as u64);
+                            fill_packed(&mut cell, range, threshold, row);
+                            self.graph.resolve_points(v, row);
+                        }
+                    } else {
+                        for (offset, row) in indices.chunks_exact_mut(samples).enumerate() {
+                            let v = base + offset;
+                            let mut cell = CellRng::for_cell(rk, v as u64);
+                            fill_wide(&mut cell, w, row);
+                            self.graph.resolve_points(v, row);
+                        }
+                    }
+                }
+                None => {
+                    for (offset, row) in indices.chunks_exact_mut(samples).enumerate() {
+                        let v = base + offset;
+                        let w = self.graph.row_weight(v);
+                        debug_assert!(w > 0, "weighted rows are validated positive");
+                        let mut cell = CellRng::for_cell(rk, v as u64);
+                        if w <= u64::from(MAX_PACKED_RANGE) {
+                            let threshold = packed_threshold(w as u32);
+                            fill_packed(&mut cell, w as u32, threshold, row);
+                        } else {
+                            fill_wide(&mut cell, w, row);
+                        }
+                        self.graph.resolve_points(v, row);
+                    }
+                }
+            }
+
+            // Passes 2 and 3: identical to the unweighted pipeline — the
+            // resolved indices are ordinary row-local neighbor indices.
+            for ((offset, slot), cell_indices) in chunk
+                .iter_mut()
+                .enumerate()
+                .zip(indices.chunks_exact(samples))
+            {
+                let v = base + offset;
+                self.graph.gather_opinions(v, cell_indices, src, gathered);
+                let mut crng = CellRng::for_cell(ck, v as u64);
+                *slot = self.protocol.combine_gathered(src[v], gathered, &mut crng);
+            }
+        }
+    }
+
+    /// Runs the weighted pipeline from `initial` until consensus or the
+    /// round cap. Bit-identical to
+    /// [`GraphSimulation::run_weighted_par`] for the same `trial_seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is empty or `initial.len() != graph.n()`.
+    #[must_use]
+    pub fn run_weighted(&self, initial: &[u32], trial_seed: u64) -> GraphRunOutcome {
+        self.run_weighted_until(initial, trial_seed, |_, _| false)
+    }
+
+    /// Like [`GraphSimulation::run_weighted`], but also stops (with
+    /// [`StopReason::Predicate`]) as soon as `stop(round, opinions)`
+    /// holds. Check order matches [`GraphSimulation::run_batched_until`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is empty or `initial.len() != graph.n()`.
+    #[must_use]
+    pub fn run_weighted_until(
+        &self,
+        initial: &[u32],
+        trial_seed: u64,
+        stop: impl FnMut(u64, &[u32]) -> bool,
+    ) -> GraphRunOutcome {
+        let mut scratch = RoundScratch::new();
+        self.run_buffered(initial, stop, |round, src, dst| {
+            self.step_seq_weighted(trial_seed, round, src, dst, &mut scratch);
+        })
+    }
+}
+
+impl<P: GraphProtocol + Sync, G: WeightedGraph + Sync> GraphSimulation<P, G> {
+    /// Computes one weighted batched round on rayon, drawing per-chunk
+    /// scratch buffers from `pool`. Bit-identical to
+    /// [`GraphSimulation::step_seq_weighted`] for every thread count and
+    /// chunk schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.len() != graph.n()` or `src.len() != dst.len()`.
+    pub fn step_par_weighted(
+        &self,
+        trial_seed: u64,
+        round: u64,
+        src: &[u32],
+        dst: &mut [u32],
+        pool: &ScratchPool,
+    ) {
+        self.assert_lengths(src, dst);
+        dst.par_chunks_mut(PAR_CHUNK)
+            .enumerate()
+            .for_each(|(chunk_index, chunk)| {
+                let mut scratch = pool.acquire();
+                self.step_weighted_shard(
+                    trial_seed,
+                    round,
+                    chunk_index * PAR_CHUNK,
+                    src,
+                    chunk,
+                    &mut scratch,
+                );
+                pool.release(scratch);
+            });
+    }
+
+    /// Runs the weighted pipeline with rayon-parallel rounds.
+    /// Bit-identical to [`GraphSimulation::run_weighted`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is empty or `initial.len() != graph.n()`.
+    #[must_use]
+    pub fn run_weighted_par(&self, initial: &[u32], trial_seed: u64) -> GraphRunOutcome {
+        let pool = ScratchPool::new();
+        self.run_buffered(
+            initial,
+            |_, _| false,
+            |round, src, dst| {
+                self.step_par_weighted(trial_seed, round, src, dst, &pool);
+            },
+        )
     }
 }
 
@@ -690,6 +967,143 @@ impl<P: SyncProtocol, G: Graph> GraphSimulation<P, G> {
     #[must_use]
     pub fn tally(&self, opinions: &[u32], k: usize) -> OpinionCounts {
         tally(opinions, k)
+    }
+}
+
+/// Synchronous dynamics on a **temporal** graph: each round `r` runs the
+/// batched three-pass pipeline on the snapshot
+/// [`TemporalGraph`] schedules for `r` (periodic switching or seeded
+/// per-epoch rewiring).
+///
+/// Because the snapshot in force is a pure function of the round and the
+/// per-cell randomness is a pure function of `(trial_seed, round,
+/// vertex)`, every guarantee of the static engine carries over: the
+/// rayon-parallel round is bit-identical to the sequential one at any
+/// thread count, and any shard partition of a round reproduces it
+/// exactly. Each run steps its own [`od_graphs::TemporalView`], so
+/// concurrent trials at different rounds never contend on snapshot
+/// generation.
+///
+/// # Examples
+///
+/// ```
+/// use od_core::{protocol::ThreeMajority, TemporalSimulation};
+/// use od_graphs::{cycle, star, TemporalGraph};
+/// let schedule = TemporalGraph::periodic(vec![star(60), cycle(60)], 4).unwrap();
+/// let sim = TemporalSimulation::new(ThreeMajority, &schedule).with_max_rounds(5_000);
+/// let initial: Vec<u32> = (0..60).map(|v| u32::from(v >= 40)).collect();
+/// let out = sim.run_batched(&initial, 7);
+/// assert_eq!(out, sim.run_batched_par(&initial, 7)); // bit-identical
+/// ```
+#[derive(Debug)]
+pub struct TemporalSimulation<'a, P> {
+    protocol: P,
+    graph: &'a TemporalGraph,
+    max_rounds: u64,
+}
+
+impl<'a, P> TemporalSimulation<'a, P> {
+    /// Creates a simulation of `protocol` over the temporal `graph`.
+    #[must_use]
+    pub fn new(protocol: P, graph: &'a TemporalGraph) -> Self {
+        Self {
+            protocol,
+            graph,
+            max_rounds: DEFAULT_MAX_ROUNDS,
+        }
+    }
+
+    /// Sets the round cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_rounds == 0`.
+    #[must_use]
+    pub fn with_max_rounds(mut self, max_rounds: u64) -> Self {
+        assert!(max_rounds > 0, "with_max_rounds: cap must be positive");
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// The underlying schedule.
+    #[must_use]
+    pub fn graph(&self) -> &TemporalGraph {
+        self.graph
+    }
+}
+
+impl<P: GraphProtocol> TemporalSimulation<'_, P> {
+    /// Runs the batched pipeline over the schedule from `initial` until
+    /// consensus or the round cap, reusing one [`RoundScratch`] across
+    /// rounds and snapshots. Bit-identical to
+    /// [`TemporalSimulation::run_batched_par`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is empty, `initial.len() != graph.n()`, or a
+    /// snapshot contains an isolated vertex.
+    #[must_use]
+    pub fn run_batched(&self, initial: &[u32], trial_seed: u64) -> GraphRunOutcome {
+        self.run_batched_until(initial, trial_seed, |_, _| false)
+    }
+
+    /// Like [`TemporalSimulation::run_batched`], but also stops (with
+    /// [`StopReason::Predicate`]) as soon as `stop(round, opinions)`
+    /// holds. Check order matches [`GraphSimulation::run_batched_until`].
+    ///
+    /// # Panics
+    ///
+    /// As [`TemporalSimulation::run_batched`].
+    #[must_use]
+    pub fn run_batched_until(
+        &self,
+        initial: &[u32],
+        trial_seed: u64,
+        stop: impl FnMut(u64, &[u32]) -> bool,
+    ) -> GraphRunOutcome {
+        let mut view = self.graph.view();
+        let mut scratch = RoundScratch::new();
+        run_buffered_dynamics(
+            self.graph.n(),
+            self.max_rounds,
+            initial,
+            stop,
+            |round, src, dst| {
+                GraphSimulation::new(&self.protocol, view.at_round(round)).step_seq_batched(
+                    trial_seed,
+                    round,
+                    src,
+                    dst,
+                    &mut scratch,
+                );
+            },
+        )
+    }
+}
+
+impl<P: GraphProtocol + Sync> TemporalSimulation<'_, P> {
+    /// Runs the batched pipeline over the schedule with rayon-parallel
+    /// rounds. Bit-identical to [`TemporalSimulation::run_batched`]:
+    /// snapshot resolution happens once per round on the coordinating
+    /// thread, and the parallel round step is partition-invariant.
+    ///
+    /// # Panics
+    ///
+    /// As [`TemporalSimulation::run_batched`].
+    #[must_use]
+    pub fn run_batched_par(&self, initial: &[u32], trial_seed: u64) -> GraphRunOutcome {
+        let mut view = self.graph.view();
+        let pool = ScratchPool::new();
+        run_buffered_dynamics(
+            self.graph.n(),
+            self.max_rounds,
+            initial,
+            |_, _| false,
+            |round, src, dst| {
+                GraphSimulation::new(&self.protocol, view.at_round(round))
+                    .step_par_batched(trial_seed, round, src, dst, &pool);
+            },
+        )
     }
 }
 
@@ -862,6 +1276,165 @@ mod tests {
         let src = vec![0u32; 10];
         let mut dst = vec![0u32; 5];
         sim.step_batched_shard(0, 0, 6, &src, &mut dst, &mut RoundScratch::new());
+    }
+
+    #[test]
+    fn unit_weights_are_bit_identical_to_the_unweighted_pipeline() {
+        // The strong anchor tying the weighted engine to the unweighted
+        // one: with all-one weights, W_v = degree(v), the point stream is
+        // the index stream, and resolution is the identity — whole rounds
+        // must agree bit-for-bit.
+        use od_graphs::WeightedCsrGraph;
+        let mut rng = rng_for(190, 0);
+        let csr = random_regular(600, 6, &mut rng).unwrap();
+        let weighted = WeightedCsrGraph::from_csr_uniform(csr.clone(), 1).unwrap();
+        let plain_sim = GraphSimulation::new(ThreeMajority, &csr);
+        let weighted_sim = GraphSimulation::new(ThreeMajority, &weighted);
+        let initial: Vec<u32> = (0..600).map(|v| (v % 5) as u32).collect();
+        let mut plain = vec![0u32; 600];
+        let mut weighty = vec![0u32; 600];
+        let mut s1 = RoundScratch::new();
+        let mut s2 = RoundScratch::new();
+        for round in 0..5 {
+            plain_sim.step_seq_batched(41, round, &initial, &mut plain, &mut s1);
+            weighted_sim.step_seq_weighted(41, round, &initial, &mut weighty, &mut s2);
+            assert_eq!(plain, weighty, "round {round}");
+        }
+        // And the run loops agree end to end.
+        let a = plain_sim.run_batched(&initial, 42);
+        let b = weighted_sim.run_weighted(&initial, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn weighted_parallel_and_shards_are_bit_identical_to_sequential() {
+        use od_graphs::WeightedCsrGraph;
+        let mut rng = rng_for(191, 0);
+        let csr = random_regular(1000, 8, &mut rng).unwrap();
+        // Asymmetric weights (pure function of the unordered pair).
+        let g = WeightedCsrGraph::from_csr_with(csr, |u, v| ((u * 31 + v * 7) % 13 + 1) as u32)
+            .unwrap();
+        let sim = GraphSimulation::new(ThreeMajority, &g);
+        let initial: Vec<u32> = (0..1000).map(|v| (v % 7) as u32).collect();
+        let mut seq = vec![0u32; 1000];
+        let mut par = vec![0u32; 1000];
+        let mut scratch = RoundScratch::new();
+        let pool = ScratchPool::new();
+        for round in 0..5 {
+            sim.step_seq_weighted(99, round, &initial, &mut seq, &mut scratch);
+            sim.step_par_weighted(99, round, &initial, &mut par, &pool);
+            assert_eq!(seq, par, "round {round}");
+            let mut sharded = vec![0u32; 1000];
+            for (start, end) in [(0usize, 70), (70, 707), (707, 1000)] {
+                let mut shard_scratch = RoundScratch::new();
+                sim.step_weighted_shard(
+                    99,
+                    round,
+                    start,
+                    &initial,
+                    &mut sharded[start..end],
+                    &mut shard_scratch,
+                );
+            }
+            assert_eq!(seq, sharded, "round {round} (sharded)");
+        }
+    }
+
+    #[test]
+    fn heavy_edges_steer_the_weighted_dynamics() {
+        // A 4-cycle where each vertex's edge toward its "mentor" (v-1)
+        // carries overwhelming weight turns the voter model into
+        // near-deterministic copying — weighted sampling must actually
+        // bias the draws, not just match references.
+        use crate::protocol::Voter;
+        use od_graphs::{CsrGraph, WeightedCsrGraph};
+        let csr = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        // Weight of edge {v, v+1}: 1. Edge {3, 0} heavy: 1_000_000.
+        let g = WeightedCsrGraph::from_csr_with(csr, |u, v| {
+            if u.min(v) == 0 && u.max(v) == 3 {
+                1_000_000
+            } else {
+                1
+            }
+        })
+        .unwrap();
+        // Vertex 0 and 3 nearly always copy each other; run many one-round
+        // trials and check vertex 0 adopts vertex 3's opinion essentially
+        // always.
+        let sim = GraphSimulation::new(Voter, &g);
+        let initial = [0u32, 1, 1, 2];
+        let mut dst = [0u32; 4];
+        let mut scratch = RoundScratch::new();
+        let trials = 2_000u64;
+        let mut copied = 0u64;
+        for trial in 0..trials {
+            sim.step_seq_weighted(trial, 0, &initial, &mut dst, &mut scratch);
+            copied += u64::from(dst[0] == 2);
+        }
+        let frac = copied as f64 / trials as f64;
+        assert!(
+            frac > 0.99,
+            "vertex 0 copied its heavy neighbor only {frac}"
+        );
+    }
+
+    #[test]
+    fn temporal_periodic_schedule_runs_and_par_matches_seq() {
+        use od_graphs::{star, TemporalGraph};
+        let mut rng = rng_for(192, 0);
+        let snapshots = vec![random_regular(200, 6, &mut rng).unwrap(), star(200)];
+        let schedule = TemporalGraph::periodic(snapshots, 3).unwrap();
+        let sim = TemporalSimulation::new(ThreeMajority, &schedule).with_max_rounds(5_000);
+        let initial: Vec<u32> = (0..200).map(|v| u32::from(v >= 140)).collect(); // 70/30
+        let a = sim.run_batched(&initial, 42);
+        let b = sim.run_batched(&initial, 42);
+        let c = sim.run_batched_par(&initial, 42);
+        assert_eq!(a, b, "temporal runs must be reproducible");
+        assert_eq!(a, c, "parallel temporal run must match sequential");
+        assert_eq!(a.reason, StopReason::Consensus);
+    }
+
+    #[test]
+    fn temporal_rewiring_is_reproducible_and_differs_from_static() {
+        use od_graphs::TemporalGraph;
+        use od_sampling::seeds::derive_seed;
+        let n = 120usize;
+        let make = move |epoch: u64| {
+            let mut rng = rng_for(derive_seed(77, epoch), 0);
+            random_regular(n, 6, &mut rng).unwrap()
+        };
+        let schedule = TemporalGraph::rewiring(n, make, 2).unwrap();
+        let sim = TemporalSimulation::new(ThreeMajority, &schedule).with_max_rounds(2_000);
+        let initial: Vec<u32> = (0..n).map(|v| u32::from(v >= 84)).collect();
+        let a = sim.run_batched(&initial, 11);
+        let b = sim.run_batched(&initial, 11);
+        assert_eq!(a, b, "rewired runs must be reproducible");
+        // The static epoch-0 graph run must diverge from the rewired one
+        // (different graphs after round 1) unless both finish instantly.
+        let static_graph = {
+            let mut rng = rng_for(derive_seed(77, 0), 0);
+            random_regular(n, 6, &mut rng).unwrap()
+        };
+        let static_sim = GraphSimulation::new(ThreeMajority, &static_graph).with_max_rounds(2_000);
+        let s = static_sim.run_batched(&initial, 11);
+        if a.rounds > 2 && s.rounds > 2 {
+            assert_ne!(
+                (a.rounds, a.final_opinions.clone()),
+                (s.rounds, s.final_opinions.clone()),
+                "rewiring had no effect"
+            );
+        }
+    }
+
+    #[test]
+    fn temporal_until_stops_on_predicate() {
+        use od_graphs::{cycle, TemporalGraph};
+        let schedule = TemporalGraph::periodic(vec![cycle(50)], 1).unwrap();
+        let sim = TemporalSimulation::new(ThreeMajority, &schedule).with_max_rounds(100);
+        let initial: Vec<u32> = (0..50).map(|v| (v % 2) as u32).collect();
+        let out = sim.run_batched_until(&initial, 5, |round, _| round >= 3);
+        assert_eq!(out.reason, StopReason::Predicate);
+        assert_eq!(out.rounds, 3);
     }
 
     #[test]

@@ -60,7 +60,9 @@ pub use compacted::{compact, compact_in_place, run_compacted_until, run_to_conse
 pub use config::OpinionCounts;
 pub use engine::{RunOutcome, Simulation, StopReason};
 pub use error::{ConfigError, Error};
-pub use graph_dynamics::{GraphRunOutcome, GraphSimulation, RoundScratch, ScratchPool};
+pub use graph_dynamics::{
+    GraphRunOutcome, GraphSimulation, RoundScratch, ScratchPool, TemporalSimulation,
+};
 pub use observer::Observer;
 pub use registry::{
     build_graph_protocol, build_protocol, required_opinion_slots, DynProtocol, GraphProtocolKind,

@@ -14,12 +14,13 @@ use od_core::protocol::{
     GraphProtocol, HMajority, MedianRule, Noisy, StepScratch, SyncProtocol, ThreeMajority,
     TwoChoices, UndecidedDynamics, Voter,
 };
-use od_core::{GraphSimulation, OpinionCounts, RoundScratch};
+use od_core::{GraphSimulation, OpinionCounts, RoundScratch, TemporalSimulation};
 use od_graphs::{
     barbell, core_periphery, cycle, erdos_renyi, random_regular, star, stochastic_block_model,
-    torus_2d, CompleteWithSelfLoops, CsrGraph, Graph,
+    torus_2d, CompleteWithSelfLoops, CsrGraph, Graph, TemporalGraph, WeightedCsrGraph,
 };
 use od_sampling::rng_for;
+use od_sampling::seeds::derive_seed;
 use proptest::prelude::*;
 
 /// Asserts a full parallel run equals the sequential run bit-for-bit.
@@ -118,6 +119,139 @@ fn check_all_protocols_batched<G: Graph + Sync>(graph: &G, k: u32, trial_seed: u
     );
 }
 
+/// Asserts the **weighted** pipeline is bit-identical across sequential,
+/// rayon-parallel, and explicit contiguous shard partitions at 1, 2, 4,
+/// and 8 threads — the weighted mirror of [`check_batched_schedules`].
+fn check_weighted_schedules<P>(protocol: P, graph: &WeightedCsrGraph, k: u32, trial_seed: u64)
+where
+    P: GraphProtocol + Sync,
+{
+    let n = graph.n();
+    let initial: Vec<u32> = (0..n).map(|v| (v as u32) % k).collect();
+    let sim = GraphSimulation::new(protocol, graph).with_max_rounds(40);
+    let seq = sim.run_weighted(&initial, trial_seed);
+    let par = sim.run_weighted_par(&initial, trial_seed);
+    assert_eq!(seq, par, "weighted par != seq on a {n}-vertex graph");
+
+    let mut reference = vec![0u32; n];
+    let mut scratch = RoundScratch::new();
+    let mut src = initial;
+    for round in 0..3 {
+        sim.step_seq_weighted(trial_seed, round, &src, &mut reference, &mut scratch);
+        for threads in [1usize, 2, 4, 8] {
+            let mut sharded = vec![0u32; n];
+            let shard_len = n.div_ceil(threads);
+            let mut start = 0usize;
+            while start < n {
+                let end = (start + shard_len).min(n);
+                let mut shard_scratch = RoundScratch::new();
+                sim.step_weighted_shard(
+                    trial_seed,
+                    round,
+                    start,
+                    &src,
+                    &mut sharded[start..end],
+                    &mut shard_scratch,
+                );
+                start = end;
+            }
+            assert_eq!(
+                reference, sharded,
+                "weighted round {round}: {threads}-thread partition diverged on {n} vertices"
+            );
+        }
+        src.copy_from_slice(&reference);
+    }
+}
+
+/// Asserts a temporal schedule runs bit-identically under sequential,
+/// rayon-parallel, and manual per-round shard-partition execution, across
+/// epoch boundaries.
+fn check_temporal_schedules<P>(protocol: P, schedule: &TemporalGraph, k: u32, trial_seed: u64)
+where
+    P: GraphProtocol + Sync,
+{
+    let n = schedule.n();
+    let initial: Vec<u32> = (0..n).map(|v| (v as u32) % k).collect();
+    let sim = TemporalSimulation::new(&protocol, schedule).with_max_rounds(40);
+    let seq = sim.run_batched(&initial, trial_seed);
+    let par = sim.run_batched_par(&initial, trial_seed);
+    assert_eq!(seq, par, "temporal par != seq on a {n}-vertex schedule");
+
+    // Replay the first rounds manually: per-round snapshot resolution +
+    // explicit shard partitions must reproduce the sequential rounds.
+    let mut view = schedule.view();
+    let mut reference = vec![0u32; n];
+    let mut scratch = RoundScratch::new();
+    let mut src = initial;
+    for round in 0..6 {
+        // Spans two epochs for any period <= 3.
+        let graph = view.at_round(round);
+        let round_sim = GraphSimulation::new(&protocol, graph);
+        round_sim.step_seq_batched(trial_seed, round, &src, &mut reference, &mut scratch);
+        for threads in [1usize, 2, 4, 8] {
+            let mut sharded = vec![0u32; n];
+            let shard_len = n.div_ceil(threads);
+            let mut start = 0usize;
+            while start < n {
+                let end = (start + shard_len).min(n);
+                let mut shard_scratch = RoundScratch::new();
+                round_sim.step_batched_shard(
+                    trial_seed,
+                    round,
+                    start,
+                    &src,
+                    &mut sharded[start..end],
+                    &mut shard_scratch,
+                );
+                start = end;
+            }
+            assert_eq!(
+                reference, sharded,
+                "temporal round {round}: {threads}-thread partition diverged"
+            );
+        }
+        src.copy_from_slice(&reference);
+    }
+}
+
+/// Runs the weighted-schedule check for every registered protocol.
+fn check_all_protocols_weighted(graph: &WeightedCsrGraph, k: u32, trial_seed: u64) {
+    check_weighted_schedules(ThreeMajority, graph, k, trial_seed);
+    check_weighted_schedules(TwoChoices, graph, k, trial_seed);
+    check_weighted_schedules(Voter, graph, k, trial_seed);
+    check_weighted_schedules(MedianRule, graph, k, trial_seed);
+    check_weighted_schedules(HMajority::new(5).unwrap(), graph, k, trial_seed);
+    check_weighted_schedules(UndecidedDynamics::new(k as usize), graph, k + 1, trial_seed);
+    check_weighted_schedules(
+        Noisy::new(ThreeMajority, 0.1, k as usize).unwrap(),
+        graph,
+        k,
+        trial_seed,
+    );
+}
+
+/// Runs the temporal-schedule check for every registered protocol.
+fn check_all_protocols_temporal(schedule: &TemporalGraph, k: u32, trial_seed: u64) {
+    check_temporal_schedules(ThreeMajority, schedule, k, trial_seed);
+    check_temporal_schedules(TwoChoices, schedule, k, trial_seed);
+    check_temporal_schedules(Voter, schedule, k, trial_seed);
+    check_temporal_schedules(MedianRule, schedule, k, trial_seed);
+    check_temporal_schedules(HMajority::new(5).unwrap(), schedule, k, trial_seed);
+    check_temporal_schedules(
+        UndecidedDynamics::new(k as usize),
+        schedule,
+        k + 1,
+        trial_seed,
+    );
+    check_temporal_schedules(
+        Noisy::new(ThreeMajority, 0.1, k as usize).unwrap(),
+        schedule,
+        k,
+        trial_seed,
+    );
+}
+
 /// Every generated family at a feasible size, plus the complete graph.
 fn generated_families(n: usize, seed: u64) -> Vec<(&'static str, CsrGraph)> {
     let mut rng = rng_for(seed, 0);
@@ -180,6 +314,64 @@ proptest! {
             check_all_protocols_batched(&graph, k, trial_seed);
         }
         check_all_protocols_batched(&CompleteWithSelfLoops::new(n), k, trial_seed);
+    }
+
+    #[test]
+    fn weighted_pipeline_is_schedule_invariant_everywhere(
+        n in 16usize..96,
+        k in 2u32..6,
+        trial_seed in 0u64..10_000,
+        graph_seed in 0u64..1_000,
+    ) {
+        for (name, graph) in generated_families(n, graph_seed) {
+            if !graph.has_no_isolated_vertices() {
+                // A sparse SBM draw can isolate a vertex; weighted
+                // construction rejects those rows by design.
+                continue;
+            }
+            // Seeded, symmetric, per-pair pseudo-random weights in
+            // [1, 16] — irregular rows exercise the per-vertex
+            // threshold path; the +1 floor keeps every row positive.
+            let weighted = WeightedCsrGraph::from_csr_with(graph, |u, v| {
+                let pair = ((u.min(v) as u64) << 32) | u.max(v) as u64;
+                (derive_seed(graph_seed, pair) % 16) as u32 + 1
+            })
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+            check_all_protocols_weighted(&weighted, k, trial_seed);
+        }
+    }
+
+    #[test]
+    fn temporal_schedules_are_invariant_everywhere(
+        n in 16usize..64,
+        k in 2u32..6,
+        trial_seed in 0u64..10_000,
+        graph_seed in 0u64..1_000,
+        period in 1u64..4,
+    ) {
+        // A heterogeneous periodic schedule mixing three families, and a
+        // seeded rewiring schedule — both checked for every protocol.
+        let families = generated_families(n, graph_seed);
+        let base_n = families[0].1.n();
+        let snapshots: Vec<CsrGraph> = families
+            .into_iter()
+            .filter(|(_, g)| g.n() == base_n && g.has_no_isolated_vertices())
+            .map(|(_, g)| g)
+            .take(3)
+            .collect();
+        let periodic = TemporalGraph::periodic(snapshots, period).unwrap();
+        check_all_protocols_temporal(&periodic, k, trial_seed);
+
+        let rewiring = TemporalGraph::rewiring(
+            base_n.max(8),
+            move |epoch| {
+                let mut rng = rng_for(derive_seed(graph_seed, epoch), 0);
+                random_regular(base_n.max(8), 4, &mut rng).unwrap()
+            },
+            period,
+        )
+        .unwrap();
+        check_all_protocols_temporal(&rewiring, k, trial_seed);
     }
 
     #[test]

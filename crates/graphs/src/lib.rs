@@ -25,9 +25,13 @@ mod complete;
 mod csr;
 mod random_graphs;
 mod structured;
+mod temporal;
+mod weighted;
 
 pub use complete::CompleteWithSelfLoops;
 pub use csr::CsrGraph;
+pub use temporal::{TemporalBuildError, TemporalGraph, TemporalView};
+pub use weighted::{WeightedCsrGraph, WeightedGraph, WeightedGraphError};
 
 /// The former adjacency-list graph, now an alias of the canonical CSR
 /// representation every generator lowers into.

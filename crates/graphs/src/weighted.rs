@@ -1,0 +1,407 @@
+//! Edge-weighted graphs: a [`CsrGraph`] plus per-edge `u32` sampling
+//! weights, with integer prefix-sum weighted neighbor selection.
+//!
+//! "Choose a random neighbor" becomes "choose neighbor `j` of `v` with
+//! probability `w_j / W_v`" (`W_v` the row total). The draw decomposes
+//! exactly as [`od_sampling::weighted`] documents: a uniform weight
+//! point in `[0, W_v)` from the cell's counter stream (the documented
+//! batched order with `range = W_v`), resolved through the row's
+//! inclusive prefix sums. With all-one weights both halves degenerate to
+//! the unweighted engine bit-for-bit.
+//!
+//! Row totals are validated at construction: a vertex whose edges are
+//! all weight-zero has nothing to sample (typed
+//! [`WeightedGraphError::ZeroWeightVertex`], never an engine panic), and
+//! totals above `u32::MAX` would not fit the engine's `u32` point
+//! scratch (typed [`WeightedGraphError::RowWeightOverflow`]).
+
+use crate::{CsrGraph, Graph, Vertex};
+use od_sampling::weighted::{resolve_weight_point, sample_weighted_index};
+use rand::Rng;
+use std::fmt;
+
+/// Error constructing a [`WeightedCsrGraph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WeightedGraphError {
+    /// A vertex's incident weights sum to zero — weighted sampling has
+    /// no support there.
+    ZeroWeightVertex {
+        /// The offending vertex.
+        vertex: Vertex,
+    },
+    /// A vertex's incident weights sum past `u32::MAX`.
+    RowWeightOverflow {
+        /// The offending vertex.
+        vertex: Vertex,
+    },
+}
+
+impl fmt::Display for WeightedGraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ZeroWeightVertex { vertex } => write!(
+                f,
+                "vertex {vertex} has only zero-weight edges — nothing to sample"
+            ),
+            Self::RowWeightOverflow { vertex } => {
+                write!(f, "vertex {vertex}: incident weights sum past u32::MAX")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WeightedGraphError {}
+
+/// A graph whose neighbor sampling is weighted: the contract the
+/// weighted round steps of `od-core` run against.
+///
+/// Implementations expose the row total (`range` of the point draw) and
+/// the normative point → row-local-index resolution; everything else —
+/// gather, degrees, canonical neighbor order — comes from [`Graph`].
+pub trait WeightedGraph: Graph {
+    /// Total sampling weight `W_v` of vertex `v`'s row. Always `>= 1`
+    /// and `<= u32::MAX` for a validly constructed graph.
+    fn row_weight(&self, v: Vertex) -> u64;
+
+    /// The common row weight when every vertex has the same one, else
+    /// `None` — the weighted analogue of [`Graph::uniform_degree`],
+    /// letting the batched kernel hoist its Lemire threshold.
+    fn uniform_row_weight(&self) -> Option<u64> {
+        if self.n() == 0 {
+            return None;
+        }
+        let w = self.row_weight(0);
+        (1..self.n()).all(|v| self.row_weight(v) == w).then_some(w)
+    }
+
+    /// Resolves weight points in `[0, row_weight(v))` to row-local
+    /// neighbor indices in place — the normative map of
+    /// [`od_sampling::weighted`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n()` or a point is out of the row's range.
+    fn resolve_points(&self, v: Vertex, points: &mut [u32]);
+}
+
+impl<G: WeightedGraph + ?Sized> WeightedGraph for &G {
+    fn row_weight(&self, v: Vertex) -> u64 {
+        (**self).row_weight(v)
+    }
+
+    fn uniform_row_weight(&self) -> Option<u64> {
+        (**self).uniform_row_weight()
+    }
+
+    fn resolve_points(&self, v: Vertex, points: &mut [u32]) {
+        (**self).resolve_points(v, points);
+    }
+}
+
+/// A [`CsrGraph`] with per-edge `u32` sampling weights, stored as
+/// row-local inclusive prefix sums aligned with the CSR `neighbors`
+/// array (`cum[offsets[v] + j] = w₀ + ⋯ + w_j` within row `v`).
+///
+/// # Examples
+///
+/// ```
+/// use od_graphs::{CsrGraph, Graph, WeightedCsrGraph, WeightedGraph};
+/// let csr = CsrGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+/// // Edge (u, v) gets weight u + v + 1 (symmetric by construction).
+/// let g = WeightedCsrGraph::from_csr_with(csr, |u, v| (u + v + 1) as u32).unwrap();
+/// assert_eq!(g.row_weight(0), (0 + 1 + 1) + (2 + 0 + 1));
+/// assert_eq!(g.weight_at(0, 0), 2); // neighbor 1 comes first in row 0
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WeightedCsrGraph {
+    csr: CsrGraph,
+    /// Row-local inclusive prefix sums, aligned with the CSR neighbors.
+    cum: Vec<u32>,
+    /// Cached common row total (weighted analogue of the uniform-degree
+    /// cache).
+    uniform_row_weight: Option<u32>,
+}
+
+impl WeightedCsrGraph {
+    /// Wraps a CSR graph with weights from `weight(u, v)`, called once
+    /// per directed CSR slot. **The caller must supply a symmetric
+    /// function** (`weight(u, v) == weight(v, u)`) for the graph to
+    /// remain undirected; a pure function of the unordered pair (as the
+    /// runtime's seeded schemes are) satisfies this by construction.
+    ///
+    /// # Errors
+    ///
+    /// [`WeightedGraphError::ZeroWeightVertex`] when some vertex's
+    /// incident weights are all zero (isolated vertices included), and
+    /// [`WeightedGraphError::RowWeightOverflow`] when a row total
+    /// exceeds `u32::MAX`.
+    pub fn from_csr_with<F>(csr: CsrGraph, mut weight: F) -> Result<Self, WeightedGraphError>
+    where
+        F: FnMut(Vertex, Vertex) -> u32,
+    {
+        let n = csr.n();
+        let (offsets, neighbors) = csr.raw_parts();
+        let mut cum = Vec::with_capacity(neighbors.len());
+        for v in 0..n {
+            let (start, end) = (offsets[v] as usize, offsets[v + 1] as usize);
+            let mut acc: u64 = 0;
+            for &w in &neighbors[start..end] {
+                acc += u64::from(weight(v, w as Vertex));
+                if u32::try_from(acc).is_err() {
+                    return Err(WeightedGraphError::RowWeightOverflow { vertex: v });
+                }
+                cum.push(acc as u32);
+            }
+            if acc == 0 {
+                return Err(WeightedGraphError::ZeroWeightVertex { vertex: v });
+            }
+        }
+        // `CsrGraph` guarantees n >= 1, and the loop above has returned
+        // a typed error unless every row (row 0 included) is non-empty
+        // with positive total — so `offsets[1] >= 1` here.
+        let first = cum[offsets[1] as usize - 1];
+        let uniform_row_weight = (0..n)
+            .all(|v| cum[offsets[v + 1] as usize - 1] == first)
+            .then_some(first);
+        Ok(Self {
+            csr,
+            cum,
+            uniform_row_weight,
+        })
+    }
+
+    /// Wraps a CSR graph with one constant weight on every edge.
+    /// `value = 1` reproduces the unweighted sampling streams exactly.
+    ///
+    /// # Errors
+    ///
+    /// As [`WeightedCsrGraph::from_csr_with`] (`value = 0` always fails,
+    /// huge degrees can overflow a row).
+    pub fn from_csr_uniform(csr: CsrGraph, value: u32) -> Result<Self, WeightedGraphError> {
+        Self::from_csr_with(csr, |_, _| value)
+    }
+
+    /// The underlying unweighted CSR graph.
+    #[must_use]
+    pub fn csr(&self) -> &CsrGraph {
+        &self.csr
+    }
+
+    /// The inclusive prefix-sum row of vertex `v` (last entry = `W_v`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    #[must_use]
+    #[inline]
+    pub fn prefix_row(&self, v: Vertex) -> &[u32] {
+        let (offsets, _) = self.csr.raw_parts();
+        &self.cum[offsets[v] as usize..offsets[v + 1] as usize]
+    }
+
+    /// The weight of the `index`-th edge of `v`'s row (canonical CSR
+    /// neighbor order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n` or `index` is out of the row's range.
+    #[must_use]
+    pub fn weight_at(&self, v: Vertex, index: usize) -> u32 {
+        let row = self.prefix_row(v);
+        if index == 0 {
+            row[0]
+        } else {
+            row[index] - row[index - 1]
+        }
+    }
+}
+
+impl Graph for WeightedCsrGraph {
+    fn n(&self) -> usize {
+        self.csr.n()
+    }
+
+    fn degree(&self, v: Vertex) -> usize {
+        self.csr.degree(v)
+    }
+
+    /// Samples a **weight-proportional** neighbor: one RNG word mapped
+    /// onto `[0, W_v)` by the 64-bit multiply-shift, resolved through
+    /// the prefix row. The cell-seeded engine (`step_seq`) therefore
+    /// runs weighted out of the box on this type.
+    fn sample_neighbor<R: Rng + ?Sized>(&self, v: Vertex, rng: &mut R) -> Vertex {
+        let idx = sample_weighted_index(self.prefix_row(v), rng);
+        self.csr.neighbor_at(v, idx)
+    }
+
+    fn neighbors(&self, v: Vertex) -> Vec<Vertex> {
+        self.csr.neighbors(v)
+    }
+
+    fn neighbor_at(&self, v: Vertex, index: usize) -> Vertex {
+        self.csr.neighbor_at(v, index)
+    }
+
+    fn uniform_degree(&self) -> Option<usize> {
+        self.csr.uniform_degree()
+    }
+
+    fn gather_opinions(&self, v: Vertex, indices: &[u32], opinions: &[u32], out: &mut [u32]) {
+        self.csr.gather_opinions(v, indices, opinions, out);
+    }
+
+    fn has_self_loop(&self, v: Vertex) -> bool {
+        self.csr.has_self_loop(v)
+    }
+
+    fn edge_count(&self) -> usize {
+        self.csr.edge_count()
+    }
+}
+
+impl WeightedGraph for WeightedCsrGraph {
+    fn row_weight(&self, v: Vertex) -> u64 {
+        u64::from(*self.prefix_row(v).last().expect("validated non-empty row"))
+    }
+
+    fn uniform_row_weight(&self) -> Option<u64> {
+        self.uniform_row_weight.map(u64::from)
+    }
+
+    fn resolve_points(&self, v: Vertex, points: &mut [u32]) {
+        let row = self.prefix_row(v);
+        for p in points {
+            *p = resolve_weight_point(row, *p) as u32;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use od_sampling::rng_for;
+
+    fn triangle() -> CsrGraph {
+        CsrGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)])
+    }
+
+    #[test]
+    fn construction_builds_prefix_rows() {
+        let g = WeightedCsrGraph::from_csr_with(triangle(), |u, v| (u + v) as u32).unwrap();
+        // Row 0: neighbors [1, 2] → weights [1, 2] → cum [1, 3].
+        assert_eq!(g.prefix_row(0), &[1, 3]);
+        assert_eq!(g.row_weight(0), 3);
+        assert_eq!(g.weight_at(0, 0), 1);
+        assert_eq!(g.weight_at(0, 1), 2);
+        assert_eq!(g.uniform_row_weight(), None);
+    }
+
+    #[test]
+    fn uniform_weights_are_detected() {
+        let g = WeightedCsrGraph::from_csr_uniform(triangle(), 4).unwrap();
+        assert_eq!(g.uniform_row_weight(), Some(8)); // degree 2 × weight 4
+        assert_eq!(g.row_weight(1), 8);
+    }
+
+    #[test]
+    fn zero_weight_vertex_is_a_typed_error() {
+        assert_eq!(
+            WeightedCsrGraph::from_csr_uniform(triangle(), 0),
+            Err(WeightedGraphError::ZeroWeightVertex { vertex: 0 })
+        );
+        // A single all-zero row among weighted ones is caught too.
+        let path = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let err =
+            WeightedCsrGraph::from_csr_with(path, |u, v| u32::from(u.min(v) == 0 && u.max(v) == 1));
+        assert_eq!(err, Err(WeightedGraphError::ZeroWeightVertex { vertex: 2 }));
+    }
+
+    #[test]
+    fn row_overflow_is_a_typed_error() {
+        let err = WeightedCsrGraph::from_csr_uniform(triangle(), u32::MAX);
+        assert_eq!(
+            err,
+            Err(WeightedGraphError::RowWeightOverflow { vertex: 0 })
+        );
+    }
+
+    #[test]
+    fn sampling_is_weight_proportional() {
+        // Hub 0 with spoke weights 1, 3, 0, 4; the extra edge (3, 4)
+        // keeps vertex 3 sampleable despite its zero-weight spoke.
+        let csr = CsrGraph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4), (3, 4)]);
+        let weights = [0u32, 1, 3, 0, 4]; // weight of edge (0, v) = weights[v]
+        let g =
+            WeightedCsrGraph::from_csr_with(
+                csr,
+                |u, v| {
+                    if u.min(v) == 0 {
+                        weights[u.max(v)]
+                    } else {
+                        1
+                    }
+                },
+            )
+            .unwrap_or_else(|e| panic!("{e}"));
+        let mut rng = rng_for(601, 0);
+        let mut counts = [0u64; 5];
+        let draws = 80_000u64;
+        for _ in 0..draws {
+            counts[g.sample_neighbor(0, &mut rng)] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        assert_eq!(counts[3], 0, "zero-weight edge sampled");
+        let total = 8.0;
+        for v in [1usize, 2, 4] {
+            let expect = draws as f64 * f64::from(weights[v]) / total;
+            assert!(
+                (counts[v] as f64 - expect).abs() < 6.0 * expect.sqrt(),
+                "vertex {v}: {} vs {expect}",
+                counts[v]
+            );
+        }
+    }
+
+    #[test]
+    fn resolve_points_matches_the_normative_map() {
+        let g = WeightedCsrGraph::from_csr_with(triangle(), |u, v| (u + v) as u32).unwrap();
+        // Row 0: cum [1, 3] → point 0 → index 0; points 1, 2 → index 1.
+        let mut points = [0u32, 1, 2];
+        g.resolve_points(0, &mut points);
+        assert_eq!(points, [0, 1, 1]);
+    }
+
+    #[test]
+    fn graph_facade_delegates_to_the_csr() {
+        let g = WeightedCsrGraph::from_csr_uniform(triangle(), 2).unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.uniform_degree(), Some(2));
+        assert_eq!(g.edge_count(), 3);
+        assert!(!g.has_self_loop(0));
+        assert_eq!(g.neighbors(0), vec![1, 2]);
+        assert_eq!(g.neighbor_at(0, 1), 2);
+        let mut out = [0u32; 2];
+        g.gather_opinions(0, &[0, 1], &[9, 8, 7], &mut out);
+        assert_eq!(out, [8, 7]);
+    }
+
+    #[test]
+    fn unit_weights_sample_like_the_plain_csr() {
+        // With all-one weights the stream-seeded draw consumes one word
+        // per sample with range = degree — the exact consumption of
+        // CsrGraph::sample_neighbor — so the two must agree draw-by-draw.
+        let csr = triangle();
+        let g = WeightedCsrGraph::from_csr_uniform(csr.clone(), 1).unwrap();
+        let mut rng_a = rng_for(602, 0);
+        let mut rng_b = rng_for(602, 0);
+        for _ in 0..200 {
+            for v in 0..3 {
+                assert_eq!(
+                    g.sample_neighbor(v, &mut rng_a),
+                    csr.sample_neighbor(v, &mut rng_b)
+                );
+            }
+        }
+    }
+}

@@ -16,17 +16,23 @@
 
 use crate::checkpoint::Checkpoint;
 use crate::error::RuntimeError;
-use crate::spec::{ExecutionMode, GraphFamily, GraphSpec, JobSpec, OpinionAssignment, StopRule};
+use crate::spec::{
+    ExecutionMode, GraphFamily, GraphSpec, JobSpec, OpinionAssignment, StopRule, TemporalSchedule,
+    WeightScheme,
+};
 use crate::summary::{ShardSummary, TrialResult};
 use od_core::protocol::GraphProtocol;
 use od_core::registry::{build_graph_protocol, DynProtocol, GraphProtocolKind};
-use od_core::{run_compacted_until, GraphSimulation, OpinionCounts, Simulation, StopReason};
+use od_core::{
+    run_compacted_until, GraphSimulation, OpinionCounts, Simulation, StopReason, TemporalSimulation,
+};
 use od_graphs::{
     barbell, core_periphery, cycle, erdos_renyi, random_regular, star, stochastic_block_model,
-    torus_2d, CompleteWithSelfLoops, CsrGraph, Graph,
+    torus_2d, CompleteWithSelfLoops, CsrGraph, Graph, TemporalGraph, WeightedCsrGraph,
 };
 use od_sampling::rng_for;
 use od_sampling::seeds::derive_seed;
+use rand::rngs::StdRng;
 use rayon::prelude::*;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -139,7 +145,7 @@ pub fn run_job(spec: &JobSpec, options: &RunOptions) -> Result<JobReport, Runtim
                 let kernel = build_graph_protocol(&spec.protocol, &spec.params)
                     .map_err(RuntimeError::Core)?;
                 let graph = build_graph(graph_spec, &initial, spec.master_seed)?;
-                let opinions = assign_opinions(&initial, graph_spec.assignment);
+                let opinions = assign_opinions(&initial, graph_spec)?;
                 TrialEngine::Graph(GraphEngine {
                     kernel,
                     graph,
@@ -219,31 +225,41 @@ struct GraphEngine {
 }
 
 /// A generated graph: the complete graph stays implicit (`O(1)` memory);
-/// everything else lowers to CSR.
+/// everything else lowers to CSR, optionally weighted, optionally a
+/// temporal schedule of CSR snapshots.
 enum BuiltGraph {
     Complete(CompleteWithSelfLoops),
     Csr(CsrGraph),
+    Weighted(WeightedCsrGraph),
+    Temporal(TemporalGraph),
 }
 
 /// Reserved generator stream id, so graph construction never collides
 /// with the per-trial streams `0..trials`.
 const GRAPH_STREAM: u64 = 0x6f64_2d67_7261_7068; // "od-graph"
 
-/// Generates the job's graph from its reserved RNG stream.
-fn build_graph(
-    graph_spec: &GraphSpec,
-    initial: &OpinionCounts,
-    master_seed: u64,
-) -> Result<BuiltGraph, RuntimeError> {
-    let n = usize::try_from(initial.n())
-        .map_err(|_| RuntimeError::Spec("graph jobs require n to fit usize".to_string()))?;
-    let mut rng = rng_for(graph_spec.seed.unwrap_or(master_seed), GRAPH_STREAM);
-    let graph_err = |e: od_graphs::GraphBuildError| RuntimeError::Spec(format!("graph: {e}"));
-    let built = match graph_spec.family {
-        GraphFamily::Complete => BuiltGraph::Complete(CompleteWithSelfLoops::new(n)),
+/// Generates one CSR snapshot of `family` from `rng`, splicing the
+/// Hamiltonian backbone for `erdos-renyi` when requested.
+///
+/// The `Complete` family never reaches this path: the static builder
+/// keeps it implicit, and validation rejects it for weighted/temporal
+/// scenarios.
+fn build_csr_family(
+    family: &GraphFamily,
+    n: usize,
+    rng: &mut StdRng,
+    context: &str,
+) -> Result<CsrGraph, RuntimeError> {
+    let graph_err = |e: od_graphs::GraphBuildError| RuntimeError::Spec(format!("{context}: {e}"));
+    Ok(match family {
+        GraphFamily::Complete => {
+            return Err(RuntimeError::Spec(format!(
+                "{context}: the implicit complete graph cannot be materialised as CSR"
+            )))
+        }
         GraphFamily::ErdosRenyi { p, backbone } => {
-            let er = erdos_renyi(n, p, &mut rng).map_err(graph_err)?;
-            if backbone && n >= 3 {
+            let er = erdos_renyi(n, *p, rng).map_err(graph_err)?;
+            if *backbone && n >= 3 {
                 // Splice the Hamiltonian cycle 0–1–…–(n−1)–0 under the
                 // random edges: no isolated vertices at any p.
                 let mut edges: Vec<(usize, usize)> = (0..n).map(|v| (v, (v + 1) % n)).collect();
@@ -254,72 +270,233 @@ fn build_graph(
                         }
                     }
                 }
-                BuiltGraph::Csr(CsrGraph::from_edges(n, &edges))
+                CsrGraph::from_edges(n, &edges)
             } else {
-                BuiltGraph::Csr(er)
+                er
             }
         }
         GraphFamily::RandomRegular { d } => {
-            BuiltGraph::Csr(random_regular(n, d as usize, &mut rng).map_err(graph_err)?)
+            random_regular(n, *d as usize, rng).map_err(graph_err)?
         }
         GraphFamily::StochasticBlockModel { p_in, p_out } => {
-            BuiltGraph::Csr(stochastic_block_model(n, p_in, p_out, &mut rng).map_err(graph_err)?)
+            stochastic_block_model(n, *p_in, *p_out, rng).map_err(graph_err)?
         }
-        GraphFamily::Cycle => BuiltGraph::Csr(cycle(n)),
-        GraphFamily::Torus2d { width, height } => {
-            BuiltGraph::Csr(torus_2d(width as usize, height as usize))
-        }
-        GraphFamily::Barbell => BuiltGraph::Csr(barbell(n / 2)),
-        GraphFamily::CorePeriphery { core } => {
-            BuiltGraph::Csr(core_periphery(core as usize, n - core as usize))
-        }
-        GraphFamily::Star => BuiltGraph::Csr(star(n)),
-    };
-    if let BuiltGraph::Csr(graph) = &built {
-        // A degree-0 vertex has no neighbor to pull from; fail the job
-        // with a typed error instead of panicking mid-trial.
-        if !graph.has_no_isolated_vertices() {
-            return Err(RuntimeError::Spec(
-                "graph: the generated graph has isolated vertices — increase the edge \
-                 density, change the seed, or (for erdos-renyi) set \"backbone\": true"
-                    .to_string(),
-            ));
-        }
+        GraphFamily::Cycle => cycle(n),
+        GraphFamily::Torus2d { width, height } => torus_2d(*width as usize, *height as usize),
+        GraphFamily::Barbell => barbell(n / 2),
+        GraphFamily::CorePeriphery { core } => core_periphery(*core as usize, n - *core as usize),
+        GraphFamily::Star => star(n),
+    })
+}
+
+/// Typed isolated-vertex rejection: a degree-0 vertex has no neighbor to
+/// pull from; fail the job instead of panicking mid-trial.
+fn reject_isolated(graph: &CsrGraph, context: &str) -> Result<(), RuntimeError> {
+    if graph.has_no_isolated_vertices() {
+        Ok(())
+    } else {
+        Err(RuntimeError::Spec(format!(
+            "{context}: the generated graph has isolated vertices — increase the edge \
+             density, change the seed, or (for erdos-renyi) set \"backbone\": true"
+        )))
     }
-    Ok(built)
+}
+
+/// The per-edge weight of `{u, v}` under a `random` scheme: a pure
+/// function of `(seed, unordered pair)`, so both CSR directions agree and
+/// the result is independent of edge iteration order.
+fn edge_weight(seed: u64, u: usize, v: usize, min: u32, max: u32) -> u32 {
+    let (lo, hi) = (u.min(v) as u64, u.max(v) as u64);
+    let span = u64::from(max - min) + 1;
+    min + (derive_seed(derive_seed(seed, lo), hi) % span) as u32
+}
+
+/// Generates the job's graph from its reserved RNG stream.
+fn build_graph(
+    graph_spec: &GraphSpec,
+    initial: &OpinionCounts,
+    master_seed: u64,
+) -> Result<BuiltGraph, RuntimeError> {
+    let n = usize::try_from(initial.n())
+        .map_err(|_| RuntimeError::Spec("graph jobs require n to fit usize".to_string()))?;
+    let seed_base = graph_spec.seed.unwrap_or(master_seed);
+
+    // Temporal schedules: the base family is snapshot 0 (seed derived per
+    // snapshot index) or the rewiring template (seed derived per epoch).
+    if let Some(temporal) = &graph_spec.temporal {
+        let period = temporal.period;
+        return Ok(BuiltGraph::Temporal(match &temporal.schedule {
+            TemporalSchedule::Snapshots(extra) => {
+                let mut families = Vec::with_capacity(extra.len() + 1);
+                families.push(&graph_spec.family);
+                families.extend(extra.iter());
+                let mut snapshots = Vec::with_capacity(families.len());
+                for (i, family) in families.into_iter().enumerate() {
+                    let context = format!("graph.temporal snapshot {i}");
+                    let mut rng = rng_for(derive_seed(seed_base, i as u64), GRAPH_STREAM);
+                    let snap = build_csr_family(family, n, &mut rng, &context)?;
+                    reject_isolated(&snap, &context)?;
+                    snapshots.push(snap);
+                }
+                TemporalGraph::periodic(snapshots, period)
+                    .map_err(|e| RuntimeError::Spec(format!("graph.temporal: {e}")))?
+            }
+            TemporalSchedule::Rewire => {
+                let family = graph_spec.family.clone();
+                let generator = move |epoch: u64| {
+                    let mut rng = rng_for(derive_seed(seed_base, epoch), GRAPH_STREAM);
+                    // Validation restricts rewiring to families whose
+                    // generation cannot fail or isolate vertices
+                    // (erdos-renyi + backbone, random-regular); the
+                    // residual failure mode is the random-regular repair
+                    // budget, vanishingly unlikely at valid (n, d).
+                    build_csr_family(&family, n, &mut rng, "graph.temporal rewire")
+                        .unwrap_or_else(|e| panic!("rewiring epoch {epoch}: {e}"))
+                };
+                // Probe epoch 0 so deterministic problems surface as a
+                // typed error before any trial runs.
+                let probe = generator(0);
+                reject_isolated(&probe, "graph.temporal rewire epoch 0")?;
+                TemporalGraph::rewiring(n, generator, period)
+                    .map_err(|e| RuntimeError::Spec(format!("graph.temporal: {e}")))?
+            }
+        }));
+    }
+
+    let mut rng = rng_for(seed_base, GRAPH_STREAM);
+    if let Some(weights_spec) = &graph_spec.weights {
+        // Validation rejects Complete + weights, so the family lowers to
+        // CSR here.
+        let csr = build_csr_family(&graph_spec.family, n, &mut rng, "graph")?;
+        reject_isolated(&csr, "graph")?;
+        let wseed = weights_spec.seed.unwrap_or(master_seed);
+        let weighted = match weights_spec.scheme {
+            WeightScheme::Uniform { value } => WeightedCsrGraph::from_csr_uniform(csr, value),
+            WeightScheme::Random { min, max } => {
+                WeightedCsrGraph::from_csr_with(csr, |u, v| edge_weight(wseed, u, v, min, max))
+            }
+        }
+        .map_err(|e| {
+            RuntimeError::Spec(format!(
+                "graph.weights: {e} — raise the minimum weight or change the weight seed"
+            ))
+        })?;
+        return Ok(BuiltGraph::Weighted(weighted));
+    }
+
+    if matches!(graph_spec.family, GraphFamily::Complete) {
+        return Ok(BuiltGraph::Complete(CompleteWithSelfLoops::new(n)));
+    }
+    let csr = build_csr_family(&graph_spec.family, n, &mut rng, "graph")?;
+    reject_isolated(&csr, "graph")?;
+    Ok(BuiltGraph::Csr(csr))
 }
 
 /// Lays the configuration out over vertex ids.
-fn assign_opinions(initial: &OpinionCounts, assignment: OpinionAssignment) -> Vec<u32> {
-    match assignment {
+fn assign_opinions(
+    initial: &OpinionCounts,
+    graph_spec: &GraphSpec,
+) -> Result<Vec<u32>, RuntimeError> {
+    let n = initial.n() as usize;
+    Ok(match &graph_spec.assignment {
         OpinionAssignment::Blocks => od_core::protocol::expand(initial),
-        OpinionAssignment::Striped => {
-            // Deal opinions round-robin: for balanced starts this is the
-            // classic `v % k` striping; skewed counts stay maximally
-            // interleaved until a class runs out.
-            let n = initial.n() as usize;
-            let mut remaining = initial.counts().to_vec();
+        OpinionAssignment::Striped => deal_striped(initial.counts(), n),
+        OpinionAssignment::Proportions(mix) => {
+            let blocks = graph_spec.family.community_blocks(n);
             let mut out = Vec::with_capacity(n);
-            while out.len() < n {
-                for (j, slot) in remaining.iter_mut().enumerate() {
-                    if *slot > 0 {
-                        *slot -= 1;
-                        out.push(j as u32);
-                    }
-                }
+            for (row, block) in mix.iter().zip(&blocks) {
+                let counts = largest_remainder_counts(row, block.len());
+                out.extend(deal_striped(&counts, block.len()));
             }
+            debug_assert_eq!(out.len(), n, "community blocks must tile 0..n");
             out
         }
+        OpinionAssignment::PerBlock(opinions) => {
+            let blocks = graph_spec.family.community_blocks(n);
+            let mut out = Vec::with_capacity(n);
+            for (&opinion, block) in opinions.iter().zip(&blocks) {
+                out.extend(std::iter::repeat_n(opinion, block.len()));
+            }
+            debug_assert_eq!(out.len(), n, "community blocks must tile 0..n");
+            out
+        }
+    })
+}
+
+/// Deals `counts[j]` copies of opinion `j` round-robin over `n` slots:
+/// for balanced counts this is the classic `v % k` striping; skewed
+/// counts stay maximally interleaved until a class runs out.
+fn deal_striped(counts: &[u64], n: usize) -> Vec<u32> {
+    let mut remaining = counts.to_vec();
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        for (j, slot) in remaining.iter_mut().enumerate() {
+            if *slot > 0 {
+                *slot -= 1;
+                out.push(j as u32);
+            }
+        }
     }
+    out
+}
+
+/// Realises fraction row `fracs` over `total` slots by largest-remainder
+/// rounding (deterministic: remainders tie-break toward the lower
+/// opinion index). The result always sums to exactly `total`: validation
+/// only bounds the row sum to 1 ± 1e-6, so on a large community the
+/// absolute rounding slack can exceed one unit per opinion — the top-up
+/// walks the remainder order cyclically, and an over-full row (sum
+/// slightly above 1) is trimmed from the smallest remainders upward.
+/// Anything else would hang `deal_striped` (shortfall) or trip the
+/// engine's length asserts (overage).
+fn largest_remainder_counts(fracs: &[f64], total: usize) -> Vec<u64> {
+    let mut counts: Vec<u64> = fracs
+        .iter()
+        .map(|&f| (f * total as f64).floor() as u64)
+        .collect();
+    if fracs.is_empty() {
+        return counts;
+    }
+    let mut order: Vec<usize> = (0..fracs.len()).collect();
+    order.sort_by(|&a, &b| {
+        let ra = fracs[a] * total as f64 - (fracs[a] * total as f64).floor();
+        let rb = fracs[b] * total as f64 - (fracs[b] * total as f64).floor();
+        rb.partial_cmp(&ra)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let mut assigned: u64 = counts.iter().sum();
+    let total = total as u64;
+    let mut i = 0usize;
+    while assigned < total {
+        counts[order[i % order.len()]] += 1;
+        assigned += 1;
+        i += 1;
+    }
+    let mut j = 0usize;
+    while assigned > total {
+        // Smallest remainders give back first; skip exhausted slots.
+        // Terminates: assigned == Σ counts > total ≥ 0 implies some
+        // positive count on every cycle.
+        let slot = order[order.len() - 1 - (j % order.len())];
+        if counts[slot] > 0 {
+            counts[slot] -= 1;
+            assigned -= 1;
+        }
+        j += 1;
+    }
+    counts
 }
 
 /// Executes one graph trial: monomorphize over (graph representation ×
-/// protocol kernel), then run the cell-seeded engine.
+/// protocol kernel), then run the matching batched engine.
 fn run_graph_trial(spec: &JobSpec, engine: &GraphEngine, trial: u64) -> TrialResult {
     let trial_seed = derive_seed(spec.master_seed, trial);
     match &engine.graph {
         BuiltGraph::Complete(g) => dispatch_kernel(spec, engine, g, trial_seed),
         BuiltGraph::Csr(g) => dispatch_kernel(spec, engine, g, trial_seed),
+        BuiltGraph::Weighted(g) => dispatch_kernel_weighted(spec, engine, g, trial_seed),
+        BuiltGraph::Temporal(t) => dispatch_kernel_temporal(spec, engine, t, trial_seed),
     }
 }
 
@@ -339,6 +516,62 @@ fn dispatch_kernel<G: Graph + Sync>(
         GraphProtocolKind::NoisyThreeMajority(p) => {
             run_graph_case(spec, p, graph, engine, trial_seed)
         }
+    }
+}
+
+fn dispatch_kernel_weighted(
+    spec: &JobSpec,
+    engine: &GraphEngine,
+    graph: &WeightedCsrGraph,
+    trial_seed: u64,
+) -> TrialResult {
+    match &engine.kernel {
+        GraphProtocolKind::ThreeMajority(p) => {
+            run_weighted_case(spec, p, graph, engine, trial_seed)
+        }
+        GraphProtocolKind::TwoChoices(p) => run_weighted_case(spec, p, graph, engine, trial_seed),
+        GraphProtocolKind::Voter(p) => run_weighted_case(spec, p, graph, engine, trial_seed),
+        GraphProtocolKind::Median(p) => run_weighted_case(spec, p, graph, engine, trial_seed),
+        GraphProtocolKind::HMajority(p) => run_weighted_case(spec, p, graph, engine, trial_seed),
+        GraphProtocolKind::Undecided(p) => run_weighted_case(spec, p, graph, engine, trial_seed),
+        GraphProtocolKind::NoisyThreeMajority(p) => {
+            run_weighted_case(spec, p, graph, engine, trial_seed)
+        }
+    }
+}
+
+fn dispatch_kernel_temporal(
+    spec: &JobSpec,
+    engine: &GraphEngine,
+    schedule: &TemporalGraph,
+    trial_seed: u64,
+) -> TrialResult {
+    match &engine.kernel {
+        GraphProtocolKind::ThreeMajority(p) => {
+            run_temporal_case(spec, p, schedule, engine, trial_seed)
+        }
+        GraphProtocolKind::TwoChoices(p) => {
+            run_temporal_case(spec, p, schedule, engine, trial_seed)
+        }
+        GraphProtocolKind::Voter(p) => run_temporal_case(spec, p, schedule, engine, trial_seed),
+        GraphProtocolKind::Median(p) => run_temporal_case(spec, p, schedule, engine, trial_seed),
+        GraphProtocolKind::HMajority(p) => run_temporal_case(spec, p, schedule, engine, trial_seed),
+        GraphProtocolKind::Undecided(p) => run_temporal_case(spec, p, schedule, engine, trial_seed),
+        GraphProtocolKind::NoisyThreeMajority(p) => {
+            run_temporal_case(spec, p, schedule, engine, trial_seed)
+        }
+    }
+}
+
+/// Folds a finished [`od_core::GraphRunOutcome`] into a [`TrialResult`].
+fn fold_outcome(out: od_core::GraphRunOutcome) -> TrialResult {
+    match out.reason {
+        StopReason::Consensus => TrialResult::Consensus {
+            rounds: out.rounds,
+            winner: out.winner.map(|w| w as u64),
+        },
+        StopReason::Predicate => TrialResult::Stopped { rounds: out.rounds },
+        StopReason::RoundLimit => TrialResult::Capped,
     }
 }
 
@@ -369,14 +602,61 @@ fn run_graph_case<P: GraphProtocol, G: Graph>(
             })
         }
     };
-    match out.reason {
-        StopReason::Consensus => TrialResult::Consensus {
-            rounds: out.rounds,
-            winner: out.winner.map(|w| w as u64),
-        },
-        StopReason::Predicate => TrialResult::Stopped { rounds: out.rounds },
-        StopReason::RoundLimit => TrialResult::Capped,
-    }
+    fold_outcome(out)
+}
+
+/// The weighted analogue of [`run_graph_case`]: the same stop-rule
+/// plumbing over the weighted batched pipeline.
+fn run_weighted_case<P: GraphProtocol>(
+    spec: &JobSpec,
+    protocol: &P,
+    graph: &WeightedCsrGraph,
+    engine: &GraphEngine,
+    trial_seed: u64,
+) -> TrialResult {
+    let sim = GraphSimulation::new(protocol, graph).with_max_rounds(spec.max_rounds);
+    let k = engine.k;
+    let out = match spec.stop {
+        StopRule::Consensus => sim.run_weighted(&engine.opinions, trial_seed),
+        StopRule::MaxFraction(threshold) => {
+            sim.run_weighted_until(&engine.opinions, trial_seed, |_, opinions| {
+                od_core::protocol::tally(opinions, k).max_fraction() >= threshold
+            })
+        }
+        StopRule::Gamma(threshold) => {
+            sim.run_weighted_until(&engine.opinions, trial_seed, |_, opinions| {
+                od_core::protocol::tally(opinions, k).gamma() >= threshold
+            })
+        }
+    };
+    fold_outcome(out)
+}
+
+/// The temporal analogue of [`run_graph_case`]: the same stop-rule
+/// plumbing over a [`TemporalSimulation`] (per-trial snapshot view).
+fn run_temporal_case<P: GraphProtocol>(
+    spec: &JobSpec,
+    protocol: &P,
+    schedule: &TemporalGraph,
+    engine: &GraphEngine,
+    trial_seed: u64,
+) -> TrialResult {
+    let sim = TemporalSimulation::new(protocol, schedule).with_max_rounds(spec.max_rounds);
+    let k = engine.k;
+    let out = match spec.stop {
+        StopRule::Consensus => sim.run_batched(&engine.opinions, trial_seed),
+        StopRule::MaxFraction(threshold) => {
+            sim.run_batched_until(&engine.opinions, trial_seed, |_, opinions| {
+                od_core::protocol::tally(opinions, k).max_fraction() >= threshold
+            })
+        }
+        StopRule::Gamma(threshold) => {
+            sim.run_batched_until(&engine.opinions, trial_seed, |_, opinions| {
+                od_core::protocol::tally(opinions, k).gamma() >= threshold
+            })
+        }
+    };
+    fold_outcome(out)
 }
 
 /// Executes one shard, or returns `None` when cancelled (partial shards
@@ -599,5 +879,26 @@ mod tests {
         // near-consensus (Stopped), not strict consensus.
         assert_eq!(report.summary.stopped, 4);
         assert_eq!(report.summary.capped, 0);
+    }
+
+    #[test]
+    fn largest_remainder_counts_always_sum_to_the_block_size() {
+        // Validation only bounds a block_mix row's sum to 1 ± 1e-6: on a
+        // large community the absolute rounding slack exceeds one unit
+        // per opinion, and a shortfall used to hang deal_striped while
+        // an overage tripped the engine's length asserts.
+        let shortfall = largest_remainder_counts(&[0.499_999_5, 0.499_999_5], 10_000_000);
+        assert_eq!(shortfall.iter().sum::<u64>(), 10_000_000);
+        let overage = largest_remainder_counts(&[0.500_000_5, 0.500_000_5], 10_000_000);
+        assert_eq!(overage.iter().sum::<u64>(), 10_000_000);
+        // Exact and tiny cases stay exact and deterministic.
+        assert_eq!(largest_remainder_counts(&[0.25, 0.75], 4), vec![1, 3]);
+        assert_eq!(largest_remainder_counts(&[0.5, 0.5], 5), vec![3, 2]);
+        assert_eq!(largest_remainder_counts(&[1.0], 0), vec![0]);
+        assert_eq!(largest_remainder_counts(&[0.0, 1.0], 7), vec![0, 7]);
+        // A realized layout from a skewed row still covers every slot.
+        let counts = largest_remainder_counts(&[0.9, 0.1], 101);
+        assert_eq!(counts.iter().sum::<u64>(), 101);
+        assert_eq!(deal_striped(&counts, 101).len(), 101);
     }
 }

@@ -59,6 +59,6 @@ pub use executor::{run_job, run_job_simple, CancelToken, JobReport, RunOptions};
 pub use queue::{default_checkpoint_path, load_job_file, run_queue};
 pub use spec::{
     AdversarySpec, ExecutionMode, GraphFamily, GraphSpec, InitialSpec, JobSpec, OpinionAssignment,
-    StopRule,
+    StopRule, TemporalSchedule, TemporalSpec, WeightScheme, WeightsSpec,
 };
 pub use summary::{ShardSummary, TrialResult};

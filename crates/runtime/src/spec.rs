@@ -227,7 +227,7 @@ impl AdversarySpec {
 }
 
 /// How the initial configuration is laid out over the graph's vertices.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub enum OpinionAssignment {
     /// Deal opinions round-robin over vertex ids (`v % k` for balanced
     /// starts) — the symmetric default.
@@ -236,13 +236,32 @@ pub enum OpinionAssignment {
     /// Contiguous vertex blocks per opinion — correlates opinion with
     /// community structure on block-structured graphs (SBM, barbell).
     Blocks,
+    /// Per-community opinion mixes: row `b` gives the opinion fractions
+    /// inside community `b` of the family's block structure
+    /// ([`GraphFamily::community_blocks`]); counts are realised by
+    /// largest-remainder rounding and dealt round-robin within the
+    /// block. The job's `initial` contributes only `n` and `k`.
+    Proportions(
+        /// One fraction row per community; each row has `k` entries
+        /// summing to 1.
+        Vec<Vec<f64>>,
+    ),
+    /// One uniform opinion per community: community `b` wholly starts at
+    /// `block_opinions[b]`. The job's `initial` contributes only `n`
+    /// and `k`.
+    PerBlock(
+        /// One opinion index (`< k`) per community.
+        Vec<u32>,
+    ),
 }
 
 impl OpinionAssignment {
-    fn as_str(self) -> &'static str {
+    fn as_str(&self) -> &'static str {
         match self {
             Self::Striped => "striped",
             Self::Blocks => "blocks",
+            Self::Proportions(_) => "proportions",
+            Self::PerBlock(_) => "per-block",
         }
     }
 }
@@ -313,6 +332,459 @@ impl GraphFamily {
             Self::Star => "star",
         }
     }
+
+    /// The family's community decomposition of the vertex range `0..n`:
+    /// SBM and barbell split into the two halves their generators use,
+    /// core–periphery into core and periphery; every other family is one
+    /// community. Drives the `proportions`/`per-block` assignments.
+    #[must_use]
+    // One whole-graph community really is a single-element range list.
+    #[allow(clippy::single_range_in_vec_init)]
+    pub fn community_blocks(&self, n: usize) -> Vec<std::ops::Range<usize>> {
+        match self {
+            Self::StochasticBlockModel { .. } | Self::Barbell => {
+                vec![0..n / 2, n / 2..n]
+            }
+            Self::CorePeriphery { core } => {
+                let core = (*core as usize).min(n);
+                vec![0..core, core..n]
+            }
+            _ => vec![0..n],
+        }
+    }
+
+    /// Validates the family parameters against the population size `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a spec error for infeasible `(family, n)` combinations.
+    fn validate(&self, n: u64, context: &str) -> Result<(), RuntimeError> {
+        let prob_ok = |p: f64| (0.0..=1.0).contains(&p) && !p.is_nan();
+        match self {
+            Self::Complete => Ok(()),
+            Self::ErdosRenyi { p, .. } => {
+                if prob_ok(*p) {
+                    Ok(())
+                } else {
+                    Err(spec_err(&format!("{context}.p must be in [0, 1]")))
+                }
+            }
+            Self::RandomRegular { d } => {
+                if *d == 0 || *d >= n || !(n * d).is_multiple_of(2) {
+                    Err(spec_err(&format!(
+                        "{context}: no simple {d}-regular graph on {n} vertices exists"
+                    )))
+                } else {
+                    Ok(())
+                }
+            }
+            Self::StochasticBlockModel { p_in, p_out } => {
+                if n < 2 {
+                    Err(spec_err(&format!(
+                        "{context}: stochastic-block-model needs n >= 2"
+                    )))
+                } else if prob_ok(*p_in) && prob_ok(*p_out) {
+                    Ok(())
+                } else {
+                    Err(spec_err(&format!("{context}.p_in/p_out must be in [0, 1]")))
+                }
+            }
+            Self::Cycle => {
+                if n < 3 {
+                    Err(spec_err(&format!("{context}: cycle needs n >= 3")))
+                } else {
+                    Ok(())
+                }
+            }
+            Self::Torus2d { width, height } => {
+                if *width < 3 || *height < 3 {
+                    Err(spec_err(&format!(
+                        "{context}: torus needs width >= 3 and height >= 3"
+                    )))
+                } else if width.checked_mul(*height) != Some(n) {
+                    Err(spec_err(&format!(
+                        "{context}: torus width * height = {} must equal n = {n}",
+                        width.saturating_mul(*height)
+                    )))
+                } else {
+                    Ok(())
+                }
+            }
+            Self::Barbell => {
+                if !n.is_multiple_of(2) || n < 4 {
+                    Err(spec_err(&format!(
+                        "{context}: barbell needs an even n >= 4"
+                    )))
+                } else {
+                    Ok(())
+                }
+            }
+            Self::CorePeriphery { core } => {
+                if *core < 2 || *core > n {
+                    Err(spec_err(&format!(
+                        "{context}: core-periphery needs 2 <= core <= n"
+                    )))
+                } else {
+                    Ok(())
+                }
+            }
+            Self::Star => {
+                if n < 2 {
+                    Err(spec_err(&format!("{context}: star needs n >= 2")))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Writes the family's discriminating fields into `obj` (shared by
+    /// the graph block and temporal snapshot entries).
+    fn write_json(&self, obj: &mut Json) {
+        obj.insert("family", Json::Str(self.kind().into()));
+        match self {
+            Self::ErdosRenyi { p, backbone } => {
+                obj.insert("p", Json::Float(*p));
+                // Written only when set, keeping pre-existing spec hashes
+                // stable.
+                if *backbone {
+                    obj.insert("backbone", Json::Bool(true));
+                }
+            }
+            Self::RandomRegular { d } => obj.insert("d", json_u64(*d)),
+            Self::StochasticBlockModel { p_in, p_out } => {
+                obj.insert("p_in", Json::Float(*p_in));
+                obj.insert("p_out", Json::Float(*p_out));
+            }
+            Self::Torus2d { width, height } => {
+                obj.insert("width", json_u64(*width));
+                obj.insert("height", json_u64(*height));
+            }
+            Self::CorePeriphery { core } => obj.insert("core", json_u64(*core)),
+            Self::Complete | Self::Cycle | Self::Barbell | Self::Star => {}
+        }
+    }
+
+    /// The family-parameter keys legal next to `"family"` in `value`.
+    fn allowed_keys(kind: &str) -> &'static [&'static str] {
+        match kind {
+            "erdos-renyi" => &["p", "backbone"],
+            "random-regular" => &["d"],
+            "stochastic-block-model" => &["p_in", "p_out"],
+            "torus" => &["width", "height"],
+            "core-periphery" => &["core"],
+            _ => &[],
+        }
+    }
+
+    /// Parses the family fields of `value` (shared by the graph block
+    /// and temporal snapshot entries).
+    fn from_json(value: &Json, context: &str) -> Result<Self, RuntimeError> {
+        let family_kind = require_str(value, "family", context)?;
+        let float_field = |key: &str| {
+            value
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| spec_err(&format!("{context}.{key} must be a number")))
+        };
+        match family_kind {
+            "complete" => Ok(Self::Complete),
+            "erdos-renyi" => Ok(Self::ErdosRenyi {
+                p: float_field("p")?,
+                backbone: match value.get("backbone") {
+                    None => false,
+                    Some(v) => v.as_bool().ok_or_else(|| {
+                        spec_err(&format!("{context}.backbone must be a boolean"))
+                    })?,
+                },
+            }),
+            "random-regular" => Ok(Self::RandomRegular {
+                d: require_u64(value, "d", context)?,
+            }),
+            "stochastic-block-model" => Ok(Self::StochasticBlockModel {
+                p_in: float_field("p_in")?,
+                p_out: float_field("p_out")?,
+            }),
+            "cycle" => Ok(Self::Cycle),
+            "torus" => Ok(Self::Torus2d {
+                width: require_u64(value, "width", context)?,
+                height: require_u64(value, "height", context)?,
+            }),
+            "barbell" => Ok(Self::Barbell),
+            "core-periphery" => Ok(Self::CorePeriphery {
+                core: require_u64(value, "core", context)?,
+            }),
+            "star" => Ok(Self::Star),
+            other => Err(spec_err(&format!(
+                "unknown graph family '{other}' (known: complete, erdos-renyi, \
+                 random-regular, stochastic-block-model, cycle, torus, barbell, \
+                 core-periphery, star)"
+            ))),
+        }
+    }
+}
+
+/// How per-edge sampling weights are generated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WeightScheme {
+    /// Every edge carries the same weight (`1` reproduces unweighted
+    /// sampling bit-for-bit).
+    Uniform {
+        /// The constant per-edge weight (must be positive).
+        value: u32,
+    },
+    /// Each undirected edge `{u, v}` carries an independent
+    /// pseudo-random weight in `[min, max]`, a pure function of
+    /// `(seed, u, v)` — symmetric and iteration-order-free by
+    /// construction.
+    Random {
+        /// Smallest weight (inclusive); `0` permits unsampleable edges.
+        min: u32,
+        /// Largest weight (inclusive).
+        max: u32,
+    },
+}
+
+/// The `weights` sub-block of a graph scenario: turns uniform neighbor
+/// sampling into weight-proportional sampling via the prefix-sum
+/// weighted engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WeightsSpec {
+    /// How edge weights are generated.
+    pub scheme: WeightScheme,
+    /// Seed of the weight generator (default: the job's `master_seed`).
+    /// Weights are a pure function of `(seed, edge)`, independent of
+    /// both graph-generation and trial randomness.
+    pub seed: Option<u64>,
+}
+
+impl WeightsSpec {
+    fn validate(&self) -> Result<(), RuntimeError> {
+        match self.scheme {
+            WeightScheme::Uniform { value } => {
+                if value == 0 {
+                    Err(spec_err(
+                        "graph.weights: uniform value 0 would leave every vertex with only \
+                         zero-weight edges — use a positive value",
+                    ))
+                } else {
+                    Ok(())
+                }
+            }
+            WeightScheme::Random { min, max } => {
+                if min > max {
+                    Err(spec_err("graph.weights: min must not exceed max"))
+                } else if max == 0 {
+                    Err(spec_err(
+                        "graph.weights: max 0 would leave every vertex with only zero-weight \
+                         edges — use a positive max",
+                    ))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    fn to_json(self) -> Json {
+        let mut obj = Json::object();
+        match self.scheme {
+            WeightScheme::Uniform { value } => {
+                obj.insert("scheme", Json::Str("uniform".into()));
+                obj.insert("value", json_u64(u64::from(value)));
+            }
+            WeightScheme::Random { min, max } => {
+                obj.insert("scheme", Json::Str("random".into()));
+                obj.insert("min", json_u64(u64::from(min)));
+                obj.insert("max", json_u64(u64::from(max)));
+            }
+        }
+        if let Some(seed) = self.seed {
+            obj.insert("seed", json_u64(seed));
+        }
+        obj
+    }
+
+    fn from_json(value: &Json) -> Result<Self, RuntimeError> {
+        let scheme_kind = require_str(value, "scheme", "graph.weights")?;
+        let u32_field = |key: &str| -> Result<u32, RuntimeError> {
+            let raw = require_u64(value, key, "graph.weights")?;
+            u32::try_from(raw)
+                .map_err(|_| spec_err(&format!("graph.weights.{key} = {raw} does not fit u32")))
+        };
+        let scheme = match scheme_kind {
+            "uniform" => {
+                reject_unknown_keys(value, "graph.weights", &["scheme", "value", "seed"])?;
+                WeightScheme::Uniform {
+                    value: u32_field("value")?,
+                }
+            }
+            "random" => {
+                reject_unknown_keys(value, "graph.weights", &["scheme", "min", "max", "seed"])?;
+                WeightScheme::Random {
+                    min: u32_field("min")?,
+                    max: u32_field("max")?,
+                }
+            }
+            other => {
+                return Err(spec_err(&format!(
+                    "unknown graph.weights.scheme '{other}' (known: uniform, random)"
+                )))
+            }
+        };
+        let seed = value
+            .get("seed")
+            .map(|v| {
+                u64_of(v)
+                    .ok_or_else(|| spec_err("graph.weights.seed must be a non-negative integer"))
+            })
+            .transpose()?;
+        Ok(Self { scheme, seed })
+    }
+}
+
+/// The round-indexed schedule kind of a temporal scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TemporalSchedule {
+    /// Cycle through `[graph.family] ++ snapshots`, switching every
+    /// `period` rounds; each snapshot is generated once at job start
+    /// from its own derived seed.
+    Snapshots(
+        /// Additional snapshot families after the base family (at least
+        /// one — an empty list is not a schedule).
+        Vec<GraphFamily>,
+    ),
+    /// Regenerate `graph.family` every `period` rounds with an
+    /// epoch-derived seed (seeded edge rewiring). Restricted to
+    /// families that cannot produce isolated vertices (`erdos-renyi`
+    /// with `backbone: true`, `random-regular`): a rewired snapshot is
+    /// generated mid-trial, past the point where a typed error could be
+    /// returned.
+    Rewire,
+}
+
+/// The `temporal` sub-block of a graph scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TemporalSpec {
+    /// Which schedule to run.
+    pub schedule: TemporalSchedule,
+    /// Rounds per epoch (snapshot switch / rewiring cadence); `>= 1`.
+    pub period: u64,
+}
+
+impl TemporalSpec {
+    fn validate(&self, n: u64, family: &GraphFamily) -> Result<(), RuntimeError> {
+        if self.period == 0 {
+            return Err(spec_err("graph.temporal.period must be at least 1"));
+        }
+        match &self.schedule {
+            TemporalSchedule::Snapshots(snapshots) => {
+                if snapshots.is_empty() {
+                    return Err(spec_err(
+                        "graph.temporal.snapshots must list at least one snapshot family \
+                         (an empty temporal schedule has nothing to switch to)",
+                    ));
+                }
+                for (i, snapshot) in snapshots.iter().enumerate() {
+                    if matches!(snapshot, GraphFamily::Complete) {
+                        return Err(spec_err(&format!(
+                            "graph.temporal.snapshots[{i}]: the implicit complete graph \
+                             cannot be a temporal snapshot — use an explicit family"
+                        )));
+                    }
+                    snapshot.validate(n, &format!("graph.temporal.snapshots[{i}]"))?;
+                }
+                if matches!(family, GraphFamily::Complete) {
+                    return Err(spec_err(
+                        "graph.temporal: the implicit complete graph cannot anchor a \
+                         snapshot schedule — use an explicit family",
+                    ));
+                }
+                Ok(())
+            }
+            TemporalSchedule::Rewire => match family {
+                GraphFamily::ErdosRenyi { backbone: true, .. }
+                | GraphFamily::RandomRegular { .. } => Ok(()),
+                GraphFamily::ErdosRenyi {
+                    backbone: false, ..
+                } => Err(spec_err(
+                    "graph.temporal: rewiring erdos-renyi requires \"backbone\": true \
+                     (a rewired epoch must never contain isolated vertices)",
+                )),
+                other => Err(spec_err(&format!(
+                    "graph.temporal: rewiring is not supported for family '{}' \
+                     (supported: erdos-renyi with backbone, random-regular)",
+                    other.kind()
+                ))),
+            },
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        match &self.schedule {
+            TemporalSchedule::Snapshots(snapshots) => {
+                obj.insert("kind", Json::Str("snapshots".into()));
+                obj.insert(
+                    "snapshots",
+                    Json::Arr(
+                        snapshots
+                            .iter()
+                            .map(|family| {
+                                let mut snap = Json::object();
+                                family.write_json(&mut snap);
+                                snap
+                            })
+                            .collect(),
+                    ),
+                );
+            }
+            TemporalSchedule::Rewire => obj.insert("kind", Json::Str("rewire".into())),
+        }
+        obj.insert("period", json_u64(self.period));
+        obj
+    }
+
+    fn from_json(value: &Json) -> Result<Self, RuntimeError> {
+        let kind = require_str(value, "kind", "graph.temporal")?;
+        let schedule = match kind {
+            "snapshots" => {
+                reject_unknown_keys(value, "graph.temporal", &["kind", "period", "snapshots"])?;
+                let items = value
+                    .get("snapshots")
+                    .and_then(Json::as_array)
+                    .ok_or_else(|| {
+                        spec_err("graph.temporal.snapshots must be an array of family objects")
+                    })?;
+                let snapshots = items
+                    .iter()
+                    .enumerate()
+                    .map(|(i, item)| {
+                        let context = format!("graph.temporal.snapshots[{i}]");
+                        let family = GraphFamily::from_json(item, &context)?;
+                        let mut allowed = vec!["family"];
+                        allowed.extend_from_slice(GraphFamily::allowed_keys(family.kind()));
+                        reject_unknown_keys(item, &context, &allowed)?;
+                        Ok(family)
+                    })
+                    .collect::<Result<Vec<_>, RuntimeError>>()?;
+                TemporalSchedule::Snapshots(snapshots)
+            }
+            "rewire" => {
+                reject_unknown_keys(value, "graph.temporal", &["kind", "period"])?;
+                TemporalSchedule::Rewire
+            }
+            other => {
+                return Err(spec_err(&format!(
+                    "unknown graph.temporal.kind '{other}' (known: snapshots, rewire)"
+                )))
+            }
+        };
+        Ok(Self {
+            schedule,
+            period: require_u64(value, "period", "graph.temporal")?,
+        })
+    }
 }
 
 /// The graph scenario block of a job: runs the protocol agent-level on a
@@ -327,191 +799,165 @@ pub struct GraphSpec {
     pub seed: Option<u64>,
     /// Vertex layout of the initial configuration.
     pub assignment: OpinionAssignment,
+    /// Optional per-edge sampling weights (weight-proportional neighbor
+    /// sampling through the prefix-sum weighted engine).
+    pub weights: Option<WeightsSpec>,
+    /// Optional round-indexed edge schedule (periodic snapshot switching
+    /// or seeded per-epoch rewiring).
+    pub temporal: Option<TemporalSpec>,
 }
 
 impl GraphSpec {
-    /// A spec for `family` with default seed and assignment.
+    /// A spec for `family` with default seed, assignment, and neither
+    /// weights nor a temporal schedule.
     #[must_use]
     pub fn new(family: GraphFamily) -> Self {
         Self {
             family,
             seed: None,
             assignment: OpinionAssignment::default(),
+            weights: None,
+            temporal: None,
         }
     }
 
-    /// Validates the family parameters against the population size `n`.
+    /// Validates the scenario against the population size `n` and the
+    /// opinion-slot count `k`.
     ///
     /// # Errors
     ///
-    /// Returns a spec error for infeasible `(family, n)` combinations.
-    pub fn validate(&self, n: u64) -> Result<(), RuntimeError> {
+    /// Returns a typed spec error for infeasible `(family, n)`
+    /// combinations, degenerate weights (a scheme that can only produce
+    /// zero-weight rows), empty or unsupported temporal schedules, and
+    /// assignment blocks that do not match the family's community
+    /// structure.
+    pub fn validate(&self, n: u64, k: usize) -> Result<(), RuntimeError> {
         if u32::try_from(n).is_err() {
             return Err(spec_err(&format!(
                 "graph jobs require n <= u32::MAX, got {n}"
             )));
         }
-        let prob_ok = |p: f64| (0.0..=1.0).contains(&p) && !p.is_nan();
-        match &self.family {
-            GraphFamily::Complete => Ok(()),
-            GraphFamily::ErdosRenyi { p, .. } => {
-                if prob_ok(*p) {
-                    Ok(())
-                } else {
-                    Err(spec_err("graph.p must be in [0, 1]"))
+        self.family.validate(n, "graph")?;
+        if let Some(weights) = &self.weights {
+            weights.validate()?;
+            if matches!(self.family, GraphFamily::Complete) {
+                return Err(spec_err(
+                    "graph.weights: the implicit complete graph has no explicit edge list \
+                     to weight — use an explicit family (e.g. erdos-renyi with p = 1)",
+                ));
+            }
+            if self.temporal.is_some() {
+                return Err(spec_err(
+                    "graph.weights and graph.temporal cannot be combined (weighted \
+                     schedules are not supported yet)",
+                ));
+            }
+        }
+        if let Some(temporal) = &self.temporal {
+            temporal.validate(n, &self.family)?;
+        }
+        let blocks = self.family.community_blocks(n as usize);
+        match &self.assignment {
+            OpinionAssignment::Striped | OpinionAssignment::Blocks => {}
+            OpinionAssignment::Proportions(mix) => {
+                if mix.len() != blocks.len() {
+                    return Err(spec_err(&format!(
+                        "graph.block_mix has {} rows but family '{}' has {} communities",
+                        mix.len(),
+                        self.family.kind(),
+                        blocks.len()
+                    )));
+                }
+                for (b, row) in mix.iter().enumerate() {
+                    if row.len() != k {
+                        return Err(spec_err(&format!(
+                            "graph.block_mix[{b}] has {} entries, expected k = {k}",
+                            row.len()
+                        )));
+                    }
+                    if row.iter().any(|&f| !(0.0..=1.0).contains(&f) || f.is_nan()) {
+                        return Err(spec_err(&format!(
+                            "graph.block_mix[{b}] entries must be fractions in [0, 1]"
+                        )));
+                    }
+                    let sum: f64 = row.iter().sum();
+                    if (sum - 1.0).abs() > 1e-6 {
+                        return Err(spec_err(&format!(
+                            "graph.block_mix[{b}] sums to {sum}, expected 1"
+                        )));
+                    }
                 }
             }
-            GraphFamily::RandomRegular { d } => {
-                if *d == 0 || *d >= n || !(n * d).is_multiple_of(2) {
-                    Err(spec_err(&format!(
-                        "graph: no simple {d}-regular graph on {n} vertices exists"
-                    )))
-                } else {
-                    Ok(())
+            OpinionAssignment::PerBlock(opinions) => {
+                if opinions.len() != blocks.len() {
+                    return Err(spec_err(&format!(
+                        "graph.block_opinions has {} entries but family '{}' has {} \
+                         communities",
+                        opinions.len(),
+                        self.family.kind(),
+                        blocks.len()
+                    )));
                 }
-            }
-            GraphFamily::StochasticBlockModel { p_in, p_out } => {
-                if n < 2 {
-                    Err(spec_err("graph: stochastic-block-model needs n >= 2"))
-                } else if prob_ok(*p_in) && prob_ok(*p_out) {
-                    Ok(())
-                } else {
-                    Err(spec_err("graph.p_in/p_out must be in [0, 1]"))
-                }
-            }
-            GraphFamily::Cycle => {
-                if n < 3 {
-                    Err(spec_err("graph: cycle needs n >= 3"))
-                } else {
-                    Ok(())
-                }
-            }
-            GraphFamily::Torus2d { width, height } => {
-                if *width < 3 || *height < 3 {
-                    Err(spec_err("graph: torus needs width >= 3 and height >= 3"))
-                } else if width.checked_mul(*height) != Some(n) {
-                    Err(spec_err(&format!(
-                        "graph: torus width * height = {} must equal n = {n}",
-                        width.saturating_mul(*height)
-                    )))
-                } else {
-                    Ok(())
-                }
-            }
-            GraphFamily::Barbell => {
-                if !n.is_multiple_of(2) || n < 4 {
-                    Err(spec_err("graph: barbell needs an even n >= 4"))
-                } else {
-                    Ok(())
-                }
-            }
-            GraphFamily::CorePeriphery { core } => {
-                if *core < 2 || *core > n {
-                    Err(spec_err("graph: core-periphery needs 2 <= core <= n"))
-                } else {
-                    Ok(())
-                }
-            }
-            GraphFamily::Star => {
-                if n < 2 {
-                    Err(spec_err("graph: star needs n >= 2"))
-                } else {
-                    Ok(())
+                if let Some(&bad) = opinions.iter().find(|&&o| o as usize >= k) {
+                    return Err(spec_err(&format!(
+                        "graph.block_opinions contains opinion {bad}, but k = {k}"
+                    )));
                 }
             }
         }
+        Ok(())
     }
 
     fn to_json(&self) -> Json {
         let mut obj = Json::object();
-        obj.insert("family", Json::Str(self.family.kind().into()));
-        match &self.family {
-            GraphFamily::ErdosRenyi { p, backbone } => {
-                obj.insert("p", Json::Float(*p));
-                // Written only when set, keeping pre-existing spec hashes
-                // stable.
-                if *backbone {
-                    obj.insert("backbone", Json::Bool(true));
-                }
-            }
-            GraphFamily::RandomRegular { d } => obj.insert("d", json_u64(*d)),
-            GraphFamily::StochasticBlockModel { p_in, p_out } => {
-                obj.insert("p_in", Json::Float(*p_in));
-                obj.insert("p_out", Json::Float(*p_out));
-            }
-            GraphFamily::Torus2d { width, height } => {
-                obj.insert("width", json_u64(*width));
-                obj.insert("height", json_u64(*height));
-            }
-            GraphFamily::CorePeriphery { core } => obj.insert("core", json_u64(*core)),
-            GraphFamily::Complete
-            | GraphFamily::Cycle
-            | GraphFamily::Barbell
-            | GraphFamily::Star => {}
-        }
+        self.family.write_json(&mut obj);
         if let Some(seed) = self.seed {
             obj.insert("seed", json_u64(seed));
         }
         if self.assignment != OpinionAssignment::default() {
             obj.insert("assignment", Json::Str(self.assignment.as_str().into()));
         }
+        match &self.assignment {
+            OpinionAssignment::Proportions(mix) => {
+                obj.insert(
+                    "block_mix",
+                    Json::Arr(
+                        mix.iter()
+                            .map(|row| Json::Arr(row.iter().map(|&f| Json::Float(f)).collect()))
+                            .collect(),
+                    ),
+                );
+            }
+            OpinionAssignment::PerBlock(opinions) => {
+                obj.insert(
+                    "block_opinions",
+                    Json::Arr(opinions.iter().map(|&o| json_u64(u64::from(o))).collect()),
+                );
+            }
+            OpinionAssignment::Striped | OpinionAssignment::Blocks => {}
+        }
+        if let Some(weights) = &self.weights {
+            obj.insert("weights", weights.to_json());
+        }
+        if let Some(temporal) = &self.temporal {
+            obj.insert("temporal", temporal.to_json());
+        }
         obj
     }
 
     fn from_json(value: &Json) -> Result<Self, RuntimeError> {
-        let family_kind = require_str(value, "family", "graph")?;
-        let base_keys = ["family", "seed", "assignment"];
-        let allowed: Vec<&str> = match family_kind {
-            "erdos-renyi" => [&base_keys[..], &["p", "backbone"]].concat(),
-            "random-regular" => [&base_keys[..], &["d"]].concat(),
-            "stochastic-block-model" => [&base_keys[..], &["p_in", "p_out"]].concat(),
-            "torus" => [&base_keys[..], &["width", "height"]].concat(),
-            "core-periphery" => [&base_keys[..], &["core"]].concat(),
-            _ => base_keys.to_vec(),
-        };
+        let family = GraphFamily::from_json(value, "graph")?;
+        let mut allowed = vec![
+            "family",
+            "seed",
+            "assignment",
+            "block_mix",
+            "block_opinions",
+            "weights",
+            "temporal",
+        ];
+        allowed.extend_from_slice(GraphFamily::allowed_keys(family.kind()));
         reject_unknown_keys(value, "graph", &allowed)?;
-        let float_field = |key: &str| {
-            value
-                .get(key)
-                .and_then(Json::as_f64)
-                .ok_or_else(|| spec_err(&format!("graph.{key} must be a number")))
-        };
-        let family = match family_kind {
-            "complete" => GraphFamily::Complete,
-            "erdos-renyi" => GraphFamily::ErdosRenyi {
-                p: float_field("p")?,
-                backbone: match value.get("backbone") {
-                    None => false,
-                    Some(v) => v
-                        .as_bool()
-                        .ok_or_else(|| spec_err("graph.backbone must be a boolean"))?,
-                },
-            },
-            "random-regular" => GraphFamily::RandomRegular {
-                d: require_u64(value, "d", "graph")?,
-            },
-            "stochastic-block-model" => GraphFamily::StochasticBlockModel {
-                p_in: float_field("p_in")?,
-                p_out: float_field("p_out")?,
-            },
-            "cycle" => GraphFamily::Cycle,
-            "torus" => GraphFamily::Torus2d {
-                width: require_u64(value, "width", "graph")?,
-                height: require_u64(value, "height", "graph")?,
-            },
-            "barbell" => GraphFamily::Barbell,
-            "core-periphery" => GraphFamily::CorePeriphery {
-                core: require_u64(value, "core", "graph")?,
-            },
-            "star" => GraphFamily::Star,
-            other => {
-                return Err(spec_err(&format!(
-                    "unknown graph family '{other}' (known: complete, erdos-renyi, \
-                     random-regular, stochastic-block-model, cycle, torus, barbell, \
-                     core-periphery, star)"
-                )))
-            }
-        };
         let seed = value
             .get("seed")
             .map(|v| u64_of(v).ok_or_else(|| spec_err("graph.seed must be a non-negative integer")))
@@ -519,16 +965,94 @@ impl GraphSpec {
         let assignment = match value.get("assignment").and_then(Json::as_str) {
             None | Some("striped") => OpinionAssignment::Striped,
             Some("blocks") => OpinionAssignment::Blocks,
+            Some("proportions") => {
+                let rows = value
+                    .get("block_mix")
+                    .and_then(Json::as_array)
+                    .ok_or_else(|| {
+                        spec_err(
+                            "graph.assignment 'proportions' requires a block_mix array of \
+                             per-community fraction rows",
+                        )
+                    })?;
+                let mix = rows
+                    .iter()
+                    .map(|row| {
+                        row.as_array()
+                            .map(|entries| {
+                                entries
+                                    .iter()
+                                    .map(|e| {
+                                        e.as_f64().ok_or_else(|| {
+                                            spec_err("graph.block_mix entries must be numbers")
+                                        })
+                                    })
+                                    .collect::<Result<Vec<f64>, _>>()
+                            })
+                            .unwrap_or_else(|| Err(spec_err("graph.block_mix rows must be arrays")))
+                    })
+                    .collect::<Result<Vec<Vec<f64>>, _>>()?;
+                OpinionAssignment::Proportions(mix)
+            }
+            Some("per-block") => {
+                let entries = value
+                    .get("block_opinions")
+                    .and_then(Json::as_array)
+                    .ok_or_else(|| {
+                        spec_err(
+                            "graph.assignment 'per-block' requires a block_opinions array \
+                             of opinion indices",
+                        )
+                    })?;
+                let opinions = entries
+                    .iter()
+                    .map(|e| {
+                        u64_of(e)
+                            .and_then(|o| u32::try_from(o).ok())
+                            .ok_or_else(|| {
+                                spec_err("graph.block_opinions entries must be opinion indices")
+                            })
+                    })
+                    .collect::<Result<Vec<u32>, _>>()?;
+                OpinionAssignment::PerBlock(opinions)
+            }
             Some(other) => {
                 return Err(spec_err(&format!(
-                    "unknown graph.assignment '{other}' (known: striped, blocks)"
+                    "unknown graph.assignment '{other}' (known: striped, blocks, \
+                     proportions, per-block)"
                 )))
             }
+        };
+        // block_mix / block_opinions are only meaningful for their
+        // assignments; reject silent leftovers.
+        if !matches!(assignment, OpinionAssignment::Proportions(_))
+            && value.get("block_mix").is_some()
+        {
+            return Err(spec_err(
+                "graph.block_mix requires \"assignment\": \"proportions\"",
+            ));
+        }
+        if !matches!(assignment, OpinionAssignment::PerBlock(_))
+            && value.get("block_opinions").is_some()
+        {
+            return Err(spec_err(
+                "graph.block_opinions requires \"assignment\": \"per-block\"",
+            ));
+        }
+        let weights = match value.get("weights") {
+            None | Some(Json::Null) => None,
+            Some(weights_json) => Some(WeightsSpec::from_json(weights_json)?),
+        };
+        let temporal = match value.get("temporal") {
+            None | Some(Json::Null) => None,
+            Some(temporal_json) => Some(TemporalSpec::from_json(temporal_json)?),
         };
         Ok(Self {
             family,
             seed,
             assignment,
+            weights,
+            temporal,
         })
     }
 }
@@ -634,7 +1158,7 @@ impl JobSpec {
             if self.mode == ExecutionMode::Compacted {
                 return Err(spec_err("graph jobs require \"mode\": \"full\""));
             }
-            graph.validate(initial.n())?;
+            graph.validate(initial.n(), initial.k())?;
             // Graph jobs additionally need the monomorphizable kernel.
             od_core::registry::build_graph_protocol(&self.protocol, &self.params)
                 .map_err(RuntimeError::Core)?;
@@ -830,16 +1354,24 @@ impl JobSpec {
     #[must_use]
     pub fn content_hash(&self) -> String {
         let mut canonical = self.to_json().to_string_compact();
-        if self.graph.is_some() {
+        if let Some(graph) = &self.graph {
             // Trial results are a function of (spec, engine): graph jobs
             // run the batched three-pass engine, whose sampling order
             // deliberately differs from the PR 2 cell-seeded engine. The
             // engine tag keyed into the hash makes a checkpoint written
             // by one engine generation refuse to resume under another
             // (a typed `CheckpointMismatch`), instead of silently merging
-            // shards computed from different sample paths. Bump the tag
-            // whenever a change alters graph trial results.
+            // shards computed from different sample paths. Bump the tags
+            // whenever a change alters graph trial results: weighted jobs
+            // depend additionally on the prefix-sum point resolution, and
+            // temporal jobs on the epoch seed derivation.
             canonical.push_str("#graph-engine=batched-v1");
+            if graph.weights.is_some() {
+                canonical.push_str("+weighted-prefix-v1");
+            }
+            if graph.temporal.is_some() {
+                canonical.push_str("+temporal-v1");
+            }
         }
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for b in canonical.bytes() {

@@ -5,8 +5,9 @@ use od_core::protocol::ThreeMajority;
 use od_core::GraphSimulation;
 use od_graphs::CompleteWithSelfLoops;
 use od_runtime::{
-    run_job, run_job_simple, ExecutionMode, GraphFamily, GraphSpec, InitialSpec, JobSpec,
-    OpinionAssignment, RunOptions, StopRule,
+    run_job, run_job_simple, Checkpoint, ExecutionMode, GraphFamily, GraphSpec, InitialSpec,
+    JobSpec, OpinionAssignment, RunOptions, RuntimeError, StopRule, TemporalSchedule, TemporalSpec,
+    WeightScheme, WeightsSpec,
 };
 use od_sampling::seeds::derive_seed;
 
@@ -54,9 +55,9 @@ fn every_family_roundtrips_through_json() {
     for family in families {
         let mut spec = graph_spec(family);
         spec.graph = Some(GraphSpec {
-            family: spec.graph.unwrap().family,
             seed: Some(12345),
             assignment: OpinionAssignment::Blocks,
+            ..spec.graph.unwrap()
         });
         let text = spec.to_json().to_string_pretty();
         let back = JobSpec::from_json_text(&text).unwrap();
@@ -318,6 +319,401 @@ fn fixed_opinion_space_protocols_must_match_initial_k() {
     assert!(JobSpec::from_json_text(text).unwrap().validate().is_ok());
 }
 
+fn weighted_spec(scheme: WeightScheme) -> JobSpec {
+    let mut spec = graph_spec(GraphFamily::RandomRegular { d: 8 });
+    spec.graph = Some(GraphSpec {
+        weights: Some(WeightsSpec { scheme, seed: None }),
+        ..spec.graph.unwrap()
+    });
+    spec
+}
+
+fn temporal_spec(schedule: TemporalSchedule, period: u64) -> JobSpec {
+    let mut spec = graph_spec(GraphFamily::RandomRegular { d: 8 });
+    spec.graph = Some(GraphSpec {
+        temporal: Some(TemporalSpec { schedule, period }),
+        ..spec.graph.unwrap()
+    });
+    spec
+}
+
+#[test]
+fn weighted_and_temporal_specs_roundtrip_through_json() {
+    let mut specs = vec![
+        weighted_spec(WeightScheme::Uniform { value: 3 }),
+        weighted_spec(WeightScheme::Random { min: 1, max: 9 }),
+        temporal_spec(
+            TemporalSchedule::Snapshots(vec![
+                GraphFamily::Cycle,
+                GraphFamily::ErdosRenyi {
+                    p: 0.05,
+                    backbone: true,
+                },
+            ]),
+            7,
+        ),
+        temporal_spec(TemporalSchedule::Rewire, 3),
+    ];
+    // Weighted with an explicit weight seed.
+    specs.push({
+        let mut spec = weighted_spec(WeightScheme::Random { min: 0, max: 4 });
+        spec.graph = Some(GraphSpec {
+            weights: Some(WeightsSpec {
+                scheme: WeightScheme::Random { min: 0, max: 4 },
+                seed: Some(99),
+            }),
+            ..spec.graph.unwrap()
+        });
+        spec
+    });
+    // Proportions + per-block assignments on community families.
+    specs.push({
+        let mut spec = graph_spec(GraphFamily::StochasticBlockModel {
+            p_in: 0.4,
+            p_out: 0.05,
+        });
+        spec.graph = Some(GraphSpec {
+            assignment: OpinionAssignment::Proportions(vec![vec![0.9, 0.1], vec![0.1, 0.9]]),
+            ..spec.graph.unwrap()
+        });
+        spec
+    });
+    specs.push({
+        let mut spec = graph_spec(GraphFamily::Barbell);
+        spec.graph = Some(GraphSpec {
+            assignment: OpinionAssignment::PerBlock(vec![0, 1]),
+            ..spec.graph.unwrap()
+        });
+        spec
+    });
+    for spec in specs {
+        let text = spec.to_json().to_string_pretty();
+        let back = JobSpec::from_json_text(&text).unwrap();
+        assert_eq!(back, spec, "roundtrip failed for {text}");
+        assert_eq!(back.content_hash(), spec.content_hash());
+        spec.validate().unwrap_or_else(|e| panic!("{text}: {e}"));
+    }
+}
+
+#[test]
+fn weighted_and_temporal_hashes_are_salted_per_engine() {
+    // The weights/temporal sub-blocks change the JSON (hence the hash),
+    // and the engine tags are keyed in on top, so a future change to the
+    // weighted resolution or the epoch seed derivation can invalidate
+    // old checkpoints by bumping one tag.
+    let plain = graph_spec(GraphFamily::RandomRegular { d: 8 });
+    let weighted = weighted_spec(WeightScheme::Uniform { value: 1 });
+    let temporal = temporal_spec(TemporalSchedule::Rewire, 3);
+    assert_ne!(plain.content_hash(), weighted.content_hash());
+    assert_ne!(plain.content_hash(), temporal.content_hash());
+    assert_ne!(weighted.content_hash(), temporal.content_hash());
+}
+
+#[test]
+fn unit_weight_jobs_match_unweighted_jobs_exactly() {
+    // weights {uniform, value 1} draws the very same sample paths as the
+    // unweighted batched engine, so the merged summaries must be equal
+    // (the specs still hash differently — different checkpoint spaces).
+    let plain = run_job_simple(&graph_spec(GraphFamily::RandomRegular { d: 8 })).unwrap();
+    let weighted = run_job_simple(&weighted_spec(WeightScheme::Uniform { value: 1 })).unwrap();
+    assert_eq!(plain.summary, weighted.summary);
+}
+
+#[test]
+fn weighted_jobs_run_and_are_shard_invariant() {
+    let mut summaries = vec![];
+    for shard_size in [1u64, 3, 8] {
+        let spec = JobSpec {
+            shard_size,
+            ..weighted_spec(WeightScheme::Random { min: 1, max: 8 })
+        };
+        summaries.push(run_job_simple(&spec).unwrap().summary);
+    }
+    assert_eq!(summaries[0], summaries[1]);
+    assert_eq!(summaries[0], summaries[2]);
+    assert_eq!(summaries[0].trials, 8);
+    assert_eq!(summaries[0].consensus, 8, "70/30 start should consolidate");
+}
+
+#[test]
+fn temporal_jobs_run_and_are_shard_invariant() {
+    for schedule in [
+        TemporalSchedule::Snapshots(vec![GraphFamily::Cycle]),
+        TemporalSchedule::Rewire,
+    ] {
+        let mut summaries = vec![];
+        for shard_size in [1u64, 3, 8] {
+            let spec = JobSpec {
+                shard_size,
+                ..temporal_spec(schedule.clone(), 2)
+            };
+            summaries.push(run_job_simple(&spec).unwrap().summary);
+        }
+        assert_eq!(summaries[0], summaries[1], "{schedule:?}");
+        assert_eq!(summaries[0], summaries[2], "{schedule:?}");
+        assert_eq!(summaries[0].trials, 8);
+    }
+}
+
+#[test]
+fn temporal_jobs_resume_mid_schedule_bit_for_bit() {
+    // Kill-resume: run the full job once (the uninterrupted reference),
+    // then simulate a mid-job kill by dropping half the completed shards
+    // from the checkpoint and resuming — the merged summary must be
+    // byte-identical to the uninterrupted run.
+    let dir = std::env::temp_dir().join(format!("od_temporal_resume_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let checkpoint_path = dir.join("job.checkpoint.json");
+    let spec = temporal_spec(
+        TemporalSchedule::Snapshots(vec![GraphFamily::ErdosRenyi {
+            p: 0.05,
+            backbone: true,
+        }]),
+        3,
+    );
+    let options = RunOptions {
+        checkpoint_path: Some(checkpoint_path.clone()),
+        ..RunOptions::default()
+    };
+    let uninterrupted = run_job(&spec, &options).unwrap();
+    assert_eq!(uninterrupted.resumed_shards, 0);
+    let reference_bytes = uninterrupted.summary.to_json().to_string_compact();
+
+    // "Kill" mid-schedule: keep only the even shards.
+    let mut checkpoint = Checkpoint::load(&checkpoint_path).unwrap().unwrap();
+    let total = checkpoint.shards.len() as u64;
+    checkpoint.shards.retain(|&index, _| index % 2 == 0);
+    let kept = checkpoint.shards.len() as u64;
+    assert!(kept < total, "test must actually drop shards");
+    checkpoint.save(&checkpoint_path).unwrap();
+
+    let resumed = run_job(&spec, &options).unwrap();
+    assert_eq!(resumed.resumed_shards, kept);
+    assert_eq!(resumed.completed_shards, total);
+    assert_eq!(resumed.summary, uninterrupted.summary);
+    assert_eq!(
+        resumed.summary.to_json().to_string_compact(),
+        reference_bytes,
+        "resumed summary must be byte-identical to the uninterrupted run"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn old_generation_temporal_checkpoints_refuse_to_resume() {
+    // A checkpoint whose spec hash carries a different engine generation
+    // (here simulated by tampering the recorded hash) must be refused
+    // with a typed CheckpointMismatch, not silently merged.
+    let dir = std::env::temp_dir().join(format!("od_temporal_stale_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let checkpoint_path = dir.join("job.checkpoint.json");
+    let spec = temporal_spec(TemporalSchedule::Rewire, 2);
+    let options = RunOptions {
+        checkpoint_path: Some(checkpoint_path.clone()),
+        ..RunOptions::default()
+    };
+    run_job(&spec, &options).unwrap();
+
+    let mut checkpoint = Checkpoint::load(&checkpoint_path).unwrap().unwrap();
+    // An older engine generation would have hashed the same canonical
+    // JSON under a different tag — any hash difference must refuse.
+    checkpoint.spec_hash = format!("{}0", &checkpoint.spec_hash[..15]);
+    checkpoint.save(&checkpoint_path).unwrap();
+    match run_job(&spec, &options) {
+        Err(RuntimeError::CheckpointMismatch { found, expected }) => {
+            assert_ne!(found, expected);
+        }
+        other => panic!("stale checkpoint must be refused, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn degenerate_weight_schemes_are_typed_errors() {
+    // Zero-weight-only vertices must be caught by validation (statically
+    // knowable schemes) or graph construction (seed-dependent), never as
+    // an executor panic.
+    let all_zero = weighted_spec(WeightScheme::Uniform { value: 0 });
+    let err = all_zero.validate().err().expect("value 0 must be rejected");
+    assert!(err.to_string().contains("zero-weight"), "{err}");
+
+    let zero_max = weighted_spec(WeightScheme::Random { min: 0, max: 0 });
+    let err = zero_max.validate().err().expect("max 0 must be rejected");
+    assert!(err.to_string().contains("zero-weight"), "{err}");
+
+    let inverted = weighted_spec(WeightScheme::Random { min: 5, max: 2 });
+    let err = inverted
+        .validate()
+        .err()
+        .expect("min > max must be rejected");
+    assert!(err.to_string().contains("min"), "{err}");
+
+    // Weights on the implicit complete graph have no edge list to attach
+    // to.
+    let mut complete = graph_spec(GraphFamily::Complete);
+    complete.graph = Some(GraphSpec {
+        weights: Some(WeightsSpec {
+            scheme: WeightScheme::Uniform { value: 1 },
+            seed: None,
+        }),
+        ..complete.graph.unwrap()
+    });
+    assert!(complete.validate().is_err());
+
+    // min = 0 with a positive max is statically fine but a particular
+    // seed could still zero out some vertex's whole row; that surfaces
+    // as a typed error from the executor, not a panic. (On a d-regular
+    // graph with max 1 the chance of an all-zero row is (1/2)^8 per
+    // vertex — likely to hit at n = 200; accept either a clean run or
+    // the typed error.)
+    let risky = weighted_spec(WeightScheme::Random { min: 0, max: 1 });
+    match run_job_simple(&risky) {
+        Ok(report) => assert_eq!(report.summary.trials, 8),
+        Err(e) => assert!(e.to_string().contains("zero-weight"), "{e}"),
+    }
+}
+
+#[test]
+fn empty_and_malformed_temporal_schedules_are_typed_errors() {
+    let empty = temporal_spec(TemporalSchedule::Snapshots(vec![]), 2);
+    let err = empty.validate().err().expect("empty schedule must fail");
+    assert!(err.to_string().contains("at least one snapshot"), "{err}");
+
+    let zero_period = temporal_spec(TemporalSchedule::Rewire, 0);
+    let err = zero_period.validate().err().expect("period 0 must fail");
+    assert!(err.to_string().contains("period"), "{err}");
+
+    // Rewiring a family that can isolate vertices mid-run is rejected up
+    // front.
+    let mut bare_er = temporal_spec(TemporalSchedule::Rewire, 2);
+    bare_er.graph = Some(GraphSpec {
+        family: GraphFamily::ErdosRenyi {
+            p: 0.05,
+            backbone: false,
+        },
+        ..bare_er.graph.unwrap()
+    });
+    let err = bare_er.validate().err().expect("bare ER rewire must fail");
+    assert!(err.to_string().contains("backbone"), "{err}");
+
+    let mut star_rewire = temporal_spec(TemporalSchedule::Rewire, 2);
+    star_rewire.graph = Some(GraphSpec {
+        family: GraphFamily::Star,
+        ..star_rewire.graph.unwrap()
+    });
+    assert!(star_rewire.validate().is_err());
+
+    // Weighted + temporal is an explicit (unsupported) combination.
+    let mut combo = temporal_spec(TemporalSchedule::Rewire, 2);
+    combo.graph = Some(GraphSpec {
+        weights: Some(WeightsSpec {
+            scheme: WeightScheme::Uniform { value: 2 },
+            seed: None,
+        }),
+        ..combo.graph.unwrap()
+    });
+    assert!(combo.validate().is_err());
+
+    // A snapshot family infeasible at this n fails validation with its
+    // index in the message.
+    let bad_snapshot = temporal_spec(
+        TemporalSchedule::Snapshots(vec![GraphFamily::Torus2d {
+            width: 10,
+            height: 10,
+        }]),
+        2,
+    );
+    let err = bad_snapshot
+        .validate()
+        .err()
+        .expect("bad snapshot must fail");
+    assert!(err.to_string().contains("snapshots[0]"), "{err}");
+
+    // Misspelled temporal fields fail at parse time.
+    let text = r#"{
+        "protocol": {"name": "three-majority"},
+        "initial": {"kind": "balanced", "n": 100, "k": 4},
+        "trials": 2,
+        "master_seed": 1,
+        "graph": {"family": "cycle", "temporal": {"kind": "rewire", "periods": 5}}
+    }"#;
+    assert!(JobSpec::from_json_text(text).is_err());
+}
+
+#[test]
+fn community_assignments_validate_and_run() {
+    // per-block on the barbell: one opinion per clique — the classic
+    // metastable start; with a small cap every trial stalls.
+    let mut spec = graph_spec(GraphFamily::Barbell);
+    spec.initial = InitialSpec::Counts(vec![100, 100]);
+    spec.max_rounds = 60;
+    spec.trials = 3;
+    spec.graph = Some(GraphSpec {
+        assignment: OpinionAssignment::PerBlock(vec![0, 1]),
+        ..spec.graph.clone().unwrap()
+    });
+    let report = run_job_simple(&spec).unwrap();
+    assert_eq!(report.summary.capped, 3, "per-block barbell should stall");
+
+    // proportions on the SBM: a 90/10 vs 10/90 community mix runs clean.
+    let mut spec = graph_spec(GraphFamily::StochasticBlockModel {
+        p_in: 0.4,
+        p_out: 0.05,
+    });
+    spec.graph = Some(GraphSpec {
+        assignment: OpinionAssignment::Proportions(vec![vec![0.9, 0.1], vec![0.1, 0.9]]),
+        ..spec.graph.clone().unwrap()
+    });
+    let report = run_job_simple(&spec).unwrap();
+    assert_eq!(report.summary.trials, 8);
+
+    // Typed validation errors: wrong row count, wrong k, bad sums, and
+    // out-of-range per-block opinions.
+    let mut wrong_rows = spec.clone();
+    wrong_rows.graph = Some(GraphSpec {
+        assignment: OpinionAssignment::Proportions(vec![vec![0.5, 0.5]]),
+        ..wrong_rows.graph.unwrap()
+    });
+    let err = wrong_rows.validate().err().expect("1 row vs 2 communities");
+    assert!(err.to_string().contains("communities"), "{err}");
+
+    let mut wrong_k = spec.clone();
+    wrong_k.graph = Some(GraphSpec {
+        assignment: OpinionAssignment::Proportions(vec![vec![1.0], vec![1.0]]),
+        ..wrong_k.graph.unwrap()
+    });
+    assert!(wrong_k.validate().is_err());
+
+    let mut bad_sum = spec.clone();
+    bad_sum.graph = Some(GraphSpec {
+        assignment: OpinionAssignment::Proportions(vec![vec![0.9, 0.3], vec![0.5, 0.5]]),
+        ..bad_sum.graph.unwrap()
+    });
+    let err = bad_sum.validate().err().expect("rows must sum to 1");
+    assert!(err.to_string().contains("sums to"), "{err}");
+
+    let mut bad_opinion = spec.clone();
+    bad_opinion.graph = Some(GraphSpec {
+        assignment: OpinionAssignment::PerBlock(vec![0, 7]),
+        ..bad_opinion.graph.unwrap()
+    });
+    let err = bad_opinion.validate().err().expect("opinion 7 vs k = 2");
+    assert!(err.to_string().contains("7"), "{err}");
+
+    // block_mix without the proportions assignment is rejected at parse
+    // time.
+    let text = r#"{
+        "protocol": {"name": "three-majority"},
+        "initial": {"kind": "balanced", "n": 100, "k": 4},
+        "trials": 2,
+        "master_seed": 1,
+        "graph": {"family": "barbell", "block_mix": [[0.5, 0.5]]}
+    }"#;
+    assert!(JobSpec::from_json_text(text).is_err());
+}
+
 #[test]
 fn blocks_assignment_stalls_on_the_barbell() {
     // Two cliques, one bridge, one opinion per clique: 3-Majority cannot
@@ -326,9 +722,8 @@ fn blocks_assignment_stalls_on_the_barbell() {
         trials: 3,
         max_rounds: 60,
         graph: Some(GraphSpec {
-            family: GraphFamily::Barbell,
-            seed: None,
             assignment: OpinionAssignment::Blocks,
+            ..GraphSpec::new(GraphFamily::Barbell)
         }),
         ..graph_spec(GraphFamily::Barbell)
     };

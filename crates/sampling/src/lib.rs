@@ -15,7 +15,10 @@
 //! * [`math`] — `ln Γ`, `ln n!` and friends (Lanczos + Stirling);
 //! * [`seeds`] — reproducible seed-stream derivation (SplitMix64);
 //! * [`batched`] — bit-packed multi-sample bounded draws (three 21-bit
-//!   Lemire samples per RNG word) for the batched graph rounds.
+//!   Lemire samples per RNG word) for the batched graph rounds;
+//! * [`weighted`] — integer prefix-sum weighted neighbor selection on top
+//!   of the batched counter streams (binary-search production map plus a
+//!   linear-scan scalar reference for differential tests).
 //!
 //! # Examples
 //!
@@ -39,6 +42,7 @@ pub mod math;
 pub mod multinomial;
 pub mod normal;
 pub mod seeds;
+pub mod weighted;
 pub mod zipf;
 
 pub use alias::AliasTable;
@@ -48,3 +52,7 @@ pub use fenwick::FenwickSampler;
 pub use multinomial::{sample_multinomial, sample_multinomial_into};
 pub use normal::standard_normal;
 pub use seeds::{rng_at_cell, rng_for, CellRng, SeedStream};
+pub use weighted::{
+    fill_weighted_batched, inclusive_prefix_sums, resolve_weight_point, sample_weighted_index,
+    WeightedCellRng,
+};
