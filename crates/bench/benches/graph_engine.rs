@@ -13,8 +13,15 @@
 //! * `par_batched` — the same pipeline on rayon (bit-identical to
 //!   `seq_batched`, asserted here every run);
 //! * `seq_weighted` / `par_weighted` — the weighted pipeline (weight
-//!   points + prefix resolution) over seeded per-edge weights in
-//!   `[1, 8]` on the same topology, measuring the resolution overhead;
+//!   points + prefix binary-search resolution) over seeded per-edge
+//!   weights in `[1, 8]` on the same topology, measuring the resolution
+//!   overhead;
+//! * `seq_weighted_alias` — the same weighted pipeline resolving points
+//!   through the per-row alias bucket indexes (the engine default;
+//!   bit-identical to `seq_weighted`, asserted here every run). The
+//!   bench **fails** if alias resolution is slower than prefix search
+//!   on erdos-renyi at n ≥ 10⁴ — a within-binary, interleaved ratio, so
+//!   the codegen lottery between builds cannot fake a regression;
 //! * `seq_temporal` — the batched pipeline through a two-snapshot
 //!   periodic `TemporalGraph` switching every round (maximal
 //!   schedule-switching overhead).
@@ -29,7 +36,8 @@ use od_bench::rng_for;
 use od_core::protocol::ThreeMajority;
 use od_core::{GraphSimulation, RoundScratch, ScratchPool};
 use od_graphs::{
-    cycle, erdos_renyi, random_regular, torus_2d, CsrGraph, Graph, TemporalGraph, WeightedCsrGraph,
+    cycle, erdos_renyi, random_regular, torus_2d, CsrGraph, Graph, TemporalGraph, WeightResolver,
+    WeightedCsrGraph,
 };
 use od_sampling::seeds::derive_seed;
 use std::hint::black_box;
@@ -142,7 +150,9 @@ fn build_family_seeded(name: &str, n: usize, seed: u64) -> CsrGraph {
 
 fn main() {
     let quick = std::env::var("OD_BENCH_QUICK").is_ok();
-    let sizes: &[usize] = if quick { &[2_000] } else { &[10_000, 100_000] };
+    // Quick mode keeps n = 10^4 so the alias-vs-prefix gate below runs
+    // under CI's bench smoke, not only in full recorded runs.
+    let sizes: &[usize] = if quick { &[10_000] } else { &[10_000, 100_000] };
     let samples = if quick { 3 } else { 10 };
     // Both the effective rayon worker count and the raw detected core
     // count go into the metadata: on pinned/cgroup-limited CI hosts the
@@ -156,6 +166,9 @@ fn main() {
     println!("== bench group: graph_engine (one 3-Majority round) ==");
     let mut results: Vec<BenchRecord> = Vec::new();
     let mut er_speedup_at_100k: Option<f64> = None;
+    // (n, alias/prefix mean ratio, min ratio) on erdos-renyi — the
+    // gated series.
+    let mut er_alias_ratios: Vec<(usize, f64, f64)> = Vec::new();
 
     for &n in sizes {
         for family in ["erdos_renyi", "random_regular", "torus", "cycle"] {
@@ -165,15 +178,28 @@ fn main() {
             let sim = GraphSimulation::new(ThreeMajority, &graph);
             let src = initial.clone();
 
-            // Weighted companion graph: same topology, seeded per-edge
-            // weights in [1, 8] — isolates the cost of weight points +
-            // prefix resolution against the unweighted pipeline.
-            let weighted = WeightedCsrGraph::from_csr_with(graph.clone(), |u, v| {
+            // Weighted companion graphs: same topology, same seeded
+            // per-edge weights in [1, 8], one per resolution strategy —
+            // isolating the cost of the point resolution itself against
+            // both the unweighted pipeline and the other resolver.
+            let weight = |u: usize, v: usize| {
                 let pair = ((u.min(v) as u64) << 32) | u.max(v) as u64;
                 (derive_seed(0x5EED_BE7C4, pair) % 8) as u32 + 1
-            })
+            };
+            let weighted = WeightedCsrGraph::from_csr_with_resolver(
+                graph.clone(),
+                weight,
+                WeightResolver::Prefix,
+            )
+            .expect("bench families have no isolated vertices");
+            let weighted_alias = WeightedCsrGraph::from_csr_with_resolver(
+                graph.clone(),
+                weight,
+                WeightResolver::Alias,
+            )
             .expect("bench families have no isolated vertices");
             let wsim = GraphSimulation::new(ThreeMajority, &weighted);
+            let wsim_alias = GraphSimulation::new(ThreeMajority, &weighted_alias);
             // Temporal companion: two snapshots of the same family
             // switching every round — the maximal-churn schedule.
             let alt = build_family_seeded(family, n, 0xA17E7);
@@ -193,6 +219,8 @@ fn main() {
                 wsim.step_seq_weighted(7, 0, &src, &mut dst, &mut RoundScratch::new());
                 wsim.step_par_weighted(7, 0, &src, &mut other, &ScratchPool::new());
                 assert_eq!(dst, other, "parallel weighted round diverged");
+                wsim_alias.step_seq_weighted(7, 0, &src, &mut other, &mut RoundScratch::new());
+                assert_eq!(dst, other, "alias resolution diverged from prefix search");
             }
 
             // All six engines are timed with their samples interleaved,
@@ -208,11 +236,13 @@ fn main() {
             let (mut dst_sb, mut round_sb) = (vec![0u32; n], 0u64);
             let (mut dst_pb, mut round_pb) = (vec![0u32; n], 0u64);
             let (mut dst_sw, mut round_sw) = (vec![0u32; n], 0u64);
+            let (mut dst_sa, mut round_sa) = (vec![0u32; n], 0u64);
             let (mut dst_pw, mut round_pw) = (vec![0u32; n], 0u64);
             let (mut dst_st, mut round_st) = (vec![0u32; n], 0u64);
             let mut scratch = RoundScratch::new();
             let pool = ScratchPool::new();
             let mut scratch_w = RoundScratch::new();
+            let mut scratch_a = RoundScratch::new();
             let pool_w = ScratchPool::new();
             let mut scratch_t = RoundScratch::new();
             let mut tview = schedule.view();
@@ -286,6 +316,22 @@ fn main() {
                         }),
                     ),
                     (
+                        // The same weighted pipeline resolving through
+                        // the per-row alias bucket indexes.
+                        id("seq_weighted_alias"),
+                        Box::new(|| {
+                            wsim_alias.step_seq_weighted(
+                                7,
+                                round_sa,
+                                &src,
+                                &mut dst_sa,
+                                &mut scratch_a,
+                            );
+                            round_sa += 1;
+                            black_box(&dst_sa);
+                        }),
+                    ),
+                    (
                         id("par_weighted"),
                         Box::new(|| {
                             wsim.step_par_weighted(7, round_pw, &src, &mut dst_pw, &pool_w);
@@ -317,7 +363,20 @@ fn main() {
             let batched_over_seq = mean_of("seq") / mean_of("seq_batched");
             let batched_over_old = mean_of("old") / mean_of("seq_batched");
             let parallel_speedup = mean_of("old") / mean_of("par_batched");
+            let min_of = |engine: &str| {
+                family_results
+                    .iter()
+                    .find(|r| r.id == id(engine))
+                    .expect("measured engine")
+                    .min_ns
+            };
             let weighted_overhead = mean_of("seq_weighted") / mean_of("seq_batched");
+            let alias_overhead = mean_of("seq_weighted_alias") / mean_of("seq_batched");
+            let alias_over_prefix = mean_of("seq_weighted_alias") / mean_of("seq_weighted");
+            // The gated statistic uses minima: on a shared host, noise
+            // only ever adds time, so the min over interleaved samples is
+            // far more robust than the mean at small sample counts.
+            let alias_over_prefix_min = min_of("seq_weighted_alias") / min_of("seq_weighted");
             let temporal_overhead = mean_of("seq_temporal") / mean_of("seq_batched");
             println!(
                 "  {family}/n={n}: old/seq = {single_thread_speedup:.2}x, \
@@ -325,10 +384,15 @@ fn main() {
                  old/seq_batched = {batched_over_old:.2}x, \
                  old/par_batched = {parallel_speedup:.2}x, \
                  weighted/batched = {weighted_overhead:.2}x, \
+                 alias/batched = {alias_overhead:.2}x, \
+                 alias/prefix = {alias_over_prefix:.2}x, \
                  temporal/batched = {temporal_overhead:.2}x ({threads} threads)"
             );
             if family == "erdos_renyi" && n == 100_000 {
                 er_speedup_at_100k = Some(batched_over_seq);
+            }
+            if family == "erdos_renyi" {
+                er_alias_ratios.push((n, alias_over_prefix, alias_over_prefix_min));
             }
             results.extend(family_results);
         }
@@ -342,15 +406,48 @@ fn main() {
         },
         PathBuf::from,
     );
-    let meta = vec![
+    let mut meta = vec![
         ("threads", threads.to_string()),
         ("host_cores", host_cores.to_string()),
         ("protocol", "three-majority".to_string()),
         ("quick", quick.to_string()),
     ];
+    let ratio_10k = er_alias_ratios
+        .iter()
+        .find(|&&(n, _, _)| n == 10_000)
+        .map(|&(_, r, _)| r);
+    let ratio_100k = er_alias_ratios
+        .iter()
+        .find(|&&(n, _, _)| n == 100_000)
+        .map(|&(_, r, _)| r);
+    let min_ratio_10k = er_alias_ratios
+        .iter()
+        .find(|&&(n, _, _)| n == 10_000)
+        .map(|&(_, _, r)| r);
+    if let Some(r) = ratio_10k {
+        meta.push(("alias_over_prefix_er_n10000", format!("{r:.4}")));
+    }
+    if let Some(r) = ratio_100k {
+        meta.push(("alias_over_prefix_er_n100000", format!("{r:.4}")));
+    }
     write_json(&out_path, "graph_engine", &meta, &results).expect("writing bench output");
     println!("wrote {}", out_path.display());
     if let Some(speedup) = er_speedup_at_100k {
         println!("seq/seq_batched speedup at erdos_renyi n=100000: {speedup:.2}x");
+    }
+    // The in-binary alias gate: within this binary, samples interleaved,
+    // alias resolution must not be slower than the prefix binary search
+    // on erdos-renyi at n = 10^4 (and is reported at 10^5 in full runs).
+    // The gate compares per-sample minima (noise on a shared host only
+    // adds time, so minima are stable even at quick-mode sample counts)
+    // with a 2% epsilon for timer granularity, and runs after the JSON
+    // is written so a failing run still leaves the artifact.
+    if let Some(r) = min_ratio_10k {
+        assert!(
+            r <= 1.02,
+            "alias resolution regressed: min(seq_weighted_alias)/min(seq_weighted) = \
+             {r:.3} > 1.02 on erdos_renyi at n = 10000 (within-binary interleaved ratio)"
+        );
+        println!("alias gate passed: min-ratio alias/prefix = {r:.3} at erdos_renyi n=10000");
     }
 }

@@ -62,7 +62,7 @@
 use crate::config::OpinionCounts;
 use crate::engine::StopReason;
 use crate::protocol::{tally, GraphProtocol, OpinionSource, SyncProtocol};
-use od_graphs::{Graph, TemporalGraph, WeightedGraph};
+use od_graphs::{Graph, TemporalGraph, WeightedGraph, WeightedTemporalGraph};
 use od_sampling::batched::{
     fill_packed, fill_wide, packed_threshold, ThresholdMemo, MAX_PACKED_RANGE,
 };
@@ -1107,6 +1107,150 @@ impl<P: GraphProtocol + Sync> TemporalSimulation<'_, P> {
     }
 }
 
+/// Synchronous dynamics on a **weighted temporal** graph — the combined
+/// scenario: each round `r` runs the weighted batched three-pass
+/// pipeline on the [`od_graphs::WeightedCsrGraph`] snapshot a
+/// [`WeightedTemporalGraph`] schedules for `r`, so both the edge set
+/// *and* the weight rows (hence the point ranges `W_v` and the
+/// point → index maps) follow the schedule.
+///
+/// All determinism guarantees compose: the snapshot in force is a pure
+/// function of the round, the per-cell point stream is a pure function
+/// of `(trial_seed, round, vertex)`, and the resolution map is a pure
+/// function of the snapshot's weight rows — so sequential, sharded, and
+/// rayon execution at any thread count are bit-identical, exactly as
+/// for [`TemporalSimulation`] and the static weighted engine.
+///
+/// # Examples
+///
+/// ```
+/// use od_core::{protocol::ThreeMajority, WeightedTemporalSimulation};
+/// use od_graphs::{cycle, star, WeightedCsrGraph, WeightedTemporalGraph};
+/// let snapshots = vec![
+///     WeightedCsrGraph::from_csr_uniform(star(60), 3).unwrap(),
+///     WeightedCsrGraph::from_csr_with(cycle(60), |u, v| (u + v + 1) as u32).unwrap(),
+/// ];
+/// let schedule = WeightedTemporalGraph::periodic(snapshots, 4).unwrap();
+/// let sim = WeightedTemporalSimulation::new(ThreeMajority, &schedule).with_max_rounds(5_000);
+/// let initial: Vec<u32> = (0..60).map(|v| u32::from(v >= 40)).collect();
+/// let out = sim.run_weighted(&initial, 7);
+/// assert_eq!(out, sim.run_weighted_par(&initial, 7)); // bit-identical
+/// ```
+#[derive(Debug)]
+pub struct WeightedTemporalSimulation<'a, P> {
+    protocol: P,
+    graph: &'a WeightedTemporalGraph,
+    max_rounds: u64,
+}
+
+impl<'a, P> WeightedTemporalSimulation<'a, P> {
+    /// Creates a simulation of `protocol` over the weighted temporal
+    /// `graph`.
+    #[must_use]
+    pub fn new(protocol: P, graph: &'a WeightedTemporalGraph) -> Self {
+        Self {
+            protocol,
+            graph,
+            max_rounds: DEFAULT_MAX_ROUNDS,
+        }
+    }
+
+    /// Sets the round cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_rounds == 0`.
+    #[must_use]
+    pub fn with_max_rounds(mut self, max_rounds: u64) -> Self {
+        assert!(max_rounds > 0, "with_max_rounds: cap must be positive");
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// The underlying schedule.
+    #[must_use]
+    pub fn graph(&self) -> &WeightedTemporalGraph {
+        self.graph
+    }
+}
+
+impl<P: GraphProtocol> WeightedTemporalSimulation<'_, P> {
+    /// Runs the weighted pipeline over the schedule from `initial`
+    /// until consensus or the round cap, reusing one [`RoundScratch`]
+    /// across rounds and snapshots. Bit-identical to
+    /// [`WeightedTemporalSimulation::run_weighted_par`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is empty or `initial.len() != graph.n()`.
+    #[must_use]
+    pub fn run_weighted(&self, initial: &[u32], trial_seed: u64) -> GraphRunOutcome {
+        self.run_weighted_until(initial, trial_seed, |_, _| false)
+    }
+
+    /// Like [`WeightedTemporalSimulation::run_weighted`], but also
+    /// stops (with [`StopReason::Predicate`]) as soon as
+    /// `stop(round, opinions)` holds. Check order matches
+    /// [`GraphSimulation::run_batched_until`].
+    ///
+    /// # Panics
+    ///
+    /// As [`WeightedTemporalSimulation::run_weighted`].
+    #[must_use]
+    pub fn run_weighted_until(
+        &self,
+        initial: &[u32],
+        trial_seed: u64,
+        stop: impl FnMut(u64, &[u32]) -> bool,
+    ) -> GraphRunOutcome {
+        let mut view = self.graph.view();
+        let mut scratch = RoundScratch::new();
+        run_buffered_dynamics(
+            self.graph.n(),
+            self.max_rounds,
+            initial,
+            stop,
+            |round, src, dst| {
+                GraphSimulation::new(&self.protocol, view.at_round(round)).step_seq_weighted(
+                    trial_seed,
+                    round,
+                    src,
+                    dst,
+                    &mut scratch,
+                );
+            },
+        )
+    }
+}
+
+impl<P: GraphProtocol + Sync> WeightedTemporalSimulation<'_, P> {
+    /// Runs the weighted pipeline over the schedule with rayon-parallel
+    /// rounds, drawing scratch buffers from a [`ScratchPool`].
+    /// Bit-identical to [`WeightedTemporalSimulation::run_weighted`]:
+    /// snapshot resolution happens once per round on the coordinating
+    /// thread, and the weighted parallel round step is
+    /// partition-invariant.
+    ///
+    /// # Panics
+    ///
+    /// As [`WeightedTemporalSimulation::run_weighted`].
+    #[must_use]
+    pub fn run_weighted_par(&self, initial: &[u32], trial_seed: u64) -> GraphRunOutcome {
+        let mut view = self.graph.view();
+        let pool = ScratchPool::new();
+        run_buffered_dynamics(
+            self.graph.n(),
+            self.max_rounds,
+            initial,
+            |_, _| false,
+            |round, src, dst| {
+                GraphSimulation::new(&self.protocol, view.at_round(round))
+                    .step_par_weighted(trial_seed, round, src, dst, &pool);
+            },
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1376,6 +1520,101 @@ mod tests {
             frac > 0.99,
             "vertex 0 copied its heavy neighbor only {frac}"
         );
+    }
+
+    #[test]
+    fn alias_and_prefix_resolvers_run_bit_identical_rounds() {
+        // The resolution strategy is a pure post-processing choice: whole
+        // weighted rounds must agree bit-for-bit between the alias-index
+        // and prefix-search (u32 and u16) backed graphs.
+        use od_graphs::{WeightResolver, WeightedCsrGraph};
+        let mut rng = rng_for(194, 0);
+        let csr = random_regular(800, 8, &mut rng).unwrap();
+        let weight = |u: usize, v: usize| ((u * 31 + v * 7) % 13 + 1) as u32;
+        let alias =
+            WeightedCsrGraph::from_csr_with_resolver(csr.clone(), weight, WeightResolver::Alias)
+                .unwrap();
+        let prefix =
+            WeightedCsrGraph::from_csr_with_resolver(csr.clone(), weight, WeightResolver::Prefix)
+                .unwrap();
+        let prefix16 =
+            WeightedCsrGraph::from_csr_with_resolver(csr, weight, WeightResolver::PrefixU16)
+                .unwrap();
+        let initial: Vec<u32> = (0..800).map(|v| (v % 6) as u32).collect();
+        let a = GraphSimulation::new(ThreeMajority, &alias).run_weighted(&initial, 55);
+        let b = GraphSimulation::new(ThreeMajority, &prefix).run_weighted(&initial, 55);
+        let c = GraphSimulation::new(ThreeMajority, &prefix16).run_weighted(&initial, 55);
+        assert_eq!(a, b, "alias vs u32 prefix diverged");
+        assert_eq!(a, c, "alias vs u16 prefix diverged");
+    }
+
+    #[test]
+    fn weighted_temporal_unit_weights_match_the_unweighted_schedule() {
+        // All-one weighted snapshots must reproduce the plain temporal
+        // engine bit-for-bit — the combined scenario's anchor to the
+        // existing engines.
+        use od_graphs::{TemporalGraph, WeightedCsrGraph, WeightedTemporalGraph};
+        let mut rng = rng_for(195, 0);
+        let snap_a = random_regular(300, 6, &mut rng).unwrap();
+        let snap_b = cycle(300);
+        let plain = TemporalGraph::periodic(vec![snap_a.clone(), snap_b.clone()], 2).unwrap();
+        let weighted = WeightedTemporalGraph::periodic(
+            vec![
+                WeightedCsrGraph::from_csr_uniform(snap_a, 1).unwrap(),
+                WeightedCsrGraph::from_csr_uniform(snap_b, 1).unwrap(),
+            ],
+            2,
+        )
+        .unwrap();
+        let initial: Vec<u32> = (0..300).map(|v| u32::from(v >= 210)).collect();
+        let p = TemporalSimulation::new(ThreeMajority, &plain)
+            .with_max_rounds(5_000)
+            .run_batched(&initial, 42);
+        let w = WeightedTemporalSimulation::new(ThreeMajority, &weighted)
+            .with_max_rounds(5_000)
+            .run_weighted(&initial, 42);
+        assert_eq!(p, w);
+    }
+
+    #[test]
+    fn weighted_temporal_par_matches_seq_and_stops_on_predicate() {
+        use od_graphs::{WeightedCsrGraph, WeightedTemporalGraph};
+        let mut rng = rng_for(196, 0);
+        let weight = |u: usize, v: usize| ((u * 13 + v * 5) % 9 + 1) as u32;
+        let snapshots = vec![
+            WeightedCsrGraph::from_csr_with(random_regular(200, 6, &mut rng).unwrap(), weight)
+                .unwrap(),
+            WeightedCsrGraph::from_csr_with(cycle(200), weight).unwrap(),
+        ];
+        let schedule = WeightedTemporalGraph::periodic(snapshots, 3).unwrap();
+        let sim = WeightedTemporalSimulation::new(ThreeMajority, &schedule).with_max_rounds(5_000);
+        let initial: Vec<u32> = (0..200).map(|v| u32::from(v >= 140)).collect();
+        let a = sim.run_weighted(&initial, 42);
+        let b = sim.run_weighted(&initial, 42);
+        let c = sim.run_weighted_par(&initial, 42);
+        assert_eq!(a, b, "weighted temporal runs must be reproducible");
+        assert_eq!(a, c, "parallel weighted temporal run must match sequential");
+        let stopped = sim.run_weighted_until(&initial, 5, |round, _| round >= 3);
+        assert_eq!(stopped.reason, StopReason::Predicate);
+        assert_eq!(stopped.rounds, 3);
+    }
+
+    #[test]
+    fn weighted_temporal_rewiring_is_reproducible() {
+        use od_graphs::{WeightedCsrGraph, WeightedTemporalGraph};
+        use od_sampling::seeds::derive_seed;
+        let n = 120usize;
+        let make = move |epoch: u64| {
+            let mut rng = rng_for(derive_seed(78, epoch), 0);
+            let csr = random_regular(n, 6, &mut rng).unwrap();
+            WeightedCsrGraph::from_csr_with(csr, |u, v| ((u ^ v) % 7 + 1) as u32).unwrap()
+        };
+        let schedule = WeightedTemporalGraph::rewiring(n, make, 2).unwrap();
+        let sim = WeightedTemporalSimulation::new(ThreeMajority, &schedule).with_max_rounds(2_000);
+        let initial: Vec<u32> = (0..n).map(|v| u32::from(v >= 84)).collect();
+        let a = sim.run_weighted(&initial, 11);
+        let b = sim.run_weighted(&initial, 11);
+        assert_eq!(a, b, "rewired weighted runs must be reproducible");
     }
 
     #[test]

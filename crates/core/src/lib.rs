@@ -62,6 +62,7 @@ pub use engine::{RunOutcome, Simulation, StopReason};
 pub use error::{ConfigError, Error};
 pub use graph_dynamics::{
     GraphRunOutcome, GraphSimulation, RoundScratch, ScratchPool, TemporalSimulation,
+    WeightedTemporalSimulation,
 };
 pub use observer::Observer;
 pub use registry::{

@@ -14,10 +14,13 @@ use od_core::protocol::{
     GraphProtocol, HMajority, MedianRule, Noisy, StepScratch, SyncProtocol, ThreeMajority,
     TwoChoices, UndecidedDynamics, Voter,
 };
-use od_core::{GraphSimulation, OpinionCounts, RoundScratch, TemporalSimulation};
+use od_core::{
+    GraphSimulation, OpinionCounts, RoundScratch, TemporalSimulation, WeightedTemporalSimulation,
+};
 use od_graphs::{
-    barbell, core_periphery, cycle, erdos_renyi, random_regular, star, stochastic_block_model,
-    torus_2d, CompleteWithSelfLoops, CsrGraph, Graph, TemporalGraph, WeightedCsrGraph,
+    barbell, core_periphery, cycle, erdos_renyi, random_regular, repair_isolated, star,
+    stochastic_block_model, torus_2d, CompleteWithSelfLoops, CsrGraph, Graph, TemporalGraph,
+    WeightResolver, WeightedCsrGraph, WeightedTemporalGraph,
 };
 use od_sampling::rng_for;
 use od_sampling::seeds::derive_seed;
@@ -215,6 +218,86 @@ where
     }
 }
 
+/// Asserts a **weighted temporal** schedule runs bit-identically under
+/// sequential and rayon-parallel execution, and that manual per-round
+/// snapshot resolution + explicit shard partitions reproduce the
+/// sequential rounds across epoch boundaries — the combined mirror of
+/// [`check_temporal_schedules`].
+fn check_weighted_temporal_schedules<P>(
+    protocol: P,
+    schedule: &WeightedTemporalGraph,
+    k: u32,
+    trial_seed: u64,
+) where
+    P: GraphProtocol + Sync,
+{
+    let n = schedule.n();
+    let initial: Vec<u32> = (0..n).map(|v| (v as u32) % k).collect();
+    let sim = WeightedTemporalSimulation::new(&protocol, schedule).with_max_rounds(40);
+    let seq = sim.run_weighted(&initial, trial_seed);
+    let par = sim.run_weighted_par(&initial, trial_seed);
+    assert_eq!(seq, par, "weighted temporal par != seq on {n} vertices");
+
+    let mut view = schedule.view();
+    let mut reference = vec![0u32; n];
+    let mut scratch = RoundScratch::new();
+    let mut src = initial;
+    for round in 0..6 {
+        // Spans two epochs for any period <= 3.
+        let graph = view.at_round(round);
+        let round_sim = GraphSimulation::new(&protocol, graph);
+        round_sim.step_seq_weighted(trial_seed, round, &src, &mut reference, &mut scratch);
+        for threads in [1usize, 2, 4, 8] {
+            let mut sharded = vec![0u32; n];
+            let shard_len = n.div_ceil(threads);
+            let mut start = 0usize;
+            while start < n {
+                let end = (start + shard_len).min(n);
+                let mut shard_scratch = RoundScratch::new();
+                round_sim.step_weighted_shard(
+                    trial_seed,
+                    round,
+                    start,
+                    &src,
+                    &mut sharded[start..end],
+                    &mut shard_scratch,
+                );
+                start = end;
+            }
+            assert_eq!(
+                reference, sharded,
+                "weighted temporal round {round}: {threads}-thread partition diverged"
+            );
+        }
+        src.copy_from_slice(&reference);
+    }
+}
+
+/// Runs the weighted-temporal check for every registered protocol.
+fn check_all_protocols_weighted_temporal(
+    schedule: &WeightedTemporalGraph,
+    k: u32,
+    trial_seed: u64,
+) {
+    check_weighted_temporal_schedules(ThreeMajority, schedule, k, trial_seed);
+    check_weighted_temporal_schedules(TwoChoices, schedule, k, trial_seed);
+    check_weighted_temporal_schedules(Voter, schedule, k, trial_seed);
+    check_weighted_temporal_schedules(MedianRule, schedule, k, trial_seed);
+    check_weighted_temporal_schedules(HMajority::new(5).unwrap(), schedule, k, trial_seed);
+    check_weighted_temporal_schedules(
+        UndecidedDynamics::new(k as usize),
+        schedule,
+        k + 1,
+        trial_seed,
+    );
+    check_weighted_temporal_schedules(
+        Noisy::new(ThreeMajority, 0.1, k as usize).unwrap(),
+        schedule,
+        k,
+        trial_seed,
+    );
+}
+
 /// Runs the weighted-schedule check for every registered protocol.
 fn check_all_protocols_weighted(graph: &WeightedCsrGraph, k: u32, trial_seed: u64) {
     check_weighted_schedules(ThreeMajority, graph, k, trial_seed);
@@ -332,13 +415,73 @@ proptest! {
             // Seeded, symmetric, per-pair pseudo-random weights in
             // [1, 16] — irregular rows exercise the per-vertex
             // threshold path; the +1 floor keeps every row positive.
-            let weighted = WeightedCsrGraph::from_csr_with(graph, |u, v| {
+            let weight = |u: usize, v: usize| {
                 let pair = ((u.min(v) as u64) << 32) | u.max(v) as u64;
                 (derive_seed(graph_seed, pair) % 16) as u32 + 1
-            })
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+            };
+            let weighted = WeightedCsrGraph::from_csr_with(graph.clone(), weight)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
             check_all_protocols_weighted(&weighted, k, trial_seed);
+            // The resolution strategy is a pure post-processing choice:
+            // a prefix-search-backed graph must run bit-identical whole
+            // trials to the alias-backed default.
+            let prefix = WeightedCsrGraph::from_csr_with_resolver(
+                graph, weight, WeightResolver::Prefix,
+            )
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let initial: Vec<u32> = (0..prefix.n()).map(|v| (v as u32) % k).collect();
+            let via_alias = GraphSimulation::new(ThreeMajority, &weighted)
+                .with_max_rounds(40)
+                .run_weighted(&initial, trial_seed);
+            let via_prefix = GraphSimulation::new(ThreeMajority, &prefix)
+                .with_max_rounds(40)
+                .run_weighted(&initial, trial_seed);
+            prop_assert!(via_alias == via_prefix, "{name}: alias vs prefix diverged");
         }
+    }
+
+    #[test]
+    fn weighted_temporal_schedules_are_invariant_everywhere(
+        n in 16usize..64,
+        k in 2u32..6,
+        trial_seed in 0u64..10_000,
+        graph_seed in 0u64..1_000,
+        period in 1u64..4,
+    ) {
+        // Periodic weighted snapshots (each with its own weight rows)
+        // and a seeded weighted rewiring schedule over *repaired* sparse
+        // ER epochs — the families the runtime's rewire repair pass
+        // unlocked — checked for every protocol.
+        let weight = move |u: usize, v: usize| {
+            let pair = ((u.min(v) as u64) << 32) | u.max(v) as u64;
+            (derive_seed(graph_seed, pair) % 16) as u32 + 1
+        };
+        let families = generated_families(n, graph_seed);
+        let base_n = families[0].1.n();
+        let snapshots: Vec<WeightedCsrGraph> = families
+            .into_iter()
+            .filter(|(_, g)| g.n() == base_n && g.has_no_isolated_vertices())
+            .map(|(_, g)| WeightedCsrGraph::from_csr_with(g, weight).unwrap())
+            .take(3)
+            .collect();
+        let periodic = WeightedTemporalGraph::periodic(snapshots, period).unwrap();
+        check_all_protocols_weighted_temporal(&periodic, k, trial_seed);
+
+        let m = base_n.max(8);
+        let rewiring = WeightedTemporalGraph::rewiring(
+            m,
+            move |epoch| {
+                let mut rng = rng_for(derive_seed(graph_seed, epoch), 0);
+                // Sparse enough to isolate vertices regularly: the
+                // deterministic repair pass must keep every epoch both
+                // sampleable and schedule-invariant.
+                let sparse = erdos_renyi(m, 1.5 / m as f64, &mut rng).unwrap();
+                WeightedCsrGraph::from_csr_with(repair_isolated(sparse), weight).unwrap()
+            },
+            period,
+        )
+        .unwrap();
+        check_all_protocols_weighted_temporal(&rewiring, k, trial_seed);
     }
 
     #[test]

@@ -30,13 +30,18 @@ mod weighted;
 
 pub use complete::CompleteWithSelfLoops;
 pub use csr::CsrGraph;
-pub use temporal::{TemporalBuildError, TemporalGraph, TemporalView};
-pub use weighted::{WeightedCsrGraph, WeightedGraph, WeightedGraphError};
+pub use temporal::{
+    TemporalBuildError, TemporalGraph, TemporalGraphOf, TemporalView, TemporalViewOf,
+    WeightedTemporalGraph, WeightedTemporalView,
+};
+pub use weighted::{WeightResolver, WeightedCsrGraph, WeightedGraph, WeightedGraphError};
 
 /// The former adjacency-list graph, now an alias of the canonical CSR
 /// representation every generator lowers into.
 pub type AdjacencyGraph = CsrGraph;
-pub use random_graphs::{erdos_renyi, random_regular, stochastic_block_model, GraphBuildError};
+pub use random_graphs::{
+    erdos_renyi, random_regular, repair_isolated, stochastic_block_model, GraphBuildError,
+};
 pub use structured::{barbell, core_periphery, cycle, star, torus_2d};
 
 use rand::Rng;

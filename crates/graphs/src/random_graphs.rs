@@ -1,7 +1,7 @@
 //! Random graph generators: Erdős–Rényi, random regular (expanders with
 //! high probability), and the stochastic block model.
 
-use crate::{AdjacencyGraph, Vertex};
+use crate::{AdjacencyGraph, Graph, Vertex};
 use rand::Rng;
 use std::fmt;
 
@@ -248,6 +248,47 @@ pub fn stochastic_block_model<R: Rng + ?Sized>(
     Ok(AdjacencyGraph::from_edges(n, &edges))
 }
 
+/// Repairs isolated vertices of a generated graph deterministically: for
+/// every degree-0 vertex `v`, the ring edge `{v, (v + 1) mod n}` is
+/// added (so both endpoints end with positive degree even when runs of
+/// consecutive vertices are isolated). A graph with no isolated vertices
+/// is returned unchanged — byte-identical, no rebuild — so applying the
+/// pass to families that never isolate (ER + backbone, random-regular)
+/// does not perturb their sample paths.
+///
+/// The repair is a pure function of the input graph, which keeps
+/// rewired temporal epochs a pure function of their epoch seed: the
+/// schedule-invariance guarantees of the engines carry over to repaired
+/// families.
+///
+/// # Panics
+///
+/// Panics if the graph has fewer than 2 vertices (there is no distinct
+/// ring neighbor to attach).
+#[must_use]
+pub fn repair_isolated(graph: AdjacencyGraph) -> AdjacencyGraph {
+    if graph.has_no_isolated_vertices() {
+        return graph;
+    }
+    let n = graph.n();
+    assert!(n >= 2, "repair_isolated: need at least 2 vertices");
+    let mut edges: Vec<(Vertex, Vertex)> = Vec::with_capacity(graph.edge_count() + 4);
+    for v in 0..n {
+        for w in graph.neighbors(v) {
+            if v <= w {
+                edges.push((v, w));
+            }
+        }
+    }
+    for v in 0..n {
+        if graph.degree(v) == 0 {
+            let w = (v + 1) % n;
+            edges.push((v.min(w), v.max(w)));
+        }
+    }
+    AdjacencyGraph::from_edges(n, &edges)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -349,5 +390,46 @@ mod tests {
     fn error_display_is_informative() {
         let e = GraphBuildError::InfeasibleRegular { n: 5, d: 3 };
         assert!(e.to_string().contains("3-regular"));
+    }
+
+    #[test]
+    fn repair_isolated_attaches_every_degree_zero_vertex() {
+        // Vertices 2, 3, 4 isolated (a consecutive run) plus isolated 0.
+        let g = AdjacencyGraph::from_edges(6, &[(1, 5)]);
+        let repaired = repair_isolated(g);
+        assert!(repaired.has_no_isolated_vertices());
+        // Ring edges {0,1}, {2,3}, {3,4}, {4,5} were added.
+        assert!(repaired.has_edge(0, 1));
+        assert!(repaired.has_edge(2, 3));
+        assert!(repaired.has_edge(3, 4));
+        assert!(repaired.has_edge(4, 5));
+        assert!(repaired.has_edge(1, 5), "original edges are kept");
+    }
+
+    #[test]
+    fn repair_isolated_is_a_noop_on_clean_graphs() {
+        let mut rng = rng_for(76, 0);
+        let g = random_regular(30, 4, &mut rng).unwrap();
+        let repaired = repair_isolated(g.clone());
+        assert_eq!(repaired, g, "clean graphs must pass through untouched");
+    }
+
+    #[test]
+    fn repair_isolated_handles_the_last_vertex_wrapping() {
+        let g = AdjacencyGraph::from_edges(4, &[(1, 2)]);
+        let repaired = repair_isolated(g);
+        assert!(repaired.has_no_isolated_vertices());
+        assert!(repaired.has_edge(0, 1)); // vertex 0 → ring forward
+        assert!(repaired.has_edge(0, 3)); // vertex 3 wraps to 0
+    }
+
+    #[test]
+    fn repair_isolated_is_deterministic() {
+        let mut rng = rng_for(77, 0);
+        let sparse = erdos_renyi(40, 0.02, &mut rng).unwrap();
+        let a = repair_isolated(sparse.clone());
+        let b = repair_isolated(sparse);
+        assert_eq!(a, b);
+        assert!(a.has_no_isolated_vertices());
     }
 }

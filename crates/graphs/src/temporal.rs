@@ -1,8 +1,8 @@
 //! Temporal (dynamic) graphs: round-indexed edge schedules.
 //!
-//! A [`TemporalGraph`] maps every round `r` to a [`CsrGraph`] through a
-//! *schedule*: rounds group into **epochs** of `period` rounds
-//! (`epoch = r / period`), and each epoch resolves one snapshot:
+//! A schedule maps every round `r` to a graph: rounds group into
+//! **epochs** of `period` rounds (`epoch = r / period`), and each epoch
+//! resolves one snapshot:
 //!
 //! * **Periodic** — a prebuilt snapshot list, cycled
 //!   (`snapshots[epoch % len]`). Switching costs nothing: the borrowed
@@ -10,20 +10,28 @@
 //! * **Rewiring** — a generator closure invoked per epoch
 //!   (`generator(epoch)`), for seeded per-round (or per-`period`-rounds)
 //!   edge rewiring. The generated snapshot is cached for the duration of
-//!   its epoch by the [`TemporalView`] stepping through it.
+//!   its epoch by the view stepping through it.
+//!
+//! The machinery is generic over the snapshot type
+//! ([`TemporalGraphOf`]): [`TemporalGraph`] schedules plain
+//! [`CsrGraph`] snapshots, [`WeightedTemporalGraph`] schedules
+//! [`WeightedCsrGraph`] snapshots — each entry carrying its own edge
+//! set *and* its own weight rows, which is what the combined
+//! weighted × temporal scenario runs on.
 //!
 //! The schedule is a **pure function of the round** (the generator must
 //! be deterministic in its epoch argument), so any partition of a round
 //! across threads or shards sees the same graph, and the simulation
 //! engines' bit-identity guarantees carry over unchanged. Each trial
-//! steps its own [`TemporalView`], so concurrent trials at different
-//! rounds never contend.
+//! steps its own view, so concurrent trials at different rounds never
+//! contend.
 
 use crate::csr::CsrGraph;
+use crate::weighted::WeightedCsrGraph;
 use crate::Graph;
 use std::fmt;
 
-/// Error constructing a [`TemporalGraph`].
+/// Error constructing a temporal schedule.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TemporalBuildError {
     /// The snapshot list is empty — the schedule has no graph to serve.
@@ -61,14 +69,14 @@ impl fmt::Display for TemporalBuildError {
 impl std::error::Error for TemporalBuildError {}
 
 /// The epoch → snapshot resolution strategy.
-enum Schedule {
+enum Schedule<G> {
     /// Prebuilt snapshots, cycled by epoch.
-    Periodic(Vec<CsrGraph>),
+    Periodic(Vec<G>),
     /// A deterministic per-epoch generator (seeded rewiring).
-    Rewiring(Box<dyn Fn(u64) -> CsrGraph + Send + Sync>),
+    Rewiring(Box<dyn Fn(u64) -> G + Send + Sync>),
 }
 
-impl fmt::Debug for Schedule {
+impl<G> fmt::Debug for Schedule<G> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::Periodic(snaps) => f
@@ -80,7 +88,9 @@ impl fmt::Debug for Schedule {
     }
 }
 
-/// A round-indexed edge schedule over a fixed vertex set.
+/// A round-indexed edge schedule over a fixed vertex set, generic over
+/// the snapshot type (see the module docs; use the [`TemporalGraph`] /
+/// [`WeightedTemporalGraph`] aliases).
 ///
 /// # Examples
 ///
@@ -94,13 +104,21 @@ impl fmt::Debug for Schedule {
 /// assert_eq!(view.at_round(4).degree(0), 2); // wrapped around
 /// ```
 #[derive(Debug)]
-pub struct TemporalGraph {
-    schedule: Schedule,
+pub struct TemporalGraphOf<G> {
+    schedule: Schedule<G>,
     period: u64,
     n: usize,
 }
 
-impl TemporalGraph {
+/// A round-indexed schedule of plain [`CsrGraph`] snapshots.
+pub type TemporalGraph = TemporalGraphOf<CsrGraph>;
+
+/// A round-indexed schedule of [`WeightedCsrGraph`] snapshots: each
+/// entry carries its own edge set and weight rows, so the weighted
+/// engine's point draws and resolutions follow the snapshot in force.
+pub type WeightedTemporalGraph = TemporalGraphOf<WeightedCsrGraph>;
+
+impl<G: Graph> TemporalGraphOf<G> {
     /// A periodic schedule cycling through prebuilt `snapshots`, one
     /// every `period` rounds.
     ///
@@ -108,7 +126,7 @@ impl TemporalGraph {
     ///
     /// Rejects empty snapshot lists, `period == 0`, and snapshots with
     /// differing vertex counts.
-    pub fn periodic(snapshots: Vec<CsrGraph>, period: u64) -> Result<Self, TemporalBuildError> {
+    pub fn periodic(snapshots: Vec<G>, period: u64) -> Result<Self, TemporalBuildError> {
         if period == 0 {
             return Err(TemporalBuildError::ZeroPeriod);
         }
@@ -136,14 +154,14 @@ impl TemporalGraph {
     /// (e+1)·period`) uses `generator(e)`. The generator **must** be a
     /// deterministic function of its epoch (derive any randomness from a
     /// seed mixed with the epoch) and must always return a graph on `n`
-    /// vertices; [`TemporalView::at_round`] asserts the vertex count.
+    /// vertices; [`TemporalViewOf::at_round`] asserts the vertex count.
     ///
     /// # Errors
     ///
     /// Rejects `period == 0` and `n == 0`.
     pub fn rewiring<F>(n: usize, generator: F, period: u64) -> Result<Self, TemporalBuildError>
     where
-        F: Fn(u64) -> CsrGraph + Send + Sync + 'static,
+        F: Fn(u64) -> G + Send + Sync + 'static,
     {
         if period == 0 {
             return Err(TemporalBuildError::ZeroPeriod);
@@ -179,8 +197,8 @@ impl TemporalGraph {
     /// A fresh stepping view (epoch-cached snapshot resolution). Each
     /// concurrent trial should hold its own.
     #[must_use]
-    pub fn view(&self) -> TemporalView<'_> {
-        TemporalView {
+    pub fn view(&self) -> TemporalViewOf<'_, G> {
+        TemporalViewOf {
             owner: self,
             epoch: None,
             generated: None,
@@ -188,26 +206,32 @@ impl TemporalGraph {
     }
 }
 
-/// A cursor over a [`TemporalGraph`]'s schedule that caches the current
-/// epoch's snapshot (generation for rewiring schedules happens once per
-/// epoch, not once per round).
+/// A cursor over a temporal schedule that caches the current epoch's
+/// snapshot (generation for rewiring schedules happens once per epoch,
+/// not once per round).
 #[derive(Debug)]
-pub struct TemporalView<'a> {
-    owner: &'a TemporalGraph,
+pub struct TemporalViewOf<'a, G> {
+    owner: &'a TemporalGraphOf<G>,
     /// The epoch `generated` (or the borrowed snapshot) belongs to.
     epoch: Option<u64>,
     /// The cached epoch graph of a rewiring schedule.
-    generated: Option<CsrGraph>,
+    generated: Option<G>,
 }
 
-impl TemporalView<'_> {
+/// A stepping view over a [`TemporalGraph`].
+pub type TemporalView<'a> = TemporalViewOf<'a, CsrGraph>;
+
+/// A stepping view over a [`WeightedTemporalGraph`].
+pub type WeightedTemporalView<'a> = TemporalViewOf<'a, WeightedCsrGraph>;
+
+impl<G: Graph> TemporalViewOf<'_, G> {
     /// The graph in force at `round`.
     ///
     /// # Panics
     ///
     /// Panics if a rewiring generator returns a graph whose vertex count
     /// differs from the schedule's declared `n`.
-    pub fn at_round(&mut self, round: u64) -> &CsrGraph {
+    pub fn at_round(&mut self, round: u64) -> &G {
         let epoch = self.owner.epoch_of(round);
         match &self.owner.schedule {
             Schedule::Periodic(snapshots) => {
@@ -234,7 +258,7 @@ impl TemporalView<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{cycle, star, Graph};
+    use crate::{cycle, star, Graph, WeightedGraph};
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Arc;
 
@@ -310,6 +334,35 @@ mod tests {
         assert!(TemporalBuildError::EmptySchedule
             .to_string()
             .contains("no snapshots"));
+    }
+
+    #[test]
+    fn weighted_schedules_cycle_with_their_own_weight_rows() {
+        // Two snapshots of the same edge set but different weight
+        // schemes: the schedule must serve each epoch's own rows.
+        let heavy = WeightedCsrGraph::from_csr_uniform(cycle(6), 5).unwrap();
+        let light = WeightedCsrGraph::from_csr_uniform(cycle(6), 1).unwrap();
+        let t = WeightedTemporalGraph::periodic(vec![heavy, light], 2).unwrap();
+        assert_eq!(t.n(), 6);
+        let mut view = t.view();
+        assert_eq!(view.at_round(0).row_weight(0), 10); // heavy epochs
+        assert_eq!(view.at_round(1).row_weight(0), 10);
+        assert_eq!(view.at_round(2).row_weight(0), 2); // light epochs
+        assert_eq!(view.at_round(4).row_weight(0), 10); // wrapped
+    }
+
+    #[test]
+    fn weighted_schedule_errors_are_typed() {
+        let a = WeightedCsrGraph::from_csr_uniform(cycle(6), 1).unwrap();
+        let b = WeightedCsrGraph::from_csr_uniform(cycle(7), 1).unwrap();
+        assert!(matches!(
+            WeightedTemporalGraph::periodic(vec![a, b], 1),
+            Err(TemporalBuildError::VertexCountMismatch { .. })
+        ));
+        assert!(matches!(
+            WeightedTemporalGraph::periodic(vec![], 1),
+            Err(TemporalBuildError::EmptySchedule)
+        ));
     }
 
     #[test]

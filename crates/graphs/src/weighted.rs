@@ -1,13 +1,35 @@
 //! Edge-weighted graphs: a [`CsrGraph`] plus per-edge `u32` sampling
-//! weights, with integer prefix-sum weighted neighbor selection.
+//! weights, with integer weighted neighbor selection.
 //!
 //! "Choose a random neighbor" becomes "choose neighbor `j` of `v` with
 //! probability `w_j / W_v`" (`W_v` the row total). The draw decomposes
 //! exactly as [`od_sampling::weighted`] documents: a uniform weight
 //! point in `[0, W_v)` from the cell's counter stream (the documented
-//! batched order with `range = W_v`), resolved through the row's
-//! inclusive prefix sums. With all-one weights both halves degenerate to
-//! the unweighted engine bit-for-bit.
+//! batched order with `range = W_v`), resolved through the **normative
+//! map** (inclusive prefix sums `C_j`; point `p` selects the unique `j`
+//! with `C_{j−1} ≤ p < C_j`). With all-one weights both halves
+//! degenerate to the unweighted engine bit-for-bit.
+//!
+//! The point → index *resolution strategy* is a pure post-processing
+//! choice behind [`WeightResolver`] — every variant evaluates the same
+//! normative map, so simulation results are bit-identical across them:
+//!
+//! * [`WeightResolver::Alias`] (the default) — a three-tier hybrid
+//!   keyed on the row, every tier `O(1)` per draw and branch-free:
+//!   rows of ≤ 8 edges use a fused branchless in-row count (the row is
+//!   one cache line the resolution must touch anyway); rows of ≤ 32
+//!   edges whose guess error fits a fixed window use
+//!   **guess-and-correct** (a per-row reciprocal lands within ±3 of
+//!   the true index, a constant 8-slot branchless count finishes —
+//!   8 auxiliary bytes per *vertex*); longer or heavily skewed rows
+//!   get per-row alias-style bucket indexes built once at construction
+//!   ([`od_sampling::weighted::WeightAliasRow`] flattened CSR-style;
+//!   `O(1)` expected resolution, at most 8 extra bytes per edge);
+//! * [`WeightResolver::Prefix`] — binary search over `u32` prefix rows
+//!   (the PR 4 baseline; no auxiliary memory);
+//! * [`WeightResolver::PrefixU16`] — binary search over `u16` prefix
+//!   rows, available when every `W_v < 2¹⁶`: halves the prefix storage
+//!   for memory-tight graphs.
 //!
 //! Row totals are validated at construction: a vertex whose edges are
 //! all weight-zero has nothing to sample (typed
@@ -16,7 +38,9 @@
 //! scratch (typed [`WeightedGraphError::RowWeightOverflow`]).
 
 use crate::{CsrGraph, Graph, Vertex};
-use od_sampling::weighted::{resolve_weight_point, sample_weighted_index};
+use od_sampling::weighted::{
+    alias_bucket_shift, build_alias_buckets, resolve_weight_point, resolve_weight_point_alias,
+};
 use rand::Rng;
 use std::fmt;
 
@@ -34,6 +58,12 @@ pub enum WeightedGraphError {
         /// The offending vertex.
         vertex: Vertex,
     },
+    /// A vertex's incident weights sum to `2¹⁶` or more, so the
+    /// requested [`WeightResolver::PrefixU16`] rows cannot hold them.
+    RowWeightExceedsU16 {
+        /// The offending vertex.
+        vertex: Vertex,
+    },
 }
 
 impl fmt::Display for WeightedGraphError {
@@ -46,11 +76,36 @@ impl fmt::Display for WeightedGraphError {
             Self::RowWeightOverflow { vertex } => {
                 write!(f, "vertex {vertex}: incident weights sum past u32::MAX")
             }
+            Self::RowWeightExceedsU16 { vertex } => write!(
+                f,
+                "vertex {vertex}: incident weights sum past u16::MAX — u16 prefix rows \
+                 need every row total below 2^16"
+            ),
         }
     }
 }
 
 impl std::error::Error for WeightedGraphError {}
+
+/// The point → row-local-index resolution strategy of a
+/// [`WeightedCsrGraph`]. Every variant evaluates the same normative map
+/// — the choice trades memory for resolution latency, never results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WeightResolver {
+    /// The three-tier hybrid (see the module docs): branchless in-row
+    /// counting for tiny rows, reciprocal guess-and-correct for
+    /// well-behaved mid-size rows, per-row alias bucket indexes (at
+    /// most 8 extra bytes per edge) for long or skewed rows. The
+    /// default.
+    #[default]
+    Alias,
+    /// Binary search over `u32` prefix rows: `O(log d)`, no auxiliary
+    /// memory (the PR 4 baseline).
+    Prefix,
+    /// Binary search over `u16` prefix rows: halved prefix storage for
+    /// memory-tight graphs; requires every `W_v < 2¹⁶`.
+    PrefixU16,
+}
 
 /// A graph whose neighbor sampling is weighted: the contract the
 /// weighted round steps of `od-core` run against.
@@ -98,9 +153,124 @@ impl<G: WeightedGraph + ?Sized> WeightedGraph for &G {
     }
 }
 
+/// Rows of at most this many edges resolve with the branchless in-row
+/// count: at these lengths the whole row is one cache line the
+/// resolution must touch anyway, and the count's data-independent
+/// compares beat every alternative (measured: the pure bucket index ran
+/// 1.16–1.33× *slower* than the binary search on mean-degree ≈ 2–12
+/// bench families, entirely from the second per-edge memory stream).
+/// The count is exact — `#{k : C_k ≤ p}` *is* the normative partition
+/// index — so the hybrid stays bit-identical to every other resolver.
+const ALIAS_COUNT_ROW: usize = 8;
+
+/// Rows up to this many edges are candidates for **guess-and-correct**
+/// resolution: the per-row reciprocal `inv = ⌊d·2³² / W⌋` turns a point
+/// into the index it would have under perfectly uniform weights (the
+/// implicit alias bucket whose `first[b] = b` — no table needed), and a
+/// branchless count over a fixed 8-slot window around the guess lands
+/// on the true partition index. Construction verifies the row's maximal
+/// guess error fits the window (`≤ ALIAS_GUIDED_ERROR`); skewed rows
+/// fall back to the explicit bucket index, whose `O(1)` bound does not
+/// degrade with skew. Resolution costs one multiply plus 8
+/// data-independent compares — no mispredictable branch, and the
+/// auxiliary memory is 8 bytes per *vertex* (one sequential stream),
+/// not per edge.
+const ALIAS_GUIDED_ROW: usize = 32;
+
+/// Fixed correction window of the guided path.
+const ALIAS_GUIDED_WINDOW: usize = 8;
+
+/// Maximal tolerated |true index − guess| for a row to take the guided
+/// path (the window covers `guess − 3 ..= guess + 4`).
+const ALIAS_GUIDED_ERROR: u64 = 3;
+
+/// The resolver-specific row storage of a [`WeightedCsrGraph`]. All
+/// variants hold row-local inclusive prefix sums aligned with the CSR
+/// `neighbors` array; `Alias` additionally flattens the per-row bucket
+/// indexes CSR-style for rows longer than [`ALIAS_GUIDED_ROW`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum RowStore {
+    Alias {
+        cum: Vec<u32>,
+        /// Per-row reciprocals `⌊d·2³² / W⌋` of the guess-and-correct
+        /// mid-size path (zero for rows resolved another way).
+        inv: Vec<u64>,
+        /// Flattened per-row bucket arrays (`first` indices, row-local;
+        /// empty range for rows short enough to count or guess in-row).
+        buckets: Vec<u32>,
+        /// Bucket-array offsets per vertex (`n + 1` entries).
+        bucket_offsets: Vec<u64>,
+        /// Per-row bucket shifts.
+        shifts: Vec<u8>,
+    },
+    Prefix {
+        cum: Vec<u32>,
+    },
+    PrefixU16 {
+        cum: Vec<u16>,
+    },
+}
+
+/// The branchless in-row resolution of the normative map for short
+/// rows: the partition index of `point` is exactly the number of prefix
+/// sums `≤ point`, and counting them with data-independent compares
+/// vectorises and never mispredicts, unlike the binary search's
+/// data-dependent probe chain.
+#[inline]
+fn resolve_point_by_count(row: &[u32], point: u32) -> u32 {
+    debug_assert!(point < row[row.len() - 1]);
+    let mut j = 0u32;
+    for &c in row {
+        j += u32::from(c <= point);
+    }
+    j
+}
+
+/// Guess-and-correct resolution for mid-size rows whose maximal guess
+/// error fits the fixed window (verified at construction): the true
+/// partition index equals `lo` plus the count of window entries
+/// `≤ point`, because every prefix sum below the window is `≤ point`
+/// and every one above it is `> point`. Entirely branch-free — the
+/// window has constant length, so the count unrolls with no
+/// data-dependent control flow.
+#[inline]
+fn resolve_point_guided(row: &[u32], inv: u64, point: u32) -> u32 {
+    debug_assert!(point < row[row.len() - 1]);
+    let guess = ((u64::from(point) * inv) >> 32) as usize;
+    let lo = guess
+        .saturating_sub(ALIAS_GUIDED_ERROR as usize)
+        .min(row.len() - ALIAS_GUIDED_WINDOW);
+    let mut j = 0u32;
+    for &c in &row[lo..lo + ALIAS_GUIDED_WINDOW] {
+        j += u32::from(c <= point);
+    }
+    lo as u32 + j
+}
+
+/// The maximal |true index − uniform guess| over every point of the
+/// row — the construction-time check gating the guided path. The guess
+/// is monotone in the point, so the extremes occur at interval
+/// endpoints.
+fn max_guess_error(row: &[u32], inv: u64) -> u64 {
+    let mut emax = 0u64;
+    let mut lower = 0u32; // C_{k-1}
+    for (k, &c) in row.iter().enumerate() {
+        if c > lower {
+            // Interval k is non-empty: probe its first and last point.
+            for p in [lower, c - 1] {
+                let guess = (u64::from(p) * inv) >> 32;
+                emax = emax.max(guess.abs_diff(k as u64));
+            }
+            lower = c;
+        }
+    }
+    emax
+}
+
 /// A [`CsrGraph`] with per-edge `u32` sampling weights, stored as
 /// row-local inclusive prefix sums aligned with the CSR `neighbors`
-/// array (`cum[offsets[v] + j] = w₀ + ⋯ + w_j` within row `v`).
+/// array (`cum[offsets[v] + j] = w₀ + ⋯ + w_j` within row `v`), behind a
+/// [`WeightResolver`].
 ///
 /// # Examples
 ///
@@ -115,19 +285,20 @@ impl<G: WeightedGraph + ?Sized> WeightedGraph for &G {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WeightedCsrGraph {
     csr: CsrGraph,
-    /// Row-local inclusive prefix sums, aligned with the CSR neighbors.
-    cum: Vec<u32>,
+    rows: RowStore,
     /// Cached common row total (weighted analogue of the uniform-degree
     /// cache).
     uniform_row_weight: Option<u32>,
 }
 
 impl WeightedCsrGraph {
-    /// Wraps a CSR graph with weights from `weight(u, v)`, called once
-    /// per directed CSR slot. **The caller must supply a symmetric
-    /// function** (`weight(u, v) == weight(v, u)`) for the graph to
-    /// remain undirected; a pure function of the unordered pair (as the
-    /// runtime's seeded schemes are) satisfies this by construction.
+    /// Wraps a CSR graph with weights from `weight(u, v)`, resolved by
+    /// the default [`WeightResolver::Alias`]. The weight function is
+    /// called once per directed CSR slot; **the caller must supply a
+    /// symmetric function** (`weight(u, v) == weight(v, u)`) for the
+    /// graph to remain undirected; a pure function of the unordered pair
+    /// (as the runtime's seeded schemes are) satisfies this by
+    /// construction.
     ///
     /// # Errors
     ///
@@ -135,7 +306,27 @@ impl WeightedCsrGraph {
     /// incident weights are all zero (isolated vertices included), and
     /// [`WeightedGraphError::RowWeightOverflow`] when a row total
     /// exceeds `u32::MAX`.
-    pub fn from_csr_with<F>(csr: CsrGraph, mut weight: F) -> Result<Self, WeightedGraphError>
+    pub fn from_csr_with<F>(csr: CsrGraph, weight: F) -> Result<Self, WeightedGraphError>
+    where
+        F: FnMut(Vertex, Vertex) -> u32,
+    {
+        Self::from_csr_with_resolver(csr, weight, WeightResolver::Alias)
+    }
+
+    /// As [`WeightedCsrGraph::from_csr_with`] with an explicit
+    /// resolution strategy.
+    ///
+    /// # Errors
+    ///
+    /// As [`WeightedCsrGraph::from_csr_with`], plus
+    /// [`WeightedGraphError::RowWeightExceedsU16`] when
+    /// [`WeightResolver::PrefixU16`] is requested and some row total is
+    /// `2¹⁶` or more.
+    pub fn from_csr_with_resolver<F>(
+        csr: CsrGraph,
+        mut weight: F,
+        resolver: WeightResolver,
+    ) -> Result<Self, WeightedGraphError>
     where
         F: FnMut(Vertex, Vertex) -> u32,
     {
@@ -163,9 +354,65 @@ impl WeightedCsrGraph {
         let uniform_row_weight = (0..n)
             .all(|v| cum[offsets[v + 1] as usize - 1] == first)
             .then_some(first);
+        let rows = match resolver {
+            WeightResolver::Prefix => RowStore::Prefix { cum },
+            WeightResolver::PrefixU16 => {
+                let mut cum16 = Vec::with_capacity(cum.len());
+                for v in 0..n {
+                    let (start, end) = (offsets[v] as usize, offsets[v + 1] as usize);
+                    if u16::try_from(cum[end - 1]).is_err() {
+                        return Err(WeightedGraphError::RowWeightExceedsU16 { vertex: v });
+                    }
+                    cum16.extend(cum[start..end].iter().map(|&c| c as u16));
+                }
+                RowStore::PrefixU16 { cum: cum16 }
+            }
+            WeightResolver::Alias => {
+                let mut inv = vec![0u64; n];
+                let mut buckets = Vec::new();
+                let mut bucket_offsets = Vec::with_capacity(n + 1);
+                let mut shifts = Vec::with_capacity(n);
+                bucket_offsets.push(0u64);
+                for v in 0..n {
+                    let (start, end) = (offsets[v] as usize, offsets[v + 1] as usize);
+                    let row = &cum[start..end];
+                    if row.len() <= ALIAS_COUNT_ROW {
+                        // Short rows resolve by in-row count: no index
+                        // to build (or stream through later).
+                        shifts.push(0);
+                        bucket_offsets.push(buckets.len() as u64);
+                        continue;
+                    }
+                    if row.len() <= ALIAS_GUIDED_ROW {
+                        let total = row[row.len() - 1];
+                        let row_inv = ((row.len() as u64) << 32) / u64::from(total);
+                        if max_guess_error(row, row_inv) <= ALIAS_GUIDED_ERROR {
+                            inv[v] = row_inv;
+                            shifts.push(0);
+                            bucket_offsets.push(buckets.len() as u64);
+                            continue;
+                        }
+                        // Too skewed for the window: fall through to the
+                        // bucket index (inv[v] stays 0).
+                    }
+                    let total = row[row.len() - 1];
+                    let shift = alias_bucket_shift(total, row.len());
+                    shifts.push(shift as u8);
+                    buckets.extend(build_alias_buckets(row, shift));
+                    bucket_offsets.push(buckets.len() as u64);
+                }
+                RowStore::Alias {
+                    cum,
+                    inv,
+                    buckets,
+                    bucket_offsets,
+                    shifts,
+                }
+            }
+        };
         Ok(Self {
             csr,
-            cum,
+            rows,
             uniform_row_weight,
         })
     }
@@ -187,16 +434,81 @@ impl WeightedCsrGraph {
         &self.csr
     }
 
-    /// The inclusive prefix-sum row of vertex `v` (last entry = `W_v`).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `v >= n`.
+    /// The resolution strategy this graph was built with.
     #[must_use]
+    pub fn resolver(&self) -> WeightResolver {
+        match &self.rows {
+            RowStore::Alias { .. } => WeightResolver::Alias,
+            RowStore::Prefix { .. } => WeightResolver::Prefix,
+            RowStore::PrefixU16 { .. } => WeightResolver::PrefixU16,
+        }
+    }
+
+    /// The auxiliary memory the resolver holds beyond the CSR arrays, in
+    /// bytes (prefix rows plus, for [`WeightResolver::Alias`], the
+    /// bucket indexes).
+    #[must_use]
+    pub fn resolver_bytes(&self) -> usize {
+        match &self.rows {
+            RowStore::Alias {
+                cum,
+                inv,
+                buckets,
+                bucket_offsets,
+                shifts,
+            } => {
+                4 * cum.len()
+                    + 8 * inv.len()
+                    + 4 * buckets.len()
+                    + 8 * bucket_offsets.len()
+                    + shifts.len()
+            }
+            RowStore::Prefix { cum } => 4 * cum.len(),
+            RowStore::PrefixU16 { cum } => 2 * cum.len(),
+        }
+    }
+
+    /// The byte range of row `v` in the flat storage.
     #[inline]
-    pub fn prefix_row(&self, v: Vertex) -> &[u32] {
+    fn row_range(&self, v: Vertex) -> (usize, usize) {
         let (offsets, _) = self.csr.raw_parts();
-        &self.cum[offsets[v] as usize..offsets[v + 1] as usize]
+        (offsets[v] as usize, offsets[v + 1] as usize)
+    }
+
+    /// Resolves one weight point of row `v` through the graph's
+    /// resolver.
+    #[inline]
+    fn resolve_point_one(&self, v: Vertex, point: u32) -> usize {
+        let (start, end) = self.row_range(v);
+        match &self.rows {
+            RowStore::Alias {
+                cum,
+                inv,
+                buckets,
+                bucket_offsets,
+                shifts,
+            } => {
+                let row = &cum[start..end];
+                if row.len() <= ALIAS_COUNT_ROW {
+                    resolve_point_by_count(row, point) as usize
+                } else if inv[v] != 0 {
+                    resolve_point_guided(row, inv[v], point) as usize
+                } else {
+                    let first =
+                        &buckets[bucket_offsets[v] as usize..bucket_offsets[v + 1] as usize];
+                    resolve_weight_point_alias(first, u32::from(shifts[v]), row, point)
+                }
+            }
+            RowStore::Prefix { cum } => resolve_weight_point(&cum[start..end], point),
+            RowStore::PrefixU16 { cum } => {
+                let row = &cum[start..end];
+                assert!(
+                    point < u32::from(row[row.len() - 1]),
+                    "resolve_points: point {point} outside the row total"
+                );
+                row.partition_point(|&c| u32::from(c) <= point)
+            }
+        }
     }
 
     /// The weight of the `index`-th edge of `v`'s row (canonical CSR
@@ -207,11 +519,17 @@ impl WeightedCsrGraph {
     /// Panics if `v >= n` or `index` is out of the row's range.
     #[must_use]
     pub fn weight_at(&self, v: Vertex, index: usize) -> u32 {
-        let row = self.prefix_row(v);
+        let (start, end) = self.row_range(v);
+        let at = |i: usize| -> u32 {
+            match &self.rows {
+                RowStore::Alias { cum, .. } | RowStore::Prefix { cum } => cum[start..end][i],
+                RowStore::PrefixU16 { cum } => u32::from(cum[start..end][i]),
+            }
+        };
         if index == 0 {
-            row[0]
+            at(0)
         } else {
-            row[index] - row[index - 1]
+            at(index) - at(index - 1)
         }
     }
 }
@@ -227,11 +545,12 @@ impl Graph for WeightedCsrGraph {
 
     /// Samples a **weight-proportional** neighbor: one RNG word mapped
     /// onto `[0, W_v)` by the 64-bit multiply-shift, resolved through
-    /// the prefix row. The cell-seeded engine (`step_seq`) therefore
-    /// runs weighted out of the box on this type.
+    /// the graph's resolver. The cell-seeded engine (`step_seq`)
+    /// therefore runs weighted out of the box on this type.
     fn sample_neighbor<R: Rng + ?Sized>(&self, v: Vertex, rng: &mut R) -> Vertex {
-        let idx = sample_weighted_index(self.prefix_row(v), rng);
-        self.csr.neighbor_at(v, idx)
+        let total = self.row_weight(v);
+        let point = ((u128::from(rng.next_u64()) * u128::from(total)) >> 64) as u32;
+        self.csr.neighbor_at(v, self.resolve_point_one(v, point))
     }
 
     fn neighbors(&self, v: Vertex) -> Vec<Vertex> {
@@ -261,7 +580,12 @@ impl Graph for WeightedCsrGraph {
 
 impl WeightedGraph for WeightedCsrGraph {
     fn row_weight(&self, v: Vertex) -> u64 {
-        u64::from(*self.prefix_row(v).last().expect("validated non-empty row"))
+        let (start, end) = self.row_range(v);
+        debug_assert!(end > start, "validated non-empty row");
+        match &self.rows {
+            RowStore::Alias { cum, .. } | RowStore::Prefix { cum } => u64::from(cum[end - 1]),
+            RowStore::PrefixU16 { cum } => u64::from(cum[end - 1]),
+        }
     }
 
     fn uniform_row_weight(&self) -> Option<u64> {
@@ -269,9 +593,63 @@ impl WeightedGraph for WeightedCsrGraph {
     }
 
     fn resolve_points(&self, v: Vertex, points: &mut [u32]) {
-        let row = self.prefix_row(v);
-        for p in points {
-            *p = resolve_weight_point(row, *p) as u32;
+        let (start, end) = self.row_range(v);
+        match &self.rows {
+            RowStore::Alias {
+                cum,
+                inv,
+                buckets,
+                bucket_offsets,
+                shifts,
+            } => {
+                let row = &cum[start..end];
+                if row.len() <= ALIAS_COUNT_ROW {
+                    // One fused pass over the row for the whole cell:
+                    // the three-sample case (3-Majority et al.) loads
+                    // each prefix sum once and keeps three independent
+                    // compare-add chains in flight.
+                    if let [p0, p1, p2] = points {
+                        let (a, b, c) = (*p0, *p1, *p2);
+                        let (mut j0, mut j1, mut j2) = (0u32, 0u32, 0u32);
+                        for &cv in row {
+                            j0 += u32::from(cv <= a);
+                            j1 += u32::from(cv <= b);
+                            j2 += u32::from(cv <= c);
+                        }
+                        (*p0, *p1, *p2) = (j0, j1, j2);
+                    } else {
+                        for p in points {
+                            *p = resolve_point_by_count(row, *p);
+                        }
+                    }
+                } else if inv[v] != 0 {
+                    let row_inv = inv[v];
+                    for p in points {
+                        *p = resolve_point_guided(row, row_inv, *p);
+                    }
+                } else {
+                    let first =
+                        &buckets[bucket_offsets[v] as usize..bucket_offsets[v + 1] as usize];
+                    let shift = u32::from(shifts[v]);
+                    for p in points {
+                        *p = resolve_weight_point_alias(first, shift, row, *p) as u32;
+                    }
+                }
+            }
+            RowStore::Prefix { cum } => {
+                let row = &cum[start..end];
+                for p in points {
+                    *p = resolve_weight_point(row, *p) as u32;
+                }
+            }
+            RowStore::PrefixU16 { cum } => {
+                let row = &cum[start..end];
+                let total = u32::from(row[row.len() - 1]);
+                for p in points {
+                    assert!(*p < total, "resolve_points: point {p} outside [0, {total})");
+                    *p = row.partition_point(|&c| u32::from(c) <= *p) as u32;
+                }
+            }
         }
     }
 }
@@ -289,11 +667,11 @@ mod tests {
     fn construction_builds_prefix_rows() {
         let g = WeightedCsrGraph::from_csr_with(triangle(), |u, v| (u + v) as u32).unwrap();
         // Row 0: neighbors [1, 2] → weights [1, 2] → cum [1, 3].
-        assert_eq!(g.prefix_row(0), &[1, 3]);
         assert_eq!(g.row_weight(0), 3);
         assert_eq!(g.weight_at(0, 0), 1);
         assert_eq!(g.weight_at(0, 1), 2);
         assert_eq!(g.uniform_row_weight(), None);
+        assert_eq!(g.resolver(), WeightResolver::Alias);
     }
 
     #[test]
@@ -323,6 +701,77 @@ mod tests {
             err,
             Err(WeightedGraphError::RowWeightOverflow { vertex: 0 })
         );
+    }
+
+    #[test]
+    fn u16_rows_reject_oversized_totals() {
+        let err = WeightedCsrGraph::from_csr_with_resolver(
+            triangle(),
+            |_, _| 40_000,
+            WeightResolver::PrefixU16,
+        );
+        assert_eq!(
+            err,
+            Err(WeightedGraphError::RowWeightExceedsU16 { vertex: 0 })
+        );
+        // Exactly u16::MAX as a row total still fails (< 2^16 is the
+        // contract because points index [0, W)). 2 × 32767 = 65534 fits.
+        let ok = WeightedCsrGraph::from_csr_with_resolver(
+            triangle(),
+            |_, _| 32_767,
+            WeightResolver::PrefixU16,
+        )
+        .unwrap();
+        assert_eq!(ok.row_weight(0), 65_534);
+        assert_eq!(ok.resolver(), WeightResolver::PrefixU16);
+    }
+
+    #[test]
+    fn every_resolver_produces_identical_resolutions() {
+        let csr = CsrGraph::from_edges(
+            6,
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (0, 4),
+                (0, 5),
+                (1, 2),
+                (3, 4),
+                (4, 5),
+            ],
+        );
+        let weight = |u: usize, v: usize| ((u * 7 + v * 3) % 11 + 1) as u32;
+        let alias =
+            WeightedCsrGraph::from_csr_with_resolver(csr.clone(), weight, WeightResolver::Alias)
+                .unwrap();
+        let prefix =
+            WeightedCsrGraph::from_csr_with_resolver(csr.clone(), weight, WeightResolver::Prefix)
+                .unwrap();
+        let prefix16 =
+            WeightedCsrGraph::from_csr_with_resolver(csr, weight, WeightResolver::PrefixU16)
+                .unwrap();
+        for v in 0..6 {
+            assert_eq!(alias.row_weight(v), prefix.row_weight(v));
+            assert_eq!(alias.row_weight(v), prefix16.row_weight(v));
+            let total = alias.row_weight(v) as u32;
+            let mut a: Vec<u32> = (0..total).collect();
+            let mut b = a.clone();
+            let mut c = a.clone();
+            alias.resolve_points(v, &mut a);
+            prefix.resolve_points(v, &mut b);
+            prefix16.resolve_points(v, &mut c);
+            assert_eq!(a, b, "alias vs prefix diverged on row {v}");
+            assert_eq!(a, c, "alias vs u16 prefix diverged on row {v}");
+        }
+        // All rows here are short, so the alias store holds no bucket
+        // entries — only the per-vertex reciprocals, bucket offsets, and
+        // shifts on top of the prefix rows.
+        assert_eq!(
+            alias.resolver_bytes(),
+            prefix.resolver_bytes() + 8 * 6 + 8 * 7 + 6
+        );
+        assert_eq!(prefix16.resolver_bytes() * 2, prefix.resolver_bytes());
     }
 
     #[test]
@@ -390,17 +839,26 @@ mod tests {
     fn unit_weights_sample_like_the_plain_csr() {
         // With all-one weights the stream-seeded draw consumes one word
         // per sample with range = degree — the exact consumption of
-        // CsrGraph::sample_neighbor — so the two must agree draw-by-draw.
+        // CsrGraph::sample_neighbor — so the two must agree draw-by-draw,
+        // whichever resolver backs the weighted graph.
         let csr = triangle();
-        let g = WeightedCsrGraph::from_csr_uniform(csr.clone(), 1).unwrap();
-        let mut rng_a = rng_for(602, 0);
-        let mut rng_b = rng_for(602, 0);
-        for _ in 0..200 {
-            for v in 0..3 {
-                assert_eq!(
-                    g.sample_neighbor(v, &mut rng_a),
-                    csr.sample_neighbor(v, &mut rng_b)
-                );
+        for resolver in [
+            WeightResolver::Alias,
+            WeightResolver::Prefix,
+            WeightResolver::PrefixU16,
+        ] {
+            let g =
+                WeightedCsrGraph::from_csr_with_resolver(csr.clone(), |_, _| 1, resolver).unwrap();
+            let mut rng_a = rng_for(602, 0);
+            let mut rng_b = rng_for(602, 0);
+            for _ in 0..200 {
+                for v in 0..3 {
+                    assert_eq!(
+                        g.sample_neighbor(v, &mut rng_a),
+                        csr.sample_neighbor(v, &mut rng_b),
+                        "{resolver:?}"
+                    );
+                }
             }
         }
     }

@@ -1,14 +1,20 @@
 //! Differential proptests of weighted neighbor sampling, mirroring
 //! `crates/sampling/tests/batched_reference.rs`: the production path
-//! (batched point draws + binary-search prefix resolution, as the
-//! weighted engine composes it through [`WeightedCsrGraph`]) must be
+//! (batched point draws + alias-index resolution, as the weighted
+//! engine composes it through [`WeightedCsrGraph`]), the binary-search
+//! prefix fallback, and the `u16`-prefix fallback must all be
 //! bit-identical to the naive scalar reference (lane-at-a-time point
-//! draws + linear weight scan) over random weight vectors — including
-//! the degenerate all-equal and single-heavy-edge rows.
+//! draws + linear weight scan over `resolve_weight_point_scalar`) over
+//! random weight vectors — including the degenerate all-equal,
+//! single-heavy-edge, and power-law rows, row totals near `u32::MAX`,
+//! and degree-1 rows.
 
-use od_graphs::{CsrGraph, WeightedCsrGraph, WeightedGraph};
+use od_graphs::{CsrGraph, WeightResolver, WeightedCsrGraph, WeightedGraph};
 use od_sampling::seeds::round_key;
-use od_sampling::weighted::{fill_weighted_batched, fill_weighted_scalar};
+use od_sampling::weighted::{
+    fill_weighted_alias, fill_weighted_batched, fill_weighted_scalar, resolve_weight_point_scalar,
+    WeightAliasRow,
+};
 use od_sampling::{fill_indices_batched, inclusive_prefix_sums};
 use proptest::prelude::*;
 
@@ -36,15 +42,22 @@ fn hub_graph(weights: &[u32]) -> WeightedCsrGraph {
 
 fn assert_production_matches_scalar(rk: u64, vertex: u64, weights: &[u32], count: usize) {
     let cum = inclusive_prefix_sums(weights).expect("positive row");
-    let mut production = vec![0u32; count];
+    let alias_row = WeightAliasRow::build(&cum);
+    let mut alias = vec![0u32; count];
+    let mut search = vec![0u32; count];
     let mut scalar = vec![0u32; count];
-    fill_weighted_batched(rk, vertex, &cum, &mut production);
+    fill_weighted_alias(rk, vertex, &cum, &alias_row, &mut alias);
+    fill_weighted_batched(rk, vertex, &cum, &mut search);
     fill_weighted_scalar(rk, vertex, weights, &mut scalar);
     assert_eq!(
-        production, scalar,
-        "rk {rk:#x}, vertex {vertex}, weights {weights:?}, count {count}"
+        alias, scalar,
+        "alias: rk {rk:#x}, vertex {vertex}, weights {weights:?}, count {count}"
     );
-    for &j in &production {
+    assert_eq!(
+        search, scalar,
+        "search: rk {rk:#x}, vertex {vertex}, weights {weights:?}, count {count}"
+    );
+    for &j in &alias {
         assert!(
             (j as usize) < weights.len() && weights[j as usize] > 0,
             "sample {j} outside the weighted support of {weights:?}"
@@ -119,6 +132,103 @@ proptest! {
         fill_weighted_batched(rk, vertex, &cum, &mut weighted);
         fill_indices_batched(rk, vertex, degree as u64, &mut uniform);
         prop_assert_eq!(weighted, uniform);
+    }
+
+    #[test]
+    fn production_matches_scalar_on_power_law_rows(
+        rk in 0u64..u64::MAX,
+        vertex in 0u64..100_000,
+        degree in 1usize..64,
+        scale in 1u32..100_000,
+        exponent in 1u32..4,
+        count in 1usize..10,
+    ) {
+        // Heavy-tailed rows: w_j = ⌈scale / (j + 1)^exponent⌉ — the
+        // realistic shape of degree-correlated schemes, mixing one huge
+        // head with a long near-flat tail of tiny intervals.
+        let weights: Vec<u32> = (0..degree)
+            .map(|j| {
+                let denom = (j as u64 + 1).pow(exponent);
+                u64::from(scale).div_ceil(denom) as u32
+            })
+            .collect();
+        assert_production_matches_scalar(rk, vertex, &weights, count);
+    }
+
+    #[test]
+    fn production_matches_scalar_near_u32_max_totals(
+        rk in 0u64..u64::MAX,
+        vertex in 0u64..100_000,
+        tail in proptest::collection::vec(0u32..1_000, 0..8),
+        slack in 0u32..1_000,
+        count in 1usize..10,
+    ) {
+        // Rows whose total lands within `slack + tail` of u32::MAX: the
+        // alias index runs at its maximal bucket shift and the packed
+        // 21-bit fast path is far behind — every draw takes the wide
+        // 64-bit lane.
+        let tail_sum: u64 = tail.iter().map(|&w| u64::from(w)).sum();
+        let head = (u64::from(u32::MAX) - u64::from(slack) - tail_sum) as u32;
+        let mut weights = vec![head];
+        weights.extend(&tail);
+        assert_production_matches_scalar(rk, vertex, &weights, count);
+    }
+
+    #[test]
+    fn production_matches_scalar_on_degree_one_rows(
+        rk in 0u64..u64::MAX,
+        vertex in 0u64..100_000,
+        weight in 1u32..=u32::MAX,
+        count in 1usize..10,
+    ) {
+        // Degree-1 rows (periphery leaves): every point resolves to the
+        // only edge, whatever the row total.
+        assert_production_matches_scalar(rk, vertex, &[weight], count);
+        let cum = inclusive_prefix_sums(&[weight]).unwrap();
+        let alias_row = WeightAliasRow::build(&cum);
+        let mut out = vec![0u32; count];
+        fill_weighted_alias(rk, vertex, &cum, &alias_row, &mut out);
+        prop_assert!(out.iter().all(|&j| j == 0));
+    }
+
+    #[test]
+    fn every_graph_resolver_matches_the_scalar_map(
+        weights in proptest::collection::vec(0u32..800, 1..24)
+            .prop_filter("positive row total", |w| w.iter().any(|&x| x > 0)),
+        points in proptest::collection::vec(0u32..u32::MAX, 1..12),
+    ) {
+        // The three WeightedCsrGraph resolvers must realise the same
+        // normative map as the scalar reference on the hub row, point by
+        // point (points reduced into the row's range).
+        let d = weights.len();
+        let mut edges: Vec<(usize, usize)> = (1..=d).map(|v| (0, v)).collect();
+        for v in 1..=d {
+            edges.push((v, v % d + 1));
+        }
+        let weight_of = |u: usize, v: usize| {
+            if u.min(v) == 0 { weights[u.max(v) - 1] } else { 1 }
+        };
+        let total: u64 = weights.iter().map(|&w| u64::from(w)).sum();
+        for resolver in [
+            WeightResolver::Alias,
+            WeightResolver::Prefix,
+            WeightResolver::PrefixU16,
+        ] {
+            if resolver == WeightResolver::PrefixU16 && total >= (1 << 16) {
+                continue; // typed-error territory, covered in unit tests
+            }
+            let csr = CsrGraph::from_edges(d + 1, &edges);
+            let g = WeightedCsrGraph::from_csr_with_resolver(csr, weight_of, resolver)
+                .expect("hub rows are positive by construction");
+            let mut resolved: Vec<u32> =
+                points.iter().map(|&p| (u64::from(p) % total) as u32).collect();
+            let expected: Vec<u32> = resolved
+                .iter()
+                .map(|&p| resolve_weight_point_scalar(&weights, p) as u32)
+                .collect();
+            g.resolve_points(0, &mut resolved);
+            prop_assert!(resolved == expected, "resolver {resolver:?}");
+        }
     }
 
     #[test]

@@ -24,11 +24,13 @@ use crate::summary::{ShardSummary, TrialResult};
 use od_core::protocol::GraphProtocol;
 use od_core::registry::{build_graph_protocol, DynProtocol, GraphProtocolKind};
 use od_core::{
-    run_compacted_until, GraphSimulation, OpinionCounts, Simulation, StopReason, TemporalSimulation,
+    run_compacted_until, GraphSimulation, OpinionCounts, Simulation, StopReason,
+    TemporalSimulation, WeightedTemporalSimulation,
 };
 use od_graphs::{
-    barbell, core_periphery, cycle, erdos_renyi, random_regular, star, stochastic_block_model,
-    torus_2d, CompleteWithSelfLoops, CsrGraph, Graph, TemporalGraph, WeightedCsrGraph,
+    barbell, core_periphery, cycle, erdos_renyi, random_regular, repair_isolated, star,
+    stochastic_block_model, torus_2d, CompleteWithSelfLoops, CsrGraph, Graph, TemporalGraph,
+    WeightedCsrGraph, WeightedTemporalGraph,
 };
 use od_sampling::rng_for;
 use od_sampling::seeds::derive_seed;
@@ -146,12 +148,12 @@ pub fn run_job(spec: &JobSpec, options: &RunOptions) -> Result<JobReport, Runtim
                     .map_err(RuntimeError::Core)?;
                 let graph = build_graph(graph_spec, &initial, spec.master_seed)?;
                 let opinions = assign_opinions(&initial, graph_spec)?;
-                TrialEngine::Graph(GraphEngine {
+                TrialEngine::Graph(Box::new(GraphEngine {
                     kernel,
                     graph,
                     opinions,
                     k: initial.k(),
-                })
+                }))
             }
         })
     };
@@ -211,8 +213,9 @@ pub fn run_job(spec: &JobSpec, options: &RunOptions) -> Result<JobReport, Runtim
 enum TrialEngine {
     /// Population-level dynamics on the complete graph (the default).
     Population(DynProtocol),
-    /// Agent-level dynamics on a generated graph.
-    Graph(GraphEngine),
+    /// Agent-level dynamics on a generated graph (boxed: the engine
+    /// carries the graph arenas, far larger than the boxed protocol).
+    Graph(Box<GraphEngine>),
 }
 
 /// Everything a graph trial shares across trials: the concrete kernel,
@@ -232,6 +235,7 @@ enum BuiltGraph {
     Csr(CsrGraph),
     Weighted(WeightedCsrGraph),
     Temporal(TemporalGraph),
+    WeightedTemporal(WeightedTemporalGraph),
 }
 
 /// Reserved generator stream id, so graph construction never collides
@@ -311,6 +315,70 @@ fn edge_weight(seed: u64, u: usize, v: usize, min: u32, max: u32) -> u32 {
     min + (derive_seed(derive_seed(seed, lo), hi) % span) as u32
 }
 
+/// Applies a weight scheme to a generated CSR graph, turning scheme and
+/// construction failures (zero-weight rows, row totals or degree
+/// products past `u32::MAX`, listed edges the graph does not contain)
+/// into typed spec errors. Shared by the static weighted path and every
+/// snapshot/epoch of a weighted temporal schedule.
+fn apply_weights(
+    csr: CsrGraph,
+    scheme: &WeightScheme,
+    wseed: u64,
+    context: &str,
+) -> Result<WeightedCsrGraph, RuntimeError> {
+    let weighted = match scheme {
+        WeightScheme::Uniform { value } => WeightedCsrGraph::from_csr_uniform(csr, *value),
+        WeightScheme::Random { min, max } => {
+            let (min, max) = (*min, *max);
+            WeightedCsrGraph::from_csr_with(csr, |u, v| edge_weight(wseed, u, v, min, max))
+        }
+        WeightScheme::DegreeProduct => {
+            // The per-edge product must fit the closure's u32 before
+            // construction can check row totals.
+            let n = csr.n();
+            let degs: Vec<u64> = (0..n).map(|v| csr.degree(v) as u64).collect();
+            let (offsets, neighbors) = csr.raw_parts();
+            for v in 0..n {
+                for &w in &neighbors[offsets[v] as usize..offsets[v + 1] as usize] {
+                    if degs[v] * degs[w as usize] > u64::from(u32::MAX) {
+                        return Err(RuntimeError::Spec(format!(
+                            "{context}: degree-product weight of edge ({v}, {w}) exceeds \
+                             u32::MAX — the scheme needs sparser rows"
+                        )));
+                    }
+                }
+            }
+            WeightedCsrGraph::from_csr_with(csr, |u, v| (degs[u] * degs[v]) as u32)
+        }
+        WeightScheme::Explicit { edges, default } => {
+            let mut listed = std::collections::HashMap::with_capacity(edges.len());
+            for &(u, v, w) in edges {
+                let (u, v) = (u as usize, v as usize);
+                if !csr.has_edge(u, v) {
+                    return Err(RuntimeError::Spec(format!(
+                        "{context}: explicit weight listed for ({u}, {v}), but the \
+                         generated graph has no such edge — check the family parameters \
+                         and generator seed"
+                    )));
+                }
+                listed.insert((u.min(v), u.max(v)), w);
+            }
+            let default = *default;
+            WeightedCsrGraph::from_csr_with(csr, |u, v| {
+                listed
+                    .get(&(u.min(v), u.max(v)))
+                    .copied()
+                    .unwrap_or(default)
+            })
+        }
+    };
+    weighted.map_err(|e| {
+        RuntimeError::Spec(format!(
+            "{context}: {e} — raise the minimum weight or change the weight seed"
+        ))
+    })
+}
+
 /// Generates the job's graph from its reserved RNG stream.
 fn build_graph(
     graph_spec: &GraphSpec,
@@ -323,9 +391,13 @@ fn build_graph(
 
     // Temporal schedules: the base family is snapshot 0 (seed derived per
     // snapshot index) or the rewiring template (seed derived per epoch).
+    // With a `weights` block each snapshot/epoch carries its own weight
+    // rows (the same scheme applied to its own edge set, so persistent
+    // edges keep their weight across snapshots under seeded schemes).
     if let Some(temporal) = &graph_spec.temporal {
         let period = temporal.period;
-        return Ok(BuiltGraph::Temporal(match &temporal.schedule {
+        let weights_spec = graph_spec.weights.as_ref();
+        return match &temporal.schedule {
             TemporalSchedule::Snapshots(extra) => {
                 let mut families = Vec::with_capacity(extra.len() + 1);
                 families.push(&graph_spec.family);
@@ -338,29 +410,93 @@ fn build_graph(
                     reject_isolated(&snap, &context)?;
                     snapshots.push(snap);
                 }
-                TemporalGraph::periodic(snapshots, period)
-                    .map_err(|e| RuntimeError::Spec(format!("graph.temporal: {e}")))?
+                Ok(match weights_spec {
+                    Some(wspec) => {
+                        let wseed = wspec.seed.unwrap_or(master_seed);
+                        let weighted = snapshots
+                            .into_iter()
+                            .enumerate()
+                            .map(|(i, snap)| {
+                                apply_weights(
+                                    snap,
+                                    &wspec.scheme,
+                                    wseed,
+                                    &format!("graph.weights (temporal snapshot {i})"),
+                                )
+                            })
+                            .collect::<Result<Vec<_>, _>>()?;
+                        BuiltGraph::WeightedTemporal(
+                            WeightedTemporalGraph::periodic(weighted, period)
+                                .map_err(|e| RuntimeError::Spec(format!("graph.temporal: {e}")))?,
+                        )
+                    }
+                    None => BuiltGraph::Temporal(
+                        TemporalGraph::periodic(snapshots, period)
+                            .map_err(|e| RuntimeError::Spec(format!("graph.temporal: {e}")))?,
+                    ),
+                })
             }
             TemporalSchedule::Rewire => {
                 let family = graph_spec.family.clone();
-                let generator = move |epoch: u64| {
+                // Validation restricts rewiring to random families; epochs
+                // that isolate vertices (bare ER, sparse SBM) are repaired
+                // deterministically, so every epoch is sampleable.
+                // Residual mid-trial failure modes that can only panic
+                // (the typed-error boundary is behind us once trials
+                // run): the random-regular repair budget, vanishingly
+                // unlikely at valid (n, d), and a degree-product row
+                // overflowing u32 on a later, denser epoch —
+                // uniform/random schemes are statically bounded by
+                // validation (max_weight · (n − 1) <= u32::MAX), and
+                // epoch 0 is probed below so deterministic problems
+                // surface as typed errors before any trial runs.
+                let make_csr = move |epoch: u64,
+                                     family: &GraphFamily,
+                                     context: &str|
+                      -> Result<CsrGraph, RuntimeError> {
                     let mut rng = rng_for(derive_seed(seed_base, epoch), GRAPH_STREAM);
-                    // Validation restricts rewiring to families whose
-                    // generation cannot fail or isolate vertices
-                    // (erdos-renyi + backbone, random-regular); the
-                    // residual failure mode is the random-regular repair
-                    // budget, vanishingly unlikely at valid (n, d).
-                    build_csr_family(&family, n, &mut rng, "graph.temporal rewire")
-                        .unwrap_or_else(|e| panic!("rewiring epoch {epoch}: {e}"))
+                    Ok(repair_isolated(build_csr_family(
+                        family, n, &mut rng, context,
+                    )?))
                 };
-                // Probe epoch 0 so deterministic problems surface as a
-                // typed error before any trial runs.
-                let probe = generator(0);
-                reject_isolated(&probe, "graph.temporal rewire epoch 0")?;
-                TemporalGraph::rewiring(n, generator, period)
-                    .map_err(|e| RuntimeError::Spec(format!("graph.temporal: {e}")))?
+                match weights_spec {
+                    Some(wspec) => {
+                        let wseed = wspec.seed.unwrap_or(master_seed);
+                        let scheme = wspec.scheme.clone();
+                        let probe_family = family.clone();
+                        let probe = apply_weights(
+                            make_csr(0, &probe_family, "graph.temporal rewire epoch 0")?,
+                            &scheme,
+                            wseed,
+                            "graph.weights (rewire epoch 0)",
+                        )?;
+                        drop(probe);
+                        let generator = move |epoch: u64| {
+                            let csr = make_csr(epoch, &family, "graph.temporal rewire")
+                                .unwrap_or_else(|e| panic!("rewiring epoch {epoch}: {e}"));
+                            apply_weights(csr, &scheme, wseed, "graph.weights (rewire)")
+                                .unwrap_or_else(|e| panic!("rewiring epoch {epoch}: {e}"))
+                        };
+                        Ok(BuiltGraph::WeightedTemporal(
+                            WeightedTemporalGraph::rewiring(n, generator, period)
+                                .map_err(|e| RuntimeError::Spec(format!("graph.temporal: {e}")))?,
+                        ))
+                    }
+                    None => {
+                        let probe = make_csr(0, &family, "graph.temporal rewire epoch 0")?;
+                        reject_isolated(&probe, "graph.temporal rewire epoch 0")?;
+                        let generator = move |epoch: u64| {
+                            make_csr(epoch, &family, "graph.temporal rewire")
+                                .unwrap_or_else(|e| panic!("rewiring epoch {epoch}: {e}"))
+                        };
+                        Ok(BuiltGraph::Temporal(
+                            TemporalGraph::rewiring(n, generator, period)
+                                .map_err(|e| RuntimeError::Spec(format!("graph.temporal: {e}")))?,
+                        ))
+                    }
+                }
             }
-        }));
+        };
     }
 
     let mut rng = rng_for(seed_base, GRAPH_STREAM);
@@ -370,17 +506,7 @@ fn build_graph(
         let csr = build_csr_family(&graph_spec.family, n, &mut rng, "graph")?;
         reject_isolated(&csr, "graph")?;
         let wseed = weights_spec.seed.unwrap_or(master_seed);
-        let weighted = match weights_spec.scheme {
-            WeightScheme::Uniform { value } => WeightedCsrGraph::from_csr_uniform(csr, value),
-            WeightScheme::Random { min, max } => {
-                WeightedCsrGraph::from_csr_with(csr, |u, v| edge_weight(wseed, u, v, min, max))
-            }
-        }
-        .map_err(|e| {
-            RuntimeError::Spec(format!(
-                "graph.weights: {e} — raise the minimum weight or change the weight seed"
-            ))
-        })?;
+        let weighted = apply_weights(csr, &weights_spec.scheme, wseed, "graph.weights")?;
         return Ok(BuiltGraph::Weighted(weighted));
     }
 
@@ -497,6 +623,9 @@ fn run_graph_trial(spec: &JobSpec, engine: &GraphEngine, trial: u64) -> TrialRes
         BuiltGraph::Csr(g) => dispatch_kernel(spec, engine, g, trial_seed),
         BuiltGraph::Weighted(g) => dispatch_kernel_weighted(spec, engine, g, trial_seed),
         BuiltGraph::Temporal(t) => dispatch_kernel_temporal(spec, engine, t, trial_seed),
+        BuiltGraph::WeightedTemporal(t) => {
+            dispatch_kernel_weighted_temporal(spec, engine, t, trial_seed)
+        }
     }
 }
 
@@ -559,6 +688,37 @@ fn dispatch_kernel_temporal(
         GraphProtocolKind::Undecided(p) => run_temporal_case(spec, p, schedule, engine, trial_seed),
         GraphProtocolKind::NoisyThreeMajority(p) => {
             run_temporal_case(spec, p, schedule, engine, trial_seed)
+        }
+    }
+}
+
+fn dispatch_kernel_weighted_temporal(
+    spec: &JobSpec,
+    engine: &GraphEngine,
+    schedule: &WeightedTemporalGraph,
+    trial_seed: u64,
+) -> TrialResult {
+    match &engine.kernel {
+        GraphProtocolKind::ThreeMajority(p) => {
+            run_weighted_temporal_case(spec, p, schedule, engine, trial_seed)
+        }
+        GraphProtocolKind::TwoChoices(p) => {
+            run_weighted_temporal_case(spec, p, schedule, engine, trial_seed)
+        }
+        GraphProtocolKind::Voter(p) => {
+            run_weighted_temporal_case(spec, p, schedule, engine, trial_seed)
+        }
+        GraphProtocolKind::Median(p) => {
+            run_weighted_temporal_case(spec, p, schedule, engine, trial_seed)
+        }
+        GraphProtocolKind::HMajority(p) => {
+            run_weighted_temporal_case(spec, p, schedule, engine, trial_seed)
+        }
+        GraphProtocolKind::Undecided(p) => {
+            run_weighted_temporal_case(spec, p, schedule, engine, trial_seed)
+        }
+        GraphProtocolKind::NoisyThreeMajority(p) => {
+            run_weighted_temporal_case(spec, p, schedule, engine, trial_seed)
         }
     }
 }
@@ -652,6 +812,34 @@ fn run_temporal_case<P: GraphProtocol>(
         }
         StopRule::Gamma(threshold) => {
             sim.run_batched_until(&engine.opinions, trial_seed, |_, opinions| {
+                od_core::protocol::tally(opinions, k).gamma() >= threshold
+            })
+        }
+    };
+    fold_outcome(out)
+}
+
+/// The combined analogue of [`run_temporal_case`]: the same stop-rule
+/// plumbing over a [`WeightedTemporalSimulation`] (per-trial snapshot
+/// view, weighted batched rounds).
+fn run_weighted_temporal_case<P: GraphProtocol>(
+    spec: &JobSpec,
+    protocol: &P,
+    schedule: &WeightedTemporalGraph,
+    engine: &GraphEngine,
+    trial_seed: u64,
+) -> TrialResult {
+    let sim = WeightedTemporalSimulation::new(protocol, schedule).with_max_rounds(spec.max_rounds);
+    let k = engine.k;
+    let out = match spec.stop {
+        StopRule::Consensus => sim.run_weighted(&engine.opinions, trial_seed),
+        StopRule::MaxFraction(threshold) => {
+            sim.run_weighted_until(&engine.opinions, trial_seed, |_, opinions| {
+                od_core::protocol::tally(opinions, k).max_fraction() >= threshold
+            })
+        }
+        StopRule::Gamma(threshold) => {
+            sim.run_weighted_until(&engine.opinions, trial_seed, |_, opinions| {
                 od_core::protocol::tally(opinions, k).gamma() >= threshold
             })
         }

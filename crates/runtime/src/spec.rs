@@ -525,7 +525,7 @@ impl GraphFamily {
 }
 
 /// How per-edge sampling weights are generated.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WeightScheme {
     /// Every edge carries the same weight (`1` reproduces unweighted
     /// sampling bit-for-bit).
@@ -543,12 +543,31 @@ pub enum WeightScheme {
         /// Largest weight (inclusive).
         max: u32,
     },
+    /// Degree-correlated weights: edge `{u, v}` carries
+    /// `deg(u) · deg(v)` (degrees in the graph the weights are applied
+    /// to — for temporal schedules, each snapshot's own degrees).
+    /// Products or row totals past `u32::MAX` are typed errors at graph
+    /// build time.
+    DegreeProduct,
+    /// Explicit per-edge weights: listed undirected edges carry their
+    /// listed weight, every other edge carries `default`. Listing an
+    /// edge the generated graph does not contain is a typed error at
+    /// graph build time (explicit lists are tied to one static edge
+    /// set, so they cannot be combined with `temporal`).
+    Explicit {
+        /// `(u, v, weight)` entries, one per unordered pair.
+        edges: Vec<(u64, u64, u32)>,
+        /// Weight of every unlisted edge (`0` restricts sampling to the
+        /// listed edges; vertices left without any positive-weight edge
+        /// are typed errors at graph build time).
+        default: u32,
+    },
 }
 
 /// The `weights` sub-block of a graph scenario: turns uniform neighbor
-/// sampling into weight-proportional sampling via the prefix-sum
-/// weighted engine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// sampling into weight-proportional sampling via the weighted engine
+/// (alias-table point resolution over prefix-sum rows).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WeightsSpec {
     /// How edge weights are generated.
     pub scheme: WeightScheme,
@@ -559,10 +578,10 @@ pub struct WeightsSpec {
 }
 
 impl WeightsSpec {
-    fn validate(&self) -> Result<(), RuntimeError> {
-        match self.scheme {
+    fn validate(&self, n: u64) -> Result<(), RuntimeError> {
+        match &self.scheme {
             WeightScheme::Uniform { value } => {
-                if value == 0 {
+                if *value == 0 {
                     Err(spec_err(
                         "graph.weights: uniform value 0 would leave every vertex with only \
                          zero-weight edges — use a positive value",
@@ -574,7 +593,7 @@ impl WeightsSpec {
             WeightScheme::Random { min, max } => {
                 if min > max {
                     Err(spec_err("graph.weights: min must not exceed max"))
-                } else if max == 0 {
+                } else if *max == 0 {
                     Err(spec_err(
                         "graph.weights: max 0 would leave every vertex with only zero-weight \
                          edges — use a positive max",
@@ -583,20 +602,70 @@ impl WeightsSpec {
                     Ok(())
                 }
             }
+            WeightScheme::DegreeProduct => Ok(()),
+            WeightScheme::Explicit { edges, .. } => {
+                if edges.is_empty() {
+                    return Err(spec_err(
+                        "graph.weights: an explicit scheme needs at least one edge entry \
+                         (use the uniform scheme for a constant weight)",
+                    ));
+                }
+                let mut seen = std::collections::HashSet::with_capacity(edges.len());
+                for (i, &(u, v, _)) in edges.iter().enumerate() {
+                    if u == v {
+                        return Err(spec_err(&format!(
+                            "graph.weights.edges[{i}]: self-pair ({u}, {u}) — entries must \
+                             name two distinct vertices"
+                        )));
+                    }
+                    if u >= n || v >= n {
+                        return Err(spec_err(&format!(
+                            "graph.weights.edges[{i}]: endpoint out of range for n = {n}"
+                        )));
+                    }
+                    if !seen.insert((u.min(v), u.max(v))) {
+                        return Err(spec_err(&format!(
+                            "graph.weights.edges[{i}]: duplicate entry for the unordered \
+                             pair ({}, {})",
+                            u.min(v),
+                            u.max(v)
+                        )));
+                    }
+                }
+                Ok(())
+            }
         }
     }
 
-    fn to_json(self) -> Json {
+    fn to_json(&self) -> Json {
         let mut obj = Json::object();
-        match self.scheme {
+        match &self.scheme {
             WeightScheme::Uniform { value } => {
                 obj.insert("scheme", Json::Str("uniform".into()));
-                obj.insert("value", json_u64(u64::from(value)));
+                obj.insert("value", json_u64(u64::from(*value)));
             }
             WeightScheme::Random { min, max } => {
                 obj.insert("scheme", Json::Str("random".into()));
-                obj.insert("min", json_u64(u64::from(min)));
-                obj.insert("max", json_u64(u64::from(max)));
+                obj.insert("min", json_u64(u64::from(*min)));
+                obj.insert("max", json_u64(u64::from(*max)));
+            }
+            WeightScheme::DegreeProduct => {
+                obj.insert("scheme", Json::Str("degree-product".into()));
+            }
+            WeightScheme::Explicit { edges, default } => {
+                obj.insert("scheme", Json::Str("explicit".into()));
+                obj.insert(
+                    "edges",
+                    Json::Arr(
+                        edges
+                            .iter()
+                            .map(|&(u, v, w)| {
+                                Json::Arr(vec![json_u64(u), json_u64(v), json_u64(u64::from(w))])
+                            })
+                            .collect(),
+                    ),
+                );
+                obj.insert("default", json_u64(u64::from(*default)));
             }
         }
         if let Some(seed) = self.seed {
@@ -626,9 +695,54 @@ impl WeightsSpec {
                     max: u32_field("max")?,
                 }
             }
+            "degree-product" => {
+                reject_unknown_keys(value, "graph.weights", &["scheme", "seed"])?;
+                WeightScheme::DegreeProduct
+            }
+            "explicit" => {
+                reject_unknown_keys(
+                    value,
+                    "graph.weights",
+                    &["scheme", "edges", "default", "seed"],
+                )?;
+                let items = value.get("edges").and_then(Json::as_array).ok_or_else(|| {
+                    spec_err("graph.weights.edges must be an array of [u, v, weight] triples")
+                })?;
+                let edges = items
+                    .iter()
+                    .enumerate()
+                    .map(|(i, item)| {
+                        let triple = item.as_array().filter(|t| t.len() == 3).ok_or_else(|| {
+                            spec_err(&format!(
+                                "graph.weights.edges[{i}] must be a [u, v, weight] triple"
+                            ))
+                        })?;
+                        let field = |j: usize| {
+                            u64_of(&triple[j]).ok_or_else(|| {
+                                spec_err(&format!(
+                                    "graph.weights.edges[{i}] entries must be non-negative \
+                                     integers"
+                                ))
+                            })
+                        };
+                        let w = u32::try_from(field(2)?).map_err(|_| {
+                            spec_err(&format!(
+                                "graph.weights.edges[{i}]: weight does not fit u32"
+                            ))
+                        })?;
+                        Ok((field(0)?, field(1)?, w))
+                    })
+                    .collect::<Result<Vec<_>, RuntimeError>>()?;
+                let default = match value.get("default") {
+                    None => 1,
+                    Some(_) => u32_field("default")?,
+                };
+                WeightScheme::Explicit { edges, default }
+            }
             other => {
                 return Err(spec_err(&format!(
-                    "unknown graph.weights.scheme '{other}' (known: uniform, random)"
+                    "unknown graph.weights.scheme '{other}' (known: uniform, random, \
+                     degree-product, explicit)"
                 )))
             }
         };
@@ -655,11 +769,13 @@ pub enum TemporalSchedule {
         Vec<GraphFamily>,
     ),
     /// Regenerate `graph.family` every `period` rounds with an
-    /// epoch-derived seed (seeded edge rewiring). Restricted to
-    /// families that cannot produce isolated vertices (`erdos-renyi`
-    /// with `backbone: true`, `random-regular`): a rewired snapshot is
-    /// generated mid-trial, past the point where a typed error could be
-    /// returned.
+    /// epoch-derived seed (seeded edge rewiring). Random families whose
+    /// draws can isolate vertices (`erdos-renyi` without a backbone,
+    /// `stochastic-block-model`) run behind a deterministic "repair
+    /// isolated vertices" post-pass (ring edges added to degree-0
+    /// vertices), so every epoch is sampleable. Deterministic families
+    /// are rejected with a typed error: rewiring them would regenerate
+    /// the identical graph each epoch.
     Rewire,
 }
 
@@ -703,17 +819,16 @@ impl TemporalSpec {
                 Ok(())
             }
             TemporalSchedule::Rewire => match family {
-                GraphFamily::ErdosRenyi { backbone: true, .. }
-                | GraphFamily::RandomRegular { .. } => Ok(()),
-                GraphFamily::ErdosRenyi {
-                    backbone: false, ..
-                } => Err(spec_err(
-                    "graph.temporal: rewiring erdos-renyi requires \"backbone\": true \
-                     (a rewired epoch must never contain isolated vertices)",
-                )),
+                // Random families only: ER and SBM epochs that isolate
+                // vertices are repaired deterministically (ring edges on
+                // degree-0 vertices), random-regular cannot isolate.
+                GraphFamily::ErdosRenyi { .. }
+                | GraphFamily::RandomRegular { .. }
+                | GraphFamily::StochasticBlockModel { .. } => Ok(()),
                 other => Err(spec_err(&format!(
-                    "graph.temporal: rewiring is not supported for family '{}' \
-                     (supported: erdos-renyi with backbone, random-regular)",
+                    "graph.temporal: rewiring family '{}' would regenerate the identical \
+                     graph every epoch (supported random families: erdos-renyi, \
+                     random-regular, stochastic-block-model; use snapshots otherwise)",
                     other.kind()
                 ))),
             },
@@ -839,18 +954,56 @@ impl GraphSpec {
         }
         self.family.validate(n, "graph")?;
         if let Some(weights) = &self.weights {
-            weights.validate()?;
+            weights.validate(n)?;
             if matches!(self.family, GraphFamily::Complete) {
                 return Err(spec_err(
                     "graph.weights: the implicit complete graph has no explicit edge list \
                      to weight — use an explicit family (e.g. erdos-renyi with p = 1)",
                 ));
             }
-            if self.temporal.is_some() {
-                return Err(spec_err(
-                    "graph.weights and graph.temporal cannot be combined (weighted \
-                     schedules are not supported yet)",
-                ));
+            // Combined weighted × temporal: the schedule's snapshots each
+            // carry their own weight rows. Two combinations stay typed
+            // errors: explicit edge lists are tied to one static edge set,
+            // and a rewiring epoch is generated mid-trial, past the point
+            // where a zero-weight row could be a typed error, so the
+            // scheme must guarantee positive weights statically.
+            if let Some(temporal) = &self.temporal {
+                if matches!(weights.scheme, WeightScheme::Explicit { .. }) {
+                    return Err(spec_err(
+                        "graph.weights: an explicit edge-weight list is tied to one static \
+                         edge set and cannot be combined with graph.temporal — use the \
+                         uniform, random, or degree-product scheme",
+                    ));
+                }
+                if matches!(temporal.schedule, TemporalSchedule::Rewire) {
+                    if matches!(weights.scheme, WeightScheme::Random { min: 0, .. }) {
+                        return Err(spec_err(
+                            "graph.weights: rewiring schedules need min >= 1 (a rewired \
+                             epoch is generated mid-trial, where an all-zero weight row \
+                             could no longer surface as a typed error)",
+                        ));
+                    }
+                    // Row totals are bounded by max_weight · (n − 1) at any
+                    // epoch, so this bound makes uniform/random rewiring
+                    // overflow-free for every epoch, not just the probed
+                    // one. degree-product has no useful static bound; its
+                    // residual mid-trial failure mode is documented at the
+                    // executor's rewire generator.
+                    let max_weight = match weights.scheme {
+                        WeightScheme::Uniform { value } => Some(value),
+                        WeightScheme::Random { max, .. } => Some(max),
+                        WeightScheme::DegreeProduct | WeightScheme::Explicit { .. } => None,
+                    };
+                    if let Some(max_weight) = max_weight {
+                        if u64::from(max_weight) * n.saturating_sub(1) > u64::from(u32::MAX) {
+                            return Err(spec_err(
+                                "graph.weights: the maximal per-edge weight times n - 1 \
+                                 exceeds u32::MAX, so a high-degree rewired epoch could \
+                                 overflow a row total mid-trial — lower the weights",
+                            ));
+                        }
+                    }
+                }
             }
         }
         if let Some(temporal) = &self.temporal {
@@ -1366,11 +1519,15 @@ impl JobSpec {
             // depend additionally on the prefix-sum point resolution, and
             // temporal jobs on the epoch seed derivation.
             canonical.push_str("#graph-engine=batched-v1");
-            if graph.weights.is_some() {
-                canonical.push_str("+weighted-prefix-v1");
-            }
-            if graph.temporal.is_some() {
-                canonical.push_str("+temporal-v1");
+            // The weighted tag names the *normative point → index map*
+            // (the prefix interval semantics), not the lookup strategy:
+            // alias-table resolution is proptested bit-identical to the
+            // prefix search, so introducing it did not bump the tag.
+            match (graph.weights.is_some(), graph.temporal.is_some()) {
+                (true, true) => canonical.push_str("+weighted-temporal-v1"),
+                (true, false) => canonical.push_str("+weighted-prefix-v1"),
+                (false, true) => canonical.push_str("+temporal-v1"),
+                (false, false) => {}
             }
         }
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;

@@ -585,36 +585,21 @@ fn empty_and_malformed_temporal_schedules_are_typed_errors() {
     let err = zero_period.validate().err().expect("period 0 must fail");
     assert!(err.to_string().contains("period"), "{err}");
 
-    // Rewiring a family that can isolate vertices mid-run is rejected up
-    // front.
-    let mut bare_er = temporal_spec(TemporalSchedule::Rewire, 2);
-    bare_er.graph = Some(GraphSpec {
-        family: GraphFamily::ErdosRenyi {
-            p: 0.05,
-            backbone: false,
-        },
-        ..bare_er.graph.unwrap()
-    });
-    let err = bare_er.validate().err().expect("bare ER rewire must fail");
-    assert!(err.to_string().contains("backbone"), "{err}");
-
-    let mut star_rewire = temporal_spec(TemporalSchedule::Rewire, 2);
-    star_rewire.graph = Some(GraphSpec {
-        family: GraphFamily::Star,
-        ..star_rewire.graph.unwrap()
-    });
-    assert!(star_rewire.validate().is_err());
-
-    // Weighted + temporal is an explicit (unsupported) combination.
-    let mut combo = temporal_spec(TemporalSchedule::Rewire, 2);
-    combo.graph = Some(GraphSpec {
-        weights: Some(WeightsSpec {
-            scheme: WeightScheme::Uniform { value: 2 },
-            seed: None,
-        }),
-        ..combo.graph.unwrap()
-    });
-    assert!(combo.validate().is_err());
+    // Rewiring a deterministic family would regenerate the identical
+    // graph every epoch — still a typed error (the repair pass lifted
+    // the restriction only for random families).
+    for family in [GraphFamily::Star, GraphFamily::Cycle, GraphFamily::Barbell] {
+        let mut deterministic = temporal_spec(TemporalSchedule::Rewire, 2);
+        deterministic.graph = Some(GraphSpec {
+            family,
+            ..deterministic.graph.unwrap()
+        });
+        let err = deterministic
+            .validate()
+            .err()
+            .expect("deterministic rewire must fail");
+        assert!(err.to_string().contains("identical graph"), "{err}");
+    }
 
     // A snapshot family infeasible at this n fails validation with its
     // index in the message.
@@ -712,6 +697,350 @@ fn community_assignments_validate_and_run() {
         "graph": {"family": "barbell", "block_mix": [[0.5, 0.5]]}
     }"#;
     assert!(JobSpec::from_json_text(text).is_err());
+}
+
+fn weighted_temporal_spec(
+    scheme: WeightScheme,
+    schedule: TemporalSchedule,
+    period: u64,
+) -> JobSpec {
+    let mut spec = graph_spec(GraphFamily::RandomRegular { d: 8 });
+    spec.graph = Some(GraphSpec {
+        weights: Some(WeightsSpec { scheme, seed: None }),
+        temporal: Some(TemporalSpec { schedule, period }),
+        ..spec.graph.unwrap()
+    });
+    spec
+}
+
+#[test]
+fn new_weight_schemes_roundtrip_and_validate() {
+    let specs = vec![
+        weighted_spec(WeightScheme::DegreeProduct),
+        weighted_spec(WeightScheme::Explicit {
+            edges: vec![(0, 1, 5), (1, 2, 7)],
+            default: 1,
+        }),
+        weighted_temporal_spec(
+            WeightScheme::Random { min: 1, max: 8 },
+            TemporalSchedule::Snapshots(vec![GraphFamily::ErdosRenyi {
+                p: 0.05,
+                backbone: true,
+            }]),
+            3,
+        ),
+        weighted_temporal_spec(WeightScheme::DegreeProduct, TemporalSchedule::Rewire, 2),
+    ];
+    for spec in specs {
+        let text = spec.to_json().to_string_pretty();
+        let back = JobSpec::from_json_text(&text).unwrap();
+        assert_eq!(back, spec, "roundtrip failed for {text}");
+        assert_eq!(back.content_hash(), spec.content_hash());
+        spec.validate().unwrap_or_else(|e| panic!("{text}: {e}"));
+    }
+}
+
+#[test]
+fn repaired_rewire_families_run_and_are_shard_invariant() {
+    // Bare (backbone-less) ER and the SBM can isolate vertices in a
+    // rewired epoch; the deterministic repair post-pass makes them legal
+    // schedules now — and keeps them partition-invariant.
+    for family in [
+        GraphFamily::ErdosRenyi {
+            p: 0.02,
+            backbone: false,
+        },
+        GraphFamily::StochasticBlockModel {
+            p_in: 0.1,
+            p_out: 0.005,
+        },
+    ] {
+        let mut summaries = vec![];
+        for shard_size in [1u64, 3, 8] {
+            let mut spec = temporal_spec(TemporalSchedule::Rewire, 2);
+            spec.shard_size = shard_size;
+            spec.graph = Some(GraphSpec {
+                family: family.clone(),
+                ..spec.graph.unwrap()
+            });
+            summaries.push(run_job_simple(&spec).unwrap().summary);
+        }
+        assert_eq!(summaries[0], summaries[1], "{family:?}");
+        assert_eq!(summaries[0], summaries[2], "{family:?}");
+        assert_eq!(summaries[0].trials, 8);
+    }
+}
+
+#[test]
+fn weighted_temporal_jobs_run_and_are_shard_invariant() {
+    for schedule in [
+        TemporalSchedule::Snapshots(vec![GraphFamily::Cycle]),
+        TemporalSchedule::Rewire,
+    ] {
+        let mut summaries = vec![];
+        for shard_size in [1u64, 3, 8] {
+            let spec = JobSpec {
+                shard_size,
+                ..weighted_temporal_spec(
+                    WeightScheme::Random { min: 1, max: 8 },
+                    schedule.clone(),
+                    2,
+                )
+            };
+            summaries.push(run_job_simple(&spec).unwrap().summary);
+        }
+        assert_eq!(summaries[0], summaries[1], "{schedule:?}");
+        assert_eq!(summaries[0], summaries[2], "{schedule:?}");
+        assert_eq!(summaries[0].trials, 8);
+    }
+}
+
+#[test]
+fn unit_weight_temporal_jobs_match_unweighted_temporal_jobs() {
+    // weights {uniform, value 1} on every snapshot draws the very same
+    // sample paths as the unweighted temporal engine, so the merged
+    // summaries must be equal — the combined scenario's anchor.
+    let schedule = TemporalSchedule::Snapshots(vec![GraphFamily::ErdosRenyi {
+        p: 0.05,
+        backbone: true,
+    }]);
+    let plain = run_job_simple(&temporal_spec(schedule.clone(), 3)).unwrap();
+    let weighted = run_job_simple(&weighted_temporal_spec(
+        WeightScheme::Uniform { value: 1 },
+        schedule,
+        3,
+    ))
+    .unwrap();
+    assert_eq!(plain.summary, weighted.summary);
+}
+
+#[test]
+fn weighted_temporal_jobs_kill_resume_byte_identically_mid_schedule() {
+    // The combined scenario's checkpoint/resume guarantee: drop half the
+    // completed shards ("kill"), resume, and the merged summary must be
+    // byte-identical to the uninterrupted run.
+    let dir = std::env::temp_dir().join(format!("od_wtemp_resume_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let checkpoint_path = dir.join("job.checkpoint.json");
+    let spec = weighted_temporal_spec(
+        WeightScheme::Random { min: 1, max: 8 },
+        TemporalSchedule::Snapshots(vec![GraphFamily::ErdosRenyi {
+            p: 0.05,
+            backbone: true,
+        }]),
+        3,
+    );
+    let options = RunOptions {
+        checkpoint_path: Some(checkpoint_path.clone()),
+        ..RunOptions::default()
+    };
+    let uninterrupted = run_job(&spec, &options).unwrap();
+    assert_eq!(uninterrupted.resumed_shards, 0);
+    let reference_bytes = uninterrupted.summary.to_json().to_string_compact();
+
+    let mut checkpoint = Checkpoint::load(&checkpoint_path).unwrap().unwrap();
+    let total = checkpoint.shards.len() as u64;
+    checkpoint.shards.retain(|&index, _| index % 2 == 0);
+    let kept = checkpoint.shards.len() as u64;
+    assert!(kept < total, "test must actually drop shards");
+    checkpoint.save(&checkpoint_path).unwrap();
+
+    let resumed = run_job(&spec, &options).unwrap();
+    assert_eq!(resumed.resumed_shards, kept);
+    assert_eq!(resumed.completed_shards, total);
+    assert_eq!(
+        resumed.summary.to_json().to_string_compact(),
+        reference_bytes,
+        "resumed summary must be byte-identical to the uninterrupted run"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn combined_jobs_hash_under_their_own_engine_tag() {
+    // weights + temporal salts the hash with the combined tag, distinct
+    // from both solo tags and from the bare FNV of the canonical JSON.
+    let combined = weighted_temporal_spec(
+        WeightScheme::Uniform { value: 2 },
+        TemporalSchedule::Rewire,
+        2,
+    );
+    let bare = {
+        let canonical = combined.to_json().to_string_compact();
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in canonical.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        format!("{h:016x}")
+    };
+    assert_ne!(combined.content_hash(), bare);
+    assert_ne!(
+        combined.content_hash(),
+        weighted_spec(WeightScheme::Uniform { value: 2 }).content_hash()
+    );
+    assert_ne!(
+        combined.content_hash(),
+        temporal_spec(TemporalSchedule::Rewire, 2).content_hash()
+    );
+}
+
+#[test]
+fn degree_product_weights_run_and_bias_toward_hubs() {
+    // A degree-correlated scheme on the core–periphery graph: valid,
+    // runs, and consolidates (the heavy core dominates sampling).
+    let mut spec = graph_spec(GraphFamily::CorePeriphery { core: 20 });
+    spec.graph = Some(GraphSpec {
+        weights: Some(WeightsSpec {
+            scheme: WeightScheme::DegreeProduct,
+            seed: None,
+        }),
+        ..spec.graph.unwrap()
+    });
+    let report = run_job_simple(&spec).unwrap();
+    assert_eq!(report.summary.trials, 8);
+    assert_eq!(report.summary.capped, 0);
+}
+
+#[test]
+fn explicit_weight_lists_run_on_deterministic_families() {
+    // The cycle's edge set is deterministic, so an explicit list can be
+    // written down in the spec: make edge {0, 1} overwhelmingly heavy.
+    let mut spec = graph_spec(GraphFamily::Cycle);
+    spec.graph = Some(GraphSpec {
+        weights: Some(WeightsSpec {
+            scheme: WeightScheme::Explicit {
+                edges: vec![(0, 1, 1_000_000), (1, 2, 3)],
+                default: 1,
+            },
+            seed: None,
+        }),
+        ..spec.graph.unwrap()
+    });
+    let report = run_job_simple(&spec).unwrap();
+    assert_eq!(report.summary.trials, 8);
+}
+
+#[test]
+fn new_scheme_misuse_is_a_typed_error() {
+    // Explicit entry for an edge the generated graph does not contain.
+    let mut spec = graph_spec(GraphFamily::Cycle);
+    spec.graph = Some(GraphSpec {
+        weights: Some(WeightsSpec {
+            scheme: WeightScheme::Explicit {
+                edges: vec![(0, 5, 3)],
+                default: 1,
+            },
+            seed: None,
+        }),
+        ..spec.graph.unwrap()
+    });
+    let err = run_job_simple(&spec).expect_err("missing edge must fail");
+    assert!(err.to_string().contains("no such edge"), "{err}");
+
+    // Static explicit-list validation: self-pairs, out-of-range
+    // endpoints, duplicates, empty lists.
+    let self_pair = weighted_spec(WeightScheme::Explicit {
+        edges: vec![(3, 3, 1)],
+        default: 1,
+    });
+    assert!(self_pair
+        .validate()
+        .err()
+        .unwrap()
+        .to_string()
+        .contains("distinct"));
+    let out_of_range = weighted_spec(WeightScheme::Explicit {
+        edges: vec![(0, 900, 1)],
+        default: 1,
+    });
+    assert!(out_of_range
+        .validate()
+        .err()
+        .unwrap()
+        .to_string()
+        .contains("out of range"));
+    let duplicate = weighted_spec(WeightScheme::Explicit {
+        edges: vec![(0, 1, 1), (1, 0, 2)],
+        default: 1,
+    });
+    assert!(duplicate
+        .validate()
+        .err()
+        .unwrap()
+        .to_string()
+        .contains("duplicate"));
+    let empty = weighted_spec(WeightScheme::Explicit {
+        edges: vec![],
+        default: 1,
+    });
+    assert!(empty.validate().is_err());
+
+    // Explicit × temporal: edge lists are tied to one static edge set.
+    let combo = weighted_temporal_spec(
+        WeightScheme::Explicit {
+            edges: vec![(0, 1, 2)],
+            default: 1,
+        },
+        TemporalSchedule::Snapshots(vec![GraphFamily::Cycle]),
+        2,
+    );
+    let err = combo.validate().err().expect("explicit×temporal must fail");
+    assert!(err.to_string().contains("static edge set"), "{err}");
+
+    // Random min 0 × rewire: a mid-trial epoch could zero out a row past
+    // the typed-error boundary.
+    let risky = weighted_temporal_spec(
+        WeightScheme::Random { min: 0, max: 3 },
+        TemporalSchedule::Rewire,
+        2,
+    );
+    let err = risky.validate().err().expect("min 0 rewire must fail");
+    assert!(err.to_string().contains("min >= 1"), "{err}");
+
+    // Uniform/random × rewire weights whose maximum times n - 1 exceeds
+    // u32::MAX: a high-degree epoch could overflow a row mid-trial, past
+    // the typed-error boundary — rejected statically (n = 200 here).
+    let overflow = weighted_temporal_spec(
+        WeightScheme::Uniform {
+            value: u32::MAX / 100,
+        },
+        TemporalSchedule::Rewire,
+        2,
+    );
+    let err = overflow.validate().err().expect("overflow bound must fail");
+    assert!(err.to_string().contains("u32::MAX"), "{err}");
+    let overflow = weighted_temporal_spec(
+        WeightScheme::Random {
+            min: 1,
+            max: u32::MAX / 100,
+        },
+        TemporalSchedule::Rewire,
+        2,
+    );
+    assert!(overflow.validate().is_err());
+    // The same weights under a snapshots schedule stay legal: snapshots
+    // are built at job start, where overflow is a typed build error.
+    let snapshots_ok = weighted_temporal_spec(
+        WeightScheme::Uniform {
+            value: u32::MAX / 100,
+        },
+        TemporalSchedule::Snapshots(vec![GraphFamily::Cycle]),
+        2,
+    );
+    snapshots_ok.validate().unwrap();
+
+    // Unknown scheme name fails at parse time with the full menu.
+    let text = r#"{
+        "protocol": {"name": "three-majority"},
+        "initial": {"kind": "balanced", "n": 100, "k": 4},
+        "trials": 2,
+        "master_seed": 1,
+        "graph": {"family": "cycle", "weights": {"scheme": "betweenness"}}
+    }"#;
+    let err = JobSpec::from_json_text(text).expect_err("unknown scheme");
+    assert!(err.to_string().contains("degree-product"), "{err}");
 }
 
 #[test]

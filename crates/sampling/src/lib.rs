@@ -16,9 +16,11 @@
 //! * [`seeds`] — reproducible seed-stream derivation (SplitMix64);
 //! * [`batched`] — bit-packed multi-sample bounded draws (three 21-bit
 //!   Lemire samples per RNG word) for the batched graph rounds;
-//! * [`weighted`] — integer prefix-sum weighted neighbor selection on top
-//!   of the batched counter streams (binary-search production map plus a
-//!   linear-scan scalar reference for differential tests).
+//! * [`weighted`] — integer weighted neighbor selection on top of the
+//!   batched counter streams: an alias-style `O(1)` bucket index as the
+//!   production point resolution, a binary-search prefix map as the
+//!   memory-tight fallback, and a linear-scan scalar reference for
+//!   differential tests — all three bit-identical on every point.
 //!
 //! # Examples
 //!
@@ -53,6 +55,6 @@ pub use multinomial::{sample_multinomial, sample_multinomial_into};
 pub use normal::standard_normal;
 pub use seeds::{rng_at_cell, rng_for, CellRng, SeedStream};
 pub use weighted::{
-    fill_weighted_batched, inclusive_prefix_sums, resolve_weight_point, sample_weighted_index,
-    WeightedCellRng,
+    fill_weighted_alias, fill_weighted_batched, inclusive_prefix_sums, resolve_weight_point,
+    resolve_weight_point_alias, sample_weighted_index, WeightAliasRow, WeightedCellRng,
 };

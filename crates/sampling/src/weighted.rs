@@ -22,12 +22,26 @@
 //!    the weight row, so any partition of a round — sequential,
 //!    sharded, or rayon at any thread count — resolves identically.
 //!
-//! [`resolve_weight_point`] (binary search over the prefix sums) is the
-//! production resolution; [`resolve_weight_point_scalar`] is the
-//! intentionally naive linear-scan reference over the raw weights, kept
-//! for differential testing (`crates/graphs/tests/weighted_reference.rs`
-//! proves them bit-identical over random, all-equal, and
-//! single-heavy-edge weight rows).
+//! Three interchangeable resolutions realise the normative map:
+//!
+//! * [`resolve_weight_point_alias`] — the **production** resolution: an
+//!   alias-style two-array bucket index ([`WeightAliasRow`]) built once
+//!   per row, resolving in `O(1)` expected time (one shift, one bucket
+//!   load, ~1 comparison). Note this deliberately is *not* a classical
+//!   Vose/Walker table: Walker's construction realises a different,
+//!   fragmented partition of `[0, W)` — distributionally identical but
+//!   not point-identical — so it could never agree draw-for-draw with
+//!   the prefix map. The bucket index keeps the contiguous partition and
+//!   therefore is bit-identical to the searches below on every point.
+//! * [`resolve_weight_point`] — binary search over the prefix sums
+//!   (`O(log d)`, no auxiliary memory): the PR 4 baseline, kept as the
+//!   memory-tight fallback.
+//! * [`resolve_weight_point_scalar`] — the intentionally naive
+//!   linear-scan reference over the raw weights, kept for differential
+//!   testing (`crates/graphs/tests/weighted_reference.rs` proves all
+//!   three bit-identical over random, all-equal, single-heavy, and
+//!   power-law weight rows, including totals near `u32::MAX` and
+//!   degree-1 rows).
 
 use crate::batched::BatchedCellRng;
 use rand::RngCore;
@@ -112,6 +126,174 @@ pub fn resolve_weight_point_scalar(weights: &[u32], point: u32) -> usize {
         }
     }
     panic!("resolve_weight_point_scalar: point {point} outside the row total {acc}");
+}
+
+/// The number of linear-scan steps [`resolve_weight_point_alias`] takes
+/// before falling back to a bounded binary search. Purely a latency
+/// guard for adversarially clustered rows — the result is identical
+/// either way.
+const ALIAS_SCAN_CAP: u32 = 8;
+
+/// Picks the bucket shift of a row's alias index: the smallest shift
+/// whose bucket count `⌈total / 2^shift⌉` fits `2 · degree` buckets, so
+/// the index costs at most 8 bytes per edge while a uniformly drawn
+/// point lands in a bucket holding less than one interval boundary in
+/// expectation.
+///
+/// # Panics
+///
+/// Panics if `total == 0` or `degree == 0`.
+#[must_use]
+pub fn alias_bucket_shift(total: u32, degree: usize) -> u32 {
+    assert!(total > 0, "alias_bucket_shift: zero row total");
+    assert!(degree > 0, "alias_bucket_shift: empty row");
+    let cap = 2 * degree as u64;
+    let mut shift = 0u32;
+    while (u64::from(total - 1) >> shift) + 1 > cap {
+        shift += 1;
+    }
+    shift
+}
+
+/// Builds the bucket array of a row's alias index against its inclusive
+/// prefix sums: `first[b]` is the row-local index of the interval
+/// containing the bucket's first point `b << shift` (the resolution map
+/// is monotone in the point, so the answer for any point in bucket `b`
+/// lies in `first[b]..=first[b + 1]`).
+///
+/// # Panics
+///
+/// Panics if `cum` is empty or its total is zero.
+#[must_use]
+pub fn build_alias_buckets(cum: &[u32], shift: u32) -> Vec<u32> {
+    let total = *cum.last().expect("build_alias_buckets: empty row");
+    assert!(total > 0, "build_alias_buckets: zero row total");
+    let buckets = ((u64::from(total - 1) >> shift) + 1) as usize;
+    let mut first = Vec::with_capacity(buckets);
+    let mut j = 0usize;
+    for b in 0..buckets as u64 {
+        let p = (b << shift) as u32;
+        while cum[j] <= p {
+            j += 1;
+        }
+        first.push(j as u32);
+    }
+    first
+}
+
+/// Resolves a weight point through a row's alias index — **bit-identical
+/// to [`resolve_weight_point`]** on every point (both evaluate the
+/// normative map; only the lookup strategy differs): one shift selects
+/// the bucket, `first[bucket]` gives the first candidate index, and an
+/// expected-`O(1)` forward scan (bounded, with a binary-search fallback
+/// for adversarially clustered rows) lands on the interval.
+///
+/// # Panics
+///
+/// Panics if `cum` is empty, `point >= cum.last()`, or `first`/`shift`
+/// were built for a different row.
+#[must_use]
+#[inline]
+pub fn resolve_weight_point_alias(first: &[u32], shift: u32, cum: &[u32], point: u32) -> usize {
+    let total = *cum.last().expect("resolve_weight_point_alias: empty row");
+    assert!(
+        point < total,
+        "resolve_weight_point_alias: point {point} outside [0, {total})"
+    );
+    let mut j = first[(point >> shift) as usize] as usize;
+    let mut scanned = 0u32;
+    while cum[j] <= point {
+        j += 1;
+        scanned += 1;
+        if scanned == ALIAS_SCAN_CAP {
+            return j + cum[j..].partition_point(|&c| c <= point);
+        }
+    }
+    j
+}
+
+/// One row's alias index: the bucket array plus its shift, built once
+/// and reused for every draw against that row.
+///
+/// # Examples
+///
+/// ```
+/// use od_sampling::weighted::{inclusive_prefix_sums, resolve_weight_point, WeightAliasRow};
+/// let cum = inclusive_prefix_sums(&[3, 0, 7]).unwrap();
+/// let alias = WeightAliasRow::build(&cum);
+/// for p in 0..10 {
+///     assert_eq!(alias.resolve(&cum, p), resolve_weight_point(&cum, p));
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WeightAliasRow {
+    shift: u32,
+    first: Vec<u32>,
+}
+
+impl WeightAliasRow {
+    /// Builds the index of the row with inclusive prefix sums `cum`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cum` is empty or its total is zero.
+    #[must_use]
+    pub fn build(cum: &[u32]) -> Self {
+        let total = *cum.last().expect("WeightAliasRow: empty row");
+        let shift = alias_bucket_shift(total, cum.len());
+        Self {
+            shift,
+            first: build_alias_buckets(cum, shift),
+        }
+    }
+
+    /// The bucket shift (bucket width is `2^shift` points).
+    #[must_use]
+    pub fn shift(&self) -> u32 {
+        self.shift
+    }
+
+    /// The bucket array (`first[b]` = first candidate index of bucket
+    /// `b`).
+    #[must_use]
+    pub fn buckets(&self) -> &[u32] {
+        &self.first
+    }
+
+    /// Resolves `point` against the row this index was built for.
+    ///
+    /// # Panics
+    ///
+    /// As [`resolve_weight_point_alias`].
+    #[must_use]
+    #[inline]
+    pub fn resolve(&self, cum: &[u32], point: u32) -> usize {
+        resolve_weight_point_alias(&self.first, self.shift, cum, point)
+    }
+}
+
+/// Fills `out` with weighted row-local neighbor indices for one cell
+/// through the alias index: the same point stream as
+/// [`fill_weighted_batched`], resolved via
+/// [`resolve_weight_point_alias`] — bit-identical output by
+/// construction.
+///
+/// # Panics
+///
+/// Panics if `cum` is empty or `alias` was built for a different row.
+#[inline]
+pub fn fill_weighted_alias(
+    round_key: u64,
+    vertex: u64,
+    cum: &[u32],
+    alias: &WeightAliasRow,
+    out: &mut [u32],
+) {
+    let total = u64::from(*cum.last().expect("fill_weighted_alias: empty row"));
+    BatchedCellRng::for_cell(round_key, vertex).fill_indices(total, out);
+    for slot in out {
+        *slot = alias.resolve(cum, *slot) as u32;
+    }
 }
 
 /// Fills `out` with weighted row-local neighbor indices for one cell:
@@ -360,6 +542,128 @@ mod tests {
         }
         let frac = ones as f64 / cells as f64;
         assert!((frac - 0.75).abs() < 0.02, "heavy fraction {frac}");
+    }
+
+    #[test]
+    fn alias_resolution_matches_binary_search_pointwise() {
+        let rows: Vec<Vec<u32>> = vec![
+            vec![1],
+            vec![7],                     // degree-1, multi-point row
+            vec![1, 1, 1, 1],            // uniform: direct-lookup shift 0
+            vec![0, 5, 0, 0, 2, 0],      // interior zeros
+            vec![0, 0, 1_000_000, 0, 1], // single heavy edge
+            vec![3, 0, 7, 2, 2, 9],
+            vec![1; 33], // many unit intervals
+        ];
+        for weights in &rows {
+            let cum = inclusive_prefix_sums(weights).unwrap();
+            let alias = WeightAliasRow::build(&cum);
+            let total = *cum.last().unwrap();
+            for p in 0..total.min(5_000) {
+                assert_eq!(
+                    alias.resolve(&cum, p),
+                    resolve_weight_point(&cum, p),
+                    "weights {weights:?}, point {p}"
+                );
+            }
+            // And the last representable point.
+            assert_eq!(
+                alias.resolve(&cum, total - 1),
+                resolve_weight_point(&cum, total - 1)
+            );
+        }
+    }
+
+    #[test]
+    fn alias_handles_totals_near_u32_max() {
+        // A huge-total, tiny-degree row forces a large bucket shift; the
+        // index must stay exact at both ends of every interval.
+        let weights = [u32::MAX - 5, 2, 3];
+        let cum = inclusive_prefix_sums(&weights).unwrap();
+        assert_eq!(*cum.last().unwrap(), u32::MAX);
+        let alias = WeightAliasRow::build(&cum);
+        for p in [
+            0,
+            1,
+            u32::MAX - 6,
+            u32::MAX - 5,
+            u32::MAX - 4,
+            u32::MAX - 3,
+            u32::MAX - 2,
+            u32::MAX - 1,
+        ] {
+            assert_eq!(
+                alias.resolve(&cum, p),
+                resolve_weight_point(&cum, p),
+                "point {p}"
+            );
+        }
+        // Degree-1 row at the ceiling.
+        let cum = inclusive_prefix_sums(&[u32::MAX]).unwrap();
+        let alias = WeightAliasRow::build(&cum);
+        assert_eq!(alias.resolve(&cum, 0), 0);
+        assert_eq!(alias.resolve(&cum, u32::MAX - 1), 0);
+    }
+
+    #[test]
+    fn alias_scan_cap_falls_back_to_binary_search() {
+        // 63 unit intervals then one huge one: every boundary clusters in
+        // bucket 0 of a large-shift index, overrunning the scan cap — the
+        // fallback search must stay exact.
+        let mut weights = vec![1u32; 63];
+        weights.push(1 << 30);
+        let cum = inclusive_prefix_sums(&weights).unwrap();
+        let alias = WeightAliasRow::build(&cum);
+        for p in 0..200u32 {
+            assert_eq!(
+                alias.resolve(&cum, p),
+                resolve_weight_point(&cum, p),
+                "point {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn alias_bucket_arrays_cost_at_most_two_slots_per_edge() {
+        for weights in [vec![9u32; 17], vec![1, 2, 3], vec![u32::MAX / 2; 2]] {
+            let cum = inclusive_prefix_sums(&weights).unwrap();
+            let alias = WeightAliasRow::build(&cum);
+            assert!(
+                alias.buckets().len() <= 2 * weights.len(),
+                "{} buckets for degree {}",
+                alias.buckets().len(),
+                weights.len()
+            );
+        }
+    }
+
+    #[test]
+    fn alias_fill_matches_batched_fill() {
+        let rows: Vec<Vec<u32>> = vec![
+            vec![1, 1, 1, 1],
+            vec![0, 0, 1_000_000, 0, 1],
+            vec![3, 0, 7, 2, 2, 9],
+            vec![u32::MAX / 2, u32::MAX / 2],
+        ];
+        for weights in &rows {
+            let cum = inclusive_prefix_sums(weights).unwrap();
+            let alias = WeightAliasRow::build(&cum);
+            for vertex in [0u64, 7, 12345] {
+                let mut via_alias = [0u32; 9];
+                let mut via_search = [0u32; 9];
+                fill_weighted_alias(0xFEED_5EED, vertex, &cum, &alias, &mut via_alias);
+                fill_weighted_batched(0xFEED_5EED, vertex, &cum, &mut via_search);
+                assert_eq!(via_alias, via_search, "weights {weights:?}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn alias_resolution_rejects_out_of_range_points() {
+        let cum = inclusive_prefix_sums(&[2, 3]).unwrap();
+        let alias = WeightAliasRow::build(&cum);
+        let _ = alias.resolve(&cum, 5);
     }
 
     #[test]
