@@ -24,7 +24,14 @@
 //!   the codegen lottery between builds cannot fake a regression;
 //! * `seq_temporal` — the batched pipeline through a two-snapshot
 //!   periodic `TemporalGraph` switching every round (maximal
-//!   schedule-switching overhead).
+//!   schedule-switching overhead);
+//! * `seq_batched_telem` — `seq_batched` plus the executor's per-trial
+//!   telemetry bookkeeping against a disabled [`od_telemetry::NullSink`]
+//!   (the `enabled()` check and the guarded emit). The bench **fails**
+//!   if the disabled-telemetry path costs more than 2% over bare
+//!   `seq_batched` on erdos-renyi at n = 10⁴ — the zero-overhead
+//!   contract of the default sink, gated the same interleaved
+//!   within-binary way as the alias series.
 //!
 //! Besides printing timings it writes machine-readable results to
 //! `BENCH_graph.json` at the workspace root (override with
@@ -40,6 +47,7 @@ use od_graphs::{
     WeightedCsrGraph,
 };
 use od_sampling::seeds::derive_seed;
+use od_telemetry::{Event, NullSink, TelemetrySink};
 use std::hint::black_box;
 use std::path::PathBuf;
 
@@ -118,6 +126,23 @@ mod seed_baseline {
     }
 }
 
+/// One batched sequential round behind an uninlinable boundary: the
+/// plain `seq_batched` series and the telemetry variant both time THIS
+/// function, so they share one copy of the pipeline's machine code and
+/// their ratio isolates the telemetry bookkeeping itself (otherwise
+/// each closure monomorphizes its own copy and the codegen lottery
+/// between the two copies drowns the ~ns being measured).
+#[inline(never)]
+fn batched_round(
+    sim: &GraphSimulation<ThreeMajority, &CsrGraph>,
+    round: u64,
+    src: &[u32],
+    dst: &mut [u32],
+    scratch: &mut RoundScratch,
+) {
+    sim.step_seq_batched(7, round, src, dst, scratch);
+}
+
 fn build_family(name: &str, n: usize) -> CsrGraph {
     build_family_seeded(name, n, 0xBE7C4)
 }
@@ -169,6 +194,9 @@ fn main() {
     // (n, alias/prefix mean ratio, min ratio) on erdos-renyi — the
     // gated series.
     let mut er_alias_ratios: Vec<(usize, f64, f64)> = Vec::new();
+    // (n, telem/batched mean ratio, min ratio) on erdos-renyi — the
+    // disabled-sink zero-overhead gate.
+    let mut er_telem_ratios: Vec<(usize, f64, f64)> = Vec::new();
 
     for &n in sizes {
         for family in ["erdos_renyi", "random_regular", "torus", "cycle"] {
@@ -239,12 +267,15 @@ fn main() {
             let (mut dst_sa, mut round_sa) = (vec![0u32; n], 0u64);
             let (mut dst_pw, mut round_pw) = (vec![0u32; n], 0u64);
             let (mut dst_st, mut round_st) = (vec![0u32; n], 0u64);
+            let (mut dst_bt, mut round_bt) = (vec![0u32; n], 0u64);
             let mut scratch = RoundScratch::new();
             let pool = ScratchPool::new();
             let mut scratch_w = RoundScratch::new();
             let mut scratch_a = RoundScratch::new();
             let pool_w = ScratchPool::new();
             let mut scratch_t = RoundScratch::new();
+            let mut scratch_bt = RoundScratch::new();
+            let telem_sink: &dyn TelemetrySink = &NullSink;
             let mut tview = schedule.view();
             let id = |engine: &str| format!("{family}/n={n}/{engine}");
             let family_results = measure_interleaved(
@@ -289,10 +320,11 @@ fn main() {
                         }),
                     ),
                     (
-                        // Batched three-pass pipeline.
+                        // Batched three-pass pipeline (through the
+                        // shared uninlined round, see `batched_round`).
                         id("seq_batched"),
                         Box::new(|| {
-                            sim.step_seq_batched(7, round_sb, &src, &mut dst_sb, &mut scratch);
+                            batched_round(&sim, round_sb, &src, &mut dst_sb, &mut scratch);
                             round_sb += 1;
                             black_box(&dst_sb);
                         }),
@@ -340,6 +372,27 @@ fn main() {
                         }),
                     ),
                     (
+                        // seq_batched plus the executor's per-trial
+                        // telemetry bookkeeping on the disabled sink:
+                        // this is exactly what every trial pays when no
+                        // sink is configured, and it must cost nothing.
+                        id("seq_batched_telem"),
+                        Box::new(|| {
+                            batched_round(&sim, round_bt, &src, &mut dst_bt, &mut scratch_bt);
+                            if telem_sink.enabled() {
+                                telem_sink.emit(&Event::Trial {
+                                    shard: 0,
+                                    trial: round_bt,
+                                    rounds: round_bt,
+                                    outcome: "consensus",
+                                    winner: None,
+                                });
+                            }
+                            round_bt += 1;
+                            black_box(&dst_bt);
+                        }),
+                    ),
+                    (
                         // Temporal schedule, switching snapshots every
                         // round (the worst case for snapshot locality).
                         id("seq_temporal"),
@@ -377,6 +430,7 @@ fn main() {
             // only ever adds time, so the min over interleaved samples is
             // far more robust than the mean at small sample counts.
             let alias_over_prefix_min = min_of("seq_weighted_alias") / min_of("seq_weighted");
+            let telem_over_batched = mean_of("seq_batched_telem") / mean_of("seq_batched");
             let temporal_overhead = mean_of("seq_temporal") / mean_of("seq_batched");
             println!(
                 "  {family}/n={n}: old/seq = {single_thread_speedup:.2}x, \
@@ -386,6 +440,7 @@ fn main() {
                  weighted/batched = {weighted_overhead:.2}x, \
                  alias/batched = {alias_overhead:.2}x, \
                  alias/prefix = {alias_over_prefix:.2}x, \
+                 telem/batched = {telem_over_batched:.2}x, \
                  temporal/batched = {temporal_overhead:.2}x ({threads} threads)"
             );
             if family == "erdos_renyi" && n == 100_000 {
@@ -395,6 +450,53 @@ fn main() {
                 er_alias_ratios.push((n, alias_over_prefix, alias_over_prefix_min));
             }
             results.extend(family_results);
+            // The gated telemetry ratio gets its own paired interleave
+            // at ~20× the sweep's sample count: one round is ~100µs, so
+            // even 200 paired samples cost milliseconds, and the
+            // per-sample minima of two series timing the *same*
+            // uninlined `batched_round` converge well inside the 2%
+            // epsilon even on a noisy single-core host (3 samples do
+            // not).
+            if family == "erdos_renyi" {
+                let gate_samples = samples * 20;
+                let paired = measure_interleaved(
+                    3,
+                    gate_samples,
+                    vec![
+                        (
+                            id("gate_seq_batched"),
+                            Box::new(|| {
+                                batched_round(&sim, round_sb, &src, &mut dst_sb, &mut scratch);
+                                round_sb += 1;
+                                black_box(&dst_sb);
+                            }),
+                        ),
+                        (
+                            id("gate_seq_batched_telem"),
+                            Box::new(|| {
+                                batched_round(&sim, round_bt, &src, &mut dst_bt, &mut scratch_bt);
+                                if telem_sink.enabled() {
+                                    telem_sink.emit(&Event::Trial {
+                                        shard: 0,
+                                        trial: round_bt,
+                                        rounds: round_bt,
+                                        outcome: "consensus",
+                                        winner: None,
+                                    });
+                                }
+                                round_bt += 1;
+                                black_box(&dst_bt);
+                            }),
+                        ),
+                    ],
+                );
+                er_telem_ratios.push((
+                    n,
+                    paired[1].mean_ns / paired[0].mean_ns,
+                    paired[1].min_ns / paired[0].min_ns,
+                ));
+                results.extend(paired);
+            }
         }
     }
 
@@ -430,8 +532,36 @@ fn main() {
     if let Some(r) = ratio_100k {
         meta.push(("alias_over_prefix_er_n100000", format!("{r:.4}")));
     }
+    let telem_ratio_10k = er_telem_ratios
+        .iter()
+        .find(|&&(n, _, _)| n == 10_000)
+        .map(|&(_, r, _)| r);
+    let telem_min_ratio_10k = er_telem_ratios
+        .iter()
+        .find(|&&(n, _, _)| n == 10_000)
+        .map(|&(_, _, r)| r);
+    if let Some(r) = telem_ratio_10k {
+        meta.push(("telem_over_batched_er_n10000", format!("{r:.4}")));
+    }
     write_json(&out_path, "graph_engine", &meta, &results).expect("writing bench output");
     println!("wrote {}", out_path.display());
+    // Mirror the artifact as `bench` telemetry events when asked
+    // (`OD_BENCH_TELEMETRY_OUT=<path.jsonl>`), so bench runs share the
+    // runtime's event schema and its validator.
+    if let Ok(path) = std::env::var("OD_BENCH_TELEMETRY_OUT") {
+        let sink = od_telemetry::JsonlSink::create(std::path::Path::new(&path))
+            .expect("creating bench telemetry file");
+        for r in &results {
+            sink.emit(&Event::Bench {
+                series: &r.id,
+                mean_ns: r.mean_ns,
+                min_ns: r.min_ns,
+                samples: u64::from(r.samples),
+            });
+        }
+        sink.flush();
+        println!("wrote {path}");
+    }
     if let Some(speedup) = er_speedup_at_100k {
         println!("seq/seq_batched speedup at erdos_renyi n=100000: {speedup:.2}x");
     }
@@ -449,5 +579,15 @@ fn main() {
              {r:.3} > 1.02 on erdos_renyi at n = 10000 (within-binary interleaved ratio)"
         );
         println!("alias gate passed: min-ratio alias/prefix = {r:.3} at erdos_renyi n=10000");
+    }
+    // The disabled-telemetry gate: the NullSink per-trial bookkeeping
+    // must be free — same interleaved min-ratio statistic, same epsilon.
+    if let Some(r) = telem_min_ratio_10k {
+        assert!(
+            r <= 1.02,
+            "disabled telemetry is no longer free: min(seq_batched_telem)/min(seq_batched) = \
+             {r:.3} > 1.02 on erdos_renyi at n = 10000 (within-binary interleaved ratio)"
+        );
+        println!("telemetry gate passed: min-ratio telem/batched = {r:.3} at erdos_renyi n=10000");
     }
 }

@@ -64,7 +64,7 @@ pub use graph_dynamics::{
     GraphRunOutcome, GraphSimulation, RoundScratch, ScratchPool, TemporalSimulation,
     WeightedTemporalSimulation,
 };
-pub use observer::Observer;
+pub use observer::{BoundedGammaTrace, Observer};
 pub use registry::{
     build_graph_protocol, build_protocol, required_opinion_slots, DynProtocol, GraphProtocolKind,
     ParamValue, ProtocolParams,

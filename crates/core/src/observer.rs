@@ -50,6 +50,63 @@ impl Observer for GammaTrace {
     }
 }
 
+/// A [`GammaTrace`] with a hard point budget: records `γ_t` for the
+/// first `cap` observed rounds, then only flips a `truncated` flag.
+/// Memory stays bounded no matter how long the trial runs, which makes
+/// it safe to attach to sampled trials inside long production jobs.
+#[derive(Debug, Clone)]
+pub struct BoundedGammaTrace {
+    values: Vec<f64>,
+    cap: usize,
+    truncated: bool,
+}
+
+impl BoundedGammaTrace {
+    /// Creates a trace that keeps at most `cap` points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0` (a zero-point trace observes nothing and
+    /// is always "truncated" — reject it loudly instead).
+    #[must_use]
+    pub fn with_capacity(cap: usize) -> Self {
+        assert!(cap > 0, "BoundedGammaTrace: cap must be positive");
+        Self {
+            values: Vec::new(),
+            cap,
+            truncated: false,
+        }
+    }
+
+    /// Records one `γ` value, or marks the trace truncated when the
+    /// budget is spent.
+    pub fn push(&mut self, gamma: f64) {
+        if self.values.len() < self.cap {
+            self.values.push(gamma);
+        } else {
+            self.truncated = true;
+        }
+    }
+
+    /// The recorded values, indexed by observed round.
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// True when at least one observation was dropped for the budget.
+    #[must_use]
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+}
+
+impl Observer for BoundedGammaTrace {
+    fn observe(&mut self, _round: u64, counts: &OpinionCounts) {
+        self.push(counts.gamma());
+    }
+}
+
 /// Records the number of surviving opinions per round.
 #[derive(Debug, Clone, Default)]
 pub struct SupportTrace {
@@ -204,6 +261,17 @@ mod tests {
         assert_eq!(t.values().len(), 2);
         assert!((t.values()[0] - 0.5).abs() < 1e-12);
         assert!((t.values()[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounded_gamma_trace_caps_and_flags() {
+        let mut t = BoundedGammaTrace::with_capacity(2);
+        t.observe(0, &cfg(vec![5, 5]));
+        t.observe(1, &cfg(vec![10, 0]));
+        assert!(!t.truncated());
+        t.observe(2, &cfg(vec![10, 0]));
+        assert_eq!(t.values().len(), 2);
+        assert!(t.truncated());
     }
 
     #[test]

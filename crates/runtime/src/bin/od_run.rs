@@ -5,26 +5,40 @@
 //! od-run <job.json|job.toml|directory> [options]
 //!
 //! Options:
-//!   --checkpoint <path>   checkpoint file (default: <job file>.checkpoint.json)
-//!   --no-checkpoint       run without persistence (no resume)
-//!   --fresh               delete an existing checkpoint before running
-//!   --max-trials <n>      override the spec's trial count (smoke runs;
-//!                         implies --no-checkpoint unless --checkpoint is given)
-//!   --quiet               print only the final summary
-//!   --help                this text
+//!   --checkpoint <path>    checkpoint file (default: <job file>.checkpoint.json)
+//!   --no-checkpoint        run without persistence (no resume)
+//!   --fresh                delete an existing checkpoint before running
+//!   --max-trials <n>       override the spec's trial count (smoke runs;
+//!                          implies --no-checkpoint unless --checkpoint is given)
+//!   --progress             live per-shard progress on stderr
+//!   --progress-every <n>   progress cadence in trials (default: the spec's
+//!                          telemetry.progress_every, else shard_size / 4)
+//!   --telemetry-out <p>    append telemetry events to a JSONL file
+//!   --metrics-out <p>      write the run's od-run-metrics-v1 JSON here
+//!                          (single job only)
+//!   --quiet                print only the final summary
+//!   --help                 this text
 //! ```
 //!
 //! A directory argument drains every `*.json`/`*.toml` job in it (sorted
 //! by name), each with its own sibling checkpoint. Checkpoints are
 //! written after every completed shard, so a killed run — `kill -9`
 //! included — resumes from the last finished shard when re-invoked.
+//!
+//! Telemetry is observation only: any combination of these flags leaves
+//! checkpoint and summary bytes identical to a run without them.
+//!
+//! Exit codes: 0 success, 1 job failed or interrupted, 2 usage error,
+//! 3 directory queue had no job files.
 
 use od_runtime::{
-    default_checkpoint_path, load_job_file, run_job, run_queue, JobReport, JobSpec, RunOptions,
-    RuntimeError,
+    default_checkpoint_path, load_job_file, run_job_with_metrics, run_queue, JobReport, JobSpec,
+    RunOptions, RuntimeError,
 };
+use od_telemetry::{FanoutSink, JsonlSink, NullSink, ProgressSink, TelemetrySink};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 struct Args {
     target: PathBuf,
@@ -32,11 +46,17 @@ struct Args {
     no_checkpoint: bool,
     fresh: bool,
     max_trials: Option<u64>,
+    progress: bool,
+    progress_every: Option<u64>,
+    telemetry_out: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
     quiet: bool,
 }
 
 const USAGE: &str = "usage: od-run <job.json|job.toml|directory> \
-[--checkpoint <path>] [--no-checkpoint] [--fresh] [--max-trials <n>] [--quiet]";
+[--checkpoint <path>] [--no-checkpoint] [--fresh] [--max-trials <n>] \
+[--progress] [--progress-every <n>] [--telemetry-out <path>] \
+[--metrics-out <path>] [--quiet]";
 
 fn parse_args() -> Result<Args, String> {
     let mut target = None;
@@ -44,6 +64,10 @@ fn parse_args() -> Result<Args, String> {
     let mut no_checkpoint = false;
     let mut fresh = false;
     let mut max_trials = None;
+    let mut progress = false;
+    let mut progress_every = None;
+    let mut telemetry_out = None;
+    let mut metrics_out = None;
     let mut quiet = false;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -58,6 +82,25 @@ fn parse_args() -> Result<Args, String> {
             "--max-trials" => {
                 let value = argv.next().ok_or("--max-trials needs a number")?;
                 max_trials = Some(value.parse().map_err(|_| "--max-trials needs a number")?);
+            }
+            "--progress" => progress = true,
+            "--progress-every" => {
+                let value = argv.next().ok_or("--progress-every needs a number")?;
+                let n: u64 = value
+                    .parse()
+                    .map_err(|_| "--progress-every needs a number")?;
+                if n == 0 {
+                    return Err("--progress-every must be at least 1".to_string());
+                }
+                progress_every = Some(n);
+            }
+            "--telemetry-out" => {
+                let value = argv.next().ok_or("--telemetry-out needs a path")?;
+                telemetry_out = Some(PathBuf::from(value));
+            }
+            "--metrics-out" => {
+                let value = argv.next().ok_or("--metrics-out needs a path")?;
+                metrics_out = Some(PathBuf::from(value));
             }
             "--quiet" | "-q" => quiet = true,
             other if other.starts_with('-') => {
@@ -76,8 +119,38 @@ fn parse_args() -> Result<Args, String> {
         no_checkpoint,
         fresh,
         max_trials,
+        progress,
+        progress_every,
+        telemetry_out,
+        metrics_out,
         quiet,
     })
+}
+
+/// Assembles the telemetry sink stack the flags ask for: nothing →
+/// [`NullSink`], one sink → that sink, both → a [`FanoutSink`].
+fn build_sink(args: &Args) -> Result<Arc<dyn TelemetrySink>, RuntimeError> {
+    let mut sinks: Vec<Arc<dyn TelemetrySink>> = Vec::new();
+    if let Some(path) = &args.telemetry_out {
+        let sink = JsonlSink::create(path).map_err(|e| {
+            RuntimeError::io(&format!("creating telemetry file {}", path.display()), e)
+        })?;
+        sinks.push(Arc::new(sink));
+    }
+    if args.progress {
+        sinks.push(Arc::new(ProgressSink::new()));
+    }
+    Ok(match sinks.len() {
+        0 => Arc::new(NullSink),
+        1 => sinks.pop().expect("len checked"),
+        _ => Arc::new(FanoutSink::new(sinks)),
+    })
+}
+
+fn write_metrics(path: &PathBuf, metrics: &od_runtime::JobMetrics) -> Result<(), RuntimeError> {
+    let text = format!("{}\n", metrics.to_json().to_string_compact());
+    std::fs::write(path, text)
+        .map_err(|e| RuntimeError::io(&format!("writing metrics file {}", path.display()), e))
 }
 
 fn print_report(name: &str, report: &JobReport, quiet: bool) {
@@ -142,22 +215,42 @@ fn run_single(args: &Args) -> Result<bool, RuntimeError> {
     }
     let options = RunOptions {
         checkpoint_path,
-        cancel: od_runtime::CancelToken::new(),
+        sink: build_sink(args)?,
+        progress_every: args.progress_every,
+        ..RunOptions::default()
     };
-    let report = run_job(&spec, &options)?;
+    let (report, metrics) = run_job_with_metrics(&spec, &options)?;
+    if let Some(path) = &args.metrics_out {
+        write_metrics(path, &metrics)?;
+    }
     print_report(&spec.name, &report, args.quiet);
     Ok(!report.interrupted)
 }
 
-fn run_directory(args: &Args) -> Result<bool, RuntimeError> {
+/// What a directory queue run amounted to.
+enum QueueOutcome {
+    AllOk,
+    SomeFailed,
+    Empty,
+}
+
+fn run_directory(args: &Args) -> Result<QueueOutcome, RuntimeError> {
     // Queue jobs always use per-job sibling checkpoints: a single
     // --checkpoint path would be ambiguous across jobs, and skipping
     // persistence entirely would silently drop resumability — reject
-    // both instead of ignoring them.
+    // both instead of ignoring them. Metrics are per-job documents, so
+    // one --metrics-out path is ambiguous the same way.
     if args.checkpoint.is_some() || args.no_checkpoint {
         return Err(RuntimeError::Spec(
             "--checkpoint/--no-checkpoint do not apply to directory queues \
              (each job uses its sibling <job file>.checkpoint.json)"
+                .to_string(),
+        ));
+    }
+    if args.metrics_out.is_some() {
+        return Err(RuntimeError::Spec(
+            "--metrics-out does not apply to directory queues \
+             (metrics are a per-job document; run jobs individually)"
                 .to_string(),
         ));
     }
@@ -173,12 +266,14 @@ fn run_directory(args: &Args) -> Result<bool, RuntimeError> {
     }
     let options = RunOptions {
         checkpoint_path: None,
-        cancel: od_runtime::CancelToken::new(),
+        sink: build_sink(args)?,
+        progress_every: args.progress_every,
+        ..RunOptions::default()
     };
     let entries = run_queue(&args.target, &options)?;
     if entries.is_empty() {
         eprintln!("no job files in {}", args.target.display());
-        return Ok(false);
+        return Ok(QueueOutcome::Empty);
     }
     let mut all_ok = true;
     for entry in &entries {
@@ -189,7 +284,8 @@ fn run_directory(args: &Args) -> Result<bool, RuntimeError> {
                 all_ok &= !report.interrupted;
             }
             Err(e) => {
-                eprintln!("{}: error: {e}", entry.path.display());
+                // RuntimeError::Job already names the file and spec hash.
+                eprintln!("error: {e}");
                 all_ok = false;
             }
         }
@@ -197,7 +293,11 @@ fn run_directory(args: &Args) -> Result<bool, RuntimeError> {
             println!();
         }
     }
-    Ok(all_ok)
+    Ok(if all_ok {
+        QueueOutcome::AllOk
+    } else {
+        QueueOutcome::SomeFailed
+    })
 }
 
 fn main() -> ExitCode {
@@ -208,17 +308,24 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let outcome = if args.target.is_dir() {
-        run_directory(&args)
+    if args.target.is_dir() {
+        match run_directory(&args) {
+            Ok(QueueOutcome::AllOk) => ExitCode::SUCCESS,
+            Ok(QueueOutcome::SomeFailed) => ExitCode::FAILURE,
+            Ok(QueueOutcome::Empty) => ExitCode::from(3),
+            Err(e) => {
+                eprintln!("od-run: {e}");
+                ExitCode::FAILURE
+            }
+        }
     } else {
-        run_single(&args)
-    };
-    match outcome {
-        Ok(true) => ExitCode::SUCCESS,
-        Ok(false) => ExitCode::FAILURE,
-        Err(e) => {
-            eprintln!("od-run: {e}");
-            ExitCode::FAILURE
+        match run_single(&args) {
+            Ok(true) => ExitCode::SUCCESS,
+            Ok(false) => ExitCode::FAILURE,
+            Err(e) => {
+                eprintln!("od-run: {e}");
+                ExitCode::FAILURE
+            }
         }
     }
 }

@@ -26,6 +26,17 @@ pub enum RuntimeError {
         /// The underlying error.
         source: std::io::Error,
     },
+    /// A queue job failed; carries the job file and (when the spec
+    /// loaded far enough to hash) its content hash so a failure deep in
+    /// a long queue names the exact job and revision that produced it.
+    Job {
+        /// The job file the error came from.
+        path: std::path::PathBuf,
+        /// The spec's content hash, when known.
+        spec_hash: Option<String>,
+        /// The underlying error.
+        source: Box<RuntimeError>,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -40,6 +51,14 @@ impl fmt::Display for RuntimeError {
                  (delete the checkpoint or restore the original spec)"
             ),
             Self::Io { context, source } => write!(f, "{context}: {source}"),
+            Self::Job {
+                path,
+                spec_hash,
+                source,
+            } => match spec_hash {
+                Some(hash) => write!(f, "{} (spec {hash}): {source}", path.display()),
+                None => write!(f, "{}: {source}", path.display()),
+            },
         }
     }
 }
@@ -49,6 +68,7 @@ impl std::error::Error for RuntimeError {
         match self {
             Self::Core(e) => Some(e),
             Self::Io { source, .. } => Some(source),
+            Self::Job { source, .. } => Some(source),
             _ => None,
         }
     }

@@ -16,29 +16,32 @@
 
 use crate::checkpoint::Checkpoint;
 use crate::error::RuntimeError;
+use crate::json::Json;
 use crate::spec::{
     ExecutionMode, GraphFamily, GraphSpec, JobSpec, OpinionAssignment, StopRule, TemporalSchedule,
-    WeightScheme,
+    TraceSpec, WeightScheme,
 };
 use crate::summary::{ShardSummary, TrialResult};
 use od_core::protocol::GraphProtocol;
 use od_core::registry::{build_graph_protocol, DynProtocol, GraphProtocolKind};
 use od_core::{
-    run_compacted_until, GraphSimulation, OpinionCounts, Simulation, StopReason,
+    run_compacted_until, BoundedGammaTrace, GraphSimulation, OpinionCounts, Simulation, StopReason,
     TemporalSimulation, WeightedTemporalSimulation,
 };
 use od_graphs::{
     barbell, core_periphery, cycle, erdos_renyi, random_regular, repair_isolated, star,
     stochastic_block_model, torus_2d, CompleteWithSelfLoops, CsrGraph, Graph, TemporalGraph,
-    WeightedCsrGraph, WeightedTemporalGraph,
+    WeightResolver, WeightedCsrGraph, WeightedTemporalGraph,
 };
 use od_sampling::rng_for;
 use od_sampling::seeds::derive_seed;
+use od_telemetry::{span_full, Event, MetricSet, NullSink, TelemetrySink};
 use rand::rngs::StdRng;
 use rayon::prelude::*;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Cooperative cancellation handle, shareable across threads.
 #[derive(Debug, Clone, Default)]
@@ -67,12 +70,43 @@ impl CancelToken {
 }
 
 /// Execution options for [`run_job`].
-#[derive(Debug, Clone, Default)]
+#[derive(Clone)]
 pub struct RunOptions {
     /// Persist completed shards here and resume from it when present.
     pub checkpoint_path: Option<PathBuf>,
     /// Cooperative cancellation handle.
     pub cancel: CancelToken,
+    /// Where telemetry events go (default: the zero-overhead
+    /// [`od_telemetry::NullSink`]). Telemetry is observation only: any
+    /// sink produces checkpoint and summary bytes identical to the
+    /// `NullSink` run.
+    pub sink: Arc<dyn TelemetrySink>,
+    /// Per-shard progress cadence in trials. Overrides the spec's
+    /// `telemetry.progress_every`; when neither is set the executor
+    /// derives `max(1, shard_size / 4)`.
+    pub progress_every: Option<u64>,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        Self {
+            checkpoint_path: None,
+            cancel: CancelToken::new(),
+            sink: Arc::new(NullSink),
+            progress_every: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for RunOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunOptions")
+            .field("checkpoint_path", &self.checkpoint_path)
+            .field("cancel", &self.cancel)
+            .field("sink_enabled", &self.sink.enabled())
+            .field("progress_every", &self.progress_every)
+            .finish()
+    }
 }
 
 /// What a job run produced.
@@ -88,6 +122,126 @@ pub struct JobReport {
     pub resumed_shards: u64,
     /// True when cancellation stopped the job before all shards finished.
     pub interrupted: bool,
+}
+
+/// Per-shard wall-clock throughput for shards executed *this run*
+/// (resumed shards were computed in an earlier process and have no
+/// timing here).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMetrics {
+    /// Shard index.
+    pub shard: u64,
+    /// Trials the shard ran.
+    pub trials: u64,
+    /// Rounds the shard simulated (capped trials count `max_rounds`).
+    pub rounds: u64,
+    /// Wall-clock shard duration in microseconds.
+    pub elapsed_us: u64,
+}
+
+/// Run metrics: phase timings, per-shard throughput, and an exactly-
+/// mergeable aggregate over every completed shard. The `exact` section
+/// is built by merging per-shard snapshots in checkpoint order, so its
+/// content is partition-invariant — identical for any shard size or
+/// thread count; the wall-clock sections are this run's measurement.
+#[derive(Debug, Clone)]
+pub struct JobMetrics {
+    /// The job's name.
+    pub job: String,
+    /// The spec content hash.
+    pub spec_hash: String,
+    /// `(phase, elapsed_us)` in execution order: `validate`,
+    /// `checkpoint_load`, `build`, `execute`, `merge`.
+    pub phases: Vec<(&'static str, u64)>,
+    /// Shards executed this run, in shard order.
+    pub shards: Vec<ShardMetrics>,
+    /// Exact aggregates over every completed shard (counters
+    /// `trials`/`consensus`/`stopped`/`capped`, moments + histogram
+    /// `rounds`, histogram `winners`).
+    pub exact: MetricSet,
+}
+
+impl JobMetrics {
+    /// Renders the `od-run-metrics-v1` JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let big = |v: u128| Json::Str(v.to_string());
+        let int = |v: u64| match i64::try_from(v) {
+            Ok(v) => Json::Int(v),
+            Err(_) => Json::Str(v.to_string()),
+        };
+        let mut phases = Json::object();
+        for &(name, us) in &self.phases {
+            phases.insert(name, int(us));
+        }
+        let shards = Json::Arr(
+            self.shards
+                .iter()
+                .map(|s| {
+                    let mut obj = Json::object();
+                    obj.insert("shard", int(s.shard));
+                    obj.insert("trials", int(s.trials));
+                    obj.insert("rounds", int(s.rounds));
+                    obj.insert("elapsed_us", int(s.elapsed_us));
+                    obj.insert(
+                        "rounds_per_sec",
+                        Json::Float(s.rounds as f64 / (s.elapsed_us as f64 / 1e6).max(1e-9)),
+                    );
+                    obj
+                })
+                .collect(),
+        );
+        let mut counters = Json::object();
+        for (name, value) in self.exact.counters() {
+            counters.insert(name, int(value));
+        }
+        let mut moments = Json::object();
+        for (name, m) in self.exact.all_moments() {
+            let mut obj = Json::object();
+            obj.insert("count", int(m.count()));
+            // u128 power sums do not fit JSON numbers; decimal strings do.
+            obj.insert("sum", big(m.sum()));
+            obj.insert("sum_sq", big(m.sum_sq()));
+            obj.insert("min", int(m.min()));
+            obj.insert("max", int(m.max()));
+            obj.insert("mean", Json::Float(m.mean()));
+            moments.insert(name, obj);
+        }
+        let mut histograms = Json::object();
+        for (name, h) in self.exact.all_histograms() {
+            let mut obj = Json::object();
+            for (key, count) in h.iter() {
+                obj.insert(&key.to_string(), int(count));
+            }
+            histograms.insert(name, obj);
+        }
+        let mut exact = Json::object();
+        exact.insert("counters", counters);
+        exact.insert("moments", moments);
+        exact.insert("histograms", histograms);
+
+        let mut out = Json::object();
+        out.insert("schema", Json::Str("od-run-metrics-v1".into()));
+        out.insert("job", Json::Str(self.job.clone()));
+        out.insert("spec", Json::Str(self.spec_hash.clone()));
+        out.insert("phases", phases);
+        out.insert("shards", shards);
+        out.insert("exact", exact);
+        out
+    }
+}
+
+/// The exactly-mergeable metric snapshot of one shard summary.
+fn metric_set_of(summary: &ShardSummary) -> MetricSet {
+    let mut set = MetricSet::new();
+    set.add("trials", summary.trials);
+    set.add("consensus", summary.consensus);
+    set.add("stopped", summary.stopped);
+    set.add("capped", summary.capped);
+    set.insert_moments("rounds", &summary.rounds);
+    set.insert_histogram("rounds", &summary.round_histogram);
+    set.insert_histogram("winners", &summary.winners);
+    set
 }
 
 /// Runs a job with default options (no checkpoint, no cancellation).
@@ -107,28 +261,68 @@ pub fn run_job_simple(spec: &JobSpec) -> Result<JobReport, RuntimeError> {
 /// Returns spec/validation errors, checkpoint mismatches, and I/O errors
 /// from checkpoint persistence.
 pub fn run_job(spec: &JobSpec, options: &RunOptions) -> Result<JobReport, RuntimeError> {
-    let protocol: DynProtocol = spec.validate()?;
+    run_job_with_metrics(spec, options).map(|(report, _)| report)
+}
+
+/// [`run_job`], additionally returning this run's [`JobMetrics`].
+///
+/// Wall-clock time is measured *around* the deterministic work, never
+/// inside it: the report (and any checkpoint bytes) are identical to a
+/// [`run_job`] call with the same options.
+///
+/// # Errors
+///
+/// Returns spec/validation errors, checkpoint mismatches, and I/O errors
+/// from checkpoint persistence.
+pub fn run_job_with_metrics(
+    spec: &JobSpec,
+    options: &RunOptions,
+) -> Result<(JobReport, JobMetrics), RuntimeError> {
+    let sink: &dyn TelemetrySink = options.sink.as_ref();
+    let mut phases: Vec<(&'static str, u64)> = Vec::with_capacity(5);
+    let job_span = span_full(sink, "job", None, None);
+
+    let phase_start = Instant::now();
+    let protocol: DynProtocol = {
+        let _span = span_full(sink, "validate", job_span.id(), None);
+        spec.validate()?
+    };
     let initial = spec.initial.build()?;
     let spec_hash = spec.content_hash();
     let total_shards = spec.shard_count();
+    phases.push(("validate", phase_start.elapsed().as_micros() as u64));
+
+    if sink.enabled() {
+        sink.emit(&Event::JobStart {
+            job: &spec.name,
+            spec: &spec_hash,
+            trials: spec.trials,
+            shards: total_shards,
+        });
+    }
 
     // Load or create the checkpoint.
-    let checkpoint = match &options.checkpoint_path {
-        Some(path) => match Checkpoint::load(path)? {
-            Some(existing) => {
-                if existing.spec_hash != spec_hash {
-                    return Err(RuntimeError::CheckpointMismatch {
-                        found: existing.spec_hash,
-                        expected: spec_hash,
-                    });
+    let phase_start = Instant::now();
+    let checkpoint = {
+        let _span = span_full(sink, "checkpoint_load", job_span.id(), None);
+        match &options.checkpoint_path {
+            Some(path) => match Checkpoint::load(path)? {
+                Some(existing) => {
+                    if existing.spec_hash != spec_hash {
+                        return Err(RuntimeError::CheckpointMismatch {
+                            found: existing.spec_hash,
+                            expected: spec_hash,
+                        });
+                    }
+                    existing
                 }
-                existing
-            }
+                None => Checkpoint::new(spec_hash.clone(), total_shards),
+            },
             None => Checkpoint::new(spec_hash.clone(), total_shards),
-        },
-        None => Checkpoint::new(spec_hash.clone(), total_shards),
+        }
     };
     let resumed_shards = checkpoint.shards.len() as u64;
+    phases.push(("checkpoint_load", phase_start.elapsed().as_micros() as u64));
 
     let pending: Vec<u64> = (0..total_shards)
         .filter(|index| !checkpoint.shards.contains_key(index))
@@ -138,29 +332,47 @@ pub fn run_job(spec: &JobSpec, options: &RunOptions) -> Result<JobReport, Runtim
     // fully-resumed job must not pay graph generation again. Graph
     // scenarios build the kernel, the graph, and the per-vertex start
     // once per job; population jobs keep the boxed protocol.
-    let engine = if pending.is_empty() {
-        None
-    } else {
-        Some(match &spec.graph {
-            None => TrialEngine::Population(protocol),
-            Some(graph_spec) => {
-                let kernel = build_graph_protocol(&spec.protocol, &spec.params)
-                    .map_err(RuntimeError::Core)?;
-                let graph = build_graph(graph_spec, &initial, spec.master_seed)?;
-                let opinions = assign_opinions(&initial, graph_spec)?;
-                TrialEngine::Graph(Box::new(GraphEngine {
-                    kernel,
-                    graph,
-                    opinions,
-                    k: initial.k(),
-                }))
-            }
-        })
+    let phase_start = Instant::now();
+    let engine = {
+        let _span = span_full(sink, "build", job_span.id(), None);
+        if pending.is_empty() {
+            None
+        } else {
+            Some(match &spec.graph {
+                None => TrialEngine::Population(protocol),
+                Some(graph_spec) => {
+                    let kernel = build_graph_protocol(&spec.protocol, &spec.params)
+                        .map_err(RuntimeError::Core)?;
+                    let graph = build_graph(graph_spec, &initial, spec.master_seed)?;
+                    let opinions = assign_opinions(&initial, graph_spec)?;
+                    TrialEngine::Graph(Box::new(GraphEngine {
+                        kernel,
+                        graph,
+                        opinions,
+                        k: initial.k(),
+                    }))
+                }
+            })
+        }
+    };
+    phases.push(("build", phase_start.elapsed().as_micros() as u64));
+
+    let telemetry_spec = spec.telemetry.as_ref();
+    let scope = ShardScope {
+        sink,
+        job_span: job_span.id(),
+        progress_every: options
+            .progress_every
+            .or(telemetry_spec.and_then(|t| t.progress_every))
+            .unwrap_or_else(|| (spec.shard_size / 4).max(1)),
+        trace: telemetry_spec.and_then(|t| t.trace.as_ref()),
     };
 
     // Completed shards stream into the checkpoint under a mutex; the
     // simulation work itself runs lock-free.
-    let shared = Mutex::new((checkpoint, None::<RuntimeError>));
+    let phase_start = Instant::now();
+    let execute_span = span_full(sink, "execute", job_span.id(), None);
+    let shared = Mutex::new((checkpoint, None::<RuntimeError>, Vec::<ShardMetrics>::new()));
     let cancel = &options.cancel;
     let executed: Vec<Option<u64>> = pending
         .into_par_iter()
@@ -168,12 +380,16 @@ pub fn run_job(spec: &JobSpec, options: &RunOptions) -> Result<JobReport, Runtim
             let engine = engine
                 .as_ref()
                 .expect("engine is built when shards are pending");
-            let summary = run_shard(spec, engine, &initial, shard_index, cancel)?;
+            let (summary, shard_metrics) =
+                run_shard(spec, engine, &initial, shard_index, cancel, &scope)?;
             let mut guard = shared.lock().expect("checkpoint lock poisoned");
-            let (checkpoint, first_error) = &mut *guard;
+            let (checkpoint, first_error, metrics) = &mut *guard;
             checkpoint.record(shard_index, summary);
+            metrics.push(shard_metrics);
             if let Some(path) = &options.checkpoint_path {
                 if first_error.is_none() {
+                    let _span =
+                        span_full(sink, "checkpoint_save", job_span.id(), Some(shard_index));
                     if let Err(e) = checkpoint.save(path) {
                         // Persistence is broken: stop scheduling more work
                         // instead of burning hours of compute that could
@@ -186,8 +402,11 @@ pub fn run_job(spec: &JobSpec, options: &RunOptions) -> Result<JobReport, Runtim
             Some(shard_index)
         })
         .collect();
+    drop(execute_span);
+    phases.push(("execute", phase_start.elapsed().as_micros() as u64));
 
-    let (checkpoint, save_error) = shared.into_inner().expect("checkpoint lock poisoned");
+    let (checkpoint, save_error, mut shard_metrics) =
+        shared.into_inner().expect("checkpoint lock poisoned");
     if let Some(e) = save_error {
         return Err(e);
     }
@@ -195,18 +414,46 @@ pub fn run_job(spec: &JobSpec, options: &RunOptions) -> Result<JobReport, Runtim
 
     // Merge in shard order. The merge is associative and commutative, so
     // the order is cosmetic; the *content* is partition-invariant.
+    let phase_start = Instant::now();
+    let merge_span = span_full(sink, "merge", job_span.id(), None);
     let mut summary = ShardSummary::new();
+    let mut exact = MetricSet::new();
     for shard_summary in checkpoint.shards.values() {
         summary.merge(shard_summary);
+        exact.merge(&metric_set_of(shard_summary));
     }
+    drop(merge_span);
+    phases.push(("merge", phase_start.elapsed().as_micros() as u64));
 
-    Ok(JobReport {
+    shard_metrics.sort_by_key(|m| m.shard);
+
+    if sink.enabled() {
+        sink.emit(&Event::JobEnd {
+            trials: summary.trials,
+            consensus: summary.consensus,
+            stopped: summary.stopped,
+            capped: summary.capped,
+            interrupted,
+        });
+    }
+    drop(job_span);
+    sink.flush();
+
+    let report = JobReport {
         summary,
         completed_shards: checkpoint.shards.len() as u64,
         total_shards,
         resumed_shards,
         interrupted,
-    })
+    };
+    let metrics = JobMetrics {
+        job: spec.name.clone(),
+        spec_hash,
+        phases,
+        shards: shard_metrics,
+        exact,
+    };
+    Ok((report, metrics))
 }
 
 /// The per-trial execution strategy, prepared once per job.
@@ -317,20 +564,28 @@ fn edge_weight(seed: u64, u: usize, v: usize, min: u32, max: u32) -> u32 {
 
 /// Applies a weight scheme to a generated CSR graph, turning scheme and
 /// construction failures (zero-weight rows, row totals or degree
-/// products past `u32::MAX`, listed edges the graph does not contain)
-/// into typed spec errors. Shared by the static weighted path and every
-/// snapshot/epoch of a weighted temporal schedule.
+/// products past the resolver's bound, listed edges the graph does not
+/// contain) into typed spec errors. Shared by the static weighted path
+/// and every snapshot/epoch of a weighted temporal schedule.
 fn apply_weights(
     csr: CsrGraph,
     scheme: &WeightScheme,
     wseed: u64,
+    resolver: WeightResolver,
     context: &str,
 ) -> Result<WeightedCsrGraph, RuntimeError> {
     let weighted = match scheme {
-        WeightScheme::Uniform { value } => WeightedCsrGraph::from_csr_uniform(csr, *value),
+        WeightScheme::Uniform { value } => {
+            let value = *value;
+            WeightedCsrGraph::from_csr_with_resolver(csr, |_, _| value, resolver)
+        }
         WeightScheme::Random { min, max } => {
             let (min, max) = (*min, *max);
-            WeightedCsrGraph::from_csr_with(csr, |u, v| edge_weight(wseed, u, v, min, max))
+            WeightedCsrGraph::from_csr_with_resolver(
+                csr,
+                |u, v| edge_weight(wseed, u, v, min, max),
+                resolver,
+            )
         }
         WeightScheme::DegreeProduct => {
             // The per-edge product must fit the closure's u32 before
@@ -348,7 +603,11 @@ fn apply_weights(
                     }
                 }
             }
-            WeightedCsrGraph::from_csr_with(csr, |u, v| (degs[u] * degs[v]) as u32)
+            WeightedCsrGraph::from_csr_with_resolver(
+                csr,
+                |u, v| (degs[u] * degs[v]) as u32,
+                resolver,
+            )
         }
         WeightScheme::Explicit { edges, default } => {
             let mut listed = std::collections::HashMap::with_capacity(edges.len());
@@ -364,18 +623,25 @@ fn apply_weights(
                 listed.insert((u.min(v), u.max(v)), w);
             }
             let default = *default;
-            WeightedCsrGraph::from_csr_with(csr, |u, v| {
-                listed
-                    .get(&(u.min(v), u.max(v)))
-                    .copied()
-                    .unwrap_or(default)
-            })
+            WeightedCsrGraph::from_csr_with_resolver(
+                csr,
+                |u, v| {
+                    listed
+                        .get(&(u.min(v), u.max(v)))
+                        .copied()
+                        .unwrap_or(default)
+                },
+                resolver,
+            )
         }
     };
-    weighted.map_err(|e| {
-        RuntimeError::Spec(format!(
+    weighted.map_err(|e| match e {
+        od_graphs::WeightedGraphError::RowWeightExceedsU16 { .. } => RuntimeError::Spec(format!(
+            "{context}: {e} — lower the weights or switch `resolver` to \"prefix\" or \"alias\""
+        )),
+        _ => RuntimeError::Spec(format!(
             "{context}: {e} — raise the minimum weight or change the weight seed"
-        ))
+        )),
     })
 }
 
@@ -421,6 +687,7 @@ fn build_graph(
                                     snap,
                                     &wspec.scheme,
                                     wseed,
+                                    wspec.resolver,
                                     &format!("graph.weights (temporal snapshot {i})"),
                                 )
                             })
@@ -463,18 +730,20 @@ fn build_graph(
                     Some(wspec) => {
                         let wseed = wspec.seed.unwrap_or(master_seed);
                         let scheme = wspec.scheme.clone();
+                        let resolver = wspec.resolver;
                         let probe_family = family.clone();
                         let probe = apply_weights(
                             make_csr(0, &probe_family, "graph.temporal rewire epoch 0")?,
                             &scheme,
                             wseed,
+                            resolver,
                             "graph.weights (rewire epoch 0)",
                         )?;
                         drop(probe);
                         let generator = move |epoch: u64| {
                             let csr = make_csr(epoch, &family, "graph.temporal rewire")
                                 .unwrap_or_else(|e| panic!("rewiring epoch {epoch}: {e}"));
-                            apply_weights(csr, &scheme, wseed, "graph.weights (rewire)")
+                            apply_weights(csr, &scheme, wseed, resolver, "graph.weights (rewire)")
                                 .unwrap_or_else(|e| panic!("rewiring epoch {epoch}: {e}"))
                         };
                         Ok(BuiltGraph::WeightedTemporal(
@@ -506,7 +775,13 @@ fn build_graph(
         let csr = build_csr_family(&graph_spec.family, n, &mut rng, "graph")?;
         reject_isolated(&csr, "graph")?;
         let wseed = weights_spec.seed.unwrap_or(master_seed);
-        let weighted = apply_weights(csr, &weights_spec.scheme, wseed, "graph.weights")?;
+        let weighted = apply_weights(
+            csr,
+            &weights_spec.scheme,
+            wseed,
+            weights_spec.resolver,
+            "graph.weights",
+        )?;
         return Ok(BuiltGraph::Weighted(weighted));
     }
 
@@ -616,15 +891,20 @@ fn largest_remainder_counts(fracs: &[f64], total: usize) -> Vec<u64> {
 
 /// Executes one graph trial: monomorphize over (graph representation ×
 /// protocol kernel), then run the matching batched engine.
-fn run_graph_trial(spec: &JobSpec, engine: &GraphEngine, trial: u64) -> TrialResult {
+fn run_graph_trial(
+    spec: &JobSpec,
+    engine: &GraphEngine,
+    trial: u64,
+    trace: Option<&mut BoundedGammaTrace>,
+) -> TrialResult {
     let trial_seed = derive_seed(spec.master_seed, trial);
     match &engine.graph {
-        BuiltGraph::Complete(g) => dispatch_kernel(spec, engine, g, trial_seed),
-        BuiltGraph::Csr(g) => dispatch_kernel(spec, engine, g, trial_seed),
-        BuiltGraph::Weighted(g) => dispatch_kernel_weighted(spec, engine, g, trial_seed),
-        BuiltGraph::Temporal(t) => dispatch_kernel_temporal(spec, engine, t, trial_seed),
+        BuiltGraph::Complete(g) => dispatch_kernel(spec, engine, g, trial_seed, trace),
+        BuiltGraph::Csr(g) => dispatch_kernel(spec, engine, g, trial_seed, trace),
+        BuiltGraph::Weighted(g) => dispatch_kernel_weighted(spec, engine, g, trial_seed, trace),
+        BuiltGraph::Temporal(t) => dispatch_kernel_temporal(spec, engine, t, trial_seed, trace),
         BuiltGraph::WeightedTemporal(t) => {
-            dispatch_kernel_weighted_temporal(spec, engine, t, trial_seed)
+            dispatch_kernel_weighted_temporal(spec, engine, t, trial_seed, trace)
         }
     }
 }
@@ -634,16 +914,25 @@ fn dispatch_kernel<G: Graph + Sync>(
     engine: &GraphEngine,
     graph: &G,
     trial_seed: u64,
+    trace: Option<&mut BoundedGammaTrace>,
 ) -> TrialResult {
     match &engine.kernel {
-        GraphProtocolKind::ThreeMajority(p) => run_graph_case(spec, p, graph, engine, trial_seed),
-        GraphProtocolKind::TwoChoices(p) => run_graph_case(spec, p, graph, engine, trial_seed),
-        GraphProtocolKind::Voter(p) => run_graph_case(spec, p, graph, engine, trial_seed),
-        GraphProtocolKind::Median(p) => run_graph_case(spec, p, graph, engine, trial_seed),
-        GraphProtocolKind::HMajority(p) => run_graph_case(spec, p, graph, engine, trial_seed),
-        GraphProtocolKind::Undecided(p) => run_graph_case(spec, p, graph, engine, trial_seed),
+        GraphProtocolKind::ThreeMajority(p) => {
+            run_graph_case(spec, p, graph, engine, trial_seed, trace)
+        }
+        GraphProtocolKind::TwoChoices(p) => {
+            run_graph_case(spec, p, graph, engine, trial_seed, trace)
+        }
+        GraphProtocolKind::Voter(p) => run_graph_case(spec, p, graph, engine, trial_seed, trace),
+        GraphProtocolKind::Median(p) => run_graph_case(spec, p, graph, engine, trial_seed, trace),
+        GraphProtocolKind::HMajority(p) => {
+            run_graph_case(spec, p, graph, engine, trial_seed, trace)
+        }
+        GraphProtocolKind::Undecided(p) => {
+            run_graph_case(spec, p, graph, engine, trial_seed, trace)
+        }
         GraphProtocolKind::NoisyThreeMajority(p) => {
-            run_graph_case(spec, p, graph, engine, trial_seed)
+            run_graph_case(spec, p, graph, engine, trial_seed, trace)
         }
     }
 }
@@ -653,18 +942,27 @@ fn dispatch_kernel_weighted(
     engine: &GraphEngine,
     graph: &WeightedCsrGraph,
     trial_seed: u64,
+    trace: Option<&mut BoundedGammaTrace>,
 ) -> TrialResult {
     match &engine.kernel {
         GraphProtocolKind::ThreeMajority(p) => {
-            run_weighted_case(spec, p, graph, engine, trial_seed)
+            run_weighted_case(spec, p, graph, engine, trial_seed, trace)
         }
-        GraphProtocolKind::TwoChoices(p) => run_weighted_case(spec, p, graph, engine, trial_seed),
-        GraphProtocolKind::Voter(p) => run_weighted_case(spec, p, graph, engine, trial_seed),
-        GraphProtocolKind::Median(p) => run_weighted_case(spec, p, graph, engine, trial_seed),
-        GraphProtocolKind::HMajority(p) => run_weighted_case(spec, p, graph, engine, trial_seed),
-        GraphProtocolKind::Undecided(p) => run_weighted_case(spec, p, graph, engine, trial_seed),
+        GraphProtocolKind::TwoChoices(p) => {
+            run_weighted_case(spec, p, graph, engine, trial_seed, trace)
+        }
+        GraphProtocolKind::Voter(p) => run_weighted_case(spec, p, graph, engine, trial_seed, trace),
+        GraphProtocolKind::Median(p) => {
+            run_weighted_case(spec, p, graph, engine, trial_seed, trace)
+        }
+        GraphProtocolKind::HMajority(p) => {
+            run_weighted_case(spec, p, graph, engine, trial_seed, trace)
+        }
+        GraphProtocolKind::Undecided(p) => {
+            run_weighted_case(spec, p, graph, engine, trial_seed, trace)
+        }
         GraphProtocolKind::NoisyThreeMajority(p) => {
-            run_weighted_case(spec, p, graph, engine, trial_seed)
+            run_weighted_case(spec, p, graph, engine, trial_seed, trace)
         }
     }
 }
@@ -674,20 +972,29 @@ fn dispatch_kernel_temporal(
     engine: &GraphEngine,
     schedule: &TemporalGraph,
     trial_seed: u64,
+    trace: Option<&mut BoundedGammaTrace>,
 ) -> TrialResult {
     match &engine.kernel {
         GraphProtocolKind::ThreeMajority(p) => {
-            run_temporal_case(spec, p, schedule, engine, trial_seed)
+            run_temporal_case(spec, p, schedule, engine, trial_seed, trace)
         }
         GraphProtocolKind::TwoChoices(p) => {
-            run_temporal_case(spec, p, schedule, engine, trial_seed)
+            run_temporal_case(spec, p, schedule, engine, trial_seed, trace)
         }
-        GraphProtocolKind::Voter(p) => run_temporal_case(spec, p, schedule, engine, trial_seed),
-        GraphProtocolKind::Median(p) => run_temporal_case(spec, p, schedule, engine, trial_seed),
-        GraphProtocolKind::HMajority(p) => run_temporal_case(spec, p, schedule, engine, trial_seed),
-        GraphProtocolKind::Undecided(p) => run_temporal_case(spec, p, schedule, engine, trial_seed),
+        GraphProtocolKind::Voter(p) => {
+            run_temporal_case(spec, p, schedule, engine, trial_seed, trace)
+        }
+        GraphProtocolKind::Median(p) => {
+            run_temporal_case(spec, p, schedule, engine, trial_seed, trace)
+        }
+        GraphProtocolKind::HMajority(p) => {
+            run_temporal_case(spec, p, schedule, engine, trial_seed, trace)
+        }
+        GraphProtocolKind::Undecided(p) => {
+            run_temporal_case(spec, p, schedule, engine, trial_seed, trace)
+        }
         GraphProtocolKind::NoisyThreeMajority(p) => {
-            run_temporal_case(spec, p, schedule, engine, trial_seed)
+            run_temporal_case(spec, p, schedule, engine, trial_seed, trace)
         }
     }
 }
@@ -697,28 +1004,29 @@ fn dispatch_kernel_weighted_temporal(
     engine: &GraphEngine,
     schedule: &WeightedTemporalGraph,
     trial_seed: u64,
+    trace: Option<&mut BoundedGammaTrace>,
 ) -> TrialResult {
     match &engine.kernel {
         GraphProtocolKind::ThreeMajority(p) => {
-            run_weighted_temporal_case(spec, p, schedule, engine, trial_seed)
+            run_weighted_temporal_case(spec, p, schedule, engine, trial_seed, trace)
         }
         GraphProtocolKind::TwoChoices(p) => {
-            run_weighted_temporal_case(spec, p, schedule, engine, trial_seed)
+            run_weighted_temporal_case(spec, p, schedule, engine, trial_seed, trace)
         }
         GraphProtocolKind::Voter(p) => {
-            run_weighted_temporal_case(spec, p, schedule, engine, trial_seed)
+            run_weighted_temporal_case(spec, p, schedule, engine, trial_seed, trace)
         }
         GraphProtocolKind::Median(p) => {
-            run_weighted_temporal_case(spec, p, schedule, engine, trial_seed)
+            run_weighted_temporal_case(spec, p, schedule, engine, trial_seed, trace)
         }
         GraphProtocolKind::HMajority(p) => {
-            run_weighted_temporal_case(spec, p, schedule, engine, trial_seed)
+            run_weighted_temporal_case(spec, p, schedule, engine, trial_seed, trace)
         }
         GraphProtocolKind::Undecided(p) => {
-            run_weighted_temporal_case(spec, p, schedule, engine, trial_seed)
+            run_weighted_temporal_case(spec, p, schedule, engine, trial_seed, trace)
         }
         GraphProtocolKind::NoisyThreeMajority(p) => {
-            run_weighted_temporal_case(spec, p, schedule, engine, trial_seed)
+            run_weighted_temporal_case(spec, p, schedule, engine, trial_seed, trace)
         }
     }
 }
@@ -741,6 +1049,7 @@ fn run_graph_case<P: GraphProtocol, G: Graph>(
     graph: &G,
     engine: &GraphEngine,
     trial_seed: u64,
+    trace: Option<&mut BoundedGammaTrace>,
 ) -> TrialResult {
     let sim = GraphSimulation::new(protocol, graph).with_max_rounds(spec.max_rounds);
     let k = engine.k;
@@ -749,16 +1058,30 @@ fn run_graph_case<P: GraphProtocol, G: Graph>(
     // pipeline's single double-buffered loop (`run_batched_until`) —
     // trial results are a pure function of `(spec, trial)` there, so
     // shard invariance and checkpoint/resume byte-identity carry over.
-    let out = match spec.stop {
-        StopRule::Consensus => sim.run_batched(&engine.opinions, trial_seed),
-        StopRule::MaxFraction(threshold) => {
+    let out = match trace {
+        None => match spec.stop {
+            StopRule::Consensus => sim.run_batched(&engine.opinions, trial_seed),
+            StopRule::MaxFraction(threshold) => {
+                sim.run_batched_until(&engine.opinions, trial_seed, |_, opinions| {
+                    od_core::protocol::tally(opinions, k).max_fraction() >= threshold
+                })
+            }
+            StopRule::Gamma(threshold) => {
+                sim.run_batched_until(&engine.opinions, trial_seed, |_, opinions| {
+                    od_core::protocol::tally(opinions, k).gamma() >= threshold
+                })
+            }
+        },
+        // Tracing composes the observation into the stop closure;
+        // `run_batched` is `run_batched_until` with an always-false predicate,
+        // so the traced run visits the same RNG stream and returns the
+        // same outcome as every arm above.
+        Some(t) => {
+            let stop = spec.stop;
             sim.run_batched_until(&engine.opinions, trial_seed, |_, opinions| {
-                od_core::protocol::tally(opinions, k).max_fraction() >= threshold
-            })
-        }
-        StopRule::Gamma(threshold) => {
-            sim.run_batched_until(&engine.opinions, trial_seed, |_, opinions| {
-                od_core::protocol::tally(opinions, k).gamma() >= threshold
+                let counts = od_core::protocol::tally(opinions, k);
+                t.push(counts.gamma());
+                stop_hit(stop, &counts)
             })
         }
     };
@@ -773,19 +1096,34 @@ fn run_weighted_case<P: GraphProtocol>(
     graph: &WeightedCsrGraph,
     engine: &GraphEngine,
     trial_seed: u64,
+    trace: Option<&mut BoundedGammaTrace>,
 ) -> TrialResult {
     let sim = GraphSimulation::new(protocol, graph).with_max_rounds(spec.max_rounds);
     let k = engine.k;
-    let out = match spec.stop {
-        StopRule::Consensus => sim.run_weighted(&engine.opinions, trial_seed),
-        StopRule::MaxFraction(threshold) => {
+    let out = match trace {
+        None => match spec.stop {
+            StopRule::Consensus => sim.run_weighted(&engine.opinions, trial_seed),
+            StopRule::MaxFraction(threshold) => {
+                sim.run_weighted_until(&engine.opinions, trial_seed, |_, opinions| {
+                    od_core::protocol::tally(opinions, k).max_fraction() >= threshold
+                })
+            }
+            StopRule::Gamma(threshold) => {
+                sim.run_weighted_until(&engine.opinions, trial_seed, |_, opinions| {
+                    od_core::protocol::tally(opinions, k).gamma() >= threshold
+                })
+            }
+        },
+        // Tracing composes the observation into the stop closure;
+        // `run_weighted` is `run_weighted_until` with an always-false predicate,
+        // so the traced run visits the same RNG stream and returns the
+        // same outcome as every arm above.
+        Some(t) => {
+            let stop = spec.stop;
             sim.run_weighted_until(&engine.opinions, trial_seed, |_, opinions| {
-                od_core::protocol::tally(opinions, k).max_fraction() >= threshold
-            })
-        }
-        StopRule::Gamma(threshold) => {
-            sim.run_weighted_until(&engine.opinions, trial_seed, |_, opinions| {
-                od_core::protocol::tally(opinions, k).gamma() >= threshold
+                let counts = od_core::protocol::tally(opinions, k);
+                t.push(counts.gamma());
+                stop_hit(stop, &counts)
             })
         }
     };
@@ -800,19 +1138,34 @@ fn run_temporal_case<P: GraphProtocol>(
     schedule: &TemporalGraph,
     engine: &GraphEngine,
     trial_seed: u64,
+    trace: Option<&mut BoundedGammaTrace>,
 ) -> TrialResult {
     let sim = TemporalSimulation::new(protocol, schedule).with_max_rounds(spec.max_rounds);
     let k = engine.k;
-    let out = match spec.stop {
-        StopRule::Consensus => sim.run_batched(&engine.opinions, trial_seed),
-        StopRule::MaxFraction(threshold) => {
+    let out = match trace {
+        None => match spec.stop {
+            StopRule::Consensus => sim.run_batched(&engine.opinions, trial_seed),
+            StopRule::MaxFraction(threshold) => {
+                sim.run_batched_until(&engine.opinions, trial_seed, |_, opinions| {
+                    od_core::protocol::tally(opinions, k).max_fraction() >= threshold
+                })
+            }
+            StopRule::Gamma(threshold) => {
+                sim.run_batched_until(&engine.opinions, trial_seed, |_, opinions| {
+                    od_core::protocol::tally(opinions, k).gamma() >= threshold
+                })
+            }
+        },
+        // Tracing composes the observation into the stop closure;
+        // `run_batched` is `run_batched_until` with an always-false predicate,
+        // so the traced run visits the same RNG stream and returns the
+        // same outcome as every arm above.
+        Some(t) => {
+            let stop = spec.stop;
             sim.run_batched_until(&engine.opinions, trial_seed, |_, opinions| {
-                od_core::protocol::tally(opinions, k).max_fraction() >= threshold
-            })
-        }
-        StopRule::Gamma(threshold) => {
-            sim.run_batched_until(&engine.opinions, trial_seed, |_, opinions| {
-                od_core::protocol::tally(opinions, k).gamma() >= threshold
+                let counts = od_core::protocol::tally(opinions, k);
+                t.push(counts.gamma());
+                stop_hit(stop, &counts)
             })
         }
     };
@@ -828,23 +1181,56 @@ fn run_weighted_temporal_case<P: GraphProtocol>(
     schedule: &WeightedTemporalGraph,
     engine: &GraphEngine,
     trial_seed: u64,
+    trace: Option<&mut BoundedGammaTrace>,
 ) -> TrialResult {
     let sim = WeightedTemporalSimulation::new(protocol, schedule).with_max_rounds(spec.max_rounds);
     let k = engine.k;
-    let out = match spec.stop {
-        StopRule::Consensus => sim.run_weighted(&engine.opinions, trial_seed),
-        StopRule::MaxFraction(threshold) => {
+    let out = match trace {
+        None => match spec.stop {
+            StopRule::Consensus => sim.run_weighted(&engine.opinions, trial_seed),
+            StopRule::MaxFraction(threshold) => {
+                sim.run_weighted_until(&engine.opinions, trial_seed, |_, opinions| {
+                    od_core::protocol::tally(opinions, k).max_fraction() >= threshold
+                })
+            }
+            StopRule::Gamma(threshold) => {
+                sim.run_weighted_until(&engine.opinions, trial_seed, |_, opinions| {
+                    od_core::protocol::tally(opinions, k).gamma() >= threshold
+                })
+            }
+        },
+        // Tracing composes the observation into the stop closure;
+        // `run_weighted` is `run_weighted_until` with an always-false predicate,
+        // so the traced run visits the same RNG stream and returns the
+        // same outcome as every arm above.
+        Some(t) => {
+            let stop = spec.stop;
             sim.run_weighted_until(&engine.opinions, trial_seed, |_, opinions| {
-                od_core::protocol::tally(opinions, k).max_fraction() >= threshold
-            })
-        }
-        StopRule::Gamma(threshold) => {
-            sim.run_weighted_until(&engine.opinions, trial_seed, |_, opinions| {
-                od_core::protocol::tally(opinions, k).gamma() >= threshold
+                let counts = od_core::protocol::tally(opinions, k);
+                t.push(counts.gamma());
+                stop_hit(stop, &counts)
             })
         }
     };
     fold_outcome(out)
+}
+
+/// Per-job telemetry context shared by every shard: the sink, the root
+/// span to parent shard spans under, the effective progress cadence,
+/// and the trace sampling configuration.
+struct ShardScope<'a> {
+    sink: &'a dyn TelemetrySink,
+    job_span: Option<u64>,
+    progress_every: u64,
+    trace: Option<&'a TraceSpec>,
+}
+
+/// Rounds a trial simulated: capped trials ran the full round budget.
+fn trial_rounds(result: &TrialResult, max_rounds: u64) -> u64 {
+    match result {
+        TrialResult::Consensus { rounds, .. } | TrialResult::Stopped { rounds } => *rounds,
+        TrialResult::Capped => max_rounds,
+    }
 }
 
 /// Executes one shard, or returns `None` when cancelled (partial shards
@@ -855,55 +1241,151 @@ fn run_shard(
     initial: &OpinionCounts,
     shard_index: u64,
     cancel: &CancelToken,
-) -> Option<ShardSummary> {
+    scope: &ShardScope<'_>,
+) -> Option<(ShardSummary, ShardMetrics)> {
     let (start, end) = spec.shard_range(shard_index);
+    let telemetry_on = scope.sink.enabled();
+    let shard_span = span_full(scope.sink, "shard", scope.job_span, Some(shard_index));
+    let started = Instant::now();
     let mut summary = ShardSummary::new();
+    let mut rounds_total: u64 = 0;
     for trial in start..end {
         if cancel.is_cancelled() {
             return None;
         }
-        summary.push(run_trial(spec, engine, initial, trial));
+        // Trace buffers exist only on sampled trials of an enabled sink;
+        // the buffer observes through the stop-rule closure, which is
+        // result-identical to the untraced path (the engines' plain runs
+        // are literal delegations to their `_until` variants).
+        let mut trace = if telemetry_on {
+            scope
+                .trace
+                .filter(|t| trial.is_multiple_of(t.sample_trials))
+                .map(|t| BoundedGammaTrace::with_capacity(t.max_points as usize))
+        } else {
+            None
+        };
+        let result = run_trial(spec, engine, initial, trial, trace.as_mut());
+        rounds_total = rounds_total.saturating_add(trial_rounds(&result, spec.max_rounds));
+        if telemetry_on {
+            let (outcome, winner) = match &result {
+                TrialResult::Consensus { winner, .. } => ("consensus", *winner),
+                TrialResult::Stopped { .. } => ("stopped", None),
+                TrialResult::Capped => ("capped", None),
+            };
+            scope.sink.emit(&Event::Trial {
+                shard: shard_index,
+                trial,
+                rounds: trial_rounds(&result, spec.max_rounds),
+                outcome,
+                winner,
+            });
+            if let Some(t) = &trace {
+                scope.sink.emit(&Event::Trace {
+                    trial,
+                    gamma: t.values(),
+                    truncated: t.truncated(),
+                });
+            }
+            let done = trial - start + 1;
+            let total = end - start;
+            if done.is_multiple_of(scope.progress_every) || done == total {
+                let elapsed_us = started.elapsed().as_micros() as u64;
+                let elapsed_s = (elapsed_us as f64 / 1e6).max(1e-9);
+                scope.sink.emit(&Event::Progress {
+                    shard: shard_index,
+                    trials_done: done,
+                    trials_total: total,
+                    rounds: rounds_total,
+                    elapsed_us,
+                    rounds_per_sec: rounds_total as f64 / elapsed_s,
+                    eta_s: elapsed_s / done as f64 * (total - done) as f64,
+                });
+            }
+        }
+        summary.push(result);
     }
-    Some(summary)
+    drop(shard_span);
+    let metrics = ShardMetrics {
+        shard: shard_index,
+        trials: end - start,
+        rounds: rounds_total,
+        elapsed_us: started.elapsed().as_micros() as u64,
+    };
+    Some((summary, metrics))
+}
+
+/// Whether `counts` satisfies `stop` (the stop-rule predicate shared by
+/// the traced paths).
+fn stop_hit(stop: StopRule, counts: &OpinionCounts) -> bool {
+    match stop {
+        StopRule::Consensus => false,
+        StopRule::MaxFraction(threshold) => counts.max_fraction() >= threshold,
+        StopRule::Gamma(threshold) => counts.gamma() >= threshold,
+    }
 }
 
 /// Executes one trial with the canonical per-trial RNG derivation.
+///
+/// `trace`, when present, observes `γ_t` through the stop-rule closure
+/// of the engines' `_until` entry points. This is result-identical to
+/// the untraced arms: `run` ≡ `run_until` with an always-false
+/// predicate, and `run_to_consensus_compacted` literally delegates to
+/// `run_compacted_until(|_| false)`.
 fn run_trial(
     spec: &JobSpec,
     engine: &TrialEngine,
     initial: &OpinionCounts,
     trial: u64,
+    trace: Option<&mut BoundedGammaTrace>,
 ) -> TrialResult {
     let protocol = match engine {
-        TrialEngine::Graph(graph_engine) => return run_graph_trial(spec, graph_engine, trial),
+        TrialEngine::Graph(graph_engine) => {
+            return run_graph_trial(spec, graph_engine, trial, trace)
+        }
         TrialEngine::Population(protocol) => protocol,
     };
     let mut rng = rng_for(spec.master_seed, trial);
     match spec.mode {
         ExecutionMode::Compacted => {
-            let (rounds, stopped_by_rule) = match spec.stop {
-                StopRule::Consensus => (
-                    od_core::run_to_consensus_compacted(
-                        protocol,
-                        initial,
-                        &mut rng,
-                        spec.max_rounds,
+            let (rounds, stopped_by_rule) = match trace {
+                None => match spec.stop {
+                    StopRule::Consensus => (
+                        od_core::run_to_consensus_compacted(
+                            protocol,
+                            initial,
+                            &mut rng,
+                            spec.max_rounds,
+                        ),
+                        false,
                     ),
-                    false,
-                ),
-                StopRule::MaxFraction(threshold) => {
-                    let (rounds, hit) =
-                        run_compacted_until(protocol, initial, &mut rng, spec.max_rounds, |c| {
-                            c.max_fraction() >= threshold
-                        });
-                    (rounds, hit)
-                }
-                StopRule::Gamma(threshold) => {
-                    let (rounds, hit) =
-                        run_compacted_until(protocol, initial, &mut rng, spec.max_rounds, |c| {
-                            c.gamma() >= threshold
-                        });
-                    (rounds, hit)
+                    StopRule::MaxFraction(threshold) => {
+                        let (rounds, hit) = run_compacted_until(
+                            protocol,
+                            initial,
+                            &mut rng,
+                            spec.max_rounds,
+                            |c| c.max_fraction() >= threshold,
+                        );
+                        (rounds, hit)
+                    }
+                    StopRule::Gamma(threshold) => {
+                        let (rounds, hit) = run_compacted_until(
+                            protocol,
+                            initial,
+                            &mut rng,
+                            spec.max_rounds,
+                            |c| c.gamma() >= threshold,
+                        );
+                        (rounds, hit)
+                    }
+                },
+                Some(t) => {
+                    let stop = spec.stop;
+                    run_compacted_until(protocol, initial, &mut rng, spec.max_rounds, |c| {
+                        t.push(c.gamma());
+                        stop_hit(stop, c)
+                    })
                 }
             };
             match rounds {
@@ -923,14 +1405,25 @@ fn run_trial(
                     .expect("adversary kind validated before execution");
                 simulation.run_with_adversary(initial, &mut rng, &mut *adversary)
             } else {
-                match spec.stop {
-                    StopRule::Consensus => simulation.run(initial, &mut rng),
-                    StopRule::MaxFraction(threshold) => {
-                        simulation
-                            .run_until(initial, &mut rng, &mut |_, c| c.max_fraction() >= threshold)
-                    }
-                    StopRule::Gamma(threshold) => {
-                        simulation.run_until(initial, &mut rng, &mut |_, c| c.gamma() >= threshold)
+                match trace {
+                    None => match spec.stop {
+                        StopRule::Consensus => simulation.run(initial, &mut rng),
+                        StopRule::MaxFraction(threshold) => {
+                            simulation.run_until(initial, &mut rng, &mut |_, c| {
+                                c.max_fraction() >= threshold
+                            })
+                        }
+                        StopRule::Gamma(threshold) => {
+                            simulation
+                                .run_until(initial, &mut rng, &mut |_, c| c.gamma() >= threshold)
+                        }
+                    },
+                    Some(t) => {
+                        let stop = spec.stop;
+                        simulation.run_until(initial, &mut rng, &mut |_, c| {
+                            t.push(c.gamma());
+                            stop_hit(stop, c)
+                        })
                     }
                 }
             };

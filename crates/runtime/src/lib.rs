@@ -55,10 +55,14 @@ pub mod toml_compat;
 
 pub use checkpoint::Checkpoint;
 pub use error::RuntimeError;
-pub use executor::{run_job, run_job_simple, CancelToken, JobReport, RunOptions};
+pub use executor::{
+    run_job, run_job_simple, run_job_with_metrics, CancelToken, JobMetrics, JobReport, RunOptions,
+    ShardMetrics,
+};
+pub use od_graphs::WeightResolver;
 pub use queue::{default_checkpoint_path, load_job_file, run_queue};
 pub use spec::{
     AdversarySpec, ExecutionMode, GraphFamily, GraphSpec, InitialSpec, JobSpec, OpinionAssignment,
-    StopRule, TemporalSchedule, TemporalSpec, WeightScheme, WeightsSpec,
+    StopRule, TelemetrySpec, TemporalSchedule, TemporalSpec, TraceSpec, WeightScheme, WeightsSpec,
 };
 pub use summary::{ShardSummary, TrialResult};

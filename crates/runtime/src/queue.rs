@@ -45,7 +45,10 @@ pub struct QueueEntry {
     pub path: PathBuf,
     /// The loaded spec's name (when it loaded).
     pub job_name: Option<String>,
-    /// The run result.
+    /// The loaded spec's content hash (when it loaded).
+    pub spec_hash: Option<String>,
+    /// The run result; errors are wrapped as [`RuntimeError::Job`] so
+    /// they carry the job file and spec hash wherever they surface.
     pub result: Result<JobReport, RuntimeError>,
 }
 
@@ -99,19 +102,29 @@ pub fn run_queue(dir: &Path, options: &RunOptions) -> Result<Vec<QueueEntry>, Ru
         if options.cancel.is_cancelled() {
             break;
         }
-        let (job_name, result) = match load_job_file(&path) {
+        let (job_name, spec_hash, result) = match load_job_file(&path) {
             Ok(spec) => {
                 let job_options = RunOptions {
                     checkpoint_path: Some(default_checkpoint_path(&path)),
-                    cancel: options.cancel.clone(),
+                    ..options.clone()
                 };
-                (Some(spec.name.clone()), run_job(&spec, &job_options))
+                (
+                    Some(spec.name.clone()),
+                    Some(spec.content_hash()),
+                    run_job(&spec, &job_options),
+                )
             }
-            Err(e) => (None, Err(e)),
+            Err(e) => (None, None, Err(e)),
         };
+        let result = result.map_err(|e| RuntimeError::Job {
+            path: path.clone(),
+            spec_hash: spec_hash.clone(),
+            source: Box::new(e),
+        });
         entries.push(QueueEntry {
             path,
             job_name,
+            spec_hash,
             result,
         });
     }
@@ -198,6 +211,52 @@ counts = [150, 50]
         assert_eq!(entries.len(), 2);
         assert!(entries[0].result.is_err());
         assert!(entries[1].result.is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn queue_errors_carry_job_path_and_spec_hash() {
+        let dir = temp_dir("context");
+        // Parses but fails validation inside run_job: the error must
+        // still name the job file and the spec's content hash.
+        let bad_protocol = small_job("ghost", 9).replace("three-majority", "no-such-protocol");
+        std::fs::write(dir.join("ghost.json"), &bad_protocol).unwrap();
+        // Fails at load: no hash is available, but the path still is.
+        std::fs::write(dir.join("broken.json"), "{ nope").unwrap();
+        let entries = run_queue(&dir, &RunOptions::default()).unwrap();
+        assert_eq!(entries.len(), 2);
+
+        let broken = entries[0].result.as_ref().unwrap_err();
+        assert!(
+            matches!(
+                broken,
+                RuntimeError::Job {
+                    spec_hash: None,
+                    ..
+                }
+            ),
+            "got {broken:?}"
+        );
+        assert!(broken.to_string().contains("broken.json"), "{broken}");
+
+        let ghost = entries[1].result.as_ref().unwrap_err();
+        let expected_hash = entries[1].spec_hash.clone().unwrap();
+        match ghost {
+            RuntimeError::Job {
+                path,
+                spec_hash: Some(hash),
+                ..
+            } => {
+                assert!(path.ends_with("ghost.json"));
+                assert_eq!(hash, &expected_hash);
+            }
+            other => panic!("expected Job error with hash, got {other:?}"),
+        }
+        let rendered = ghost.to_string();
+        assert!(
+            rendered.contains("ghost.json") && rendered.contains(&expected_hash),
+            "{rendered}"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

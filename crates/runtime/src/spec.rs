@@ -16,6 +16,7 @@ use crate::error::RuntimeError;
 use crate::json::{self, Json};
 use od_core::registry::{build_protocol, DynProtocol, ParamValue, ProtocolParams};
 use od_core::OpinionCounts;
+use od_graphs::WeightResolver;
 
 /// How the initial opinion configuration is constructed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -575,10 +576,34 @@ pub struct WeightsSpec {
     /// Weights are a pure function of `(seed, edge)`, independent of
     /// both graph-generation and trial randomness.
     pub seed: Option<u64>,
+    /// Point-resolution strategy of the weighted sampler
+    /// (`alias` | `prefix` | `prefix-u16`). All three are proptested
+    /// bit-identical — the knob trades memory for resolution latency,
+    /// never results. It serialises only when explicitly non-default,
+    /// so specs that never name it keep their pre-knob content hashes.
+    pub resolver: WeightResolver,
 }
 
 impl WeightsSpec {
     fn validate(&self, n: u64) -> Result<(), RuntimeError> {
+        if self.resolver == WeightResolver::PrefixU16 {
+            // A single weight past u16::MAX overflows any row containing
+            // it; reject the statically-certain cases here (row totals
+            // that only overflow through degree sums stay typed errors at
+            // graph build time).
+            let certain_overflow = match self.scheme {
+                WeightScheme::Uniform { value } => value > u32::from(u16::MAX),
+                WeightScheme::Random { min, .. } => min > u32::from(u16::MAX),
+                _ => false,
+            };
+            if certain_overflow {
+                return Err(spec_err(
+                    "graph.weights: every weight exceeds u16::MAX, so every row total \
+                     overflows the prefix-u16 resolver — lower the weights or use the \
+                     alias or prefix resolver",
+                ));
+            }
+        }
         match &self.scheme {
             WeightScheme::Uniform { value } => {
                 if *value == 0 {
@@ -671,6 +696,17 @@ impl WeightsSpec {
         if let Some(seed) = self.seed {
             obj.insert("seed", json_u64(seed));
         }
+        // The default resolver is omitted so specs predating the knob
+        // keep their content hashes.
+        match self.resolver {
+            WeightResolver::Alias => {}
+            WeightResolver::Prefix => {
+                obj.insert("resolver", Json::Str("prefix".into()));
+            }
+            WeightResolver::PrefixU16 => {
+                obj.insert("resolver", Json::Str("prefix-u16".into()));
+            }
+        }
         obj
     }
 
@@ -683,27 +719,35 @@ impl WeightsSpec {
         };
         let scheme = match scheme_kind {
             "uniform" => {
-                reject_unknown_keys(value, "graph.weights", &["scheme", "value", "seed"])?;
+                reject_unknown_keys(
+                    value,
+                    "graph.weights",
+                    &["scheme", "value", "seed", "resolver"],
+                )?;
                 WeightScheme::Uniform {
                     value: u32_field("value")?,
                 }
             }
             "random" => {
-                reject_unknown_keys(value, "graph.weights", &["scheme", "min", "max", "seed"])?;
+                reject_unknown_keys(
+                    value,
+                    "graph.weights",
+                    &["scheme", "min", "max", "seed", "resolver"],
+                )?;
                 WeightScheme::Random {
                     min: u32_field("min")?,
                     max: u32_field("max")?,
                 }
             }
             "degree-product" => {
-                reject_unknown_keys(value, "graph.weights", &["scheme", "seed"])?;
+                reject_unknown_keys(value, "graph.weights", &["scheme", "seed", "resolver"])?;
                 WeightScheme::DegreeProduct
             }
             "explicit" => {
                 reject_unknown_keys(
                     value,
                     "graph.weights",
-                    &["scheme", "edges", "default", "seed"],
+                    &["scheme", "edges", "default", "seed", "resolver"],
                 )?;
                 let items = value.get("edges").and_then(Json::as_array).ok_or_else(|| {
                     spec_err("graph.weights.edges must be an array of [u, v, weight] triples")
@@ -753,7 +797,25 @@ impl WeightsSpec {
                     .ok_or_else(|| spec_err("graph.weights.seed must be a non-negative integer"))
             })
             .transpose()?;
-        Ok(Self { scheme, seed })
+        let resolver = match value.get("resolver") {
+            None => WeightResolver::Alias,
+            Some(v) => match v.as_str() {
+                Some("alias") => WeightResolver::Alias,
+                Some("prefix") => WeightResolver::Prefix,
+                Some("prefix-u16") => WeightResolver::PrefixU16,
+                _ => {
+                    return Err(spec_err(
+                        "graph.weights.resolver must be one of \"alias\", \"prefix\", \
+                         \"prefix-u16\"",
+                    ))
+                }
+            },
+        };
+        Ok(Self {
+            scheme,
+            seed,
+            resolver,
+        })
     }
 }
 
@@ -988,20 +1050,32 @@ impl GraphSpec {
                     // overflow-free for every epoch, not just the probed
                     // one. degree-product has no useful static bound; its
                     // residual mid-trial failure mode is documented at the
-                    // executor's rewire generator.
+                    // executor's rewire generator. The prefix-u16 resolver
+                    // tightens the cap from u32 to u16 row totals.
                     let max_weight = match weights.scheme {
                         WeightScheme::Uniform { value } => Some(value),
                         WeightScheme::Random { max, .. } => Some(max),
                         WeightScheme::DegreeProduct | WeightScheme::Explicit { .. } => None,
                     };
+                    let (row_cap, cap_name) = if weights.resolver == WeightResolver::PrefixU16 {
+                        (u64::from(u16::MAX), "u16::MAX")
+                    } else {
+                        (u64::from(u32::MAX), "u32::MAX")
+                    };
                     if let Some(max_weight) = max_weight {
-                        if u64::from(max_weight) * n.saturating_sub(1) > u64::from(u32::MAX) {
-                            return Err(spec_err(
+                        if u64::from(max_weight) * n.saturating_sub(1) > row_cap {
+                            return Err(spec_err(&format!(
                                 "graph.weights: the maximal per-edge weight times n - 1 \
-                                 exceeds u32::MAX, so a high-degree rewired epoch could \
-                                 overflow a row total mid-trial — lower the weights",
-                            ));
+                                 exceeds {cap_name}, so a high-degree rewired epoch could \
+                                 overflow a row total mid-trial — lower the weights"
+                            )));
                         }
+                    } else if weights.resolver == WeightResolver::PrefixU16 {
+                        return Err(spec_err(
+                            "graph.weights: the degree-product scheme has no static row-total \
+                             bound, so a rewired epoch could overflow the prefix-u16 resolver \
+                             mid-trial — use the alias or prefix resolver",
+                        ));
                     }
                 }
             }
@@ -1210,6 +1284,129 @@ impl GraphSpec {
     }
 }
 
+/// Default γ-trace point budget when a trace block does not set one.
+pub const DEFAULT_TRACE_MAX_POINTS: u64 = 4096;
+
+/// The `telemetry.trace` sub-block: record the per-round `γ_t`
+/// trajectory of sampled trials as `trace` events. Sampling and the
+/// point budget keep memory bounded on long jobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSpec {
+    /// Trace trials `0, sample_trials, 2·sample_trials, …` (global
+    /// trial indices, so the sampled set is shard-invariant); `>= 1`.
+    pub sample_trials: u64,
+    /// Points kept per traced trial before truncation; `>= 1`.
+    pub max_points: u64,
+}
+
+impl Default for TraceSpec {
+    fn default() -> Self {
+        Self {
+            sample_trials: 1,
+            max_points: DEFAULT_TRACE_MAX_POINTS,
+        }
+    }
+}
+
+impl TraceSpec {
+    fn validate(&self) -> Result<(), RuntimeError> {
+        if self.sample_trials == 0 {
+            return Err(spec_err("telemetry.trace.sample_trials must be at least 1"));
+        }
+        if self.max_points == 0 {
+            return Err(spec_err("telemetry.trace.max_points must be at least 1"));
+        }
+        Ok(())
+    }
+
+    fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        obj.insert("sample_trials", json_u64(self.sample_trials));
+        obj.insert("max_points", json_u64(self.max_points));
+        obj
+    }
+
+    fn from_json(value: &Json) -> Result<Self, RuntimeError> {
+        reject_unknown_keys(value, "telemetry.trace", &["sample_trials", "max_points"])?;
+        let field = |key: &str, default: u64| -> Result<u64, RuntimeError> {
+            value
+                .get(key)
+                .map(|v| {
+                    u64_of(v).ok_or_else(|| {
+                        spec_err(&format!(
+                            "telemetry.trace.{key} must be a non-negative integer"
+                        ))
+                    })
+                })
+                .transpose()
+                .map(|v| v.unwrap_or(default))
+        };
+        Ok(Self {
+            sample_trials: field("sample_trials", 1)?,
+            max_points: field("max_points", DEFAULT_TRACE_MAX_POINTS)?,
+        })
+    }
+}
+
+/// The `telemetry` block of a job: configures event emission for runs
+/// of this spec. Telemetry is observation only — the block is excluded
+/// from the spec's content hash, and a run with any sink produces
+/// checkpoint and summary bytes identical to a [`NullSink`] run
+/// (`od-telemetry`'s inertness contract, enforced by tests).
+///
+/// [`NullSink`]: od_telemetry::NullSink
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TelemetrySpec {
+    /// Per-shard progress cadence in trials (default: the executor
+    /// derives one from the shard size); `>= 1`.
+    pub progress_every: Option<u64>,
+    /// Optional γ-trace sampling.
+    pub trace: Option<TraceSpec>,
+}
+
+impl TelemetrySpec {
+    fn validate(&self) -> Result<(), RuntimeError> {
+        if self.progress_every == Some(0) {
+            return Err(spec_err("telemetry.progress_every must be at least 1"));
+        }
+        if let Some(trace) = &self.trace {
+            trace.validate()?;
+        }
+        Ok(())
+    }
+
+    fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        if let Some(every) = self.progress_every {
+            obj.insert("progress_every", json_u64(every));
+        }
+        if let Some(trace) = &self.trace {
+            obj.insert("trace", trace.to_json());
+        }
+        obj
+    }
+
+    fn from_json(value: &Json) -> Result<Self, RuntimeError> {
+        reject_unknown_keys(value, "telemetry", &["progress_every", "trace"])?;
+        let progress_every = value
+            .get("progress_every")
+            .map(|v| {
+                u64_of(v).ok_or_else(|| {
+                    spec_err("telemetry.progress_every must be a non-negative integer")
+                })
+            })
+            .transpose()?;
+        let trace = match value.get("trace") {
+            None | Some(Json::Null) => None,
+            Some(trace_json) => Some(TraceSpec::from_json(trace_json)?),
+        };
+        Ok(Self {
+            progress_every,
+            trace,
+        })
+    }
+}
+
 /// Default shard size when a spec does not set one.
 pub const DEFAULT_SHARD_SIZE: u64 = 64;
 
@@ -1240,6 +1437,9 @@ pub struct JobSpec {
     pub adversary: Option<AdversarySpec>,
     /// Optional graph scenario: run agent-level on a generated graph.
     pub graph: Option<GraphSpec>,
+    /// Optional telemetry configuration (excluded from the content
+    /// hash: telemetry never changes what is simulated).
+    pub telemetry: Option<TelemetrySpec>,
 }
 
 impl JobSpec {
@@ -1265,6 +1465,7 @@ impl JobSpec {
             stop: StopRule::Consensus,
             adversary: None,
             graph: None,
+            telemetry: None,
         }
     }
 
@@ -1285,6 +1486,18 @@ impl JobSpec {
             return Err(spec_err("shard_size must be at least 1"));
         }
         self.stop.validate()?;
+        if let Some(telemetry) = &self.telemetry {
+            telemetry.validate()?;
+            // The adversary path runs through its own engine entry point
+            // without a per-round observation hook; a silent no-trace run
+            // would be worse than a typed error.
+            if telemetry.trace.is_some() && self.adversary.is_some() {
+                return Err(spec_err(
+                    "telemetry.trace is not supported for adversary jobs — remove the \
+                     trace block or the adversary",
+                ));
+            }
+        }
         let initial = self.initial.build()?;
         if let Some(adv) = &self.adversary {
             if self.mode == ExecutionMode::Compacted {
@@ -1340,6 +1553,18 @@ impl JobSpec {
     /// Serialises to a JSON value.
     #[must_use]
     pub fn to_json(&self) -> Json {
+        let mut obj = self.hashed_json();
+        if let Some(telemetry) = &self.telemetry {
+            obj.insert("telemetry", telemetry.to_json());
+        }
+        obj
+    }
+
+    /// The result-determining fields only — everything except the
+    /// `telemetry` block. This is what [`Self::content_hash`] hashes, so
+    /// turning telemetry on or off (or changing its cadence) never
+    /// invalidates a checkpoint: both runs compute the same trials.
+    fn hashed_json(&self) -> Json {
         let mut protocol = Json::object();
         protocol.insert("name", Json::Str(self.protocol.clone()));
         let mut params = Json::object();
@@ -1404,6 +1629,7 @@ impl JobSpec {
                 "stop",
                 "adversary",
                 "graph",
+                "telemetry",
             ],
         )?;
         let protocol_obj = value
@@ -1458,6 +1684,10 @@ impl JobSpec {
             None | Some(Json::Null) => None,
             Some(graph_json) => Some(GraphSpec::from_json(graph_json)?),
         };
+        let telemetry = match value.get("telemetry") {
+            None | Some(Json::Null) => None,
+            Some(telemetry_json) => Some(TelemetrySpec::from_json(telemetry_json)?),
+        };
 
         Ok(Self {
             name: value
@@ -1488,6 +1718,7 @@ impl JobSpec {
             stop,
             adversary,
             graph,
+            telemetry,
         })
     }
 
@@ -1506,7 +1737,7 @@ impl JobSpec {
     /// resumes only the exact spec that wrote it.
     #[must_use]
     pub fn content_hash(&self) -> String {
-        let mut canonical = self.to_json().to_string_compact();
+        let mut canonical = self.hashed_json().to_string_compact();
         if let Some(graph) = &self.graph {
             // Trial results are a function of (spec, engine): graph jobs
             // run the batched three-pass engine, whose sampling order

@@ -45,6 +45,7 @@ fn interrupted_job_resumes_without_rerunning_shards() {
     let options = RunOptions {
         checkpoint_path: Some(path.clone()),
         cancel: CancelToken::new(),
+        ..RunOptions::default()
     };
     let complete = run_job(&spec, &options).unwrap();
     assert!(!complete.interrupted);
@@ -85,6 +86,7 @@ fn cancelled_run_checkpoints_completed_shards_only() {
     let options = RunOptions {
         checkpoint_path: Some(path.clone()),
         cancel: cancelled,
+        ..RunOptions::default()
     };
     let report = run_job(&spec, &options).unwrap();
     assert!(report.interrupted);
@@ -93,6 +95,7 @@ fn cancelled_run_checkpoints_completed_shards_only() {
     let options = RunOptions {
         checkpoint_path: Some(path.clone()),
         cancel: CancelToken::new(),
+        ..RunOptions::default()
     };
     let finished = run_job(&spec, &options).unwrap();
     assert!(!finished.interrupted);
@@ -114,6 +117,7 @@ fn foreign_checkpoints_are_refused() {
     let options = RunOptions {
         checkpoint_path: Some(path.clone()),
         cancel: CancelToken::new(),
+        ..RunOptions::default()
     };
     run_job(&spec_a, &options).unwrap();
     let err = run_job(&spec_b, &options).expect_err("must refuse");

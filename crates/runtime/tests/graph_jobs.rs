@@ -7,7 +7,7 @@ use od_graphs::CompleteWithSelfLoops;
 use od_runtime::{
     run_job, run_job_simple, Checkpoint, ExecutionMode, GraphFamily, GraphSpec, InitialSpec,
     JobSpec, OpinionAssignment, RunOptions, RuntimeError, StopRule, TemporalSchedule, TemporalSpec,
-    WeightScheme, WeightsSpec,
+    WeightResolver, WeightScheme, WeightsSpec,
 };
 use od_sampling::seeds::derive_seed;
 
@@ -322,7 +322,11 @@ fn fixed_opinion_space_protocols_must_match_initial_k() {
 fn weighted_spec(scheme: WeightScheme) -> JobSpec {
     let mut spec = graph_spec(GraphFamily::RandomRegular { d: 8 });
     spec.graph = Some(GraphSpec {
-        weights: Some(WeightsSpec { scheme, seed: None }),
+        weights: Some(WeightsSpec {
+            scheme,
+            seed: None,
+            resolver: WeightResolver::Alias,
+        }),
         ..spec.graph.unwrap()
     });
     spec
@@ -361,6 +365,7 @@ fn weighted_and_temporal_specs_roundtrip_through_json() {
             weights: Some(WeightsSpec {
                 scheme: WeightScheme::Random { min: 0, max: 4 },
                 seed: Some(99),
+                resolver: WeightResolver::Alias,
             }),
             ..spec.graph.unwrap()
         });
@@ -557,6 +562,7 @@ fn degenerate_weight_schemes_are_typed_errors() {
         weights: Some(WeightsSpec {
             scheme: WeightScheme::Uniform { value: 1 },
             seed: None,
+            resolver: WeightResolver::Alias,
         }),
         ..complete.graph.unwrap()
     });
@@ -706,7 +712,11 @@ fn weighted_temporal_spec(
 ) -> JobSpec {
     let mut spec = graph_spec(GraphFamily::RandomRegular { d: 8 });
     spec.graph = Some(GraphSpec {
-        weights: Some(WeightsSpec { scheme, seed: None }),
+        weights: Some(WeightsSpec {
+            scheme,
+            seed: None,
+            resolver: WeightResolver::Alias,
+        }),
         temporal: Some(TemporalSpec { schedule, period }),
         ..spec.graph.unwrap()
     });
@@ -895,6 +905,7 @@ fn degree_product_weights_run_and_bias_toward_hubs() {
         weights: Some(WeightsSpec {
             scheme: WeightScheme::DegreeProduct,
             seed: None,
+            resolver: WeightResolver::Alias,
         }),
         ..spec.graph.unwrap()
     });
@@ -915,6 +926,7 @@ fn explicit_weight_lists_run_on_deterministic_families() {
                 default: 1,
             },
             seed: None,
+            resolver: WeightResolver::Alias,
         }),
         ..spec.graph.unwrap()
     });
@@ -933,6 +945,7 @@ fn new_scheme_misuse_is_a_typed_error() {
                 default: 1,
             },
             seed: None,
+            resolver: WeightResolver::Alias,
         }),
         ..spec.graph.unwrap()
     });

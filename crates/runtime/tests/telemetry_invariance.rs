@@ -1,0 +1,250 @@
+//! Telemetry is pure observation: any sink, any progress cadence, and
+//! any trace sampling must leave checkpoint bytes and summary bytes
+//! identical to the `NullSink` run. The proptest sweeps cadence ×
+//! shard size × trace sampling (the CI thread matrix re-runs it under
+//! `RAYON_NUM_THREADS` ∈ {1, 2, 4}); the golden test pins the JSONL
+//! event schema so a field rename or reorder fails here, not in a
+//! downstream consumer.
+
+use od_runtime::{
+    run_job_with_metrics, Checkpoint, GraphFamily, GraphSpec, InitialSpec, JobSpec, RunOptions,
+    TelemetrySpec, TraceSpec,
+};
+use od_telemetry::{JsonlSink, MemorySink, TelemetrySink};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "od_runtime_telemetry_{name}_{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn base_spec(trials: u64, shard_size: u64) -> JobSpec {
+    JobSpec {
+        max_rounds: 20_000,
+        shard_size,
+        graph: Some(GraphSpec::new(GraphFamily::RandomRegular { d: 8 })),
+        ..JobSpec::new(
+            "telemetry invariance",
+            "three-majority",
+            InitialSpec::Counts(vec![140, 60]),
+            trials,
+            4242,
+        )
+    }
+}
+
+/// Runs `spec` with the given sink and a checkpoint, returning the
+/// compact summary JSON and the raw checkpoint file bytes.
+fn run_with(
+    spec: &JobSpec,
+    sink: Arc<dyn TelemetrySink>,
+    progress_every: Option<u64>,
+    dir: &std::path::Path,
+    tag: &str,
+) -> (String, Vec<u8>) {
+    let path = dir.join(format!("{tag}.checkpoint.json"));
+    let options = RunOptions {
+        checkpoint_path: Some(path.clone()),
+        sink,
+        progress_every,
+        ..RunOptions::default()
+    };
+    let (report, metrics) = run_job_with_metrics(spec, &options).unwrap();
+    assert!(!report.interrupted);
+    // The exact metrics restate the summary's aggregates: same merge,
+    // same inputs, so the counters must agree with the report.
+    assert_eq!(metrics.exact.counter("trials"), report.summary.trials);
+    assert_eq!(metrics.exact.counter("consensus"), report.summary.consensus);
+    let bytes = std::fs::read(&path).unwrap();
+    (report.summary.to_json().to_string_compact(), bytes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    // For every cadence/shard/trace combination, the telemetry run's
+    // summary and checkpoint are byte-identical to the NullSink
+    // baseline of the same spec (the telemetry block never enters the
+    // content hash, so the checkpoints share one spec hash).
+    #[test]
+    fn any_sink_and_cadence_changes_no_result_byte(
+        shard_size in 1u64..=4,
+        cadence in 1u64..=5,
+        sample_trials in 1u64..=3,
+        small_cap in 0u64..=1,
+    ) {
+        // A tiny cap exercises trace truncation; the big one never hits it.
+        let max_points = if small_cap == 1 { 2u64 } else { 4096 };
+        let dir = temp_dir("prop");
+        let baseline_spec = base_spec(8, shard_size);
+        let (baseline_summary, baseline_bytes) = run_with(
+            &baseline_spec,
+            Arc::new(od_telemetry::NullSink),
+            None,
+            &dir,
+            "baseline",
+        );
+
+        let mut telemetry_spec = baseline_spec.clone();
+        telemetry_spec.telemetry = Some(TelemetrySpec {
+            progress_every: Some(cadence),
+            trace: Some(TraceSpec {
+                sample_trials,
+                max_points,
+            }),
+        });
+        prop_assert_eq!(telemetry_spec.content_hash(), baseline_spec.content_hash());
+        let sink = Arc::new(MemorySink::new());
+        let (summary, bytes) =
+            run_with(&telemetry_spec, sink.clone(), Some(cadence), &dir, "telemetry");
+        // The sink really observed the run — this is not a vacuous pass.
+        prop_assert!(sink.lines().iter().any(|l| l.contains("\"kind\":\"trial\"")));
+        prop_assert!(sink.lines().iter().any(|l| l.contains("\"kind\":\"trace\"")));
+
+        prop_assert_eq!(summary, baseline_summary);
+        prop_assert_eq!(bytes, baseline_bytes);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// A JSONL file sink is no different from the in-memory sink: same
+/// summary, same checkpoint bytes, and the checkpoint resumes cleanly
+/// under the baseline's hash.
+#[test]
+fn jsonl_sink_matches_null_sink_results() {
+    let dir = temp_dir("jsonl");
+    let spec = base_spec(6, 2);
+    let (baseline_summary, baseline_bytes) = run_with(
+        &spec,
+        Arc::new(od_telemetry::NullSink),
+        None,
+        &dir,
+        "baseline",
+    );
+    let events_path = dir.join("events.jsonl");
+    let sink = Arc::new(JsonlSink::create(&events_path).unwrap());
+    let (summary, bytes) = run_with(&spec, sink.clone(), Some(1), &dir, "jsonl");
+    sink.flush();
+    assert_eq!(summary, baseline_summary);
+    assert_eq!(bytes, baseline_bytes);
+    let checkpoint = Checkpoint::load(&dir.join("jsonl.checkpoint.json"))
+        .unwrap()
+        .unwrap();
+    assert_eq!(checkpoint.spec_hash, spec.content_hash());
+    assert!(std::fs::read_to_string(&events_path)
+        .unwrap()
+        .lines()
+        .any(|l| l.contains("\"kind\":\"job_end\"")));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The telemetry block round-trips through JSON, never enters the
+/// content hash, and rejects the configurations the executor cannot
+/// honour (zero cadence; tracing an adversary job, whose round
+/// mechanics bypass the traced stop closures).
+#[test]
+fn telemetry_spec_roundtrips_and_validates() {
+    let mut spec = base_spec(8, 2);
+    spec.telemetry = Some(TelemetrySpec {
+        progress_every: Some(3),
+        trace: Some(TraceSpec {
+            sample_trials: 2,
+            max_points: 64,
+        }),
+    });
+    let text = spec.to_json().to_string_pretty();
+    let back = JobSpec::from_json_text(&text).unwrap();
+    assert_eq!(back, spec, "roundtrip failed for {text}");
+    assert!(spec.validate().is_ok());
+
+    let mut plain = spec.clone();
+    plain.telemetry = None;
+    assert_eq!(plain.content_hash(), spec.content_hash());
+    assert!(!plain
+        .to_json()
+        .to_string_compact()
+        .contains("\"telemetry\":"));
+
+    let mut zero_cadence = spec.clone();
+    zero_cadence.telemetry = Some(TelemetrySpec {
+        progress_every: Some(0),
+        trace: None,
+    });
+    assert!(zero_cadence.validate().is_err());
+
+    let mut zero_sample = spec.clone();
+    zero_sample.telemetry = Some(TelemetrySpec {
+        progress_every: None,
+        trace: Some(TraceSpec {
+            sample_trials: 0,
+            max_points: 64,
+        }),
+    });
+    assert!(zero_sample.validate().is_err());
+}
+
+/// Volatile envelope/timing fields, normalized so the golden file only
+/// pins schema and deterministic content (event order is deterministic
+/// because the job is a single shard).
+fn normalize(line: &str) -> String {
+    let mut value = od_runtime::json::parse(line).unwrap();
+    if let od_runtime::json::Json::Obj(map) = &mut value {
+        for volatile in ["t_ms", "elapsed_us", "rounds_per_sec", "eta_s"] {
+            if map.contains_key(volatile) {
+                map.insert(volatile.to_string(), od_runtime::json::Json::Int(0));
+            }
+        }
+    }
+    value.to_string_compact()
+}
+
+/// The golden JSONL schema test. Regenerate the golden file with
+/// `OD_UPDATE_GOLDEN=1 cargo test -p od-runtime --test telemetry_invariance`.
+#[test]
+fn event_stream_matches_golden_schema() {
+    let dir = temp_dir("golden");
+    let mut spec = base_spec(4, 4); // one shard → deterministic event order
+    spec.telemetry = Some(TelemetrySpec {
+        progress_every: Some(2),
+        trace: Some(TraceSpec {
+            sample_trials: 2,
+            max_points: 8,
+        }),
+    });
+    let events_path = dir.join("events.jsonl");
+    let sink = Arc::new(JsonlSink::create(&events_path).unwrap());
+    let options = RunOptions {
+        sink: sink.clone(),
+        ..RunOptions::default()
+    };
+    let (report, _) = run_job_with_metrics(&spec, &options).unwrap();
+    assert!(!report.interrupted);
+    sink.flush();
+    let actual: Vec<String> = std::fs::read_to_string(&events_path)
+        .unwrap()
+        .lines()
+        .map(normalize)
+        .collect();
+    let golden_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden/telemetry_events.golden");
+    if std::env::var_os("OD_UPDATE_GOLDEN").is_some() {
+        std::fs::write(&golden_path, format!("{}\n", actual.join("\n"))).unwrap();
+    }
+    let golden: Vec<String> = std::fs::read_to_string(&golden_path)
+        .expect("golden file present (set OD_UPDATE_GOLDEN=1 to create it)")
+        .lines()
+        .map(str::to_string)
+        .collect();
+    assert_eq!(
+        actual, golden,
+        "event schema drifted; if intended, regenerate with OD_UPDATE_GOLDEN=1"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

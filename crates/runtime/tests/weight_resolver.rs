@@ -1,0 +1,150 @@
+//! The `resolver` knob of the weights block: all three resolution
+//! strategies must produce bit-identical job results (the knob trades
+//! memory for resolution latency, never outcomes), prefix-u16 overflow
+//! surfaces as a typed spec error — at validation when statically
+//! certain, at build otherwise — and specs that never name the knob
+//! keep their pre-knob content hashes.
+
+use od_runtime::{
+    run_job_simple, GraphFamily, GraphSpec, InitialSpec, JobSpec, RuntimeError, WeightResolver,
+    WeightScheme, WeightsSpec,
+};
+
+fn weighted_spec(scheme: WeightScheme, resolver: WeightResolver) -> JobSpec {
+    JobSpec {
+        max_rounds: 20_000,
+        shard_size: 3,
+        graph: Some(GraphSpec {
+            weights: Some(WeightsSpec {
+                scheme,
+                seed: Some(99),
+                resolver,
+            }),
+            ..GraphSpec::new(GraphFamily::RandomRegular { d: 6 })
+        }),
+        ..JobSpec::new(
+            "resolver differential",
+            "three-majority",
+            InitialSpec::Counts(vec![130, 70]),
+            6,
+            2024,
+        )
+    }
+}
+
+#[test]
+fn all_resolvers_produce_identical_results() {
+    // Row totals stay ≤ 6 · 40 = 240, well inside u16 range, so all
+    // three resolvers are valid for the same scheme.
+    let scheme = WeightScheme::Random { min: 1, max: 40 };
+    let baseline = run_job_simple(&weighted_spec(scheme.clone(), WeightResolver::Alias))
+        .unwrap()
+        .summary;
+    for resolver in [WeightResolver::Prefix, WeightResolver::PrefixU16] {
+        let summary = run_job_simple(&weighted_spec(scheme.clone(), resolver))
+            .unwrap()
+            .summary;
+        assert_eq!(
+            summary.to_json().to_string_compact(),
+            baseline.to_json().to_string_compact(),
+            "resolver {resolver:?} diverged from alias"
+        );
+    }
+}
+
+#[test]
+fn prefix_u16_overflow_is_a_typed_spec_error() {
+    // Each weight fits u16, but a degree-6 row of 20 000s sums to
+    // 120 000 > u16::MAX: statically uncertain (depends on degrees), so
+    // it surfaces at build as a typed error naming the resolver.
+    let spec = weighted_spec(
+        WeightScheme::Uniform { value: 20_000 },
+        WeightResolver::PrefixU16,
+    );
+    let err = run_job_simple(&spec).expect_err("row total must overflow u16");
+    let message = err.to_string();
+    assert!(matches!(err, RuntimeError::Spec(_)), "got {err:?}");
+    assert!(
+        message.contains("u16") && message.contains("resolver"),
+        "error must name the resolver bound: {message}"
+    );
+    // The same spec under the default alias resolver runs fine.
+    let ok = weighted_spec(
+        WeightScheme::Uniform { value: 20_000 },
+        WeightResolver::Alias,
+    );
+    assert!(run_job_simple(&ok).is_ok());
+}
+
+#[test]
+fn certainly_overflowing_weights_fail_validation() {
+    // A single weight past u16::MAX overflows every row containing it —
+    // rejected at validate, before any graph is built.
+    let spec = weighted_spec(
+        WeightScheme::Uniform {
+            value: u32::from(u16::MAX) + 1,
+        },
+        WeightResolver::PrefixU16,
+    );
+    let err = match spec.validate() {
+        Ok(_) => panic!("must reject statically"),
+        Err(e) => e,
+    };
+    assert!(matches!(err, RuntimeError::Spec(_)));
+    assert!(err.to_string().contains("prefix-u16"), "{err}");
+}
+
+#[test]
+fn resolver_roundtrips_and_default_keeps_the_hash() {
+    for resolver in [
+        WeightResolver::Alias,
+        WeightResolver::Prefix,
+        WeightResolver::PrefixU16,
+    ] {
+        let spec = weighted_spec(WeightScheme::Random { min: 1, max: 40 }, resolver);
+        let text = spec.to_json().to_string_pretty();
+        let back = JobSpec::from_json_text(&text).unwrap();
+        assert_eq!(back, spec, "roundtrip failed for {text}");
+    }
+    // The default resolver serialises nothing: a spec that never names
+    // the knob renders (and therefore hashes) exactly as before the
+    // knob existed.
+    let default_spec = weighted_spec(
+        WeightScheme::Random { min: 1, max: 40 },
+        WeightResolver::Alias,
+    );
+    assert!(!default_spec
+        .to_json()
+        .to_string_compact()
+        .contains("\"resolver\""));
+    // Non-default resolvers are a different job: they must re-hash.
+    let prefix_spec = weighted_spec(
+        WeightScheme::Random { min: 1, max: 40 },
+        WeightResolver::Prefix,
+    );
+    assert_ne!(default_spec.content_hash(), prefix_spec.content_hash());
+}
+
+#[test]
+fn unknown_resolver_is_a_typed_parse_error() {
+    let text = r#"{
+  "name": "bad resolver",
+  "protocol": {"name": "three-majority"},
+  "initial": {"kind": "counts", "counts": [130, 70]},
+  "trials": 6,
+  "master_seed": 1,
+  "max_rounds": 1000,
+  "shard_size": 3,
+  "graph": {
+    "family": "random-regular",
+    "d": 6,
+    "weights": {"scheme": "uniform", "value": 2, "resolver": "fenwick"}
+  }
+}"#;
+    let err = JobSpec::from_json_text(text).expect_err("unknown resolver must fail");
+    let message = err.to_string();
+    assert!(
+        message.contains("resolver") && message.contains("prefix-u16"),
+        "error must list the valid resolvers: {message}"
+    );
+}

@@ -1,0 +1,376 @@
+//! The event schema and its JSONL encoding.
+//!
+//! Every emitted line is one JSON object with the envelope fields
+//! `seq` (sink-assigned, monotonic from 0) and `t_ms` (milliseconds
+//! since the sink was created), then `kind` and the kind's own fields.
+//! The encoding is hand-rolled (this crate is vendor-free) and stable:
+//! field names are part of the schema and never change meaning.
+
+use std::fmt::Write as _;
+
+/// One telemetry event. Borrowed fields keep emission allocation-free
+/// on the caller's side; the sink encodes the line it stores or writes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event<'a> {
+    /// A job was accepted: emitted once, before any shard runs.
+    JobStart {
+        /// The job's human-readable name.
+        job: &'a str,
+        /// The spec content hash (checkpoint key).
+        spec: &'a str,
+        /// Total trials in the job.
+        trials: u64,
+        /// Total shards the trials split into.
+        shards: u64,
+    },
+    /// A timing span opened. The span's id is this event's `seq`.
+    SpanEnter {
+        /// Span name (e.g. `validate`, `build`, `shard`).
+        name: &'a str,
+        /// Enclosing span id, when nested.
+        parent: Option<u64>,
+        /// Shard index, for per-shard spans.
+        shard: Option<u64>,
+    },
+    /// A timing span closed.
+    SpanExit {
+        /// The `seq` of the matching `span_enter`.
+        span: u64,
+        /// Span name (repeated so lines are self-describing).
+        name: &'a str,
+        /// Shard index, for per-shard spans.
+        shard: Option<u64>,
+        /// Wall-clock span duration in microseconds.
+        elapsed_us: u64,
+    },
+    /// Periodic per-shard progress (cadence configured by the caller).
+    Progress {
+        /// Shard index.
+        shard: u64,
+        /// Trials finished in this shard so far.
+        trials_done: u64,
+        /// Trials in this shard.
+        trials_total: u64,
+        /// Rounds simulated in this shard so far.
+        rounds: u64,
+        /// Wall-clock time since the shard started, microseconds.
+        elapsed_us: u64,
+        /// Simulated rounds per wall-clock second.
+        rounds_per_sec: f64,
+        /// Estimated seconds until the shard completes.
+        eta_s: f64,
+    },
+    /// One trial finished.
+    Trial {
+        /// Shard index.
+        shard: u64,
+        /// Global trial index.
+        trial: u64,
+        /// Rounds executed (the round cap for capped trials).
+        rounds: u64,
+        /// `consensus`, `stopped`, or `capped`.
+        outcome: &'a str,
+        /// The winning opinion, when consensus tracked identity.
+        winner: Option<u64>,
+    },
+    /// The per-round γ trace of a sampled trial (bounded memory: at
+    /// most the configured number of points, then truncated).
+    Trace {
+        /// Global trial index.
+        trial: u64,
+        /// γ_t at each observed round boundary, in round order.
+        gamma: &'a [f64],
+        /// True when the round count exceeded the point budget.
+        truncated: bool,
+    },
+    /// The job finished (merged totals over completed shards).
+    JobEnd {
+        /// Trials aggregated.
+        trials: u64,
+        /// Trials that reached full consensus.
+        consensus: u64,
+        /// Trials stopped by a predicate rule.
+        stopped: u64,
+        /// Trials that hit the round cap.
+        capped: u64,
+        /// True when cancellation left shards unfinished.
+        interrupted: bool,
+    },
+    /// One measured benchmark case (the bench harness emits the same
+    /// envelope and schema as runtime jobs).
+    Bench {
+        /// Stable case id, e.g. `erdos_renyi/n=10000/seq_batched`.
+        series: &'a str,
+        /// Mean wall-clock nanoseconds per iteration.
+        mean_ns: f64,
+        /// Minimum wall-clock nanoseconds per iteration.
+        min_ns: f64,
+        /// Number of timed samples.
+        samples: u64,
+    },
+}
+
+impl Event<'_> {
+    /// The event's `kind` field.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::JobStart { .. } => "job_start",
+            Event::SpanEnter { .. } => "span_enter",
+            Event::SpanExit { .. } => "span_exit",
+            Event::Progress { .. } => "progress",
+            Event::Trial { .. } => "trial",
+            Event::Trace { .. } => "trace",
+            Event::JobEnd { .. } => "job_end",
+            Event::Bench { .. } => "bench",
+        }
+    }
+
+    /// Encodes the full line (without the trailing newline) for the
+    /// given envelope values.
+    #[must_use]
+    pub fn encode(&self, seq: u64, t_ms: u64) -> String {
+        let mut out = String::with_capacity(96);
+        let _ = write!(out, "{{\"seq\":{seq},\"t_ms\":{t_ms},\"kind\":\"");
+        out.push_str(self.kind());
+        out.push('"');
+        self.write_fields(&mut out);
+        out.push('}');
+        out
+    }
+
+    fn write_fields(&self, out: &mut String) {
+        match self {
+            Event::JobStart {
+                job,
+                spec,
+                trials,
+                shards,
+            } => {
+                field_str(out, "job", job);
+                field_str(out, "spec", spec);
+                field_u64(out, "trials", *trials);
+                field_u64(out, "shards", *shards);
+            }
+            Event::SpanEnter {
+                name,
+                parent,
+                shard,
+            } => {
+                field_str(out, "name", name);
+                if let Some(parent) = parent {
+                    field_u64(out, "parent", *parent);
+                }
+                if let Some(shard) = shard {
+                    field_u64(out, "shard", *shard);
+                }
+            }
+            Event::SpanExit {
+                span,
+                name,
+                shard,
+                elapsed_us,
+            } => {
+                field_u64(out, "span", *span);
+                field_str(out, "name", name);
+                if let Some(shard) = shard {
+                    field_u64(out, "shard", *shard);
+                }
+                field_u64(out, "elapsed_us", *elapsed_us);
+            }
+            Event::Progress {
+                shard,
+                trials_done,
+                trials_total,
+                rounds,
+                elapsed_us,
+                rounds_per_sec,
+                eta_s,
+            } => {
+                field_u64(out, "shard", *shard);
+                field_u64(out, "trials_done", *trials_done);
+                field_u64(out, "trials_total", *trials_total);
+                field_u64(out, "rounds", *rounds);
+                field_u64(out, "elapsed_us", *elapsed_us);
+                field_f64(out, "rounds_per_sec", *rounds_per_sec);
+                field_f64(out, "eta_s", *eta_s);
+            }
+            Event::Trial {
+                shard,
+                trial,
+                rounds,
+                outcome,
+                winner,
+            } => {
+                field_u64(out, "shard", *shard);
+                field_u64(out, "trial", *trial);
+                field_u64(out, "rounds", *rounds);
+                field_str(out, "outcome", outcome);
+                if let Some(winner) = winner {
+                    field_u64(out, "winner", *winner);
+                }
+            }
+            Event::Trace {
+                trial,
+                gamma,
+                truncated,
+            } => {
+                field_u64(out, "trial", *trial);
+                out.push_str(",\"gamma\":[");
+                for (i, g) in gamma.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_f64(out, *g);
+                }
+                out.push(']');
+                field_bool(out, "truncated", *truncated);
+            }
+            Event::JobEnd {
+                trials,
+                consensus,
+                stopped,
+                capped,
+                interrupted,
+            } => {
+                field_u64(out, "trials", *trials);
+                field_u64(out, "consensus", *consensus);
+                field_u64(out, "stopped", *stopped);
+                field_u64(out, "capped", *capped);
+                field_bool(out, "interrupted", *interrupted);
+            }
+            Event::Bench {
+                series,
+                mean_ns,
+                min_ns,
+                samples,
+            } => {
+                field_str(out, "series", series);
+                field_f64(out, "mean_ns", *mean_ns);
+                field_f64(out, "min_ns", *min_ns);
+                field_u64(out, "samples", *samples);
+            }
+        }
+    }
+}
+
+fn field_str(out: &mut String, key: &str, value: &str) {
+    let _ = write!(out, ",\"{key}\":\"");
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn field_u64(out: &mut String, key: &str, value: u64) {
+    let _ = write!(out, ",\"{key}\":{value}");
+}
+
+fn field_bool(out: &mut String, key: &str, value: bool) {
+    let _ = write!(out, ",\"{key}\":{value}");
+}
+
+fn field_f64(out: &mut String, key: &str, value: f64) {
+    let _ = write!(out, ",\"{key}\":");
+    write_f64(out, value);
+}
+
+/// Writes an f64 as a JSON number. Rust's `Display` for `f64` is the
+/// shortest round-trippable decimal and never uses an exponent, which is
+/// valid JSON; non-finite values (no JSON encoding) clamp to 0.
+fn write_f64(out: &mut String, value: f64) {
+    if value.is_finite() {
+        let _ = write!(out, "{value}");
+    } else {
+        out.push('0');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encodes_envelope_and_kind() {
+        let line = Event::JobStart {
+            job: "smoke",
+            spec: "abc123",
+            trials: 8,
+            shards: 2,
+        }
+        .encode(0, 17);
+        assert_eq!(
+            line,
+            "{\"seq\":0,\"t_ms\":17,\"kind\":\"job_start\",\"job\":\"smoke\",\
+             \"spec\":\"abc123\",\"trials\":8,\"shards\":2}"
+        );
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let line = Event::JobStart {
+            job: "a \"b\"\n\\c\u{1}",
+            spec: "h",
+            trials: 1,
+            shards: 1,
+        }
+        .encode(3, 0);
+        assert!(line.contains("\\\"b\\\"\\n\\\\c\\u0001"));
+    }
+
+    #[test]
+    fn optional_fields_are_omitted() {
+        let with = Event::SpanEnter {
+            name: "shard",
+            parent: Some(1),
+            shard: Some(4),
+        }
+        .encode(2, 0);
+        assert!(with.contains("\"parent\":1") && with.contains("\"shard\":4"));
+        let without = Event::SpanEnter {
+            name: "validate",
+            parent: None,
+            shard: None,
+        }
+        .encode(2, 0);
+        assert!(!without.contains("parent") && !without.contains("shard"));
+    }
+
+    #[test]
+    fn floats_are_finite_json_numbers() {
+        let line = Event::Progress {
+            shard: 0,
+            trials_done: 1,
+            trials_total: 2,
+            rounds: 3,
+            elapsed_us: 4,
+            rounds_per_sec: f64::INFINITY,
+            eta_s: 1.5,
+        }
+        .encode(0, 0);
+        assert!(line.contains("\"rounds_per_sec\":0"));
+        assert!(line.contains("\"eta_s\":1.5"));
+    }
+
+    #[test]
+    fn trace_encodes_gamma_array() {
+        let line = Event::Trace {
+            trial: 7,
+            gamma: &[0.25, 0.5],
+            truncated: false,
+        }
+        .encode(9, 1);
+        assert!(line.contains("\"gamma\":[0.25,0.5]"));
+        assert!(line.contains("\"truncated\":false"));
+    }
+}

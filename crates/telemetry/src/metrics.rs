@@ -1,0 +1,193 @@
+//! Exactly-mergeable metric sets.
+//!
+//! A [`MetricSet`] is a named bag of counters, [`ExactMoments`], and
+//! [`CountHistogram`]s. Every constituent merges with integer-exact,
+//! associative, commutative semantics — the same contract shard
+//! summaries obey — so per-shard metric snapshots merged in any
+//! partition order produce identical aggregates.
+
+use od_stats::exact::{CountHistogram, ExactMoments};
+use std::collections::BTreeMap;
+
+/// Named counters, moments, and histograms with exact merge.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricSet {
+    counters: BTreeMap<String, u64>,
+    moments: BTreeMap<String, ExactMoments>,
+    histograms: BTreeMap<String, CountHistogram>,
+}
+
+impl MetricSet {
+    /// Creates an empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the counter `name` (creating it at 0).
+    pub fn add(&mut self, name: &str, delta: u64) {
+        let slot = self.counters.entry(name.to_string()).or_insert(0);
+        *slot = slot.saturating_add(delta);
+    }
+
+    /// Pushes one observation into the moments `name`, and records the
+    /// same value in the histogram of the same name.
+    pub fn record(&mut self, name: &str, value: u64) {
+        self.moments
+            .entry(name.to_string())
+            .or_default()
+            .push(value);
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    /// Merges pre-aggregated moments into the slot `name`.
+    pub fn insert_moments(&mut self, name: &str, moments: &ExactMoments) {
+        self.moments
+            .entry(name.to_string())
+            .or_default()
+            .merge(moments);
+    }
+
+    /// Merges a pre-aggregated histogram into the slot `name`.
+    pub fn insert_histogram(&mut self, name: &str, histogram: &CountHistogram) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .merge(histogram);
+    }
+
+    /// Merges `other` into `self`, slot by slot. Associative and
+    /// commutative: merging shard snapshots in any grouping yields the
+    /// same set.
+    pub fn merge(&mut self, other: &Self) {
+        for (name, value) in &other.counters {
+            let slot = self.counters.entry(name.clone()).or_insert(0);
+            *slot = slot.saturating_add(*value);
+        }
+        for (name, moments) in &other.moments {
+            self.moments.entry(name.clone()).or_default().merge(moments);
+        }
+        for (name, histogram) in &other.histograms {
+            self.histograms
+                .entry(name.clone())
+                .or_default()
+                .merge(histogram);
+        }
+    }
+
+    /// The counter `name`, or 0.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The moments slot `name`, when present.
+    #[must_use]
+    pub fn moments(&self, name: &str) -> Option<&ExactMoments> {
+        self.moments.get(name)
+    }
+
+    /// The histogram slot `name`, when present.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&CountHistogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters, in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// All moments slots, in name order.
+    pub fn all_moments(&self) -> impl Iterator<Item = (&str, &ExactMoments)> + '_ {
+        self.moments.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// All histogram slots, in name order.
+    pub fn all_histograms(&self) -> impl Iterator<Item = (&str, &CountHistogram)> + '_ {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// True when no slot exists.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.moments.is_empty() && self.histograms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot(values: &[u64]) -> MetricSet {
+        let mut set = MetricSet::new();
+        for &v in values {
+            set.add("trials", 1);
+            set.record("rounds", v);
+        }
+        set
+    }
+
+    #[test]
+    fn merge_is_partition_invariant() {
+        let values: Vec<u64> = (0..64).map(|i| (i * 37 + 5) % 101).collect();
+
+        let mut whole = snapshot(&values);
+
+        // Merge the same observations split into uneven partitions, in
+        // a scrambled order and grouping.
+        let parts: Vec<MetricSet> = values.chunks(7).map(snapshot).collect();
+        let mut left = MetricSet::new();
+        for part in parts.iter().step_by(2).rev() {
+            left.merge(part);
+        }
+        let mut right = MetricSet::new();
+        for part in parts.iter().skip(1).step_by(2) {
+            right.merge(part);
+        }
+        right.merge(&left);
+
+        assert_eq!(whole, right);
+        // And merging commutes the other way too.
+        whole.merge(&MetricSet::new());
+        assert_eq!(whole, right);
+    }
+
+    #[test]
+    fn slots_are_independent() {
+        let mut set = MetricSet::new();
+        set.add("a", 2);
+        set.add("a", 3);
+        set.record("b", 10);
+        assert_eq!(set.counter("a"), 5);
+        assert_eq!(set.counter("missing"), 0);
+        assert_eq!(set.moments("b").unwrap().count(), 1);
+        assert_eq!(set.histogram("b").unwrap().count(10), 1);
+        assert!(set.moments("a").is_none());
+        assert!(!set.is_empty());
+        assert!(MetricSet::new().is_empty());
+    }
+
+    #[test]
+    fn insert_preaggregated_matches_recording() {
+        let mut direct = MetricSet::new();
+        for v in [3u64, 9, 27] {
+            direct.record("rounds", v);
+        }
+
+        let mut moments = od_stats::exact::ExactMoments::new();
+        let mut histogram = od_stats::exact::CountHistogram::new();
+        for v in [3u64, 9, 27] {
+            moments.push(v);
+            histogram.record(v);
+        }
+        let mut via_insert = MetricSet::new();
+        via_insert.insert_moments("rounds", &moments);
+        via_insert.insert_histogram("rounds", &histogram);
+
+        assert_eq!(direct, via_insert);
+    }
+}

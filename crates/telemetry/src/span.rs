@@ -1,0 +1,104 @@
+//! Wall-clock span timing as `span_enter`/`span_exit` event pairs.
+//!
+//! A [`Span`] is a scope guard: creating it emits `span_enter` (whose
+//! sequence number becomes the span's id), dropping it emits
+//! `span_exit` with the elapsed microseconds. Nesting is explicit —
+//! pass [`Span::id`] of the enclosing span as `parent`. When the sink
+//! is disabled the guard does nothing at all, including skipping the
+//! `Instant::now()` calls, so spans are free on the `NullSink` path.
+
+use crate::event::Event;
+use crate::sink::TelemetrySink;
+use std::time::Instant;
+
+/// A live timing span; emits `span_exit` on drop.
+pub struct Span<'a> {
+    sink: &'a dyn TelemetrySink,
+    name: &'a str,
+    shard: Option<u64>,
+    /// `None` when the sink is disabled (no events, no clock reads).
+    live: Option<(u64, Instant)>,
+}
+
+/// Opens a top-level span named `name` on `sink`.
+pub fn span<'a>(sink: &'a dyn TelemetrySink, name: &'a str) -> Span<'a> {
+    span_full(sink, name, None, None)
+}
+
+/// Opens a span with an explicit parent span id and/or shard index.
+pub fn span_full<'a>(
+    sink: &'a dyn TelemetrySink,
+    name: &'a str,
+    parent: Option<u64>,
+    shard: Option<u64>,
+) -> Span<'a> {
+    let live = if sink.enabled() {
+        let id = sink.emit(&Event::SpanEnter {
+            name,
+            parent,
+            shard,
+        });
+        Some((id, Instant::now()))
+    } else {
+        None
+    };
+    Span {
+        sink,
+        name,
+        shard,
+        live,
+    }
+}
+
+impl Span<'_> {
+    /// The span's id (the `seq` of its `span_enter`), for nesting.
+    /// `None` on a disabled sink.
+    #[must_use]
+    pub fn id(&self) -> Option<u64> {
+        self.live.map(|(id, _)| id)
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some((id, started)) = self.live {
+            self.sink.emit(&Event::SpanExit {
+                span: id,
+                name: self.name,
+                shard: self.shard,
+                elapsed_us: started.elapsed().as_micros() as u64,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{MemorySink, NullSink};
+
+    #[test]
+    fn span_emits_matched_enter_exit_pair() {
+        let sink = MemorySink::new();
+        {
+            let outer = span(&sink, "outer");
+            let _inner = span_full(&sink, "inner", outer.id(), Some(3));
+        }
+        let lines = sink.lines();
+        assert_eq!(lines.len(), 4);
+        assert!(
+            lines[0].contains("\"kind\":\"span_enter\"") && lines[0].contains("\"name\":\"outer\"")
+        );
+        assert!(lines[1].contains("\"name\":\"inner\"") && lines[1].contains("\"parent\":0"));
+        assert!(lines[1].contains("\"shard\":3"));
+        // Inner drops first: its exit references span id 1, then outer's 0.
+        assert!(lines[2].contains("\"kind\":\"span_exit\"") && lines[2].contains("\"span\":1"));
+        assert!(lines[3].contains("\"span\":0") && lines[3].contains("\"elapsed_us\":"));
+    }
+
+    #[test]
+    fn disabled_sink_skips_all_work() {
+        let guard = span(&NullSink, "nothing");
+        assert_eq!(guard.id(), None);
+    }
+}
