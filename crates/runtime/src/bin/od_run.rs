@@ -16,6 +16,13 @@
 //!   --telemetry-out <p>    append telemetry events to a JSONL file
 //!   --metrics-out <p>      write the run's od-run-metrics-v1 JSON here
 //!                          (single job only)
+//!   --queue-worker         drain the directory as a crash-safe leased
+//!                          worker (claims, retries, quarantine)
+//!   --worker-id <id>       this worker's id (default: worker-<pid>)
+//!   --lease-secs <n>       lease duration; a worker silent this long
+//!                          loses its claims to takeover (default: 30)
+//!   --max-retries <n>      attempts before a failing job is
+//!                          quarantined to <job>.failed.json (default: 3)
 //!   --quiet                print only the final summary
 //!   --help                 this text
 //! ```
@@ -24,16 +31,22 @@
 //! by name), each with its own sibling checkpoint. Checkpoints are
 //! written after every completed shard, so a killed run — `kill -9`
 //! included — resumes from the last finished shard when re-invoked.
+//! With `--queue-worker`, any number of processes can drain one
+//! directory concurrently (or across restarts): each job is claimed
+//! through an atomic `<job>.lease.json`, completed exactly once into
+//! `<job>.done.json`, retried with deterministic backoff on failure,
+//! and quarantined after the retry budget.
 //!
 //! Telemetry is observation only: any combination of these flags leaves
 //! checkpoint and summary bytes identical to a run without them.
 //!
 //! Exit codes: 0 success, 1 job failed or interrupted, 2 usage error,
-//! 3 directory queue had no job files.
+//! 3 directory queue had no job files, 4 queue drained but quarantined
+//! jobs are present.
 
 use od_runtime::{
-    default_checkpoint_path, load_job_file, run_job_with_metrics, run_queue, JobReport, JobSpec,
-    RunOptions, RuntimeError,
+    default_checkpoint_path, load_job_file, run_job_with_metrics, run_queue, run_queue_worker,
+    JobReport, JobSpec, RunOptions, RuntimeError, WorkerOptions,
 };
 use od_telemetry::{FanoutSink, JsonlSink, NullSink, ProgressSink, TelemetrySink};
 use std::path::PathBuf;
@@ -50,13 +63,18 @@ struct Args {
     progress_every: Option<u64>,
     telemetry_out: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
+    queue_worker: bool,
+    worker_id: Option<String>,
+    lease_secs: Option<u64>,
+    max_retries: Option<u64>,
     quiet: bool,
 }
 
 const USAGE: &str = "usage: od-run <job.json|job.toml|directory> \
 [--checkpoint <path>] [--no-checkpoint] [--fresh] [--max-trials <n>] \
 [--progress] [--progress-every <n>] [--telemetry-out <path>] \
-[--metrics-out <path>] [--quiet]";
+[--metrics-out <path>] [--queue-worker] [--worker-id <id>] \
+[--lease-secs <n>] [--max-retries <n>] [--quiet]";
 
 fn parse_args() -> Result<Args, String> {
     let mut target = None;
@@ -68,6 +86,10 @@ fn parse_args() -> Result<Args, String> {
     let mut progress_every = None;
     let mut telemetry_out = None;
     let mut metrics_out = None;
+    let mut queue_worker = false;
+    let mut worker_id = None;
+    let mut lease_secs = None;
+    let mut max_retries = None;
     let mut quiet = false;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -102,6 +124,30 @@ fn parse_args() -> Result<Args, String> {
                 let value = argv.next().ok_or("--metrics-out needs a path")?;
                 metrics_out = Some(PathBuf::from(value));
             }
+            "--queue-worker" => queue_worker = true,
+            "--worker-id" => {
+                let value = argv.next().ok_or("--worker-id needs an id")?;
+                if value.is_empty() {
+                    return Err("--worker-id must not be empty".to_string());
+                }
+                worker_id = Some(value);
+            }
+            "--lease-secs" => {
+                let value = argv.next().ok_or("--lease-secs needs a number")?;
+                let n: u64 = value.parse().map_err(|_| "--lease-secs needs a number")?;
+                if n == 0 {
+                    return Err("--lease-secs must be at least 1".to_string());
+                }
+                lease_secs = Some(n);
+            }
+            "--max-retries" => {
+                let value = argv.next().ok_or("--max-retries needs a number")?;
+                let n: u64 = value.parse().map_err(|_| "--max-retries needs a number")?;
+                if n == 0 {
+                    return Err("--max-retries must be at least 1".to_string());
+                }
+                max_retries = Some(n);
+            }
             "--quiet" | "-q" => quiet = true,
             other if other.starts_with('-') => {
                 return Err(format!("unknown option '{other}'\n{USAGE}"));
@@ -113,6 +159,11 @@ fn parse_args() -> Result<Args, String> {
             }
         }
     }
+    if !queue_worker && (worker_id.is_some() || lease_secs.is_some() || max_retries.is_some()) {
+        return Err(format!(
+            "--worker-id/--lease-secs/--max-retries require --queue-worker\n{USAGE}"
+        ));
+    }
     Ok(Args {
         target: target.ok_or(USAGE)?,
         checkpoint,
@@ -123,6 +174,10 @@ fn parse_args() -> Result<Args, String> {
         progress_every,
         telemetry_out,
         metrics_out,
+        queue_worker,
+        worker_id,
+        lease_secs,
+        max_retries,
         quiet,
     })
 }
@@ -300,6 +355,114 @@ fn run_directory(args: &Args) -> Result<QueueOutcome, RuntimeError> {
     })
 }
 
+/// What a `--queue-worker` drain amounted to.
+enum WorkerOutcome {
+    /// Every job is done.
+    Drained,
+    /// The queue drained, but quarantined jobs are present (exit 4).
+    Quarantined,
+    /// Cancelled or stalled before the queue drained.
+    Incomplete,
+    /// No job files in the directory.
+    Empty,
+}
+
+fn run_worker(args: &Args) -> Result<WorkerOutcome, RuntimeError> {
+    if args.checkpoint.is_some() || args.no_checkpoint {
+        return Err(RuntimeError::Spec(
+            "--checkpoint/--no-checkpoint do not apply to queue workers \
+             (each job uses its sibling <job file>.checkpoint.json)"
+                .to_string(),
+        ));
+    }
+    if args.metrics_out.is_some() {
+        return Err(RuntimeError::Spec(
+            "--metrics-out does not apply to queue workers \
+             (metrics are a per-job document; run jobs individually)"
+                .to_string(),
+        ));
+    }
+    if args.fresh {
+        // A fresh worker run resets the queue's whole control plane:
+        // checkpoints, leases, retry state, done markers, quarantine.
+        for job in od_runtime::queue::queue_files(&args.target)? {
+            for path in [
+                default_checkpoint_path(&job),
+                od_runtime::lease::lease_path(&job),
+                od_runtime::lease::attempts_path(&job),
+                od_runtime::lease::done_path(&job),
+                od_runtime::lease::quarantine_path(&job),
+            ] {
+                match std::fs::remove_file(&path) {
+                    Ok(()) => {}
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                    Err(e) => {
+                        return Err(RuntimeError::io(&format!("removing {}", path.display()), e))
+                    }
+                }
+            }
+        }
+    }
+    let options = WorkerOptions {
+        worker_id: args
+            .worker_id
+            .clone()
+            .unwrap_or_else(|| format!("worker-{}", std::process::id())),
+        lease_ms: args.lease_secs.unwrap_or(30).saturating_mul(1_000),
+        max_retries: args.max_retries.unwrap_or(3),
+        run: RunOptions {
+            sink: build_sink(args)?,
+            progress_every: args.progress_every,
+            ..RunOptions::default()
+        },
+        ..WorkerOptions::default()
+    };
+    if !args.quiet {
+        println!(
+            "queue worker '{}' on {} (lease {}s, max {} attempts)",
+            options.worker_id,
+            args.target.display(),
+            options.lease_ms / 1_000,
+            options.max_retries
+        );
+    }
+    let report = run_queue_worker(&args.target, &options)?;
+    if report.total == 0 {
+        eprintln!("no job files in {}", args.target.display());
+        return Ok(WorkerOutcome::Empty);
+    }
+    for entry in &report.entries {
+        match &entry.result {
+            Ok(job_report) => {
+                let name = entry.job_name.as_deref().unwrap_or("unnamed");
+                print_report(name, job_report, args.quiet);
+            }
+            Err(e) => eprintln!("error: {e}"),
+        }
+        if !args.quiet {
+            println!();
+        }
+    }
+    println!(
+        "queue: {} done, {} quarantined, {} total{}",
+        report.done,
+        report.quarantined,
+        report.total,
+        if report.interrupted {
+            " (interrupted)"
+        } else {
+            ""
+        }
+    );
+    Ok(if report.quarantined > 0 {
+        WorkerOutcome::Quarantined
+    } else if report.interrupted || report.done < report.total {
+        WorkerOutcome::Incomplete
+    } else {
+        WorkerOutcome::Drained
+    })
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(args) => args,
@@ -308,7 +471,25 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    if args.target.is_dir() {
+    if args.queue_worker {
+        if !args.target.is_dir() {
+            eprintln!(
+                "od-run: --queue-worker needs a directory target, got {}",
+                args.target.display()
+            );
+            return ExitCode::from(2);
+        }
+        match run_worker(&args) {
+            Ok(WorkerOutcome::Drained) => ExitCode::SUCCESS,
+            Ok(WorkerOutcome::Incomplete) => ExitCode::FAILURE,
+            Ok(WorkerOutcome::Empty) => ExitCode::from(3),
+            Ok(WorkerOutcome::Quarantined) => ExitCode::from(4),
+            Err(e) => {
+                eprintln!("od-run: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    } else if args.target.is_dir() {
         match run_directory(&args) {
             Ok(QueueOutcome::AllOk) => ExitCode::SUCCESS,
             Ok(QueueOutcome::SomeFailed) => ExitCode::FAILURE,

@@ -116,6 +116,47 @@ fn kind_schema(kind: &str) -> Option<(Fields, Fields)> {
             ],
             &[],
         )),
+        "queue_claim" => Some((
+            &[
+                ("job", Ty::Str),
+                ("worker", Ty::Str),
+                ("attempt", Ty::U64),
+                ("expires_ms", Ty::U64),
+            ],
+            &[],
+        )),
+        "queue_renew" => Some((
+            &[
+                ("job", Ty::Str),
+                ("worker", Ty::Str),
+                ("expires_ms", Ty::U64),
+            ],
+            &[],
+        )),
+        "queue_takeover" => Some((
+            &[
+                ("job", Ty::Str),
+                ("worker", Ty::Str),
+                ("stale_worker", Ty::Str),
+            ],
+            &[],
+        )),
+        "queue_release" => Some((&[("job", Ty::Str), ("worker", Ty::Str)], &[])),
+        "queue_retry" => Some((
+            &[
+                ("job", Ty::Str),
+                ("attempt", Ty::U64),
+                ("backoff_ms", Ty::U64),
+                ("error", Ty::Str),
+            ],
+            &[],
+        )),
+        "queue_quarantine" => Some((
+            &[("job", Ty::Str), ("attempts", Ty::U64), ("error", Ty::Str)],
+            &[],
+        )),
+        "queue_done" => Some((&[("job", Ty::Str), ("worker", Ty::Str)], &[])),
+        "checkpoint_corrupt" => Some((&[("path", Ty::Str), ("error", Ty::Str)], &[])),
         "bench" => Some((
             &[
                 ("series", Ty::Str),

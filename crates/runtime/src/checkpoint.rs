@@ -11,10 +11,12 @@
 //! refused rather than silently mixed.
 
 use crate::error::RuntimeError;
+use crate::faults::{self, Injected};
 use crate::json::{self, Json};
 use crate::summary::ShardSummary;
+use od_telemetry::{Event, TelemetrySink};
 use std::collections::BTreeMap;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// Completed-shard state of one job.
 #[derive(Debug, Clone, PartialEq)]
@@ -112,12 +114,56 @@ impl Checkpoint {
         Self::from_json(&value).map(Some)
     }
 
-    /// Saves atomically (write temp file, then rename over the target).
+    /// Loads a checkpoint like [`Checkpoint::load`], but a malformed
+    /// file — a torn write from a crashed process, or any other
+    /// corruption — is quarantined to `<path>.corrupt` (atomic rename,
+    /// preserving the evidence) and reported through `sink` as a
+    /// `checkpoint_corrupt` event, and the job restarts from scratch
+    /// (`Ok(None)`) instead of failing. I/O errors other than absence
+    /// still propagate: an unreadable disk is not a torn write.
     ///
     /// # Errors
     ///
-    /// Returns I/O errors from the write or rename.
+    /// Returns I/O errors from reading the checkpoint or renaming the
+    /// corrupt file aside.
+    pub fn load_or_quarantine(
+        path: &Path,
+        sink: &dyn TelemetrySink,
+    ) -> Result<Option<Self>, RuntimeError> {
+        if let Injected::Error(e) = faults::fire("checkpoint.load") {
+            return Err(RuntimeError::io(&format!("reading {}", path.display()), e));
+        }
+        match Self::load(path) {
+            Ok(found) => Ok(found),
+            Err(RuntimeError::Parse(message)) => {
+                let mut corrupt = path.as_os_str().to_os_string();
+                corrupt.push(".corrupt");
+                let corrupt = PathBuf::from(corrupt);
+                std::fs::rename(path, &corrupt).map_err(|e| {
+                    RuntimeError::io(&format!("quarantining to {}", corrupt.display()), e)
+                })?;
+                if sink.enabled() {
+                    sink.emit(&Event::CheckpointCorrupt {
+                        path: &path.display().to_string(),
+                        error: &message,
+                    });
+                }
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Saves atomically: write `<path>.tmp`, fsync, rename over the
+    /// target. The fsync bounds what a crash can leave behind — either
+    /// the old complete checkpoint or the new complete one, never a
+    /// torn file at the real path.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors from the write, fsync, or rename.
     pub fn save(&self, path: &Path) -> Result<(), RuntimeError> {
+        use std::io::Write as _;
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
                 std::fs::create_dir_all(parent)
@@ -125,8 +171,29 @@ impl Checkpoint {
             }
         }
         let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, self.to_json().to_string_pretty())
+        let bytes = self.to_json().to_string_pretty().into_bytes();
+        let written: &[u8] = match faults::fire("checkpoint.persist") {
+            Injected::None => &bytes,
+            Injected::Error(e) => {
+                return Err(RuntimeError::io(&format!("writing {}", tmp.display()), e))
+            }
+            // A torn write still renames into place: the corrupt bytes
+            // must land at the real path to exercise load-side
+            // quarantine, exactly like a crash between write and fsync.
+            Injected::Truncate(n) => &bytes[..n.min(bytes.len())],
+        };
+        let mut file = std::fs::File::create(&tmp)
+            .map_err(|e| RuntimeError::io(&format!("creating {}", tmp.display()), e))?;
+        file.write_all(written)
+            .and_then(|()| file.sync_all())
             .map_err(|e| RuntimeError::io(&format!("writing {}", tmp.display()), e))?;
+        drop(file);
+        if let Injected::Error(e) = faults::fire("checkpoint.persist.rename") {
+            return Err(RuntimeError::io(
+                &format!("renaming to {}", path.display()),
+                e,
+            ));
+        }
         std::fs::rename(&tmp, path)
             .map_err(|e| RuntimeError::io(&format!("renaming to {}", path.display()), e))
     }
@@ -174,5 +241,44 @@ mod tests {
             Err(RuntimeError::Parse(_))
         ));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_quarantined_not_fatal() {
+        let dir = temp_path("quarantine");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+        std::fs::write(&path, "{\"spec_hash\": \"abc").unwrap(); // torn
+        let sink = od_telemetry::MemorySink::new();
+        let loaded = Checkpoint::load_or_quarantine(&path, &sink).unwrap();
+        assert!(loaded.is_none());
+        assert!(!path.exists(), "corrupt checkpoint left at original path");
+        let quarantined = dir.join("ckpt.json.corrupt");
+        assert_eq!(
+            std::fs::read_to_string(&quarantined).unwrap(),
+            "{\"spec_hash\": \"abc"
+        );
+        let lines = sink.lines();
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].contains("\"kind\":\"checkpoint_corrupt\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_or_quarantine_passes_through_valid_and_absent() {
+        let dir = temp_path("passthrough");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+        let sink = od_telemetry::NullSink;
+        assert!(Checkpoint::load_or_quarantine(&path, &sink)
+            .unwrap()
+            .is_none());
+        let ckpt = Checkpoint::new("abc123".to_string(), 2);
+        ckpt.save(&path).unwrap();
+        let loaded = Checkpoint::load_or_quarantine(&path, &sink).unwrap();
+        assert_eq!(loaded, Some(ckpt));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -26,6 +26,14 @@ pub enum RuntimeError {
         /// The underlying error.
         source: std::io::Error,
     },
+    /// A queue lease operation failed or the lease was lost to another
+    /// worker (taken over after expiry, released, or corrupted).
+    Lease {
+        /// The job file the lease guards.
+        job: std::path::PathBuf,
+        /// What went wrong.
+        message: String,
+    },
     /// A queue job failed; carries the job file and (when the spec
     /// loaded far enough to hash) its content hash so a failure deep in
     /// a long queue names the exact job and revision that produced it.
@@ -51,6 +59,9 @@ impl fmt::Display for RuntimeError {
                  (delete the checkpoint or restore the original spec)"
             ),
             Self::Io { context, source } => write!(f, "{context}: {source}"),
+            Self::Lease { job, message } => {
+                write!(f, "lease on {}: {message}", job.display())
+            }
             Self::Job {
                 path,
                 spec_hash,

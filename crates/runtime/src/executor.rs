@@ -306,7 +306,10 @@ pub fn run_job_with_metrics(
     let checkpoint = {
         let _span = span_full(sink, "checkpoint_load", job_span.id(), None);
         match &options.checkpoint_path {
-            Some(path) => match Checkpoint::load(path)? {
+            // A torn/corrupt checkpoint is quarantined and the job
+            // restarts; a checkpoint for a *different* spec is still a
+            // hard error below (it is valid, just not ours).
+            Some(path) => match Checkpoint::load_or_quarantine(path, sink)? {
                 Some(existing) => {
                     if existing.spec_hash != spec_hash {
                         return Err(RuntimeError::CheckpointMismatch {

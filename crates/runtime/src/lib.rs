@@ -18,9 +18,16 @@
 //!   ([`od_stats::exact`]), so merged results are byte-identical for any
 //!   shard partition and memory stays `O(shards)`.
 //! * [`checkpoint`] — completed shards persist to a JSON checkpoint keyed
-//!   by the spec's content hash; an interrupted job resumes from the last
-//!   finished shard.
-//! * [`queue`] — run a single job file or drain a directory of them.
+//!   by the spec's content hash (atomic tmp + fsync + rename); an
+//!   interrupted job resumes from the last finished shard, and a torn
+//!   checkpoint is quarantined rather than fatal.
+//! * [`queue`] — run a single job file, drain a directory of them, or
+//!   drain it as a crash-safe leased worker ([`queue::run_queue_worker`]).
+//! * [`lease`] — the claim/lease protocol behind the worker: atomic
+//!   `O_EXCL`-style claims, renewal heartbeats, stale-lease takeover,
+//!   retry counters with deterministic backoff, poison-job quarantine.
+//! * [`faults`] — deterministic failpoints (`OD_FAILPOINTS`), compiled
+//!   to no-ops unless the `failpoints` cargo feature is on.
 //!
 //! The `od-run` binary wraps all of this as a CLI.
 //!
@@ -47,7 +54,9 @@
 pub mod checkpoint;
 mod error;
 pub mod executor;
+pub mod faults;
 pub mod json;
+pub mod lease;
 pub mod queue;
 pub mod spec;
 pub mod summary;
@@ -59,8 +68,12 @@ pub use executor::{
     run_job, run_job_simple, run_job_with_metrics, CancelToken, JobMetrics, JobReport, RunOptions,
     ShardMetrics,
 };
+pub use lease::{ManualClock, QueueClock, SystemClock};
 pub use od_graphs::WeightResolver;
-pub use queue::{default_checkpoint_path, load_job_file, run_queue};
+pub use queue::{
+    default_checkpoint_path, load_job_file, run_queue, run_queue_worker, WorkerOptions,
+    WorkerReport,
+};
 pub use spec::{
     AdversarySpec, ExecutionMode, GraphFamily, GraphSpec, InitialSpec, JobSpec, OpinionAssignment,
     StopRule, TelemetrySpec, TemporalSchedule, TemporalSpec, TraceSpec, WeightScheme, WeightsSpec,

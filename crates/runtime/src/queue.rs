@@ -1,10 +1,27 @@
 //! Loading job files and draining directory queues.
+//!
+//! Two drain modes share one on-disk layout:
+//!
+//! * [`run_queue`] — the simple single-process drain: every job file in
+//!   sorted order, each with its sibling checkpoint.
+//! * [`run_queue_worker`] — the crash-safe multi-process drain: each
+//!   job is claimed through the [`crate::lease`] protocol before it
+//!   runs, completion is recorded in a `<job>.done.json` marker, and
+//!   failures retry with deterministic backoff until quarantine. Any
+//!   number of workers (concurrent processes or sequential restarts)
+//!   drain one directory exactly once.
 
 use crate::error::RuntimeError;
-use crate::executor::{run_job, JobReport, RunOptions};
+use crate::executor::{run_job, CancelToken, JobReport, RunOptions};
+use crate::faults::{self, Injected};
+use crate::lease::{self, ClaimOutcome, Lease, Quarantine, QueueClock, RetryState, SystemClock};
 use crate::spec::JobSpec;
 use crate::toml_compat::toml_to_json;
+use od_telemetry::Event;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Loads a job spec from a `.json` or `.toml` file (by extension; files
 /// without a recognised extension are tried as JSON).
@@ -52,29 +69,48 @@ pub struct QueueEntry {
     pub result: Result<JobReport, RuntimeError>,
 }
 
-/// Lists the job files (`*.json` / `*.toml`, excluding
-/// `*.checkpoint.json`) in a directory, sorted by file name for a
-/// deterministic queue order.
+/// Sidecar suffixes the queue scan must never mistake for job files.
+const SIDECAR_SUFFIXES: [&str; 5] = [
+    ".checkpoint.json",
+    ".lease.json",
+    ".failed.json",
+    ".done.json",
+    ".attempts.json",
+];
+
+/// Lists the job files (`*.json` / `*.toml`, excluding sidecar files
+/// like `*.checkpoint.json` and the queue-v2 lease/done/failed/attempts
+/// markers) in a directory, sorted by file name for a deterministic
+/// queue order.
 ///
 /// # Errors
 ///
-/// Returns I/O errors from reading the directory.
+/// Returns I/O errors from reading the directory — including an
+/// unreadable individual entry, which names the directory rather than
+/// silently dropping the job.
 pub fn queue_files(dir: &Path) -> Result<Vec<PathBuf>, RuntimeError> {
+    if let Injected::Error(e) = faults::fire("queue.scan") {
+        return Err(RuntimeError::io(&format!("reading {}", dir.display()), e));
+    }
     let entries = std::fs::read_dir(dir)
         .map_err(|e| RuntimeError::io(&format!("reading {}", dir.display()), e))?;
-    let mut files: Vec<PathBuf> = entries
-        .filter_map(Result::ok)
-        .map(|entry| entry.path())
-        .filter(|path| {
-            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
-            if name.ends_with(".checkpoint.json") {
-                return false;
-            }
-            path.extension()
-                .and_then(|e| e.to_str())
-                .is_some_and(|e| e.eq_ignore_ascii_case("json") || e.eq_ignore_ascii_case("toml"))
-        })
-        .collect();
+    let mut files = Vec::new();
+    for entry in entries {
+        let entry = entry
+            .map_err(|e| RuntimeError::io(&format!("reading an entry of {}", dir.display()), e))?;
+        let path = entry.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if SIDECAR_SUFFIXES.iter().any(|s| name.ends_with(s)) {
+            continue;
+        }
+        let is_job = path
+            .extension()
+            .and_then(|e| e.to_str())
+            .is_some_and(|e| e.eq_ignore_ascii_case("json") || e.eq_ignore_ascii_case("toml"));
+        if is_job {
+            files.push(path);
+        }
+    }
     files.sort();
     Ok(files)
 }
@@ -129,6 +165,442 @@ pub fn run_queue(dir: &Path, options: &RunOptions) -> Result<Vec<QueueEntry>, Ru
         });
     }
     Ok(entries)
+}
+
+/// Configuration of one crash-safe queue worker.
+#[derive(Clone)]
+pub struct WorkerOptions {
+    /// This worker's id, recorded in leases and telemetry.
+    pub worker_id: String,
+    /// Lease duration in milliseconds; a worker that goes silent for
+    /// this long loses its claims to takeover.
+    pub lease_ms: u64,
+    /// Total attempts a job gets before quarantine (minimum 1).
+    pub max_retries: u64,
+    /// First-retry backoff in milliseconds; doubles per attempt.
+    pub backoff_base_ms: u64,
+    /// Backoff ceiling in milliseconds.
+    pub backoff_cap_ms: u64,
+    /// How long to sleep between scans while peers hold leases or
+    /// backoff deadlines are pending.
+    pub poll_ms: u64,
+    /// Renew held leases from a background heartbeat (at a third of the
+    /// lease duration) while a job runs. Disable only in tests that
+    /// want leases to expire mid-run.
+    pub heartbeat: bool,
+    /// The clock for every claim/expiry/backoff decision. Injectable so
+    /// tests drive takeover and retry schedules deterministically; the
+    /// default is [`SystemClock`].
+    pub clock: Arc<dyn QueueClock>,
+    /// Per-job execution options (sink, cancellation, progress). The
+    /// checkpoint path must stay unset: each job uses its sibling
+    /// checkpoint.
+    pub run: RunOptions,
+}
+
+impl Default for WorkerOptions {
+    fn default() -> Self {
+        Self {
+            worker_id: format!("worker-{}", std::process::id()),
+            lease_ms: 30_000,
+            max_retries: 3,
+            backoff_base_ms: 500,
+            backoff_cap_ms: 30_000,
+            poll_ms: 50,
+            heartbeat: true,
+            clock: Arc::new(SystemClock),
+            run: RunOptions::default(),
+        }
+    }
+}
+
+impl std::fmt::Debug for WorkerOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerOptions")
+            .field("worker_id", &self.worker_id)
+            .field("lease_ms", &self.lease_ms)
+            .field("max_retries", &self.max_retries)
+            .field("backoff_base_ms", &self.backoff_base_ms)
+            .field("backoff_cap_ms", &self.backoff_cap_ms)
+            .field("poll_ms", &self.poll_ms)
+            .field("heartbeat", &self.heartbeat)
+            .finish_non_exhaustive()
+    }
+}
+
+/// What one worker saw while draining a queue.
+#[derive(Debug)]
+pub struct WorkerReport {
+    /// Jobs *this* worker executed (a retried job appears once per
+    /// attempt), in execution order.
+    pub entries: Vec<QueueEntry>,
+    /// Jobs with a completion marker at exit — across all workers, not
+    /// just this one.
+    pub done: u64,
+    /// Jobs quarantined at exit, across all workers.
+    pub quarantined: u64,
+    /// Job files in the queue at exit.
+    pub total: u64,
+    /// True when cancellation stopped the worker before the queue
+    /// drained.
+    pub interrupted: bool,
+}
+
+/// The outcome of running one claimed job.
+struct LeasedRun {
+    job_name: Option<String>,
+    spec_hash: Option<String>,
+    result: Result<JobReport, RuntimeError>,
+    /// The heartbeat observed the lease lost to another worker.
+    lease_lost: bool,
+}
+
+/// Runs one claimed job with its sibling checkpoint, renewing the lease
+/// from a background heartbeat for as long as the job runs. A lost
+/// lease (takeover after a stall) cancels the job: the new owner runs
+/// it, resuming from the shared checkpoint.
+fn run_leased_job(path: &Path, job_lease: &Lease, options: &WorkerOptions) -> LeasedRun {
+    let spec = match load_job_file(path) {
+        Ok(spec) => spec,
+        Err(e) => {
+            return LeasedRun {
+                job_name: None,
+                spec_hash: None,
+                result: Err(e),
+                lease_lost: false,
+            }
+        }
+    };
+    let job_cancel = CancelToken::new();
+    let lost_flag = Arc::new(AtomicBool::new(false));
+    let stop = Arc::new(AtomicBool::new(false));
+    let heartbeat = options.heartbeat.then(|| {
+        let renewer = job_lease.clone();
+        let stop = Arc::clone(&stop);
+        let lost = Arc::clone(&lost_flag);
+        let job_cancel = job_cancel.clone();
+        let outer_cancel = options.run.cancel.clone();
+        let sink = Arc::clone(&options.run.sink);
+        let job_str = path.display().to_string();
+        let worker = options.worker_id.clone();
+        // Renew at a third of the lease: two renewals can fail or be
+        // delayed before the lease actually expires.
+        let interval = Duration::from_millis((options.lease_ms / 3).max(10));
+        std::thread::spawn(move || {
+            let slice = Duration::from_millis(25);
+            let mut waited = Duration::ZERO;
+            loop {
+                std::thread::sleep(slice.min(interval));
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                if outer_cancel.is_cancelled() {
+                    job_cancel.cancel();
+                }
+                waited += slice;
+                if waited < interval {
+                    continue;
+                }
+                waited = Duration::ZERO;
+                match renewer.renew() {
+                    Ok(info) => {
+                        if sink.enabled() {
+                            sink.emit(&Event::QueueRenew {
+                                job: &job_str,
+                                worker: &worker,
+                                expires_ms: info.expires_ms,
+                            });
+                        }
+                    }
+                    Err(RuntimeError::Lease { .. }) => {
+                        // Taken over: stop working for the new owner.
+                        lost.store(true, Ordering::SeqCst);
+                        job_cancel.cancel();
+                        return;
+                    }
+                    Err(_) => {} // transient I/O; the next tick retries
+                }
+            }
+        })
+    });
+    // With a heartbeat, the job watches its own token (the heartbeat
+    // forwards worker-level cancellation); without one, it watches the
+    // worker's token directly.
+    let cancel = if options.heartbeat {
+        job_cancel.clone()
+    } else {
+        options.run.cancel.clone()
+    };
+    let job_options = RunOptions {
+        checkpoint_path: Some(default_checkpoint_path(path)),
+        cancel,
+        ..options.run.clone()
+    };
+    let result = run_job(&spec, &job_options);
+    stop.store(true, Ordering::SeqCst);
+    if let Some(handle) = heartbeat {
+        let _ = handle.join();
+    }
+    LeasedRun {
+        job_name: Some(spec.name.clone()),
+        spec_hash: Some(spec.content_hash()),
+        result,
+        lease_lost: lost_flag.load(Ordering::SeqCst),
+    }
+}
+
+/// Drains a directory queue as a crash-safe worker: claims each job
+/// through the lease protocol, runs it with its sibling checkpoint,
+/// records completion in `<job>.done.json`, retries failures with
+/// capped exponential backoff, and quarantines poison jobs to
+/// `<job>.failed.json` after `max_retries` attempts. Returns when every
+/// job is done or quarantined (also by *other* workers), or when
+/// cancelled.
+///
+/// Safe to run concurrently with any number of workers on one
+/// directory: the lease protocol guarantees a job is executed by at
+/// most one worker at a time, and the done markers guarantee each job
+/// completes exactly once.
+///
+/// # Errors
+///
+/// Returns scan/lease/sidecar I/O errors (the queue infrastructure —
+/// as opposed to job failures, which are retried and recorded in the
+/// report), and a spec error when `options.run.checkpoint_path` is set.
+pub fn run_queue_worker(dir: &Path, options: &WorkerOptions) -> Result<WorkerReport, RuntimeError> {
+    if options.run.checkpoint_path.is_some() {
+        return Err(RuntimeError::Spec(
+            "run_queue_worker: checkpoint_path does not apply to a queue; \
+             each job uses its sibling <job file>.checkpoint.json"
+                .to_string(),
+        ));
+    }
+    let sink = &options.run.sink;
+    let mut entries = Vec::new();
+    let mut interrupted = false;
+    // Consecutive scan passes stalled on a claim error with no other
+    // path to progress; a transient error clears on the retry pass, a
+    // persistent one propagates instead of spinning forever.
+    let mut stalled_passes = 0u32;
+    'drain: loop {
+        let files = queue_files(dir)?;
+        let mut claimed_any = false;
+        let mut pending = false;
+        let mut claim_error: Option<RuntimeError> = None;
+        for path in &files {
+            if options.run.cancel.is_cancelled() {
+                interrupted = true;
+                break 'drain;
+            }
+            if lease::done_path(path).exists() || lease::quarantine_path(path).exists() {
+                continue;
+            }
+            let retry = RetryState::load(path)?;
+            if let Some(state) = &retry {
+                if state.next_ms > options.clock.now_ms() {
+                    pending = true; // backoff deadline not reached
+                    continue;
+                }
+            }
+            let attempt = retry.as_ref().map_or(1, |s| s.attempts + 1);
+            let (job_lease, takeover_of) = match lease::claim(
+                path,
+                &options.worker_id,
+                options.lease_ms,
+                attempt,
+                &options.clock,
+            ) {
+                Ok(ClaimOutcome::Claimed { lease, takeover_of }) => (lease, takeover_of),
+                Ok(ClaimOutcome::Held { .. }) => {
+                    pending = true; // a live peer owns it
+                    continue;
+                }
+                Err(e) => {
+                    // Transient claim failures (e.g. an injected I/O
+                    // error) leave the job for the next pass; the error
+                    // only propagates when the whole queue stalls on it.
+                    claim_error = Some(e);
+                    pending = true;
+                    continue;
+                }
+            };
+            claimed_any = true;
+            // A peer may have finished the job between scan and claim.
+            if lease::done_path(path).exists() {
+                job_lease.release()?;
+                continue;
+            }
+            let job_str = path.display().to_string();
+            if sink.enabled() {
+                if let Some(stale) = &takeover_of {
+                    sink.emit(&Event::QueueTakeover {
+                        job: &job_str,
+                        worker: &options.worker_id,
+                        stale_worker: stale,
+                    });
+                }
+                sink.emit(&Event::QueueClaim {
+                    job: &job_str,
+                    worker: &options.worker_id,
+                    attempt,
+                    expires_ms: job_lease.expires_ms(),
+                });
+            }
+            let run = run_leased_job(path, &job_lease, options);
+            match run.result {
+                Ok(report) if report.interrupted => {
+                    entries.push(QueueEntry {
+                        path: path.clone(),
+                        job_name: run.job_name,
+                        spec_hash: run.spec_hash,
+                        result: Ok(report),
+                    });
+                    if sink.enabled() {
+                        sink.emit(&Event::QueueRelease {
+                            job: &job_str,
+                            worker: &options.worker_id,
+                        });
+                    }
+                    // Graceful release: completed shards are already
+                    // checkpointed, no retry is charged.
+                    job_lease.release()?;
+                    if run.lease_lost && !options.run.cancel.is_cancelled() {
+                        continue; // the new owner finishes it
+                    }
+                    interrupted = true;
+                    break 'drain;
+                }
+                Ok(report) => {
+                    let hash = run.spec_hash.clone().unwrap_or_default();
+                    lease::write_done(path, &hash, &report.summary.to_json())?;
+                    RetryState::clear(path)?;
+                    if sink.enabled() {
+                        sink.emit(&Event::QueueDone {
+                            job: &job_str,
+                            worker: &options.worker_id,
+                        });
+                    }
+                    job_lease.release()?;
+                    entries.push(QueueEntry {
+                        path: path.clone(),
+                        job_name: run.job_name,
+                        spec_hash: run.spec_hash,
+                        result: Ok(report),
+                    });
+                }
+                Err(e) => {
+                    let wrapped = RuntimeError::Job {
+                        path: path.clone(),
+                        spec_hash: run.spec_hash.clone(),
+                        source: Box::new(e),
+                    };
+                    let error_str = wrapped.to_string();
+                    if attempt >= options.max_retries.max(1) {
+                        Quarantine {
+                            error: error_str.clone(),
+                            attempts: attempt,
+                            spec_hash: run.spec_hash.clone(),
+                        }
+                        .save(path)?;
+                        RetryState::clear(path)?;
+                        if sink.enabled() {
+                            sink.emit(&Event::QueueQuarantine {
+                                job: &job_str,
+                                attempts: attempt,
+                                error: &error_str,
+                            });
+                        }
+                    } else {
+                        let backoff = lease::backoff_ms(
+                            attempt,
+                            options.backoff_base_ms,
+                            options.backoff_cap_ms,
+                        );
+                        RetryState {
+                            attempts: attempt,
+                            next_ms: options.clock.now_ms().saturating_add(backoff),
+                            last_error: error_str.clone(),
+                        }
+                        .save(path)?;
+                        if sink.enabled() {
+                            sink.emit(&Event::QueueRetry {
+                                job: &job_str,
+                                attempt,
+                                backoff_ms: backoff,
+                                error: &error_str,
+                            });
+                        }
+                    }
+                    job_lease.release()?;
+                    entries.push(QueueEntry {
+                        path: path.clone(),
+                        job_name: run.job_name,
+                        spec_hash: run.spec_hash,
+                        result: Err(wrapped),
+                    });
+                }
+            }
+        }
+        if claimed_any {
+            stalled_passes = 0;
+        } else {
+            if !pending {
+                break; // every job is done or quarantined (or the queue is empty)
+            }
+            match claim_error {
+                Some(e) if !lease_progress_possible(&files, options) => {
+                    // Nothing claimed, nothing else runnable, and a
+                    // claim failed: the queue is stalled on that error.
+                    stalled_passes += 1;
+                    if stalled_passes >= 3 {
+                        return Err(e);
+                    }
+                }
+                _ => stalled_passes = 0,
+            }
+            if options.run.cancel.is_cancelled() {
+                interrupted = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(options.poll_ms.max(1)));
+        }
+    }
+    let files = queue_files(dir)?;
+    let done = files
+        .iter()
+        .filter(|p| lease::done_path(p).exists())
+        .count() as u64;
+    let quarantined = files
+        .iter()
+        .filter(|p| lease::quarantine_path(p).exists())
+        .count() as u64;
+    Ok(WorkerReport {
+        entries,
+        done,
+        quarantined,
+        total: files.len() as u64,
+        interrupted,
+    })
+}
+
+/// True when some job could still become runnable without this worker's
+/// claims succeeding: a peer holds a live lease (it will finish or
+/// expire) or a backoff deadline is still in the future.
+fn lease_progress_possible(files: &[PathBuf], options: &WorkerOptions) -> bool {
+    files.iter().any(|path| {
+        if lease::done_path(path).exists() || lease::quarantine_path(path).exists() {
+            return false;
+        }
+        if let Ok(lease::LeaseState::Held(info)) = lease::read_lease(path) {
+            if info.expires_ms > options.clock.now_ms() {
+                return true;
+            }
+        }
+        matches!(
+            RetryState::load(path),
+            Ok(Some(state)) if state.next_ms > options.clock.now_ms()
+        )
+    })
 }
 
 #[cfg(test)]
@@ -257,6 +729,169 @@ counts = [150, 50]
             rendered.contains("ghost.json") && rendered.contains(&expected_hash),
             "{rendered}"
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn queue_files_skips_every_sidecar_kind() {
+        let dir = temp_dir("sidecars");
+        std::fs::write(dir.join("job.json"), small_job("only", 1)).unwrap();
+        for sidecar in [
+            "job.json.checkpoint.json",
+            "job.json.lease.json",
+            "job.json.failed.json",
+            "job.json.done.json",
+            "job.json.attempts.json",
+            "job.json.checkpoint.json.corrupt",
+            "job.json.lease.w1.1.0.tmp",
+            "job.json.lease.w1.1.0.tomb",
+        ] {
+            std::fs::write(dir.join(sidecar), "{}").unwrap();
+        }
+        let files = queue_files(&dir).unwrap();
+        assert_eq!(files.len(), 1, "got {files:?}");
+        assert!(files[0].ends_with("job.json"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn worker_options(id: &str) -> WorkerOptions {
+        WorkerOptions {
+            worker_id: id.to_string(),
+            poll_ms: 2,
+            backoff_base_ms: 0, // retries are immediately eligible
+            ..WorkerOptions::default()
+        }
+    }
+
+    #[test]
+    fn worker_drains_queue_and_marks_every_job_done() {
+        let dir = temp_dir("worker_drain");
+        std::fs::write(dir.join("a.json"), small_job("a", 1)).unwrap();
+        std::fs::write(dir.join("b.json"), small_job("b", 2)).unwrap();
+        let report = run_queue_worker(&dir, &worker_options("w1")).unwrap();
+        assert_eq!((report.done, report.quarantined, report.total), (2, 0, 2));
+        assert!(!report.interrupted);
+        assert_eq!(report.entries.len(), 2);
+        for path in queue_files(&dir).unwrap() {
+            assert!(lease::done_path(&path).exists());
+            assert!(!lease::lease_path(&path).exists(), "lease left behind");
+            assert!(!lease::attempts_path(&path).exists());
+        }
+        // A second worker finds nothing to do but reports the totals.
+        let second = run_queue_worker(&dir, &worker_options("w2")).unwrap();
+        assert_eq!((second.done, second.total), (2, 2));
+        assert!(second.entries.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn worker_done_summary_matches_plain_queue_run() {
+        let dir_a = temp_dir("worker_equiv_a");
+        let dir_b = temp_dir("worker_equiv_b");
+        for dir in [&dir_a, &dir_b] {
+            std::fs::write(dir.join("job.json"), small_job("same", 7)).unwrap();
+        }
+        let plain = run_queue(&dir_a, &RunOptions::default()).unwrap();
+        let summary = &plain[0].result.as_ref().unwrap().summary;
+        run_queue_worker(&dir_b, &worker_options("w1")).unwrap();
+        let done = std::fs::read_to_string(lease::done_path(&dir_b.join("job.json"))).unwrap();
+        let done = crate::json::parse(&done).unwrap();
+        assert_eq!(
+            done.get("summary").unwrap().to_string_compact(),
+            summary.to_json().to_string_compact()
+        );
+        assert_eq!(
+            done.get("spec_hash").and_then(crate::json::Json::as_str),
+            plain[0].spec_hash.as_deref()
+        );
+        let _ = std::fs::remove_dir_all(&dir_a);
+        let _ = std::fs::remove_dir_all(&dir_b);
+    }
+
+    #[test]
+    fn failing_job_is_retried_then_quarantined() {
+        let dir = temp_dir("worker_poison");
+        let poison = small_job("poison", 9).replace("three-majority", "no-such-protocol");
+        std::fs::write(dir.join("poison.json"), &poison).unwrap();
+        std::fs::write(dir.join("good.json"), small_job("good", 5)).unwrap();
+        let sink = Arc::new(od_telemetry::MemorySink::new());
+        let mut options = worker_options("w1");
+        options.max_retries = 2;
+        options.run.sink = sink.clone();
+        let report = run_queue_worker(&dir, &options).unwrap();
+        assert_eq!((report.done, report.quarantined, report.total), (1, 1, 2));
+        let poison_path = dir.join("poison.json");
+        let record = Quarantine::load(&poison_path).expect("quarantine record");
+        assert_eq!(record.attempts, 2);
+        assert!(record.error.contains("poison.json"), "{}", record.error);
+        assert!(record.spec_hash.is_some());
+        assert!(!lease::attempts_path(&poison_path).exists());
+        assert!(!lease::lease_path(&poison_path).exists());
+        // Attempt 1 retried, attempt 2 quarantined; both released.
+        let failures: Vec<_> = report
+            .entries
+            .iter()
+            .filter(|e| e.result.is_err())
+            .collect();
+        assert_eq!(failures.len(), 2);
+        let lines = sink.lines().join("\n");
+        assert!(lines.contains("\"kind\":\"queue_retry\""), "{lines}");
+        assert!(lines.contains("\"kind\":\"queue_quarantine\""), "{lines}");
+        assert!(lines.contains("\"kind\":\"queue_done\""), "{lines}");
+        // A fresh worker does not resurrect the quarantined job.
+        let again = run_queue_worker(&dir, &worker_options("w2")).unwrap();
+        assert!(again.entries.is_empty());
+        assert_eq!(again.quarantined, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn worker_skips_jobs_done_by_peers_and_respects_live_leases() {
+        let dir = temp_dir("worker_peers");
+        std::fs::write(dir.join("a.json"), small_job("a", 1)).unwrap();
+        std::fs::write(dir.join("b.json"), small_job("b", 2)).unwrap();
+        // a: already completed by a peer.
+        lease::write_done(
+            &dir.join("a.json"),
+            "peerhash",
+            &crate::json::Json::object(),
+        )
+        .unwrap();
+        let done_bytes = std::fs::read(lease::done_path(&dir.join("a.json"))).unwrap();
+        let report = run_queue_worker(&dir, &worker_options("w2")).unwrap();
+        assert_eq!(report.done, 2);
+        assert_eq!(report.entries.len(), 1, "only b should run");
+        assert!(report.entries[0].path.ends_with("b.json"));
+        // The peer's done marker is untouched.
+        assert_eq!(
+            std::fs::read(lease::done_path(&dir.join("a.json"))).unwrap(),
+            done_bytes
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cancelled_worker_releases_lease_and_reports_interrupted() {
+        let dir = temp_dir("worker_cancel");
+        std::fs::write(dir.join("a.json"), small_job("a", 1)).unwrap();
+        let options = worker_options("w1");
+        options.run.cancel.cancel(); // cancelled before the first scan
+        let report = run_queue_worker(&dir, &options).unwrap();
+        assert!(report.interrupted);
+        assert_eq!(report.done, 0);
+        assert!(!lease::lease_path(&dir.join("a.json")).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn worker_rejects_checkpoint_override_like_run_queue() {
+        let dir = temp_dir("worker_ckpt_override");
+        let mut options = worker_options("w1");
+        options.run.checkpoint_path = Some(dir.join("one.checkpoint.json"));
+        assert!(matches!(
+            run_queue_worker(&dir, &options),
+            Err(RuntimeError::Spec(_))
+        ));
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,179 @@
+//! Fault-injection integration tests, driven through real `od-run`
+//! child processes with `OD_FAILPOINTS` armed in the child's
+//! environment only. Compiled (and meaningful) only with the
+//! `failpoints` feature: `cargo test -p od-runtime --features
+//! failpoints --test failpoints`.
+
+#![cfg(all(unix, feature = "failpoints"))]
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+const OD_RUN: &str = env!("CARGO_BIN_EXE_od-run");
+const VALIDATOR: &str = env!("CARGO_BIN_EXE_od-telemetry-validate");
+
+/// A fast multi-shard job: 8 trials in 4 shards, so one run performs
+/// four checkpoint saves (failpoint hits) and finishes in milliseconds.
+fn job(name: &str, seed: u64) -> String {
+    format!(
+        r#"{{
+  "name": "{name}",
+  "protocol": {{"name": "three-majority"}},
+  "initial": {{"kind": "balanced", "n": 200, "k": 4}},
+  "trials": 8,
+  "master_seed": {seed},
+  "max_rounds": 100000,
+  "shard_size": 2
+}}"#
+    )
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("od_failpoints_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Runs `od-run` with the given failpoint spec armed (empty = unarmed).
+fn od_run(failpoints: &str, args: &[&dyn AsRef<std::ffi::OsStr>]) -> Output {
+    let mut cmd = Command::new(OD_RUN);
+    for arg in args {
+        cmd.arg(arg.as_ref());
+    }
+    if failpoints.is_empty() {
+        cmd.env_remove("OD_FAILPOINTS");
+    } else {
+        cmd.env("OD_FAILPOINTS", failpoints);
+    }
+    cmd.output().unwrap()
+}
+
+fn stderr_of(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).into_owned()
+}
+
+fn stdout_of(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+#[test]
+fn injected_persist_error_fails_the_job() {
+    let dir = temp_dir("persist_err");
+    let job_path = dir.join("job.json");
+    std::fs::write(&job_path, job("persist-err", 1)).unwrap();
+    let output = od_run("checkpoint.persist=err:other@1", &[&job_path, &"--quiet"]);
+    assert_eq!(output.status.code(), Some(1), "{}", stderr_of(&output));
+    assert!(
+        stderr_of(&output).contains("injected failpoint 'checkpoint.persist'"),
+        "{}",
+        stderr_of(&output)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_checkpoint_write_is_quarantined_on_the_next_run() {
+    let dir = temp_dir("torn");
+    let job_path = dir.join("job.json");
+    std::fs::write(&job_path, job("torn", 2)).unwrap();
+    // The 4th (final) save is torn to its first 20 bytes; the truncated
+    // file still renames into place, exactly like a crash between write
+    // and fsync. The run itself succeeds.
+    let first = od_run("checkpoint.persist=torn:20@4", &[&job_path, &"--quiet"]);
+    assert!(first.status.success(), "{}", stderr_of(&first));
+    let checkpoint = dir.join("job.json.checkpoint.json");
+    assert_eq!(std::fs::read(&checkpoint).unwrap().len(), 20, "not torn");
+    // The next run quarantines the torn checkpoint, restarts from
+    // scratch, emits checkpoint_corrupt, and succeeds.
+    let telemetry = dir.join("telemetry.jsonl");
+    let second = od_run("", &[&job_path, &"--telemetry-out", &telemetry]);
+    assert!(second.status.success(), "{}", stderr_of(&second));
+    assert!(
+        stdout_of(&second).contains("(0 resumed from checkpoint)"),
+        "{}",
+        stdout_of(&second)
+    );
+    let corrupt = dir.join("job.json.checkpoint.json.corrupt");
+    assert_eq!(std::fs::read(&corrupt).unwrap().len(), 20, "evidence lost");
+    let events = std::fs::read_to_string(&telemetry).unwrap();
+    assert!(
+        events.contains("\"kind\":\"checkpoint_corrupt\""),
+        "{events}"
+    );
+    // The rewritten checkpoint is complete again.
+    let text = std::fs::read_to_string(&checkpoint).unwrap();
+    assert!(text.contains("\"total_shards\": 4"), "{text}");
+    // The telemetry stream (including the new kind) passes the schema.
+    let validate = Command::new(VALIDATOR)
+        .arg("--events")
+        .arg(&telemetry)
+        .output()
+        .unwrap();
+    assert!(validate.status.success(), "{}", stderr_of(&validate));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn abort_mid_job_resumes_from_the_checkpoint() {
+    let dir = temp_dir("abort");
+    let job_path = dir.join("job.json");
+    std::fs::write(&job_path, job("abort", 3)).unwrap();
+    // process::abort() during the 3rd checkpoint save: no destructors,
+    // no flushes — the hard-crash case. At least two shards were
+    // persisted before the crash.
+    let crashed = od_run("checkpoint.persist=abort@3", &[&job_path, &"--quiet"]);
+    assert!(!crashed.status.success(), "abort did not kill the run");
+    // The rerun resumes instead of recomputing everything.
+    let rerun = od_run("", &[&job_path]);
+    assert!(rerun.status.success(), "{}", stderr_of(&rerun));
+    let stdout = stdout_of(&rerun);
+    let resumed: u64 = stdout
+        .split(" resumed from checkpoint")
+        .next()
+        .and_then(|s| s.rsplit('(').next())
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or_else(|| panic!("no resume count in: {stdout}"));
+    assert!(
+        (1..4).contains(&resumed),
+        "expected a partial resume, got {resumed} in: {stdout}"
+    );
+    assert!(stdout.contains("shards: 4/4 completed"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn transient_claim_error_does_not_stall_a_worker() {
+    let dir = temp_dir("claim_err");
+    std::fs::write(dir.join("a.json"), job("a", 4)).unwrap();
+    std::fs::write(dir.join("b.json"), job("b", 5)).unwrap();
+    let output = od_run(
+        "lease.claim=err:other@1",
+        &[&dir, &"--queue-worker", &"--worker-id", &"w1", &"--quiet"],
+    );
+    assert!(output.status.success(), "{}", stderr_of(&output));
+    assert!(dir.join("a.json.done.json").exists());
+    assert!(dir.join("b.json.done.json").exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn queue_scan_error_propagates_with_directory_context() {
+    let dir = temp_dir("scan_err");
+    std::fs::write(dir.join("a.json"), job("a", 6)).unwrap();
+    let output = od_run(
+        "queue.scan=err:permission-denied@1",
+        &[&dir, &"--queue-worker", &"--quiet"],
+    );
+    assert_eq!(output.status.code(), Some(1), "{}", stderr_of(&output));
+    let stderr = stderr_of(&output);
+    assert!(
+        stderr.contains(&dir.display().to_string()),
+        "error does not name the directory: {stderr}"
+    );
+    assert!(
+        stderr.contains("injected failpoint 'queue.scan'"),
+        "{stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,145 @@
+//! Lease-contention property tests: M simulated workers race claims on
+//! one queue directory. Every job must be claimed by exactly one
+//! worker, and after the leases expire (under the injectable clock)
+//! exactly one worker must win each takeover.
+
+use od_runtime::lease::{self, ClaimOutcome, ManualClock, QueueClock};
+use od_runtime::RuntimeError;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+
+static DIR_NONCE: AtomicU64 = AtomicU64::new(0);
+
+fn temp_queue(jobs: u64) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "od_lease_contention_{}_{}",
+        std::process::id(),
+        DIR_NONCE.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    for j in 0..jobs {
+        std::fs::write(dir.join(format!("job{j:02}.json")), "{}").unwrap();
+    }
+    dir
+}
+
+/// Every worker races to claim every job once; returns
+/// `(job -> winners, per-worker claim counts)`.
+#[allow(clippy::type_complexity)]
+fn race(
+    dir: &std::path::Path,
+    workers: u64,
+    jobs: u64,
+    lease_ms: u64,
+    clock: &Arc<dyn QueueClock>,
+) -> Result<BTreeMap<String, Vec<(String, Option<String>)>>, RuntimeError> {
+    let claims: Arc<Mutex<Vec<(String, String, Option<String>)>>> =
+        Arc::new(Mutex::new(Vec::new()));
+    let errors: Arc<Mutex<Vec<RuntimeError>>> = Arc::new(Mutex::new(Vec::new()));
+    let barrier = Arc::new(Barrier::new(workers as usize));
+    let handles: Vec<_> = (0..workers)
+        .map(|w| {
+            let dir = dir.to_path_buf();
+            let claims = Arc::clone(&claims);
+            let errors = Arc::clone(&errors);
+            let barrier = Arc::clone(&barrier);
+            let clock = Arc::clone(clock);
+            std::thread::spawn(move || {
+                let worker_id = format!("w{w}");
+                barrier.wait();
+                for j in 0..jobs {
+                    let job = dir.join(format!("job{j:02}.json"));
+                    match lease::claim(&job, &worker_id, lease_ms, 1, &clock) {
+                        Ok(ClaimOutcome::Claimed { takeover_of, .. }) => {
+                            claims.lock().unwrap().push((
+                                format!("job{j:02}.json"),
+                                worker_id.clone(),
+                                takeover_of,
+                            ));
+                        }
+                        Ok(ClaimOutcome::Held { .. }) => {}
+                        Err(e) => errors.lock().unwrap().push(e),
+                    }
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("worker thread panicked");
+    }
+    let errors = Arc::try_unwrap(errors).unwrap().into_inner().unwrap();
+    if let Some(e) = errors.into_iter().next() {
+        return Err(e);
+    }
+    let mut by_job: BTreeMap<String, Vec<(String, Option<String>)>> = BTreeMap::new();
+    for (job, worker, takeover) in Arc::try_unwrap(claims).unwrap().into_inner().unwrap() {
+        by_job.entry(job).or_default().push((worker, takeover));
+    }
+    Ok(by_job)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    #[test]
+    fn every_job_claimed_exactly_once_and_recovered_after_expiry(
+        workers in 2u64..=6,
+        jobs in 1u64..=5,
+    ) {
+        let dir = temp_queue(jobs);
+        let manual = Arc::new(ManualClock::new(1_000));
+        let clock: Arc<dyn QueueClock> = manual.clone();
+        let lease_ms = 5_000;
+
+        // Round 1: fresh claims. Exactly one winner per job, and no
+        // winner went through a takeover.
+        let round1 = race(&dir, workers, jobs, lease_ms, &clock).unwrap();
+        prop_assert!(round1.len() as u64 == jobs, "some job was never claimed");
+        for (job, winners) in &round1 {
+            prop_assert!(
+                winners.len() == 1,
+                "job {} claimed {} times: {:?}",
+                job,
+                winners.len(),
+                winners
+            );
+            prop_assert!(winners[0].1.is_none(), "fresh claim reported a takeover");
+        }
+
+        // Nobody released: while leases are live, no claim can succeed.
+        let held = race(&dir, workers, jobs, lease_ms, &clock).unwrap();
+        prop_assert!(held.is_empty(), "claimed a live lease: {:?}", held);
+
+        // Round 2: advance the injectable clock past expiry. Every
+        // stale lease is recovered by exactly one takeover.
+        manual.advance(lease_ms);
+        let round2 = race(&dir, workers, jobs, lease_ms, &clock).unwrap();
+        prop_assert!(round2.len() as u64 == jobs, "some stale lease was not recovered");
+        for (job, winners) in &round2 {
+            prop_assert!(
+                winners.len() == 1,
+                "job {} recovered {} times: {:?}",
+                job,
+                winners.len(),
+                winners
+            );
+            // Which racer records the takeover metadata is racy (a
+            // claimant can slip in right after another displaced the
+            // stale lease), but when it is recorded it must name the
+            // round-1 owner.
+            if let Some(stale) = winners[0].1.as_deref() {
+                let round1_owner = round1[job][0].0.as_str();
+                prop_assert!(
+                    stale == round1_owner,
+                    "takeover named stale worker {} but round 1 owner was {}",
+                    stale,
+                    round1_owner
+                );
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

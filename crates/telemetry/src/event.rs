@@ -96,6 +96,79 @@ pub enum Event<'a> {
         /// True when cancellation left shards unfinished.
         interrupted: bool,
     },
+    /// A queue worker claimed a job (created its lease file).
+    QueueClaim {
+        /// The job file.
+        job: &'a str,
+        /// The claiming worker's id.
+        worker: &'a str,
+        /// Which attempt at the job this is (1-based).
+        attempt: u64,
+        /// Lease expiry, queue-clock milliseconds.
+        expires_ms: u64,
+    },
+    /// A heartbeat renewed a held lease.
+    QueueRenew {
+        /// The job file.
+        job: &'a str,
+        /// The renewing worker's id.
+        worker: &'a str,
+        /// The new expiry, queue-clock milliseconds.
+        expires_ms: u64,
+    },
+    /// A worker displaced an expired (or corrupt) lease before claiming.
+    QueueTakeover {
+        /// The job file.
+        job: &'a str,
+        /// The worker taking over.
+        worker: &'a str,
+        /// The worker whose stale lease was displaced (`unknown` when
+        /// the lease was unreadable).
+        stale_worker: &'a str,
+    },
+    /// A worker released a lease without completing the job
+    /// (cancellation or a lost lease).
+    QueueRelease {
+        /// The job file.
+        job: &'a str,
+        /// The releasing worker's id.
+        worker: &'a str,
+    },
+    /// A job failed and will be retried after a backoff.
+    QueueRetry {
+        /// The job file.
+        job: &'a str,
+        /// The attempt that just failed (1-based).
+        attempt: u64,
+        /// Backoff until the next attempt, milliseconds.
+        backoff_ms: u64,
+        /// The failure message.
+        error: &'a str,
+    },
+    /// A job exhausted its retry budget and was quarantined.
+    QueueQuarantine {
+        /// The job file.
+        job: &'a str,
+        /// Attempts consumed.
+        attempts: u64,
+        /// The final failure message.
+        error: &'a str,
+    },
+    /// A job completed and its done marker was written.
+    QueueDone {
+        /// The job file.
+        job: &'a str,
+        /// The completing worker's id.
+        worker: &'a str,
+    },
+    /// A checkpoint failed to parse on load and was quarantined to
+    /// `<path>.corrupt`; the job restarts from scratch.
+    CheckpointCorrupt {
+        /// The checkpoint file.
+        path: &'a str,
+        /// Why it failed to parse.
+        error: &'a str,
+    },
     /// One measured benchmark case (the bench harness emits the same
     /// envelope and schema as runtime jobs).
     Bench {
@@ -122,6 +195,14 @@ impl Event<'_> {
             Event::Trial { .. } => "trial",
             Event::Trace { .. } => "trace",
             Event::JobEnd { .. } => "job_end",
+            Event::QueueClaim { .. } => "queue_claim",
+            Event::QueueRenew { .. } => "queue_renew",
+            Event::QueueTakeover { .. } => "queue_takeover",
+            Event::QueueRelease { .. } => "queue_release",
+            Event::QueueRetry { .. } => "queue_retry",
+            Event::QueueQuarantine { .. } => "queue_quarantine",
+            Event::QueueDone { .. } => "queue_done",
+            Event::CheckpointCorrupt { .. } => "checkpoint_corrupt",
             Event::Bench { .. } => "bench",
         }
     }
@@ -238,6 +319,67 @@ impl Event<'_> {
                 field_u64(out, "stopped", *stopped);
                 field_u64(out, "capped", *capped);
                 field_bool(out, "interrupted", *interrupted);
+            }
+            Event::QueueClaim {
+                job,
+                worker,
+                attempt,
+                expires_ms,
+            } => {
+                field_str(out, "job", job);
+                field_str(out, "worker", worker);
+                field_u64(out, "attempt", *attempt);
+                field_u64(out, "expires_ms", *expires_ms);
+            }
+            Event::QueueRenew {
+                job,
+                worker,
+                expires_ms,
+            } => {
+                field_str(out, "job", job);
+                field_str(out, "worker", worker);
+                field_u64(out, "expires_ms", *expires_ms);
+            }
+            Event::QueueTakeover {
+                job,
+                worker,
+                stale_worker,
+            } => {
+                field_str(out, "job", job);
+                field_str(out, "worker", worker);
+                field_str(out, "stale_worker", stale_worker);
+            }
+            Event::QueueRelease { job, worker } => {
+                field_str(out, "job", job);
+                field_str(out, "worker", worker);
+            }
+            Event::QueueRetry {
+                job,
+                attempt,
+                backoff_ms,
+                error,
+            } => {
+                field_str(out, "job", job);
+                field_u64(out, "attempt", *attempt);
+                field_u64(out, "backoff_ms", *backoff_ms);
+                field_str(out, "error", error);
+            }
+            Event::QueueQuarantine {
+                job,
+                attempts,
+                error,
+            } => {
+                field_str(out, "job", job);
+                field_u64(out, "attempts", *attempts);
+                field_str(out, "error", error);
+            }
+            Event::QueueDone { job, worker } => {
+                field_str(out, "job", job);
+                field_str(out, "worker", worker);
+            }
+            Event::CheckpointCorrupt { path, error } => {
+                field_str(out, "path", path);
+                field_str(out, "error", error);
             }
             Event::Bench {
                 series,
@@ -360,6 +502,43 @@ mod tests {
         .encode(0, 0);
         assert!(line.contains("\"rounds_per_sec\":0"));
         assert!(line.contains("\"eta_s\":1.5"));
+    }
+
+    #[test]
+    fn queue_events_encode_their_fields() {
+        let claim = Event::QueueClaim {
+            job: "q/a.json",
+            worker: "w1",
+            attempt: 2,
+            expires_ms: 1500,
+        }
+        .encode(0, 5);
+        assert_eq!(
+            claim,
+            "{\"seq\":0,\"t_ms\":5,\"kind\":\"queue_claim\",\"job\":\"q/a.json\",\
+             \"worker\":\"w1\",\"attempt\":2,\"expires_ms\":1500}"
+        );
+        let takeover = Event::QueueTakeover {
+            job: "q/a.json",
+            worker: "w2",
+            stale_worker: "w1",
+        }
+        .encode(1, 6);
+        assert!(takeover.contains("\"kind\":\"queue_takeover\""));
+        assert!(takeover.contains("\"stale_worker\":\"w1\""));
+        let quarantine = Event::QueueQuarantine {
+            job: "q/a.json",
+            attempts: 3,
+            error: "boom",
+        }
+        .encode(2, 7);
+        assert!(quarantine.contains("\"attempts\":3") && quarantine.contains("\"error\":\"boom\""));
+        let corrupt = Event::CheckpointCorrupt {
+            path: "q/a.json.checkpoint.json",
+            error: "truncated",
+        }
+        .encode(3, 8);
+        assert!(corrupt.contains("\"kind\":\"checkpoint_corrupt\""));
     }
 
     #[test]
