@@ -500,6 +500,83 @@ fn main() {
         }
     }
 
+    // Multi-process orchestration overhead series: one small job,
+    // measured end-to-end through the real `od-run` binary both
+    // single-process and as `--orchestrate 1` (supervisor + one child
+    // over the file protocol). The difference is the price of process
+    // fan-out itself — spawn, lease traffic, supervisor polling, and
+    // the checkpoint merge — which must stay bounded even on a 1-vCPU
+    // CI host where parallelism cannot pay for any of it.
+    let mut proc_par_overhead_min_ns: Option<f64> = None;
+    let od_run_bin = std::env::current_exe()
+        .ok()
+        .and_then(|p| Some(p.parent()?.parent()?.join("od-run")))
+        .filter(|p| p.exists());
+    match od_run_bin {
+        None => println!(
+            "  proc_par series skipped: od-run not found next to the bench binary \
+             (build it with `cargo build --release -p od-runtime --bins`)"
+        ),
+        Some(od_run) => {
+            let dir = std::env::temp_dir().join(format!("od_bench_proc_{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).expect("bench temp dir");
+            let job_path = dir.join("job.json");
+            std::fs::write(
+                &job_path,
+                r#"{
+  "name": "bench_proc",
+  "protocol": {"name": "three-majority"},
+  "initial": {"kind": "balanced", "n": 2000, "k": 4},
+  "trials": 8,
+  "master_seed": 77,
+  "max_rounds": 100000,
+  "shard_size": 2
+}"#,
+            )
+            .expect("bench job file");
+            let checkpoint = dir.join("job.json.checkpoint.json");
+            let proc_samples = if quick { 2 } else { 4 };
+            let run = |extra: &[&str]| {
+                // A fresh checkpoint every sample: resume would turn
+                // the single-process run into a no-op.
+                let _ = std::fs::remove_file(&checkpoint);
+                let status = std::process::Command::new(&od_run)
+                    .arg(&job_path)
+                    .args(extra)
+                    .arg("--quiet")
+                    .stdout(std::process::Stdio::null())
+                    .status()
+                    .expect("running od-run");
+                assert!(status.success(), "bench od-run run failed: {status}");
+            };
+            let proc_results = measure_interleaved(
+                1,
+                proc_samples,
+                vec![
+                    (
+                        "proc/n=2000/seq_single_process".to_string(),
+                        Box::new(|| run(&[])),
+                    ),
+                    (
+                        "proc/n=2000/proc_par".to_string(),
+                        Box::new(|| run(&["--orchestrate", "1"])),
+                    ),
+                ],
+            );
+            let overhead = proc_results[1].min_ns - proc_results[0].min_ns;
+            println!(
+                "  proc/n=2000: proc_par/seq_single_process = {:.2}x \
+                 (min spawn+merge overhead {:.0} ms)",
+                proc_results[1].mean_ns / proc_results[0].mean_ns,
+                overhead / 1e6
+            );
+            proc_par_overhead_min_ns = Some(overhead);
+            results.extend(proc_results);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
     let out_path = std::env::var("OD_BENCH_OUT").map_or_else(
         |_| {
             PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -542,6 +619,9 @@ fn main() {
         .map(|&(_, _, r)| r);
     if let Some(r) = telem_ratio_10k {
         meta.push(("telem_over_batched_er_n10000", format!("{r:.4}")));
+    }
+    if let Some(ns) = proc_par_overhead_min_ns {
+        meta.push(("proc_par_overhead_min_ms", format!("{:.1}", ns / 1e6)));
     }
     write_json(&out_path, "graph_engine", &meta, &results).expect("writing bench output");
     println!("wrote {}", out_path.display());
@@ -589,5 +669,23 @@ fn main() {
              {r:.3} > 1.02 on erdos_renyi at n = 10000 (within-binary interleaved ratio)"
         );
         println!("telemetry gate passed: min-ratio telem/batched = {r:.3} at erdos_renyi n=10000");
+    }
+    // The orchestration-overhead gate: process fan-out may only cost a
+    // bounded constant over the single-process run of the same job
+    // (supervisor polling, one spawn, lease traffic, checkpoint merge).
+    // An absolute bound, not a ratio: the job is deliberately tiny, so
+    // a ratio would measure the job instead of the machinery. Uses the
+    // interleaved minima — noise on a shared host only adds time.
+    if let Some(ns) = proc_par_overhead_min_ns {
+        assert!(
+            ns <= 2.5e9,
+            "orchestration overhead regressed: min(proc_par) - min(seq_single_process) = \
+             {:.0} ms > 2500 ms for an 8-trial job with one worker",
+            ns / 1e6
+        );
+        println!(
+            "orchestration gate passed: spawn+merge overhead {:.0} ms at n=2000",
+            ns / 1e6
+        );
     }
 }

@@ -23,6 +23,15 @@
 //!                          loses its claims to takeover (default: 30)
 //!   --max-retries <n>      attempts before a failing job is
 //!                          quarantined to <job>.failed.json (default: 3)
+//!   --orchestrate <n>      run the job file across <n> supervised child
+//!                          worker processes (shard-range fan-out)
+//!   --orch-ranges <n>      shard ranges to split the job into
+//!                          (default: 4 x workers, clamped to shards)
+//!   --orch-deadline-secs <n>  revoke a range lease after this long
+//!                          without checkpoint progress (0 disables;
+//!                          default: 30)
+//!   --orch-child           internal: drain an orchestrated job's range
+//!                          pool as one worker process
 //!   --quiet                print only the final summary
 //!   --help                 this text
 //! ```
@@ -37,21 +46,91 @@
 //! `<job>.done.json`, retried with deterministic backoff on failure,
 //! and quarantined after the retry budget.
 //!
+//! `--orchestrate <n>` fans one job *file* out across `n` supervised
+//! `od-run --orch-child` processes: the supervisor plans contiguous
+//! shard ranges into `<job file>.orch/`, children claim ranges through
+//! the same lease protocol queue workers use, crashed children are
+//! respawned with checkpoint resume (quarantining a range after
+//! `--max-retries` crashes), stalled stragglers lose their lease after
+//! the progress deadline, and the per-range checkpoints merge into a
+//! job checkpoint and summary **byte-identical** to a single-process
+//! run. Re-running `--orchestrate` after any crash — children or the
+//! supervisor itself — resumes from the persisted control plane.
+//!
+//! On SIGINT/SIGTERM every mode shuts down gracefully: leases are
+//! released, completed shards stay checkpointed, and the process exits
+//! 1 without leaving stale control-plane sidecars behind.
+//!
 //! Telemetry is observation only: any combination of these flags leaves
 //! checkpoint and summary bytes identical to a run without them.
 //!
 //! Exit codes: 0 success, 1 job failed or interrupted, 2 usage error,
-//! 3 directory queue had no job files, 4 queue drained but quarantined
-//! jobs are present.
+//! 3 directory queue had no job files, 4 drained but quarantined
+//! jobs (or shard ranges, under orchestration) are present.
 
 use od_runtime::{
-    default_checkpoint_path, load_job_file, run_job_with_metrics, run_queue, run_queue_worker,
-    JobReport, JobSpec, RunOptions, RuntimeError, WorkerOptions,
+    default_checkpoint_path, load_job_file, orchestrate, run_job_with_metrics, run_orch_child,
+    run_queue, run_queue_worker, CancelToken, JobReport, JobSpec, OrchOptions, RunOptions,
+    RuntimeError, WorkerOptions,
 };
 use od_telemetry::{FanoutSink, JsonlSink, NullSink, ProgressSink, TelemetrySink};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
+
+/// SIGINT/SIGTERM turn into cooperative cancellation: the handler only
+/// flips an atomic flag; a watcher thread forwards it to the run's
+/// [`CancelToken`], so workers release leases and flush checkpoints on
+/// the way out instead of dying mid-write.
+#[cfg(unix)]
+mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_signum: i32) {
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    /// Installs the flag-setting handler for SIGINT and SIGTERM.
+    pub fn install() {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+
+    /// True once either signal arrived.
+    pub fn requested() -> bool {
+        SHUTDOWN.load(Ordering::SeqCst)
+    }
+}
+
+/// Wires signal delivery (where supported) to `cancel`.
+fn install_shutdown_watcher(cancel: &CancelToken) {
+    #[cfg(unix)]
+    {
+        signals::install();
+        let cancel = cancel.clone();
+        std::thread::spawn(move || loop {
+            if signals::requested() {
+                cancel.cancel();
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        });
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = cancel;
+    }
+}
 
 struct Args {
     target: PathBuf,
@@ -67,6 +146,10 @@ struct Args {
     worker_id: Option<String>,
     lease_secs: Option<u64>,
     max_retries: Option<u64>,
+    orchestrate: Option<u64>,
+    orch_ranges: Option<u64>,
+    orch_deadline_secs: Option<u64>,
+    orch_child: bool,
     quiet: bool,
 }
 
@@ -74,7 +157,8 @@ const USAGE: &str = "usage: od-run <job.json|job.toml|directory> \
 [--checkpoint <path>] [--no-checkpoint] [--fresh] [--max-trials <n>] \
 [--progress] [--progress-every <n>] [--telemetry-out <path>] \
 [--metrics-out <path>] [--queue-worker] [--worker-id <id>] \
-[--lease-secs <n>] [--max-retries <n>] [--quiet]";
+[--lease-secs <n>] [--max-retries <n>] [--orchestrate <n>] \
+[--orch-ranges <n>] [--orch-deadline-secs <n>] [--orch-child] [--quiet]";
 
 fn parse_args() -> Result<Args, String> {
     let mut target = None;
@@ -90,6 +174,10 @@ fn parse_args() -> Result<Args, String> {
     let mut worker_id = None;
     let mut lease_secs = None;
     let mut max_retries = None;
+    let mut orchestrate = None;
+    let mut orch_ranges = None;
+    let mut orch_deadline_secs = None;
+    let mut orch_child = false;
     let mut quiet = false;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -148,6 +236,32 @@ fn parse_args() -> Result<Args, String> {
                 }
                 max_retries = Some(n);
             }
+            "--orchestrate" => {
+                let value = argv.next().ok_or("--orchestrate needs a worker count")?;
+                let n: u64 = value
+                    .parse()
+                    .map_err(|_| "--orchestrate needs a worker count")?;
+                if n == 0 {
+                    return Err("--orchestrate needs at least 1 worker".to_string());
+                }
+                orchestrate = Some(n);
+            }
+            "--orch-ranges" => {
+                let value = argv.next().ok_or("--orch-ranges needs a number")?;
+                let n: u64 = value.parse().map_err(|_| "--orch-ranges needs a number")?;
+                if n == 0 {
+                    return Err("--orch-ranges must be at least 1".to_string());
+                }
+                orch_ranges = Some(n);
+            }
+            "--orch-deadline-secs" => {
+                let value = argv.next().ok_or("--orch-deadline-secs needs a number")?;
+                let n: u64 = value
+                    .parse()
+                    .map_err(|_| "--orch-deadline-secs needs a number")?;
+                orch_deadline_secs = Some(n);
+            }
+            "--orch-child" => orch_child = true,
             "--quiet" | "-q" => quiet = true,
             other if other.starts_with('-') => {
                 return Err(format!("unknown option '{other}'\n{USAGE}"));
@@ -159,9 +273,27 @@ fn parse_args() -> Result<Args, String> {
             }
         }
     }
-    if !queue_worker && (worker_id.is_some() || lease_secs.is_some() || max_retries.is_some()) {
+    let modes =
+        usize::from(queue_worker) + usize::from(orchestrate.is_some()) + usize::from(orch_child);
+    if modes > 1 {
         return Err(format!(
-            "--worker-id/--lease-secs/--max-retries require --queue-worker\n{USAGE}"
+            "--queue-worker, --orchestrate, and --orch-child are mutually exclusive\n{USAGE}"
+        ));
+    }
+    if worker_id.is_some() && !(queue_worker || orch_child) {
+        return Err(format!(
+            "--worker-id requires --queue-worker or --orch-child\n{USAGE}"
+        ));
+    }
+    if (lease_secs.is_some() || max_retries.is_some()) && modes == 0 {
+        return Err(format!(
+            "--lease-secs/--max-retries require --queue-worker, --orchestrate, \
+             or --orch-child\n{USAGE}"
+        ));
+    }
+    if (orch_ranges.is_some() || orch_deadline_secs.is_some()) && orchestrate.is_none() {
+        return Err(format!(
+            "--orch-ranges/--orch-deadline-secs require --orchestrate\n{USAGE}"
         ));
     }
     Ok(Args {
@@ -178,6 +310,10 @@ fn parse_args() -> Result<Args, String> {
         worker_id,
         lease_secs,
         max_retries,
+        orchestrate,
+        orch_ranges,
+        orch_deadline_secs,
+        orch_child,
         quiet,
     })
 }
@@ -226,7 +362,7 @@ fn print_report(name: &str, report: &JobReport, quiet: bool) {
     print!("{}", report.summary.render());
 }
 
-fn run_single(args: &Args) -> Result<bool, RuntimeError> {
+fn run_single(args: &Args, cancel: &CancelToken) -> Result<bool, RuntimeError> {
     let mut spec: JobSpec = load_job_file(&args.target)?;
     let mut smoke_override = false;
     if let Some(trials) = args.max_trials {
@@ -270,6 +406,7 @@ fn run_single(args: &Args) -> Result<bool, RuntimeError> {
     }
     let options = RunOptions {
         checkpoint_path,
+        cancel: cancel.clone(),
         sink: build_sink(args)?,
         progress_every: args.progress_every,
         ..RunOptions::default()
@@ -289,7 +426,7 @@ enum QueueOutcome {
     Empty,
 }
 
-fn run_directory(args: &Args) -> Result<QueueOutcome, RuntimeError> {
+fn run_directory(args: &Args, cancel: &CancelToken) -> Result<QueueOutcome, RuntimeError> {
     // Queue jobs always use per-job sibling checkpoints: a single
     // --checkpoint path would be ambiguous across jobs, and skipping
     // persistence entirely would silently drop resumability — reject
@@ -321,6 +458,7 @@ fn run_directory(args: &Args) -> Result<QueueOutcome, RuntimeError> {
     }
     let options = RunOptions {
         checkpoint_path: None,
+        cancel: cancel.clone(),
         sink: build_sink(args)?,
         progress_every: args.progress_every,
         ..RunOptions::default()
@@ -367,7 +505,7 @@ enum WorkerOutcome {
     Empty,
 }
 
-fn run_worker(args: &Args) -> Result<WorkerOutcome, RuntimeError> {
+fn run_worker(args: &Args, cancel: &CancelToken) -> Result<WorkerOutcome, RuntimeError> {
     if args.checkpoint.is_some() || args.no_checkpoint {
         return Err(RuntimeError::Spec(
             "--checkpoint/--no-checkpoint do not apply to queue workers \
@@ -411,6 +549,7 @@ fn run_worker(args: &Args) -> Result<WorkerOutcome, RuntimeError> {
         lease_ms: args.lease_secs.unwrap_or(30).saturating_mul(1_000),
         max_retries: args.max_retries.unwrap_or(3),
         run: RunOptions {
+            cancel: cancel.clone(),
             sink: build_sink(args)?,
             progress_every: args.progress_every,
             ..RunOptions::default()
@@ -463,6 +602,138 @@ fn run_worker(args: &Args) -> Result<WorkerOutcome, RuntimeError> {
     })
 }
 
+/// What an orchestrated run amounted to, mapped like worker outcomes:
+/// quarantined ranges give exit 4, an interrupted supervisor exit 1.
+enum OrchOutcome {
+    Complete,
+    Quarantined,
+    Interrupted,
+}
+
+fn run_orchestrate(
+    args: &Args,
+    workers: u64,
+    cancel: &CancelToken,
+) -> Result<OrchOutcome, RuntimeError> {
+    if args.no_checkpoint || args.max_trials.is_some() {
+        return Err(RuntimeError::Spec(
+            "--no-checkpoint/--max-trials do not apply to --orchestrate \
+             (orchestration is built on per-range checkpoints)"
+                .to_string(),
+        ));
+    }
+    if args.metrics_out.is_some() {
+        return Err(RuntimeError::Spec(
+            "--metrics-out does not apply to --orchestrate \
+             (metrics are a single-process document)"
+                .to_string(),
+        ));
+    }
+    let checkpoint_path = args
+        .checkpoint
+        .clone()
+        .unwrap_or_else(|| default_checkpoint_path(&args.target));
+    if args.fresh {
+        match std::fs::remove_file(&checkpoint_path) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(RuntimeError::io("removing checkpoint", e)),
+        }
+        let dir = od_runtime::orch_dir(&args.target);
+        match std::fs::remove_dir_all(&dir) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(RuntimeError::io(&format!("removing {}", dir.display()), e)),
+        }
+    }
+    let options = OrchOptions {
+        workers,
+        ranges: args.orch_ranges,
+        lease_ms: args.lease_secs.unwrap_or(30).saturating_mul(1_000),
+        max_retries: args.max_retries.unwrap_or(3),
+        progress_deadline_ms: args.orch_deadline_secs.unwrap_or(30).saturating_mul(1_000),
+        run: RunOptions {
+            checkpoint_path: Some(checkpoint_path),
+            cancel: cancel.clone(),
+            sink: build_sink(args)?,
+            progress_every: args.progress_every,
+            ..RunOptions::default()
+        },
+        ..OrchOptions::default()
+    };
+    if !args.quiet {
+        println!(
+            "orchestrating {} across {} workers (lease {}s, max {} attempts per range)",
+            args.target.display(),
+            workers,
+            options.lease_ms / 1_000,
+            options.max_retries
+        );
+    }
+    let report = orchestrate(&args.target, &options)?;
+    if report.interrupted {
+        println!("orchestration interrupted before the range pool drained");
+        return Ok(OrchOutcome::Interrupted);
+    }
+    if !args.quiet {
+        println!(
+            "orchestration: {}/{} shards across {} ranges, {} quarantined, {} respawns",
+            report.completed_shards,
+            report.total_shards,
+            report.ranges,
+            report.quarantined_ranges,
+            report.respawns
+        );
+    }
+    println!("== orchestrated ==");
+    print!("{}", report.summary.render());
+    Ok(if report.quarantined_ranges > 0 {
+        OrchOutcome::Quarantined
+    } else {
+        OrchOutcome::Complete
+    })
+}
+
+fn run_orch_child_mode(args: &Args, cancel: &CancelToken) -> Result<ExitCode, RuntimeError> {
+    let options = WorkerOptions {
+        worker_id: args
+            .worker_id
+            .clone()
+            .unwrap_or_else(|| format!("worker-{}", std::process::id())),
+        lease_ms: args.lease_secs.unwrap_or(30).saturating_mul(1_000),
+        max_retries: args.max_retries.unwrap_or(3),
+        run: RunOptions {
+            cancel: cancel.clone(),
+            sink: build_sink(args)?,
+            progress_every: args.progress_every,
+            ..RunOptions::default()
+        },
+        ..WorkerOptions::default()
+    };
+    let report = run_orch_child(&args.target, &options)?;
+    if !args.quiet {
+        println!(
+            "orch child: executed {} range attempts, {}/{} done, {} quarantined{}",
+            report.executed,
+            report.done,
+            report.total,
+            report.quarantined,
+            if report.interrupted {
+                " (interrupted)"
+            } else {
+                ""
+            }
+        );
+    }
+    Ok(if report.quarantined > 0 {
+        ExitCode::from(4)
+    } else if report.interrupted || report.done < report.total {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(args) => args,
@@ -471,6 +742,8 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let cancel = CancelToken::new();
+    install_shutdown_watcher(&cancel);
     if args.queue_worker {
         if !args.target.is_dir() {
             eprintln!(
@@ -479,7 +752,7 @@ fn main() -> ExitCode {
             );
             return ExitCode::from(2);
         }
-        match run_worker(&args) {
+        match run_worker(&args, &cancel) {
             Ok(WorkerOutcome::Drained) => ExitCode::SUCCESS,
             Ok(WorkerOutcome::Incomplete) => ExitCode::FAILURE,
             Ok(WorkerOutcome::Empty) => ExitCode::from(3),
@@ -489,8 +762,40 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         }
+    } else if let Some(workers) = args.orchestrate {
+        if args.target.is_dir() {
+            eprintln!(
+                "od-run: --orchestrate needs a job file target, got directory {}",
+                args.target.display()
+            );
+            return ExitCode::from(2);
+        }
+        match run_orchestrate(&args, workers, &cancel) {
+            Ok(OrchOutcome::Complete) => ExitCode::SUCCESS,
+            Ok(OrchOutcome::Interrupted) => ExitCode::FAILURE,
+            Ok(OrchOutcome::Quarantined) => ExitCode::from(4),
+            Err(e) => {
+                eprintln!("od-run: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    } else if args.orch_child {
+        if args.target.is_dir() {
+            eprintln!(
+                "od-run: --orch-child needs a job file target, got directory {}",
+                args.target.display()
+            );
+            return ExitCode::from(2);
+        }
+        match run_orch_child_mode(&args, &cancel) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("od-run: {e}");
+                ExitCode::FAILURE
+            }
+        }
     } else if args.target.is_dir() {
-        match run_directory(&args) {
+        match run_directory(&args, &cancel) {
             Ok(QueueOutcome::AllOk) => ExitCode::SUCCESS,
             Ok(QueueOutcome::SomeFailed) => ExitCode::FAILURE,
             Ok(QueueOutcome::Empty) => ExitCode::from(3),
@@ -500,7 +805,7 @@ fn main() -> ExitCode {
             }
         }
     } else {
-        match run_single(&args) {
+        match run_single(&args, &cancel) {
             Ok(true) => ExitCode::SUCCESS,
             Ok(false) => ExitCode::FAILURE,
             Err(e) => {

@@ -157,6 +157,31 @@ fn kind_schema(kind: &str) -> Option<(Fields, Fields)> {
         )),
         "queue_done" => Some((&[("job", Ty::Str), ("worker", Ty::Str)], &[])),
         "checkpoint_corrupt" => Some((&[("path", Ty::Str), ("error", Ty::Str)], &[])),
+        "orch_start" => Some((
+            &[
+                ("job", Ty::Str),
+                ("spec", Ty::Str),
+                ("ranges", Ty::U64),
+                ("workers", Ty::U64),
+            ],
+            &[],
+        )),
+        "orch_spawn" => Some((&[("worker", Ty::Str), ("child", Ty::U64)], &[])),
+        "orch_exit" => Some((
+            &[("worker", Ty::Str), ("ok", Ty::Bool)],
+            // Signal deaths have no exit code.
+            &[("code", Ty::U64)],
+        )),
+        "orch_revoke" => Some((&[("range", Ty::Str), ("worker", Ty::Str)], &[])),
+        "orch_quarantine" => Some((
+            &[
+                ("range", Ty::Str),
+                ("attempts", Ty::U64),
+                ("error", Ty::Str),
+            ],
+            &[],
+        )),
+        "orch_merge" => Some((&[("ranges", Ty::U64), ("shards", Ty::U64)], &[])),
         "bench" => Some((
             &[
                 ("series", Ty::Str),

@@ -85,6 +85,13 @@ pub struct RunOptions {
     /// `telemetry.progress_every`; when neither is set the executor
     /// derives `max(1, shard_size / 4)`.
     pub progress_every: Option<u64>,
+    /// Restrict execution to the half-open shard range `[start, end)`
+    /// (global shard indices). Shards outside the range are neither run
+    /// nor required: the report covers the range only, and a checkpoint
+    /// holding just these shards is a *partial* checkpoint of the full
+    /// job — its shard entries merge byte-stably with sibling ranges
+    /// (the orchestrator's contract). `None` runs every shard.
+    pub shard_range: Option<(u64, u64)>,
 }
 
 impl Default for RunOptions {
@@ -94,6 +101,7 @@ impl Default for RunOptions {
             cancel: CancelToken::new(),
             sink: Arc::new(NullSink),
             progress_every: None,
+            shard_range: None,
         }
     }
 }
@@ -105,6 +113,7 @@ impl std::fmt::Debug for RunOptions {
             .field("cancel", &self.cancel)
             .field("sink_enabled", &self.sink.enabled())
             .field("progress_every", &self.progress_every)
+            .field("shard_range", &self.shard_range)
             .finish()
     }
 }
@@ -327,7 +336,18 @@ pub fn run_job_with_metrics(
     let resumed_shards = checkpoint.shards.len() as u64;
     phases.push(("checkpoint_load", phase_start.elapsed().as_micros() as u64));
 
-    let pending: Vec<u64> = (0..total_shards)
+    let (range_start, range_end) = match options.shard_range {
+        None => (0, total_shards),
+        Some((start, end)) => {
+            if start > end || end > total_shards {
+                return Err(RuntimeError::Spec(format!(
+                    "shard range [{start}, {end}) is not within the job's {total_shards} shards"
+                )));
+            }
+            (start, end)
+        }
+    };
+    let pending: Vec<u64> = (range_start..range_end)
         .filter(|index| !checkpoint.shards.contains_key(index))
         .collect();
 
@@ -1563,6 +1583,46 @@ mod tests {
         // near-consensus (Stopped), not strict consensus.
         assert_eq!(report.summary.stopped, 4);
         assert_eq!(report.summary.capped, 0);
+    }
+
+    #[test]
+    fn shard_range_restricts_execution_and_merges_byte_stably() {
+        let spec = base_spec(); // 12 trials in 3 shards of 4
+        let full = run_job_simple(&spec).unwrap();
+        let mut merged = ShardSummary::new();
+        for range in [(0u64, 1u64), (1, 3)] {
+            let options = RunOptions {
+                shard_range: Some(range),
+                ..RunOptions::default()
+            };
+            let report = run_job(&spec, &options).unwrap();
+            assert_eq!(report.completed_shards, range.1 - range.0);
+            assert!(!report.interrupted);
+            merged.merge(&report.summary);
+        }
+        assert_eq!(merged, full.summary);
+        assert_eq!(
+            merged.to_json().to_string_compact(),
+            full.summary.to_json().to_string_compact()
+        );
+        // An empty range runs nothing.
+        let options = RunOptions {
+            shard_range: Some((2, 2)),
+            ..RunOptions::default()
+        };
+        let report = run_job(&spec, &options).unwrap();
+        assert_eq!(report.summary.trials, 0);
+        // Out-of-bounds and inverted ranges are typed spec errors.
+        for bad in [(0u64, 4u64), (2, 1)] {
+            let options = RunOptions {
+                shard_range: Some(bad),
+                ..RunOptions::default()
+            };
+            assert!(matches!(
+                run_job(&spec, &options),
+                Err(RuntimeError::Spec(_))
+            ));
+        }
     }
 
     #[test]

@@ -26,7 +26,8 @@
 //!
 //! Sites wired in this crate: `checkpoint.persist`,
 //! `checkpoint.persist.rename`, `checkpoint.load`, `lease.claim`,
-//! `lease.renew`, `queue.scan`.
+//! `lease.renew`, `queue.scan`, `orch.spawn`, `orch.manifest.persist`,
+//! `orch.merge.load`.
 
 /// What an armed failpoint injects at a call site.
 #[derive(Debug)]

@@ -486,6 +486,33 @@ impl Lease {
     }
 }
 
+/// Forcibly removes the current lease on `job`, whoever holds it and
+/// whether or not it has expired, under the per-job mutex. Returns the
+/// displaced holder's worker id (`"unknown"` for a corrupt lease) or
+/// `None` when no lease existed.
+///
+/// This is the supervisor's straggler hammer: a child that holds a
+/// lease but makes no progress (stalled, SIGSTOPped) is evicted so a
+/// replacement can claim the range immediately instead of waiting out
+/// the expiry. The evicted holder discovers the loss at its next
+/// heartbeat renewal — [`Lease::renew`] refuses once the file is gone
+/// or rewritten — and cancels its run, exactly like an expired queue
+/// worker today.
+///
+/// # Errors
+///
+/// Returns I/O errors from reading or removing the lease file.
+pub fn revoke(job: &Path) -> Result<Option<String>, RuntimeError> {
+    let _guard = lock_job(job)?;
+    let holder = match read_lease(job)? {
+        LeaseState::Free => return Ok(None),
+        LeaseState::Held(info) => info.worker_id,
+        LeaseState::Corrupt => "unknown".to_string(),
+    };
+    displace(&lease_path(job))?;
+    Ok(Some(holder))
+}
+
 /// The retry counter of one job, persisted between attempts.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RetryState {
@@ -729,6 +756,41 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+        let _ = std::fs::remove_dir_all(job.parent().unwrap());
+    }
+
+    #[test]
+    fn revoke_evicts_the_unexpired_holder_who_then_cannot_renew() {
+        let job = temp_job("revoke");
+        let (_, clock) = manual(0);
+        let lease = match claim(&job, "w1", 60_000, 1, &clock).unwrap() {
+            ClaimOutcome::Claimed { lease, .. } => lease,
+            other => panic!("{other:?}"),
+        };
+        // The lease is nowhere near expiry; revoke evicts it anyway.
+        assert_eq!(revoke(&job).unwrap().as_deref(), Some("w1"));
+        assert_eq!(read_lease(&job).unwrap(), LeaseState::Free);
+        // The stalled original notices at its next renewal and must
+        // refuse — the queue-worker cancellation path.
+        assert!(matches!(lease.renew(), Err(RuntimeError::Lease { .. })));
+        // A replacement can claim immediately, no takeover involved.
+        assert!(matches!(
+            claim(&job, "w2", 60_000, 2, &clock).unwrap(),
+            ClaimOutcome::Claimed {
+                takeover_of: None,
+                ..
+            }
+        ));
+        let _ = std::fs::remove_dir_all(job.parent().unwrap());
+    }
+
+    #[test]
+    fn revoke_handles_free_and_corrupt_leases() {
+        let job = temp_job("revoke_edge");
+        assert_eq!(revoke(&job).unwrap(), None);
+        std::fs::write(lease_path(&job), "{ torn").unwrap();
+        assert_eq!(revoke(&job).unwrap().as_deref(), Some("unknown"));
+        assert_eq!(read_lease(&job).unwrap(), LeaseState::Free);
         let _ = std::fs::remove_dir_all(job.parent().unwrap());
     }
 

@@ -26,6 +26,11 @@
 //! * [`lease`] — the claim/lease protocol behind the worker: atomic
 //!   `O_EXCL`-style claims, renewal heartbeats, stale-lease takeover,
 //!   retry counters with deterministic backoff, poison-job quarantine.
+//! * [`orchestrator`] — fault-tolerant multi-process fan-out of one
+//!   job: a supervisor splits the shard range into leased sub-ranges,
+//!   keeps `N` child workers spawned, revokes stragglers past a
+//!   progress deadline, quarantines poison ranges, and merges range
+//!   checkpoints byte-identically to a single-process run.
 //! * [`faults`] — deterministic failpoints (`OD_FAILPOINTS`), compiled
 //!   to no-ops unless the `failpoints` cargo feature is on.
 //!
@@ -57,6 +62,7 @@ pub mod executor;
 pub mod faults;
 pub mod json;
 pub mod lease;
+pub mod orchestrator;
 pub mod queue;
 pub mod spec;
 pub mod summary;
@@ -70,6 +76,10 @@ pub use executor::{
 };
 pub use lease::{ManualClock, QueueClock, SystemClock};
 pub use od_graphs::WeightResolver;
+pub use orchestrator::{
+    orch_dir, orchestrate, run_orch_child, ChildReport, Manifest, OrchOptions, OrchReport,
+    RangePlan,
+};
 pub use queue::{
     default_checkpoint_path, load_job_file, run_queue, run_queue_worker, WorkerOptions,
     WorkerReport,

@@ -255,37 +255,44 @@ struct LeasedRun {
     lease_lost: bool,
 }
 
-/// Runs one claimed job with its sibling checkpoint, renewing the lease
-/// from a background heartbeat for as long as the job runs. A lost
-/// lease (takeover after a stall) cancels the job: the new owner runs
-/// it, resuming from the shared checkpoint.
-fn run_leased_job(path: &Path, job_lease: &Lease, options: &WorkerOptions) -> LeasedRun {
-    let spec = match load_job_file(path) {
-        Ok(spec) => spec,
-        Err(e) => {
-            return LeasedRun {
-                job_name: None,
-                spec_hash: None,
-                result: Err(e),
-                lease_lost: false,
-            }
-        }
-    };
+/// The outcome of [`run_under_lease`].
+pub(crate) struct LeasedOutcome {
+    /// The job run's result.
+    pub result: Result<JobReport, RuntimeError>,
+    /// The heartbeat observed the lease lost to another worker (taken
+    /// over after a stall, or revoked by a supervisor).
+    pub lease_lost: bool,
+}
+
+/// Runs `run_job(spec, run)` while renewing `job_lease` from a
+/// background heartbeat. A lost lease (takeover after a stall, or a
+/// supervisor revocation) cancels the job: the new owner runs it,
+/// resuming from the shared checkpoint. `run` must already carry the
+/// checkpoint path (and, for orchestrated ranges, the shard range);
+/// this function only swaps in the lease-scoped cancel token. Without a
+/// heartbeat the job watches the caller's token directly.
+pub(crate) fn run_under_lease(
+    spec: &JobSpec,
+    job_lease: &Lease,
+    lease_ms: u64,
+    heartbeat: bool,
+    run: &RunOptions,
+) -> LeasedOutcome {
     let job_cancel = CancelToken::new();
     let lost_flag = Arc::new(AtomicBool::new(false));
     let stop = Arc::new(AtomicBool::new(false));
-    let heartbeat = options.heartbeat.then(|| {
+    let heartbeat_thread = heartbeat.then(|| {
         let renewer = job_lease.clone();
         let stop = Arc::clone(&stop);
         let lost = Arc::clone(&lost_flag);
         let job_cancel = job_cancel.clone();
-        let outer_cancel = options.run.cancel.clone();
-        let sink = Arc::clone(&options.run.sink);
-        let job_str = path.display().to_string();
-        let worker = options.worker_id.clone();
+        let outer_cancel = run.cancel.clone();
+        let sink = Arc::clone(&run.sink);
+        let job_str = job_lease.job().display().to_string();
+        let worker = job_lease.worker_id().to_string();
         // Renew at a third of the lease: two renewals can fail or be
         // delayed before the lease actually expires.
-        let interval = Duration::from_millis((options.lease_ms / 3).max(10));
+        let interval = Duration::from_millis((lease_ms / 3).max(10));
         std::thread::spawn(move || {
             let slice = Duration::from_millis(25);
             let mut waited = Duration::ZERO;
@@ -325,27 +332,51 @@ fn run_leased_job(path: &Path, job_lease: &Lease, options: &WorkerOptions) -> Le
     });
     // With a heartbeat, the job watches its own token (the heartbeat
     // forwards worker-level cancellation); without one, it watches the
-    // worker's token directly.
-    let cancel = if options.heartbeat {
+    // caller's token directly.
+    let cancel = if heartbeat {
         job_cancel.clone()
     } else {
-        options.run.cancel.clone()
+        run.cancel.clone()
     };
     let job_options = RunOptions {
-        checkpoint_path: Some(default_checkpoint_path(path)),
         cancel,
-        ..options.run.clone()
+        ..run.clone()
     };
-    let result = run_job(&spec, &job_options);
+    let result = run_job(spec, &job_options);
     stop.store(true, Ordering::SeqCst);
-    if let Some(handle) = heartbeat {
+    if let Some(handle) = heartbeat_thread {
         let _ = handle.join();
     }
+    LeasedOutcome {
+        result,
+        lease_lost: lost_flag.load(Ordering::SeqCst),
+    }
+}
+
+/// Runs one claimed job with its sibling checkpoint under the worker's
+/// heartbeat (see [`run_under_lease`]).
+fn run_leased_job(path: &Path, job_lease: &Lease, options: &WorkerOptions) -> LeasedRun {
+    let spec = match load_job_file(path) {
+        Ok(spec) => spec,
+        Err(e) => {
+            return LeasedRun {
+                job_name: None,
+                spec_hash: None,
+                result: Err(e),
+                lease_lost: false,
+            }
+        }
+    };
+    let run = RunOptions {
+        checkpoint_path: Some(default_checkpoint_path(path)),
+        ..options.run.clone()
+    };
+    let outcome = run_under_lease(&spec, job_lease, options.lease_ms, options.heartbeat, &run);
     LeasedRun {
         job_name: Some(spec.name.clone()),
         spec_hash: Some(spec.content_hash()),
-        result,
-        lease_lost: lost_flag.load(Ordering::SeqCst),
+        result: outcome.result,
+        lease_lost: outcome.lease_lost,
     }
 }
 

@@ -177,3 +177,150 @@ fn queue_scan_error_propagates_with_directory_context() {
     );
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Single-process reference bytes for `job_path`, computed with an
+/// explicit checkpoint path so the job's default sibling stays free
+/// for the orchestrated run under test.
+fn reference_checkpoint(job_path: &std::path::Path, dir: &std::path::Path) -> Vec<u8> {
+    let reference = dir.join("reference.checkpoint.json");
+    let output = od_run("", &[&job_path, &"--checkpoint", &reference, &"--quiet"]);
+    assert!(output.status.success(), "{}", stderr_of(&output));
+    std::fs::read(&reference).unwrap()
+}
+
+#[test]
+fn orch_spawn_failure_is_absorbed_by_the_next_tick() {
+    let dir = temp_dir("orch_spawn");
+    let job_path = dir.join("job.json");
+    std::fs::write(&job_path, job("orch-spawn", 21)).unwrap();
+    let reference = reference_checkpoint(&job_path, &dir);
+    let output = od_run(
+        "orch.spawn=err:other@1",
+        &[&job_path, &"--orchestrate", &"1", &"--quiet"],
+    );
+    assert!(output.status.success(), "{}", stderr_of(&output));
+    assert_eq!(
+        std::fs::read(dir.join("job.json.checkpoint.json")).unwrap(),
+        reference
+    );
+    assert!(!dir.join("job.json.orch").exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn orch_manifest_persist_error_fails_then_a_rerun_recovers() {
+    let dir = temp_dir("orch_manifest");
+    let job_path = dir.join("job.json");
+    std::fs::write(&job_path, job("orch-manifest", 22)).unwrap();
+    let failed = od_run(
+        "orch.manifest.persist=err:other@1",
+        &[&job_path, &"--orchestrate", &"1", &"--quiet"],
+    );
+    assert_eq!(failed.status.code(), Some(1), "{}", stderr_of(&failed));
+    assert!(
+        stderr_of(&failed).contains("injected failpoint 'orch.manifest.persist'"),
+        "{}",
+        stderr_of(&failed)
+    );
+    let rerun = od_run("", &[&job_path, &"--orchestrate", &"1", &"--quiet"]);
+    assert!(rerun.status.success(), "{}", stderr_of(&rerun));
+    assert!(dir.join("job.json.checkpoint.json").exists());
+    assert!(!dir.join("job.json.orch").exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn orch_merge_load_error_keeps_the_control_plane_for_a_rerun() {
+    let dir = temp_dir("orch_merge");
+    let job_path = dir.join("job.json");
+    std::fs::write(&job_path, job("orch-merge", 23)).unwrap();
+    let reference = reference_checkpoint(&job_path, &dir);
+    let failed = od_run(
+        "orch.merge.load=err:other@1",
+        &[&job_path, &"--orchestrate", &"1", &"--quiet"],
+    );
+    assert_eq!(failed.status.code(), Some(1), "{}", stderr_of(&failed));
+    // The ranges were computed; only the merge failed. The control
+    // plane survives, so the rerun merges without recomputing.
+    let orch = dir.join("job.json.orch");
+    assert!(orch.exists(), "control plane discarded on merge failure");
+    let rerun = od_run("", &[&job_path, &"--orchestrate", &"1", &"--quiet"]);
+    assert!(rerun.status.success(), "{}", stderr_of(&rerun));
+    assert_eq!(
+        std::fs::read(dir.join("job.json.checkpoint.json")).unwrap(),
+        reference
+    );
+    assert!(!orch.exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A child that hard-crashes (process::abort during its 3rd shard
+/// save) is respawned and resumes from the range checkpoint; the
+/// merged result is still byte-identical. The supervisor inherits the
+/// armed failpoint too, but only ever saves one checkpoint (the
+/// merge), so `@3` can never fire in it.
+#[test]
+fn crashed_child_is_respawned_and_resumes_the_range() {
+    let dir = temp_dir("orch_respawn");
+    let job_path = dir.join("job.json");
+    std::fs::write(&job_path, job("orch-respawn", 24)).unwrap();
+    let reference = reference_checkpoint(&job_path, &dir);
+    let output = od_run(
+        "checkpoint.persist=abort@3",
+        &[
+            &job_path,
+            &"--orchestrate",
+            &"1",
+            &"--orch-ranges",
+            &"1",
+            &"--max-retries",
+            &"2",
+        ],
+    );
+    assert!(output.status.success(), "{}", stderr_of(&output));
+    let stdout = stdout_of(&output);
+    assert!(stdout.contains("1 respawns"), "{stdout}");
+    assert!(stdout.contains("0 quarantined"), "{stdout}");
+    assert_eq!(
+        std::fs::read(dir.join("job.json.checkpoint.json")).unwrap(),
+        reference
+    );
+    assert!(!dir.join("job.json.orch").exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The same crash with a budget of one attempt quarantines the range:
+/// exit 4, the shards persisted before the crash still merge (partial
+/// progress), and the quarantine record names the dead worker.
+#[test]
+fn crashed_child_past_the_budget_quarantines_with_partial_progress() {
+    let dir = temp_dir("orch_quarantine");
+    let job_path = dir.join("job.json");
+    std::fs::write(&job_path, job("orch-poison", 25)).unwrap();
+    let output = od_run(
+        "checkpoint.persist=abort@3",
+        &[
+            &job_path,
+            &"--orchestrate",
+            &"1",
+            &"--orch-ranges",
+            &"1",
+            &"--max-retries",
+            &"1",
+            &"--quiet",
+        ],
+    );
+    assert_eq!(output.status.code(), Some(4), "{}", stderr_of(&output));
+    // Two of four shards were saved before the abort; the merged job
+    // checkpoint salvages exactly those.
+    let text = std::fs::read_to_string(dir.join("job.json.checkpoint.json")).unwrap();
+    assert!(text.contains("\"total_shards\": 4"), "{text}");
+    assert_eq!(text.matches("\"trials\"").count(), 2, "{text}");
+    let orch = dir.join("job.json.orch");
+    let record = std::fs::read_to_string(orch.join("range-0000.range.json.failed.json")).unwrap();
+    assert!(
+        record.contains("died while running shards [0, 4)"),
+        "{record}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

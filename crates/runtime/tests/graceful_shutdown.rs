@@ -1,0 +1,213 @@
+//! Graceful shutdown: SIGTERM and SIGINT turn into cooperative
+//! cancellation. A queue worker releases its lease and keeps its
+//! checkpoint; an orchestration supervisor forwards the stop to its
+//! children and leaves a resumable control plane with **no** lease
+//! sidecars behind. In both cases a rerun finishes the work with bytes
+//! identical to an undisturbed run.
+
+#![cfg(unix)]
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const OD_RUN: &str = env!("CARGO_BIN_EXE_od-run");
+
+/// Graph jobs: shards take real wall-clock time, so the signal lands
+/// mid-run instead of after everything finished.
+fn job(name: &str, seed: u64) -> String {
+    format!(
+        r#"{{
+  "name": "{name}",
+  "protocol": {{"name": "three-majority"}},
+  "initial": {{"kind": "balanced", "n": 16000, "k": 6}},
+  "trials": 8,
+  "master_seed": {seed},
+  "max_rounds": 100000,
+  "shard_size": 2,
+  "mode": "full",
+  "stop": {{"kind": "consensus"}},
+  "graph": {{"family": "random-regular", "d": 8, "assignment": "striped"}}
+}}"#
+    )
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("od_shutdown_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn files_with_suffix(dir: &Path, suffix: &str) -> Vec<PathBuf> {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut found: Vec<PathBuf> = entries
+        .map(|e| e.unwrap().path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.ends_with(suffix))
+        })
+        .collect();
+    found.sort();
+    found
+}
+
+fn wait_for(child: &mut Child, what: &str, mut cond: impl FnMut() -> bool) {
+    let start = Instant::now();
+    while !cond() {
+        assert!(
+            child.try_wait().unwrap().is_none(),
+            "process exited before {what}"
+        );
+        assert!(
+            start.elapsed() < Duration::from_secs(60),
+            "timed out waiting for {what}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn sigterm(child: &Child) {
+    let status = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .unwrap();
+    assert!(status.success(), "kill -TERM failed");
+}
+
+#[test]
+fn sigterm_queue_worker_releases_lease_and_keeps_checkpoint() {
+    let dir = temp_dir("worker");
+    for (name, seed) in [("a_job", 31), ("b_job", 32)] {
+        std::fs::write(dir.join(format!("{name}.json")), job(name, seed)).unwrap();
+    }
+    let mut worker = Command::new(OD_RUN)
+        .arg(&dir)
+        .args(["--queue-worker", "--worker-id", "w1", "--quiet"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    // The worker holds a lease and has checkpointed at least one shard
+    // when the signal arrives: a genuinely interrupted run.
+    wait_for(
+        &mut worker,
+        "a claimed lease with checkpointed work",
+        || {
+            !files_with_suffix(&dir, ".lease.json").is_empty()
+                && !files_with_suffix(&dir, ".checkpoint.json").is_empty()
+        },
+    );
+    sigterm(&worker);
+    let status = worker.wait().unwrap();
+    assert_eq!(
+        status.code(),
+        Some(1),
+        "an interrupted drain must exit 1, got {status}"
+    );
+    // The lease was released on the way out — no takeover wait for the
+    // next worker — and no temp files were left mid-write.
+    assert!(
+        files_with_suffix(&dir, ".lease.json").is_empty(),
+        "lease sidecar left behind"
+    );
+    assert!(files_with_suffix(&dir, ".tmp").is_empty());
+    assert!(!files_with_suffix(&dir, ".checkpoint.json").is_empty());
+
+    // A rerun picks the checkpoint up immediately (no lease in the
+    // way) and produces the same bytes as an undisturbed drain.
+    let status = Command::new(OD_RUN)
+        .arg(&dir)
+        .args(["--queue-worker", "--worker-id", "w2", "--quiet"])
+        .stdout(Stdio::null())
+        .status()
+        .unwrap();
+    assert!(status.success(), "rerun failed: {status}");
+
+    let undisturbed = temp_dir("worker_reference");
+    for (name, seed) in [("a_job", 31), ("b_job", 32)] {
+        std::fs::write(undisturbed.join(format!("{name}.json")), job(name, seed)).unwrap();
+    }
+    let status = Command::new(OD_RUN)
+        .arg(&undisturbed)
+        .args(["--queue-worker", "--worker-id", "ref", "--quiet"])
+        .stdout(Stdio::null())
+        .status()
+        .unwrap();
+    assert!(status.success());
+    for file in ["a_job.json.done.json", "b_job.json.done.json"] {
+        assert_eq!(
+            std::fs::read(dir.join(file)).unwrap(),
+            std::fs::read(undisturbed.join(file)).unwrap(),
+            "{file} diverged from the undisturbed run"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&undisturbed);
+}
+
+#[test]
+fn sigterm_supervisor_stops_children_and_leaves_a_resumable_plane() {
+    let dir = temp_dir("supervisor");
+    let job_path = dir.join("job.json");
+    std::fs::write(&job_path, job("orch_term", 33)).unwrap();
+    let orch = dir.join("job.json.orch");
+
+    let mut supervisor = Command::new(OD_RUN)
+        .arg(&job_path)
+        .args(["--orchestrate", "2", "--quiet"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    wait_for(&mut supervisor, "children holding range leases", || {
+        !files_with_suffix(&orch, ".lease.json").is_empty()
+    });
+    sigterm(&supervisor);
+    let status = supervisor.wait().unwrap();
+    assert_eq!(
+        status.code(),
+        Some(1),
+        "interrupted orchestration: {status}"
+    );
+
+    // Children were told to stop and released their leases before the
+    // supervisor returned; the manifest stays for the resume.
+    assert!(
+        files_with_suffix(&orch, ".lease.json").is_empty(),
+        "range lease left behind after SIGTERM"
+    );
+    assert!(files_with_suffix(&orch, ".tmp").is_empty());
+    assert!(orch.join("manifest.json").exists());
+
+    // Resuming finishes the job with the reference bytes.
+    let status = Command::new(OD_RUN)
+        .arg(&job_path)
+        .args(["--orchestrate", "2", "--quiet"])
+        .stdout(Stdio::null())
+        .status()
+        .unwrap();
+    assert!(status.success(), "resume failed: {status}");
+    assert!(!orch.exists());
+
+    let reference_dir = temp_dir("supervisor_reference");
+    let reference_job = reference_dir.join("job.json");
+    std::fs::write(&reference_job, job("orch_term", 33)).unwrap();
+    let status = Command::new(OD_RUN)
+        .arg(&reference_job)
+        .arg("--quiet")
+        .stdout(Stdio::null())
+        .status()
+        .unwrap();
+    assert!(status.success());
+    assert_eq!(
+        std::fs::read(dir.join("job.json.checkpoint.json")).unwrap(),
+        std::fs::read(reference_dir.join("job.json.checkpoint.json")).unwrap(),
+        "resumed orchestration diverged from the single-process run"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&reference_dir);
+}

@@ -1,0 +1,144 @@
+//! Property test for the orchestrator's core invariant: merging
+//! shard-range checkpoints is byte-stable under **any** range
+//! partition and **any** merge order. The job runs once; the proptest
+//! then re-partitions its shards at arbitrary boundaries (as if each
+//! range had been killed and completed by a different worker), saves
+//! each partition as a range checkpoint, merges them back in a
+//! shuffled order, and asserts both the merged checkpoint file and the
+//! folded summary are byte-identical to the single-process originals.
+
+use od_runtime::{run_job, Checkpoint, InitialSpec, JobSpec, Manifest, RunOptions, ShardSummary};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("od_orch_merge_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+const SHARDS: u64 = 12;
+
+/// The reference run: one process, one checkpoint, computed once for
+/// all proptest cases.
+fn reference() -> &'static (Checkpoint, Vec<u8>, String) {
+    static REFERENCE: OnceLock<(Checkpoint, Vec<u8>, String)> = OnceLock::new();
+    REFERENCE.get_or_init(|| {
+        let spec = JobSpec {
+            shard_size: 2,
+            ..JobSpec::new(
+                "merge invariance",
+                "three-majority",
+                InitialSpec::Balanced { n: 300, k: 4 },
+                SHARDS * 2,
+                777,
+            )
+        };
+        assert_eq!(spec.shard_count(), SHARDS);
+        let dir = temp_dir("reference");
+        let path = dir.join("reference.checkpoint.json");
+        let report = run_job(
+            &spec,
+            &RunOptions {
+                checkpoint_path: Some(path.clone()),
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let checkpoint = Checkpoint::load(&path).unwrap().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+        (
+            checkpoint,
+            bytes,
+            report.summary.to_json().to_string_compact(),
+        )
+    })
+}
+
+/// Cuts `[0, SHARDS)` at the boundary set selected by `cut_mask`
+/// (bit i set → a range boundary after shard i), yielding the
+/// contiguous partition a manifest with those boundaries would plan.
+fn partition(cut_mask: u32) -> Vec<(u64, u64)> {
+    let mut ranges = Vec::new();
+    let mut start = 0u64;
+    for shard in 0..SHARDS {
+        let cut = shard + 1 == SHARDS || cut_mask & (1 << shard) != 0;
+        if cut {
+            ranges.push((start, shard + 1));
+            start = shard + 1;
+        }
+    }
+    ranges
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn merge_is_invariant_to_partition_and_order(
+        cut_mask in 0u32..(1 << (SHARDS - 1)),
+        order_seed in 0u64..1_000_000_000,
+    ) {
+        let (full, reference_bytes, reference_summary) = reference();
+        let ranges = partition(cut_mask);
+        // Sanity: the partition really tiles — the same invariant the
+        // manifest loader enforces on disk.
+        let manifest = Manifest {
+            spec_hash: full.spec_hash.clone(),
+            total_shards: SHARDS,
+            ranges: ranges
+                .iter()
+                .enumerate()
+                .map(|(i, &(start, end))| od_runtime::RangePlan {
+                    index: i as u64,
+                    start,
+                    end,
+                })
+                .collect(),
+        };
+        prop_assert!(manifest.tiles());
+
+        // Write each range's shards as its own checkpoint file — what a
+        // worker that ran exactly that range leaves behind.
+        let dir = temp_dir(&format!("case_{cut_mask}_{order_seed}"));
+        let mut range_files = Vec::new();
+        for (i, &(start, end)) in ranges.iter().enumerate() {
+            let mut piece = Checkpoint::new(full.spec_hash.clone(), SHARDS);
+            for shard in start..end {
+                piece.record(shard, full.shards[&shard].clone());
+            }
+            let path = dir.join(format!("range-{i}.checkpoint.json"));
+            piece.save(&path).unwrap();
+            range_files.push(path);
+        }
+
+        // Merge in a seed-derived order (a takeover can complete ranges
+        // in any order), then fold the summary the way the supervisor
+        // does.
+        let mut state = order_seed;
+        for i in (1..range_files.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            range_files.swap(i, (state >> 33) as usize % (i + 1));
+        }
+        let mut merged = Checkpoint::new(full.spec_hash.clone(), SHARDS);
+        for path in &range_files {
+            let piece = Checkpoint::load(path).unwrap().unwrap();
+            for (shard, summary) in &piece.shards {
+                merged.record(*shard, summary.clone());
+            }
+        }
+        let merged_path = dir.join("merged.checkpoint.json");
+        merged.save(&merged_path).unwrap();
+        prop_assert_eq!(&std::fs::read(&merged_path).unwrap(), reference_bytes);
+
+        let mut summary = ShardSummary::new();
+        for shard in merged.shards.values() {
+            summary.merge(shard);
+        }
+        prop_assert_eq!(summary.to_json().to_string_compact(), reference_summary.as_str());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

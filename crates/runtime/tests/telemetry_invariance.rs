@@ -248,3 +248,101 @@ fn event_stream_matches_golden_schema() {
     );
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Normalizes supervisor telemetry: volatile envelope fields, the
+/// child pid, the pid inside generated worker ids, and the temp-dir
+/// prefix of the job path — leaving schema and deterministic content.
+fn normalize_orch(line: &str) -> String {
+    let mut value = od_runtime::json::parse(line).unwrap();
+    if let od_runtime::json::Json::Obj(map) = &mut value {
+        for volatile in ["t_ms", "elapsed_us"] {
+            if map.contains_key(volatile) {
+                map.insert(volatile.to_string(), od_runtime::json::Json::Int(0));
+            }
+        }
+        if map.contains_key("child") {
+            map.insert("child".to_string(), od_runtime::json::Json::Int(0));
+        }
+        if let Some(od_runtime::json::Json::Str(worker)) = map.get("worker") {
+            // orch-<pid>-w<seq> → orch-0-w<seq>
+            if let Some(rest) = worker.strip_prefix("orch-") {
+                if let Some((_, seq)) = rest.split_once('-') {
+                    let fixed = format!("orch-0-{seq}");
+                    map.insert("worker".to_string(), od_runtime::json::Json::Str(fixed));
+                }
+            }
+        }
+        if let Some(od_runtime::json::Json::Str(job)) = map.get("job") {
+            let name = std::path::Path::new(job)
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or(job)
+                .to_string();
+            map.insert("job".to_string(), od_runtime::json::Json::Str(name));
+        }
+    }
+    value.to_string_compact()
+}
+
+/// The golden supervisor event stream of an orchestrated run: exactly
+/// `orch_start`, `orch_spawn`, `orch_exit` (clean, code 0), and
+/// `orch_merge`, with pinned fields. One worker and a fixed range
+/// count make the sequence deterministic. Regenerate with
+/// `OD_UPDATE_GOLDEN=1 cargo test -p od-runtime --test telemetry_invariance`.
+#[test]
+fn orchestrated_event_stream_matches_golden_schema() {
+    let dir = temp_dir("orch_golden");
+    let spec = JobSpec {
+        shard_size: 2,
+        ..JobSpec::new(
+            "orch golden",
+            "three-majority",
+            InitialSpec::Balanced { n: 300, k: 4 },
+            8,
+            2025,
+        )
+    };
+    let job_path = dir.join("job.json");
+    std::fs::write(&job_path, spec.to_json().to_string_pretty()).unwrap();
+    let events_path = dir.join("events.jsonl");
+    let sink = Arc::new(JsonlSink::create(&events_path).unwrap());
+    let report = od_runtime::orchestrate(
+        &job_path,
+        &od_runtime::OrchOptions {
+            workers: 1,
+            ranges: Some(2),
+            // The test binary is not od-run; children must exec the
+            // real CLI.
+            program: Some(PathBuf::from(env!("CARGO_BIN_EXE_od-run"))),
+            run: RunOptions {
+                sink: sink.clone(),
+                ..RunOptions::default()
+            },
+            ..od_runtime::OrchOptions::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(report.completed_shards, 4);
+    assert_eq!(report.quarantined_ranges, 0);
+    sink.flush();
+    let actual: Vec<String> = std::fs::read_to_string(&events_path)
+        .unwrap()
+        .lines()
+        .map(normalize_orch)
+        .collect();
+    let golden_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden/telemetry_orch_events.golden");
+    if std::env::var_os("OD_UPDATE_GOLDEN").is_some() {
+        std::fs::write(&golden_path, format!("{}\n", actual.join("\n"))).unwrap();
+    }
+    let golden: Vec<String> = std::fs::read_to_string(&golden_path)
+        .expect("golden file present (set OD_UPDATE_GOLDEN=1 to create it)")
+        .lines()
+        .map(str::to_string)
+        .collect();
+    assert_eq!(
+        actual, golden,
+        "orchestration event schema drifted; if intended, regenerate with OD_UPDATE_GOLDEN=1"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

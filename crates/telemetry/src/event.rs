@@ -169,6 +169,62 @@ pub enum Event<'a> {
         /// Why it failed to parse.
         error: &'a str,
     },
+    /// An orchestrated run started: the supervisor split the job into
+    /// shard ranges and is about to spawn its workers.
+    OrchStart {
+        /// The job file.
+        job: &'a str,
+        /// The spec content hash (checkpoint key).
+        spec: &'a str,
+        /// Number of shard ranges the job was split into.
+        ranges: u64,
+        /// Number of child worker processes the supervisor runs.
+        workers: u64,
+    },
+    /// The supervisor spawned (or respawned) a child worker process.
+    OrchSpawn {
+        /// The child worker's id.
+        worker: &'a str,
+        /// The child's OS process id.
+        child: u64,
+    },
+    /// A child worker process exited and was reaped by the supervisor.
+    OrchExit {
+        /// The child worker's id.
+        worker: &'a str,
+        /// True when the child exited with status 0.
+        ok: bool,
+        /// The exit code, when the child exited normally (absent for
+        /// signal deaths).
+        code: Option<u64>,
+    },
+    /// The supervisor revoked a stalled range's lease: the holder made
+    /// no checkpoint progress within the deadline, so the range goes
+    /// back to the pool and the late original cancels at its next renew.
+    OrchRevoke {
+        /// The range control file.
+        range: &'a str,
+        /// The worker whose lease was revoked.
+        worker: &'a str,
+    },
+    /// A shard range exhausted its respawn/retry budget and was
+    /// quarantined; the orchestrated run degrades to partial progress.
+    OrchQuarantine {
+        /// The range control file.
+        range: &'a str,
+        /// Attempts consumed.
+        attempts: u64,
+        /// The final failure message.
+        error: &'a str,
+    },
+    /// The supervisor merged the per-range checkpoints into the job
+    /// checkpoint and summary.
+    OrchMerge {
+        /// Ranges whose checkpoints contributed shards.
+        ranges: u64,
+        /// Total shards in the merged checkpoint.
+        shards: u64,
+    },
     /// One measured benchmark case (the bench harness emits the same
     /// envelope and schema as runtime jobs).
     Bench {
@@ -203,6 +259,12 @@ impl Event<'_> {
             Event::QueueQuarantine { .. } => "queue_quarantine",
             Event::QueueDone { .. } => "queue_done",
             Event::CheckpointCorrupt { .. } => "checkpoint_corrupt",
+            Event::OrchStart { .. } => "orch_start",
+            Event::OrchSpawn { .. } => "orch_spawn",
+            Event::OrchExit { .. } => "orch_exit",
+            Event::OrchRevoke { .. } => "orch_revoke",
+            Event::OrchQuarantine { .. } => "orch_quarantine",
+            Event::OrchMerge { .. } => "orch_merge",
             Event::Bench { .. } => "bench",
         }
     }
@@ -381,6 +443,45 @@ impl Event<'_> {
                 field_str(out, "path", path);
                 field_str(out, "error", error);
             }
+            Event::OrchStart {
+                job,
+                spec,
+                ranges,
+                workers,
+            } => {
+                field_str(out, "job", job);
+                field_str(out, "spec", spec);
+                field_u64(out, "ranges", *ranges);
+                field_u64(out, "workers", *workers);
+            }
+            Event::OrchSpawn { worker, child } => {
+                field_str(out, "worker", worker);
+                field_u64(out, "child", *child);
+            }
+            Event::OrchExit { worker, ok, code } => {
+                field_str(out, "worker", worker);
+                field_bool(out, "ok", *ok);
+                if let Some(code) = code {
+                    field_u64(out, "code", *code);
+                }
+            }
+            Event::OrchRevoke { range, worker } => {
+                field_str(out, "range", range);
+                field_str(out, "worker", worker);
+            }
+            Event::OrchQuarantine {
+                range,
+                attempts,
+                error,
+            } => {
+                field_str(out, "range", range);
+                field_u64(out, "attempts", *attempts);
+                field_str(out, "error", error);
+            }
+            Event::OrchMerge { ranges, shards } => {
+                field_u64(out, "ranges", *ranges);
+                field_u64(out, "shards", *shards);
+            }
             Event::Bench {
                 series,
                 mean_ns,
@@ -539,6 +640,64 @@ mod tests {
         }
         .encode(3, 8);
         assert!(corrupt.contains("\"kind\":\"checkpoint_corrupt\""));
+    }
+
+    #[test]
+    fn orch_events_encode_their_fields() {
+        let start = Event::OrchStart {
+            job: "q/job.json",
+            spec: "abc123",
+            ranges: 4,
+            workers: 2,
+        }
+        .encode(0, 5);
+        assert_eq!(
+            start,
+            "{\"seq\":0,\"t_ms\":5,\"kind\":\"orch_start\",\"job\":\"q/job.json\",\
+             \"spec\":\"abc123\",\"ranges\":4,\"workers\":2}"
+        );
+        let spawn = Event::OrchSpawn {
+            worker: "orch-1",
+            child: 4242,
+        }
+        .encode(1, 6);
+        assert!(spawn.contains("\"kind\":\"orch_spawn\"") && spawn.contains("\"child\":4242"));
+        let signal_death = Event::OrchExit {
+            worker: "orch-1",
+            ok: false,
+            code: None,
+        }
+        .encode(2, 7);
+        assert!(signal_death.contains("\"ok\":false") && !signal_death.contains("\"code\""));
+        let clean = Event::OrchExit {
+            worker: "orch-1",
+            ok: true,
+            code: Some(0),
+        }
+        .encode(3, 8);
+        assert!(clean.contains("\"ok\":true") && clean.contains("\"code\":0"));
+        let revoke = Event::OrchRevoke {
+            range: "q/job.json.orch/range-0001.range.json",
+            worker: "orch-2",
+        }
+        .encode(4, 9);
+        assert!(revoke.contains("\"kind\":\"orch_revoke\""));
+        let quarantine = Event::OrchQuarantine {
+            range: "q/job.json.orch/range-0001.range.json",
+            attempts: 3,
+            error: "boom",
+        }
+        .encode(5, 10);
+        assert!(
+            quarantine.contains("\"kind\":\"orch_quarantine\"")
+                && quarantine.contains("\"attempts\":3")
+        );
+        let merge = Event::OrchMerge {
+            ranges: 4,
+            shards: 16,
+        }
+        .encode(6, 11);
+        assert!(merge.contains("\"kind\":\"orch_merge\"") && merge.contains("\"shards\":16"));
     }
 
     #[test]
