@@ -182,6 +182,28 @@ fn kind_schema(kind: &str) -> Option<(Fields, Fields)> {
             &[],
         )),
         "orch_merge" => Some((&[("ranges", Ty::U64), ("shards", Ty::U64)], &[])),
+        "queue_stale_done" => Some((
+            &[
+                ("job", Ty::Str),
+                ("recorded", Ty::Str),
+                ("current", Ty::Str),
+            ],
+            &[],
+        )),
+        "serve_start" => Some((
+            &[("addr", Ty::Str), ("queue", Ty::Str), ("workers", Ty::U64)],
+            &[],
+        )),
+        "serve_request" => Some((
+            &[("method", Ty::Str), ("path", Ty::Str), ("status", Ty::U64)],
+            &[],
+        )),
+        "serve_job" => Some((
+            &[("job", Ty::Str), ("spec", Ty::Str), ("deduped", Ty::Bool)],
+            &[],
+        )),
+        "serve_result" => Some((&[("spec", Ty::Str), ("hit", Ty::Bool)], &[])),
+        "serve_stop" => Some((&[("requests", Ty::U64)], &[])),
         "bench" => Some((
             &[
                 ("series", Ty::Str),

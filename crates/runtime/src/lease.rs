@@ -644,6 +644,70 @@ pub fn write_done(job: &Path, spec_hash: &str, summary: &Json) -> Result<(), Run
     publish(&done_path(job), &obj.to_string_pretty(), &tmp)
 }
 
+/// The parsed contents of a `<job>.done.json` completion marker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DoneMarker {
+    /// The content hash of the spec the summary was computed from. A
+    /// marker only certifies completion of *that* spec: if the job file
+    /// has since been edited or replaced, the marker is stale and the
+    /// job must re-run (see `queue::run_queue_worker`).
+    pub spec_hash: String,
+    /// The final merged summary.
+    pub summary: Json,
+}
+
+impl DoneMarker {
+    /// Loads the completion marker, `None` when the job has no marker.
+    /// An unparseable marker (external interference; writes are atomic)
+    /// is reported as a marker with an empty `spec_hash`, which can
+    /// never match a real content hash — callers treat it as stale.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors other than the file being absent.
+    pub fn load(job: &Path) -> Result<Option<Self>, RuntimeError> {
+        let path = done_path(job);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(io_at(&path, "reading", e)),
+        };
+        let parsed = json::parse(&text).ok().and_then(|v| {
+            Some(Self {
+                spec_hash: v.get("spec_hash")?.as_str()?.to_string(),
+                summary: v.get("summary")?.clone(),
+            })
+        });
+        Ok(Some(parsed.unwrap_or(Self {
+            spec_hash: String::new(),
+            summary: Json::Null,
+        })))
+    }
+}
+
+/// Withdraws a stale completion marker under the per-job mutex: the
+/// marker is removed only while it still records `recorded_hash`, so a
+/// fresh marker written concurrently (a peer finished re-running the
+/// edited job) is never deleted. Returns whether a marker was removed.
+///
+/// # Errors
+///
+/// Returns I/O errors from reading or removing the marker.
+pub fn withdraw_done(job: &Path, recorded_hash: &str) -> Result<bool, RuntimeError> {
+    let _guard = lock_job(job)?;
+    match DoneMarker::load(job)? {
+        Some(marker) if marker.spec_hash == recorded_hash => {
+            let path = done_path(job);
+            match std::fs::remove_file(&path) {
+                Ok(()) => Ok(true),
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(false),
+                Err(e) => Err(io_at(&path, "withdrawing", e)),
+            }
+        }
+        _ => Ok(false),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -844,6 +908,38 @@ mod tests {
         let first = std::fs::read(done_path(&job)).unwrap();
         write_done(&job, "hash1", &summary).unwrap();
         assert_eq!(std::fs::read(done_path(&job)).unwrap(), first);
+        let _ = std::fs::remove_dir_all(job.parent().unwrap());
+    }
+
+    #[test]
+    fn done_marker_roundtrips_and_flags_corruption() {
+        let job = temp_job("done_load");
+        assert_eq!(DoneMarker::load(&job).unwrap(), None);
+        let mut summary = Json::object();
+        summary.insert("trials", Json::Int(4));
+        write_done(&job, "hash1", &summary).unwrap();
+        let marker = DoneMarker::load(&job).unwrap().expect("marker");
+        assert_eq!(marker.spec_hash, "hash1");
+        assert_eq!(marker.summary, summary);
+        // A torn marker (external interference) parses to the
+        // never-matching empty hash instead of vanishing.
+        std::fs::write(done_path(&job), "{ torn").unwrap();
+        let torn = DoneMarker::load(&job).unwrap().expect("marker");
+        assert_eq!(torn.spec_hash, "");
+        let _ = std::fs::remove_dir_all(job.parent().unwrap());
+    }
+
+    #[test]
+    fn withdraw_done_removes_only_the_recorded_hash() {
+        let job = temp_job("withdraw");
+        assert!(!withdraw_done(&job, "stale").unwrap()); // no marker: no-op
+        write_done(&job, "stale", &Json::object()).unwrap();
+        // A mismatched expectation keeps the marker (a peer re-ran the
+        // edited job and wrote a fresh one in between).
+        assert!(!withdraw_done(&job, "other").unwrap());
+        assert!(done_path(&job).exists());
+        assert!(withdraw_done(&job, "stale").unwrap());
+        assert!(!done_path(&job).exists());
         let _ = std::fs::remove_dir_all(job.parent().unwrap());
     }
 }

@@ -11,6 +11,7 @@
 //!   number of workers (concurrent processes or sequential restarts)
 //!   drain one directory exactly once.
 
+use crate::checkpoint::Checkpoint;
 use crate::error::RuntimeError;
 use crate::executor::{run_job, CancelToken, JobReport, RunOptions};
 use crate::faults::{self, Injected};
@@ -87,7 +88,10 @@ const SIDECAR_SUFFIXES: [&str; 5] = [
 ///
 /// Returns I/O errors from reading the directory — including an
 /// unreadable individual entry, which names the directory rather than
-/// silently dropping the job.
+/// silently dropping the job — and [`RuntimeError::NonUtf8QueueEntry`]
+/// for an entry whose file name is not UTF-8 (job/sidecar classification
+/// is defined over UTF-8 names, so such an entry can be neither run nor
+/// safely skipped).
 pub fn queue_files(dir: &Path) -> Result<Vec<PathBuf>, RuntimeError> {
     if let Injected::Error(e) = faults::fire("queue.scan") {
         return Err(RuntimeError::io(&format!("reading {}", dir.display()), e));
@@ -99,7 +103,9 @@ pub fn queue_files(dir: &Path) -> Result<Vec<PathBuf>, RuntimeError> {
         let entry = entry
             .map_err(|e| RuntimeError::io(&format!("reading an entry of {}", dir.display()), e))?;
         let path = entry.path();
-        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            return Err(RuntimeError::NonUtf8QueueEntry { entry: path });
+        };
         if SIDECAR_SUFFIXES.iter().any(|s| name.ends_with(s)) {
             continue;
         }
@@ -124,7 +130,11 @@ pub fn queue_files(dir: &Path) -> Result<Vec<PathBuf>, RuntimeError> {
 /// Returns I/O errors from listing the directory, and a spec error when
 /// `options.checkpoint_path` is set — one checkpoint file cannot serve
 /// several jobs, so per-job sibling checkpoints are not overridable
-/// (per-job errors are captured in the returned entries).
+/// (per-job errors are captured in the returned entries). A directory
+/// carrying queue-v2 sidecars (lease/done/failed/attempts markers) is
+/// refused with [`RuntimeError::MixedQueueModes`]: the plain drain has
+/// no claim protocol and would re-run jobs the worker protocol already
+/// completed or quarantined.
 pub fn run_queue(dir: &Path, options: &RunOptions) -> Result<Vec<QueueEntry>, RuntimeError> {
     if options.checkpoint_path.is_some() {
         return Err(RuntimeError::Spec(
@@ -133,8 +143,24 @@ pub fn run_queue(dir: &Path, options: &RunOptions) -> Result<Vec<QueueEntry>, Ru
                 .to_string(),
         ));
     }
+    let files = queue_files(dir)?;
+    for path in &files {
+        for sidecar in [
+            lease::lease_path(path),
+            lease::done_path(path),
+            lease::quarantine_path(path),
+            lease::attempts_path(path),
+        ] {
+            if sidecar.exists() {
+                return Err(RuntimeError::MixedQueueModes {
+                    job: path.clone(),
+                    sidecar,
+                });
+            }
+        }
+    }
     let mut entries = Vec::new();
-    for path in queue_files(dir)? {
+    for path in files {
         if options.cancel.is_cancelled() {
             break;
         }
@@ -380,6 +406,91 @@ fn run_leased_job(path: &Path, job_lease: &Lease, options: &WorkerOptions) -> Le
     }
 }
 
+/// How a job's `<job>.done.json` marker relates to the job file's
+/// current content.
+enum DoneState {
+    /// No marker: the job has not completed.
+    Absent,
+    /// The marker's recorded `spec_hash` matches the job file's current
+    /// content hash: the job is complete.
+    Current,
+    /// The marker records a different (or unreadable) hash: the job
+    /// file was edited or replaced after completion, so the recorded
+    /// result describes a spec that no longer exists.
+    Stale {
+        /// The hash the marker recorded (empty when unreadable).
+        recorded: String,
+    },
+}
+
+/// Classifies a job's done marker against the job file's current
+/// content hash. An unloadable job file can match no recorded hash, so
+/// its marker is stale: the job re-runs, and the re-run surfaces the
+/// real load error through the normal retry/quarantine path.
+fn done_state(path: &Path) -> Result<DoneState, RuntimeError> {
+    let Some(marker) = lease::DoneMarker::load(path)? else {
+        return Ok(DoneState::Absent);
+    };
+    let current = load_job_file(path)
+        .map(|spec| spec.content_hash())
+        .unwrap_or_default();
+    if !marker.spec_hash.is_empty() && marker.spec_hash == current {
+        Ok(DoneState::Current)
+    } else {
+        Ok(DoneState::Stale {
+            recorded: marker.spec_hash,
+        })
+    }
+}
+
+/// Withdraws a stale done marker (recorded hash `recorded`) so the job
+/// re-runs against its current content. Called with the job's lease
+/// held, which serializes it against every other marker writer.
+///
+/// The stale sibling checkpoint (keyed to the old spec) is removed
+/// *before* the marker: a crash between the two steps then leaves a
+/// stale marker that is withdrawn again on the next pass, whereas the
+/// opposite order would leave a markerless job whose stale checkpoint
+/// fails every re-run with [`RuntimeError::CheckpointMismatch`] until
+/// quarantine. Retry state from the job's previous life is cleared so
+/// the re-run starts at attempt 1.
+fn withdraw_stale_done(
+    path: &Path,
+    recorded: &str,
+    options: &WorkerOptions,
+) -> Result<(), RuntimeError> {
+    let ckpt = default_checkpoint_path(path);
+    if let Ok(Some(cp)) = Checkpoint::load(&ckpt) {
+        if cp.spec_hash == recorded {
+            if let Err(e) = std::fs::remove_file(&ckpt) {
+                if e.kind() != std::io::ErrorKind::NotFound {
+                    return Err(RuntimeError::io(
+                        &format!("removing stale checkpoint {}", ckpt.display()),
+                        e,
+                    ));
+                }
+            }
+        }
+    }
+    if !lease::withdraw_done(path, recorded)? {
+        return Ok(()); // a peer already withdrew or replaced it
+    }
+    RetryState::clear(path)?;
+    let sink = &options.run.sink;
+    if sink.enabled() {
+        let job_str = path.display().to_string();
+        let current = load_job_file(path)
+            .map(|spec| spec.content_hash())
+            .unwrap_or_default();
+        sink.emit(&Event::QueueStaleDone {
+            job: &job_str,
+            recorded,
+            current: &current,
+        });
+    }
+    Ok(())
+}
+
 /// Drains a directory queue as a crash-safe worker: claims each job
 /// through the lease protocol, runs it with its sibling checkpoint,
 /// records completion in `<job>.done.json`, retries failures with
@@ -391,7 +502,10 @@ fn run_leased_job(path: &Path, job_lease: &Lease, options: &WorkerOptions) -> Le
 /// Safe to run concurrently with any number of workers on one
 /// directory: the lease protocol guarantees a job is executed by at
 /// most one worker at a time, and the done markers guarantee each job
-/// completes exactly once.
+/// completes exactly once. A marker is only honored while its recorded
+/// `spec_hash` matches the job file's current content hash — editing or
+/// replacing a completed job file withdraws the stale marker (and the
+/// stale sibling checkpoint) and the job re-runs as its new content.
 ///
 /// # Errors
 ///
@@ -423,7 +537,12 @@ pub fn run_queue_worker(dir: &Path, options: &WorkerOptions) -> Result<WorkerRep
                 interrupted = true;
                 break 'drain;
             }
-            if lease::done_path(path).exists() || lease::quarantine_path(path).exists() {
+            // A job whose marker is stale (file edited after it
+            // completed) is *not* skipped: it falls through to the
+            // claim, and the marker is withdrawn under the lease.
+            if matches!(done_state(path)?, DoneState::Current)
+                || lease::quarantine_path(path).exists()
+            {
                 continue;
             }
             let retry = RetryState::load(path)?;
@@ -456,10 +575,27 @@ pub fn run_queue_worker(dir: &Path, options: &WorkerOptions) -> Result<WorkerRep
                 }
             };
             claimed_any = true;
-            // A peer may have finished the job between scan and claim.
-            if lease::done_path(path).exists() {
-                job_lease.release()?;
-                continue;
+            // A peer may have finished the job between scan and claim;
+            // re-check under the claim. A current marker is honored, a
+            // stale one (the job file changed after that completion) is
+            // withdrawn here — the lease is held, so the withdrawal is
+            // serialized against every other writer — and the job runs.
+            match done_state(path) {
+                Ok(DoneState::Absent) => {}
+                Ok(DoneState::Current) => {
+                    job_lease.release()?;
+                    continue;
+                }
+                Ok(DoneState::Stale { recorded }) => {
+                    if let Err(e) = withdraw_stale_done(path, &recorded, options) {
+                        job_lease.release()?;
+                        return Err(e);
+                    }
+                }
+                Err(e) => {
+                    job_lease.release()?;
+                    return Err(e);
+                }
             }
             let job_str = path.display().to_string();
             if sink.enabled() {
@@ -597,14 +733,18 @@ pub fn run_queue_worker(dir: &Path, options: &WorkerOptions) -> Result<WorkerRep
         }
     }
     let files = queue_files(dir)?;
-    let done = files
-        .iter()
-        .filter(|p| lease::done_path(p).exists())
-        .count() as u64;
-    let quarantined = files
-        .iter()
-        .filter(|p| lease::quarantine_path(p).exists())
-        .count() as u64;
+    let mut done = 0u64;
+    let mut quarantined = 0u64;
+    for path in &files {
+        // A stale marker is not a completion: the recorded result does
+        // not describe the job file as it stands at exit.
+        if matches!(done_state(path)?, DoneState::Current) {
+            done += 1;
+        }
+        if lease::quarantine_path(path).exists() {
+            quarantined += 1;
+        }
+    }
     Ok(WorkerReport {
         entries,
         done,
@@ -619,7 +759,9 @@ pub fn run_queue_worker(dir: &Path, options: &WorkerOptions) -> Result<WorkerRep
 /// expire) or a backoff deadline is still in the future.
 fn lease_progress_possible(files: &[PathBuf], options: &WorkerOptions) -> bool {
     files.iter().any(|path| {
-        if lease::done_path(path).exists() || lease::quarantine_path(path).exists() {
+        if matches!(done_state(path), Ok(DoneState::Current))
+            || lease::quarantine_path(path).exists()
+        {
             return false;
         }
         if let Ok(lease::LeaseState::Held(info)) = lease::read_lease(path) {
@@ -881,13 +1023,11 @@ counts = [150, 50]
         let dir = temp_dir("worker_peers");
         std::fs::write(dir.join("a.json"), small_job("a", 1)).unwrap();
         std::fs::write(dir.join("b.json"), small_job("b", 2)).unwrap();
-        // a: already completed by a peer.
-        lease::write_done(
-            &dir.join("a.json"),
-            "peerhash",
-            &crate::json::Json::object(),
-        )
-        .unwrap();
+        // a: already completed by a peer. The marker must record a's
+        // real content hash — a fabricated hash is (correctly) treated
+        // as stale and the job would re-run.
+        let a_hash = load_job_file(&dir.join("a.json")).unwrap().content_hash();
+        lease::write_done(&dir.join("a.json"), &a_hash, &crate::json::Json::object()).unwrap();
         let done_bytes = std::fs::read(lease::done_path(&dir.join("a.json"))).unwrap();
         let report = run_queue_worker(&dir, &worker_options("w2")).unwrap();
         assert_eq!(report.done, 2);
@@ -911,6 +1051,105 @@ counts = [150, 50]
         assert!(report.interrupted);
         assert_eq!(report.done, 0);
         assert!(!lease::lease_path(&dir.join("a.json")).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn edited_done_job_is_rerun_and_its_marker_rewritten() {
+        let dir = temp_dir("stale_done");
+        let job = dir.join("job.json");
+        std::fs::write(&job, small_job("mut", 3)).unwrap();
+        run_queue_worker(&dir, &worker_options("w1")).unwrap();
+        let old_marker = std::fs::read_to_string(lease::done_path(&job)).unwrap();
+        let old_hash = load_job_file(&job).unwrap().content_hash();
+
+        // Edit the completed job: its recorded result no longer
+        // describes the file's content.
+        let edited = small_job("mut", 3).replace("\"trials\": 6", "\"trials\": 10");
+        assert_ne!(edited, small_job("mut", 3), "edit must change the spec");
+        std::fs::write(&job, &edited).unwrap();
+        let new_hash = load_job_file(&job).unwrap().content_hash();
+        assert_ne!(old_hash, new_hash);
+
+        let sink = Arc::new(od_telemetry::MemorySink::new());
+        let mut options = worker_options("w2");
+        options.run.sink = sink.clone();
+        let report = run_queue_worker(&dir, &options).unwrap();
+        assert_eq!(report.entries.len(), 1, "the edited job must re-run");
+        assert_eq!(
+            report.entries[0].result.as_ref().unwrap().summary.trials,
+            10
+        );
+        assert_eq!((report.done, report.total), (1, 1));
+
+        let marker = std::fs::read_to_string(lease::done_path(&job)).unwrap();
+        assert_ne!(marker, old_marker, "marker must be rewritten");
+        let marker = crate::json::parse(&marker).unwrap();
+        assert_eq!(
+            marker.get("spec_hash").and_then(crate::json::Json::as_str),
+            Some(new_hash.as_str())
+        );
+        assert_eq!(
+            marker
+                .get("summary")
+                .and_then(|s| s.get("trials"))
+                .and_then(crate::json::Json::as_u64),
+            Some(10)
+        );
+        // The checkpoint now belongs to the edited spec, and the
+        // withdrawal was reported on the telemetry bus.
+        let cp = Checkpoint::load(&default_checkpoint_path(&job))
+            .unwrap()
+            .expect("checkpoint for the re-run");
+        assert_eq!(cp.spec_hash, new_hash);
+        let lines = sink.lines().join("\n");
+        assert!(lines.contains("\"kind\":\"queue_stale_done\""), "{lines}");
+        assert!(lines.contains(&old_hash), "{lines}");
+
+        // A third drain has nothing left to do.
+        let idle = run_queue_worker(&dir, &worker_options("w3")).unwrap();
+        assert!(idle.entries.is_empty());
+        assert_eq!(idle.done, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn run_queue_refuses_worker_managed_directories() {
+        let dir = temp_dir("mixed_modes");
+        let job = dir.join("job.json");
+        std::fs::write(&job, small_job("mixed", 4)).unwrap();
+        lease::write_done(&job, "somehash", &crate::json::Json::object()).unwrap();
+        let err = run_queue(&dir, &RunOptions::default()).unwrap_err();
+        match &err {
+            RuntimeError::MixedQueueModes { job: j, sidecar } => {
+                assert!(j.ends_with("job.json"));
+                assert!(sidecar.ends_with("job.json.done.json"));
+            }
+            other => panic!("expected MixedQueueModes, got {other:?}"),
+        }
+        assert!(err.to_string().contains("--queue-worker"), "{err}");
+        // The worker drain still accepts the directory (and honors the
+        // marker only after validating its hash — "somehash" is stale,
+        // so the job re-runs once).
+        let report = run_queue_worker(&dir, &worker_options("w1")).unwrap();
+        assert_eq!(report.done, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn queue_files_names_non_utf8_entries_in_a_typed_error() {
+        use std::os::unix::ffi::OsStrExt;
+        let dir = temp_dir("non_utf8");
+        std::fs::write(dir.join("good.json"), small_job("good", 1)).unwrap();
+        let bad = std::ffi::OsStr::from_bytes(b"bad\xff.json");
+        std::fs::write(dir.join(bad), "{}").unwrap();
+        let err = queue_files(&dir).unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::NonUtf8QueueEntry { .. }),
+            "got {err:?}"
+        );
+        assert!(err.to_string().contains("non-UTF-8"), "{err}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

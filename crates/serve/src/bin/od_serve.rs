@@ -1,0 +1,185 @@
+//! `od-serve` — run the persistent HTTP job service over a queue
+//! directory.
+//!
+//! ```text
+//! od-serve --queue-dir <dir> [options]
+//!
+//! Options:
+//!   --queue-dir <dir>      the queue directory (created if absent; required)
+//!   --addr <host:port>     listen address (default 127.0.0.1:8080; port 0
+//!                          binds an ephemeral port, printed on startup)
+//!   --workers <n>          embedded queue workers (default 1; 0 serves a
+//!                          queue drained by external od-run --queue-worker
+//!                          processes)
+//!   --lease-secs <n>       worker lease duration (default 30)
+//!   --max-retries <n>      attempts before quarantine (default 3)
+//!   --telemetry-out <p>    append serve_* lifecycle events to a JSONL file
+//!   --help                 this text
+//! ```
+//!
+//! The service prints `od-serve listening on <addr>` once bound, then
+//! runs until SIGINT/SIGTERM, which shuts it down gracefully: the
+//! embedded workers release their leases (completed shards stay
+//! checkpointed) and `serve_stop` is emitted with the request count.
+//!
+//! Exit codes: 0 clean shutdown, 1 startup or runtime failure, 2 usage
+//! error.
+
+use od_serve::{ServeOptions, Server};
+use od_telemetry::{JsonlSink, NullSink, TelemetrySink};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+/// SIGINT/SIGTERM turn into cooperative shutdown, same contract as
+/// `od-run`: the handler flips an atomic flag; the main loop polls it.
+#[cfg(unix)]
+mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_signum: i32) {
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    /// Installs the flag-setting handler for SIGINT and SIGTERM.
+    pub fn install() {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+
+    /// True once either signal arrived.
+    pub fn requested() -> bool {
+        SHUTDOWN.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod signals {
+    pub fn install() {}
+    pub fn requested() -> bool {
+        false
+    }
+}
+
+const USAGE: &str = "usage: od-serve --queue-dir <dir> [--addr <host:port>] \
+[--workers <n>] [--lease-secs <n>] [--max-retries <n>] \
+[--telemetry-out <path>]";
+
+struct Args {
+    queue_dir: PathBuf,
+    addr: String,
+    workers: usize,
+    lease_secs: Option<u64>,
+    max_retries: Option<u64>,
+    telemetry_out: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut queue_dir = None;
+    let mut addr = "127.0.0.1:8080".to_string();
+    let mut workers = 1usize;
+    let mut lease_secs = None;
+    let mut max_retries = None;
+    let mut telemetry_out = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            "--queue-dir" => {
+                let value = argv.next().ok_or("--queue-dir needs a path")?;
+                queue_dir = Some(PathBuf::from(value));
+            }
+            "--addr" => {
+                addr = argv.next().ok_or("--addr needs host:port")?;
+            }
+            "--workers" => {
+                let value = argv.next().ok_or("--workers needs a number")?;
+                workers = value.parse().map_err(|_| "--workers needs a number")?;
+            }
+            "--lease-secs" => {
+                let value = argv.next().ok_or("--lease-secs needs a number")?;
+                lease_secs = Some(value.parse().map_err(|_| "--lease-secs needs a number")?);
+            }
+            "--max-retries" => {
+                let value = argv.next().ok_or("--max-retries needs a number")?;
+                max_retries = Some(value.parse().map_err(|_| "--max-retries needs a number")?);
+            }
+            "--telemetry-out" => {
+                let value = argv.next().ok_or("--telemetry-out needs a path")?;
+                telemetry_out = Some(PathBuf::from(value));
+            }
+            other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
+        }
+    }
+    Ok(Args {
+        queue_dir: queue_dir.ok_or(format!("--queue-dir is required\n{USAGE}"))?,
+        addr,
+        workers,
+        lease_secs,
+        max_retries,
+        telemetry_out,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+    let sink: Arc<dyn TelemetrySink> = match &args.telemetry_out {
+        Some(path) => match JsonlSink::create(path) {
+            Ok(sink) => Arc::new(sink),
+            Err(e) => {
+                eprintln!("od-serve: creating {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Arc::new(NullSink),
+    };
+    let mut options = ServeOptions {
+        queue_dir: args.queue_dir,
+        addr: args.addr,
+        workers: args.workers,
+        sink,
+        ..ServeOptions::default()
+    };
+    if let Some(secs) = args.lease_secs {
+        options.worker.lease_ms = secs.saturating_mul(1000).max(1);
+    }
+    if let Some(n) = args.max_retries {
+        options.worker.max_retries = n.max(1);
+    }
+    let server = match Server::start(options) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("od-serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The line test harnesses and operators key on: the bound address
+    // (meaningful with --addr ...:0).
+    println!("od-serve listening on {}", server.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    signals::install();
+    while !signals::requested() && !server.is_cancelled() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    let requests = server.requests();
+    server.shutdown();
+    eprintln!("od-serve: shut down after {requests} requests");
+    ExitCode::SUCCESS
+}

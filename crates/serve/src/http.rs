@@ -1,0 +1,151 @@
+//! A minimal HTTP/1.1 slice: exactly the surface the job service needs,
+//! hand-rolled on `std` (the build environment is offline, so no HTTP
+//! crate — the same constraint that put `rayon` under `crates/vendor/`).
+//!
+//! Supported: request line + headers + `Content-Length` bodies on the
+//! request side; fixed-length `Connection: close` responses on the
+//! response side. Not supported (and not needed): chunked encoding,
+//! keep-alive, TLS, trailers.
+
+use std::io::{BufRead, Write};
+
+/// The largest request body the service accepts (a job spec is a few
+/// kilobytes; a megabyte is generous).
+pub const MAX_BODY_BYTES: u64 = 1 << 20;
+
+/// One parsed request.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Request {
+    /// The method verb, as sent (`GET`, `POST`, ...).
+    pub method: String,
+    /// The request target path, query string included.
+    pub path: String,
+    /// The request body (empty without a `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+fn invalid(message: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, message)
+}
+
+/// Reads one request from `reader`.
+///
+/// # Errors
+///
+/// Returns `InvalidData` for a malformed request line, header, or
+/// oversized body, and propagates transport I/O errors.
+pub fn read_request<R: BufRead>(reader: &mut R) -> std::io::Result<Request> {
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut parts = line.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(method), Some(path), Some(version)) => (method, path, version),
+        _ => return Err(invalid("malformed request line")),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(invalid("unsupported HTTP version"));
+    }
+    let (method, path) = (method.to_string(), path.to_string());
+    let mut content_length: u64 = 0;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header)?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            return Err(invalid("malformed header"));
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| invalid("malformed Content-Length"))?;
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(invalid("request body too large"));
+    }
+    let mut body = vec![0u8; content_length as usize];
+    reader.read_exact(&mut body)?;
+    Ok(Request { method, path, body })
+}
+
+/// The standard reason phrase for the status codes the service emits.
+#[must_use]
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Writes one fixed-length `Connection: close` response.
+///
+/// # Errors
+///
+/// Propagates transport I/O errors.
+pub fn write_response<W: Write>(
+    writer: &mut W,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    write!(
+        writer,
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        body.len()
+    )?;
+    writer.write_all(body)?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_request_line_headers_and_body() {
+        let raw = b"POST /jobs HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbody";
+        let req = read_request(&mut Cursor::new(&raw[..])).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/jobs");
+        assert_eq!(req.body, b"body");
+    }
+
+    #[test]
+    fn get_without_body_parses() {
+        let raw = b"GET /jobs/job-abc HTTP/1.1\r\n\r\n";
+        let req = read_request(&mut Cursor::new(&raw[..])).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/jobs/job-abc");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_garbage_and_oversized_bodies() {
+        assert!(read_request(&mut Cursor::new(&b"not http\r\n\r\n"[..])).is_err());
+        let huge = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", 2 << 20);
+        assert!(read_request(&mut Cursor::new(huge.as_bytes())).is_err());
+        assert!(read_request(&mut Cursor::new(&b"GET / SPDY/3\r\n\r\n"[..])).is_err());
+    }
+
+    #[test]
+    fn response_has_length_and_close() {
+        let mut out = Vec::new();
+        write_response(&mut out, 404, "application/json", b"{}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 404 Not Found\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

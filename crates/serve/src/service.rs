@@ -1,0 +1,488 @@
+//! The service itself: a listener thread routing requests, plus
+//! embedded queue-worker threads draining the same directory, sharing
+//! one [`CancelToken`] for coordinated shutdown.
+
+use crate::http::{self, Request};
+use crate::{state, store};
+use od_runtime::json::{parse, Json};
+use od_runtime::queue::queue_files;
+use od_runtime::{run_queue_worker, CancelToken, JobSpec, RuntimeError, WorkerOptions};
+use od_telemetry::{Event, JsonlSink, NullSink, TelemetrySink};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A sink decorator that flushes after every event, so readers tailing
+/// the file (the `/jobs/<id>/events` endpoint, CI validators watching a
+/// live service) always see complete lines — [`JsonlSink`] alone
+/// buffers until drop.
+pub struct FlushSink {
+    inner: Arc<dyn TelemetrySink>,
+}
+
+impl FlushSink {
+    /// Wraps `inner`.
+    #[must_use]
+    pub fn new(inner: Arc<dyn TelemetrySink>) -> Self {
+        Self { inner }
+    }
+}
+
+impl TelemetrySink for FlushSink {
+    fn enabled(&self) -> bool {
+        self.inner.enabled()
+    }
+
+    fn emit(&self, event: &Event<'_>) -> u64 {
+        let seq = self.inner.emit(event);
+        self.inner.flush();
+        seq
+    }
+
+    fn flush(&self) {
+        self.inner.flush();
+    }
+}
+
+/// Configuration of one service instance.
+pub struct ServeOptions {
+    /// The queue directory jobs are submitted into (created if absent).
+    pub queue_dir: PathBuf,
+    /// The listen address; port 0 binds an ephemeral port (read the
+    /// bound address back from [`Server::addr`]).
+    pub addr: String,
+    /// Embedded in-process queue workers. Zero is valid: submissions
+    /// then wait for external `od-run --queue-worker` processes.
+    pub workers: usize,
+    /// Where `serve_*` lifecycle events go.
+    pub sink: Arc<dyn TelemetrySink>,
+    /// Template for the embedded workers (retry budget, lease length,
+    /// clock). Each worker gets its own id, telemetry bus, and the
+    /// service's shared cancel token; those fields are overwritten.
+    pub worker: WorkerOptions,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            queue_dir: PathBuf::from("queue"),
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            sink: Arc::new(NullSink),
+            worker: WorkerOptions {
+                poll_ms: 20,
+                ..WorkerOptions::default()
+            },
+        }
+    }
+}
+
+/// Shared request-handling context.
+struct Ctx {
+    queue: PathBuf,
+    sink: Arc<dyn TelemetrySink>,
+    requests: AtomicU64,
+}
+
+/// A running service: listener thread + embedded worker threads.
+/// [`Server::shutdown`] stops all of them and reports the request
+/// count; dropping without shutdown aborts the threads with the
+/// process, leaving queue state consistent (leases expire, checkpoints
+/// persist) — the same crash contract the queue workers already honor.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    cancel: CancelToken,
+    ctx: Arc<Ctx>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the listener, starts the embedded workers, and begins
+    /// serving.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors from creating the queue directory, binding
+    /// the address, or creating the per-worker telemetry buses.
+    pub fn start(options: ServeOptions) -> Result<Self, RuntimeError> {
+        let queue = options.queue_dir;
+        std::fs::create_dir_all(&queue)
+            .map_err(|e| RuntimeError::io(&format!("creating {}", queue.display()), e))?;
+        let listener = TcpListener::bind(options.addr.as_str())
+            .map_err(|e| RuntimeError::io(&format!("binding {}", options.addr), e))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| RuntimeError::io("configuring the listener", e))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| RuntimeError::io("reading the bound address", e))?;
+        let sink: Arc<dyn TelemetrySink> = Arc::new(FlushSink::new(options.sink));
+        if sink.enabled() {
+            sink.emit(&Event::ServeStart {
+                addr: &addr.to_string(),
+                queue: &queue.display().to_string(),
+                workers: options.workers as u64,
+            });
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let cancel = CancelToken::new();
+        let mut workers = Vec::new();
+        if options.workers > 0 {
+            let bus_dir = queue.join(".serve");
+            std::fs::create_dir_all(&bus_dir)
+                .map_err(|e| RuntimeError::io(&format!("creating {}", bus_dir.display()), e))?;
+            for i in 0..options.workers {
+                let bus = bus_dir.join(format!("worker-{i}.jsonl"));
+                let jsonl = JsonlSink::create(&bus)
+                    .map_err(|e| RuntimeError::io(&format!("creating {}", bus.display()), e))?;
+                let mut worker = options.worker.clone();
+                worker.worker_id = format!("serve-w{i}");
+                worker.run.sink = Arc::new(FlushSink::new(Arc::new(jsonl)));
+                worker.run.cancel = cancel.clone();
+                let dir = queue.clone();
+                workers.push(std::thread::spawn(move || worker_loop(&dir, &worker)));
+            }
+        }
+        let ctx = Arc::new(Ctx {
+            queue,
+            sink,
+            requests: AtomicU64::new(0),
+        });
+        let accept = {
+            let stop = Arc::clone(&stop);
+            let ctx = Arc::clone(&ctx);
+            std::thread::spawn(move || accept_loop(&listener, &stop, &ctx))
+        };
+        Ok(Self {
+            addr,
+            stop,
+            cancel,
+            ctx,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound listen address.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests answered so far.
+    #[must_use]
+    pub fn requests(&self) -> u64 {
+        self.ctx.requests.load(Ordering::SeqCst)
+    }
+
+    /// Stops accepting, cancels the embedded workers (leases released,
+    /// completed shards checkpointed), joins every thread, and emits
+    /// `serve_stop`.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.cancel.cancel();
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        if self.ctx.sink.enabled() {
+            self.ctx.sink.emit(&Event::ServeStop {
+                requests: self.ctx.requests.load(Ordering::SeqCst),
+            });
+        }
+        self.ctx.sink.flush();
+    }
+
+    /// True once the shared cancel token tripped (an embedded worker
+    /// saw cancellation, or [`CancelToken::cancel`] was called on a
+    /// clone handed out by [`Server::cancel_token`]).
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.is_cancelled()
+    }
+
+    /// The token shared with the embedded workers — wire external
+    /// shutdown (signals) into it.
+    #[must_use]
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+}
+
+/// One embedded worker: drain the queue, then poll for new submissions
+/// until cancelled. Infrastructure errors (a scan raced a submission's
+/// rename, transient FS trouble) back off and retry — the service stays
+/// up; job-level failures are already retried inside the drain.
+fn worker_loop(dir: &Path, options: &WorkerOptions) {
+    loop {
+        match run_queue_worker(dir, options) {
+            Ok(report) if report.interrupted => return,
+            Ok(_) => {}
+            Err(_) => std::thread::sleep(Duration::from_millis(200)),
+        }
+        if options.run.cancel.is_cancelled() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(options.poll_ms.max(1)));
+    }
+}
+
+fn accept_loop(listener: &TcpListener, stop: &AtomicBool, ctx: &Ctx) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = handle_connection(stream, ctx);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, ctx: &Ctx) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let (status, content_type, body) = match http::read_request(&mut reader) {
+        Ok(req) => {
+            let (status, content_type, body) = route(&req, ctx);
+            if ctx.sink.enabled() {
+                ctx.sink.emit(&Event::ServeRequest {
+                    method: &req.method,
+                    path: &req.path,
+                    status: u64::from(status),
+                });
+            }
+            (status, content_type, body)
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+            (400, "application/json", error_body(&e.to_string()))
+        }
+        Err(e) => return Err(e),
+    };
+    ctx.requests.fetch_add(1, Ordering::SeqCst);
+    http::write_response(&mut stream, status, content_type, &body)
+}
+
+fn error_body(message: &str) -> Vec<u8> {
+    let mut obj = Json::object();
+    obj.insert("error", Json::Str(message.to_string()));
+    doc_bytes(&obj)
+}
+
+/// Renders a response document (pretty JSON + trailing newline, so curl
+/// output is readable as-is).
+fn doc_bytes(doc: &Json) -> Vec<u8> {
+    let mut text = doc.to_string_pretty();
+    text.push('\n');
+    text.into_bytes()
+}
+
+type Reply = (u16, &'static str, Vec<u8>);
+
+fn route(req: &Request, ctx: &Ctx) -> Reply {
+    let path = req.path.split('?').next().unwrap_or("");
+    match (req.method.as_str(), path) {
+        ("POST", "/jobs") => post_job(req, ctx),
+        ("GET", "/jobs") => list_jobs(ctx),
+        ("GET", p) => {
+            if let Some(id) = p
+                .strip_prefix("/jobs/")
+                .and_then(|rest| rest.strip_suffix("/events"))
+            {
+                job_events(id, ctx)
+            } else if let Some(id) = p.strip_prefix("/jobs/") {
+                job_detail(id, ctx)
+            } else if let Some(hash) = p.strip_prefix("/results/") {
+                job_result(hash, ctx)
+            } else {
+                (404, "application/json", error_body("no such endpoint"))
+            }
+        }
+        _ => (
+            405,
+            "application/json",
+            error_body("method not supported here"),
+        ),
+    }
+}
+
+fn post_job(req: &Request, ctx: &Ctx) -> Reply {
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        return (400, "application/json", error_body("body is not UTF-8"));
+    };
+    let spec = match JobSpec::from_json_text(text) {
+        Ok(spec) => spec,
+        Err(e) => return (400, "application/json", error_body(&e.to_string())),
+    };
+    if let Err(e) = spec.validate() {
+        return (400, "application/json", error_body(&e.to_string()));
+    }
+    let hash = spec.content_hash();
+    let id = format!("job-{hash}");
+    let job = ctx.queue.join(format!("{id}.json"));
+    // Identical specs collapse onto one job file (the id *is* the
+    // content hash) or are already answered by the store; either way no
+    // second execution is provoked.
+    let deduped = job.exists() || store::lookup(&ctx.queue, &hash).is_some();
+    if !deduped {
+        // Publish atomically: the tmp name has no job extension, so a
+        // concurrent worker scan never claims a half-written file.
+        let tmp = ctx
+            .queue
+            .join(format!("{id}.submit-{}", std::process::id()));
+        let mut body = spec.to_json().to_string_pretty();
+        body.push('\n');
+        if let Err(e) = std::fs::write(&tmp, body).and_then(|()| std::fs::rename(&tmp, &job)) {
+            return (
+                500,
+                "application/json",
+                error_body(&format!("queueing the job: {e}")),
+            );
+        }
+    }
+    if ctx.sink.enabled() {
+        ctx.sink.emit(&Event::ServeJob {
+            job: &id,
+            spec: &hash,
+            deduped,
+        });
+    }
+    let mut doc = if job.exists() {
+        state::status_json(&job)
+    } else {
+        // Deduped against the store after the job file was pruned.
+        let mut doc = Json::object();
+        doc.insert("job", Json::Str(id));
+        doc.insert("spec_hash", Json::Str(hash));
+        doc.insert("status", Json::Str("done".to_string()));
+        doc
+    };
+    doc.insert("deduped", Json::Bool(deduped));
+    let status = if deduped { 200 } else { 201 };
+    (status, "application/json", doc_bytes(&doc))
+}
+
+fn list_jobs(ctx: &Ctx) -> Reply {
+    let files = match queue_files(&ctx.queue) {
+        Ok(files) => files,
+        Err(e) => return (500, "application/json", error_body(&e.to_string())),
+    };
+    let jobs = files.iter().map(|f| state::status_json(f)).collect();
+    let mut doc = Json::object();
+    doc.insert("jobs", Json::Arr(jobs));
+    (200, "application/json", doc_bytes(&doc))
+}
+
+fn job_detail(id: &str, ctx: &Ctx) -> Reply {
+    match state::job_path(&ctx.queue, id) {
+        Some(job) => (
+            200,
+            "application/json",
+            doc_bytes(&state::status_json(&job)),
+        ),
+        None => (
+            404,
+            "application/json",
+            error_body(&format!("no job '{id}' in the queue")),
+        ),
+    }
+}
+
+fn job_result(hash: &str, ctx: &Ctx) -> Reply {
+    let reply = match store::get_or_publish(&ctx.queue, hash) {
+        Ok(Some(bytes)) => (200, "application/json", bytes),
+        Ok(None) => (
+            404,
+            "application/json",
+            error_body(&format!("no result for spec {hash}")),
+        ),
+        Err(e) => (500, "application/json", error_body(&e.to_string())),
+    };
+    if ctx.sink.enabled() {
+        ctx.sink.emit(&Event::ServeResult {
+            spec: hash,
+            hit: reply.0 == 200,
+        });
+    }
+    reply
+}
+
+fn job_events(id: &str, ctx: &Ctx) -> Reply {
+    let Some(job) = state::job_path(&ctx.queue, id) else {
+        return (
+            404,
+            "application/json",
+            error_body(&format!("no job '{id}' in the queue")),
+        );
+    };
+    match events_for_job(&ctx.queue, &job) {
+        Ok(lines) => {
+            let mut body = lines.join("\n");
+            if !body.is_empty() {
+                body.push('\n');
+            }
+            (200, "application/x-ndjson", body.into_bytes())
+        }
+        Err(e) => (500, "application/json", error_body(&e.to_string())),
+    }
+}
+
+/// Collects the telemetry lines belonging to one job from the embedded
+/// workers' buses (`<queue>/.serve/worker-*.jsonl`). A worker thread
+/// emits events for exactly one job between claiming it and finishing
+/// it, so each bus decomposes into per-job windows delimited by
+/// `queue_claim` ... `queue_done`/`queue_release`/`queue_quarantine`
+/// lines naming the job; everything inside a window (per-shard
+/// progress, trials, retries) is the job's.
+fn events_for_job(queue: &Path, job: &Path) -> std::io::Result<Vec<String>> {
+    let bus_dir = queue.join(".serve");
+    let mut buses = Vec::new();
+    match std::fs::read_dir(&bus_dir) {
+        Ok(entries) => {
+            for entry in entries {
+                let path = entry?.path();
+                if path.extension().and_then(|e| e.to_str()) == Some("jsonl") {
+                    buses.push(path);
+                }
+            }
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    }
+    buses.sort();
+    let job_str = job.display().to_string();
+    let mut out = Vec::new();
+    for bus in buses {
+        let text = std::fs::read_to_string(&bus)?;
+        let mut in_window = false;
+        for line in text.lines() {
+            let Ok(value) = parse(line) else { continue };
+            let kind = value.get("kind").and_then(Json::as_str).unwrap_or("");
+            if kind == "queue_claim" {
+                in_window = value.get("job").and_then(Json::as_str) == Some(job_str.as_str());
+                if in_window {
+                    out.push(line.to_string());
+                }
+                continue;
+            }
+            if in_window {
+                out.push(line.to_string());
+                if matches!(kind, "queue_done" | "queue_release" | "queue_quarantine") {
+                    in_window = false;
+                }
+            }
+        }
+    }
+    Ok(out)
+}

@@ -1,0 +1,263 @@
+//! Job lifecycle, read straight from the queue's sidecar state.
+//!
+//! The service never keeps job state in memory: the lease / attempts /
+//! quarantine / done sidecars the queue workers maintain *are* the
+//! database, so a restarted service (or one pointed at a queue drained
+//! by external `od-run --queue-worker` processes) reports the same
+//! lifecycle an embedded worker would.
+
+use od_runtime::json::Json;
+use od_runtime::lease::{self, DoneMarker, LeaseState, Quarantine, QueueClock, RetryState};
+use od_runtime::{load_job_file, SystemClock};
+use std::path::{Path, PathBuf};
+
+/// The lifecycle states a queued job moves through.
+///
+/// Derived, in precedence order: `quarantined` (a `<job>.failed.json`
+/// record exists), `done` (the done marker's recorded `spec_hash`
+/// matches the job file's current content hash), `running` (a live,
+/// unexpired lease), `retrying` (failed attempts recorded, next attempt
+/// pending), else `queued`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Waiting for a worker to claim it.
+    Queued,
+    /// A worker holds a live lease.
+    Running {
+        /// The lease holder's worker id.
+        worker: String,
+        /// Which attempt this claim is (1-based).
+        attempt: u64,
+    },
+    /// Failed at least once; the next attempt waits out its backoff.
+    Retrying {
+        /// Failed attempts so far.
+        attempts: u64,
+        /// The last failure message.
+        last_error: String,
+    },
+    /// Completed: a done marker matching the job file's current content.
+    Done,
+    /// Exhausted its retry budget.
+    Quarantined {
+        /// Attempts consumed.
+        attempts: u64,
+        /// The final failure message.
+        error: String,
+    },
+}
+
+impl JobStatus {
+    /// The status's wire name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Queued => "queued",
+            Self::Running { .. } => "running",
+            Self::Retrying { .. } => "retrying",
+            Self::Done => "done",
+            Self::Quarantined { .. } => "quarantined",
+        }
+    }
+}
+
+/// Reads a job's lifecycle from its sidecars (see [`JobStatus`]).
+///
+/// # Errors
+///
+/// Returns sidecar I/O errors other than absence.
+pub fn job_status(job: &Path) -> Result<JobStatus, od_runtime::RuntimeError> {
+    if let Some(record) = Quarantine::load(job) {
+        return Ok(JobStatus::Quarantined {
+            attempts: record.attempts,
+            error: record.error,
+        });
+    }
+    if let Some(marker) = DoneMarker::load(job)? {
+        let current = load_job_file(job)
+            .map(|spec| spec.content_hash())
+            .unwrap_or_default();
+        if !marker.spec_hash.is_empty() && marker.spec_hash == current {
+            return Ok(JobStatus::Done);
+        }
+        // A stale marker is not a completion; the job re-runs, so it
+        // reports as queued/running like any other pending job.
+    }
+    if let LeaseState::Held(info) = lease::read_lease(job)? {
+        if info.expires_ms > SystemClock.now_ms() {
+            return Ok(JobStatus::Running {
+                worker: info.worker_id,
+                attempt: info.attempt,
+            });
+        }
+    }
+    if let Some(retry) = RetryState::load(job)? {
+        return Ok(JobStatus::Retrying {
+            attempts: retry.attempts,
+            last_error: retry.last_error,
+        });
+    }
+    Ok(JobStatus::Queued)
+}
+
+/// Renders one job's status document: `job` (the id), `status`, the
+/// current `spec_hash` when the file loads, and the status's own fields
+/// (`worker`/`attempt`, `attempts`/`last_error`, `attempts`/`error`,
+/// or `summary` for done jobs).
+#[must_use]
+pub fn status_json(job: &Path) -> Json {
+    let mut obj = Json::object();
+    obj.insert("job", Json::Str(job_id(job)));
+    if let Ok(spec) = load_job_file(job) {
+        obj.insert("spec_hash", Json::Str(spec.content_hash()));
+    }
+    let status = match job_status(job) {
+        Ok(status) => status,
+        Err(e) => {
+            obj.insert("status", Json::Str("error".to_string()));
+            obj.insert("error", Json::Str(e.to_string()));
+            return obj;
+        }
+    };
+    obj.insert("status", Json::Str(status.name().to_string()));
+    match status {
+        JobStatus::Running { worker, attempt } => {
+            obj.insert("worker", Json::Str(worker));
+            obj.insert("attempt", Json::Int(attempt as i64));
+        }
+        JobStatus::Retrying {
+            attempts,
+            last_error,
+        } => {
+            obj.insert("attempts", Json::Int(attempts as i64));
+            obj.insert("last_error", Json::Str(last_error));
+        }
+        JobStatus::Quarantined { attempts, error } => {
+            obj.insert("attempts", Json::Int(attempts as i64));
+            obj.insert("error", Json::Str(error));
+        }
+        JobStatus::Done => {
+            if let Ok(Some(marker)) = DoneMarker::load(job) {
+                obj.insert("summary", marker.summary);
+            }
+        }
+        JobStatus::Queued => {}
+    }
+    obj
+}
+
+/// A job file's service id: its file name without the `.json` / `.toml`
+/// extension (`q/job-abc123.json` → `job-abc123`).
+#[must_use]
+pub fn job_id(job: &Path) -> String {
+    job.file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or_default()
+        .to_string()
+}
+
+/// Resolves a service id back to its job file: `<queue>/<id>.json`,
+/// falling back to `<queue>/<id>.toml`. Ids with path separators or
+/// parent components are rejected (`None`) — the id namespace is flat.
+#[must_use]
+pub fn job_path(queue: &Path, id: &str) -> Option<PathBuf> {
+    if id.is_empty()
+        || !id
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+        || id.contains("..")
+    {
+        return None;
+    }
+    let json = queue.join(format!("{id}.json"));
+    if json.exists() {
+        return Some(json);
+    }
+    let toml = queue.join(format!("{id}.toml"));
+    toml.exists().then_some(toml)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("od_serve_state_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    const SPEC: &str = r#"{
+  "name": "s",
+  "protocol": {"name": "three-majority"},
+  "initial": {"kind": "balanced", "n": 200, "k": 4},
+  "trials": 2,
+  "master_seed": 1,
+  "max_rounds": 100000,
+  "shard_size": 2
+}"#;
+
+    #[test]
+    fn lifecycle_states_derive_from_sidecars() {
+        let dir = temp_dir("lifecycle");
+        let job = dir.join("job-x.json");
+        std::fs::write(&job, SPEC).unwrap();
+        assert_eq!(job_status(&job).unwrap(), JobStatus::Queued);
+
+        RetryState {
+            attempts: 2,
+            // Far future, but in-range for the marker's i64 encoding.
+            next_ms: i64::MAX as u64 / 2,
+            last_error: "boom".to_string(),
+        }
+        .save(&job)
+        .unwrap();
+        assert!(matches!(
+            job_status(&job).unwrap(),
+            JobStatus::Retrying { attempts: 2, .. }
+        ));
+        RetryState::clear(&job).unwrap();
+
+        let hash = load_job_file(&job).unwrap().content_hash();
+        lease::write_done(&job, &hash, &Json::object()).unwrap();
+        assert_eq!(job_status(&job).unwrap(), JobStatus::Done);
+        let rendered = status_json(&job);
+        assert_eq!(rendered.get("status").and_then(Json::as_str), Some("done"));
+        assert_eq!(
+            rendered.get("spec_hash").and_then(Json::as_str),
+            Some(hash.as_str())
+        );
+
+        // Editing the job file makes the marker stale: back to queued.
+        std::fs::write(&job, SPEC.replace("\"trials\": 2", "\"trials\": 4")).unwrap();
+        assert_eq!(job_status(&job).unwrap(), JobStatus::Queued);
+
+        Quarantine {
+            error: "poison".to_string(),
+            attempts: 3,
+            spec_hash: None,
+        }
+        .save(&job)
+        .unwrap();
+        assert!(matches!(
+            job_status(&job).unwrap(),
+            JobStatus::Quarantined { attempts: 3, .. }
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ids_resolve_flat_and_reject_traversal() {
+        let dir = temp_dir("ids");
+        std::fs::write(dir.join("job-a.json"), SPEC).unwrap();
+        assert_eq!(job_path(&dir, "job-a").unwrap(), dir.join("job-a.json"));
+        assert_eq!(job_id(&dir.join("job-a.json")), "job-a");
+        assert!(job_path(&dir, "missing").is_none());
+        assert!(job_path(&dir, "../etc/passwd").is_none());
+        assert!(job_path(&dir, "a/b").is_none());
+        assert!(job_path(&dir, "").is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

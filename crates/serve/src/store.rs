@@ -1,0 +1,192 @@
+//! The content-hash-keyed results store.
+//!
+//! `<queue>/.results/<spec_hash>.json` holds a byte-for-byte copy of a
+//! job's **validated** done marker (`{"spec_hash": ..., "summary":
+//! ...}`). The store is populated lazily on lookup: a result is copied
+//! out of the queue only when the marker's recorded hash matches both
+//! the requested hash and the job file's current content hash — the
+//! same validation the queue workers apply before honoring a marker —
+//! so the store can never capture a stale result. Once published, a
+//! result outlives its job file: identical specs are answered from the
+//! store without touching the queue.
+
+use od_runtime::lease::DoneMarker;
+use od_runtime::queue::queue_files;
+use od_runtime::{load_job_file, RuntimeError};
+use std::path::{Path, PathBuf};
+
+/// The store directory inside a queue (dot-prefixed, so the queue scan
+/// never mistakes stored results for job files).
+#[must_use]
+pub fn results_dir(queue: &Path) -> PathBuf {
+    queue.join(".results")
+}
+
+/// The stored result path for one spec hash.
+#[must_use]
+pub fn result_path(queue: &Path, spec_hash: &str) -> PathBuf {
+    results_dir(queue).join(format!("{spec_hash}.json"))
+}
+
+/// True for the hash alphabet [`od_runtime::spec::JobSpec::content_hash`]
+/// produces (lowercase hex); anything else can't name a stored result.
+#[must_use]
+pub fn valid_hash(spec_hash: &str) -> bool {
+    !spec_hash.is_empty()
+        && spec_hash.len() <= 32
+        && spec_hash
+            .bytes()
+            .all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase())
+}
+
+/// Reads a stored result verbatim, `None` when the store has no entry.
+#[must_use]
+pub fn lookup(queue: &Path, spec_hash: &str) -> Option<Vec<u8>> {
+    if !valid_hash(spec_hash) {
+        return None;
+    }
+    std::fs::read(result_path(queue, spec_hash)).ok()
+}
+
+/// Publishes `job`'s done marker into the store if — and only if — the
+/// marker is current: its recorded hash equals both `spec_hash` and the
+/// job file's content hash. Returns the published bytes, or `None` when
+/// the job has no honorable result for that hash.
+///
+/// # Errors
+///
+/// Returns I/O errors from reading the marker or writing the store.
+pub fn publish(queue: &Path, job: &Path, spec_hash: &str) -> Result<Option<Vec<u8>>, RuntimeError> {
+    let Some(marker) = DoneMarker::load(job)? else {
+        return Ok(None);
+    };
+    if marker.spec_hash.is_empty() || marker.spec_hash != spec_hash {
+        return Ok(None);
+    }
+    let current = load_job_file(job)
+        .map(|spec| spec.content_hash())
+        .unwrap_or_default();
+    if current != spec_hash {
+        return Ok(None); // stale marker: the job file moved on
+    }
+    let marker_path = od_runtime::lease::done_path(job);
+    let bytes = std::fs::read(&marker_path)
+        .map_err(|e| RuntimeError::io(&format!("reading {}", marker_path.display()), e))?;
+    let dir = results_dir(queue);
+    std::fs::create_dir_all(&dir)
+        .map_err(|e| RuntimeError::io(&format!("creating {}", dir.display()), e))?;
+    let dest = result_path(queue, spec_hash);
+    let tmp = dest.with_extension(format!("tmp.{}", std::process::id()));
+    std::fs::write(&tmp, &bytes)
+        .map_err(|e| RuntimeError::io(&format!("writing {}", tmp.display()), e))?;
+    std::fs::rename(&tmp, &dest)
+        .map_err(|e| RuntimeError::io(&format!("publishing {}", dest.display()), e))?;
+    Ok(Some(bytes))
+}
+
+/// Answers a result lookup: the store first, then every queue job with
+/// an honorable done marker for `spec_hash` (publishing it on the way
+/// out). `None` when no validated result exists anywhere.
+///
+/// # Errors
+///
+/// Returns queue-scan and store I/O errors.
+pub fn get_or_publish(queue: &Path, spec_hash: &str) -> Result<Option<Vec<u8>>, RuntimeError> {
+    if !valid_hash(spec_hash) {
+        return Ok(None);
+    }
+    if let Some(bytes) = lookup(queue, spec_hash) {
+        return Ok(Some(bytes));
+    }
+    // The canonical submission path names jobs job-<hash>, so try that
+    // file first and fall back to a full scan for hand-placed jobs.
+    let canonical = queue.join(format!("job-{spec_hash}.json"));
+    if canonical.exists() {
+        if let Some(bytes) = publish(queue, &canonical, spec_hash)? {
+            return Ok(Some(bytes));
+        }
+    }
+    for job in queue_files(queue)? {
+        if let Some(bytes) = publish(queue, &job, spec_hash)? {
+            return Ok(Some(bytes));
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use od_runtime::json::{parse, Json};
+    use od_runtime::lease;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("od_serve_store_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    const SPEC: &str = r#"{
+  "name": "s",
+  "protocol": {"name": "three-majority"},
+  "initial": {"kind": "balanced", "n": 200, "k": 4},
+  "trials": 2,
+  "master_seed": 1,
+  "max_rounds": 100000,
+  "shard_size": 2
+}"#;
+
+    #[test]
+    fn publishes_only_validated_markers_and_survives_job_removal() {
+        let dir = temp_dir("publish");
+        let job = dir.join("job-x.json");
+        std::fs::write(&job, SPEC).unwrap();
+        let hash = load_job_file(&job).unwrap().content_hash();
+        assert!(valid_hash(&hash), "{hash}");
+
+        // No marker yet: no result.
+        assert!(get_or_publish(&dir, &hash).unwrap().is_none());
+
+        let mut summary = Json::object();
+        summary.insert("trials", Json::Int(2));
+        lease::write_done(&job, &hash, &summary).unwrap();
+        let first = get_or_publish(&dir, &hash).unwrap().expect("result");
+        let doc = parse(std::str::from_utf8(&first).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("spec_hash").and_then(Json::as_str),
+            Some(hash.as_str())
+        );
+
+        // Served from the store even after the queue forgets the job.
+        std::fs::remove_file(&job).unwrap();
+        std::fs::remove_file(lease::done_path(&job)).unwrap();
+        let second = get_or_publish(&dir, &hash).unwrap().expect("stored");
+        assert_eq!(first, second, "stored bytes must be verbatim");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_markers_never_reach_the_store() {
+        let dir = temp_dir("stale");
+        let job = dir.join("job-y.json");
+        std::fs::write(&job, SPEC).unwrap();
+        let old_hash = load_job_file(&job).unwrap().content_hash();
+        lease::write_done(&job, &old_hash, &Json::object()).unwrap();
+        // The job file changes after completion: its marker is stale.
+        std::fs::write(&job, SPEC.replace("\"trials\": 2", "\"trials\": 4")).unwrap();
+        assert!(get_or_publish(&dir, &old_hash).unwrap().is_none());
+        assert!(!result_path(&dir, &old_hash).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rejects_hashes_that_cannot_name_files() {
+        let dir = temp_dir("badhash");
+        for bad in ["", "../../etc/passwd", "ABCDEF", "zz", &"a".repeat(64)] {
+            assert!(get_or_publish(&dir, bad).unwrap().is_none(), "{bad}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,309 @@
+//! End-to-end service tests: a real listener, real sockets, embedded
+//! workers executing real jobs — and the dedup contract proven by
+//! counting executions on the telemetry bus.
+
+use od_runtime::json::{parse, Json};
+use od_serve::{ServeOptions, Server};
+use od_telemetry::MemorySink;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("od_serve_e2e_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+const SPEC: &str = r#"{
+  "name": "served",
+  "protocol": {"name": "three-majority"},
+  "initial": {"kind": "balanced", "n": 200, "k": 4},
+  "trials": 4,
+  "master_seed": 11,
+  "max_rounds": 100000,
+  "shard_size": 2
+}"#;
+
+/// A one-shot HTTP client: sends one request, returns (status, body).
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line {status_line:?}"));
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header).unwrap();
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap();
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).unwrap();
+    (status, String::from_utf8(body).unwrap())
+}
+
+fn poll_until_done(addr: SocketAddr, id: &str) -> Json {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let (status, body) = request(addr, "GET", &format!("/jobs/{id}"), "");
+        assert_eq!(status, 200, "{body}");
+        let doc = parse(&body).unwrap();
+        let state = doc.get("status").and_then(Json::as_str).unwrap_or("");
+        match state {
+            "done" => return doc,
+            "quarantined" => panic!("job quarantined: {body}"),
+            _ => {
+                assert!(
+                    Instant::now() < deadline,
+                    "job stuck in '{state}' after 120s"
+                );
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        }
+    }
+}
+
+/// Executions provoked so far: `queue_claim` lines across the embedded
+/// workers' buses.
+fn claims_on_bus(queue: &std::path::Path) -> usize {
+    let bus_dir = queue.join(".serve");
+    let mut claims = 0;
+    for entry in std::fs::read_dir(bus_dir).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("jsonl") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        claims += text
+            .lines()
+            .filter(|l| l.contains("\"kind\":\"queue_claim\""))
+            .count();
+    }
+    claims
+}
+
+#[test]
+fn post_poll_result_and_dedup_without_second_execution() {
+    let queue = temp_dir("lifecycle");
+    let sink = Arc::new(MemorySink::new());
+    let server = Server::start(ServeOptions {
+        queue_dir: queue.clone(),
+        workers: 2,
+        sink: sink.clone(),
+        ..ServeOptions::default()
+    })
+    .expect("server start");
+    let addr = server.addr();
+
+    // Submit: 201, status queued/running, id = job-<hash>.
+    let (status, body) = request(addr, "POST", "/jobs", SPEC);
+    assert_eq!(status, 201, "{body}");
+    let doc = parse(&body).unwrap();
+    let id = doc.get("job").and_then(Json::as_str).unwrap().to_string();
+    let hash = doc
+        .get("spec_hash")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_string();
+    assert_eq!(id, format!("job-{hash}"));
+    assert_eq!(doc.get("deduped"), Some(&Json::Bool(false)));
+
+    // The job appears in the listing while it works through the queue.
+    let (status, body) = request(addr, "GET", "/jobs", "");
+    assert_eq!(status, 200);
+    assert!(body.contains(&id), "{body}");
+
+    // Poll the lifecycle until the embedded workers finish it.
+    let done = poll_until_done(addr, &id);
+    assert!(done.get("summary").is_some(), "done status carries summary");
+
+    // The result is served from the hash-keyed store.
+    let (status, first) = request(addr, "GET", &format!("/results/{hash}"), "");
+    assert_eq!(status, 200, "{first}");
+    let result = parse(&first).unwrap();
+    assert_eq!(
+        result.get("spec_hash").and_then(Json::as_str),
+        Some(hash.as_str())
+    );
+    assert_eq!(
+        result
+            .get("summary")
+            .and_then(|s| s.get("trials"))
+            .and_then(Json::as_u64),
+        Some(4)
+    );
+    let claims_after_first = claims_on_bus(&queue);
+    assert_eq!(claims_after_first, 1, "exactly one execution");
+
+    // Dedup: a byte-identical spec is answered without re-running.
+    let (status, body) = request(addr, "POST", "/jobs", SPEC);
+    assert_eq!(status, 200, "{body}");
+    let doc = parse(&body).unwrap();
+    assert_eq!(doc.get("deduped"), Some(&Json::Bool(true)));
+    assert_eq!(doc.get("status").and_then(Json::as_str), Some("done"));
+    let (status, second) = request(addr, "GET", &format!("/results/{hash}"), "");
+    assert_eq!(status, 200);
+    assert_eq!(first, second, "identical specs get byte-identical results");
+    // Give the queue time to disprove "no second execution" if the
+    // dedup were broken, then count claims again.
+    std::thread::sleep(Duration::from_millis(200));
+    assert_eq!(claims_on_bus(&queue), 1, "dedup provoked a re-run");
+
+    // The job's telemetry window is served as JSONL.
+    let (status, events) = request(addr, "GET", &format!("/jobs/{id}/events"), "");
+    assert_eq!(status, 200);
+    assert!(events.contains("\"kind\":\"queue_claim\""), "{events}");
+    assert!(events.contains("\"kind\":\"queue_done\""), "{events}");
+    for line in events.lines() {
+        parse(line).expect("every events line is JSON");
+    }
+
+    // Error paths: unknown job, unknown result, invalid spec.
+    let (status, _) = request(addr, "GET", "/jobs/job-nope", "");
+    assert_eq!(status, 404);
+    let (status, _) = request(addr, "GET", "/results/0000000000000000", "");
+    assert_eq!(status, 404);
+    let (status, body) = request(addr, "POST", "/jobs", "{ nope");
+    assert_eq!(status, 400, "{body}");
+    let (status, _) = request(addr, "DELETE", "/jobs", "");
+    assert_eq!(status, 405);
+
+    server.shutdown();
+    // serve_* lifecycle is on the service sink, in order.
+    let lines = sink.lines().join("\n");
+    assert!(lines.contains("\"kind\":\"serve_start\""), "{lines}");
+    assert!(lines.contains("\"kind\":\"serve_job\""), "{lines}");
+    assert!(lines.contains("\"kind\":\"serve_result\""), "{lines}");
+    assert!(lines.contains("\"kind\":\"serve_stop\""), "{lines}");
+    assert!(
+        lines.contains("\"deduped\":true") && lines.contains("\"deduped\":false"),
+        "{lines}"
+    );
+    let _ = std::fs::remove_dir_all(&queue);
+}
+
+#[test]
+fn restarted_service_answers_from_the_persistent_store() {
+    let queue = temp_dir("restart");
+    let server = Server::start(ServeOptions {
+        queue_dir: queue.clone(),
+        workers: 1,
+        ..ServeOptions::default()
+    })
+    .expect("server start");
+    let (status, body) = request(server.addr(), "POST", "/jobs", SPEC);
+    assert_eq!(status, 201, "{body}");
+    let doc = parse(&body).unwrap();
+    let id = doc.get("job").and_then(Json::as_str).unwrap().to_string();
+    let hash = doc
+        .get("spec_hash")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_string();
+    poll_until_done(server.addr(), &id);
+    let (status, first) = request(server.addr(), "GET", &format!("/results/{hash}"), "");
+    assert_eq!(status, 200);
+    server.shutdown();
+    assert_eq!(claims_on_bus(&queue), 1, "one execution in the first life");
+
+    // A fresh service over the same queue — the sidecars and store ARE
+    // the database — answers immediately, without re-running.
+    let server = Server::start(ServeOptions {
+        queue_dir: queue.clone(),
+        workers: 1,
+        ..ServeOptions::default()
+    })
+    .expect("restart");
+    let (status, body) = request(server.addr(), "POST", "/jobs", SPEC);
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(
+        parse(&body).unwrap().get("deduped"),
+        Some(&Json::Bool(true))
+    );
+    let (status, again) = request(server.addr(), "GET", &format!("/results/{hash}"), "");
+    assert_eq!(status, 200);
+    assert_eq!(first, again);
+    server.shutdown();
+    // The restart truncated the worker bus, so any claim on it now
+    // would be a re-run: there must be none.
+    assert_eq!(claims_on_bus(&queue), 0, "restart must not re-run");
+    let _ = std::fs::remove_dir_all(&queue);
+}
+
+#[test]
+fn od_serve_binary_serves_a_job_end_to_end() {
+    let queue = temp_dir("binary");
+    let telemetry = queue.join("serve-events.jsonl");
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_od-serve"))
+        .args([
+            "--queue-dir",
+            queue.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "1",
+            "--telemetry-out",
+            telemetry.to_str().unwrap(),
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn od-serve");
+    let stdout = child.stdout.take().unwrap();
+    let mut lines = BufReader::new(stdout);
+    let mut banner = String::new();
+    lines.read_line(&mut banner).unwrap();
+    let addr: SocketAddr = banner
+        .trim()
+        .strip_prefix("od-serve listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner {banner:?}"))
+        .parse()
+        .unwrap();
+
+    let (status, body) = request(addr, "POST", "/jobs", SPEC);
+    assert_eq!(status, 201, "{body}");
+    let doc = parse(&body).unwrap();
+    let id = doc.get("job").and_then(Json::as_str).unwrap().to_string();
+    let hash = doc
+        .get("spec_hash")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_string();
+    poll_until_done(addr, &id);
+    let (status, result) = request(addr, "GET", &format!("/results/{hash}"), "");
+    assert_eq!(status, 200, "{result}");
+
+    child.kill().expect("stop od-serve");
+    let _ = child.wait();
+    // The service telemetry file exists and carries serve_* events
+    // (flushed per event, so a killed service still leaves whole lines).
+    let text = std::fs::read_to_string(&telemetry).unwrap();
+    assert!(text.contains("\"kind\":\"serve_start\""), "{text}");
+    assert!(text.contains("\"kind\":\"serve_job\""), "{text}");
+    let _ = std::fs::remove_dir_all(&queue);
+}

@@ -225,6 +225,60 @@ pub enum Event<'a> {
         /// Total shards in the merged checkpoint.
         shards: u64,
     },
+    /// A worker withdrew a done marker whose recorded spec hash no
+    /// longer matches the job file (the job was edited or replaced
+    /// after completion); the job re-runs as its current content.
+    QueueStaleDone {
+        /// The job file.
+        job: &'a str,
+        /// The hash the withdrawn marker recorded (empty when the
+        /// marker was unreadable).
+        recorded: &'a str,
+        /// The job file's current content hash (empty when the file no
+        /// longer loads).
+        current: &'a str,
+    },
+    /// The job service bound its listener and is accepting requests.
+    ServeStart {
+        /// The bound address, e.g. `127.0.0.1:8080`.
+        addr: &'a str,
+        /// The queue directory the service submits into.
+        queue: &'a str,
+        /// Embedded in-process queue workers.
+        workers: u64,
+    },
+    /// The service answered one HTTP request.
+    ServeRequest {
+        /// The request method.
+        method: &'a str,
+        /// The request path.
+        path: &'a str,
+        /// The response status code.
+        status: u64,
+    },
+    /// A submitted spec was accepted into the queue (or recognised as
+    /// already present/complete).
+    ServeJob {
+        /// The queue job id (`job-<spec hash>`).
+        job: &'a str,
+        /// The spec's content hash.
+        spec: &'a str,
+        /// True when an identical spec was already queued or complete,
+        /// so no new job file was written.
+        deduped: bool,
+    },
+    /// A result lookup was answered.
+    ServeResult {
+        /// The spec content hash looked up.
+        spec: &'a str,
+        /// True when the store had the result.
+        hit: bool,
+    },
+    /// The service stopped accepting requests and shut down.
+    ServeStop {
+        /// Requests answered over the service's lifetime.
+        requests: u64,
+    },
     /// One measured benchmark case (the bench harness emits the same
     /// envelope and schema as runtime jobs).
     Bench {
@@ -265,6 +319,12 @@ impl Event<'_> {
             Event::OrchRevoke { .. } => "orch_revoke",
             Event::OrchQuarantine { .. } => "orch_quarantine",
             Event::OrchMerge { .. } => "orch_merge",
+            Event::QueueStaleDone { .. } => "queue_stale_done",
+            Event::ServeStart { .. } => "serve_start",
+            Event::ServeRequest { .. } => "serve_request",
+            Event::ServeJob { .. } => "serve_job",
+            Event::ServeResult { .. } => "serve_result",
+            Event::ServeStop { .. } => "serve_stop",
             Event::Bench { .. } => "bench",
         }
     }
@@ -482,6 +542,45 @@ impl Event<'_> {
                 field_u64(out, "ranges", *ranges);
                 field_u64(out, "shards", *shards);
             }
+            Event::QueueStaleDone {
+                job,
+                recorded,
+                current,
+            } => {
+                field_str(out, "job", job);
+                field_str(out, "recorded", recorded);
+                field_str(out, "current", current);
+            }
+            Event::ServeStart {
+                addr,
+                queue,
+                workers,
+            } => {
+                field_str(out, "addr", addr);
+                field_str(out, "queue", queue);
+                field_u64(out, "workers", *workers);
+            }
+            Event::ServeRequest {
+                method,
+                path,
+                status,
+            } => {
+                field_str(out, "method", method);
+                field_str(out, "path", path);
+                field_u64(out, "status", *status);
+            }
+            Event::ServeJob { job, spec, deduped } => {
+                field_str(out, "job", job);
+                field_str(out, "spec", spec);
+                field_bool(out, "deduped", *deduped);
+            }
+            Event::ServeResult { spec, hit } => {
+                field_str(out, "spec", spec);
+                field_bool(out, "hit", *hit);
+            }
+            Event::ServeStop { requests } => {
+                field_u64(out, "requests", *requests);
+            }
             Event::Bench {
                 series,
                 mean_ns,
@@ -698,6 +797,52 @@ mod tests {
         }
         .encode(6, 11);
         assert!(merge.contains("\"kind\":\"orch_merge\"") && merge.contains("\"shards\":16"));
+    }
+
+    #[test]
+    fn serve_events_encode_their_fields() {
+        let stale = Event::QueueStaleDone {
+            job: "q/a.json",
+            recorded: "oldhash",
+            current: "newhash",
+        }
+        .encode(0, 5);
+        assert_eq!(
+            stale,
+            "{\"seq\":0,\"t_ms\":5,\"kind\":\"queue_stale_done\",\"job\":\"q/a.json\",\
+             \"recorded\":\"oldhash\",\"current\":\"newhash\"}"
+        );
+        let start = Event::ServeStart {
+            addr: "127.0.0.1:8080",
+            queue: "q",
+            workers: 2,
+        }
+        .encode(1, 6);
+        assert!(start.contains("\"kind\":\"serve_start\"") && start.contains("\"workers\":2"));
+        let request = Event::ServeRequest {
+            method: "POST",
+            path: "/jobs",
+            status: 201,
+        }
+        .encode(2, 7);
+        assert!(
+            request.contains("\"kind\":\"serve_request\"") && request.contains("\"status\":201")
+        );
+        let job = Event::ServeJob {
+            job: "job-abc123",
+            spec: "abc123",
+            deduped: true,
+        }
+        .encode(3, 8);
+        assert!(job.contains("\"kind\":\"serve_job\"") && job.contains("\"deduped\":true"));
+        let result = Event::ServeResult {
+            spec: "abc123",
+            hit: false,
+        }
+        .encode(4, 9);
+        assert!(result.contains("\"kind\":\"serve_result\"") && result.contains("\"hit\":false"));
+        let stop = Event::ServeStop { requests: 11 }.encode(5, 10);
+        assert!(stop.contains("\"kind\":\"serve_stop\"") && stop.contains("\"requests\":11"));
     }
 
     #[test]
