@@ -203,6 +203,23 @@ fn kind_schema(kind: &str) -> Option<(Fields, Fields)> {
             &[],
         )),
         "serve_result" => Some((&[("spec", Ty::Str), ("hit", Ty::Bool)], &[])),
+        "serve_batch" => Some((
+            &[
+                ("jobs", Ty::U64),
+                ("accepted", Ty::U64),
+                ("deduped", Ty::U64),
+            ],
+            &[],
+        )),
+        "serve_overload" => Some((&[("connections", Ty::U64), ("limit", Ty::U64)], &[])),
+        "serve_gc" => Some((
+            &[
+                ("evicted", Ty::U64),
+                ("kept", Ty::U64),
+                ("bytes_freed", Ty::U64),
+            ],
+            &[],
+        )),
         "serve_stop" => Some((&[("requests", Ty::U64)], &[])),
         "bench" => Some((
             &[

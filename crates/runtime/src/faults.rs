@@ -27,7 +27,8 @@
 //! Sites wired in this crate: `checkpoint.persist`,
 //! `checkpoint.persist.rename`, `checkpoint.load`, `lease.claim`,
 //! `lease.renew`, `queue.scan`, `orch.spawn`, `orch.manifest.persist`,
-//! `orch.merge.load`.
+//! `orch.merge.load`. The `od-serve` crate wires `store.gc.evict`
+//! (results-store eviction) behind its own `failpoints` feature.
 
 /// What an armed failpoint injects at a call site.
 #[derive(Debug)]

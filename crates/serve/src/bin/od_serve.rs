@@ -13,6 +13,14 @@
 //!                          processes)
 //!   --lease-secs <n>       worker lease duration (default 30)
 //!   --max-retries <n>      attempts before quarantine (default 3)
+//!   --max-connections <n>  concurrent connections served at once; past the
+//!                          cap new connections get a typed 503 (default 64)
+//!   --idle-timeout-ms <n>  close a keep-alive connection idle this long
+//!                          (default 5000)
+//!   --results-max-count <n> evict oldest stored results past this many
+//!                          (default: unbounded)
+//!   --results-max-bytes <n> evict oldest stored results past this many
+//!                          total bytes (default: unbounded)
 //!   --telemetry-out <p>    append serve_* lifecycle events to a JSONL file
 //!   --help                 this text
 //! ```
@@ -73,7 +81,8 @@ mod signals {
 
 const USAGE: &str = "usage: od-serve --queue-dir <dir> [--addr <host:port>] \
 [--workers <n>] [--lease-secs <n>] [--max-retries <n>] \
-[--telemetry-out <path>]";
+[--max-connections <n>] [--idle-timeout-ms <n>] [--results-max-count <n>] \
+[--results-max-bytes <n>] [--telemetry-out <path>]";
 
 struct Args {
     queue_dir: PathBuf,
@@ -81,6 +90,10 @@ struct Args {
     workers: usize,
     lease_secs: Option<u64>,
     max_retries: Option<u64>,
+    max_connections: Option<usize>,
+    idle_timeout_ms: Option<u64>,
+    results_max_count: Option<u64>,
+    results_max_bytes: Option<u64>,
     telemetry_out: Option<PathBuf>,
 }
 
@@ -90,6 +103,10 @@ fn parse_args() -> Result<Args, String> {
     let mut workers = 1usize;
     let mut lease_secs = None;
     let mut max_retries = None;
+    let mut max_connections = None;
+    let mut idle_timeout_ms = None;
+    let mut results_max_count = None;
+    let mut results_max_bytes = None;
     let mut telemetry_out = None;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -114,6 +131,42 @@ fn parse_args() -> Result<Args, String> {
                 let value = argv.next().ok_or("--max-retries needs a number")?;
                 max_retries = Some(value.parse().map_err(|_| "--max-retries needs a number")?);
             }
+            "--max-connections" => {
+                let value = argv.next().ok_or("--max-connections needs a number")?;
+                let n: usize = value
+                    .parse()
+                    .map_err(|_| "--max-connections needs a number")?;
+                if n == 0 {
+                    return Err("--max-connections must be >= 1".to_string());
+                }
+                max_connections = Some(n);
+            }
+            "--idle-timeout-ms" => {
+                let value = argv.next().ok_or("--idle-timeout-ms needs a number")?;
+                let n: u64 = value
+                    .parse()
+                    .map_err(|_| "--idle-timeout-ms needs a number")?;
+                if n == 0 {
+                    return Err("--idle-timeout-ms must be >= 1".to_string());
+                }
+                idle_timeout_ms = Some(n);
+            }
+            "--results-max-count" => {
+                let value = argv.next().ok_or("--results-max-count needs a number")?;
+                results_max_count = Some(
+                    value
+                        .parse()
+                        .map_err(|_| "--results-max-count needs a number")?,
+                );
+            }
+            "--results-max-bytes" => {
+                let value = argv.next().ok_or("--results-max-bytes needs a number")?;
+                results_max_bytes = Some(
+                    value
+                        .parse()
+                        .map_err(|_| "--results-max-bytes needs a number")?,
+                );
+            }
             "--telemetry-out" => {
                 let value = argv.next().ok_or("--telemetry-out needs a path")?;
                 telemetry_out = Some(PathBuf::from(value));
@@ -127,6 +180,10 @@ fn parse_args() -> Result<Args, String> {
         workers,
         lease_secs,
         max_retries,
+        max_connections,
+        idle_timeout_ms,
+        results_max_count,
+        results_max_bytes,
         telemetry_out,
     })
 }
@@ -162,6 +219,14 @@ fn main() -> ExitCode {
     if let Some(n) = args.max_retries {
         options.worker.max_retries = n.max(1);
     }
+    if let Some(n) = args.max_connections {
+        options.max_connections = n;
+    }
+    if let Some(n) = args.idle_timeout_ms {
+        options.idle_timeout_ms = n;
+    }
+    options.results_max_count = args.results_max_count;
+    options.results_max_bytes = args.results_max_bytes;
     let server = match Server::start(options) {
         Ok(server) => server,
         Err(e) => {

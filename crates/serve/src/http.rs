@@ -3,14 +3,16 @@
 //! crate — the same constraint that put `rayon` under `crates/vendor/`).
 //!
 //! Supported: request line + headers + `Content-Length` bodies on the
-//! request side; fixed-length `Connection: close` responses on the
-//! response side. Not supported (and not needed): chunked encoding,
-//! keep-alive, TLS, trailers.
+//! request side; fixed-length responses with `Connection: keep-alive`
+//! (the HTTP/1.1 default, so one socket carries many requests) or
+//! `Connection: close` on the response side. Not supported (and not
+//! needed): chunked encoding, pipelining (the service rejects it —
+//! see [`crate::service`]), TLS, trailers.
 
 use std::io::{BufRead, Write};
 
-/// The largest request body the service accepts (a job spec is a few
-/// kilobytes; a megabyte is generous).
+/// The largest request body the service accepts (a batch of job specs
+/// is tens of kilobytes; a megabyte is generous).
 pub const MAX_BODY_BYTES: u64 = 1 << 20;
 
 /// One parsed request.
@@ -22,21 +24,29 @@ pub struct Request {
     pub path: String,
     /// The request body (empty without a `Content-Length`).
     pub body: Vec<u8>,
+    /// True when the client asked for the connection to close after
+    /// this exchange: an explicit `Connection: close` header, or an
+    /// HTTP/1.0 request without `Connection: keep-alive`.
+    pub close: bool,
 }
 
 fn invalid(message: &str) -> std::io::Error {
     std::io::Error::new(std::io::ErrorKind::InvalidData, message)
 }
 
-/// Reads one request from `reader`.
+/// Reads one request from `reader`. Returns `Ok(None)` on a clean
+/// end-of-stream before any request bytes (the peer closed an idle
+/// keep-alive connection).
 ///
 /// # Errors
 ///
 /// Returns `InvalidData` for a malformed request line, header, or
 /// oversized body, and propagates transport I/O errors.
-pub fn read_request<R: BufRead>(reader: &mut R) -> std::io::Result<Request> {
+pub fn read_request<R: BufRead>(reader: &mut R) -> std::io::Result<Option<Request>> {
     let mut line = String::new();
-    reader.read_line(&mut line)?;
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
     let mut parts = line.split_whitespace();
     let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
         (Some(method), Some(path), Some(version)) => (method, path, version),
@@ -45,11 +55,15 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> std::io::Result<Request> {
     if !version.starts_with("HTTP/1.") {
         return Err(invalid("unsupported HTTP version"));
     }
+    // HTTP/1.0 closes by default; HTTP/1.1 keeps alive by default.
+    let mut close = version == "HTTP/1.0";
     let (method, path) = (method.to_string(), path.to_string());
     let mut content_length: u64 = 0;
     loop {
         let mut header = String::new();
-        reader.read_line(&mut header)?;
+        if reader.read_line(&mut header)? == 0 {
+            return Err(invalid("connection closed mid-headers"));
+        }
         let header = header.trim_end();
         if header.is_empty() {
             break;
@@ -57,11 +71,18 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> std::io::Result<Request> {
         let Some((name, value)) = header.split_once(':') else {
             return Err(invalid("malformed header"));
         };
-        if name.trim().eq_ignore_ascii_case("content-length") {
+        let name = name.trim();
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
             content_length = value
-                .trim()
                 .parse()
                 .map_err(|_| invalid("malformed Content-Length"))?;
+        } else if name.eq_ignore_ascii_case("connection") {
+            if value.eq_ignore_ascii_case("close") {
+                close = true;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                close = false;
+            }
         }
     }
     if content_length > MAX_BODY_BYTES {
@@ -69,7 +90,12 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> std::io::Result<Request> {
     }
     let mut body = vec![0u8; content_length as usize];
     reader.read_exact(&mut body)?;
-    Ok(Request { method, path, body })
+    Ok(Some(Request {
+        method,
+        path,
+        body,
+        close,
+    }))
 }
 
 /// The standard reason phrase for the status codes the service emits.
@@ -81,11 +107,14 @@ pub fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        503 => "Service Unavailable",
         _ => "Internal Server Error",
     }
 }
 
-/// Writes one fixed-length `Connection: close` response.
+/// Writes one fixed-length response. `close` selects the
+/// `Connection: close` downgrade (the final response on a connection);
+/// otherwise the response advertises `Connection: keep-alive`.
 ///
 /// # Errors
 ///
@@ -95,13 +124,15 @@ pub fn write_response<W: Write>(
     status: u16,
     content_type: &str,
     body: &[u8],
+    close: bool,
 ) -> std::io::Result<()> {
     write!(
         writer,
         "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n",
+         Content-Length: {}\r\nConnection: {}\r\n\r\n",
         reason(status),
-        body.len()
+        body.len(),
+        if close { "close" } else { "keep-alive" }
     )?;
     writer.write_all(body)?;
     writer.flush()
@@ -115,19 +146,51 @@ mod tests {
     #[test]
     fn parses_request_line_headers_and_body() {
         let raw = b"POST /jobs HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbody";
-        let req = read_request(&mut Cursor::new(&raw[..])).unwrap();
+        let req = read_request(&mut Cursor::new(&raw[..])).unwrap().unwrap();
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/jobs");
         assert_eq!(req.body, b"body");
+        assert!(!req.close, "HTTP/1.1 keeps alive by default");
     }
 
     #[test]
     fn get_without_body_parses() {
         let raw = b"GET /jobs/job-abc HTTP/1.1\r\n\r\n";
-        let req = read_request(&mut Cursor::new(&raw[..])).unwrap();
+        let req = read_request(&mut Cursor::new(&raw[..])).unwrap().unwrap();
         assert_eq!(req.method, "GET");
         assert_eq!(req.path, "/jobs/job-abc");
         assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn connection_semantics_follow_version_and_header() {
+        let explicit = b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n";
+        assert!(
+            read_request(&mut Cursor::new(&explicit[..]))
+                .unwrap()
+                .unwrap()
+                .close
+        );
+        let legacy = b"GET / HTTP/1.0\r\n\r\n";
+        assert!(
+            read_request(&mut Cursor::new(&legacy[..]))
+                .unwrap()
+                .unwrap()
+                .close,
+            "HTTP/1.0 closes by default"
+        );
+        let legacy_ka = b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n";
+        assert!(
+            !read_request(&mut Cursor::new(&legacy_ka[..]))
+                .unwrap()
+                .unwrap()
+                .close
+        );
+    }
+
+    #[test]
+    fn empty_stream_is_a_clean_none() {
+        assert!(read_request(&mut Cursor::new(&b""[..])).unwrap().is_none());
     }
 
     #[test]
@@ -136,16 +199,24 @@ mod tests {
         let huge = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", 2 << 20);
         assert!(read_request(&mut Cursor::new(huge.as_bytes())).is_err());
         assert!(read_request(&mut Cursor::new(&b"GET / SPDY/3\r\n\r\n"[..])).is_err());
+        // A stream that dies mid-headers is an error, not a clean None.
+        assert!(read_request(&mut Cursor::new(&b"GET / HTTP/1.1\r\nHost: x\r\n"[..])).is_err());
     }
 
     #[test]
-    fn response_has_length_and_close() {
+    fn response_carries_length_and_connection_verdict() {
         let mut out = Vec::new();
-        write_response(&mut out, 404, "application/json", b"{}").unwrap();
+        write_response(&mut out, 404, "application/json", b"{}", true).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 404 Not Found\r\n"), "{text}");
         assert!(text.contains("Content-Length: 2\r\n"));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
+
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "application/json", b"{}", false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Connection: keep-alive\r\n"), "{text}");
+        assert_eq!(reason(503), "Service Unavailable");
     }
 }

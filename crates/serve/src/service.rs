@@ -1,12 +1,29 @@
-//! The service itself: a listener thread routing requests, plus
-//! embedded queue-worker threads draining the same directory, sharing
-//! one [`CancelToken`] for coordinated shutdown.
+//! The service itself: a concurrent accept loop routing requests over
+//! keep-alive connections, plus embedded queue-worker threads draining
+//! the same directory, sharing one [`CancelToken`] for coordinated
+//! shutdown.
+//!
+//! # Connection model
+//!
+//! Each accepted connection gets its own handler thread, bounded by
+//! [`ServeOptions::max_connections`]: a connection past the cap is
+//! answered immediately with a typed `503 Service Unavailable` document
+//! and closed, so overload degrades loudly instead of queueing
+//! unboundedly. Within a connection, requests are served in a loop —
+//! HTTP/1.1 `Connection: keep-alive`, the default — until the client
+//! asks to close, the idle timeout expires (measured on the injectable
+//! [`QueueClock`], so tests drive it deterministically), the service
+//! shuts down, or the client *pipelines* (sends a second request before
+//! reading the first response): pipelining is rejected by answering the
+//! current request with `Connection: close` and dropping the rest.
 
 use crate::http::{self, Request};
 use crate::{state, store};
 use od_runtime::json::{parse, Json};
 use od_runtime::queue::queue_files;
-use od_runtime::{run_queue_worker, CancelToken, JobSpec, RuntimeError, WorkerOptions};
+use od_runtime::{
+    run_queue_worker, CancelToken, JobSpec, QueueClock, RuntimeError, SystemClock, WorkerOptions,
+};
 use od_telemetry::{Event, JsonlSink, NullSink, TelemetrySink};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -58,6 +75,23 @@ pub struct ServeOptions {
     /// Embedded in-process queue workers. Zero is valid: submissions
     /// then wait for external `od-run --queue-worker` processes.
     pub workers: usize,
+    /// Concurrent connections served at once. A connection past the cap
+    /// is answered with a typed `503` and closed (minimum 1).
+    pub max_connections: usize,
+    /// How long a keep-alive connection may sit idle between requests
+    /// before the service closes it, in [`ServeOptions::clock`]
+    /// milliseconds.
+    pub idle_timeout_ms: u64,
+    /// The clock idle-timeout decisions read. Injectable so tests
+    /// expire connections deterministically; the default is
+    /// [`SystemClock`] — the same clock contract the queue leases use.
+    pub clock: Arc<dyn QueueClock>,
+    /// Results-store retention: evict oldest-first past this many
+    /// stored results (`None` = unbounded).
+    pub results_max_count: Option<u64>,
+    /// Results-store retention: evict oldest-first past this many
+    /// total stored bytes (`None` = unbounded).
+    pub results_max_bytes: Option<u64>,
     /// Where `serve_*` lifecycle events go.
     pub sink: Arc<dyn TelemetrySink>,
     /// Template for the embedded workers (retry budget, lease length,
@@ -72,6 +106,11 @@ impl Default for ServeOptions {
             queue_dir: PathBuf::from("queue"),
             addr: "127.0.0.1:0".to_string(),
             workers: 1,
+            max_connections: 64,
+            idle_timeout_ms: 5_000,
+            clock: Arc::new(SystemClock),
+            results_max_count: None,
+            results_max_bytes: None,
             sink: Arc::new(NullSink),
             worker: WorkerOptions {
                 poll_ms: 20,
@@ -81,18 +120,88 @@ impl Default for ServeOptions {
     }
 }
 
+/// Monotonic service counters, read by `GET /metrics` and folded into
+/// `serve_*` telemetry. All plain atomics: counters never touch the
+/// queue protocol or any checkpoint byte.
+#[derive(Default)]
+pub(crate) struct Counters {
+    /// Requests answered (all endpoints, all statuses).
+    pub requests: AtomicU64,
+    /// Connections accepted and handed to a handler thread.
+    pub connections: AtomicU64,
+    /// Connections being served right now.
+    pub in_flight: AtomicU64,
+    /// Connections turned away with a `503` at the cap.
+    pub overloads: AtomicU64,
+    /// `POST /batches` submissions.
+    pub batches: AtomicU64,
+    /// New job files enqueued (single and batch submissions).
+    pub jobs_accepted: AtomicU64,
+    /// Submissions answered by dedup (no new execution provoked).
+    pub jobs_deduped: AtomicU64,
+    /// `GET /results/<hash>` lookups that found a result.
+    pub results_hits: AtomicU64,
+    /// `GET /results/<hash>` lookups that found nothing.
+    pub results_misses: AtomicU64,
+    /// Store GC passes run.
+    pub gc_passes: AtomicU64,
+    /// Results evicted by GC over the service lifetime.
+    pub gc_evicted: AtomicU64,
+    /// Bytes freed by GC over the service lifetime.
+    pub gc_bytes_freed: AtomicU64,
+}
+
 /// Shared request-handling context.
 struct Ctx {
     queue: PathBuf,
     sink: Arc<dyn TelemetrySink>,
-    requests: AtomicU64,
+    clock: Arc<dyn QueueClock>,
+    counters: Counters,
+    max_connections: usize,
+    idle_timeout_ms: u64,
+    gc_caps: store::GcCaps,
+    /// Milliseconds on [`Ctx::clock`] when the service started, for the
+    /// metrics document's uptime and request rate.
+    started_ms: u64,
 }
 
-/// A running service: listener thread + embedded worker threads.
-/// [`Server::shutdown`] stops all of them and reports the request
-/// count; dropping without shutdown aborts the threads with the
-/// process, leaving queue state consistent (leases expire, checkpoints
-/// persist) — the same crash contract the queue workers already honor.
+impl Ctx {
+    /// Runs a store GC pass when retention caps are configured,
+    /// folding the outcome into the counters and emitting `serve_gc`
+    /// when anything was evicted. GC errors are reported to the caller
+    /// (they fail the triggering request loudly rather than silently
+    /// skipping retention).
+    fn gc(&self) -> Result<(), RuntimeError> {
+        if self.gc_caps.is_unbounded() {
+            return Ok(());
+        }
+        self.counters.gc_passes.fetch_add(1, Ordering::SeqCst);
+        let report = store::gc(&self.queue, &self.gc_caps)?;
+        if report.evicted > 0 {
+            self.counters
+                .gc_evicted
+                .fetch_add(report.evicted, Ordering::SeqCst);
+            self.counters
+                .gc_bytes_freed
+                .fetch_add(report.bytes_freed, Ordering::SeqCst);
+            if self.sink.enabled() {
+                self.sink.emit(&Event::ServeGc {
+                    evicted: report.evicted,
+                    kept: report.kept,
+                    bytes_freed: report.bytes_freed,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A running service: listener thread, per-connection handler threads,
+/// plus embedded worker threads. [`Server::shutdown`] stops all of them
+/// and reports the request count; dropping without shutdown aborts the
+/// threads with the process, leaving queue state consistent (leases
+/// expire, checkpoints persist) — the same crash contract the queue
+/// workers already honor.
 pub struct Server {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
@@ -103,13 +212,14 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds the listener, starts the embedded workers, and begins
-    /// serving.
+    /// Binds the listener, starts the embedded workers, runs an initial
+    /// store-GC pass (when retention caps are set), and begins serving.
     ///
     /// # Errors
     ///
     /// Returns I/O errors from creating the queue directory, binding
-    /// the address, or creating the per-worker telemetry buses.
+    /// the address, creating the per-worker telemetry buses, or the
+    /// initial GC pass.
     pub fn start(options: ServeOptions) -> Result<Self, RuntimeError> {
         let queue = options.queue_dir;
         std::fs::create_dir_all(&queue)
@@ -149,11 +259,23 @@ impl Server {
                 workers.push(std::thread::spawn(move || worker_loop(&dir, &worker)));
             }
         }
+        let started_ms = options.clock.now_ms();
         let ctx = Arc::new(Ctx {
             queue,
             sink,
-            requests: AtomicU64::new(0),
+            clock: options.clock,
+            counters: Counters::default(),
+            max_connections: options.max_connections.max(1),
+            idle_timeout_ms: options.idle_timeout_ms.max(1),
+            gc_caps: store::GcCaps {
+                max_count: options.results_max_count,
+                max_bytes: options.results_max_bytes,
+            },
+            started_ms,
         });
+        // Retention holds across restarts: trim anything a previous
+        // life (or looser caps) left over before serving.
+        ctx.gc()?;
         let accept = {
             let stop = Arc::clone(&stop);
             let ctx = Arc::clone(&ctx);
@@ -178,12 +300,13 @@ impl Server {
     /// Requests answered so far.
     #[must_use]
     pub fn requests(&self) -> u64 {
-        self.ctx.requests.load(Ordering::SeqCst)
+        self.ctx.counters.requests.load(Ordering::SeqCst)
     }
 
     /// Stops accepting, cancels the embedded workers (leases released,
-    /// completed shards checkpointed), joins every thread, and emits
-    /// `serve_stop`.
+    /// completed shards checkpointed), joins the listener and worker
+    /// threads, waits briefly for in-flight connections to drain, and
+    /// emits `serve_stop`.
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::SeqCst);
         self.cancel.cancel();
@@ -193,9 +316,17 @@ impl Server {
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
+        // Handler threads poll the stop flag between reads; give them a
+        // few ticks to notice and finish their current response.
+        let deadline = std::time::Instant::now() + Duration::from_secs(3);
+        while self.ctx.counters.in_flight.load(Ordering::SeqCst) > 0
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(10));
+        }
         if self.ctx.sink.enabled() {
             self.ctx.sink.emit(&Event::ServeStop {
-                requests: self.ctx.requests.load(Ordering::SeqCst),
+                requests: self.ctx.counters.requests.load(Ordering::SeqCst),
             });
         }
         self.ctx.sink.flush();
@@ -235,11 +366,52 @@ fn worker_loop(dir: &Path, options: &WorkerOptions) {
     }
 }
 
-fn accept_loop(listener: &TcpListener, stop: &AtomicBool, ctx: &Ctx) {
+fn accept_loop(listener: &TcpListener, stop: &Arc<AtomicBool>, ctx: &Arc<Ctx>) {
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
-            Ok((stream, _)) => {
-                let _ = handle_connection(stream, ctx);
+            Ok((mut stream, _)) => {
+                // Admission control: claim a connection slot or answer
+                // a typed 503 and close. The claim happens here, in the
+                // accept thread, so the cap can never be overshot by a
+                // race between handler threads starting up.
+                let counters = &ctx.counters;
+                let limit = ctx.max_connections as u64;
+                let claimed = counters
+                    .in_flight
+                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                        (n < limit).then_some(n + 1)
+                    })
+                    .is_ok();
+                if !claimed {
+                    counters.overloads.fetch_add(1, Ordering::SeqCst);
+                    let connections = counters.in_flight.load(Ordering::SeqCst);
+                    if ctx.sink.enabled() {
+                        ctx.sink.emit(&Event::ServeOverload { connections, limit });
+                    }
+                    let _ = stream.set_nonblocking(false);
+                    let mut doc = Json::object();
+                    doc.insert(
+                        "error",
+                        Json::Str("service at its connection capacity".to_string()),
+                    );
+                    doc.insert("connections", Json::Int(connections as i64));
+                    doc.insert("limit", Json::Int(limit as i64));
+                    let _ = http::write_response(
+                        &mut stream,
+                        503,
+                        "application/json",
+                        &doc_bytes(&doc),
+                        true,
+                    );
+                    continue;
+                }
+                counters.connections.fetch_add(1, Ordering::SeqCst);
+                let ctx = Arc::clone(ctx);
+                let stop = Arc::clone(stop);
+                std::thread::spawn(move || {
+                    let _ = handle_connection(stream, &ctx, &stop);
+                    ctx.counters.in_flight.fetch_sub(1, Ordering::SeqCst);
+                });
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(5));
@@ -249,13 +421,100 @@ fn accept_loop(listener: &TcpListener, stop: &AtomicBool, ctx: &Ctx) {
     }
 }
 
-fn handle_connection(mut stream: TcpStream, ctx: &Ctx) -> std::io::Result<()> {
+/// What [`await_request`] observed on an idle keep-alive connection.
+enum Waited {
+    /// Request bytes are available to parse.
+    Ready,
+    /// The peer closed the connection cleanly.
+    Closed,
+    /// The idle timeout expired with no new request.
+    IdleTimeout,
+    /// The service is shutting down.
+    Stopping,
+}
+
+/// Polls a keep-alive connection until the next request begins, the
+/// peer hangs up, the idle timeout expires, or the service stops.
+/// The socket's short read timeout only paces the poll; the idle
+/// *decision* reads the injectable clock, measured from `idle_from` —
+/// the caller timestamps that *before* sending the previous response,
+/// so the idle window provably covers everything the client did after
+/// seeing it (a timestamp taken here instead could land after a test's
+/// manual clock advance and postpone the deadline forever).
+fn await_request(
+    stream: &TcpStream,
+    ctx: &Ctx,
+    stop: &AtomicBool,
+    idle_from: u64,
+) -> std::io::Result<Waited> {
+    let mut probe = [0u8; 1];
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return Ok(Waited::Stopping);
+        }
+        match stream.peek(&mut probe) {
+            Ok(0) => return Ok(Waited::Closed),
+            Ok(_) => return Ok(Waited::Ready),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if ctx.clock.now_ms().saturating_sub(idle_from) >= ctx.idle_timeout_ms {
+                    return Ok(Waited::IdleTimeout);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, ctx: &Ctx, stop: &AtomicBool) -> std::io::Result<()> {
+    let mut stream = stream;
     stream.set_nonblocking(false)?;
-    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    // A short timeout paces the idle poll between requests; once a
+    // request begins it also bounds how long a stalled sender can hold
+    // the parser (the idle clock keeps running, so a half-sent request
+    // is closed at the same deadline as silence).
+    stream.set_read_timeout(Some(Duration::from_millis(25)))?;
     let mut reader = BufReader::new(stream.try_clone()?);
-    let (status, content_type, body) = match http::read_request(&mut reader) {
-        Ok(req) => {
-            let (status, content_type, body) = route(&req, ctx);
+    let mut last_activity = ctx.clock.now_ms();
+    loop {
+        // Wait for the next request unless one is already buffered
+        // (over-read alongside the previous one).
+        if reader.buffer().is_empty() {
+            match await_request(&stream, ctx, stop, last_activity)? {
+                Waited::Ready => {}
+                Waited::Closed | Waited::IdleTimeout | Waited::Stopping => return Ok(()),
+            }
+        }
+        let deadline = ctx.clock.now_ms().saturating_add(ctx.idle_timeout_ms);
+        let (status, content_type, body, request) =
+            match read_request_paced(&mut reader, ctx, deadline) {
+                Ok(Some(req)) => {
+                    let (status, content_type, body) = route(&req, ctx);
+                    (status, content_type, body, Some(req))
+                }
+                Ok(None) => return Ok(()),
+                Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                    (400, "application/json", error_body(&e.to_string()), None)
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::TimedOut => {
+                    // A request that stalled mid-transfer past the idle
+                    // budget: drop the connection, nothing to answer.
+                    return Ok(());
+                }
+                Err(e) => return Err(e),
+            };
+        // Pipelining (a second request on the wire before this response
+        // went out) is rejected: answer the current request, then
+        // downgrade to close and drop whatever was queued behind it.
+        let pipelined = !reader.buffer().is_empty();
+        let close =
+            pipelined || stop.load(Ordering::SeqCst) || request.as_ref().is_none_or(|r| r.close);
+        if let Some(req) = &request {
             if ctx.sink.enabled() {
                 ctx.sink.emit(&Event::ServeRequest {
                     method: &req.method,
@@ -263,15 +522,49 @@ fn handle_connection(mut stream: TcpStream, ctx: &Ctx) -> std::io::Result<()> {
                     status: u64::from(status),
                 });
             }
-            (status, content_type, body)
         }
-        Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
-            (400, "application/json", error_body(&e.to_string()))
+        ctx.counters.requests.fetch_add(1, Ordering::SeqCst);
+        // Timestamp activity before the response leaves: the next idle
+        // window must start no later than the client could have seen it.
+        last_activity = ctx.clock.now_ms();
+        http::write_response(&mut stream, status, content_type, &body, close)?;
+        if close {
+            return Ok(());
         }
-        Err(e) => return Err(e),
-    };
-    ctx.requests.fetch_add(1, Ordering::SeqCst);
-    http::write_response(&mut stream, status, content_type, &body)
+    }
+}
+
+/// Reads one request, retrying the short socket-timeout ticks until the
+/// idle deadline (on the injectable clock) expires. `read_request` on a
+/// `BufReader` keeps consumed bytes buffered across `WouldBlock` ticks
+/// only *between* lines, so a timeout mid-line surfaces here and is
+/// retried by re-parsing from the buffer — which is why the parser is
+/// only entered once request bytes are known to be available and the
+/// common case never ticks at all.
+fn read_request_paced(
+    reader: &mut BufReader<TcpStream>,
+    ctx: &Ctx,
+    deadline_ms: u64,
+) -> std::io::Result<Option<Request>> {
+    loop {
+        match http::read_request(reader) {
+            Ok(req) => return Ok(req),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if ctx.clock.now_ms() >= deadline_ms {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        "request stalled mid-transfer",
+                    ));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
 }
 
 fn error_body(message: &str) -> Vec<u8> {
@@ -294,7 +587,9 @@ fn route(req: &Request, ctx: &Ctx) -> Reply {
     let path = req.path.split('?').next().unwrap_or("");
     match (req.method.as_str(), path) {
         ("POST", "/jobs") => post_job(req, ctx),
+        ("POST", "/batches") => post_batch(req, ctx),
         ("GET", "/jobs") => list_jobs(ctx),
+        ("GET", "/metrics") => metrics(ctx),
         ("GET", p) => {
             if let Some(id) = p
                 .strip_prefix("/jobs/")
@@ -317,17 +612,17 @@ fn route(req: &Request, ctx: &Ctx) -> Reply {
     }
 }
 
-fn post_job(req: &Request, ctx: &Ctx) -> Reply {
-    let Ok(text) = std::str::from_utf8(&req.body) else {
-        return (400, "application/json", error_body("body is not UTF-8"));
-    };
-    let spec = match JobSpec::from_json_text(text) {
-        Ok(spec) => spec,
-        Err(e) => return (400, "application/json", error_body(&e.to_string())),
-    };
-    if let Err(e) = spec.validate() {
-        return (400, "application/json", error_body(&e.to_string()));
-    }
+/// The outcome of enqueueing one validated spec.
+struct Enqueued {
+    id: String,
+    hash: String,
+    deduped: bool,
+}
+
+/// Content-hashes `spec` and atomically publishes it into the queue
+/// unless an identical spec is already queued or answered — the shared
+/// submission path for `POST /jobs` and `POST /batches`.
+fn enqueue_spec(ctx: &Ctx, spec: &JobSpec) -> Result<Enqueued, RuntimeError> {
     let hash = spec.content_hash();
     let id = format!("job-{hash}");
     let job = ctx.queue.join(format!("{id}.json"));
@@ -343,13 +638,14 @@ fn post_job(req: &Request, ctx: &Ctx) -> Reply {
             .join(format!("{id}.submit-{}", std::process::id()));
         let mut body = spec.to_json().to_string_pretty();
         body.push('\n');
-        if let Err(e) = std::fs::write(&tmp, body).and_then(|()| std::fs::rename(&tmp, &job)) {
-            return (
-                500,
-                "application/json",
-                error_body(&format!("queueing the job: {e}")),
-            );
-        }
+        std::fs::write(&tmp, body)
+            .and_then(|()| std::fs::rename(&tmp, &job))
+            .map_err(|e| RuntimeError::io("queueing the job", e))?;
+    }
+    if deduped {
+        ctx.counters.jobs_deduped.fetch_add(1, Ordering::SeqCst);
+    } else {
+        ctx.counters.jobs_accepted.fetch_add(1, Ordering::SeqCst);
     }
     if ctx.sink.enabled() {
         ctx.sink.emit(&Event::ServeJob {
@@ -358,18 +654,128 @@ fn post_job(req: &Request, ctx: &Ctx) -> Reply {
             deduped,
         });
     }
+    Ok(Enqueued { id, hash, deduped })
+}
+
+/// Renders one enqueued spec's status document (shared by the single
+/// and batch submission paths).
+fn enqueued_json(ctx: &Ctx, outcome: &Enqueued) -> Json {
+    let job = ctx.queue.join(format!("{}.json", outcome.id));
     let mut doc = if job.exists() {
         state::status_json(&job)
     } else {
         // Deduped against the store after the job file was pruned.
         let mut doc = Json::object();
-        doc.insert("job", Json::Str(id));
-        doc.insert("spec_hash", Json::Str(hash));
+        doc.insert("job", Json::Str(outcome.id.clone()));
+        doc.insert("spec_hash", Json::Str(outcome.hash.clone()));
         doc.insert("status", Json::Str("done".to_string()));
         doc
     };
-    doc.insert("deduped", Json::Bool(deduped));
-    let status = if deduped { 200 } else { 201 };
+    doc.insert("deduped", Json::Bool(outcome.deduped));
+    doc
+}
+
+fn post_job(req: &Request, ctx: &Ctx) -> Reply {
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        return (400, "application/json", error_body("body is not UTF-8"));
+    };
+    let spec = match JobSpec::from_json_text(text) {
+        Ok(spec) => spec,
+        Err(e) => return (400, "application/json", error_body(&e.to_string())),
+    };
+    if let Err(e) = spec.validate() {
+        return (400, "application/json", error_body(&e.to_string()));
+    }
+    let outcome = match enqueue_spec(ctx, &spec) {
+        Ok(outcome) => outcome,
+        Err(e) => return (500, "application/json", error_body(&e.to_string())),
+    };
+    let doc = enqueued_json(ctx, &outcome);
+    let status = if outcome.deduped { 200 } else { 201 };
+    (status, "application/json", doc_bytes(&doc))
+}
+
+/// `POST /batches`: a JSON array of job specs, validated as a unit —
+/// either every element is a valid spec and all of them are enqueued
+/// (with per-item dedup verdicts), or nothing is enqueued and the `400`
+/// response names each failing index. One batch drives a whole sweep
+/// idempotently: re-POSTing it reports every item `deduped`.
+fn post_batch(req: &Request, ctx: &Ctx) -> Reply {
+    ctx.counters.batches.fetch_add(1, Ordering::SeqCst);
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        return (400, "application/json", error_body("body is not UTF-8"));
+    };
+    let value = match parse(text) {
+        Ok(value) => value,
+        Err(e) => return (400, "application/json", error_body(&e.to_string())),
+    };
+    let Some(items) = value.as_array() else {
+        return (
+            400,
+            "application/json",
+            error_body("a batch is a JSON array of job specs"),
+        );
+    };
+    if items.is_empty() {
+        return (400, "application/json", error_body("empty batch"));
+    }
+    // Validate everything before enqueueing anything: a batch with one
+    // bad spec enqueues zero jobs, so a retried (fixed) batch never
+    // half-duplicates its predecessor.
+    let mut specs = Vec::with_capacity(items.len());
+    let mut errors = Vec::new();
+    for (index, item) in items.iter().enumerate() {
+        match JobSpec::from_json(item).and_then(|spec| spec.validate().map(|_| spec)) {
+            Ok(spec) => specs.push(spec),
+            Err(e) => {
+                let mut err = Json::object();
+                err.insert("index", Json::Int(index as i64));
+                err.insert("error", Json::Str(e.to_string()));
+                errors.push(err);
+            }
+        }
+    }
+    if !errors.is_empty() {
+        let mut doc = Json::object();
+        doc.insert(
+            "error",
+            Json::Str(format!(
+                "{} of {} specs failed validation; nothing was enqueued",
+                errors.len(),
+                items.len()
+            )),
+        );
+        doc.insert("invalid", Json::Arr(errors));
+        return (400, "application/json", doc_bytes(&doc));
+    }
+    let mut rendered = Vec::with_capacity(specs.len());
+    let mut accepted = 0u64;
+    let mut deduped = 0u64;
+    for spec in &specs {
+        let outcome = match enqueue_spec(ctx, spec) {
+            Ok(outcome) => outcome,
+            Err(e) => return (500, "application/json", error_body(&e.to_string())),
+        };
+        if outcome.deduped {
+            deduped += 1;
+        } else {
+            accepted += 1;
+        }
+        rendered.push(enqueued_json(ctx, &outcome));
+    }
+    if ctx.sink.enabled() {
+        ctx.sink.emit(&Event::ServeBatch {
+            jobs: specs.len() as u64,
+            accepted,
+            deduped,
+        });
+    }
+    let mut doc = Json::object();
+    doc.insert("jobs", Json::Int(specs.len() as i64));
+    doc.insert("accepted", Json::Int(accepted as i64));
+    doc.insert("deduped", Json::Int(deduped as i64));
+    doc.insert("items", Json::Arr(rendered));
+    let status = if accepted > 0 { 201 } else { 200 };
     (status, "application/json", doc_bytes(&doc))
 }
 
@@ -381,6 +787,64 @@ fn list_jobs(ctx: &Ctx) -> Reply {
     let jobs = files.iter().map(|f| state::status_json(f)).collect();
     let mut doc = Json::object();
     doc.insert("jobs", Json::Arr(jobs));
+    (200, "application/json", doc_bytes(&doc))
+}
+
+/// `GET /metrics`: the service's `od-serve-metrics-v1` document —
+/// request/connection/overload counters, submission and dedup totals,
+/// and the live results-store footprint with GC totals.
+fn metrics(ctx: &Ctx) -> Reply {
+    let c = &ctx.counters;
+    let load = |counter: &AtomicU64| Json::Int(counter.load(Ordering::SeqCst) as i64);
+    let mut doc = Json::object();
+    doc.insert("schema", Json::Str("od-serve-metrics-v1".to_string()));
+    doc.insert("requests", load(&c.requests));
+    doc.insert("connections", load(&c.connections));
+    doc.insert("in_flight", load(&c.in_flight));
+    doc.insert("max_connections", Json::Int(ctx.max_connections as i64));
+    doc.insert("overloads", load(&c.overloads));
+
+    let mut jobs = Json::object();
+    jobs.insert("accepted", load(&c.jobs_accepted));
+    jobs.insert("deduped", load(&c.jobs_deduped));
+    jobs.insert("batches", load(&c.batches));
+    doc.insert("jobs", jobs);
+
+    let mut results = Json::object();
+    results.insert("hits", load(&c.results_hits));
+    results.insert("misses", load(&c.results_misses));
+    doc.insert("results", results);
+
+    let mut store_doc = Json::object();
+    let footprint = store::footprint(&ctx.queue);
+    store_doc.insert("entries", Json::Int(footprint.entries as i64));
+    store_doc.insert("bytes", Json::Int(footprint.bytes as i64));
+    store_doc.insert(
+        "max_count",
+        ctx.gc_caps
+            .max_count
+            .map_or(Json::Null, |n| Json::Int(n as i64)),
+    );
+    store_doc.insert(
+        "max_bytes",
+        ctx.gc_caps
+            .max_bytes
+            .map_or(Json::Null, |n| Json::Int(n as i64)),
+    );
+    store_doc.insert("gc_passes", load(&c.gc_passes));
+    store_doc.insert("gc_evicted", load(&c.gc_evicted));
+    store_doc.insert("gc_bytes_freed", load(&c.gc_bytes_freed));
+    doc.insert("store", store_doc);
+
+    let uptime_ms = ctx.clock.now_ms().saturating_sub(ctx.started_ms);
+    doc.insert("uptime_ms", Json::Int(uptime_ms as i64));
+    let requests = c.requests.load(Ordering::SeqCst);
+    let rate = if uptime_ms > 0 {
+        requests as f64 * 1000.0 / uptime_ms as f64
+    } else {
+        0.0
+    };
+    doc.insert("requests_per_sec", Json::Float(rate));
     (200, "application/json", doc_bytes(&doc))
 }
 
@@ -401,7 +865,14 @@ fn job_detail(id: &str, ctx: &Ctx) -> Reply {
 
 fn job_result(hash: &str, ctx: &Ctx) -> Reply {
     let reply = match store::get_or_publish(&ctx.queue, hash) {
-        Ok(Some(bytes)) => (200, "application/json", bytes),
+        Ok(Some(bytes)) => {
+            // Publishing may have grown the store past its caps; trim
+            // before answering so retention is enforced continuously.
+            if let Err(e) = ctx.gc() {
+                return (500, "application/json", error_body(&e.to_string()));
+            }
+            (200, "application/json", bytes)
+        }
         Ok(None) => (
             404,
             "application/json",
@@ -409,6 +880,11 @@ fn job_result(hash: &str, ctx: &Ctx) -> Reply {
         ),
         Err(e) => (500, "application/json", error_body(&e.to_string())),
     };
+    if reply.0 == 200 {
+        ctx.counters.results_hits.fetch_add(1, Ordering::SeqCst);
+    } else {
+        ctx.counters.results_misses.fetch_add(1, Ordering::SeqCst);
+    }
     if ctx.sink.enabled() {
         ctx.sink.emit(&Event::ServeResult {
             spec: hash,

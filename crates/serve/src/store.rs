@@ -10,10 +10,25 @@
 //! result outlives its job file: identical specs are answered from the
 //! store without touching the queue.
 
+//! # Retention
+//!
+//! The store is a cache, so it is allowed to forget — but never to lie.
+//! [`gc`] trims it to configured count/byte caps by evicting the
+//! **oldest** entries first (modification time, tie-broken by name),
+//! with one carve-out: a result whose spec hash is still the current
+//! content hash of a queue job file is *referenced* — its job's
+//! sidecars (done marker, lease, retry state) still point at it — and
+//! is never evicted, even when that leaves the store over its caps.
+//! Eviction passes through the `store.gc.evict` failpoint, so chaos
+//! tests can kill the process mid-sweep and assert a rerun converges.
+
+use od_runtime::faults::{self, Injected};
 use od_runtime::lease::DoneMarker;
 use od_runtime::queue::queue_files;
 use od_runtime::{load_job_file, RuntimeError};
+use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
+use std::time::SystemTime;
 
 /// The store directory inside a queue (dot-prefixed, so the queue scan
 /// never mistakes stored results for job files).
@@ -114,6 +129,179 @@ pub fn get_or_publish(queue: &Path, spec_hash: &str) -> Result<Option<Vec<u8>>, 
     Ok(None)
 }
 
+/// Retention caps for [`gc`]. `None` fields are unbounded.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GcCaps {
+    /// Keep at most this many stored results.
+    pub max_count: Option<u64>,
+    /// Keep at most this many total stored bytes.
+    pub max_bytes: Option<u64>,
+}
+
+impl GcCaps {
+    /// True when no cap is set — [`gc`] has nothing to enforce.
+    #[must_use]
+    pub fn is_unbounded(&self) -> bool {
+        self.max_count.is_none() && self.max_bytes.is_none()
+    }
+}
+
+/// What one [`gc`] pass did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Results evicted this pass.
+    pub evicted: u64,
+    /// Results still stored after the pass.
+    pub kept: u64,
+    /// Bytes freed this pass.
+    pub bytes_freed: u64,
+}
+
+/// The store's current size, as scanned from disk.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Footprint {
+    /// Stored results.
+    pub entries: u64,
+    /// Their total size in bytes.
+    pub bytes: u64,
+}
+
+/// One stored result, as seen by the GC scan.
+struct Entry {
+    path: PathBuf,
+    hash: String,
+    bytes: u64,
+    mtime: SystemTime,
+}
+
+/// Scans the store directory. Entries that vanish mid-scan (a
+/// concurrent GC, an operator's `rm`) are skipped, not errors.
+fn scan(queue: &Path) -> Result<Vec<Entry>, RuntimeError> {
+    let dir = results_dir(queue);
+    let mut entries = Vec::new();
+    let iter = match std::fs::read_dir(&dir) {
+        Ok(iter) => iter,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(entries),
+        Err(e) => return Err(RuntimeError::io(&format!("scanning {}", dir.display()), e)),
+    };
+    for entry in iter {
+        let entry =
+            entry.map_err(|e| RuntimeError::io(&format!("scanning {}", dir.display()), e))?;
+        let path = entry.path();
+        let Some(hash) = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .and_then(|n| n.strip_suffix(".json"))
+        else {
+            continue; // tmp files mid-publish, stray droppings
+        };
+        if !valid_hash(hash) {
+            continue;
+        }
+        let Ok(meta) = entry.metadata() else { continue };
+        entries.push(Entry {
+            hash: hash.to_string(),
+            bytes: meta.len(),
+            mtime: meta.modified().unwrap_or(SystemTime::UNIX_EPOCH),
+            path,
+        });
+    }
+    Ok(entries)
+}
+
+/// The store's current entry count and byte total.
+#[must_use]
+pub fn footprint(queue: &Path) -> Footprint {
+    let entries = scan(queue).unwrap_or_default();
+    Footprint {
+        entries: entries.len() as u64,
+        bytes: entries.iter().map(|e| e.bytes).sum(),
+    }
+}
+
+/// The spec hashes the store must keep: the *current* content hash of
+/// every job file in the queue. A stored result for such a hash is
+/// exactly what the job's done marker points at (markers are only
+/// honored — and results only published — when the recorded hash
+/// matches the job file), so evicting it would orphan live sidecars.
+/// Unreadable job files protect nothing: their markers are already
+/// unhonorable.
+fn referenced_hashes(queue: &Path) -> Result<BTreeSet<String>, RuntimeError> {
+    let mut hashes = BTreeSet::new();
+    for job in queue_files(queue)? {
+        if let Ok(spec) = load_job_file(&job) {
+            hashes.insert(spec.content_hash());
+        }
+    }
+    Ok(hashes)
+}
+
+/// Trims the store to `caps`, evicting oldest-first (mtime, then name)
+/// and never evicting a result still referenced by a queue job file.
+/// Returns what the pass did; when every remaining entry is protected
+/// the store may legitimately stay over its caps — the report's `kept`
+/// says so truthfully.
+///
+/// Each eviction consults the `store.gc.evict` failpoint: an injected
+/// error aborts the pass mid-sweep (already-evicted entries stay gone —
+/// the store is a cache, so a partial sweep is consistent; the next
+/// pass finishes the job), and `abort` kills the process there, which
+/// is the crash the chaos tests exercise.
+///
+/// # Errors
+///
+/// Returns I/O errors from scanning the store or queue, or from an
+/// eviction (injected or real).
+pub fn gc(queue: &Path, caps: &GcCaps) -> Result<GcReport, RuntimeError> {
+    let mut report = GcReport::default();
+    let mut entries = scan(queue)?;
+    report.kept = entries.len() as u64;
+    if caps.is_unbounded() {
+        return Ok(report);
+    }
+    let referenced = referenced_hashes(queue)?;
+    entries.sort_by(|a, b| a.mtime.cmp(&b.mtime).then_with(|| a.hash.cmp(&b.hash)));
+    let mut count = entries.len() as u64;
+    let mut bytes: u64 = entries.iter().map(|e| e.bytes).sum();
+    let over = |count: u64, bytes: u64| {
+        caps.max_count.is_some_and(|cap| count > cap)
+            || caps.max_bytes.is_some_and(|cap| bytes > cap)
+    };
+    for entry in &entries {
+        if !over(count, bytes) {
+            break;
+        }
+        if referenced.contains(&entry.hash) {
+            continue;
+        }
+        match faults::fire("store.gc.evict") {
+            Injected::None | Injected::Truncate(_) => {}
+            Injected::Error(e) => {
+                return Err(RuntimeError::io(
+                    &format!("evicting {}", entry.path.display()),
+                    e,
+                ))
+            }
+        }
+        match std::fs::remove_file(&entry.path) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => {
+                return Err(RuntimeError::io(
+                    &format!("evicting {}", entry.path.display()),
+                    e,
+                ))
+            }
+        }
+        count -= 1;
+        bytes -= entry.bytes;
+        report.evicted += 1;
+        report.bytes_freed += entry.bytes;
+    }
+    report.kept = count;
+    Ok(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,6 +366,90 @@ mod tests {
         std::fs::write(&job, SPEC.replace("\"trials\": 2", "\"trials\": 4")).unwrap();
         assert!(get_or_publish(&dir, &old_hash).unwrap().is_none());
         assert!(!result_path(&dir, &old_hash).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Writes a fake stored result with a pinned modification time so
+    /// eviction order is deterministic under test.
+    fn plant(dir: &Path, hash: &str, bytes: &[u8], mtime_secs: u64) {
+        let path = result_path(dir, hash);
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, bytes).unwrap();
+        let file = std::fs::File::options().write(true).open(&path).unwrap();
+        file.set_modified(SystemTime::UNIX_EPOCH + std::time::Duration::from_secs(mtime_secs))
+            .unwrap();
+    }
+
+    #[test]
+    fn gc_evicts_oldest_first_but_never_a_referenced_result() {
+        let dir = temp_dir("gc_order");
+        // A live queue job: its current content hash is referenced, so
+        // its stored result must survive GC even as the oldest entry.
+        let job = dir.join("job-live.json");
+        std::fs::write(&job, SPEC).unwrap();
+        let live = load_job_file(&job).unwrap().content_hash();
+        plant(&dir, &live, b"{\"live\":true}", 100);
+        plant(&dir, "aa", b"{}", 200);
+        plant(&dir, "cc", b"{}", 300);
+        plant(&dir, "dd", b"{}", 400);
+
+        let caps = GcCaps {
+            max_count: Some(2),
+            max_bytes: None,
+        };
+        let report = gc(&dir, &caps).unwrap();
+        assert_eq!(report.evicted, 2, "{report:?}");
+        assert_eq!(report.kept, 2);
+        assert!(
+            result_path(&dir, &live).exists(),
+            "referenced result evicted"
+        );
+        assert!(!result_path(&dir, "aa").exists(), "oldest evictable kept");
+        assert!(!result_path(&dir, "cc").exists());
+        assert!(result_path(&dir, "dd").exists(), "newest entry evicted");
+
+        // Once the job file is gone nothing references the result; the
+        // next pass may evict it (oldest first again).
+        std::fs::remove_file(&job).unwrap();
+        let caps = GcCaps {
+            max_count: Some(1),
+            max_bytes: None,
+        };
+        let report = gc(&dir, &caps).unwrap();
+        assert_eq!(report.evicted, 1);
+        assert!(!result_path(&dir, &live).exists());
+        assert!(result_path(&dir, "dd").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_enforces_byte_caps_and_reports_footprint() {
+        let dir = temp_dir("gc_bytes");
+        plant(&dir, "aa", &[b'x'; 10], 100);
+        plant(&dir, "bb", &[b'y'; 10], 200);
+        plant(&dir, "cc", &[b'z'; 10], 300);
+        let before = footprint(&dir);
+        assert_eq!(before.entries, 3);
+        assert_eq!(before.bytes, 30);
+
+        let caps = GcCaps {
+            max_count: None,
+            max_bytes: Some(15),
+        };
+        let report = gc(&dir, &caps).unwrap();
+        assert_eq!(report.evicted, 2);
+        assert_eq!(report.bytes_freed, 20);
+        assert_eq!(report.kept, 1);
+        assert!(result_path(&dir, "cc").exists(), "newest must survive");
+
+        let after = footprint(&dir);
+        assert_eq!(after.entries, 1);
+        assert_eq!(after.bytes, 10);
+
+        // Unbounded caps never evict.
+        let report = gc(&dir, &GcCaps::default()).unwrap();
+        assert_eq!(report.evicted, 0);
+        assert_eq!(report.kept, 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -274,6 +274,32 @@ pub enum Event<'a> {
         /// True when the store had the result.
         hit: bool,
     },
+    /// A `POST /batches` submission was validated and enqueued.
+    ServeBatch {
+        /// Specs in the batch.
+        jobs: u64,
+        /// Specs enqueued as new job files.
+        accepted: u64,
+        /// Specs answered by dedup (already queued or complete).
+        deduped: u64,
+    },
+    /// A connection was turned away at the concurrent-connection cap
+    /// with a `503`.
+    ServeOverload {
+        /// Connections in flight when the connection arrived.
+        connections: u64,
+        /// The configured cap.
+        limit: u64,
+    },
+    /// A results-store GC pass evicted at least one stored result.
+    ServeGc {
+        /// Results evicted this pass.
+        evicted: u64,
+        /// Results still stored after the pass.
+        kept: u64,
+        /// Bytes freed this pass.
+        bytes_freed: u64,
+    },
     /// The service stopped accepting requests and shut down.
     ServeStop {
         /// Requests answered over the service's lifetime.
@@ -324,6 +350,9 @@ impl Event<'_> {
             Event::ServeRequest { .. } => "serve_request",
             Event::ServeJob { .. } => "serve_job",
             Event::ServeResult { .. } => "serve_result",
+            Event::ServeBatch { .. } => "serve_batch",
+            Event::ServeOverload { .. } => "serve_overload",
+            Event::ServeGc { .. } => "serve_gc",
             Event::ServeStop { .. } => "serve_stop",
             Event::Bench { .. } => "bench",
         }
@@ -577,6 +606,28 @@ impl Event<'_> {
             Event::ServeResult { spec, hit } => {
                 field_str(out, "spec", spec);
                 field_bool(out, "hit", *hit);
+            }
+            Event::ServeBatch {
+                jobs,
+                accepted,
+                deduped,
+            } => {
+                field_u64(out, "jobs", *jobs);
+                field_u64(out, "accepted", *accepted);
+                field_u64(out, "deduped", *deduped);
+            }
+            Event::ServeOverload { connections, limit } => {
+                field_u64(out, "connections", *connections);
+                field_u64(out, "limit", *limit);
+            }
+            Event::ServeGc {
+                evicted,
+                kept,
+                bytes_freed,
+            } => {
+                field_u64(out, "evicted", *evicted);
+                field_u64(out, "kept", *kept);
+                field_u64(out, "bytes_freed", *bytes_freed);
             }
             Event::ServeStop { requests } => {
                 field_u64(out, "requests", *requests);
@@ -843,6 +894,38 @@ mod tests {
         assert!(result.contains("\"kind\":\"serve_result\"") && result.contains("\"hit\":false"));
         let stop = Event::ServeStop { requests: 11 }.encode(5, 10);
         assert!(stop.contains("\"kind\":\"serve_stop\"") && stop.contains("\"requests\":11"));
+        let batch = Event::ServeBatch {
+            jobs: 5,
+            accepted: 3,
+            deduped: 2,
+        }
+        .encode(6, 11);
+        assert_eq!(
+            batch,
+            "{\"seq\":6,\"t_ms\":11,\"kind\":\"serve_batch\",\"jobs\":5,\
+             \"accepted\":3,\"deduped\":2}"
+        );
+        let overload = Event::ServeOverload {
+            connections: 8,
+            limit: 8,
+        }
+        .encode(7, 12);
+        assert_eq!(
+            overload,
+            "{\"seq\":7,\"t_ms\":12,\"kind\":\"serve_overload\",\
+             \"connections\":8,\"limit\":8}"
+        );
+        let gc = Event::ServeGc {
+            evicted: 2,
+            kept: 4,
+            bytes_freed: 512,
+        }
+        .encode(8, 13);
+        assert_eq!(
+            gc,
+            "{\"seq\":8,\"t_ms\":13,\"kind\":\"serve_gc\",\"evicted\":2,\
+             \"kept\":4,\"bytes_freed\":512}"
+        );
     }
 
     #[test]
