@@ -8,12 +8,30 @@
 //! `Connection: close` on the response side. Not supported (and not
 //! needed): chunked encoding, pipelining (the service rejects it —
 //! see [`crate::service`]), TLS, trailers.
+//!
+//! Parsing is *incremental*: [`parse_request`] reads a complete request
+//! off the front of a caller-owned byte buffer without consuming
+//! anything on a partial prefix, so callers feeding it from sockets
+//! with short read timeouts never lose mid-request bytes between
+//! attempts. Every dimension of a request is bounded — body bytes
+//! ([`MAX_BODY_BYTES`]), header-block bytes ([`MAX_HEADER_BYTES`],
+//! enforced even before the block completes), and header count
+//! ([`MAX_HEADERS`]) — so no single connection can grow a buffer
+//! without bound.
 
 use std::io::{BufRead, Write};
 
 /// The largest request body the service accepts (a batch of job specs
 /// is tens of kilobytes; a megabyte is generous).
 pub const MAX_BODY_BYTES: u64 = 1 << 20;
+
+/// The largest header block (request line through the blank line) the
+/// service accepts. A peer streaming an endless header line is cut off
+/// here instead of growing a buffer without bound.
+pub const MAX_HEADER_BYTES: usize = 8 << 10;
+
+/// The most headers one request may carry.
+pub const MAX_HEADERS: usize = 100;
 
 /// One parsed request.
 #[derive(Debug, PartialEq, Eq)]
@@ -34,19 +52,55 @@ fn invalid(message: &str) -> std::io::Error {
     std::io::Error::new(std::io::ErrorKind::InvalidData, message)
 }
 
-/// Reads one request from `reader`. Returns `Ok(None)` on a clean
-/// end-of-stream before any request bytes (the peer closed an idle
-/// keep-alive connection).
+/// The next `\n`-terminated line starting at `*pos` (terminator and a
+/// trailing `\r` stripped), advancing `*pos` past it; `None` when the
+/// buffer ends before the terminator.
+fn take_line<'b>(buf: &'b [u8], pos: &mut usize) -> std::io::Result<Option<&'b str>> {
+    let rest = &buf[*pos..];
+    let Some(nl) = rest.iter().position(|&b| b == b'\n') else {
+        return Ok(None);
+    };
+    let mut line = &rest[..nl];
+    if line.last() == Some(&b'\r') {
+        line = &line[..line.len() - 1];
+    }
+    *pos += nl + 1;
+    std::str::from_utf8(line)
+        .map(Some)
+        .map_err(|_| invalid("header bytes are not UTF-8"))
+}
+
+/// The verdict on a header block whose terminating blank line has not
+/// arrived yet: tolerable (wait for more bytes) only within the header
+/// cap — everything buffered so far is header bytes.
+fn incomplete_headers(buf: &[u8]) -> std::io::Result<Option<(Request, usize)>> {
+    if buf.len() > MAX_HEADER_BYTES {
+        Err(invalid("request headers too large"))
+    } else {
+        Ok(None)
+    }
+}
+
+/// Parses one request from the *front* of `buf`. Returns the request
+/// plus the number of bytes it occupied (the caller drains exactly
+/// those, keeping any over-read — pipelined — bytes), or `Ok(None)`
+/// when `buf` holds only an incomplete prefix and more bytes are
+/// needed. The parser never consumes anything itself, so a caller that
+/// accumulates bytes across partial reads (short socket timeouts, slow
+/// peers) loses nothing between attempts.
 ///
 /// # Errors
 ///
-/// Returns `InvalidData` for a malformed request line, header, or
-/// oversized body, and propagates transport I/O errors.
-pub fn read_request<R: BufRead>(reader: &mut R) -> std::io::Result<Option<Request>> {
-    let mut line = String::new();
-    if reader.read_line(&mut line)? == 0 {
-        return Ok(None);
-    }
+/// Returns `InvalidData` for a malformed request line or header, an
+/// oversized body (`MAX_BODY_BYTES`), an oversized header block
+/// (`MAX_HEADER_BYTES` — enforced even while the block is incomplete,
+/// so an endless header line cannot grow the buffer without bound), or
+/// more than `MAX_HEADERS` headers.
+pub fn parse_request(buf: &[u8]) -> std::io::Result<Option<(Request, usize)>> {
+    let mut pos = 0usize;
+    let Some(line) = take_line(buf, &mut pos)? else {
+        return incomplete_headers(buf);
+    };
     let mut parts = line.split_whitespace();
     let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
         (Some(method), Some(path), Some(version)) => (method, path, version),
@@ -59,14 +113,17 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> std::io::Result<Option<Reques
     let mut close = version == "HTTP/1.0";
     let (method, path) = (method.to_string(), path.to_string());
     let mut content_length: u64 = 0;
+    let mut headers = 0usize;
     loop {
-        let mut header = String::new();
-        if reader.read_line(&mut header)? == 0 {
-            return Err(invalid("connection closed mid-headers"));
-        }
-        let header = header.trim_end();
+        let Some(header) = take_line(buf, &mut pos)? else {
+            return incomplete_headers(buf);
+        };
         if header.is_empty() {
             break;
+        }
+        headers += 1;
+        if headers > MAX_HEADERS {
+            return Err(invalid("too many headers"));
         }
         let Some((name, value)) = header.split_once(':') else {
             return Err(invalid("malformed header"));
@@ -85,17 +142,59 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> std::io::Result<Option<Reques
             }
         }
     }
+    if pos > MAX_HEADER_BYTES {
+        return Err(invalid("request headers too large"));
+    }
     if content_length > MAX_BODY_BYTES {
         return Err(invalid("request body too large"));
     }
-    let mut body = vec![0u8; content_length as usize];
-    reader.read_exact(&mut body)?;
-    Ok(Some(Request {
-        method,
-        path,
-        body,
-        close,
-    }))
+    let end = pos + content_length as usize;
+    if buf.len() < end {
+        return Ok(None); // body still in flight
+    }
+    let body = buf[pos..end].to_vec();
+    Ok(Some((
+        Request {
+            method,
+            path,
+            body,
+            close,
+        },
+        end,
+    )))
+}
+
+/// Reads one request from `reader`, consuming exactly the request's
+/// bytes (over-read — pipelined — bytes stay in the reader). Returns
+/// `Ok(None)` on a clean end-of-stream before any request bytes (the
+/// peer closed an idle keep-alive connection).
+///
+/// # Errors
+///
+/// Returns `InvalidData` for anything [`parse_request`] rejects or a
+/// stream that ends mid-request, and propagates transport I/O errors.
+pub fn read_request<R: BufRead>(reader: &mut R) -> std::io::Result<Option<Request>> {
+    let mut buf = Vec::new();
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            return if buf.is_empty() {
+                Ok(None)
+            } else {
+                Err(invalid("connection closed mid-request"))
+            };
+        }
+        let already = buf.len();
+        let chunk_len = chunk.len();
+        buf.extend_from_slice(chunk);
+        match parse_request(&buf)? {
+            Some((request, consumed)) => {
+                reader.consume(consumed - already);
+                return Ok(Some(request));
+            }
+            None => reader.consume(chunk_len),
+        }
+    }
 }
 
 /// The standard reason phrase for the status codes the service emits.
@@ -201,6 +300,71 @@ mod tests {
         assert!(read_request(&mut Cursor::new(&b"GET / SPDY/3\r\n\r\n"[..])).is_err());
         // A stream that dies mid-headers is an error, not a clean None.
         assert!(read_request(&mut Cursor::new(&b"GET / HTTP/1.1\r\nHost: x\r\n"[..])).is_err());
+    }
+
+    #[test]
+    fn incremental_parse_waits_for_complete_requests() {
+        let first = b"POST /jobs HTTP/1.1\r\nContent-Length: 4\r\n\r\nbody";
+        let second = b"GET /next HTTP/1.1\r\n\r\n";
+        let mut full = first.to_vec();
+        full.extend_from_slice(second);
+        // Every strict prefix of the first request is incomplete — not
+        // an error, and nothing is consumed.
+        for cut in 0..first.len() {
+            assert!(
+                parse_request(&full[..cut]).unwrap().is_none(),
+                "prefix of {cut} bytes should be incomplete"
+            );
+        }
+        let (request, consumed) = parse_request(&full).unwrap().unwrap();
+        assert_eq!(consumed, first.len(), "must consume exactly one request");
+        assert_eq!(request.path, "/jobs");
+        assert_eq!(request.body, b"body");
+        // The leftover bytes parse as the next request.
+        let (request, consumed) = parse_request(&full[first.len()..]).unwrap().unwrap();
+        assert_eq!(request.path, "/next");
+        assert_eq!(consumed, second.len());
+    }
+
+    #[test]
+    fn header_caps_bound_buffering() {
+        // An endless header line errors once past the cap, even with no
+        // terminator in sight; under the cap it is merely incomplete.
+        let mut flood = b"GET / HTTP/1.1\r\nX-Flood: ".to_vec();
+        flood.resize(MAX_HEADER_BYTES + 1, b'a');
+        assert!(parse_request(&flood).is_err());
+        assert!(parse_request(&flood[..MAX_HEADER_BYTES / 2])
+            .unwrap()
+            .is_none());
+        // A complete block over the byte cap is rejected too.
+        let huge_line = format!(
+            "GET / HTTP/1.1\r\nX-Flood: {}\r\n\r\n",
+            "a".repeat(MAX_HEADER_BYTES)
+        );
+        assert!(parse_request(huge_line.as_bytes()).is_err());
+        // One header over the count cap is rejected.
+        let mut many = b"GET / HTTP/1.1\r\n".to_vec();
+        for i in 0..=MAX_HEADERS {
+            many.extend_from_slice(format!("X-{i}: v\r\n").as_bytes());
+        }
+        many.extend_from_slice(b"\r\n");
+        assert!(parse_request(&many).is_err());
+        // Exactly at the count cap is fine.
+        let mut at_cap = b"GET / HTTP/1.1\r\n".to_vec();
+        for i in 0..MAX_HEADERS {
+            at_cap.extend_from_slice(format!("X-{i}: v\r\n").as_bytes());
+        }
+        at_cap.extend_from_slice(b"\r\n");
+        assert!(parse_request(&at_cap).unwrap().is_some());
+    }
+
+    #[test]
+    fn read_request_leaves_pipelined_bytes_unconsumed() {
+        let raw = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let mut cursor = Cursor::new(&raw[..]);
+        assert_eq!(read_request(&mut cursor).unwrap().unwrap().path, "/a");
+        assert_eq!(read_request(&mut cursor).unwrap().unwrap().path, "/b");
+        assert!(read_request(&mut cursor).unwrap().is_none());
     }
 
     #[test]

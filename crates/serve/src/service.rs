@@ -25,7 +25,7 @@ use od_runtime::{
     run_queue_worker, CancelToken, JobSpec, QueueClock, RuntimeError, SystemClock, WorkerOptions,
 };
 use od_telemetry::{Event, JsonlSink, NullSink, TelemetrySink};
-use std::io::BufReader;
+use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -168,9 +168,9 @@ struct Ctx {
 impl Ctx {
     /// Runs a store GC pass when retention caps are configured,
     /// folding the outcome into the counters and emitting `serve_gc`
-    /// when anything was evicted. GC errors are reported to the caller
-    /// (they fail the triggering request loudly rather than silently
-    /// skipping retention).
+    /// when anything was evicted. Errors go to the caller: startup
+    /// fails loudly on them, while the serving path logs the failure
+    /// and still answers (a broken trim must not break reads).
     fn gc(&self) -> Result<(), RuntimeError> {
         if self.gc_caps.is_unbounded() {
             return Ok(());
@@ -388,7 +388,6 @@ fn accept_loop(listener: &TcpListener, stop: &Arc<AtomicBool>, ctx: &Arc<Ctx>) {
                     if ctx.sink.enabled() {
                         ctx.sink.emit(&Event::ServeOverload { connections, limit });
                     }
-                    let _ = stream.set_nonblocking(false);
                     let mut doc = Json::object();
                     doc.insert(
                         "error",
@@ -396,13 +395,16 @@ fn accept_loop(listener: &TcpListener, stop: &Arc<AtomicBool>, ctx: &Arc<Ctx>) {
                     );
                     doc.insert("connections", Json::Int(connections as i64));
                     doc.insert("limit", Json::Int(limit as i64));
-                    let _ = http::write_response(
-                        &mut stream,
-                        503,
-                        "application/json",
-                        &doc_bytes(&doc),
-                        true,
-                    );
+                    let body = doc_bytes(&doc);
+                    // Written off the accept thread, with a write
+                    // timeout: a refused client that never reads must
+                    // not stall admission for everyone else.
+                    std::thread::spawn(move || {
+                        let _ = stream.set_nonblocking(false);
+                        let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+                        let _ =
+                            http::write_response(&mut stream, 503, "application/json", &body, true);
+                    });
                     continue;
                 }
                 counters.connections.fetch_add(1, Ordering::SeqCst);
@@ -479,12 +481,15 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx, stop: &AtomicBool) -> std::io
     // the parser (the idle clock keeps running, so a half-sent request
     // is closed at the same deadline as silence).
     stream.set_read_timeout(Some(Duration::from_millis(25)))?;
-    let mut reader = BufReader::new(stream.try_clone()?);
+    // The connection's persistent byte buffer: raw socket reads append
+    // to it and the parser drains complete requests off its front, so
+    // bytes that arrived before a socket-timeout tick are never lost.
+    let mut pending: Vec<u8> = Vec::new();
     let mut last_activity = ctx.clock.now_ms();
     loop {
         // Wait for the next request unless one is already buffered
         // (over-read alongside the previous one).
-        if reader.buffer().is_empty() {
+        if pending.is_empty() {
             match await_request(&stream, ctx, stop, last_activity)? {
                 Waited::Ready => {}
                 Waited::Closed | Waited::IdleTimeout | Waited::Stopping => return Ok(()),
@@ -492,7 +497,7 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx, stop: &AtomicBool) -> std::io
         }
         let deadline = ctx.clock.now_ms().saturating_add(ctx.idle_timeout_ms);
         let (status, content_type, body, request) =
-            match read_request_paced(&mut reader, ctx, deadline) {
+            match read_request_paced(&mut stream, &mut pending, ctx, deadline) {
                 Ok(Some(req)) => {
                     let (status, content_type, body) = route(&req, ctx);
                     (status, content_type, body, Some(req))
@@ -511,7 +516,7 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx, stop: &AtomicBool) -> std::io
         // Pipelining (a second request on the wire before this response
         // went out) is rejected: answer the current request, then
         // downgrade to close and drop whatever was queued behind it.
-        let pipelined = !reader.buffer().is_empty();
+        let pipelined = !pending.is_empty();
         let close =
             pipelined || stop.load(Ordering::SeqCst) || request.as_ref().is_none_or(|r| r.close);
         if let Some(req) = &request {
@@ -534,21 +539,37 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx, stop: &AtomicBool) -> std::io
     }
 }
 
-/// Reads one request, retrying the short socket-timeout ticks until the
-/// idle deadline (on the injectable clock) expires. `read_request` on a
-/// `BufReader` keeps consumed bytes buffered across `WouldBlock` ticks
-/// only *between* lines, so a timeout mid-line surfaces here and is
-/// retried by re-parsing from the buffer — which is why the parser is
-/// only entered once request bytes are known to be available and the
-/// common case never ticks at all.
+/// Reads one request through `pending`, the connection's persistent
+/// byte buffer: raw reads append to it and [`http::parse_request`]
+/// drains exactly one request off its front (bytes past the request —
+/// pipelined — stay buffered). A short socket-timeout tick loses
+/// nothing — whatever arrived stays in `pending` for the next attempt —
+/// so a request may trickle in over many ticks until the idle deadline
+/// (on the injectable clock) expires.
 fn read_request_paced(
-    reader: &mut BufReader<TcpStream>,
+    stream: &mut TcpStream,
+    pending: &mut Vec<u8>,
     ctx: &Ctx,
     deadline_ms: u64,
 ) -> std::io::Result<Option<Request>> {
+    let mut chunk = [0u8; 4096];
     loop {
-        match http::read_request(reader) {
-            Ok(req) => return Ok(req),
+        if let Some((request, consumed)) = http::parse_request(pending)? {
+            pending.drain(..consumed);
+            return Ok(Some(request));
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return if pending.is_empty() {
+                    Ok(None)
+                } else {
+                    Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        "connection closed mid-request",
+                    ))
+                };
+            }
+            Ok(n) => pending.extend_from_slice(&chunk[..n]),
             Err(e)
                 if matches!(
                     e.kind(),
@@ -562,6 +583,7 @@ fn read_request_paced(
                     ));
                 }
             }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
             Err(e) => return Err(e),
         }
     }
@@ -632,10 +654,17 @@ fn enqueue_spec(ctx: &Ctx, spec: &JobSpec) -> Result<Enqueued, RuntimeError> {
     let deduped = job.exists() || store::lookup(&ctx.queue, &hash).is_some();
     if !deduped {
         // Publish atomically: the tmp name has no job extension, so a
-        // concurrent worker scan never claims a half-written file.
-        let tmp = ctx
-            .queue
-            .join(format!("{id}.submit-{}", std::process::id()));
+        // concurrent worker scan never claims a half-written file, and
+        // the sequence number keeps simultaneous submissions of the
+        // same spec (handler threads are concurrent) from sharing a
+        // tmp path — each writes its own file and the renames land on
+        // one identical destination.
+        static SUBMIT_SEQ: AtomicU64 = AtomicU64::new(0);
+        let tmp = ctx.queue.join(format!(
+            "{id}.submit-{}-{}",
+            std::process::id(),
+            SUBMIT_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
         let mut body = spec.to_json().to_string_pretty();
         body.push('\n');
         std::fs::write(&tmp, body)
@@ -864,21 +893,27 @@ fn job_detail(id: &str, ctx: &Ctx) -> Reply {
 }
 
 fn job_result(hash: &str, ctx: &Ctx) -> Reply {
-    let reply = match store::get_or_publish(&ctx.queue, hash) {
-        Ok(Some(bytes)) => {
-            // Publishing may have grown the store past its caps; trim
-            // before answering so retention is enforced continuously.
-            if let Err(e) = ctx.gc() {
-                return (500, "application/json", error_body(&e.to_string()));
+    // A cache hit serves straight from the store — it cannot grow it,
+    // so only a fresh publish triggers the retention pass. Retention is
+    // best-effort on the serving path: the bytes are answered even when
+    // the trim fails (startup GC stays loud — see [`Server::start`]).
+    let reply = if let Some(bytes) = store::lookup(&ctx.queue, hash) {
+        (200, "application/json", bytes)
+    } else {
+        match store::get_or_publish(&ctx.queue, hash) {
+            Ok(Some(bytes)) => {
+                if let Err(e) = ctx.gc() {
+                    eprintln!("od-serve: results-store GC failed: {e}");
+                }
+                (200, "application/json", bytes)
             }
-            (200, "application/json", bytes)
+            Ok(None) => (
+                404,
+                "application/json",
+                error_body(&format!("no result for spec {hash}")),
+            ),
+            Err(e) => (500, "application/json", error_body(&e.to_string())),
         }
-        Ok(None) => (
-            404,
-            "application/json",
-            error_body(&format!("no result for spec {hash}")),
-        ),
-        Err(e) => (500, "application/json", error_body(&e.to_string())),
     };
     if reply.0 == 200 {
         ctx.counters.results_hits.fetch_add(1, Ordering::SeqCst);

@@ -267,6 +267,144 @@ fn connections_past_the_cap_get_typed_503s() {
     let _ = std::fs::remove_dir_all(&queue);
 }
 
+/// A request that trickles in slower than the server's 25ms socket
+/// read-timeout tick must still be served: partial bytes survive the
+/// ticks in the per-connection buffer (a retried parse used to drop
+/// them, turning slow-but-valid requests into 400s).
+#[test]
+fn slow_requests_survive_socket_timeout_ticks() {
+    let queue = temp_dir("slow");
+    let server = Server::start(ServeOptions {
+        queue_dir: queue.clone(),
+        workers: 0,
+        ..ServeOptions::default()
+    })
+    .expect("server start");
+    let mut client = Client::connect(server.addr());
+
+    // A GET whose request line and headers arrive a few bytes at a
+    // time, with gaps well past the socket tick.
+    let raw = b"GET /jobs HTTP/1.1\r\nHost: t\r\n\r\n";
+    for chunk in raw.chunks(7) {
+        client.send_raw(chunk);
+        std::thread::sleep(Duration::from_millis(60));
+    }
+    let response = client.read_response().expect("slow GET answered");
+    assert_eq!(response.status, 200, "{}", response.body);
+    assert!(!response.close, "a slow request must not cost keep-alive");
+
+    // A POST whose body stalls mid-transfer across several ticks.
+    let body = spec(77);
+    client.send_raw(
+        format!(
+            "POST /jobs HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        )
+        .as_bytes(),
+    );
+    std::thread::sleep(Duration::from_millis(80));
+    let (head, tail) = body.as_bytes().split_at(body.len() / 2);
+    client.send_raw(head);
+    std::thread::sleep(Duration::from_millis(80));
+    client.send_raw(tail);
+    let response = client.read_response().expect("stalled POST answered");
+    assert_eq!(response.status, 201, "{}", response.body);
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&queue);
+}
+
+/// Header floods are cut off with a 400 instead of buffered without
+/// bound: an over-long header block and an over-counted header list
+/// both close the connection loudly.
+#[test]
+fn header_floods_get_a_400_not_unbounded_buffering() {
+    let queue = temp_dir("flood");
+    let server = Server::start(ServeOptions {
+        queue_dir: queue.clone(),
+        workers: 0,
+        ..ServeOptions::default()
+    })
+    .expect("server start");
+    let addr = server.addr();
+
+    let mut client = Client::connect(addr);
+    client.send_raw(
+        format!(
+            "GET /jobs HTTP/1.1\r\nX-Flood: {}\r\n\r\n",
+            "a".repeat(9 << 10)
+        )
+        .as_bytes(),
+    );
+    let response = client.read_response().expect("oversized headers answered");
+    assert_eq!(response.status, 400, "{}", response.body);
+    assert!(response.close);
+    assert!(client.at_eof(), "flooding connection must be closed");
+
+    let mut client = Client::connect(addr);
+    let mut many = String::from("GET /jobs HTTP/1.1\r\n");
+    for i in 0..150 {
+        many.push_str(&format!("X-H{i}: v\r\n"));
+    }
+    many.push_str("\r\n");
+    client.send_raw(many.as_bytes());
+    let response = client.read_response().expect("many headers answered");
+    assert_eq!(response.status, 400, "{}", response.body);
+    assert!(response.close);
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&queue);
+}
+
+/// Simultaneous submissions of one identical spec race through
+/// `enqueue_spec` on concurrent handler threads: every submission must
+/// succeed (200 or 201, never a 500 from colliding tmp files) and the
+/// queue must end up with exactly one job file.
+#[test]
+fn simultaneous_submissions_of_one_spec_never_conflict() {
+    let queue = temp_dir("race");
+    let server = Server::start(ServeOptions {
+        queue_dir: queue.clone(),
+        workers: 0,
+        ..ServeOptions::default()
+    })
+    .expect("server start");
+    let addr = server.addr();
+    let body = spec(55);
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let body = body.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr);
+                let response = client.request("POST", "/jobs", &body);
+                assert!(
+                    matches!(response.status, 200 | 201),
+                    "racing submission failed: {} {}",
+                    response.status,
+                    response.body
+                );
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("submitter thread");
+    }
+    let job_files = std::fs::read_dir(&queue)
+        .unwrap()
+        .filter(|e| {
+            e.as_ref()
+                .unwrap()
+                .path()
+                .extension()
+                .and_then(|x| x.to_str())
+                == Some("json")
+        })
+        .count();
+    assert_eq!(job_files, 1, "identical specs must collapse onto one job");
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&queue);
+}
+
 /// The headline concurrency claim: 8 clients, each holding one socket
 /// for 10 requests, all served in parallel under the default cap.
 #[test]
@@ -405,31 +543,46 @@ fn capped_store_keeps_referenced_results_and_evicts_oldest_when_released() {
         "a referenced result was evicted: {metrics:?}"
     );
 
-    // Remove the job files: nothing references A or B any more. The
-    // next result fetch triggers a GC pass, which evicts oldest-first.
+    // Remove A's job file: nothing references A any more (B stays
+    // referenced). Cache hits never trigger GC — only growth does — so
+    // the store is untouched until the next publish.
     std::fs::remove_file(queue.join(format!("{id_a}.json"))).unwrap();
-    std::fs::remove_file(queue.join(format!("{id_b}.json"))).unwrap();
     assert_eq!(
         client
-            .request("GET", &format!("/results/{hash_b}"), "")
+            .request("GET", &format!("/results/{hash_a}"), "")
+            .status,
+        200,
+        "a cache hit must serve without trimming"
+    );
+    assert_eq!(std::fs::read_dir(&results).unwrap().count(), 2);
+
+    // A third job's first result fetch publishes into the store, and
+    // that growth triggers the GC pass: A (oldest, unreferenced) is
+    // evicted; B and C are referenced and must survive even though the
+    // store stays over its cap of 1.
+    let (id_c, hash_c) = submit(&spec(23), &mut client);
+    poll_until_done(&mut client, &id_c);
+    assert_eq!(
+        client
+            .request("GET", &format!("/results/{hash_c}"), "")
             .status,
         200
     );
-    assert_eq!(std::fs::read_dir(&results).unwrap().count(), 1);
-    assert!(
-        queue
-            .join(".results")
-            .join(format!("{hash_b}.json"))
-            .exists(),
-        "the newest result must be the survivor"
-    );
+    assert_eq!(std::fs::read_dir(&results).unwrap().count(), 2);
+    for (hash, expected) in [(&hash_a, false), (&hash_b, true), (&hash_c, true)] {
+        assert_eq!(
+            results.join(format!("{hash}.json")).exists(),
+            expected,
+            "store entry for {hash}"
+        );
+    }
     let after = client.request("GET", &format!("/results/{hash_a}"), "");
     assert_eq!(after.status, 404, "evicted result must be gone");
 
     server.shutdown();
     let lines = sink.lines().join("\n");
     assert!(lines.contains("\"kind\":\"serve_gc\""), "{lines}");
-    assert!(lines.contains("\"evicted\":1,\"kept\":1"), "{lines}");
+    assert!(lines.contains("\"evicted\":1,\"kept\":2"), "{lines}");
     let _ = std::fs::remove_dir_all(&queue);
 }
 
